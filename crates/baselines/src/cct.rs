@@ -1,0 +1,297 @@
+//! Calling-context-tree baseline.
+//!
+//! Maintains the program's calling context tree (Ammons/Ball/Larus-style)
+//! and each thread's current position in it. Contexts are exact and O(depth)
+//! to read back, but *every* dynamic call pays a child lookup — the paper
+//! cites a 2–4x slowdown for CCT-based profilers, which is why encoding
+//! approaches exist at all.
+
+use std::collections::HashMap;
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::{CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+use dacce_program::{ContextPath, CostModel, OracleStack, PathStep, Program, ThreadId};
+
+#[derive(Debug)]
+struct CctNode {
+    parent: Option<u32>,
+    site: Option<CallSiteId>,
+    func: FunctionId,
+    children: HashMap<(CallSiteId, FunctionId), u32>,
+    visits: u64,
+}
+
+/// Statistics of a CCT run.
+#[derive(Clone, Debug, Default)]
+pub struct CctStats {
+    /// Total tree nodes — the number of distinct calling contexts observed
+    /// (compare with DACCE's `maxID`).
+    pub nodes: usize,
+    /// Dynamic calls observed.
+    pub calls: u64,
+    /// Deepest tree position reached.
+    pub max_depth: usize,
+}
+
+/// The CCT context runtime.
+#[derive(Debug, Default)]
+pub struct CctRuntime {
+    cost: CostModel,
+    nodes: Vec<CctNode>,
+    /// Current node per thread.
+    current: HashMap<ThreadId, u32>,
+    /// Root node per thread.
+    root: HashMap<ThreadId, u32>,
+    stats: CctStats,
+}
+
+impl CctRuntime {
+    /// Creates a CCT runtime.
+    pub fn new(cost: CostModel) -> Self {
+        CctRuntime {
+            cost,
+            ..Default::default()
+        }
+    }
+
+    /// Run statistics (node count refreshed).
+    pub fn stats(&self) -> CctStats {
+        let mut s = self.stats.clone();
+        s.nodes = self.nodes.len();
+        s
+    }
+
+    /// Number of distinct calling contexts materialised.
+    pub fn distinct_contexts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn add_node(
+        &mut self,
+        parent: Option<u32>,
+        site: Option<CallSiteId>,
+        func: FunctionId,
+    ) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(CctNode {
+            parent,
+            site,
+            func,
+            children: HashMap::new(),
+            visits: 0,
+        });
+        idx
+    }
+
+    fn path_of(&self, mut node: u32) -> ContextPath {
+        let mut rev = Vec::new();
+        loop {
+            let n = &self.nodes[node as usize];
+            rev.push(PathStep {
+                site: n.site,
+                func: n.func,
+            });
+            match n.parent {
+                Some(p) => node = p,
+                None => break,
+            }
+        }
+        rev.reverse();
+        ContextPath(rev)
+    }
+}
+
+impl ContextRuntime for CctRuntime {
+    fn name(&self) -> &'static str {
+        "cct"
+    }
+
+    fn attach(&mut self, _program: &Program) {}
+
+    fn on_thread_start(
+        &mut self,
+        tid: ThreadId,
+        root: FunctionId,
+        parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+        let root_idx = match parent {
+            None => self.add_node(None, None, root),
+            Some((ptid, site)) => {
+                let anchor = self.current[&ptid];
+                let existing = self.nodes[anchor as usize]
+                    .children
+                    .get(&(site, root))
+                    .copied();
+                match existing {
+                    Some(i) => i,
+                    None => {
+                        let i = self.add_node(Some(anchor), Some(site), root);
+                        self.nodes[anchor as usize].children.insert((site, root), i);
+                        i
+                    }
+                }
+            }
+        };
+        self.current.insert(tid, root_idx);
+        self.root.insert(tid, root_idx);
+    }
+
+    fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        self.stats.calls += 1;
+        let cur = self.current[&ev.tid];
+        let child = match self.nodes[cur as usize].children.get(&(ev.site, ev.callee)) {
+            Some(&i) => i,
+            None => {
+                let i = self.add_node(Some(cur), Some(ev.site), ev.callee);
+                self.nodes[cur as usize]
+                    .children
+                    .insert((ev.site, ev.callee), i);
+                i
+            }
+        };
+        self.nodes[child as usize].visits += 1;
+        self.current.insert(ev.tid, child);
+        self.stats.max_depth = self.stats.max_depth.max(self.path_len(child));
+        self.cost.cct_step
+    }
+
+    fn on_return(&mut self, ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        // Move up past any tail frames to the node whose child was created
+        // by `ev.site`.
+        let mut cur = self.current[&ev.tid];
+        loop {
+            let n = &self.nodes[cur as usize];
+            let parent = n.parent.expect("balanced returns stay below the root");
+            let from_site = n.site;
+            cur = parent;
+            if from_site == Some(ev.site) {
+                break;
+            }
+        }
+        self.current.insert(ev.tid, cur);
+        self.cost.id_arith
+    }
+
+    fn on_root_reset(&mut self, tid: ThreadId) {
+        let root = self.root[&tid];
+        self.current.insert(tid, root);
+    }
+
+    fn sample(&mut self, tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        let path = self.path_of(self.current[&tid]);
+        (SampleResult::Path(path), self.cost.sample_record)
+    }
+}
+
+impl CctRuntime {
+    fn path_len(&self, mut node: u32) -> usize {
+        let mut n = 1;
+        while let Some(p) = self.nodes[node as usize].parent {
+            node = p;
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::interp::{InterpConfig, Interpreter};
+    use dacce_program::model::TargetChoice;
+
+    fn program() -> dacce_program::Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let c = b.function("c");
+        let t1 = b.function("t1");
+        let t2 = b.function("t2");
+        let tbl = b.table(vec![t1, t2]);
+        b.body(main)
+            .work(3)
+            .call(a)
+            .indirect(tbl, TargetChoice::Uniform, [0.8, 0.8], 2)
+            .done();
+        b.body(a).work(1).call_p(c, [0.6, 0.6]).tail(t1, [0.3, 0.3]).done();
+        b.body(c).work(1).call_p(a, [0.3, 0.3]).done();
+        b.body(t1).work(1).done();
+        b.body(t2).work(1).done();
+        b.build(main)
+    }
+
+    #[test]
+    fn cct_samples_match_oracle() {
+        let p = program();
+        let mut rt = CctRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 20_000,
+            sample_every: 41,
+            max_depth: 40,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+        assert_eq!(report.unsupported, 0);
+        assert!(rt.distinct_contexts() > 4);
+    }
+
+    #[test]
+    fn every_call_pays_a_tree_step() {
+        let p = program();
+        let mut rt = CctRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 1_000,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(report.instr_cost >= 1_000 * CostModel::default().cct_step);
+    }
+
+    #[test]
+    fn multithreaded_cct_validates() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let w = b.function("worker");
+        let j = b.function("job");
+        b.body(main).spawn(w, [0.4, 0.4]).work(2).call(j).done();
+        b.body(w).work(1).call_rep(j, [1.0, 1.0], 5).done();
+        b.body(j).work(1).done();
+        let p = b.build(main);
+        let mut rt = CctRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 10_000,
+            sample_every: 29,
+            max_threads: 4,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(report.threads_spawned > 1);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+    }
+
+    #[test]
+    fn distinct_contexts_grow_with_paths() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let l = b.function("l");
+        let r = b.function("r");
+        let s = b.function("sink");
+        b.body(main).call(l).call(r).done();
+        b.body(l).call(s).done();
+        b.body(r).call(s).done();
+        b.body(s).work(1).done();
+        let p = b.build(main);
+        let mut rt = CctRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 400,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        // main, l, r, sink-under-l, sink-under-r = 5 nodes.
+        assert_eq!(rt.distinct_contexts(), 5);
+    }
+}

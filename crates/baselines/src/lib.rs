@@ -1,0 +1,28 @@
+//! Related-work baselines for the DACCE reproduction (§7 of the paper).
+//!
+//! Three alternative calling-context identification techniques, each
+//! implemented as a [`dacce_program::ContextRuntime`]:
+//!
+//! * [`stackwalk::StackWalkRuntime`] — walk the stack at every sample (or,
+//!   in Valgrind mode, at every call): no per-call instrumentation, but
+//!   per-walk cost proportional to the stack depth;
+//! * [`cct::CctRuntime`] — maintain a calling context tree and the current
+//!   position in it: exact contexts, but a child lookup on *every* call
+//!   (the paper quotes a 2–4x slowdown for CCT profilers);
+//! * [`pcc::PccRuntime`] — Bond & McKinley's probabilistic calling context:
+//!   a per-call hash update (`V' = 3*V + cs`), essentially free but
+//!   non-decodable and subject to collisions;
+//! * [`inferred::InferredRuntime`] — Mytkowicz et al.'s inferred call
+//!   paths: identify contexts by `(function, stack depth)` with no runtime
+//!   instrumentation at all, at the price of ambiguous identifiers and a
+//!   training-run dictionary.
+
+pub mod cct;
+pub mod inferred;
+pub mod pcc;
+pub mod stackwalk;
+
+pub use cct::CctRuntime;
+pub use inferred::InferredRuntime;
+pub use pcc::PccRuntime;
+pub use stackwalk::StackWalkRuntime;

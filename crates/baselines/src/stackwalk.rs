@@ -1,0 +1,240 @@
+//! Stack-walking baseline.
+//!
+//! The straightforward way to capture a calling context: unwind the stack
+//! frame by frame when the context is needed. There is no per-call
+//! instrumentation at all; the entire cost is paid at capture time and is
+//! proportional to the stack depth. Valgrind-style tools walk at *every*
+//! monitored event, which the paper points out is too expensive for
+//! deployment — [`StackWalkRuntime::valgrind_mode`] reproduces that regime.
+//!
+//! The walker sees logical frames perfectly in this model (real unwinders
+//! lose tail-called frames; we keep them so that the walker can serve as
+//! the paper's cross-validation oracle, §6.1).
+
+use std::collections::HashMap;
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::{CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+use dacce_program::{ContextPath, CostModel, OracleStack, PathStep, Program, ThreadId};
+
+#[derive(Debug, Default, Clone)]
+struct WalkThread {
+    /// Full path of the thread root (spawn prefix included), root-first.
+    base: Vec<PathStep>,
+    /// Logical frames above the root: `(site, func, is_tail)`.
+    frames: Vec<(CallSiteId, FunctionId, bool)>,
+}
+
+impl WalkThread {
+    fn path(&self) -> ContextPath {
+        let mut steps = self.base.clone();
+        steps.extend(self.frames.iter().map(|&(site, func, _)| PathStep {
+            site: Some(site),
+            func,
+        }));
+        ContextPath(steps)
+    }
+}
+
+/// Statistics of a stack-walking run.
+#[derive(Clone, Debug, Default)]
+pub struct StackWalkStats {
+    /// Stack walks performed.
+    pub walks: u64,
+    /// Total frames visited across all walks.
+    pub frames_walked: u64,
+    /// Dynamic calls observed.
+    pub calls: u64,
+}
+
+/// The stack-walking context runtime.
+#[derive(Debug, Default)]
+pub struct StackWalkRuntime {
+    cost: CostModel,
+    valgrind: bool,
+    threads: HashMap<ThreadId, WalkThread>,
+    stats: StackWalkStats,
+}
+
+impl StackWalkRuntime {
+    /// Sample-time-only walking (the HPCToolkit regime).
+    pub fn new(cost: CostModel) -> Self {
+        StackWalkRuntime {
+            cost,
+            ..Default::default()
+        }
+    }
+
+    /// Walk at every call event (the Valgrind regime).
+    pub fn valgrind_mode(cost: CostModel) -> Self {
+        StackWalkRuntime {
+            cost,
+            valgrind: true,
+            ..Default::default()
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &StackWalkStats {
+        &self.stats
+    }
+
+    fn walk(&mut self, tid: ThreadId) -> (ContextPath, u64) {
+        let path = self.threads[&tid].path();
+        let depth = path.depth() as u64;
+        self.stats.walks += 1;
+        self.stats.frames_walked += depth;
+        (path, depth * self.cost.walk_frame)
+    }
+}
+
+impl ContextRuntime for StackWalkRuntime {
+    fn name(&self) -> &'static str {
+        "stackwalk"
+    }
+
+    fn attach(&mut self, _program: &Program) {}
+
+    fn on_thread_start(
+        &mut self,
+        tid: ThreadId,
+        root: FunctionId,
+        parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+        let base = match parent {
+            None => vec![PathStep { site: None, func: root }],
+            Some((ptid, site)) => {
+                let mut base = self.threads[&ptid].path().0;
+                base.push(PathStep {
+                    site: Some(site),
+                    func: root,
+                });
+                base
+            }
+        };
+        self.threads.insert(
+            tid,
+            WalkThread {
+                base,
+                frames: Vec::new(),
+            },
+        );
+    }
+
+    fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        self.stats.calls += 1;
+        let t = self.threads.get_mut(&ev.tid).expect("thread registered");
+        t.frames.push((ev.site, ev.callee, ev.tail));
+        if self.valgrind {
+            self.walk(ev.tid).1
+        } else {
+            0
+        }
+    }
+
+    fn on_return(&mut self, ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        let t = self.threads.get_mut(&ev.tid).expect("thread registered");
+        // Pop tail frames stacked on the returning physical frame, then the
+        // frame itself (the oldest of the run is the physical one).
+        while let Some(&(_, _, tail)) = t.frames.last() {
+            t.frames.pop();
+            if !tail {
+                break;
+            }
+        }
+        0
+    }
+
+    fn on_root_reset(&mut self, tid: ThreadId) {
+        if let Some(t) = self.threads.get_mut(&tid) {
+            t.frames.clear();
+        }
+    }
+
+    fn sample(&mut self, tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        let (path, cost) = self.walk(tid);
+        (SampleResult::Path(path), cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::interp::{InterpConfig, Interpreter};
+
+    fn program() -> dacce_program::Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let t = b.function("t");
+        b.body(main).work(4).call(a).tail(t, [0.5, 0.5]).done();
+        b.body(a).work(2).call_p(a, [0.4, 0.4]).done();
+        b.body(t).work(1).done();
+        b.build(main)
+    }
+
+    #[test]
+    fn samples_match_oracle() {
+        let p = program();
+        let mut rt = StackWalkRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 10_000,
+            sample_every: 37,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+        assert!(report.validated > 200);
+        assert!(rt.stats().walks > 0);
+    }
+
+    #[test]
+    fn sampling_mode_charges_only_at_samples() {
+        let p = program();
+        let mut rt = StackWalkRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 1_000,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert_eq!(report.instr_cost, 0, "no samples, no cost");
+    }
+
+    #[test]
+    fn valgrind_mode_charges_every_call() {
+        let p = program();
+        let mut rt = StackWalkRuntime::valgrind_mode(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 1_000,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(report.instr_cost >= 1_000 * CostModel::default().walk_frame);
+        assert_eq!(rt.stats().walks, 1_000);
+    }
+
+    #[test]
+    fn spawned_threads_get_parent_prefix() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let w = b.function("worker");
+        let j = b.function("job");
+        b.body(main).spawn(w, [0.5, 0.5]).work(2).call(j).done();
+        b.body(w).work(1).call_rep(j, [1.0, 1.0], 3).done();
+        b.body(j).work(1).done();
+        let p = b.build(main);
+        let mut rt = StackWalkRuntime::new(CostModel::default());
+        let cfg = InterpConfig {
+            budget_calls: 5_000,
+            sample_every: 31,
+            max_threads: 4,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(report.threads_spawned > 1);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+    }
+}

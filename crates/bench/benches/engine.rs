@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks of the DACCE engine's hot paths: the
+//! per-call instrumentation work a real deployment would inline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dacce::{DacceConfig, DacceEngine};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{CostModel, ThreadId};
+
+fn f(i: u32) -> FunctionId {
+    FunctionId::new(i)
+}
+fn s(i: u32) -> CallSiteId {
+    CallSiteId::new(i)
+}
+
+/// Engine with a small encoded graph (one re-encode already done).
+fn encoded_engine() -> DacceEngine {
+    let cfg = DacceConfig {
+        edge_threshold: 2,
+        min_events_between_reencodes: 1,
+        ..DacceConfig::default()
+    };
+    let mut e = DacceEngine::new(cfg, CostModel::default());
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+    // Discover two edges; the second discovery triggers a re-encode, after
+    // which both are encoded.
+    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+    e.ret(ThreadId::MAIN, s(1), f(1), f(2));
+    e.ret(ThreadId::MAIN, s(0), f(0), f(1));
+    e
+}
+
+fn bench_encoded_roundtrip(c: &mut Criterion) {
+    let mut e = encoded_engine();
+    c.bench_function("engine/encoded_call_return", |b| {
+        b.iter(|| {
+            e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+            e.ret(ThreadId::MAIN, s(0), f(0), f(1));
+        })
+    });
+}
+
+fn bench_recursive_compressed(c: &mut Criterion) {
+    let cfg = DacceConfig {
+        edge_threshold: 2,
+        min_events_between_reencodes: 1,
+        compression_min_heat: 1,
+        ..DacceConfig::default()
+    };
+    let mut e = DacceEngine::new(cfg, CostModel::default());
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    // Make the self edge hot enough to be compressed after re-encoding.
+    for _ in 0..128 {
+        e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+        e.ret(ThreadId::MAIN, s(1), f(1), f(1));
+    }
+    c.bench_function("engine/compressed_recursion_call_return", |b| {
+        b.iter(|| {
+            e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+            e.ret(ThreadId::MAIN, s(1), f(1), f(1));
+        })
+    });
+}
+
+fn bench_indirect_hash(c: &mut Criterion) {
+    let cfg = DacceConfig {
+        indirect_inline_max: 2,
+        ..DacceConfig::default()
+    };
+    let mut e = DacceEngine::new(cfg, CostModel::default());
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+    for t in 1..=8u32 {
+        e.call(ThreadId::MAIN, s(0), f(0), f(t), CallDispatch::Indirect, false);
+        e.ret(ThreadId::MAIN, s(0), f(0), f(t));
+    }
+    c.bench_function("engine/indirect_hash_dispatch", |b| {
+        b.iter(|| {
+            e.call(ThreadId::MAIN, s(0), f(0), f(5), CallDispatch::Indirect, false);
+            e.ret(ThreadId::MAIN, s(0), f(0), f(5));
+        })
+    });
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut e = encoded_engine();
+    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+    c.bench_function("engine/sample_snapshot", |b| b.iter(|| e.sample(ThreadId::MAIN)));
+}
+
+criterion_group!(
+    benches,
+    bench_encoded_roundtrip,
+    bench_recursive_compressed,
+    bench_indirect_hash,
+    bench_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end wall-clock benchmark: the interpreter running one workload
+//! under the null runtime, DACCE and PCCE. This is the real-time
+//! counterpart of the cost-model overheads in `figure8` — the *relative*
+//! times here cross-check the model's orderings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dacce::DacceRuntime;
+use dacce_pcce::{PcceRuntime, ProfilingRuntime};
+use dacce_program::runtime::NullRuntime;
+use dacce_program::{CostModel, Interpreter};
+use dacce_workloads::{driver, BenchSpec, DriverConfig};
+
+fn spec() -> BenchSpec {
+    BenchSpec {
+        budget_calls: 30_000,
+        ..BenchSpec::tiny("bench-overhead", 77)
+    }
+}
+
+fn bench_null(c: &mut Criterion) {
+    let spec = spec();
+    let program = driver::program_of(&spec);
+    let cfg = driver::interp_config(&spec, &DriverConfig::default());
+    c.bench_function("endtoend/null", |b| {
+        b.iter(|| Interpreter::new(&program, cfg.clone()).run(&mut NullRuntime::default()))
+    });
+}
+
+fn bench_dacce(c: &mut Criterion) {
+    let spec = spec();
+    let program = driver::program_of(&spec);
+    let cfg = driver::interp_config(&spec, &DriverConfig::default());
+    c.bench_function("endtoend/dacce", |b| {
+        b.iter(|| {
+            let mut rt = DacceRuntime::with_defaults();
+            Interpreter::new(&program, cfg.clone()).run(&mut rt)
+        })
+    });
+}
+
+fn bench_pcce(c: &mut Criterion) {
+    let spec = spec();
+    let program = driver::program_of(&spec);
+    let cfg = driver::interp_config(&spec, &DriverConfig::default());
+    let mut profiler = ProfilingRuntime::new();
+    let _ = Interpreter::new(&program, cfg.clone()).run(&mut profiler);
+    let profile = profiler.into_data();
+    c.bench_function("endtoend/pcce", |b| {
+        b.iter(|| {
+            let mut rt = PcceRuntime::new(profile.clone(), CostModel::default());
+            Interpreter::new(&program, cfg.clone()).run(&mut rt)
+        })
+    });
+}
+
+criterion_group!(benches, bench_null, bench_dacce, bench_pcce);
+criterion_main!(benches);

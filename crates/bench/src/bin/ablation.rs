@@ -1,0 +1,173 @@
+//! Ablation studies over DACCE's design choices (DESIGN.md per-experiment
+//! index). Each ablation switches off or sweeps one mechanism the paper
+//! motivates and shows its effect:
+//!
+//! 1. **adaptive re-encoding** (§4) — off, nothing is ever encoded: every
+//!    call pushes the ccStack;
+//! 2. **heat ordering** (§4) — off, hot edges pay `id` arithmetic that the
+//!    adaptive encoder would have made free;
+//! 3. **recursion compression** (§3.3, Figure 5e) — Never/Adaptive/Always,
+//!    measured by mean ccStack depth on the recursion-heavy analogs;
+//! 4. **indirect hash threshold** (§3.2, Figure 4) — sweep of
+//!    `indirect_inline_max` on the many-target `x264` analog;
+//! 5. **tail-call handling** (§5.2, Figure 7) — off reproduces the
+//!    encoding corruption of Figure 7a, visible as validation mismatches.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin ablation [-- --scale 1.0]
+//! ```
+
+use dacce::{CompressionMode, DacceConfig};
+use dacce_bench::Options;
+use dacce_metrics::{percent, Table};
+use dacce_workloads::{all_benchmarks, run_dacce_only, BenchSpec, DriverConfig};
+
+fn spec_named(name: &str) -> BenchSpec {
+    all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("benchmark exists")
+}
+
+fn run(spec: &BenchSpec, scale: f64, dacce: DacceConfig) -> (f64, f64, u64, u64, f64, u64) {
+    let cfg = DriverConfig {
+        scale,
+        dacce,
+        ..DriverConfig::default()
+    };
+    let (report, stats) = run_dacce_only(spec, &cfg);
+    (
+        report.warm_overhead(),
+        stats.mean_cc_depth(),
+        stats.reencodes,
+        stats.ccstack_ops,
+        report.mismatches as f64 + report.unsupported as f64,
+        stats.unbalanced_resets,
+    )
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let mut csv = Table::new(["study", "benchmark", "variant", "overhead", "cc_depth", "gTS"]);
+
+    // 1 & 2: re-encoding and heat ordering.
+    println!("\nAblation 1/2: adaptive re-encoding and hot-edge ordering");
+    let mut t = Table::new(["benchmark", "variant", "overhead", "mean ccStack depth", "gTS"]);
+    for name in ["400.perlbench", "458.sjeng", "471.omnetpp"] {
+        let spec = spec_named(name);
+        for (variant, cfg) in [
+            ("full", DacceConfig::default()),
+            (
+                "no-heat-ordering",
+                DacceConfig {
+                    heat_ordering: false,
+                    ..DacceConfig::default()
+                },
+            ),
+            ("no-reencoding", DacceConfig::no_reencoding()),
+        ] {
+            let (oh, depth, gts, _, _, _) = run(&spec, opts.scale, cfg);
+            t.row([
+                name.to_string(),
+                variant.to_string(),
+                percent(oh),
+                format!("{depth:.2}"),
+                gts.to_string(),
+            ]);
+            csv.row([
+                "adaptivity".to_string(),
+                name.to_string(),
+                variant.to_string(),
+                format!("{oh:.4}"),
+                format!("{depth:.2}"),
+                gts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // 3: recursion compression.
+    println!("Ablation 3: recursion compression (§3.3)");
+    let mut t = Table::new(["benchmark", "compression", "overhead", "mean ccStack depth"]);
+    for name in ["483.xalancbmk", "445.gobmk"] {
+        let spec = spec_named(name);
+        for (variant, mode) in [
+            ("never", CompressionMode::Never),
+            ("adaptive", CompressionMode::Adaptive),
+            ("always", CompressionMode::Always),
+        ] {
+            let cfg = DacceConfig {
+                compression: mode,
+                ..DacceConfig::default()
+            };
+            let (oh, depth, gts, _, _, _) = run(&spec, opts.scale, cfg);
+            t.row([
+                name.to_string(),
+                variant.to_string(),
+                percent(oh),
+                format!("{depth:.2}"),
+            ]);
+            csv.row([
+                "compression".to_string(),
+                name.to_string(),
+                variant.to_string(),
+                format!("{oh:.4}"),
+                format!("{depth:.2}"),
+                gts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // 4: indirect inline/hash threshold.
+    println!("Ablation 4: indirect-dispatch inline threshold (§3.2, Figure 4)");
+    let mut t = Table::new(["benchmark", "inline_max", "overhead"]);
+    for inline_max in [1usize, 4, 16, 64] {
+        let spec = spec_named("x264");
+        let cfg = DacceConfig {
+            indirect_inline_max: inline_max,
+            ..DacceConfig::default()
+        };
+        let (oh, _, gts, _, _, _) = run(&spec, opts.scale, cfg);
+        t.row(["x264".to_string(), inline_max.to_string(), percent(oh)]);
+        csv.row([
+            "inline_max".to_string(),
+            "x264".to_string(),
+            inline_max.to_string(),
+            format!("{oh:.4}"),
+            String::from("-"),
+            gts.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 5: tail-call handling.
+    println!("Ablation 5: tail-call handling (§5.2, Figure 7)");
+    let mut t = Table::new(["benchmark", "variant", "bad samples + dirty resets"]);
+    for name in ["400.perlbench", "445.gobmk"] {
+        let spec = spec_named(name);
+        for (variant, cfg) in [
+            ("tcstack", DacceConfig::default()),
+            ("broken (Fig 7a)", DacceConfig::broken_tail_calls()),
+        ] {
+            let (_, _, gts, _, bad, dirty) = run(&spec, opts.scale, cfg);
+            t.row([
+                name.to_string(),
+                variant.to_string(),
+                format!("{}", bad as u64 + dirty),
+            ]);
+            csv.row([
+                "tail_calls".to_string(),
+                name.to_string(),
+                variant.to_string(),
+                format!("{}", bad as u64 + dirty),
+                String::from("-"),
+                gts.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    let path = opts.write_csv("ablation.csv", &csv.to_csv());
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Dumps Graphviz views of a benchmark's call graphs: the static
+//! whole-program graph PCCE must encode versus the dynamic graph DACCE
+//! actually discovered at runtime. Useful for eyeballing why Table 1's
+//! graph columns differ so much.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin dotgraph -- --bench 429.mcf
+//! ```
+//!
+//! Writes `<out>/<bench>.dacce.dot` and `<out>/<bench>.static.dot`.
+
+use dacce::DacceRuntime;
+use dacce_bench::Options;
+use dacce_callgraph::dot::to_dot;
+use dacce_pcce::build_static_graph;
+use dacce_program::Interpreter;
+use dacce_workloads::{all_benchmarks, driver, DriverConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let specs = opts.select(all_benchmarks());
+    assert!(
+        !specs.is_empty(),
+        "no benchmark matched; use --bench <substring>"
+    );
+    for spec in specs {
+        let program = driver::program_of(&spec);
+        let name = |f: dacce_callgraph::FunctionId| program.name(f).to_string();
+
+        let sg = build_static_graph(&program);
+        let static_dot = to_dot(&sg.graph, None, name);
+
+        let mut rt = DacceRuntime::with_defaults();
+        let cfg = driver::interp_config(
+            &spec,
+            &DriverConfig {
+                scale: opts.scale,
+                ..DriverConfig::default()
+            },
+        );
+        let _ = Interpreter::new(&program, cfg).run(&mut rt);
+        let dyn_dot = to_dot(rt.engine().graph(), None, |f| program.name(f).to_string());
+
+        let p1 = opts.write_csv(&format!("{}.static.dot", spec.name), &static_dot);
+        let p2 = opts.write_csv(&format!("{}.dacce.dot", spec.name), &dyn_dot);
+        println!(
+            "{}: static {} nodes / {} edges -> {}",
+            spec.name,
+            sg.graph.node_count(),
+            sg.graph.edge_count(),
+            p1.display()
+        );
+        println!(
+            "{}: dynamic {} nodes / {} edges -> {}",
+            spec.name,
+            rt.engine().graph().node_count(),
+            rt.engine().graph().edge_count(),
+            p2.display()
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 8** of the paper: runtime overhead of PCCE vs
+//! DACCE per benchmark, plus the geometric mean.
+//!
+//! The paper measures wall-clock overhead on the authors' Xeon testbed;
+//! this reproduction charges a deterministic cost model (see `DESIGN.md`)
+//! and reports instrumentation cost relative to base work. The headline
+//! shape to reproduce: geomean overhead of a few percent with DACCE at or
+//! below PCCE; PCCE clearly worse on the `400.perlbench`, `483.xalancbmk`
+//! and `x264` analogs; DACCE slightly worse where offline profiles are
+//! perfectly representative and runs are short (`458.sjeng`, `433.milc`,
+//! `434.zeusmp` analogs).
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin figure8 [-- --scale 1.0]
+//! ```
+
+use dacce_bench::Options;
+use dacce_metrics::{geomean, percent, Table};
+use dacce_workloads::{all_benchmarks, run_benchmark, DriverConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = DriverConfig {
+        scale: opts.scale,
+        ..DriverConfig::default()
+    };
+
+    let mut table = Table::new(["benchmark", "PCCE", "DACCE", "winner"]);
+    let mut pcce_all = Vec::new();
+    let mut dacce_all = Vec::new();
+    let mut all_valid = true;
+
+    for spec in opts.select(all_benchmarks()) {
+        let out = run_benchmark(&spec, &cfg);
+        if !out.fully_validated() {
+            all_valid = false;
+            eprintln!("WARNING: {} failed validation", out.name);
+        }
+        let p = out.pcce_overhead();
+        let d = out.dacce_overhead();
+        pcce_all.push(p);
+        dacce_all.push(d);
+        let winner = if (p - d).abs() < 1e-4 {
+            "tie"
+        } else if d < p {
+            "DACCE"
+        } else {
+            "PCCE"
+        };
+        table.row([
+            out.name.to_string(),
+            percent(p),
+            percent(d),
+            winner.to_string(),
+        ]);
+        eprintln!("done: {}", out.name);
+    }
+
+    table.row([
+        "geomean".to_string(),
+        percent(geomean(&pcce_all)),
+        percent(geomean(&dacce_all)),
+        if geomean(&dacce_all) <= geomean(&pcce_all) {
+            "DACCE".to_string()
+        } else {
+            "PCCE".to_string()
+        },
+    ]);
+
+    println!("\nFigure 8: Runtime overhead of PCCE and DACCE (cost-model units)\n");
+    println!("{}", table.render());
+    let path = opts.write_csv("figure8.csv", &table.to_csv());
+    println!("CSV written to {}", path.display());
+    if !all_valid {
+        std::process::exit(1);
+    }
+}

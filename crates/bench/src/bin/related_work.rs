@@ -1,0 +1,95 @@
+//! Related-work comparison (§7 of the paper): DACCE and PCCE against
+//! stack walking, calling-context trees, and probabilistic calling
+//! contexts, on a few representative benchmarks.
+//!
+//! The qualitative relations to reproduce: per-sample stack walking is
+//! essentially free at low sample rates but walking at every event
+//! (Valgrind regime) is prohibitive; CCT maintenance costs on every call
+//! dwarf encoding approaches; PCC is the cheapest of all but cannot be
+//! decoded (and can collide); inferred `(function, depth)` identifiers are
+//! free but ambiguous.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin related_work [-- --scale 1.0]
+//! ```
+
+use dacce_baselines::{CctRuntime, InferredRuntime, PccRuntime, StackWalkRuntime};
+use dacce_bench::Options;
+use dacce_metrics::{percent, Table};
+use dacce_pcce::{PcceRuntime, ProfilingRuntime};
+use dacce_program::CostModel;
+use dacce_workloads::{all_benchmarks, run_with, DriverConfig};
+
+const SELECTED: [&str; 4] = ["458.sjeng", "464.h264ref", "471.omnetpp", "445.gobmk"];
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = DriverConfig {
+        scale: opts.scale,
+        ..DriverConfig::default()
+    };
+
+    let mut table = Table::new([
+        "benchmark",
+        "dacce",
+        "pcce",
+        "cct",
+        "walk(sampled)",
+        "walk(valgrind)",
+        "pcc",
+        "pcc collisions",
+        "cct contexts",
+        "inferred ambig.",
+    ]);
+
+    for name in SELECTED {
+        let spec = all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("benchmark exists");
+
+        let mut dacce = dacce::DacceRuntime::with_defaults();
+        let dacce_oh = run_with(&spec, &cfg, &mut dacce).warm_overhead();
+
+        let mut profiler = ProfilingRuntime::new();
+        let _ = run_with(&spec, &cfg, &mut profiler);
+        let mut pcce = PcceRuntime::new(profiler.into_data(), CostModel::default());
+        let pcce_oh = run_with(&spec, &cfg, &mut pcce).warm_overhead();
+
+        let mut cct = CctRuntime::new(CostModel::default());
+        let cct_oh = run_with(&spec, &cfg, &mut cct).warm_overhead();
+
+        let mut walk = StackWalkRuntime::new(CostModel::default());
+        let walk_oh = run_with(&spec, &cfg, &mut walk).warm_overhead();
+
+        let mut walk_vg = StackWalkRuntime::valgrind_mode(CostModel::default());
+        let walk_vg_oh = run_with(&spec, &cfg, &mut walk_vg).warm_overhead();
+
+        let mut pcc = PccRuntime::new(CostModel::default());
+        let pcc_oh = run_with(&spec, &cfg, &mut pcc).warm_overhead();
+        let pcc_stats = pcc.stats();
+
+        let mut inferred = InferredRuntime::new(CostModel::default());
+        let _ = run_with(&spec, &cfg, &mut inferred);
+        let inf = inferred.stats();
+
+        table.row([
+            name.to_string(),
+            percent(dacce_oh),
+            percent(pcce_oh),
+            percent(cct_oh),
+            percent(walk_oh),
+            percent(walk_vg_oh),
+            percent(pcc_oh),
+            format!("{}/{}", pcc_stats.collisions, pcc_stats.samples),
+            cct.distinct_contexts().to_string(),
+            format!("{}/{}", inf.ambiguous_identifiers, inf.identifiers),
+        ]);
+        eprintln!("done: {name}");
+    }
+
+    println!("\nRelated work (§7): overhead of context identification approaches\n");
+    println!("{}", table.render());
+    let path = opts.write_csv("related_work.csv", &table.to_csv());
+    println!("CSV written to {}", path.display());
+}

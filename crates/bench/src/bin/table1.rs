@@ -1,0 +1,81 @@
+//! Regenerates **Table 1** of the paper: per-benchmark characteristics of
+//! PCCE and DACCE.
+//!
+//! Columns follow the paper: call-graph nodes and edges, the maximum
+//! context id (`overflow` when PCCE's full static encoding exceeds 64
+//! bits), ccStack operation density, mean ccStack depth at samples, the
+//! number of re-encodings (`gTS`) with their total cost, and the call
+//! density ("calls/s" analog: calls per million base-work units).
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin table1 [-- --scale 1.0]
+//! ```
+
+use dacce_bench::Options;
+use dacce_metrics::{sci, Table};
+use dacce_workloads::{all_benchmarks, run_benchmark, DriverConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = DriverConfig {
+        scale: opts.scale,
+        ..DriverConfig::default()
+    };
+
+    let mut table = Table::new([
+        "benchmark",
+        "P.nodes",
+        "P.edges",
+        "P.maxID",
+        "P.cc/M",
+        "P.depth",
+        "D.nodes",
+        "D.edges",
+        "D.maxID",
+        "D.cc/M",
+        "D.depth",
+        "gTS",
+        "costs",
+        "calls/M",
+    ]);
+
+    let mut all_valid = true;
+    for spec in opts.select(all_benchmarks()) {
+        let out = run_benchmark(&spec, &cfg);
+        if !out.fully_validated() {
+            all_valid = false;
+            eprintln!(
+                "WARNING: {} failed validation: dacce {:?} pcce {:?}",
+                out.name, out.dacce_report.mismatch_examples, out.pcce_report.mismatch_examples
+            );
+        }
+        let (pcce_cc, dacce_cc) = out.ccstack_density();
+        table.row([
+            out.name.to_string(),
+            out.pcce_stats.nodes.to_string(),
+            out.pcce_stats.edges.to_string(),
+            sci(out.pcce_stats.max_num_cc, out.pcce_stats.overflowed),
+            format!("{pcce_cc:.0}"),
+            format!("{:.2}", out.pcce_stats.mean_cc_depth()),
+            out.dacce_graph.0.to_string(),
+            out.dacce_graph.1.to_string(),
+            sci(u128::from(out.dacce_stats.max_max_id), false),
+            format!("{dacce_cc:.0}"),
+            format!("{:.2}", out.dacce_stats.mean_cc_depth()),
+            out.dacce_stats.reencodes.to_string(),
+            out.dacce_stats.reencode_cost.to_string(),
+            format!("{:.0}", out.call_density()),
+        ]);
+        eprintln!("done: {}", out.name);
+    }
+
+    println!("\nTable 1: Characteristics of SPEC CPU2006 and PARSEC 2.1 analogs");
+    println!("(cc/M = ccStack ops per million work units; calls/M analog of calls/s)\n");
+    println!("{}", table.render());
+    let path = opts.write_csv("table1.csv", &table.to_csv());
+    println!("CSV written to {}", path.display());
+    if !all_valid {
+        eprintln!("NOTE: some benchmarks failed sample validation (see warnings)");
+        std::process::exit(1);
+    }
+}

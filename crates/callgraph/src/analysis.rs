@@ -1,0 +1,297 @@
+//! Graph analyses: back-edge identification, topological order, reachability.
+//!
+//! DACCE never encodes back edges (recursive calls split full call paths into
+//! acyclic sub-paths, §3.3), so every re-encoding first classifies edges with
+//! a deterministic iterative DFS and then lays out the acyclic remainder in
+//! topological order for the `numCC` computation.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::graph::CallGraph;
+use crate::ids::{EdgeId, FunctionId};
+
+/// Result of [`find_back_edges`].
+#[derive(Clone, Debug, Default)]
+pub struct BackEdgeAnalysis {
+    /// Edges classified as back edges, in discovery order.
+    pub back_edges: Vec<EdgeId>,
+    /// DFS finish order (reverse of it is a topological order of the
+    /// non-back subgraph restricted to visited nodes).
+    pub finish_order: Vec<FunctionId>,
+    /// Nodes reachable from the supplied roots.
+    pub reachable: HashSet<FunctionId>,
+}
+
+/// Classifies back edges by iterative DFS from `roots`.
+///
+/// An edge is a back edge iff its target is on the current DFS stack
+/// (including self loops). Nodes unreachable from any root are scanned
+/// afterwards in insertion order so that *every* edge gets a classification
+/// — PCCE's conservative static graphs routinely contain such nodes.
+///
+/// The traversal visits out-edges in insertion order, which makes the
+/// classification deterministic for a given graph construction order. This
+/// mirrors the paper's behaviour where the classification depends on
+/// discovery order (§6.4 discusses a hot edge of `483.xalancbmk` turning into
+/// a back edge only after a later edge discovery).
+pub fn find_back_edges(graph: &CallGraph, roots: &[FunctionId]) -> BackEdgeAnalysis {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+
+    let mut color: HashMap<FunctionId, Color> =
+        graph.nodes().iter().map(|&f| (f, Color::White)).collect();
+    let mut out = BackEdgeAnalysis::default();
+
+    // Explicit DFS frame: node + index of next outgoing edge to process.
+    let mut stack: Vec<(FunctionId, usize)> = Vec::new();
+
+    let mut start_points: Vec<FunctionId> = Vec::new();
+    for &r in roots {
+        if graph.contains_node(r) {
+            start_points.push(r);
+        }
+    }
+    start_points.extend(graph.nodes().iter().copied());
+
+    for start in start_points {
+        if color.get(&start) != Some(&Color::White) {
+            continue;
+        }
+        color.insert(start, Color::Grey);
+        stack.push((start, 0));
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let outgoing = graph.outgoing(node);
+            if *next < outgoing.len() {
+                let eid = outgoing[*next];
+                *next += 1;
+                let target = graph.edge(eid).callee;
+                match color[&target] {
+                    Color::Grey => out.back_edges.push(eid),
+                    Color::White => {
+                        color.insert(target, Color::Grey);
+                        stack.push((target, 0));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                stack.pop();
+                color.insert(node, Color::Black);
+                out.finish_order.push(node);
+            }
+        }
+    }
+
+    // Precise reachability from the given roots over all edges.
+    let mut worklist: Vec<FunctionId> = roots
+        .iter()
+        .copied()
+        .filter(|f| graph.contains_node(*f))
+        .collect();
+    for &f in &worklist {
+        out.reachable.insert(f);
+    }
+    while let Some(f) = worklist.pop() {
+        for &eid in graph.outgoing(f) {
+            let t = graph.edge(eid).callee;
+            if out.reachable.insert(t) {
+                worklist.push(t);
+            }
+        }
+    }
+
+    out
+}
+
+/// Runs [`find_back_edges`] and stores the classification in the graph's
+/// `back` flags. Returns the analysis.
+pub fn classify_back_edges(graph: &mut CallGraph, roots: &[FunctionId]) -> BackEdgeAnalysis {
+    graph.clear_back_flags();
+    let analysis = find_back_edges(graph, roots);
+    for &eid in &analysis.back_edges {
+        graph.edge_mut(eid).back = true;
+    }
+    analysis
+}
+
+/// Topological order of the non-back subgraph (callers before callees).
+///
+/// # Panics
+///
+/// Panics if the non-back subgraph still contains a cycle, which indicates
+/// that back-edge classification was skipped or the graph mutated since.
+pub fn topological_order(graph: &CallGraph) -> Vec<FunctionId> {
+    let mut indegree: HashMap<FunctionId, usize> =
+        graph.nodes().iter().map(|&f| (f, 0usize)).collect();
+    for (_, e) in graph.edges() {
+        if !e.back {
+            *indegree.get_mut(&e.callee).expect("endpoint present") += 1;
+        }
+    }
+    let mut ready: Vec<FunctionId> = graph
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|f| indegree[f] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(graph.node_count());
+    let mut head = 0;
+    while head < ready.len() {
+        let f = ready[head];
+        head += 1;
+        order.push(f);
+        for &eid in graph.outgoing(f) {
+            let e = graph.edge(eid);
+            if e.back {
+                continue;
+            }
+            let d = indegree.get_mut(&e.callee).expect("endpoint present");
+            *d -= 1;
+            if *d == 0 {
+                ready.push(e.callee);
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        graph.node_count(),
+        "non-back subgraph contains a cycle; run classify_back_edges first"
+    );
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dispatch;
+    use crate::ids::CallSiteId;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+
+    fn chain(graph: &mut CallGraph, pairs: &[(u32, u32)]) {
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            graph.add_edge(f(a), f(b), CallSiteId::new(i as u32), Dispatch::Direct);
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_back_edges() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let a = classify_back_edges(&mut g, &[f(0)]);
+        assert!(a.back_edges.is_empty());
+        assert_eq!(g.back_edge_count(), 0);
+    }
+
+    #[test]
+    fn simple_cycle_yields_one_back_edge() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 2), (2, 0)]);
+        let a = classify_back_edges(&mut g, &[f(0)]);
+        assert_eq!(a.back_edges.len(), 1);
+        // The edge closing the cycle (2 -> 0) is the back edge because DFS
+        // starts at the root 0.
+        let back = g.edge(a.back_edges[0]);
+        assert_eq!((back.caller, back.callee), (f(2), f(0)));
+    }
+
+    #[test]
+    fn self_loop_is_a_back_edge() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 1)]);
+        let a = classify_back_edges(&mut g, &[f(0)]);
+        assert_eq!(a.back_edges.len(), 1);
+        let back = g.edge(a.back_edges[0]);
+        assert_eq!((back.caller, back.callee), (f(1), f(1)));
+    }
+
+    #[test]
+    fn mutual_recursion_breaks_exactly_one_direction() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 2), (2, 1)]);
+        let a = classify_back_edges(&mut g, &[f(0)]);
+        assert_eq!(a.back_edges.len(), 1);
+        let back = g.edge(a.back_edges[0]);
+        assert_eq!((back.caller, back.callee), (f(2), f(1)));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_still_classified() {
+        let mut g = CallGraph::new();
+        // Root component 0 -> 1; detached cycle 5 <-> 6.
+        chain(&mut g, &[(0, 1), (5, 6), (6, 5)]);
+        let a = classify_back_edges(&mut g, &[f(0)]);
+        assert_eq!(a.back_edges.len(), 1);
+        assert!(a.reachable.contains(&f(1)));
+        assert!(!a.reachable.contains(&f(5)));
+        // Topological order must now succeed on the full node set.
+        let order = topological_order(&g);
+        assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        classify_back_edges(&mut g, &[f(0)]);
+        let order = topological_order(&g);
+        let pos: HashMap<FunctionId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (_, e) in g.edges() {
+            assert!(pos[&e.caller] < pos[&e.callee], "edge {e:?} violates order");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contains a cycle")]
+    fn topological_order_panics_on_unclassified_cycle() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 0)]);
+        // Deliberately skip classify_back_edges.
+        let _ = topological_order(&g);
+    }
+
+    #[test]
+    fn dfs_is_deterministic_across_runs() {
+        let build = || {
+            let mut g = CallGraph::new();
+            chain(
+                &mut g,
+                &[(0, 1), (1, 2), (2, 3), (3, 1), (0, 3), (3, 4), (4, 2)],
+            );
+            g
+        };
+        let mut g1 = build();
+        let mut g2 = build();
+        let a1 = classify_back_edges(&mut g1, &[f(0)]);
+        let a2 = classify_back_edges(&mut g2, &[f(0)]);
+        assert_eq!(a1.back_edges, a2.back_edges);
+        assert_eq!(a1.finish_order, a2.finish_order);
+    }
+
+    #[test]
+    fn reachability_covers_transitive_targets() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 2), (2, 3)]);
+        let a = find_back_edges(&g, &[f(0)]);
+        for i in 0..4 {
+            assert!(a.reachable.contains(&f(i)));
+        }
+    }
+
+    #[test]
+    fn multiple_roots_are_supported() {
+        let mut g = CallGraph::new();
+        // Two disjoint components rooted at 0 and 10 (e.g. main + thread
+        // entry).
+        chain(&mut g, &[(0, 1), (10, 11), (11, 10)]);
+        let a = classify_back_edges(&mut g, &[f(0), f(10)]);
+        assert_eq!(a.back_edges.len(), 1);
+        assert!(a.reachable.contains(&f(11)));
+    }
+}

@@ -1,0 +1,309 @@
+//! Versioned decode dictionaries (`gTimeStamp` mechanism, §4.1, Figure 6).
+//!
+//! Every adaptive re-encoding changes edge encodings, `numCC` values and
+//! `maxID`. A context id recorded *before* a re-encoding must be decoded with
+//! the dictionary that was current when it was emitted, so the runtime keeps
+//! an append-only [`DictStore`] of immutable [`DecodeDict`] snapshots indexed
+//! by [`TimeStamp`].
+
+use std::collections::HashMap;
+
+use crate::encode::Encoding;
+use crate::graph::{CallGraph, Dispatch};
+use crate::ids::{CallSiteId, FunctionId, TimeStamp};
+
+/// One edge as frozen into a decode dictionary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictEdge {
+    /// The calling function `p`.
+    pub caller: FunctionId,
+    /// The called function `n`.
+    pub callee: FunctionId,
+    /// The call site `l` inside the caller.
+    pub site: CallSiteId,
+    /// `En(e)`; `0` for back edges (which are never added to the id).
+    pub encoding: u64,
+    /// Whether this edge was a back edge under this dictionary's analysis.
+    pub back: bool,
+    /// Dispatch kind, kept for diagnostics.
+    pub dispatch: Dispatch,
+}
+
+/// An immutable snapshot of everything needed to decode ids recorded at one
+/// timestamp: edge encodings (`Edge._encoding`), context counts
+/// (`Node._numCC`) and `maxID` (Figure 6 of the paper).
+#[derive(Clone, Debug, Default)]
+pub struct DecodeDict {
+    timestamp: TimeStamp,
+    max_id: u64,
+    edges: Vec<DictEdge>,
+    incoming: HashMap<FunctionId, Vec<u32>>,
+    by_site_callee: HashMap<(CallSiteId, FunctionId), u32>,
+    num_cc: HashMap<FunctionId, u64>,
+}
+
+/// Errors building a dictionary from an encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DictError {
+    /// The encoding overflowed the 64-bit id budget and cannot drive a
+    /// runtime (PCCE must prune and re-encode first).
+    Overflow,
+}
+
+impl std::fmt::Display for DictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DictError::Overflow => write!(f, "encoding exceeds the 64-bit context id budget"),
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+impl DecodeDict {
+    /// Freezes `graph` + `encoding` into a dictionary tagged `timestamp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DictError::Overflow`] if the encoding overflowed.
+    pub fn from_encoding(
+        graph: &CallGraph,
+        encoding: &Encoding,
+        timestamp: TimeStamp,
+    ) -> Result<Self, DictError> {
+        if encoding.overflow {
+            return Err(DictError::Overflow);
+        }
+        let mut dict = DecodeDict {
+            timestamp,
+            max_id: encoding.max_id,
+            ..DecodeDict::default()
+        };
+        for (eid, e) in graph.edges() {
+            let en = if e.back {
+                0
+            } else {
+                match encoding.encoding_u64(eid) {
+                    Some(v) => v,
+                    None => return Err(DictError::Overflow),
+                }
+            };
+            let idx = dict.edges.len() as u32;
+            dict.edges.push(DictEdge {
+                caller: e.caller,
+                callee: e.callee,
+                site: e.site,
+                encoding: en,
+                back: e.back,
+                dispatch: e.dispatch,
+            });
+            dict.incoming.entry(e.callee).or_default().push(idx);
+            dict.by_site_callee.insert((e.site, e.callee), idx);
+        }
+        for (&node, &cc) in &encoding.num_cc {
+            dict.num_cc
+                .insert(node, u64::try_from(cc).map_err(|_| DictError::Overflow)?);
+        }
+        Ok(dict)
+    }
+
+    /// The timestamp this dictionary is valid for.
+    pub fn timestamp(&self) -> TimeStamp {
+        self.timestamp
+    }
+
+    /// `maxID` under this dictionary: the greatest encodable sub-path id.
+    pub fn max_id(&self) -> u64 {
+        self.max_id
+    }
+
+    /// Number of edges frozen into the dictionary.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes with a context count.
+    pub fn node_count(&self) -> usize {
+        self.num_cc.len()
+    }
+
+    /// `numCC(f)`, or `None` if `f` was not in the graph at snapshot time.
+    pub fn num_cc(&self, f: FunctionId) -> Option<u64> {
+        self.num_cc.get(&f).copied()
+    }
+
+    /// Incoming dictionary edges of `f`, in graph insertion order.
+    pub fn incoming(&self, f: FunctionId) -> impl Iterator<Item = &DictEdge> {
+        self.incoming
+            .get(&f)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i as usize])
+    }
+
+    /// The paper's `getEdge(cs, ifun)`: the edge at call site `site` whose
+    /// callee is `callee`, if it existed at snapshot time.
+    pub fn get_edge(&self, site: CallSiteId, callee: FunctionId) -> Option<&DictEdge> {
+        self.by_site_callee
+            .get(&(site, callee))
+            .map(|&i| &self.edges[i as usize])
+    }
+
+    /// All dictionary edges.
+    pub fn edges(&self) -> &[DictEdge] {
+        &self.edges
+    }
+}
+
+/// Append-only store of decode dictionaries, one per re-encoding.
+#[derive(Clone, Debug, Default)]
+pub struct DictStore {
+    dicts: Vec<DecodeDict>,
+}
+
+impl DictStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dictionary's timestamp does not equal the next store
+    /// index — timestamps and store positions must stay in lock step.
+    pub fn push(&mut self, dict: DecodeDict) {
+        assert_eq!(
+            dict.timestamp().index(),
+            self.dicts.len(),
+            "dictionary timestamp out of order"
+        );
+        self.dicts.push(dict);
+    }
+
+    /// The dictionary for `ts`, if recorded.
+    pub fn get(&self, ts: TimeStamp) -> Option<&DecodeDict> {
+        self.dicts.get(ts.index())
+    }
+
+    /// The most recent dictionary, if any.
+    pub fn latest(&self) -> Option<&DecodeDict> {
+        self.dicts.last()
+    }
+
+    /// Number of dictionaries recorded (equals the number of re-encodings).
+    pub fn len(&self) -> usize {
+        self.dicts.len()
+    }
+
+    /// True when no re-encoding has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.dicts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::classify_back_edges;
+    use crate::encode::{encode_graph, EncodeOptions};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn diamond() -> CallGraph {
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(0), f(2), s(1), Dispatch::Direct);
+        g.add_edge(f(1), f(3), s(2), Dispatch::Direct);
+        g.add_edge(f(2), f(3), s(3), Dispatch::Direct);
+        g
+    }
+
+    #[test]
+    fn snapshot_freezes_encodings() {
+        let mut g = diamond();
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let dict = DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap();
+        assert_eq!(dict.max_id(), 1);
+        assert_eq!(dict.edge_count(), 4);
+        assert_eq!(dict.node_count(), 4);
+        assert_eq!(dict.num_cc(f(3)), Some(2));
+        assert_eq!(dict.num_cc(f(9)), None);
+        let e = dict.get_edge(s(3), f(3)).unwrap();
+        assert_eq!(e.caller, f(2));
+        assert_eq!(e.encoding, 1);
+        assert!(dict.get_edge(s(3), f(1)).is_none());
+    }
+
+    #[test]
+    fn incoming_iterates_in_insertion_order() {
+        let mut g = diamond();
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let dict = DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap();
+        let callers: Vec<FunctionId> = dict.incoming(f(3)).map(|e| e.caller).collect();
+        assert_eq!(callers, vec![f(1), f(2)]);
+        assert_eq!(dict.incoming(f(0)).count(), 0);
+    }
+
+    #[test]
+    fn back_edges_are_frozen_with_zero_encoding() {
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(1), f(0), s(1), Dispatch::Direct);
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let dict = DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap();
+        let back = dict.get_edge(s(1), f(0)).unwrap();
+        assert!(back.back);
+        assert_eq!(back.encoding, 0);
+    }
+
+    #[test]
+    fn overflowed_encoding_is_rejected() {
+        let g = diamond();
+        let mut enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        enc.overflow = true;
+        assert_eq!(
+            DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap_err(),
+            DictError::Overflow
+        );
+    }
+
+    #[test]
+    fn store_enforces_timestamp_ordering() {
+        let mut g = diamond();
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let mut store = DictStore::new();
+        assert!(store.is_empty());
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::new(1)).unwrap());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(TimeStamp::ZERO).unwrap().timestamp(), TimeStamp::ZERO);
+        assert_eq!(store.latest().unwrap().timestamp(), TimeStamp::new(1));
+        assert!(store.get(TimeStamp::new(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp out of order")]
+    fn store_rejects_out_of_order_push() {
+        let mut g = diamond();
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::new(3)).unwrap());
+    }
+
+    #[test]
+    fn dict_error_displays() {
+        assert!(DictError::Overflow.to_string().contains("64-bit"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Encoded context snapshots.
+//!
+//! A sample records everything Algorithm 1 needs to decode the calling
+//! context later: the timestamp selecting the decode dictionary, the current
+//! id, the current function, the `ccStack` content, and — for child threads —
+//! the encoded context of the spawning thread at creation time (§5.3).
+
+use dacce_callgraph::{CallSiteId, FunctionId, TimeStamp};
+
+use crate::ccstack::CcEntry;
+
+/// The thread-creation link of an encoded context: the spawn call site in
+/// the parent and the parent's own encoded context at spawn time (which may
+/// itself carry a spawn link, recursively).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpawnLink {
+    /// The spawn call site in the parent thread.
+    pub site: CallSiteId,
+    /// The parent's encoded context when the thread was created.
+    pub parent: Box<EncodedContext>,
+}
+
+/// A self-contained encoded calling context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncodedContext {
+    /// Timestamp selecting the decode dictionary.
+    pub ts: TimeStamp,
+    /// The context identifier at capture time.
+    pub id: u64,
+    /// The function executing at capture time (`ifun` in Algorithm 1).
+    pub leaf: FunctionId,
+    /// The thread's root function (where decoding stops).
+    pub root: FunctionId,
+    /// `ccStack` content, bottom to top.
+    pub cc: Vec<CcEntry>,
+    /// Thread-creation context, `None` for the initial thread.
+    pub spawn: Option<SpawnLink>,
+}
+
+impl EncodedContext {
+    /// Number of ccStack entries captured (physical depth).
+    pub fn cc_depth(&self) -> usize {
+        self.cc.len()
+    }
+
+    /// Space the sample occupies, in entries, following the paper's framing
+    /// of context-logging cost: one slot for the id plus one per ccStack
+    /// entry, plus the spawn chain.
+    pub fn space(&self) -> usize {
+        1 + self.cc.len() + self.spawn.as_ref().map_or(0, |s| s.parent.space())
+    }
+
+    /// Depth of the spawn chain (0 for the initial thread).
+    pub fn spawn_depth(&self) -> usize {
+        self.spawn.as_ref().map_or(0, |s| 1 + s.parent.spawn_depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(leaf: u32) -> EncodedContext {
+        EncodedContext {
+            ts: TimeStamp::ZERO,
+            id: 0,
+            leaf: FunctionId::new(leaf),
+            root: FunctionId::new(0),
+            cc: Vec::new(),
+            spawn: None,
+        }
+    }
+
+    #[test]
+    fn space_counts_id_and_entries() {
+        let mut c = ctx(1);
+        assert_eq!(c.space(), 1);
+        c.cc.push(CcEntry {
+            id: 0,
+            site: CallSiteId::new(0),
+            target: FunctionId::new(1),
+            count: 0,
+        });
+        assert_eq!(c.space(), 2);
+        assert_eq!(c.cc_depth(), 1);
+    }
+
+    #[test]
+    fn spawn_chain_depth_and_space() {
+        let parent = ctx(1);
+        let mut child = ctx(2);
+        child.spawn = Some(SpawnLink {
+            site: CallSiteId::new(9),
+            parent: Box::new(parent),
+        });
+        assert_eq!(child.spawn_depth(), 1);
+        assert_eq!(child.space(), 2);
+        assert_eq!(ctx(0).spawn_depth(), 0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline export of decode state and collected contexts.
+//!
+//! The deployment story of the paper is *record online, decode offline*:
+//! the instrumented process only appends tiny encoded contexts to its log;
+//! the decode dictionaries are dumped once (plus once per re-encoding) and
+//! the expensive reconstruction happens in a separate analysis process.
+//! This module provides that boundary as a plain-text, line-oriented
+//! format (no external dependencies, stable across versions of this
+//! crate):
+//!
+//! ```text
+//! dacce-export v1
+//! dict <ts> <maxID>
+//! node <func> <numCC>
+//! edge <caller> <callee> <site> <encoding> <back> <dispatch>
+//! enddict
+//! owner <site> <func>
+//! sample <ts> <id> <leaf> <root> <cc-entries> | <spawn-site> <parent...>
+//! ```
+//!
+//! [`export_state`] dumps an engine's dictionaries and site-owner table;
+//! [`export_samples`] appends contexts; [`import`] parses everything back
+//! into an [`OfflineDecoder`] that can decode without the engine.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use dacce_callgraph::{
+    CallSiteId, DecodeDict, DictStore, Dispatch, FunctionId, TimeStamp,
+};
+use dacce_program::ContextPath;
+
+use crate::ccstack::CcEntry;
+use crate::context::{EncodedContext, SpawnLink};
+use crate::decode::{decode_full, DecodeError};
+use crate::engine::DacceEngine;
+
+/// Header line of the export format.
+pub const HEADER: &str = "dacce-export v1";
+
+/// Errors from [`import`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// The header line is missing or has the wrong version.
+    BadHeader,
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    BadLine(usize, String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::BadHeader => write!(f, "missing or unsupported export header"),
+            ImportError::BadLine(n, what) => write!(f, "line {n}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn dispatch_tag(d: Dispatch) -> &'static str {
+    match d {
+        Dispatch::Direct => "direct",
+        Dispatch::Indirect => "indirect",
+        Dispatch::Plt => "plt",
+        Dispatch::Spawn => "spawn",
+    }
+}
+
+fn parse_dispatch(s: &str) -> Option<Dispatch> {
+    Some(match s {
+        "direct" => Dispatch::Direct,
+        "indirect" => Dispatch::Indirect,
+        "plt" => Dispatch::Plt,
+        "spawn" => Dispatch::Spawn,
+        _ => return None,
+    })
+}
+
+/// Serialises the engine's decode dictionaries and site owners.
+pub fn export_state(engine: &DacceEngine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for ts_idx in 0..engine.dicts().len() {
+        let ts = TimeStamp::new(ts_idx as u32);
+        let dict = engine.dicts().get(ts).expect("indexed in range");
+        let _ = writeln!(out, "dict {} {}", ts.raw(), dict.max_id());
+        // Nodes: emit numCC for every function the dictionary knows.
+        let mut nodes: Vec<FunctionId> = dict
+            .edges()
+            .iter()
+            .flat_map(|e| [e.caller, e.callee])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for f in nodes {
+            if let Some(cc) = dict.num_cc(f) {
+                let _ = writeln!(out, "node {} {}", f.raw(), cc);
+            }
+        }
+        // Also cover isolated nodes (e.g. `main` before any edge).
+        for f in engine.graph().nodes() {
+            if dict.num_cc(*f).is_some() && dict.incoming(*f).next().is_none() {
+                let known = dict.edges().iter().any(|e| e.caller == *f || e.callee == *f);
+                if !known {
+                    let _ = writeln!(
+                        out,
+                        "node {} {}",
+                        f.raw(),
+                        dict.num_cc(*f).expect("checked")
+                    );
+                }
+            }
+        }
+        for e in dict.edges() {
+            let _ = writeln!(
+                out,
+                "edge {} {} {} {} {} {}",
+                e.caller.raw(),
+                e.callee.raw(),
+                e.site.raw(),
+                e.encoding,
+                u8::from(e.back),
+                dispatch_tag(e.dispatch),
+            );
+        }
+        let _ = writeln!(out, "enddict");
+    }
+    let mut owners: Vec<(&CallSiteId, &FunctionId)> = engine.site_owner_map().iter().collect();
+    owners.sort_by_key(|(s, _)| s.raw());
+    for (site, func) in owners {
+        let _ = writeln!(out, "owner {} {}", site.raw(), func.raw());
+    }
+    out
+}
+
+fn write_ctx(out: &mut String, ctx: &EncodedContext) {
+    let _ = write!(
+        out,
+        "{} {} {} {}",
+        ctx.ts.raw(),
+        ctx.id,
+        ctx.leaf.raw(),
+        ctx.root.raw()
+    );
+    for e in &ctx.cc {
+        let _ = write!(
+            out,
+            " {}:{}:{}:{}",
+            e.id,
+            e.site.raw(),
+            e.target.raw(),
+            e.count
+        );
+    }
+    if let Some(link) = &ctx.spawn {
+        let _ = write!(out, " | {} ", link.site.raw());
+        write_ctx(out, &link.parent);
+    }
+}
+
+/// Serialises collected contexts, one `sample` line each.
+pub fn export_samples<'a>(samples: impl IntoIterator<Item = &'a EncodedContext>) -> String {
+    let mut out = String::new();
+    for ctx in samples {
+        out.push_str("sample ");
+        write_ctx(&mut out, ctx);
+        out.push('\n');
+    }
+    out
+}
+
+/// Offline decoding state reassembled from an export.
+#[derive(Debug, Default)]
+pub struct OfflineDecoder {
+    dicts: DictStore,
+    owners: HashMap<CallSiteId, FunctionId>,
+    samples: Vec<EncodedContext>,
+}
+
+impl OfflineDecoder {
+    /// The imported dictionaries.
+    pub fn dicts(&self) -> &DictStore {
+        &self.dicts
+    }
+
+    /// The imported samples, in input order.
+    pub fn samples(&self) -> &[EncodedContext] {
+        &self.samples
+    }
+
+    /// Decodes one context against the imported dictionaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for contexts inconsistent with the import.
+    pub fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
+        decode_full(ctx, &self.dicts, &self.owners)
+    }
+}
+
+fn parse_ctx(
+    tokens: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
+    lineno: usize,
+) -> Result<EncodedContext, ImportError> {
+    let mut next_num = |what: &str| -> Result<u64, ImportError> {
+        tokens
+            .next()
+            .ok_or_else(|| ImportError::BadLine(lineno, format!("missing {what}")))?
+            .parse::<u64>()
+            .map_err(|_| ImportError::BadLine(lineno, format!("bad {what}")))
+    };
+    let ts = TimeStamp::new(next_num("ts")? as u32);
+    let id = next_num("id")?;
+    let leaf = FunctionId::new(next_num("leaf")? as u32);
+    let root = FunctionId::new(next_num("root")? as u32);
+    let mut cc = Vec::new();
+    let mut spawn = None;
+    while let Some(&tok) = tokens.peek() {
+        if tok == "|" {
+            tokens.next();
+            let site = CallSiteId::new(
+                tokens
+                    .next()
+                    .ok_or_else(|| ImportError::BadLine(lineno, "missing spawn site".into()))?
+                    .parse::<u32>()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad spawn site".into()))?,
+            );
+            let parent = parse_ctx(tokens, lineno)?;
+            spawn = Some(SpawnLink {
+                site,
+                parent: Box::new(parent),
+            });
+            break;
+        }
+        let tok = tokens.next().expect("peeked");
+        let parts: Vec<&str> = tok.split(':').collect();
+        if parts.len() != 4 {
+            return Err(ImportError::BadLine(lineno, format!("bad cc entry {tok}")));
+        }
+        let nums: Result<Vec<u64>, _> = parts.iter().map(|p| p.parse::<u64>()).collect();
+        let nums = nums.map_err(|_| ImportError::BadLine(lineno, format!("bad cc entry {tok}")))?;
+        cc.push(CcEntry {
+            id: nums[0],
+            site: CallSiteId::new(nums[1] as u32),
+            target: FunctionId::new(nums[2] as u32),
+            count: nums[3],
+        });
+    }
+    Ok(EncodedContext {
+        ts,
+        id,
+        leaf,
+        root,
+        cc,
+        spawn,
+    })
+}
+
+/// Parses an export (state and/or samples, in any order after the header).
+///
+/// # Errors
+///
+/// Returns [`ImportError`] on malformed input.
+pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(ImportError::BadHeader),
+    }
+
+    let mut out = OfflineDecoder::default();
+    // Dictionary assembly state: timestamp, maxID, graph, numCC table, and
+    // the edge encodings in insertion order.
+    type DictState = (
+        TimeStamp,
+        u64,
+        dacce_callgraph::CallGraph,
+        HashMap<FunctionId, u128>,
+        Vec<u64>,
+    );
+    let mut current: Option<DictState> = None;
+
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace().peekable();
+        let kind = tokens.next().expect("non-empty line");
+        match kind {
+            "dict" => {
+                let ts: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad dict ts".into()))?;
+                let max_id: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad dict maxID".into()))?;
+                current = Some((
+                    TimeStamp::new(ts),
+                    max_id,
+                    dacce_callgraph::CallGraph::new(),
+                    HashMap::new(),
+                    Vec::new(),
+                ));
+            }
+            "node" => {
+                let (_, _, graph, num_cc, _) = current
+                    .as_mut()
+                    .ok_or_else(|| ImportError::BadLine(lineno, "node outside dict".into()))?;
+                let f: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad node".into()))?;
+                let cc: u128 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad numCC".into()))?;
+                graph.ensure_node(FunctionId::new(f));
+                num_cc.insert(FunctionId::new(f), cc);
+            }
+            "edge" => {
+                let (_, _, graph, _, encodings) = current
+                    .as_mut()
+                    .ok_or_else(|| ImportError::BadLine(lineno, "edge outside dict".into()))?;
+                let nums: Vec<&str> = tokens.by_ref().collect();
+                if nums.len() != 6 {
+                    return Err(ImportError::BadLine(lineno, "edge needs 6 fields".into()));
+                }
+                let caller: u32 = nums[0]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad caller".into()))?;
+                let callee: u32 = nums[1]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad callee".into()))?;
+                let site: u32 = nums[2]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad site".into()))?;
+                let _encoding: u64 = nums[3]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad encoding".into()))?;
+                let back = nums[4] == "1";
+                let dispatch = parse_dispatch(nums[5])
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad dispatch".into()))?;
+                let (eid, _) = graph.add_edge(
+                    FunctionId::new(caller),
+                    FunctionId::new(callee),
+                    CallSiteId::new(site),
+                    dispatch,
+                );
+                graph.edge_mut(eid).back = back;
+                encodings.push(_encoding);
+            }
+            "enddict" => {
+                let (ts, max_id, graph, num_cc, encodings) = current
+                    .take()
+                    .ok_or_else(|| ImportError::BadLine(lineno, "enddict without dict".into()))?;
+                let mut enc = dacce_callgraph::encode::Encoding {
+                    max_id,
+                    overflow: false,
+                    num_cc,
+                    edge_encoding: HashMap::new(),
+                };
+                for (i, (eid, e)) in graph.edges().enumerate() {
+                    if !e.back {
+                        enc.edge_encoding
+                            .insert(eid, u128::from(encodings[i]));
+                    }
+                }
+                let dict = DecodeDict::from_encoding(&graph, &enc, ts)
+                    .map_err(|e| ImportError::BadLine(lineno, e.to_string()))?;
+                out.dicts.push(dict);
+            }
+            "owner" => {
+                let site: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad owner site".into()))?;
+                let func: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad owner func".into()))?;
+                out.owners
+                    .insert(CallSiteId::new(site), FunctionId::new(func));
+            }
+            "sample" => {
+                out.samples.push(parse_ctx(&mut tokens, lineno)?);
+            }
+            other => {
+                return Err(ImportError::BadLine(lineno, format!("unknown record {other}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DacceConfig;
+    use dacce_program::runtime::CallDispatch;
+    use dacce_program::{CostModel, ThreadId};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn engine_with_history() -> DacceEngine {
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            keep_sample_log: true,
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.sample(ThreadId::MAIN);
+        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.sample(ThreadId::MAIN);
+        let _ = e.call(ThreadId::MAIN, s(2), f(2), f(2), CallDispatch::Direct, false);
+        let _ = e.sample(ThreadId::MAIN);
+        e
+    }
+
+    #[test]
+    fn export_import_roundtrip_decodes_identically() {
+        let e = engine_with_history();
+        let text = format!(
+            "{}{}",
+            export_state(&e),
+            export_samples(e.sample_log().iter())
+        );
+        let offline = import(&text).expect("imports");
+        assert_eq!(offline.dicts().len(), e.dicts().len());
+        assert_eq!(offline.samples().len(), e.sample_log().len());
+        for (orig, imported) in e.sample_log().iter().zip(offline.samples()) {
+            assert_eq!(orig, imported, "sample round-trips structurally");
+            let a = e.decode(orig).expect("engine decodes");
+            let b = offline.decode(imported).expect("offline decodes");
+            assert_eq!(a, b, "offline decode matches engine decode");
+        }
+    }
+
+    #[test]
+    fn spawned_contexts_roundtrip() {
+        let mut e = engine_with_history();
+        e.thread_start(ThreadId::new(7), f(9), Some((ThreadId::MAIN, s(5))));
+        let _ = e.call(ThreadId::new(7), s(6), f(9), f(1), CallDispatch::Direct, false);
+        let (snap, _) = e.sample(ThreadId::new(7));
+        assert!(snap.spawn.is_some());
+        let text = format!("{}{}", export_state(&e), export_samples([&snap]));
+        let offline = import(&text).expect("imports");
+        let a = e.decode(&snap).expect("engine decodes");
+        let b = offline.decode(&offline.samples()[0]).expect("offline decodes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_rejects_bad_header() {
+        assert_eq!(import("nope\n").unwrap_err(), ImportError::BadHeader);
+        assert_eq!(import("").unwrap_err(), ImportError::BadHeader);
+    }
+
+    #[test]
+    fn import_reports_line_numbers() {
+        let text = format!("{HEADER}\nbogus record\n");
+        match import(&text).unwrap_err() {
+            ImportError::BadLine(n, what) => {
+                assert_eq!(n, 2);
+                assert!(what.contains("bogus"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_rejects_records_outside_dict() {
+        let text = format!("{HEADER}\nnode 1 1\n");
+        assert!(matches!(
+            import(&text).unwrap_err(),
+            ImportError::BadLine(2, _)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ImportError::BadLine(3, "bad callee".into());
+        assert!(e.to_string().contains("line 3"));
+        assert!(ImportError::BadHeader.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Engine statistics backing Table 1 and Figures 9/10 of the paper.
+
+/// One point of the Figure 9 time series: graph size and `maxID` right
+/// after a re-encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressPoint {
+    /// Call events executed when the snapshot was taken.
+    pub calls: u64,
+    /// Encoded nodes.
+    pub nodes: usize,
+    /// Encoded edges.
+    pub edges: usize,
+    /// `maxID` of the new encoding.
+    pub max_id: u64,
+}
+
+/// Counters accumulated by the DACCE engine over one run.
+#[derive(Clone, Debug, Default)]
+pub struct DacceStats {
+    /// Dynamic call events processed.
+    pub calls: u64,
+    /// Runtime-handler traps (first invocations).
+    pub traps: u64,
+    /// Re-encoding processes triggered (`gTS` column of Table 1).
+    pub reencodes: u64,
+    /// Total cost units spent re-encoding (`costs` column of Table 1).
+    pub reencode_cost: u64,
+    /// ccStack operations across all threads (`ccStack/s` numerator).
+    pub ccstack_ops: u64,
+    /// `TcStack` operations across all threads.
+    pub tcstack_ops: u64,
+    /// Samples recorded.
+    pub samples: u64,
+    /// ccStack depth observed at each sample (Figure 10 raw data).
+    pub cc_depths: Vec<u32>,
+    /// Figure 9 time series (one point per re-encode, plus the initial one).
+    pub progress: Vec<ProgressPoint>,
+    /// Largest `maxID` over all encodings of the run (Table 1's MaxID).
+    pub max_max_id: u64,
+    /// Compressed-recursion hits (top-entry counter increments).
+    pub compress_hits: u64,
+    /// Indirect chains converted to hash tables (§3.2, Figure 4).
+    pub hash_conversions: u64,
+    /// Samples whose decode failed (must stay 0; anything else is a bug).
+    pub decode_errors: u64,
+    /// Main-loop restarts that found a dirty encoding state (only possible
+    /// with broken-tail-call ablation; must stay 0 otherwise).
+    pub unbalanced_resets: u64,
+    /// Re-encoding aborted because the encoding would overflow 64 bits.
+    pub overflow_aborts: u64,
+}
+
+impl DacceStats {
+    /// Mean ccStack depth over all samples (Table 1's `depth` column).
+    pub fn mean_cc_depth(&self) -> f64 {
+        if self.cc_depths.is_empty() {
+            return 0.0;
+        }
+        self.cc_depths.iter().map(|&d| d as f64).sum::<f64>() / self.cc_depths.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cc_depth_of_no_samples_is_zero() {
+        assert_eq!(DacceStats::default().mean_cc_depth(), 0.0);
+    }
+
+    #[test]
+    fn mean_cc_depth_averages() {
+        let mut s = DacceStats::default();
+        s.cc_depths = vec![0, 2, 4];
+        assert!((s.mean_cc_depth() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-thread encoding state.
+//!
+//! Each thread owns its context identifier and `ccStack` (allocated in TLS
+//! in the paper's prototype, §5.3). Additionally the engine keeps a *shadow
+//! stack* mirroring the thread's physical frames; it stands in for the
+//! machine-stack access a DBI runtime handler has (return-address rewriting
+//! at re-encoding, retroactive `TcStack` fix-up when the first tail call of
+//! a function traps — see `DESIGN.md`). Only operations on frames whose
+//! `wrapped` flag is set are charged as `TcStack` cost; the rest of the
+//! shadow is free bookkeeping that real instrumentation keeps on the machine
+//! stack itself.
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+use crate::ccstack::CcStack;
+use crate::context::SpawnLink;
+
+/// One shadow frame: a physical, still-active call.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowFrame {
+    /// The call site that created the frame.
+    pub site: CallSiteId,
+    /// The target invoked at call time (stays the original even if tail
+    /// calls later replaced the physical frame's function).
+    pub callee: FunctionId,
+    /// `id` before the site's before-call instrumentation ran.
+    pub saved_id: u64,
+    /// `ccStack` depth before the site's before-call instrumentation ran.
+    pub saved_cc_len: usize,
+    /// Repetition count of the `ccStack` top entry before the call. A
+    /// compressed push increments the top's counter without changing the
+    /// stack length, so the `TcStack` absolute restore must reinstate the
+    /// count as well as the length (§3.3 meets §5.2).
+    pub saved_top_count: u64,
+    /// Whether the site's `TcStack` save executed for this frame (§5.2).
+    pub wrapped: bool,
+}
+
+/// The complete encoding state of one thread.
+#[derive(Clone, Debug)]
+pub struct ThreadCtx {
+    /// The context identifier (`id`).
+    pub id: u64,
+    /// The encoding-context stack.
+    pub cc: CcStack,
+    /// The function currently executing (tracked from call/return events;
+    /// a real runtime reads it off the PC).
+    pub current: FunctionId,
+    /// The thread's root function.
+    pub root: FunctionId,
+    /// Shadow of the physical frames, oldest first.
+    pub shadow: Vec<ShadowFrame>,
+    /// Thread-creation context (§5.3), `None` for the initial thread.
+    pub spawn: Option<SpawnLink>,
+    /// `TcStack` save/restore operations performed.
+    pub tc_ops: u64,
+}
+
+impl ThreadCtx {
+    /// Fresh state for a thread rooted at `root`.
+    pub fn new(root: FunctionId, spawn: Option<SpawnLink>) -> Self {
+        ThreadCtx {
+            id: 0,
+            cc: CcStack::new(),
+            current: root,
+            root,
+            shadow: Vec::with_capacity(64),
+            spawn,
+            tc_ops: 0,
+        }
+    }
+
+    /// True when the encoding state is back at its initial value — the
+    /// invariant after a fully unwound (balanced) execution.
+    pub fn is_clean(&self) -> bool {
+        self.id == 0 && self.cc.is_empty() && self.shadow.is_empty()
+    }
+
+    /// Resets to the initial state (main-loop restart).
+    pub fn reset(&mut self) {
+        self.id = 0;
+        self.cc.clear();
+        self.shadow.clear();
+        self.current = self.root;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+
+    #[test]
+    fn new_thread_is_clean() {
+        let ctx = ThreadCtx::new(f(3), None);
+        assert!(ctx.is_clean());
+        assert_eq!(ctx.current, f(3));
+        assert_eq!(ctx.root, f(3));
+    }
+
+    #[test]
+    fn dirty_state_detected_and_reset() {
+        let mut ctx = ThreadCtx::new(f(0), None);
+        ctx.id = 5;
+        ctx.current = f(2);
+        ctx.shadow.push(ShadowFrame {
+            site: CallSiteId::new(1),
+            callee: f(2),
+            saved_id: 0,
+            saved_cc_len: 0,
+            saved_top_count: 0,
+            wrapped: false,
+        });
+        assert!(!ctx.is_clean());
+        ctx.reset();
+        assert!(ctx.is_clean());
+        assert_eq!(ctx.current, f(0));
+    }
+}

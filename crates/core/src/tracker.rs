@@ -1,0 +1,426 @@
+//! Embeddable calling-context tracker for real Rust programs.
+//!
+//! The paper ships DACCE as a preloadable shared library that instruments
+//! binaries. The equivalent for a Rust library is an explicit API: the
+//! application declares its functions and call sites once, registers each
+//! thread, and brackets instrumented calls with RAII guards. The engine
+//! underneath is exactly the one the evaluation uses — dynamic call-graph
+//! discovery, adaptive re-encoding, versioned decoding.
+//!
+//! ```
+//! use dacce::tracker::Tracker;
+//!
+//! let tracker = Tracker::new();
+//! let main_fn = tracker.define_function("main");
+//! let handler = tracker.define_function("handle_request");
+//! let site = tracker.define_call_site();
+//!
+//! let thread = tracker.register_thread(main_fn);
+//! let _guard = thread.call(site, handler);
+//! let ctx = thread.sample();
+//! assert_eq!(tracker.format_path(&tracker.decode(&ctx)?), "main -> handle_request");
+//! # Ok::<(), dacce::DecodeError>(())
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{ContextPath, CostModel, ThreadId};
+
+use crate::config::DacceConfig;
+use crate::context::EncodedContext;
+use crate::decode::DecodeError;
+use crate::engine::DacceEngine;
+use crate::stats::DacceStats;
+
+#[derive(Debug)]
+struct TrackerInner {
+    engine: Mutex<DacceEngine>,
+    names: Mutex<Vec<String>>,
+    next_fn: AtomicU32,
+    next_site: AtomicU32,
+    next_tid: AtomicU32,
+    attached: AtomicU32,
+}
+
+/// A process-wide calling-context tracker. Cheap to clone handles out of;
+/// all state lives behind one lock (contexts are per-thread, but the call
+/// graph and patch states are shared, as in the paper's prototype).
+#[derive(Clone, Debug)]
+pub struct Tracker {
+    inner: Arc<TrackerInner>,
+}
+
+impl Default for Tracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracker {
+    /// A tracker with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DacceConfig::default())
+    }
+
+    /// A tracker with explicit engine configuration.
+    pub fn with_config(config: DacceConfig) -> Self {
+        Tracker {
+            inner: Arc::new(TrackerInner {
+                engine: Mutex::new(DacceEngine::new(config, CostModel::default())),
+                names: Mutex::new(Vec::new()),
+                next_fn: AtomicU32::new(0),
+                next_site: AtomicU32::new(0),
+                next_tid: AtomicU32::new(0),
+                attached: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// Declares a function and returns its id.
+    pub fn define_function(&self, name: &str) -> FunctionId {
+        let id = FunctionId::new(self.inner.next_fn.fetch_add(1, Ordering::Relaxed));
+        self.inner.names.lock().push(name.to_string());
+        id
+    }
+
+    /// Allocates a call-site id. Call once per static call location.
+    pub fn define_call_site(&self) -> CallSiteId {
+        CallSiteId::new(self.inner.next_site.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Registers the current thread with its root function. The first
+    /// registered thread initialises the engine (its root plays `main`).
+    pub fn register_thread(&self, root: FunctionId) -> ThreadHandle {
+        self.register(root, None)
+    }
+
+    /// Registers a thread spawned by `parent` at `spawn_site`; the child's
+    /// decoded contexts are prefixed with the parent's creation context.
+    pub fn register_spawned_thread(
+        &self,
+        root: FunctionId,
+        parent: &ThreadHandle,
+        spawn_site: CallSiteId,
+    ) -> ThreadHandle {
+        self.register(root, Some((parent.tid, spawn_site)))
+    }
+
+    fn register(&self, root: FunctionId, parent: Option<(ThreadId, CallSiteId)>) -> ThreadHandle {
+        let tid = ThreadId::new(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
+        let mut engine = self.inner.engine.lock();
+        if self.inner.attached.fetch_add(1, Ordering::Relaxed) == 0 {
+            engine.attach_main(root);
+        }
+        engine.thread_start(tid, root, parent);
+        ThreadHandle {
+            tracker: self.inner.clone(),
+            tid,
+        }
+    }
+
+    /// Decodes an encoded context captured by [`ThreadHandle::sample`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the context is inconsistent with the
+    /// recorded dictionaries (indicates misuse such as unbalanced guards).
+    pub fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
+        self.inner.engine.lock().decode(ctx)
+    }
+
+    /// Renders a decoded path as `main -> f -> g` using the declared names.
+    pub fn format_path(&self, path: &ContextPath) -> String {
+        let names = self.inner.names.lock();
+        path.0
+            .iter()
+            .map(|s| {
+                names
+                    .get(s.func.index())
+                    .cloned()
+                    .unwrap_or_else(|| format!("{}", s.func))
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> DacceStats {
+        self.inner.engine.lock().stats()
+    }
+
+    /// Runs `f` with the engine locked — introspection for tests, debug
+    /// dumps and offline export (`dacce::export::export_state`).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&DacceEngine) -> R) -> R {
+        f(&self.inner.engine.lock())
+    }
+}
+
+/// Per-thread handle; create one per OS thread via
+/// [`Tracker::register_thread`].
+#[derive(Debug)]
+pub struct ThreadHandle {
+    tracker: Arc<TrackerInner>,
+    tid: ThreadId,
+}
+
+impl ThreadHandle {
+    /// The thread id assigned by the tracker.
+    pub fn id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Enters an instrumented direct call; the returned guard leaves it on
+    /// drop. Guards must nest like the calls they bracket — drop them in
+    /// reverse acquisition order. Beware `Vec<CallGuard>`: a vector drops
+    /// its elements front-to-back, unwinding the *outermost* call first and
+    /// corrupting the encoding; pop and drop instead.
+    pub fn call(&self, site: CallSiteId, target: FunctionId) -> CallGuard<'_> {
+        self.enter(site, target, CallDispatch::Direct)
+    }
+
+    /// Enters an instrumented indirect call (function pointer, vtable).
+    pub fn call_indirect(&self, site: CallSiteId, target: FunctionId) -> CallGuard<'_> {
+        self.enter(site, target, CallDispatch::Indirect)
+    }
+
+    fn enter(&self, site: CallSiteId, target: FunctionId, dispatch: CallDispatch) -> CallGuard<'_> {
+        let mut engine = self.tracker.engine.lock();
+        let caller = engine
+            .snapshot(self.tid)
+            .leaf;
+        let _ = engine.call(self.tid, site, caller, target, dispatch, false);
+        CallGuard {
+            handle: self,
+            site,
+            caller,
+            callee: target,
+        }
+    }
+
+    /// Captures the thread's current encoded context (cheap; decode later).
+    pub fn sample(&self) -> EncodedContext {
+        self.tracker.engine.lock().sample(self.tid).0
+    }
+
+    /// Captures the current context as a migratable *task origin* (§5.3,
+    /// "work migration"): hand the returned [`TaskContext`] to whatever
+    /// executor thread will run the work and have it call
+    /// [`ThreadHandle::adopt`].
+    pub fn capture_task(&self, handoff_site: CallSiteId) -> TaskContext {
+        let engine = self.tracker.engine.lock();
+        TaskContext {
+            site: handoff_site,
+            origin: engine.snapshot(self.tid),
+        }
+    }
+
+    /// Adopts a migrated task's origin context for the duration of the
+    /// returned guard: samples taken while it is alive decode to
+    /// `origin -> (handoff site) -> this thread's frames`. Nest adoptions
+    /// like calls; the guard restores the previous creation link on drop.
+    pub fn adopt(&self, task: &TaskContext) -> AdoptGuard<'_> {
+        let mut engine = self.tracker.engine.lock();
+        let previous = engine.adopt_spawn(
+            self.tid,
+            Some(crate::context::SpawnLink {
+                site: task.site,
+                parent: Box::new(task.origin.clone()),
+            }),
+        );
+        AdoptGuard {
+            handle: self,
+            previous: Some(previous),
+        }
+    }
+}
+
+/// A calling context captured for work migration: the origin context plus
+/// the hand-off call site. Cheap to clone and `Send` — attach one to every
+/// queued task.
+#[derive(Clone, Debug)]
+pub struct TaskContext {
+    site: CallSiteId,
+    origin: EncodedContext,
+}
+
+impl TaskContext {
+    /// The captured origin context.
+    pub fn origin(&self) -> &EncodedContext {
+        &self.origin
+    }
+}
+
+/// RAII guard for an adopted task context; restores the thread's previous
+/// creation link on drop.
+#[derive(Debug)]
+pub struct AdoptGuard<'t> {
+    handle: &'t ThreadHandle,
+    previous: Option<Option<crate::context::SpawnLink>>,
+}
+
+impl Drop for AdoptGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.previous.take() {
+            let mut engine = self.handle.tracker.engine.lock();
+            let _ = engine.adopt_spawn(self.handle.tid, prev);
+        }
+    }
+}
+
+/// RAII guard for one instrumented call.
+#[derive(Debug)]
+pub struct CallGuard<'t> {
+    handle: &'t ThreadHandle,
+    site: CallSiteId,
+    caller: FunctionId,
+    callee: FunctionId,
+}
+
+impl Drop for CallGuard<'_> {
+    fn drop(&mut self) {
+        let mut engine = self.handle.tracker.engine.lock();
+        let _ = engine.ret(self.handle.tid, self.site, self.caller, self.callee);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_guards_track_the_stack() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let g = tracker.define_function("g");
+        let s1 = tracker.define_call_site();
+        let s2 = tracker.define_call_site();
+
+        let th = tracker.register_thread(main_fn);
+        {
+            let _a = th.call(s1, f);
+            {
+                let _b = th.call(s2, g);
+                let ctx = th.sample();
+                let path = tracker.decode(&ctx).unwrap();
+                assert_eq!(tracker.format_path(&path), "main -> f -> g");
+            }
+            let ctx = th.sample();
+            assert_eq!(tracker.format_path(&tracker.decode(&ctx).unwrap()), "main -> f");
+        }
+        let ctx = th.sample();
+        assert_eq!(tracker.format_path(&tracker.decode(&ctx).unwrap()), "main");
+        assert_eq!(ctx.id, 0);
+    }
+
+    #[test]
+    fn recursion_through_guards_decodes() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let rec = tracker.define_function("rec");
+        // One site lives in one function: the entry call site is in main,
+        // the recursive site is in rec.
+        let entry_site = tracker.define_call_site();
+        let rec_site = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+
+        fn go(th: &ThreadHandle, tracker: &Tracker, s: CallSiteId, rec: FunctionId, depth: u32) {
+            let _g = th.call(s, rec);
+            if depth > 0 {
+                go(th, tracker, s, rec, depth - 1);
+            } else {
+                let path = tracker.decode(&th.sample()).unwrap();
+                assert_eq!(path.depth(), 7); // main + 6 rec frames
+            }
+        }
+        let _entry = th.call(entry_site, rec);
+        go(&th, &tracker, rec_site, rec, 4);
+    }
+
+    #[test]
+    fn real_threads_with_spawn_contexts() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let worker_fn = tracker.define_function("worker");
+        let job = tracker.define_function("job");
+        let dispatch = tracker.define_call_site();
+        let spawn_site = tracker.define_call_site();
+        let job_site = tracker.define_call_site();
+
+        let main_th = tracker.register_thread(main_fn);
+        let _in_dispatch = main_th.call(dispatch, worker_fn);
+
+        crossbeam::scope(|scope| {
+            let t = &tracker;
+            let main_th = &main_th;
+            scope.spawn(move |_| {
+                let th = t.register_spawned_thread(worker_fn, main_th, spawn_site);
+                let _g = th.call(job_site, job);
+                let path = t.decode(&th.sample()).unwrap();
+                // Full context crosses the thread boundary.
+                assert_eq!(t.format_path(&path), "main -> worker -> worker -> job");
+            });
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn adopted_tasks_carry_their_origin() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let producer = tracker.define_function("producer");
+        let worker_fn = tracker.define_function("worker");
+        let body = tracker.define_function("body");
+        let s_prod = tracker.define_call_site();
+        let s_handoff = tracker.define_call_site();
+        let s_spawn = tracker.define_call_site();
+        let s_body = tracker.define_call_site();
+
+        let main_th = tracker.register_thread(main_fn);
+        let task = {
+            let _g = main_th.call(s_prod, producer);
+            main_th.capture_task(s_handoff)
+        };
+        let worker = tracker.register_spawned_thread(worker_fn, &main_th, s_spawn);
+        // Without adoption: attributed to the worker's own spawn chain.
+        {
+            let _g = worker.call(s_body, body);
+            let p = tracker.decode(&worker.sample()).unwrap();
+            assert_eq!(tracker.format_path(&p), "main -> worker -> body");
+        }
+        // With adoption: attributed to the producer context.
+        {
+            let _adopt = worker.adopt(&task);
+            let _g = worker.call(s_body, body);
+            let p = tracker.decode(&worker.sample()).unwrap();
+            assert_eq!(
+                tracker.format_path(&p),
+                "main -> producer -> worker -> body"
+            );
+            assert_eq!(task.origin().leaf, producer);
+        }
+        // Guard dropped: back to the spawn chain.
+        let p = tracker.decode(&worker.sample()).unwrap();
+        assert_eq!(tracker.format_path(&p), "main -> worker");
+    }
+
+    #[test]
+    fn stats_are_reachable() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let s = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        for _ in 0..50 {
+            let _g = th.call(s, f);
+        }
+        let stats = tracker.stats();
+        assert_eq!(stats.traps, 1);
+        assert!(stats.calls >= 50);
+    }
+}

@@ -1,0 +1,203 @@
+//! Engine self-checks.
+//!
+//! [`DacceEngine::check_invariants`] audits the internal consistency of the
+//! engine at a safe point (between events). It is deliberately exhaustive
+//! and O(state size) — meant for tests, debugging sessions and the
+//! randomized differential harness, not for the hot path.
+
+use crate::decode::decode_thread;
+use crate::engine::DacceEngine;
+use crate::patch::SitePatch;
+
+impl DacceEngine {
+    /// Checks every internal invariant; returns a description of the first
+    /// violation.
+    ///
+    /// Invariants checked:
+    ///
+    /// 1. one decode dictionary per timestamp, in lock step with
+    ///    `gTimeStamp`;
+    /// 2. the latest dictionary's `maxID` equals the live `maxID`;
+    /// 3. every graph edge's site has a patch state and a recorded owner
+    ///    function equal to the edge's caller;
+    /// 4. per thread: the shadow stack is monotone (saved ccStack lengths
+    ///    never exceed the current depth and never decrease upward), and
+    ///    the thread's current context decodes to a path rooted at the
+    ///    thread root and ending at its current function;
+    /// 5. the id of every thread is within the encodable range
+    ///    `[0, 2*maxID + 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // 1 & 2: dictionaries.
+        if self.dicts().len() != self.timestamp().index() + 1 {
+            return Err(format!(
+                "dictionary count {} out of step with timestamp {}",
+                self.dicts().len(),
+                self.timestamp()
+            ));
+        }
+        let latest = self
+            .dicts()
+            .latest()
+            .ok_or_else(|| "no dictionary recorded".to_string())?;
+        if latest.max_id() != self.max_id() {
+            return Err(format!(
+                "latest dictionary maxID {} != live maxID {}",
+                latest.max_id(),
+                self.max_id()
+            ));
+        }
+
+        // 3: graph edges vs patch states and owners.
+        for (_, e) in self.graph.edges() {
+            let state = self
+                .sites
+                .get(&e.site)
+                .ok_or_else(|| format!("edge {e:?} has no site state"))?;
+            if matches!(state.patch, SitePatch::Trap) {
+                return Err(format!("executed site {} still patched as trap", e.site));
+            }
+            match self.site_owner.get(&e.site) {
+                Some(&owner) if owner == e.caller => {}
+                Some(&owner) => {
+                    return Err(format!(
+                        "site {} owner {owner} disagrees with edge caller {}",
+                        e.site, e.caller
+                    ))
+                }
+                None => return Err(format!("site {} has no recorded owner", e.site)),
+            }
+        }
+
+        // 4 & 5: per-thread state.
+        let budget = 2u128 * u128::from(self.max_id()) + 1;
+        for (tid, ctx) in &self.threads {
+            if u128::from(ctx.id) > budget {
+                return Err(format!(
+                    "{tid}: id {} outside encodable range [0, {budget}]",
+                    ctx.id
+                ));
+            }
+            let mut prev = 0usize;
+            for frame in &ctx.shadow {
+                if frame.saved_cc_len > ctx.cc.depth() {
+                    return Err(format!(
+                        "{tid}: shadow frame saved ccStack length {} exceeds depth {}",
+                        frame.saved_cc_len,
+                        ctx.cc.depth()
+                    ));
+                }
+                if frame.saved_cc_len < prev {
+                    return Err(format!("{tid}: shadow saved ccStack lengths not monotone"));
+                }
+                prev = frame.saved_cc_len;
+            }
+            let path = decode_thread(
+                latest,
+                ctx.id,
+                ctx.current,
+                ctx.root,
+                ctx.cc.entries(),
+                &self.site_owner,
+            )
+            .map_err(|e| format!("{tid}: live context does not decode: {e}"))?;
+            match (path.0.first(), path.0.last()) {
+                (Some(first), Some(last)) => {
+                    if first.func != ctx.root {
+                        return Err(format!(
+                            "{tid}: decoded root {} != thread root {}",
+                            first.func, ctx.root
+                        ));
+                    }
+                    if last.func != ctx.current {
+                        return Err(format!(
+                            "{tid}: decoded leaf {} != current {}",
+                            last.func, ctx.current
+                        ));
+                    }
+                }
+                _ => return Err(format!("{tid}: decoded empty path")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DacceConfig;
+    use dacce_callgraph::{CallSiteId, FunctionId};
+    use dacce_program::runtime::CallDispatch;
+    use dacce_program::{CostModel, ThreadId};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    #[test]
+    fn fresh_engine_passes() {
+        let mut e = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_across_calls_and_reencodes() {
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        for round in 0..5u32 {
+            for i in 0..4u32 {
+                let caller = if i == 0 { f(0) } else { f(i) };
+                let _ = e.call(
+                    ThreadId::MAIN,
+                    s(round * 4 + i),
+                    caller,
+                    f(i + 1),
+                    CallDispatch::Direct,
+                    false,
+                );
+                e.check_invariants().unwrap();
+            }
+            for i in (0..4u32).rev() {
+                let caller = if i == 0 { f(0) } else { f(i) };
+                let _ = e.ret(ThreadId::MAIN, s(round * 4 + i), caller, f(i + 1));
+                e.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_id_is_detected() {
+        let mut e = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        // Reach in and corrupt the thread id beyond the encodable range.
+        e.threads.get_mut(&ThreadId::MAIN).unwrap().id = u64::MAX;
+        let err = e.check_invariants().unwrap_err();
+        assert!(err.contains("outside encodable range"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_current_function_is_detected() {
+        let mut e = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        e.threads.get_mut(&ThreadId::MAIN).unwrap().current = f(7);
+        let err = e.check_invariants().unwrap_err();
+        assert!(err.contains("does not decode") || err.contains("decoded"), "{err}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Randomized differential test: the engine against a simple truth stack.
+//!
+//! Drives the engine with random call/return sequences over a small
+//! function universe — direct, indirect, recursive and *tail* calls — and,
+//! after every event, decodes the live context and compares it with a
+//! directly maintained truth stack. Any divergence prints the event log
+//! tail. This harness has caught real bugs (compressed-repetition
+//! expansion; the TcStack/compression count interaction), so keep its
+//! universe gnarly.
+
+use dacce::{DacceConfig, DacceEngine};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{CostModel, ThreadId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn f(i: u32) -> FunctionId {
+    FunctionId::new(i)
+}
+fn s(i: u32) -> CallSiteId {
+    CallSiteId::new(i)
+}
+
+/// One possible call op: `(site, targets, indirect, tail)`.
+type OpDef = (u32, &'static [u32], bool, bool);
+
+/// Static universe: function -> its call ops. Site owners are fixed, as in
+/// a real binary. f1 self-recurses and tail-calls f3; f3 indirect-tail-calls
+/// back into f1/f2 (a tail cycle); f2 re-enters f0 (recursion through main).
+fn universe() -> Vec<Vec<OpDef>> {
+    vec![
+        /* f0 */
+        vec![
+            (0, &[1], false, false),
+            (1, &[2], false, false),
+            (2, &[1, 2, 3], true, false),
+        ],
+        /* f1 */
+        vec![
+            (3, &[3], false, false),
+            (4, &[1], false, false),
+            (7, &[3], false, true),
+        ],
+        /* f2 */ vec![(5, &[1], false, false), (6, &[0], false, false)],
+        /* f3 */ vec![(8, &[1, 2], true, true)],
+    ]
+}
+
+/// Truth frame: `(site, func, is_tail)`.
+type TruthFrame = (u32, u32, bool);
+
+fn run_seed(seed: u64, config: DacceConfig) {
+    let uni = universe();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut e = DacceEngine::new(config, CostModel::default());
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+
+    let mut truth: Vec<TruthFrame> = Vec::new();
+    let mut log: Vec<String> = Vec::new();
+
+    for step in 0..4000 {
+        let cur = truth.last().map(|&(_, t, _)| t).unwrap_or(0);
+        let sites = &uni[cur as usize];
+        let can_call = !sites.is_empty() && truth.len() < 24;
+        let do_call = can_call && (truth.is_empty() || rng.gen_bool(0.55));
+        if do_call {
+            // Tail calls out of the root frame would never "return" (main
+            // restarts are modelled elsewhere); require a frame below.
+            let choices: Vec<&OpDef> = sites
+                .iter()
+                .filter(|(_, _, _, tail)| !tail || !truth.is_empty())
+                .collect();
+            if choices.is_empty() {
+                continue;
+            }
+            let &&(site, targets, indirect, tail) = &choices[rng.gen_range(0..choices.len())];
+            let target = targets[rng.gen_range(0..targets.len())];
+            let dispatch = if indirect {
+                CallDispatch::Indirect
+            } else {
+                CallDispatch::Direct
+            };
+            log.push(format!(
+                "call{} s{site} f{cur}->f{target}",
+                if tail { "*" } else { "" }
+            ));
+            e.call(ThreadId::MAIN, s(site), f(cur), f(target), dispatch, tail);
+            truth.push((site, target, tail));
+        } else if !truth.is_empty() {
+            // Return from the innermost *physical* frame: its tail chain
+            // unwinds with it, and the after-code runs at the physical
+            // frame's call site.
+            let phys = truth
+                .iter()
+                .rposition(|&(_, _, tail)| !tail)
+                .expect("non-tail frame exists under any tail chain");
+            let (site, callee, _) = truth[phys];
+            let caller = if phys == 0 { 0 } else { truth[phys - 1].1 };
+            truth.truncate(phys);
+            log.push(format!("ret s{site} f{caller}<-f{callee}"));
+            e.ret(ThreadId::MAIN, s(site), f(caller), f(callee));
+        }
+
+        // Validate after every event.
+        let snap = e.snapshot(ThreadId::MAIN);
+        let decoded = match e.decode(&snap) {
+            Ok(p) => p,
+            Err(err) => {
+                let tail: Vec<&String> = log.iter().rev().take(30).collect();
+                panic!(
+                    "seed {seed} step {step}: decode error {err}\nsnap: {snap:?}\nlog tail: {tail:?}"
+                );
+            }
+        };
+        let got: Vec<u32> = decoded.0.iter().map(|p| p.func.raw()).collect();
+        let mut want = vec![0u32];
+        want.extend(truth.iter().map(|&(_, t, _)| t));
+        if got != want {
+            let tail: Vec<&String> = log.iter().rev().take(40).collect();
+            panic!(
+                "seed {seed} step {step}: decoded {got:?} truth {want:?}\nsnap: {snap:?}\nts={} max_id={}\nlog tail: {tail:?}",
+                e.timestamp(),
+                e.max_id()
+            );
+        }
+        if step % 257 == 0 {
+            e.check_invariants()
+                .unwrap_or_else(|err| panic!("seed {seed} step {step}: {err}"));
+        }
+    }
+}
+
+#[test]
+fn differential_default_config() {
+    for seed in 0..12 {
+        run_seed(
+            seed,
+            DacceConfig {
+                edge_threshold: 4,
+                min_events_between_reencodes: 64,
+                ccstack_rate_window: 512,
+                hot_check_every: 777,
+                compression_min_heat: 8,
+                sample_ring: 32,
+                ..DacceConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn differential_always_compress() {
+    for seed in 100..106 {
+        run_seed(
+            seed,
+            DacceConfig {
+                edge_threshold: 3,
+                min_events_between_reencodes: 16,
+                compression: dacce::CompressionMode::Always,
+                ..DacceConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn differential_no_reencode() {
+    for seed in 200..206 {
+        run_seed(seed, DacceConfig::no_reencoding());
+    }
+}
+
+#[test]
+fn differential_eager_reencode_with_compression() {
+    for seed in 300..308 {
+        run_seed(
+            seed,
+            DacceConfig {
+                edge_threshold: 2,
+                min_events_between_reencodes: 8,
+                reencode_backoff: 1.05,
+                reencode_interval_cap: 256,
+                compression: dacce::CompressionMode::Always,
+                compression_min_heat: 1,
+                indirect_inline_max: 1,
+                ..DacceConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic multi-thread interleaving test mirroring the Tracker
+//! concurrency pattern: several logical threads wind/unwind call chains
+//! with distinct per-thread sites while eager re-encoding fires constantly.
+
+use dacce::{DacceConfig, DacceEngine};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{CostModel, ThreadId};
+
+fn f(i: u32) -> FunctionId {
+    FunctionId::new(i)
+}
+fn s(i: u32) -> CallSiteId {
+    CallSiteId::new(i)
+}
+
+#[test]
+fn interleaved_threads_with_eager_reencode() {
+    let mut e = DacceEngine::new(
+        DacceConfig {
+            edge_threshold: 3,
+            min_events_between_reencodes: 16,
+            reencode_backoff: 1.1,
+            reencode_interval_cap: 512,
+            ..DacceConfig::default()
+        },
+        CostModel::default(),
+    );
+    // f0 = main root; f1 = worker root; f2..f7 = levels.
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+    let workers = 4u32;
+    for w in 0..workers {
+        e.thread_start(ThreadId::new(w + 1), f(1), Some((ThreadId::MAIN, s(0))));
+    }
+
+    // Per-worker state: current stack of (site, func); chains of the four
+    // workers coexist — one step per worker per turn, so re-encodings fire
+    // while every thread is mid-chain.
+    let mut stacks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); workers as usize];
+    let mut winding = vec![true; workers as usize];
+    let mut target_depth = vec![1usize; workers as usize];
+    let mut round = vec![0usize; workers as usize];
+    for step in 0..6000usize {
+        let w = step % workers as usize;
+        let tid = ThreadId::new(w as u32 + 1);
+        if winding[w] {
+            let d = stacks[w].len();
+            let site = 1 + (w as u32) * 6 + d as u32;
+            let caller = if d == 0 { 1 } else { 2 + d as u32 - 1 };
+            let callee = 2 + d as u32;
+            e.call(tid, s(site), f(caller), f(callee), CallDispatch::Direct, false);
+            stacks[w].push((site, callee));
+            if stacks[w].len() >= target_depth[w] {
+                winding[w] = false;
+            }
+        } else if let Some((site, callee)) = stacks[w].pop() {
+            let caller = if stacks[w].is_empty() { 1 } else { stacks[w].last().unwrap().1 };
+            e.ret(tid, s(site), f(caller), f(callee));
+        } else {
+            winding[w] = true;
+            round[w] += 1;
+            target_depth[w] = 1 + (round[w] * 7 + w) % 6;
+        }
+        // sample + validate the active thread after every event.
+        let snap = e.snapshot(tid);
+        let decoded = e
+            .decode(&snap)
+            .unwrap_or_else(|err| panic!("step {step} w{w}: {err}\n{snap:?}"));
+        let got: Vec<u32> = decoded.0.iter().map(|p| p.func.raw()).collect();
+        let mut want = vec![0u32, 1];
+        want.extend(stacks[w].iter().map(|&(_, c)| c));
+        assert_eq!(got, want, "step {step} w{w}");
+    }
+    assert_eq!(e.stats().decode_errors, 0);
+    e.check_invariants().unwrap();
+}

@@ -1,0 +1,80 @@
+//! Randomized interleaving of several logical threads with staggered
+//! registration, ring sampling, and eager re-encoding — hunting for
+//! cross-thread regeneration bugs.
+
+use dacce::{DacceConfig, DacceEngine};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{CostModel, ThreadId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn f(i: u32) -> FunctionId {
+    FunctionId::new(i)
+}
+fn s(i: u32) -> CallSiteId {
+    CallSiteId::new(i)
+}
+
+fn run(seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut e = DacceEngine::new(
+        DacceConfig {
+            edge_threshold: 3,
+            min_events_between_reencodes: 16,
+            reencode_backoff: 1.05,
+            reencode_interval_cap: 512,
+            ..DacceConfig::default()
+        },
+        CostModel::default(),
+    );
+    e.attach_main(f(0));
+    e.thread_start(ThreadId::MAIN, f(0), None);
+
+    let workers = 4usize;
+    let mut registered = vec![false; workers];
+    let mut stacks: Vec<Vec<(u32, u32)>> = vec![Vec::new(); workers];
+
+    for step in 0..8000usize {
+        let w = rng.gen_range(0..workers);
+        let tid = ThreadId::new(w as u32 + 1);
+        if !registered[w] {
+            // Staggered registration: register lazily, sometimes much later.
+            if rng.gen_bool(0.02) || step > 4000 {
+                e.thread_start(tid, f(1), Some((ThreadId::MAIN, s(0))));
+                registered[w] = true;
+            }
+            continue;
+        }
+        let depth = stacks[w].len();
+        let wind = depth < 6 && (depth == 0 || rng.gen_bool(0.55));
+        if wind {
+            let site = 1 + (w as u32) * 6 + depth as u32;
+            let caller = if depth == 0 { 1 } else { 2 + depth as u32 - 1 };
+            let callee = 2 + depth as u32;
+            e.call(tid, s(site), f(caller), f(callee), CallDispatch::Direct, false);
+            stacks[w].push((site, callee));
+        } else {
+            let (site, callee) = stacks[w].pop().unwrap();
+            let caller = if stacks[w].is_empty() { 1 } else { stacks[w].last().unwrap().1 };
+            e.ret(tid, s(site), f(caller), f(callee));
+        }
+        // Real ring sampling (like the Tracker) plus validation.
+        let (snap, _) = e.sample(tid);
+        let decoded = e
+            .decode(&snap)
+            .unwrap_or_else(|err| panic!("seed {seed} step {step} w{w}: {err}\n{snap:?}"));
+        let got: Vec<u32> = decoded.0.iter().map(|p| p.func.raw()).collect();
+        let mut want = vec![0u32, 1];
+        want.extend(stacks[w].iter().map(|&(_, c)| c));
+        assert_eq!(got, want, "seed {seed} step {step} w{w}");
+    }
+    assert_eq!(e.stats().decode_errors, 0, "seed {seed}");
+}
+
+#[test]
+fn randomized_interleavings() {
+    for seed in 0..30 {
+        run(seed);
+    }
+}

@@ -1,0 +1,49 @@
+//! Paper-style number formatting.
+
+/// Formats a (possibly huge) count the way Table 1 prints `MaxID`: plain up
+/// to six digits, scientific (`1.4E+11`) beyond, `overflow` when flagged.
+pub fn sci(value: u128, overflow: bool) -> String {
+    if overflow {
+        return "overflow".to_string();
+    }
+    if value < 1_000_000 {
+        return value.to_string();
+    }
+    let v = value as f64;
+    let exp = v.log10().floor() as i32;
+    let mantissa = v / 10f64.powi(exp);
+    format!("{mantissa:.1}E+{exp:02}")
+}
+
+/// Formats an overhead ratio as a percentage with one decimal.
+pub fn percent(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_stay_plain() {
+        assert_eq!(sci(0, false), "0");
+        assert_eq!(sci(999_999, false), "999999");
+    }
+
+    #[test]
+    fn large_values_go_scientific() {
+        assert_eq!(sci(140_000_000_000, false), "1.4E+11");
+        assert_eq!(sci(3_400_000_000_000_000, false), "3.4E+15");
+    }
+
+    #[test]
+    fn overflow_is_literal() {
+        assert_eq!(sci(7, true), "overflow");
+    }
+
+    #[test]
+    fn percent_formats_ratio() {
+        assert_eq!(percent(0.02), "2.0%");
+        assert_eq!(percent(0.1234), "12.3%");
+    }
+}

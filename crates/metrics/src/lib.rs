@@ -1,0 +1,17 @@
+//! Statistics and report rendering for the DACCE reproduction experiments.
+//!
+//! Small, dependency-free helpers shared by the experiment driver and the
+//! table/figure binaries: summary statistics ([`stats`]), cumulative
+//! distributions for Figure 10 ([`cdf`]), paper-style number formatting
+//! (`format`) and plain-text / CSV table rendering
+//! ([`table`]).
+
+pub mod cdf;
+pub mod format;
+pub mod stats;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use format::{sci, percent};
+pub use stats::{geomean, mean, percentile};
+pub use table::Table;

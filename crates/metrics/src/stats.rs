@@ -1,0 +1,75 @@
+//! Summary statistics.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of overhead *factors*.
+///
+/// Overheads are passed as ratios (0.02 = 2%); the mean is computed over
+/// `1 + x` and converted back, the standard way benchmark-suite overheads
+/// are aggregated (the paper's `geomean` column in Figure 8).
+pub fn geomean(overheads: &[f64]) -> f64 {
+    if overheads.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = overheads.iter().map(|x| (1.0 + x).ln()).sum();
+    (log_sum / overheads.len() as f64).exp() - 1.0
+}
+
+/// The `q`-quantile (0.0..=1.0) by nearest-rank on a sorted copy.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    v[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_averages() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_equal_overheads_is_that_overhead() {
+        let g = geomean(&[0.02, 0.02, 0.02]);
+        assert!((g - 0.02).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn geomean_is_below_arithmetic_mean() {
+        let xs = [0.0, 0.10];
+        assert!(geomean(&xs) < mean(&xs));
+        assert!(geomean(&xs) > 0.0);
+    }
+
+    #[test]
+    fn geomean_of_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

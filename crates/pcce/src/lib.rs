@@ -1,0 +1,38 @@
+//! PCCE — Precise Calling Context Encoding (Sumner et al., ICSE 2010) —
+//! as the *static* baseline of the DACCE evaluation.
+//!
+//! The DACCE paper compares against a simulated PCCE (§6.1): the complete
+//! static call graph is built ahead of time (with conservative points-to
+//! results for indirect calls and post-link PLT edges), a Pin profiling run
+//! with the same input supplies indirect targets and edge frequencies "to
+//! give PCCE a full potential of profiling", and the whole graph is encoded
+//! once, offline. This crate reproduces that baseline:
+//!
+//! * [`pointsto`] builds the whole-program graph from the program model,
+//!   including never-executed cold code and points-to false positives;
+//! * [`profile`] is the Pin stand-in: an offline run collecting edge
+//!   frequencies (it charges no cost — profiling happens before the
+//!   measured run);
+//! * [`encoder`] classifies back edges on the *complete* graph, encodes
+//!   with profile-derived frequency ordering, detects 64-bit overflow
+//!   (Table 1 reports `overflow` for the `perlbench` and `gcc` analogs)
+//!   and, when it overflows, prunes never-profiled edges exactly as the
+//!   paper describes;
+//! * [`runtime::PcceRuntime`] executes the static instrumentation: encoded
+//!   edges add/subtract `En(e)`, back edges and unexpected edges push the
+//!   `ccStack`, indirect sites walk an inline compare chain over *all*
+//!   identified targets (false positives included — the x264 effect), and
+//!   tail-call-containing callees get static `TcStack` wrapping.
+//!
+//! Decoding reuses Algorithm 1 from the `dacce` crate with PCCE's single
+//! static dictionary.
+
+pub mod encoder;
+pub mod pointsto;
+pub mod profile;
+pub mod runtime;
+
+pub use encoder::{PcceEncoder, PcceEncoding};
+pub use pointsto::{build_static_graph, StaticGraph};
+pub use profile::{ProfileData, ProfilingRuntime};
+pub use runtime::{PcceRuntime, PcceStats};

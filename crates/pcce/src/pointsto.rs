@@ -1,0 +1,134 @@
+//! Whole-program static call-graph construction.
+//!
+//! PCCE needs the complete call graph before encoding (§2.2, Issue 1 of the
+//! DACCE paper). For direct calls the target is syntactic; for indirect
+//! calls a conservative points-to analysis over-approximates the target set
+//! — modelled here by each table's real targets plus its `pointsto_extra`
+//! false positives; PLT calls are resolved post-link to their library
+//! function. Spawn targets become additional graph roots.
+
+use std::collections::HashMap;
+
+use dacce_callgraph::{CallGraph, CallSiteId, Dispatch, FunctionId};
+use dacce_program::{CalleeSpec, Program};
+
+/// The static graph together with the side tables the encoder and runtime
+/// need.
+#[derive(Clone, Debug, Default)]
+pub struct StaticGraph {
+    /// The complete call graph (cold code and false positives included).
+    pub graph: CallGraph,
+    /// Function containing each call site.
+    pub site_owner: HashMap<CallSiteId, FunctionId>,
+    /// Entry functions: `main` plus every spawn target.
+    pub roots: Vec<FunctionId>,
+    /// Conservative target list per indirect site, real targets first.
+    pub indirect_targets: HashMap<CallSiteId, Vec<FunctionId>>,
+    /// Number of points-to false-positive edges added.
+    pub false_positive_edges: usize,
+}
+
+/// Builds the whole-program static call graph of `program`.
+pub fn build_static_graph(program: &Program) -> StaticGraph {
+    let mut out = StaticGraph::default();
+    out.graph.ensure_node(program.main);
+    out.roots.push(program.main);
+
+    for (owner, op) in program.call_ops() {
+        out.site_owner.insert(op.site, owner);
+        match &op.callee {
+            CalleeSpec::Direct(t) => {
+                out.graph.add_edge(owner, *t, op.site, Dispatch::Direct);
+            }
+            CalleeSpec::Plt(t) => {
+                out.graph.add_edge(owner, *t, op.site, Dispatch::Plt);
+            }
+            CalleeSpec::Spawn(t) => {
+                out.graph.ensure_node(*t);
+                if !out.roots.contains(t) {
+                    out.roots.push(*t);
+                }
+            }
+            CalleeSpec::Indirect { table, .. } => {
+                let tbl = &program.tables[*table as usize];
+                let mut targets = Vec::new();
+                for &t in &tbl.targets {
+                    out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
+                    targets.push(t);
+                }
+                for &t in &tbl.pointsto_extra {
+                    let (_, new) = out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
+                    if new {
+                        out.false_positive_edges += 1;
+                    }
+                    targets.push(t);
+                }
+                out.indirect_targets.insert(op.site, targets);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::model::TargetChoice;
+
+    #[test]
+    fn static_graph_includes_cold_code_and_false_positives() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let hot = b.function("hot");
+        let cold = b.function("cold_error_handler");
+        let fp = b.function("never_a_target");
+        let table = b.table_with_extra(vec![hot], vec![fp]);
+        b.body(main)
+            .call(hot)
+            .call_p(cold, [0.0, 0.0]) // never executes, statically present
+            .indirect(table, TargetChoice::Uniform, [1.0, 1.0], 1)
+            .done();
+        b.body(hot).work(1).done();
+        b.body(cold).work(1).done();
+        b.body(fp).work(1).done();
+        let p = b.build(main);
+
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.graph.node_count(), 4);
+        // Edges: main->hot (direct), main->cold, main->hot (indirect),
+        // main->fp (false positive).
+        assert_eq!(sg.graph.edge_count(), 4);
+        assert_eq!(sg.false_positive_edges, 1);
+        assert_eq!(sg.roots, vec![main]);
+        let targets = &sg.indirect_targets[&p.call_ops().nth(2).unwrap().1.site];
+        assert_eq!(targets, &vec![hot, fp]);
+    }
+
+    #[test]
+    fn spawn_targets_become_roots() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let worker = b.function("worker");
+        b.body(main).spawn(worker, [1.0, 1.0]).done();
+        b.body(worker).work(1).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.roots, vec![main, worker]);
+        assert!(sg.graph.contains_node(worker));
+    }
+
+    #[test]
+    fn site_owner_is_recorded_for_every_call_op() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        b.body(main).call(a).done();
+        b.body(a).call_p(a, [0.5, 0.5]).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.site_owner.len(), 2);
+        let (owner0, op0) = p.call_ops().next().unwrap();
+        assert_eq!(sg.site_owner[&op0.site], owner0);
+    }
+}

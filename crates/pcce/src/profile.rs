@@ -1,0 +1,130 @@
+//! The offline profiling run (the paper's Pin stand-in, §6.1).
+//!
+//! PCCE is granted "a full potential of profiling": a complete run with the
+//! same input as the measured run, recording the invocation frequency of
+//! every call edge. The profiling runtime charges no cost — profiling
+//! happens offline, before the measured execution.
+
+use std::collections::HashMap;
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::{CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+use dacce_program::{OracleStack, Program, ThreadId};
+
+/// Edge frequencies collected by a profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileData {
+    /// Dynamic invocation count per `(site, callee)` edge.
+    pub edge_counts: HashMap<(CallSiteId, FunctionId), u64>,
+    /// Total dynamic calls observed.
+    pub total_calls: u64,
+}
+
+impl ProfileData {
+    /// Frequency of one edge (0 if never invoked).
+    pub fn count(&self, site: CallSiteId, callee: FunctionId) -> u64 {
+        self.edge_counts.get(&(site, callee)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct edges that were actually invoked.
+    pub fn invoked_edges(&self) -> usize {
+        self.edge_counts.len()
+    }
+}
+
+/// A [`ContextRuntime`] that only counts edges; run it once with the same
+/// interpreter configuration as the measured run to obtain the profile.
+#[derive(Debug, Default)]
+pub struct ProfilingRuntime {
+    data: ProfileData,
+}
+
+impl ProfilingRuntime {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the collected profile.
+    pub fn into_data(self) -> ProfileData {
+        self.data
+    }
+}
+
+impl ContextRuntime for ProfilingRuntime {
+    fn name(&self) -> &'static str {
+        "pin-profile"
+    }
+
+    fn attach(&mut self, _program: &Program) {}
+
+    fn on_thread_start(
+        &mut self,
+        _tid: ThreadId,
+        _root: FunctionId,
+        _parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+    }
+
+    fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        *self
+            .data
+            .edge_counts
+            .entry((ev.site, ev.callee))
+            .or_insert(0) += 1;
+        self.data.total_calls += 1;
+        0
+    }
+
+    fn on_return(&mut self, _ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        0
+    }
+
+    fn sample(&mut self, _tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        (SampleResult::Unsupported, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::interp::{InterpConfig, Interpreter};
+
+    #[test]
+    fn profile_counts_match_interpreter_counts() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        b.body(main).call(a).done();
+        b.body(a).work(1).done();
+        let p = b.build(main);
+
+        let mut prof = ProfilingRuntime::new();
+        let cfg = InterpConfig {
+            budget_calls: 500,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut prof);
+        let data = prof.into_data();
+        assert_eq!(data.total_calls, report.calls);
+        assert_eq!(data.invoked_edges(), 1);
+        let (_, op) = p.call_ops().next().unwrap();
+        assert_eq!(data.count(op.site, a), report.calls);
+        assert_eq!(data.count(op.site, main), 0);
+    }
+
+    #[test]
+    fn profiling_charges_no_cost() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        b.body(main).work(10).call(a).done();
+        b.body(a).work(1).done();
+        let p = b.build(main);
+        let mut prof = ProfilingRuntime::new();
+        let report = Interpreter::new(&p, InterpConfig::default()).run(&mut prof);
+        assert_eq!(report.instr_cost, 0);
+    }
+}

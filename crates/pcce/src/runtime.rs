@@ -1,0 +1,450 @@
+//! The PCCE measured-run runtime.
+//!
+//! Executes the statically generated instrumentation: encoded edges
+//! add/subtract `En(e)`, back edges push the `ccStack` (PCCE has no
+//! repetition compression), indirect sites walk the full conservative
+//! compare chain, and callers of tail-call-containing functions get static
+//! `TcStack` wrapping (a generosity: the original PCCE relies on source
+//! instrumentation suppressing tail-call optimisation; our programs do
+//! perform tail calls, so PCCE receives the same fix DACCE uses — without
+//! it the comparison would be unfairly broken rather than just slower).
+
+use std::collections::{HashMap, HashSet};
+
+use dacce::context::{EncodedContext, SpawnLink};
+use dacce::decode::decode_full;
+use dacce::patch::EdgeAction;
+use dacce::thread::{ShadowFrame, ThreadCtx};
+use dacce_callgraph::{CallSiteId, DictStore, FunctionId, TimeStamp};
+use dacce_program::runtime::{CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+use dacce_program::{CostModel, OracleStack, Program, ThreadId};
+
+use crate::encoder::{PcceEncoder, PcceEncoding};
+use crate::pointsto::{build_static_graph, StaticGraph};
+use crate::profile::ProfileData;
+
+/// Statistics of one PCCE run (the PCCE half of Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct PcceStats {
+    /// Nodes of the full static graph.
+    pub nodes: usize,
+    /// Edges of the full static graph.
+    pub edges: usize,
+    /// Maximum context count of the full graph (may exceed 64 bits).
+    pub max_num_cc: u128,
+    /// Whether the static encoding overflowed 64 bits (`overflow` in
+    /// Table 1).
+    pub overflowed: bool,
+    /// Edges deleted by overflow pruning.
+    pub pruned_edges: usize,
+    /// Dynamic call events processed.
+    pub calls: u64,
+    /// ccStack operations.
+    pub ccstack_ops: u64,
+    /// TcStack operations.
+    pub tcstack_ops: u64,
+    /// Samples recorded.
+    pub samples: u64,
+    /// ccStack depth at each sample (Figure 10 raw data).
+    pub cc_depths: Vec<u32>,
+    /// Calls through edges absent from the (pruned) static encoding.
+    pub unexpected_edges: u64,
+    /// Sample decodes that failed (0 expected).
+    pub decode_errors: u64,
+}
+
+impl PcceStats {
+    /// Mean ccStack depth over samples (Table 1's `depth`).
+    pub fn mean_cc_depth(&self) -> f64 {
+        if self.cc_depths.is_empty() {
+            return 0.0;
+        }
+        self.cc_depths.iter().map(|&d| d as f64).sum::<f64>() / self.cc_depths.len() as f64
+    }
+}
+
+/// The PCCE baseline runtime. Construct with the profile gathered by
+/// [`crate::ProfilingRuntime`] over the same workload.
+#[derive(Debug)]
+pub struct PcceRuntime {
+    cost: CostModel,
+    profile: ProfileData,
+    encoding: Option<PcceEncoding>,
+    site_owner: HashMap<CallSiteId, FunctionId>,
+    tc_wrap_sites: HashSet<CallSiteId>,
+    dicts: DictStore,
+    threads: HashMap<ThreadId, ThreadCtx>,
+    stats: PcceStats,
+    max_id: u64,
+}
+
+impl PcceRuntime {
+    /// Creates the runtime from an offline profile.
+    pub fn new(profile: ProfileData, cost: CostModel) -> Self {
+        PcceRuntime {
+            cost,
+            profile,
+            encoding: None,
+            site_owner: HashMap::new(),
+            tc_wrap_sites: HashSet::new(),
+            dicts: DictStore::new(),
+            threads: HashMap::new(),
+            stats: PcceStats::default(),
+            max_id: 0,
+        }
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> PcceStats {
+        let mut s = self.stats.clone();
+        for ctx in self.threads.values() {
+            s.ccstack_ops += ctx.cc.ops();
+            s.tcstack_ops += ctx.tc_ops;
+        }
+        s
+    }
+
+    /// The offline encoding (available after `attach`).
+    pub fn encoding(&self) -> Option<&PcceEncoding> {
+        self.encoding.as_ref()
+    }
+
+    fn enc(&self) -> &PcceEncoding {
+        self.encoding.as_ref().expect("attach() ran")
+    }
+
+    /// Action plus dispatch cost for one dynamic call.
+    fn lookup(&self, site: CallSiteId, callee: FunctionId) -> (Option<EdgeAction>, u64) {
+        let enc = self.enc();
+        let dispatch_cost = match enc.indirect_chains.get(&site) {
+            Some(chain) => {
+                let pos = chain.iter().position(|&t| t == callee);
+                match pos {
+                    Some(i) => (i as u64 + 1) * self.cost.compare,
+                    None => chain.len() as u64 * self.cost.compare,
+                }
+            }
+            None => 0,
+        };
+        (enc.actions.get(&(site, callee)).copied(), dispatch_cost)
+    }
+
+    fn snapshot(&self, tid: ThreadId) -> EncodedContext {
+        let ctx = self.threads.get(&tid).expect("thread registered");
+        EncodedContext {
+            ts: TimeStamp::ZERO,
+            id: ctx.id,
+            leaf: ctx.current,
+            root: ctx.root,
+            cc: ctx.cc.entries().to_vec(),
+            spawn: ctx.spawn.clone(),
+        }
+    }
+}
+
+impl ContextRuntime for PcceRuntime {
+    fn name(&self) -> &'static str {
+        "pcce"
+    }
+
+    fn attach(&mut self, program: &Program) {
+        let sg: StaticGraph = build_static_graph(program);
+        self.site_owner = sg.site_owner.clone();
+        let enc = PcceEncoder::encode(&sg, &self.profile);
+
+        self.stats.nodes = enc.full_nodes;
+        self.stats.edges = enc.full_edges;
+        self.stats.max_num_cc = enc.max_num_cc_full;
+        self.stats.overflowed = enc.overflowed;
+        self.stats.pruned_edges = enc.pruned_edges;
+        self.max_id = enc.dict.max_id();
+
+        // Static tail-call analysis: wrap every site whose possible callees
+        // include a tail-call-containing function.
+        let tail_fns: HashSet<FunctionId> =
+            program.functions_with_tail_calls().into_iter().collect();
+        for (_, e) in enc.runtime_graph.edges() {
+            if tail_fns.contains(&e.callee) {
+                self.tc_wrap_sites.insert(e.site);
+            }
+        }
+        // Conservative chains may also reach tail functions.
+        for (&site, chain) in &enc.indirect_chains {
+            if chain.iter().any(|t| tail_fns.contains(t)) {
+                self.tc_wrap_sites.insert(site);
+            }
+        }
+
+        self.dicts = DictStore::new();
+        self.dicts.push(enc.dict.clone());
+        self.encoding = Some(enc);
+    }
+
+    fn on_thread_start(
+        &mut self,
+        tid: ThreadId,
+        root: FunctionId,
+        parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+        let spawn = parent.map(|(ptid, site)| SpawnLink {
+            site,
+            parent: Box::new(self.snapshot(ptid)),
+        });
+        self.threads.insert(tid, ThreadCtx::new(root, spawn));
+    }
+
+    fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        self.stats.calls += 1;
+        let (action, mut cost) = self.lookup(ev.site, ev.callee);
+        let action = match action {
+            Some(a) => a,
+            None => {
+                self.stats.unexpected_edges += 1;
+                EdgeAction::Unencoded
+            }
+        };
+        let wrapped = !ev.tail && self.tc_wrap_sites.contains(&ev.site);
+        let max_id = self.max_id;
+        let ccstack_cost = self.cost.ccstack_op;
+        let id_cost = self.cost.id_arith;
+        let tc_cost = self.cost.tcstack_op;
+
+        let ctx = self.threads.get_mut(&ev.tid).expect("thread registered");
+        let saved_id = ctx.id;
+        let saved_cc_len = ctx.cc.depth();
+        let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+        if wrapped {
+            ctx.tc_ops += 1;
+            cost += tc_cost;
+        }
+        match action {
+            EdgeAction::Encoded { delta } => {
+                if delta != 0 {
+                    ctx.id = ctx.id.wrapping_add(delta);
+                    cost += id_cost;
+                }
+            }
+            EdgeAction::Unencoded | EdgeAction::UnencodedCompressed => {
+                ctx.cc.push(ctx.id, ev.site, ev.callee);
+                ctx.id = max_id + 1;
+                cost += ccstack_cost + id_cost;
+            }
+        }
+        if !ev.tail {
+            ctx.shadow.push(ShadowFrame {
+                site: ev.site,
+                callee: ev.callee,
+                saved_id,
+                saved_cc_len,
+                saved_top_count,
+                wrapped,
+            });
+        }
+        ctx.current = ev.callee;
+        cost
+    }
+
+    fn on_return(&mut self, ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        let (action, _) = self.lookup(ev.site, ev.callee);
+        let action = action.unwrap_or(EdgeAction::Unencoded);
+        let ccstack_cost = self.cost.ccstack_op;
+        let id_cost = self.cost.id_arith;
+        let tc_cost = self.cost.tcstack_op;
+
+        let ctx = self.threads.get_mut(&ev.tid).expect("thread registered");
+        let frame = ctx.shadow.pop().expect("balanced events");
+        let mut cost = 0;
+        if frame.wrapped {
+            ctx.id = frame.saved_id;
+            ctx.cc.truncate(frame.saved_cc_len);
+            ctx.cc.restore_top_count(frame.saved_top_count);
+            ctx.tc_ops += 1;
+            cost += tc_cost;
+        } else {
+            match action {
+                EdgeAction::Encoded { delta } => {
+                    if delta != 0 {
+                        ctx.id = ctx.id.wrapping_sub(delta);
+                        cost += id_cost;
+                    }
+                }
+                EdgeAction::Unencoded | EdgeAction::UnencodedCompressed => {
+                    ctx.id = ctx.cc.pop();
+                    cost += ccstack_cost;
+                }
+            }
+        }
+        ctx.current = ev.caller;
+        cost
+    }
+
+    fn on_thread_exit(&mut self, tid: ThreadId) {
+        if let Some(ctx) = self.threads.remove(&tid) {
+            self.stats.ccstack_ops += ctx.cc.ops();
+            self.stats.tcstack_ops += ctx.tc_ops;
+        }
+    }
+
+    fn on_root_reset(&mut self, tid: ThreadId) {
+        if let Some(ctx) = self.threads.get_mut(&tid) {
+            ctx.reset();
+        }
+    }
+
+    fn sample(&mut self, tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        let snap = self.snapshot(tid);
+        self.stats.samples += 1;
+        self.stats.cc_depths.push(snap.cc_depth() as u32);
+        let cost = self.cost.sample_record;
+        match decode_full(&snap, &self.dicts, &self.site_owner) {
+            Ok(path) => (SampleResult::Path(path), cost),
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                (SampleResult::Unsupported, cost)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfilingRuntime;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::interp::{InterpConfig, Interpreter};
+    use dacce_program::model::TargetChoice;
+    use dacce_program::Program;
+
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let bb = b.function("b");
+        let rec = b.function("rec");
+        let t1 = b.function("t1");
+        let t2 = b.function("t2");
+        let fp = b.function("fp_target");
+        let tailee = b.function("tailee");
+        let table = b.table_with_extra(vec![t1, t2], vec![fp]);
+        b.body(main)
+            .work(5)
+            .call(a)
+            .call_p(bb, [0.6, 0.4])
+            .indirect(table, TargetChoice::Skewed { hot: 0.7 }, [0.8, 0.8], 2)
+            .done();
+        b.body(a).work(2).call_p(rec, [0.7, 0.7]).done();
+        b.body(bb).work(2).tail(tailee, [0.5, 0.5]).done();
+        b.body(rec).work(1).call_p(rec, [0.55, 0.55]).done();
+        b.body(t1).work(1).done();
+        b.body(t2).work(1).done();
+        b.body(fp).work(1).done();
+        b.body(tailee).work(1).done();
+        b.build(main)
+    }
+
+    fn profile_of(p: &Program, cfg: &InterpConfig) -> ProfileData {
+        let mut prof = ProfilingRuntime::new();
+        let _ = Interpreter::new(p, cfg.clone()).run(&mut prof);
+        prof.into_data()
+    }
+
+    #[test]
+    fn pcce_validates_every_sample() {
+        let p = mixed_program();
+        let cfg = InterpConfig {
+            budget_calls: 40_000,
+            sample_every: 89,
+            max_depth: 48,
+            ..InterpConfig::default()
+        };
+        let profile = profile_of(&p, &cfg);
+        let mut rt = PcceRuntime::new(profile, CostModel::default());
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+        assert_eq!(report.unsupported, 0);
+        let stats = rt.stats();
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(
+            stats.unexpected_edges, 0,
+            "profile covers the measured run"
+        );
+        assert!(stats.nodes >= 8);
+    }
+
+    #[test]
+    fn pcce_static_graph_larger_than_runtime_needs() {
+        let p = mixed_program();
+        let cfg = InterpConfig {
+            budget_calls: 10_000,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let profile = profile_of(&p, &cfg);
+        let invoked = profile.invoked_edges();
+        let mut rt = PcceRuntime::new(profile, CostModel::default());
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        let stats = rt.stats();
+        assert!(
+            stats.edges > invoked,
+            "static edges {} must exceed invoked {}",
+            stats.edges,
+            invoked
+        );
+    }
+
+    #[test]
+    fn indirect_dispatch_pays_for_false_positives() {
+        // One indirect site whose conservative chain has 1 real + 3 fake
+        // targets; with a cold profile the real target can sit anywhere,
+        // with a hot profile it sits first.
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let real = b.function("real");
+        let fps: Vec<_> = (0..3).map(|i| b.function(&format!("fp{i}"))).collect();
+        let table = b.table_with_extra(vec![real], fps.clone());
+        b.body(main)
+            .indirect(table, TargetChoice::Uniform, [1.0, 1.0], 1)
+            .done();
+        b.body(real).work(1).done();
+        for f in &fps {
+            b.body(*f).work(1).done();
+        }
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 1_000,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let profile = profile_of(&p, &cfg);
+        let mut rt = PcceRuntime::new(profile, CostModel::default());
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        // Chain cost: real target is hottest -> 1 comparison per call; the
+        // encoded action is free (single profiled incoming edge).
+        assert!(report.instr_cost >= 1_000 * CostModel::default().compare);
+        assert_eq!(rt.stats().unexpected_edges, 0);
+    }
+
+    #[test]
+    fn multithreaded_pcce_validates() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let worker = b.function("worker");
+        let job = b.function("job");
+        b.body(main).spawn(worker, [0.4, 0.4]).work(3).call(job).done();
+        b.body(worker).work(2).call_rep(job, [1.0, 1.0], 4).done();
+        b.body(job).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 20_000,
+            sample_every: 71,
+            max_threads: 5,
+            ..InterpConfig::default()
+        };
+        let profile = profile_of(&p, &cfg);
+        let mut rt = PcceRuntime::new(profile, CostModel::default());
+        let report = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(report.threads_spawned > 1);
+        assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+        assert_eq!(report.unsupported, 0);
+    }
+}

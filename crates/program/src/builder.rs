@@ -1,0 +1,280 @@
+//! Fluent construction of synthetic programs.
+//!
+//! [`ProgramBuilder`] allocates functions, libraries, indirect tables and
+//! call sites; [`BodyBuilder`] assembles one function body. Used by unit
+//! tests, the examples, and the workload generator.
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+use crate::model::{
+    CallOp, CalleeSpec, Function, IndirectTable, Op, Program, SharedLibrary, TargetChoice,
+};
+
+/// Incremental builder for [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+    tables: Vec<IndirectTable>,
+    libs: Vec<SharedLibrary>,
+    next_site: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function of the main executable and returns its id.
+    pub fn function(&mut self, name: &str) -> FunctionId {
+        let id = FunctionId::new(self.functions.len() as u32);
+        self.functions.push(Function {
+            name: name.to_string(),
+            lib: None,
+            body: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a shared library and returns its index.
+    pub fn library(&mut self, name: &str) -> u32 {
+        let idx = self.libs.len() as u32;
+        self.libs.push(SharedLibrary {
+            name: name.to_string(),
+            functions: Vec::new(),
+        });
+        idx
+    }
+
+    /// Declares a function exported by library `lib` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lib` was not created by [`ProgramBuilder::library`].
+    pub fn lib_function(&mut self, lib: u32, name: &str) -> FunctionId {
+        assert!((lib as usize) < self.libs.len(), "unknown library {lib}");
+        let id = FunctionId::new(self.functions.len() as u32);
+        self.functions.push(Function {
+            name: name.to_string(),
+            lib: Some(lib),
+            body: Vec::new(),
+        });
+        self.libs[lib as usize].functions.push(id);
+        id
+    }
+
+    /// Declares an indirect-call target table and returns its index.
+    pub fn table(&mut self, targets: Vec<FunctionId>) -> u32 {
+        self.table_with_extra(targets, Vec::new())
+    }
+
+    /// Declares an indirect table with additional points-to false positives.
+    pub fn table_with_extra(
+        &mut self,
+        targets: Vec<FunctionId>,
+        pointsto_extra: Vec<FunctionId>,
+    ) -> u32 {
+        let idx = self.tables.len() as u32;
+        self.tables.push(IndirectTable {
+            targets,
+            pointsto_extra,
+        });
+        idx
+    }
+
+    /// Allocates a fresh call-site id.
+    pub fn site(&mut self) -> CallSiteId {
+        let s = CallSiteId::new(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    /// Starts (or replaces) the body of `f`.
+    pub fn body(&mut self, f: FunctionId) -> BodyBuilder<'_> {
+        BodyBuilder {
+            builder: self,
+            func: f,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Finishes the program with `main` as entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled program fails [`Program::validate`]; builder
+    /// misuse is a programming error.
+    pub fn build(self, main: FunctionId) -> Program {
+        let program = Program {
+            functions: self.functions,
+            tables: self.tables,
+            libs: self.libs,
+            main,
+            site_count: self.next_site,
+        };
+        if let Err(msg) = program.validate() {
+            panic!("invalid program: {msg}");
+        }
+        program
+    }
+}
+
+/// Builds one function body; finish with [`BodyBuilder::done`].
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    func: FunctionId,
+    ops: Vec<Op>,
+}
+
+impl BodyBuilder<'_> {
+    /// Appends plain work of the given base cost.
+    pub fn work(mut self, units: u32) -> Self {
+        self.ops.push(Op::Work(units));
+        self
+    }
+
+    /// Appends an unconditional direct call.
+    pub fn call(self, target: FunctionId) -> Self {
+        self.push_call(CalleeSpec::Direct(target), [1.0, 1.0], 1, false)
+    }
+
+    /// Appends a direct call with per-phase probabilities.
+    pub fn call_p(self, target: FunctionId, prob: [f32; 2]) -> Self {
+        self.push_call(CalleeSpec::Direct(target), prob, 1, false)
+    }
+
+    /// Appends a direct call attempted `repeat` times per body execution.
+    pub fn call_rep(self, target: FunctionId, prob: [f32; 2], repeat: u16) -> Self {
+        self.push_call(CalleeSpec::Direct(target), prob, repeat, false)
+    }
+
+    /// Appends an indirect call through `table`.
+    pub fn indirect(self, table: u32, choice: TargetChoice, prob: [f32; 2], repeat: u16) -> Self {
+        self.push_call(CalleeSpec::Indirect { table, choice }, prob, repeat, false)
+    }
+
+    /// Appends a PLT call to a library function.
+    pub fn plt(self, target: FunctionId, prob: [f32; 2], repeat: u16) -> Self {
+        self.push_call(CalleeSpec::Plt(target), prob, repeat, false)
+    }
+
+    /// Appends a direct tail call (must remain the last call op).
+    pub fn tail(self, target: FunctionId, prob: [f32; 2]) -> Self {
+        self.push_call(CalleeSpec::Direct(target), prob, 1, true)
+    }
+
+    /// Appends an indirect tail call through `table`.
+    pub fn tail_indirect(self, table: u32, choice: TargetChoice, prob: [f32; 2]) -> Self {
+        self.push_call(CalleeSpec::Indirect { table, choice }, prob, 1, true)
+    }
+
+    /// Appends a thread-spawn op.
+    pub fn spawn(self, target: FunctionId, prob: [f32; 2]) -> Self {
+        self.push_call(CalleeSpec::Spawn(target), prob, 1, false)
+    }
+
+    /// Appends a fully general call op, allocating its site.
+    pub fn push_call(
+        mut self,
+        callee: CalleeSpec,
+        prob: [f32; 2],
+        repeat: u16,
+        tail: bool,
+    ) -> Self {
+        let site = self.builder.site();
+        self.ops.push(Op::Call(CallOp {
+            site,
+            callee,
+            prob,
+            repeat,
+            tail,
+        }));
+        self
+    }
+
+    /// Returns the site id that the *next* appended call will receive.
+    pub fn peek_site(&self) -> CallSiteId {
+        CallSiteId::new(self.builder.next_site)
+    }
+
+    /// Installs the assembled body.
+    pub fn done(self) {
+        self.builder.functions[self.func.index()].body = self.ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_a_valid_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let lib = b.library("libz-analog");
+        let compress = b.lib_function(lib, "compress");
+        let t = b.table(vec![a]);
+        b.body(main)
+            .work(10)
+            .call(a)
+            .indirect(t, TargetChoice::Uniform, [1.0, 0.5], 2)
+            .plt(compress, [0.5, 0.5], 1)
+            .done();
+        b.body(a).work(1).done();
+        let p = b.build(main);
+        assert_eq!(p.function_count(), 3);
+        assert_eq!(p.site_count, 3);
+        assert_eq!(p.libs[0].functions, vec![compress]);
+        assert_eq!(p.call_ops().count(), 3);
+    }
+
+    #[test]
+    fn sites_are_unique_across_functions() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        b.body(main).call(a).done();
+        b.body(a).call_p(main, [0.0, 0.0]).done();
+        let p = b.build(main);
+        let sites: Vec<CallSiteId> = p.call_ops().map(|(_, c)| c.site).collect();
+        assert_eq!(sites.len(), 2);
+        assert_ne!(sites[0], sites[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn build_panics_on_invalid_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        // Tail call followed by another call violates validation.
+        b.body(main)
+            .tail(a, [1.0, 1.0])
+            .call(a)
+            .done();
+        let _ = b.build(main);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown library")]
+    fn lib_function_requires_existing_library() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.lib_function(0, "oops");
+    }
+
+    #[test]
+    fn peek_site_matches_next_allocation() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let body = b.body(main);
+        let peeked = body.peek_site();
+        body.call(a).done();
+        b.body(a).done();
+        let p = b.build(main);
+        let (_, op) = p.call_ops().next().unwrap();
+        assert_eq!(op.site, peeked);
+    }
+}

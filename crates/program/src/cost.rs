@@ -1,0 +1,110 @@
+//! The instrumentation cost model.
+//!
+//! The paper reports wall-clock overhead on the authors' Xeon testbed; this
+//! reproduction replaces wall-clock with a deterministic discrete cost model
+//! (see `DESIGN.md`): every instrumentation action a runtime performs is
+//! charged a fixed number of abstract units, and overhead is the ratio of
+//! charged units to the program's base work. The *per-call* costs below are
+//! rough instruction-count estimates; what the experiments depend on is the
+//! relative magnitudes (a ccStack push is several times an id addition).
+//!
+//! **One-time costs are scaled down by the run-length ratio.** Handler
+//! traps and re-encodings happen a bounded number of times (once per edge /
+//! a few dozen per run) regardless of run length; the paper amortises them
+//! over minutes-long executions of 10^9–10^10 calls, while this
+//! reproduction's runs are ~10^6 calls. Charging the full per-occurrence
+//! cycle cost would over-represent one-time costs by four orders of
+//! magnitude, so `handler_trap` and `reencode_per_edge` are set such that
+//! their *share of total cost* in a default-scale run approximates their
+//! amortised share in the paper's runs (still erring on the side of
+//! charging DACCE more). This substitution is recorded in `DESIGN.md` and
+//! `EXPERIMENTS.md`.
+
+/// Abstract cost units charged per instrumentation action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// One addition/subtraction on the context identifier `id`.
+    pub id_arith: u64,
+    /// One `ccStack` push or pop (entry construction + memory traffic).
+    pub ccstack_op: u64,
+    /// One `TcStack` save or restore (§5.2).
+    pub tcstack_op: u64,
+    /// One comparison in an inline indirect-target chain (Figure 3d).
+    pub compare: u64,
+    /// One hash-table probe for indirect targets (Figure 4).
+    pub hash_lookup: u64,
+    /// One runtime-handler trap: trampoline, graph update, code patching.
+    pub handler_trap: u64,
+    /// Re-encoding cost per edge in the call graph (§4: suspend, decode
+    /// collected contexts, re-encode, re-instrument).
+    pub reencode_per_edge: u64,
+    /// Per-call cost of maintaining a calling context tree (related work).
+    pub cct_step: u64,
+    /// Per-frame cost of walking the stack at a sample (related work).
+    pub walk_frame: u64,
+    /// Per-call cost of the probabilistic-calling-context hash (related
+    /// work, Bond & McKinley).
+    pub pcc_hash: u64,
+    /// Cost of recording one context sample (common to all runtimes; the
+    /// paper's libpfm4 sample handler).
+    pub sample_record: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            id_arith: 1,
+            ccstack_op: 8,
+            tcstack_op: 3,
+            compare: 1,
+            hash_lookup: 6,
+            handler_trap: 120,
+            reencode_per_edge: 6,
+            cct_step: 30,
+            walk_frame: 15,
+            pcc_hash: 2,
+            sample_record: 20,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where every action is free; useful to isolate event counts.
+    pub fn free() -> Self {
+        CostModel {
+            id_arith: 0,
+            ccstack_op: 0,
+            tcstack_op: 0,
+            compare: 0,
+            hash_lookup: 0,
+            handler_trap: 0,
+            reencode_per_edge: 0,
+            cct_step: 0,
+            walk_frame: 0,
+            pcc_hash: 0,
+            sample_record: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_orders_costs_sensibly() {
+        let m = CostModel::default();
+        assert!(m.id_arith < m.ccstack_op, "ccStack ops dominate id math");
+        assert!(m.ccstack_op < m.handler_trap, "traps dominate everything");
+        assert!(m.compare <= m.hash_lookup);
+        assert!(m.tcstack_op < m.ccstack_op);
+    }
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.id_arith, 0);
+        assert_eq!(m.handler_trap, 0);
+        assert_eq!(m.sample_record, 0);
+    }
+}

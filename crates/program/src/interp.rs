@@ -1,0 +1,845 @@
+//! The deterministic multi-threaded interpreter.
+//!
+//! Executes a [`Program`] op by op, delivering call/return events to a
+//! [`ContextRuntime`] and charging its instrumentation cost against the
+//! program's base work. Thread interleaving is round-robin with a fixed
+//! event quantum; all randomness comes from per-thread `SmallRng`s seeded
+//! from the run seed, so identical configurations replay identical traces.
+//!
+//! Tail calls replace the executing frame (the callee returns directly to
+//! the caller's caller), and consequently no return event is ever delivered
+//! for a tail edge — faithfully reproducing the instrumentation blind spot
+//! the paper fixes with `TcStack` (§5.2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+use crate::model::{CalleeSpec, Op, Program, TargetChoice, ThreadId};
+use crate::oracle::{ContextPath, OracleStack};
+use crate::runtime::{CallDispatch, CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct InterpConfig {
+    /// Seed for all workload randomness.
+    pub seed: u64,
+    /// Maximum logical call depth; calls beyond it are skipped (bounds
+    /// recursion the way real programs bound theirs with base cases).
+    pub max_depth: usize,
+    /// Stop after this many dynamic call events.
+    pub budget_calls: u64,
+    /// Take a context sample every N call events (0 disables call-based
+    /// sampling).
+    pub sample_every: u64,
+    /// Take a context sample every N base-work units (0 disables). This is
+    /// the analog of the paper's *time-based* libpfm4 sampling: benchmarks
+    /// with low call density still get sampled at a steady rate.
+    pub sample_every_work: u64,
+    /// Scheduler quantum: events executed per thread before rotating.
+    pub switch_every: u32,
+    /// Maximum simultaneously live threads (spawn ops beyond it are skipped).
+    pub max_threads: usize,
+    /// Restart `main`'s body when it completes, until the budget is spent.
+    pub restart_main: bool,
+    /// Validate every decoded sample against the oracle.
+    pub validate: bool,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            seed: 0x5eed,
+            max_depth: 512,
+            budget_calls: 100_000,
+            sample_every: 997,
+            sample_every_work: 0,
+            switch_every: 64,
+            max_threads: 8,
+            restart_main: true,
+            validate: true,
+        }
+    }
+}
+
+/// Aggregate results of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Dynamic call events delivered.
+    pub calls: u64,
+    /// Dynamic return events delivered.
+    pub returns: u64,
+    /// Base application work (units from `Op::Work`).
+    pub base_cost: u64,
+    /// Instrumentation cost charged by the runtime.
+    pub instr_cost: u64,
+    /// Context samples taken.
+    pub samples: u64,
+    /// Samples whose decoded path matched the oracle.
+    pub validated: u64,
+    /// Samples whose decoded path disagreed with the oracle.
+    pub mismatches: u64,
+    /// Samples the runtime could not decode (e.g. probabilistic contexts).
+    pub unsupported: u64,
+    /// Oracle call-stack depth at each sample (Figure 10 raw data).
+    pub sample_depths: Vec<u32>,
+    /// Base work accumulated when the run crossed 75% of its call budget
+    /// (start of the "warm" measurement window).
+    pub warm_base_start: u64,
+    /// Instrumentation cost accumulated at the warm-window start.
+    pub warm_instr_start: u64,
+    /// Threads created over the run (including the main thread).
+    pub threads_spawned: u32,
+    /// Completed iterations of `main`'s body.
+    pub main_iterations: u64,
+    /// Human-readable diagnostics for the first few mismatches.
+    pub mismatch_examples: Vec<String>,
+}
+
+impl RunReport {
+    /// Instrumentation overhead relative to base work, whole run included
+    /// (start-up traps and early re-encodings dominate short runs).
+    pub fn overhead(&self) -> f64 {
+        if self.base_cost == 0 {
+            return 0.0;
+        }
+        self.instr_cost as f64 / self.base_cost as f64
+    }
+
+    /// Steady-state overhead: measured over the last quarter of the run,
+    /// after call-graph discovery has largely completed. This corresponds
+    /// to the paper's measurements, where runs last minutes and the warm-up
+    /// phase (Figure 9 "reaches a relatively steady state quickly") is a
+    /// vanishing fraction.
+    pub fn warm_overhead(&self) -> f64 {
+        let base = self.base_cost.saturating_sub(self.warm_base_start);
+        let instr = self.instr_cost.saturating_sub(self.warm_instr_start);
+        if base == 0 {
+            return self.overhead();
+        }
+        instr as f64 / base as f64
+    }
+
+    /// Call events per million base-work units ("calls/s" analog; the cost
+    /// model plays the role of time).
+    pub fn calls_per_mwork(&self) -> f64 {
+        if self.base_cost == 0 {
+            return 0.0;
+        }
+        self.calls as f64 * 1e6 / self.base_cost as f64
+    }
+}
+
+/// How a physical frame was created (for the return event).
+#[derive(Clone, Copy, Debug)]
+struct FrameEntry {
+    site: CallSiteId,
+    callee: FunctionId,
+    dispatch: CallDispatch,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FunctionId,
+    op_idx: usize,
+    /// Remaining attempts of the current call op; `u16::MAX` marks "not yet
+    /// initialised for this op".
+    rep_left: u16,
+    entry: Option<FrameEntry>,
+    tail_chain: bool,
+}
+
+impl Frame {
+    fn root(func: FunctionId) -> Self {
+        Frame {
+            func,
+            op_idx: 0,
+            rep_left: u16::MAX,
+            entry: None,
+            tail_chain: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    tid: ThreadId,
+    frames: Vec<Frame>,
+    oracle: OracleStack,
+    rng: SmallRng,
+    alive: bool,
+    /// `report.calls` at the last main-loop restart, plus the count of
+    /// consecutive restarts without a single call event; programs whose
+    /// iterations keep producing no calls can never reach their budget, so
+    /// the restart loop stops after a bounded number of idle iterations.
+    calls_at_restart: u64,
+    idle_iterations: u32,
+    /// Full oracle context of the spawning thread at spawn time (already
+    /// including *its* ancestors), plus the spawn site; `None` for main.
+    spawn_prefix: Option<(ContextPath, CallSiteId)>,
+}
+
+/// Executes programs against a context runtime.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    config: InterpConfig,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation.
+    pub fn new(program: &'p Program, config: InterpConfig) -> Self {
+        if let Err(msg) = program.validate() {
+            panic!("invalid program: {msg}");
+        }
+        Interpreter { program, config }
+    }
+
+    /// Runs the program to its call budget under `runtime`.
+    pub fn run<R: ContextRuntime>(&self, runtime: &mut R) -> RunReport {
+        let mut report = RunReport::default();
+        let cfg = &self.config;
+        runtime.attach(self.program);
+
+        let mut threads: Vec<ThreadState> = Vec::new();
+        let mut next_tid = 1u32;
+        report.threads_spawned += 1;
+        runtime.on_thread_start(ThreadId::MAIN, self.program.main, None);
+        threads.push(ThreadState {
+            tid: ThreadId::MAIN,
+            frames: vec![Frame::root(self.program.main)],
+            oracle: OracleStack::new(self.program.main),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            alive: true,
+            calls_at_restart: 0,
+            idle_iterations: 0,
+            spawn_prefix: None,
+        });
+
+        let mut turn = 0usize;
+        let mut warm_marked = false;
+        'outer: while report.calls < cfg.budget_calls {
+            if !warm_marked && report.calls * 4 >= cfg.budget_calls * 3 {
+                warm_marked = true;
+                report.warm_base_start = report.base_cost;
+                report.warm_instr_start = report.instr_cost;
+            }
+            // Pick the next alive thread round-robin.
+            let alive_count = threads.iter().filter(|t| t.alive).count();
+            if alive_count == 0 {
+                break;
+            }
+            let mut guard = 0;
+            while !threads[turn % threads.len()].alive {
+                turn += 1;
+                guard += 1;
+                if guard > threads.len() {
+                    break 'outer;
+                }
+            }
+            let ti = turn % threads.len();
+            turn += 1;
+
+            let mut quantum = cfg.switch_every;
+            while quantum > 0 && threads[ti].alive && report.calls < cfg.budget_calls {
+                quantum -= 1;
+                let mut pending_spawn: Option<(FunctionId, CallSiteId)> = None;
+                self.step(
+                    &mut threads[ti],
+                    runtime,
+                    &mut report,
+                    &mut pending_spawn,
+                );
+                if let Some((root, site)) = pending_spawn {
+                    let live = threads.iter().filter(|t| t.alive).count();
+                    if live < cfg.max_threads {
+                        let parent_idx = ti;
+                        // Split borrow: clone what we need from the parent.
+                        let (parent_path, parent_tid) = {
+                            let p = &threads[parent_idx];
+                            let mut path = p.oracle.path();
+                            if let Some((prefix, psite)) = &p.spawn_prefix {
+                                path = path.prepend(prefix, Some(*psite));
+                            }
+                            (path, p.tid)
+                        };
+                        let tid = ThreadId::new(next_tid);
+                        next_tid += 1;
+                        report.threads_spawned += 1;
+                        runtime.on_thread_start(tid, root, Some((parent_tid, site)));
+                        threads.push(ThreadState {
+                            tid,
+                            frames: vec![Frame::root(root)],
+                            oracle: OracleStack::new(root),
+                            rng: SmallRng::seed_from_u64(
+                                cfg.seed
+                                    ^ (0x9e37_79b9_7f4a_7c15u64
+                                        .wrapping_mul(u64::from(tid.raw()) + 1)),
+                            ),
+                            alive: true,
+                            calls_at_restart: 0,
+                            idle_iterations: 0,
+                            spawn_prefix: Some((parent_path, site)),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Drain: unwind all live threads so balanced instrumentation can
+        // restore its initial state; deliver thread exits.
+        for t in &mut threads {
+            if !t.alive {
+                continue;
+            }
+            while let Some(frame) = t.frames.pop() {
+                if let Some(entry) = frame.entry {
+                    let ev = ReturnEvent {
+                        tid: t.tid,
+                        site: entry.site,
+                        caller: t
+                            .frames
+                            .last()
+                            .map(|f| f.func)
+                            .unwrap_or(t.oracle.root()),
+                        callee: entry.callee,
+                        dispatch: entry.dispatch,
+                        tail_chain: frame.tail_chain,
+                    };
+                    t.oracle.pop_physical();
+                    report.returns += 1;
+                    report.instr_cost += runtime.on_return(&ev, &t.oracle);
+                }
+            }
+            runtime.on_thread_exit(t.tid);
+            t.alive = false;
+        }
+
+        report
+    }
+
+    /// Executes one step of `thread`. Returns after at most one event.
+    fn step<R: ContextRuntime>(
+        &self,
+        thread: &mut ThreadState,
+        runtime: &mut R,
+        report: &mut RunReport,
+        pending_spawn: &mut Option<(FunctionId, CallSiteId)>,
+    ) {
+        let cfg = &self.config;
+        let phase = if report.calls.saturating_mul(2) >= cfg.budget_calls {
+            1
+        } else {
+            0
+        };
+
+        let frame = thread
+            .frames
+            .last_mut()
+            .expect("alive thread has frames");
+        let body = &self.program.functions[frame.func.index()].body;
+
+        if frame.op_idx >= body.len() {
+            // Function returns.
+            let frame = thread.frames.pop().expect("frame present");
+            if let Some(entry) = frame.entry {
+                let ev = ReturnEvent {
+                    tid: thread.tid,
+                    site: entry.site,
+                    caller: thread
+                        .frames
+                        .last()
+                        .map(|f| f.func)
+                        .unwrap_or(thread.oracle.root()),
+                    callee: entry.callee,
+                    dispatch: entry.dispatch,
+                    tail_chain: frame.tail_chain,
+                };
+                thread.oracle.pop_physical();
+                report.returns += 1;
+                report.instr_cost += runtime.on_return(&ev, &thread.oracle);
+            } else if thread.tid == ThreadId::MAIN
+                && cfg.restart_main
+                && report.calls < cfg.budget_calls
+                && thread.idle_iterations < 1_000
+            {
+                if report.calls > thread.calls_at_restart {
+                    thread.idle_iterations = 0;
+                } else {
+                    thread.idle_iterations += 1;
+                }
+                report.main_iterations += 1;
+                thread.calls_at_restart = report.calls;
+                thread.oracle.reset();
+                runtime.on_root_reset(thread.tid);
+                thread.frames.push(Frame::root(self.program.main));
+            } else {
+                runtime.on_thread_exit(thread.tid);
+                thread.alive = false;
+            }
+            return;
+        }
+
+        match &body[frame.op_idx] {
+            Op::Work(units) => {
+                let before = report.base_cost;
+                report.base_cost += u64::from(*units);
+                frame.op_idx += 1;
+                frame.rep_left = u16::MAX;
+                if cfg.sample_every_work > 0
+                    && before / cfg.sample_every_work
+                        != report.base_cost / cfg.sample_every_work
+                {
+                    self.take_sample(thread, runtime, report);
+                }
+            }
+            Op::Call(call) => {
+                if frame.rep_left == u16::MAX {
+                    frame.rep_left = call.repeat;
+                }
+                if frame.rep_left == 0 {
+                    frame.op_idx += 1;
+                    frame.rep_left = u16::MAX;
+                    return;
+                }
+                frame.rep_left -= 1;
+
+                let p = call.prob[phase];
+                if p < 1.0 && thread.rng.gen::<f32>() >= p {
+                    return;
+                }
+
+                // Resolve the runtime target.
+                let (target, dispatch) = match &call.callee {
+                    CalleeSpec::Direct(t) => (*t, CallDispatch::Direct),
+                    CalleeSpec::Plt(t) => (*t, CallDispatch::Plt),
+                    CalleeSpec::Spawn(t) => {
+                        *pending_spawn = Some((*t, call.site));
+                        return;
+                    }
+                    CalleeSpec::Indirect { table, choice } => {
+                        let targets = &self.program.tables[*table as usize].targets;
+                        let idx = match choice {
+                            TargetChoice::Uniform => thread.rng.gen_range(0..targets.len()),
+                            TargetChoice::Skewed { hot } => {
+                                if targets.len() == 1 || thread.rng.gen::<f32>() < *hot {
+                                    0
+                                } else {
+                                    thread.rng.gen_range(1..targets.len())
+                                }
+                            }
+                        };
+                        (targets[idx], CallDispatch::Indirect)
+                    }
+                };
+
+                if thread.oracle.depth() >= cfg.max_depth {
+                    return; // recursion bound: skip the call
+                }
+
+                let ev = CallEvent {
+                    tid: thread.tid,
+                    site: call.site,
+                    caller: frame.func,
+                    callee: target,
+                    dispatch,
+                    tail: call.tail,
+                    depth: thread.oracle.depth(),
+                };
+
+                if call.tail {
+                    thread.oracle.push_tail(call.site, target);
+                    frame.func = target;
+                    frame.op_idx = 0;
+                    frame.rep_left = u16::MAX;
+                    frame.tail_chain = true;
+                } else {
+                    thread.oracle.push_call(call.site, target);
+                    let entry = FrameEntry {
+                        site: call.site,
+                        callee: target,
+                        dispatch,
+                    };
+                    thread.frames.push(Frame {
+                        func: target,
+                        op_idx: 0,
+                        rep_left: u16::MAX,
+                        entry: Some(entry),
+                        tail_chain: false,
+                    });
+                }
+
+                report.calls += 1;
+                report.instr_cost += runtime.on_call(&ev, &thread.oracle);
+
+                if cfg.sample_every > 0 && report.calls % cfg.sample_every == 0 {
+                    self.take_sample(thread, runtime, report);
+                }
+            }
+        }
+    }
+
+    fn take_sample<R: ContextRuntime>(
+        &self,
+        thread: &mut ThreadState,
+        runtime: &mut R,
+        report: &mut RunReport,
+    ) {
+        let (result, cost) = runtime.sample(thread.tid, report.calls);
+        report.instr_cost += cost;
+        report.samples += 1;
+        report.sample_depths.push(thread.oracle.depth() as u32);
+        match result {
+            SampleResult::Unsupported => report.unsupported += 1,
+            SampleResult::Path(decoded) => {
+                if !self.config.validate {
+                    report.validated += 1;
+                    return;
+                }
+                let mut truth = thread.oracle.path();
+                if let Some((prefix, site)) = &thread.spawn_prefix {
+                    truth = truth.prepend(prefix, Some(*site));
+                }
+                if decoded == truth {
+                    report.validated += 1;
+                } else {
+                    report.mismatches += 1;
+                    if report.mismatch_examples.len() < 4 {
+                        let name = |f: FunctionId| self.program.name(f).to_string();
+                        report.mismatch_examples.push(format!(
+                            "sample at call {} on {}: decoded [{}] truth [{}]",
+                            report.calls,
+                            thread.tid,
+                            decoded.display(name),
+                            truth.display(|f| self.program.name(f).to_string()),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::runtime::NullRuntime;
+
+    fn linear_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let leaf = b.function("leaf");
+        b.body(main).work(10).call(a).done();
+        b.body(a).work(5).call(leaf).done();
+        b.body(leaf).work(1).done();
+        b.build(main)
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 1000,
+            ..InterpConfig::default()
+        };
+        let r1 = Interpreter::new(&p, cfg.clone()).run(&mut NullRuntime::default());
+        let r2 = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert_eq!(r1.calls, r2.calls);
+        assert_eq!(r1.base_cost, r2.base_cost);
+        assert_eq!(r1.main_iterations, r2.main_iterations);
+    }
+
+    #[test]
+    fn budget_limits_call_events() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 100,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert_eq!(r.calls, 100);
+    }
+
+    #[test]
+    fn calls_balance_returns_after_drain() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 101, // stop mid-path so drain has work to do
+            ..InterpConfig::default()
+        };
+        let mut rt = NullRuntime::default();
+        let r = Interpreter::new(&p, cfg).run(&mut rt);
+        assert_eq!(r.calls, r.returns, "drain must balance the trace");
+        assert_eq!(rt.calls(), r.calls);
+        assert_eq!(rt.returns(), r.returns);
+    }
+
+    #[test]
+    fn main_restarts_until_budget() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 10,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        // Each main iteration produces 2 calls, so ~5 iterations.
+        assert!(r.main_iterations >= 4);
+    }
+
+    #[test]
+    fn no_restart_stops_after_one_iteration() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 1000,
+            restart_main: false,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.main_iterations, 0);
+    }
+
+    #[test]
+    fn recursion_is_bounded_by_max_depth() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let rec = b.function("rec");
+        b.body(main).call(rec).done();
+        b.body(rec).work(1).call(rec).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 10_000,
+            max_depth: 32,
+            restart_main: true,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert!(r.calls > 0);
+        assert_eq!(r.calls, r.returns);
+        assert!(r.sample_depths.iter().all(|&d| d <= 32));
+    }
+
+    #[test]
+    fn tail_calls_produce_no_intermediate_returns() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let c = b.function("c");
+        let d = b.function("d");
+        b.body(main).call(c).done();
+        b.body(c).work(1).tail(d, [1.0, 1.0]).done();
+        b.body(d).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 20,
+            restart_main: true,
+            sample_every: 0,
+            ..InterpConfig::default()
+        };
+        let mut rt = NullRuntime::default();
+        let r = Interpreter::new(&p, cfg).run(&mut rt);
+        // Per iteration: calls main->c and c->d (2 calls) but only ONE
+        // return event (control returns from d straight to main).
+        assert_eq!(r.calls, 20);
+        assert_eq!(r.returns, 10);
+    }
+
+    #[test]
+    fn spawned_threads_execute_and_exit() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let worker = b.function("worker");
+        let leaf = b.function("leaf");
+        b.body(main).spawn(worker, [1.0, 1.0]).work(10).call(leaf).done();
+        b.body(worker).work(5).call_rep(leaf, [1.0, 1.0], 4).done();
+        b.body(leaf).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 200,
+            max_threads: 4,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert!(r.threads_spawned > 1, "workers must spawn");
+        assert_eq!(r.calls, r.returns);
+    }
+
+    #[test]
+    fn probabilities_scale_call_counts() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let rare = b.function("rare");
+        let common = b.function("common");
+        b.body(main)
+            .call_p(rare, [0.01, 0.01])
+            .call_p(common, [0.99, 0.99])
+            .done();
+        b.body(rare).work(1).done();
+        b.body(common).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 20_000,
+            ..InterpConfig::default()
+        };
+        let mut rt = CountingRuntime::default();
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        let rare_calls = rt.by_callee.get(&rare).copied().unwrap_or(0);
+        let common_calls = rt.by_callee.get(&common).copied().unwrap_or(0);
+        assert!(common_calls > rare_calls * 20, "common {common_calls} rare {rare_calls}");
+    }
+
+    #[test]
+    fn phase_switch_changes_hot_path() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let ph0 = b.function("hot_in_phase0");
+        let ph1 = b.function("hot_in_phase1");
+        b.body(main)
+            .call_p(ph0, [0.95, 0.05])
+            .call_p(ph1, [0.05, 0.95])
+            .done();
+        b.body(ph0).work(1).done();
+        b.body(ph1).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 40_000,
+            ..InterpConfig::default()
+        };
+        let mut rt = CountingRuntime::default();
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        let c0 = rt.by_callee[&ph0];
+        let c1 = rt.by_callee[&ph1];
+        // Both run in roughly equal total volume across the two phases.
+        let ratio = c0 as f64 / c1 as f64;
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_records_depths() {
+        let p = linear_program();
+        let cfg = InterpConfig {
+            budget_calls: 5_000,
+            sample_every: 100,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert_eq!(r.samples, 50);
+        assert_eq!(r.sample_depths.len(), 50);
+        assert_eq!(r.unsupported, 50, "null runtime cannot decode");
+        assert_eq!(r.mismatches, 0);
+    }
+
+    #[test]
+    fn work_based_sampling_fires_on_low_call_density() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let heavy = b.function("heavy");
+        b.body(main).call(heavy).done();
+        b.body(heavy).work(10_000).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 100,
+            sample_every: 0,
+            sample_every_work: 25_000,
+            ..InterpConfig::default()
+        };
+        let r = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        // ~100 calls x 10k work = ~1M work -> ~40 samples.
+        assert!(r.samples >= 30, "got {}", r.samples);
+        assert!(r.samples <= 50, "got {}", r.samples);
+    }
+
+    #[test]
+    fn indirect_calls_hit_all_targets() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let t1 = b.function("t1");
+        let t2 = b.function("t2");
+        let t3 = b.function("t3");
+        let table = b.table(vec![t1, t2, t3]);
+        b.body(main)
+            .indirect(table, TargetChoice::Uniform, [1.0, 1.0], 3)
+            .done();
+        for t in [t1, t2, t3] {
+            b.body(t).work(1).done();
+        }
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 3_000,
+            ..InterpConfig::default()
+        };
+        let mut rt = CountingRuntime::default();
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        for t in [t1, t2, t3] {
+            assert!(rt.by_callee.get(&t).copied().unwrap_or(0) > 500);
+        }
+    }
+
+    #[test]
+    fn skewed_choice_prefers_first_target() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let hot = b.function("hot");
+        let cold = b.function("cold");
+        let table = b.table(vec![hot, cold]);
+        b.body(main)
+            .indirect(table, TargetChoice::Skewed { hot: 0.9 }, [1.0, 1.0], 2)
+            .done();
+        b.body(hot).work(1).done();
+        b.body(cold).work(1).done();
+        let p = b.build(main);
+        let cfg = InterpConfig {
+            budget_calls: 10_000,
+            ..InterpConfig::default()
+        };
+        let mut rt = CountingRuntime::default();
+        let _ = Interpreter::new(&p, cfg).run(&mut rt);
+        assert!(rt.by_callee[&hot] > rt.by_callee[&cold] * 5);
+    }
+
+    #[test]
+    fn overhead_is_ratio_of_costs() {
+        let mut r = RunReport::default();
+        r.base_cost = 1000;
+        r.instr_cost = 25;
+        assert!((r.overhead() - 0.025).abs() < 1e-12);
+        r.base_cost = 0;
+        assert_eq!(r.overhead(), 0.0);
+    }
+
+    /// Helper runtime counting per-callee call events.
+    #[derive(Default)]
+    struct CountingRuntime {
+        by_callee: std::collections::HashMap<FunctionId, u64>,
+    }
+
+    impl ContextRuntime for CountingRuntime {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn attach(&mut self, _program: &Program) {}
+        fn on_thread_start(
+            &mut self,
+            _tid: ThreadId,
+            _root: FunctionId,
+            _parent: Option<(ThreadId, CallSiteId)>,
+        ) {
+        }
+        fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+            *self.by_callee.entry(ev.callee).or_default() += 1;
+            0
+        }
+        fn on_return(&mut self, _ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+            0
+        }
+        fn sample(&mut self, _tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+            (SampleResult::Unsupported, 0)
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The synthetic program model.
+//!
+//! A [`Program`] is a closed world of functions (the main executable plus
+//! any number of lazily loaded [`SharedLibrary`]s), indirect-call target
+//! tables, and a designated `main`. Function bodies are flat op lists; each
+//! call op carries a per-phase execution probability so that workloads can
+//! shift their hot paths mid-run — the behaviour that exercises DACCE's
+//! adaptive re-encoding.
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+/// Identifies one simulated thread.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// The main thread.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Creates a thread id from its dense index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw dense index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` suitable for indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// How an indirect call site picks its runtime target from its table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TargetChoice {
+    /// Every table entry is equally likely.
+    Uniform,
+    /// Entry 0 is taken with probability `hot`, the rest uniformly share the
+    /// remainder. Models virtual-call sites with a dominant receiver type.
+    Skewed {
+        /// Probability of the dominant (first) target.
+        hot: f32,
+    },
+}
+
+/// One indirect-call target table (a function-pointer "type class").
+///
+/// `targets` are the functions actually invocable at runtime; `pointsto_extra`
+/// are additional candidates that a conservative points-to analysis would
+/// report (§2.2, Issue 1) — the PCCE baseline must encode and compare against
+/// them, DACCE never sees them.
+#[derive(Clone, Debug, Default)]
+pub struct IndirectTable {
+    /// Functions the site can really call.
+    pub targets: Vec<FunctionId>,
+    /// False-positive candidates reported by static points-to analysis.
+    pub pointsto_extra: Vec<FunctionId>,
+}
+
+/// What a call op invokes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CalleeSpec {
+    /// A direct call to a statically known function.
+    Direct(FunctionId),
+    /// An indirect call through table `table`.
+    Indirect {
+        /// Index into [`Program::tables`].
+        table: u32,
+        /// Runtime target distribution.
+        choice: TargetChoice,
+    },
+    /// A lazily bound call through the PLT to a shared-library function.
+    Plt(FunctionId),
+    /// Thread creation: run `FunctionId` on a new thread.
+    Spawn(FunctionId),
+}
+
+/// A call operation inside a function body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CallOp {
+    /// The static call site (unique across the program).
+    pub site: CallSiteId,
+    /// Target specification.
+    pub callee: CalleeSpec,
+    /// Probability that the op executes when reached, per phase.
+    pub prob: [f32; 2],
+    /// Number of times the op is attempted per body execution.
+    pub repeat: u16,
+    /// Whether the call is a tail call: the caller's frame is replaced and
+    /// the callee returns directly to the caller's caller (§5.2).
+    pub tail: bool,
+}
+
+/// One operation in a function body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Plain application work costing the given base units.
+    Work(u32),
+    /// A (possibly repeated, possibly skipped) call.
+    Call(CallOp),
+}
+
+/// A function of the program.
+#[derive(Clone, Debug, Default)]
+pub struct Function {
+    /// Human-readable name, used in reports and DOT dumps.
+    pub name: String,
+    /// Index of the shared library this function lives in, or `None` for the
+    /// main executable.
+    pub lib: Option<u32>,
+    /// The body, executed front to back.
+    pub body: Vec<Op>,
+}
+
+/// A lazily loaded shared library (§5.1). The library "loads" the first time
+/// one of its functions is invoked through the PLT.
+#[derive(Clone, Debug, Default)]
+pub struct SharedLibrary {
+    /// Library name (e.g. `libm-analog`).
+    pub name: String,
+    /// Functions exported by the library.
+    pub functions: Vec<FunctionId>,
+}
+
+/// A complete synthetic program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All functions; `FunctionId` indexes this vector.
+    pub functions: Vec<Function>,
+    /// All indirect-call target tables.
+    pub tables: Vec<IndirectTable>,
+    /// All shared libraries.
+    pub libs: Vec<SharedLibrary>,
+    /// The entry function.
+    pub main: FunctionId,
+    /// Total number of call sites allocated (sites are dense `0..site_count`).
+    pub site_count: u32,
+}
+
+impl Program {
+    /// The function data for `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a function of this program.
+    pub fn function(&self, f: FunctionId) -> &Function {
+        &self.functions[f.index()]
+    }
+
+    /// The name of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a function of this program.
+    pub fn name(&self, f: FunctionId) -> &str {
+        &self.functions[f.index()].name
+    }
+
+    /// Number of functions (main executable plus libraries).
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Iterates all call ops of the program with their containing function.
+    pub fn call_ops(&self) -> impl Iterator<Item = (FunctionId, &CallOp)> {
+        self.functions.iter().enumerate().flat_map(|(i, f)| {
+            f.body.iter().filter_map(move |op| match op {
+                Op::Call(c) => Some((FunctionId::new(i as u32), c)),
+                Op::Work(_) => None,
+            })
+        })
+    }
+
+    /// Returns the set of functions whose body contains at least one tail
+    /// call op — the functions whose *callers* need `TcStack` wrapping.
+    pub fn functions_with_tail_calls(&self) -> Vec<FunctionId> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.body
+                    .iter()
+                    .any(|op| matches!(op, Op::Call(c) if c.tail))
+            })
+            .map(|(i, _)| FunctionId::new(i as u32))
+            .collect()
+    }
+
+    /// Checks basic structural invariants; returns a description of the
+    /// first violation found.
+    ///
+    /// Validated properties: `main` exists, every referenced function /
+    /// table / library index is in range, tail calls are the last op of
+    /// their body, spawn targets are not tail calls, tables are non-empty,
+    /// and probabilities are within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.main.index() >= self.functions.len() {
+            return Err(format!("main {:?} out of range", self.main));
+        }
+        for (fi, func) in self.functions.iter().enumerate() {
+            if let Some(lib) = func.lib {
+                if lib as usize >= self.libs.len() {
+                    return Err(format!("{}: library index {lib} out of range", func.name));
+                }
+            }
+            let last_call_pos = func
+                .body
+                .iter()
+                .rposition(|op| matches!(op, Op::Call(_)));
+            for (oi, op) in func.body.iter().enumerate() {
+                let Op::Call(c) = op else { continue };
+                if c.site.index() >= self.site_count as usize {
+                    return Err(format!("{}: site {:?} out of range", func.name, c.site));
+                }
+                for p in c.prob {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("{}: probability {p} out of range", func.name));
+                    }
+                }
+                if c.tail {
+                    if Some(oi) != last_call_pos {
+                        return Err(format!(
+                            "{}: tail call {:?} is not the last call op",
+                            func.name, c.site
+                        ));
+                    }
+                    if matches!(c.callee, CalleeSpec::Spawn(_)) {
+                        return Err(format!("{}: spawn cannot be a tail call", func.name));
+                    }
+                }
+                match &c.callee {
+                    CalleeSpec::Direct(t) | CalleeSpec::Spawn(t) => {
+                        if t.index() >= self.functions.len() {
+                            return Err(format!("{}: target {t:?} out of range", func.name));
+                        }
+                    }
+                    CalleeSpec::Plt(t) => {
+                        if t.index() >= self.functions.len() {
+                            return Err(format!("{}: PLT target {t:?} out of range", func.name));
+                        }
+                        if self.functions[t.index()].lib.is_none() {
+                            return Err(format!(
+                                "{}: PLT target {t:?} is not a library function",
+                                func.name
+                            ));
+                        }
+                    }
+                    CalleeSpec::Indirect { table, .. } => {
+                        let Some(t) = self.tables.get(*table as usize) else {
+                            return Err(format!("{}: table {table} out of range", func.name));
+                        };
+                        if t.targets.is_empty() {
+                            return Err(format!("{}: table {table} has no targets", func.name));
+                        }
+                        for &g in t.targets.iter().chain(&t.pointsto_extra) {
+                            if g.index() >= self.functions.len() {
+                                return Err(format!(
+                                    "{}: table {table} target {g:?} out of range",
+                                    func.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = fi;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn call(site: u32, callee: CalleeSpec) -> Op {
+        Op::Call(CallOp {
+            site: s(site),
+            callee,
+            prob: [1.0, 1.0],
+            repeat: 1,
+            tail: false,
+        })
+    }
+
+    fn two_function_program() -> Program {
+        Program {
+            functions: vec![
+                Function {
+                    name: "main".into(),
+                    lib: None,
+                    body: vec![Op::Work(5), call(0, CalleeSpec::Direct(f(1)))],
+                },
+                Function {
+                    name: "leaf".into(),
+                    lib: None,
+                    body: vec![Op::Work(1)],
+                },
+            ],
+            tables: vec![],
+            libs: vec![],
+            main: f(0),
+            site_count: 1,
+        }
+    }
+
+    #[test]
+    fn valid_program_passes_validation() {
+        assert_eq!(two_function_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn thread_id_basics() {
+        assert_eq!(ThreadId::MAIN.raw(), 0);
+        assert_eq!(ThreadId::new(3).index(), 3);
+        assert_eq!(ThreadId::new(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn call_ops_iterates_calls_with_owner() {
+        let p = two_function_program();
+        let ops: Vec<(FunctionId, CallSiteId)> =
+            p.call_ops().map(|(owner, c)| (owner, c.site)).collect();
+        assert_eq!(ops, vec![(f(0), s(0))]);
+    }
+
+    #[test]
+    fn functions_with_tail_calls_finds_only_tail_bodies() {
+        let mut p = two_function_program();
+        p.functions[1].body = vec![Op::Call(CallOp {
+            site: s(0),
+            callee: CalleeSpec::Direct(f(0)),
+            prob: [0.1, 0.1],
+            repeat: 1,
+            tail: true,
+        })];
+        assert_eq!(p.functions_with_tail_calls(), vec![f(1)]);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_main() {
+        let mut p = two_function_program();
+        p.main = f(9);
+        assert!(p.validate().unwrap_err().contains("main"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_site() {
+        let mut p = two_function_program();
+        p.site_count = 0;
+        assert!(p.validate().unwrap_err().contains("site"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let mut p = two_function_program();
+        if let Op::Call(c) = &mut p.functions[0].body[1] {
+            c.prob = [1.5, 0.0];
+        }
+        assert!(p.validate().unwrap_err().contains("probability"));
+    }
+
+    #[test]
+    fn validate_rejects_non_final_tail_call() {
+        let mut p = two_function_program();
+        p.functions[0].body = vec![
+            Op::Call(CallOp {
+                site: s(0),
+                callee: CalleeSpec::Direct(f(1)),
+                prob: [1.0, 1.0],
+                repeat: 1,
+                tail: true,
+            }),
+            call(0, CalleeSpec::Direct(f(1))),
+        ];
+        assert!(p.validate().unwrap_err().contains("tail call"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_indirect_table() {
+        let mut p = two_function_program();
+        p.tables.push(IndirectTable::default());
+        p.functions[0].body.push(call(
+            0,
+            CalleeSpec::Indirect {
+                table: 0,
+                choice: TargetChoice::Uniform,
+            },
+        ));
+        assert!(p.validate().unwrap_err().contains("no targets"));
+    }
+
+    #[test]
+    fn validate_rejects_plt_to_non_library_function() {
+        let mut p = two_function_program();
+        p.functions[0].body.push(call(0, CalleeSpec::Plt(f(1))));
+        assert!(p
+            .validate()
+            .unwrap_err()
+            .contains("not a library function"));
+    }
+
+    #[test]
+    fn validate_rejects_spawn_tail_call() {
+        let mut p = two_function_program();
+        p.functions[0].body = vec![Op::Call(CallOp {
+            site: s(0),
+            callee: CalleeSpec::Spawn(f(1)),
+            prob: [1.0, 1.0],
+            repeat: 1,
+            tail: true,
+        })];
+        assert!(p.validate().unwrap_err().contains("spawn"));
+    }
+
+    #[test]
+    fn validate_accepts_library_plt_call() {
+        let mut p = two_function_program();
+        p.libs.push(SharedLibrary {
+            name: "libx".into(),
+            functions: vec![f(2)],
+        });
+        p.functions.push(Function {
+            name: "lib_fn".into(),
+            lib: Some(0),
+            body: vec![Op::Work(1)],
+        });
+        p.functions[0].body.push(call(0, CalleeSpec::Plt(f(2))));
+        assert_eq!(p.validate(), Ok(()));
+    }
+}

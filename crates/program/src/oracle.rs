@@ -1,0 +1,301 @@
+//! The logical calling-context oracle.
+//!
+//! The interpreter maintains, per thread, the ground-truth calling context:
+//! the chain of call sites taken from the thread's root function to the
+//! current function. Tail calls *extend* the logical context even though
+//! they replace the physical frame (the paper decodes `A C D F` for a path
+//! through the tail call `C -> D`, Figure 7), so one physical frame can
+//! account for several logical steps; returning from a physical frame pops
+//! all of them at once.
+//!
+//! Oracle paths are what the paper obtains by walking the stack with
+//! libpfm4 samples; every runtime's decoded context is validated against
+//! them.
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+/// One step of a calling context: function `func` was entered from call site
+/// `site` (or is the thread root when `site` is `None`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathStep {
+    /// The call site in the caller, `None` for the root frame.
+    pub site: Option<CallSiteId>,
+    /// The function entered.
+    pub func: FunctionId,
+}
+
+/// A full calling context, root first.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ContextPath(pub Vec<PathStep>);
+
+impl ContextPath {
+    /// The context consisting only of the root function.
+    pub fn root(func: FunctionId) -> Self {
+        ContextPath(vec![PathStep { site: None, func }])
+    }
+
+    /// Number of steps (the call-stack depth, root inclusive).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The innermost (current) function, if the path is non-empty.
+    pub fn leaf(&self) -> Option<FunctionId> {
+        self.0.last().map(|s| s.func)
+    }
+
+    /// Concatenates a parent context with this one (used to prepend the
+    /// thread-creation context of a child thread, §5.3). The child's root
+    /// step keeps the spawn site recorded by the runtime.
+    #[must_use]
+    pub fn prepend(&self, parent: &ContextPath, spawn_site: Option<CallSiteId>) -> ContextPath {
+        let mut steps = parent.0.clone();
+        let mut it = self.0.iter();
+        if let Some(first) = it.next() {
+            steps.push(PathStep {
+                site: spawn_site,
+                func: first.func,
+            });
+        }
+        steps.extend(it.copied());
+        ContextPath(steps)
+    }
+
+    /// Renders the path as `main -(cs0)-> f1 -(cs3)-> f2` for diagnostics.
+    pub fn display(&self, mut name: impl FnMut(FunctionId) -> String) -> String {
+        let mut out = String::new();
+        for (i, step) in self.0.iter().enumerate() {
+            if i > 0 {
+                match step.site {
+                    Some(s) => out.push_str(&format!(" -({s})-> ")),
+                    None => out.push_str(" -> "),
+                }
+            }
+            out.push_str(&name(step.func));
+        }
+        out
+    }
+}
+
+/// One oracle frame.
+#[derive(Clone, Copy, Debug)]
+struct OracleFrame {
+    site: CallSiteId,
+    func: FunctionId,
+    /// True when this logical step owns a physical interpreter frame; tail
+    /// calls push non-physical steps that are popped together with the
+    /// physical frame beneath them.
+    physical: bool,
+}
+
+/// The per-thread ground-truth logical call stack.
+#[derive(Clone, Debug)]
+pub struct OracleStack {
+    root: FunctionId,
+    frames: Vec<OracleFrame>,
+}
+
+impl OracleStack {
+    /// A fresh stack for a thread rooted at `root`.
+    pub fn new(root: FunctionId) -> Self {
+        OracleStack {
+            root,
+            frames: Vec::with_capacity(64),
+        }
+    }
+
+    /// The thread's root function.
+    pub fn root(&self) -> FunctionId {
+        self.root
+    }
+
+    /// Logical depth including the root.
+    pub fn depth(&self) -> usize {
+        self.frames.len() + 1
+    }
+
+    /// The current (innermost) function.
+    pub fn current(&self) -> FunctionId {
+        self.frames.last().map(|f| f.func).unwrap_or(self.root)
+    }
+
+    /// Records a non-tail call through `site` into `func`.
+    pub fn push_call(&mut self, site: CallSiteId, func: FunctionId) {
+        self.frames.push(OracleFrame {
+            site,
+            func,
+            physical: true,
+        });
+    }
+
+    /// Records a tail call through `site` into `func`: a logical step that
+    /// shares its physical frame with the step below.
+    pub fn push_tail(&mut self, site: CallSiteId, func: FunctionId) {
+        self.frames.push(OracleFrame {
+            site,
+            func,
+            physical: false,
+        });
+    }
+
+    /// Unwinds one *physical* return: pops the newest physical step and all
+    /// tail steps stacked on top of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no physical frame is on the stack.
+    pub fn pop_physical(&mut self) {
+        while let Some(top) = self.frames.pop() {
+            if top.physical {
+                return;
+            }
+        }
+        panic!("pop_physical on a stack without physical frames");
+    }
+
+    /// Clears all frames (used when the main loop restarts).
+    pub fn reset(&mut self) {
+        self.frames.clear();
+    }
+
+    /// The current logical context, root first.
+    pub fn path(&self) -> ContextPath {
+        let mut steps = Vec::with_capacity(self.frames.len() + 1);
+        steps.push(PathStep {
+            site: None,
+            func: self.root,
+        });
+        steps.extend(self.frames.iter().map(|f| PathStep {
+            site: Some(f.site),
+            func: f.func,
+        }));
+        ContextPath(steps)
+    }
+
+    /// Iterates the logical steps innermost-first as `(site, func)` pairs,
+    /// excluding the root. This mirrors what a stack walk would see and is
+    /// handed to runtimes at trap/re-encode time (see `DESIGN.md`).
+    pub fn walk_innermost_first(&self) -> impl Iterator<Item = (CallSiteId, FunctionId)> + '_ {
+        self.frames.iter().rev().map(|f| (f.site, f.func))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    #[test]
+    fn root_path_has_depth_one() {
+        let o = OracleStack::new(f(0));
+        assert_eq!(o.depth(), 1);
+        assert_eq!(o.current(), f(0));
+        assert_eq!(o.path(), ContextPath::root(f(0)));
+        assert_eq!(o.path().leaf(), Some(f(0)));
+    }
+
+    #[test]
+    fn push_and_pop_track_calls() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(1), f(1));
+        o.push_call(s(2), f(2));
+        assert_eq!(o.depth(), 3);
+        assert_eq!(o.current(), f(2));
+        o.pop_physical();
+        assert_eq!(o.current(), f(1));
+        o.pop_physical();
+        assert_eq!(o.depth(), 1);
+    }
+
+    #[test]
+    fn tail_calls_extend_logical_path_but_share_frame() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(1), f(1)); // A calls C
+        o.push_tail(s(2), f(2)); // C tail-calls D
+        o.push_tail(s(3), f(3)); // D tail-calls E
+        assert_eq!(o.depth(), 4);
+        assert_eq!(o.current(), f(3));
+        // One physical return unwinds the whole tail chain.
+        o.pop_physical();
+        assert_eq!(o.depth(), 1);
+        assert_eq!(o.current(), f(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_physical")]
+    fn pop_on_empty_stack_panics() {
+        let mut o = OracleStack::new(f(0));
+        o.pop_physical();
+    }
+
+    #[test]
+    fn path_records_sites_in_order() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(5), f(1));
+        o.push_tail(s(7), f(2));
+        let p = o.path();
+        assert_eq!(
+            p.0,
+            vec![
+                PathStep { site: None, func: f(0) },
+                PathStep { site: Some(s(5)), func: f(1) },
+                PathStep { site: Some(s(7)), func: f(2) },
+            ]
+        );
+    }
+
+    #[test]
+    fn walk_innermost_first_reverses_frames() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(1), f(1));
+        o.push_call(s(2), f(2));
+        let walked: Vec<_> = o.walk_innermost_first().collect();
+        assert_eq!(walked, vec![(s(2), f(2)), (s(1), f(1))]);
+    }
+
+    #[test]
+    fn prepend_concatenates_parent_context() {
+        let parent = ContextPath(vec![
+            PathStep { site: None, func: f(0) },
+            PathStep { site: Some(s(1)), func: f(1) },
+        ]);
+        let child = ContextPath(vec![
+            PathStep { site: None, func: f(9) },
+            PathStep { site: Some(s(4)), func: f(10) },
+        ]);
+        let full = child.prepend(&parent, Some(s(3)));
+        assert_eq!(full.depth(), 4);
+        assert_eq!(full.0[2], PathStep { site: Some(s(3)), func: f(9) });
+        assert_eq!(full.0[3], PathStep { site: Some(s(4)), func: f(10) });
+    }
+
+    #[test]
+    fn prepend_of_empty_child_is_parent() {
+        let parent = ContextPath::root(f(0));
+        let child = ContextPath::default();
+        assert_eq!(child.prepend(&parent, None), parent);
+    }
+
+    #[test]
+    fn display_renders_sites() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(1), f(1));
+        let text = o.path().display(|id| format!("fn{}", id.raw()));
+        assert_eq!(text, "fn0 -(cs1)-> fn1");
+    }
+
+    #[test]
+    fn reset_clears_frames() {
+        let mut o = OracleStack::new(f(0));
+        o.push_call(s(1), f(1));
+        o.reset();
+        assert_eq!(o.depth(), 1);
+        assert_eq!(o.current(), f(0));
+    }
+}

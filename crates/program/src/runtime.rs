@@ -1,0 +1,205 @@
+//! The hook interface between the interpreter and context runtimes.
+//!
+//! A *context runtime* plays the role of the instrumentation a real system
+//! would patch into the program binary: it observes every dynamic call and
+//! return, maintains whatever per-thread encoding state it needs, and
+//! answers periodic sample requests with its best reconstruction of the
+//! current calling context. The interpreter charges the cost units returned
+//! by each hook against the program's base work to compute overhead.
+
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+use crate::model::{Program, ThreadId};
+use crate::oracle::{ContextPath, OracleStack};
+
+/// How the call dispatches, as visible to instrumentation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallDispatch {
+    /// Direct call.
+    Direct,
+    /// Indirect call through a function pointer.
+    Indirect,
+    /// Lazily bound PLT call.
+    Plt,
+}
+
+/// A dynamic call event, delivered *before* the callee starts executing.
+#[derive(Clone, Copy, Debug)]
+pub struct CallEvent {
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// The static call site.
+    pub site: CallSiteId,
+    /// The function containing the call site.
+    pub caller: FunctionId,
+    /// The runtime target.
+    pub callee: FunctionId,
+    /// Dispatch kind.
+    pub dispatch: CallDispatch,
+    /// Whether this is a tail call (the caller's frame is replaced).
+    pub tail: bool,
+    /// Logical call depth before the call (root = 1).
+    pub depth: usize,
+}
+
+/// A dynamic return event, delivered when control returns *to the frame that
+/// executed the call at `site`*. For tail-call chains, no return events are
+/// delivered for the intermediate tail edges — exactly like real hardware,
+/// where the "after call" instrumentation of a `jmp`-reached callee never
+/// runs (§5.2 of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct ReturnEvent {
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// The call site whose after-call instrumentation now executes.
+    pub site: CallSiteId,
+    /// The function containing the call site (control returns into it).
+    pub caller: FunctionId,
+    /// The *original* target the site invoked when the frame was created
+    /// (for an indirect site this selects the instrumentation branch taken).
+    pub callee: FunctionId,
+    /// Dispatch kind of the site.
+    pub dispatch: CallDispatch,
+    /// Whether the returning frame was replaced by tail calls at least once.
+    pub tail_chain: bool,
+}
+
+/// Result of a sample request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleResult {
+    /// The runtime decoded the current context to this path.
+    Path(ContextPath),
+    /// The runtime cannot reconstruct contexts (e.g. probabilistic hashing);
+    /// the sample is recorded but not validated.
+    Unsupported,
+}
+
+/// A context runtime driven by the interpreter.
+///
+/// The `stack` argument of [`ContextRuntime::on_call`] and
+/// [`ContextRuntime::on_return`] is the machine-stack view that a dynamic
+/// binary instrumentation handler has access to. Honest runtimes consult it
+/// only where the paper's handler walks the stack (first-trap fix-ups and
+/// re-encoding); the validation harness catches any runtime whose decoded
+/// contexts drift from the truth.
+pub trait ContextRuntime {
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before execution starts. The runtime may pre-compute
+    /// whatever static information its approach requires (PCCE builds and
+    /// encodes the whole static graph here; DACCE only creates `main`).
+    fn attach(&mut self, program: &Program);
+
+    /// A new thread begins at `root`. `parent` carries the spawning thread
+    /// and call site for all threads but the initial one.
+    fn on_thread_start(
+        &mut self,
+        tid: ThreadId,
+        root: FunctionId,
+        parent: Option<(ThreadId, CallSiteId)>,
+    );
+
+    /// A call is about to transfer control. Returns cost units charged.
+    fn on_call(&mut self, ev: &CallEvent, stack: &OracleStack) -> u64;
+
+    /// Control returned to the caller of `site`. Returns cost units charged.
+    fn on_return(&mut self, ev: &ReturnEvent, stack: &OracleStack) -> u64;
+
+    /// A thread finished.
+    fn on_thread_exit(&mut self, _tid: ThreadId) {}
+
+    /// The main loop completed one iteration and restarts from an empty
+    /// stack; per-thread encoding state is expected to be back at its
+    /// initial value, so the default does nothing.
+    fn on_root_reset(&mut self, _tid: ThreadId) {}
+
+    /// Record a sample of the current context of `tid` and return the
+    /// decoded path for cross-validation. `events` is the global event
+    /// counter, usable as a logical clock. Returns the decoded result and
+    /// cost units charged.
+    fn sample(&mut self, tid: ThreadId, events: u64) -> (SampleResult, u64);
+}
+
+/// A runtime that does nothing; measures pure base cost and validates the
+/// oracle against itself.
+#[derive(Debug, Default)]
+pub struct NullRuntime {
+    calls: u64,
+    returns: u64,
+}
+
+impl NullRuntime {
+    /// Number of call events observed.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Number of return events observed.
+    pub fn returns(&self) -> u64 {
+        self.returns
+    }
+}
+
+impl ContextRuntime for NullRuntime {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn attach(&mut self, _program: &Program) {}
+
+    fn on_thread_start(
+        &mut self,
+        _tid: ThreadId,
+        _root: FunctionId,
+        _parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+    }
+
+    fn on_call(&mut self, _ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        self.calls += 1;
+        0
+    }
+
+    fn on_return(&mut self, _ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        self.returns += 1;
+        0
+    }
+
+    fn sample(&mut self, _tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        (SampleResult::Unsupported, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_runtime_counts_events() {
+        let mut rt = NullRuntime::default();
+        let stack = OracleStack::new(FunctionId::new(0));
+        let ev = CallEvent {
+            tid: ThreadId::MAIN,
+            site: CallSiteId::new(0),
+            caller: FunctionId::new(0),
+            callee: FunctionId::new(1),
+            dispatch: CallDispatch::Direct,
+            tail: false,
+            depth: 1,
+        };
+        assert_eq!(rt.on_call(&ev, &stack), 0);
+        let rev = ReturnEvent {
+            tid: ThreadId::MAIN,
+            site: CallSiteId::new(0),
+            caller: FunctionId::new(0),
+            callee: FunctionId::new(1),
+            dispatch: CallDispatch::Direct,
+            tail_chain: false,
+        };
+        assert_eq!(rt.on_return(&rev, &stack), 0);
+        assert_eq!(rt.calls(), 1);
+        assert_eq!(rt.returns(), 1);
+        assert_eq!(rt.sample(ThreadId::MAIN, 0).0, SampleResult::Unsupported);
+    }
+}

@@ -1,0 +1,143 @@
+//! Static characterisation of generated programs.
+//!
+//! Summarises the structural properties a benchmark's generated program
+//! actually has — function counts by role, call sites by dispatch kind,
+//! cold-code share — for sanity checks against the spec and for the
+//! experiment reports.
+
+use dacce_program::{CalleeSpec, Op, Program};
+
+/// Structural summary of one program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramShape {
+    /// Total functions (libraries included).
+    pub functions: usize,
+    /// Functions belonging to shared libraries.
+    pub lib_functions: usize,
+    /// Functions whose name marks them as never-executed cold code.
+    pub cold_functions: usize,
+    /// Total call sites.
+    pub sites: usize,
+    /// Direct call sites.
+    pub direct_sites: usize,
+    /// Indirect call sites.
+    pub indirect_sites: usize,
+    /// PLT call sites.
+    pub plt_sites: usize,
+    /// Thread-spawn sites.
+    pub spawn_sites: usize,
+    /// Tail-call sites.
+    pub tail_sites: usize,
+    /// Call sites that can never execute (probability 0 in every phase).
+    pub cold_sites: usize,
+    /// Distinct indirect tables.
+    pub tables: usize,
+    /// Sum of real indirect targets over all tables.
+    pub indirect_targets: usize,
+    /// Sum of points-to false positives over all tables.
+    pub pointsto_extra: usize,
+}
+
+impl ProgramShape {
+    /// Fraction of call sites that can never execute.
+    pub fn cold_site_fraction(&self) -> f64 {
+        if self.sites == 0 {
+            return 0.0;
+        }
+        self.cold_sites as f64 / self.sites as f64
+    }
+}
+
+/// Computes the shape of `program`.
+pub fn characterize(program: &Program) -> ProgramShape {
+    let mut shape = ProgramShape {
+        functions: program.function_count(),
+        lib_functions: program.functions.iter().filter(|f| f.lib.is_some()).count(),
+        cold_functions: program
+            .functions
+            .iter()
+            .filter(|f| f.name.starts_with("cold"))
+            .count(),
+        tables: program.tables.len(),
+        indirect_targets: program.tables.iter().map(|t| t.targets.len()).sum(),
+        pointsto_extra: program.tables.iter().map(|t| t.pointsto_extra.len()).sum(),
+        ..ProgramShape::default()
+    };
+    for func in &program.functions {
+        for op in &func.body {
+            let Op::Call(c) = op else { continue };
+            shape.sites += 1;
+            match c.callee {
+                CalleeSpec::Direct(_) => shape.direct_sites += 1,
+                CalleeSpec::Indirect { .. } => shape.indirect_sites += 1,
+                CalleeSpec::Plt(_) => shape.plt_sites += 1,
+                CalleeSpec::Spawn(_) => shape.spawn_sites += 1,
+            }
+            if c.tail {
+                shape.tail_sites += 1;
+            }
+            if c.prob.iter().all(|&p| p == 0.0) {
+                shape.cold_sites += 1;
+            }
+        }
+    }
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate_program;
+    use crate::spec::BenchSpec;
+    use crate::suite::all_benchmarks;
+
+    #[test]
+    fn tiny_spec_shape_matches_parameters() {
+        let spec = BenchSpec::tiny("shape", 3);
+        let p = generate_program(&spec);
+        let shape = characterize(&p);
+        assert_eq!(shape.functions, p.function_count());
+        assert_eq!(shape.tables, spec.indirect_sites);
+        assert_eq!(shape.indirect_sites, spec.indirect_sites);
+        assert!(shape.cold_sites > 0, "cold structure present");
+        assert!(shape.cold_site_fraction() > 0.0);
+        assert!(shape.lib_functions >= spec.lib_functions);
+        assert_eq!(shape.spawn_sites, spec.threads.saturating_sub(1));
+    }
+
+    #[test]
+    fn suite_shapes_reflect_their_specs() {
+        for spec in all_benchmarks() {
+            let p = generate_program(&spec);
+            let shape = characterize(&p);
+            assert_eq!(
+                shape.spawn_sites,
+                spec.threads.saturating_sub(1),
+                "{}",
+                spec.name
+            );
+            assert_eq!(shape.tables, spec.indirect_sites, "{}", spec.name);
+            if spec.cold_functions > 0 || spec.cold_ladder > 0 {
+                assert!(shape.cold_sites > 0, "{} has no cold sites", spec.name);
+            }
+            if spec.tail_fraction > 0.0 && spec.bush_depth >= 2 && spec.bush_width >= 8 {
+                assert!(shape.tail_sites > 0, "{} has no tail sites", spec.name);
+            }
+            // x264's signature: large indirect target sets.
+            if spec.name == "x264" {
+                assert!(shape.indirect_targets / shape.tables.max(1) >= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_shape_is_zero() {
+        let mut b = dacce_program::ProgramBuilder::new();
+        let main = b.function("main");
+        b.body(main).work(1).done();
+        let p = b.build(main);
+        let shape = characterize(&p);
+        assert_eq!(shape.sites, 0);
+        assert_eq!(shape.cold_site_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The experiment driver: one benchmark, all runtimes, all numbers.
+//!
+//! Reproduces the paper's methodology (§6.1): a Pin-style profiling run
+//! feeds the PCCE baseline; the measured runs execute the same workload
+//! (same seed, same interleaving) under PCCE and DACCE; periodic samples
+//! are cross-validated against the interpreter's stack-walking oracle.
+
+use dacce::{DacceConfig, DacceRuntime, DacceStats};
+use dacce_pcce::{PcceRuntime, PcceStats, ProfilingRuntime};
+use dacce_program::{CostModel, InterpConfig, Interpreter, Program, RunReport};
+
+use crate::genprog::generate_program;
+use crate::spec::BenchSpec;
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Multiplies every spec's call budget (0.1 for smoke runs, 1.0 for the
+    /// paper tables).
+    pub scale: f64,
+    /// Sample interval in call events (the paper samples at ~100 Hz; one
+    /// sample per ~1k calls keeps validation strong without dominating
+    /// cost).
+    pub sample_every: u64,
+    /// Validate every decoded sample against the oracle.
+    pub validate: bool,
+    /// DACCE engine configuration.
+    pub dacce: DacceConfig,
+    /// Cost model shared by all runtimes.
+    pub cost: CostModel,
+    /// Keep DACCE's full sample log (needed by the figure binaries).
+    pub keep_sample_log: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            scale: 1.0,
+            sample_every: 1009,
+            validate: true,
+            dacce: DacceConfig::default(),
+            cost: CostModel::default(),
+            keep_sample_log: false,
+        }
+    }
+}
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchOutcome {
+    /// The benchmark name.
+    pub name: &'static str,
+    /// Dynamic call events of the measured runs.
+    pub calls: u64,
+    /// Base work of the measured runs.
+    pub base_cost: u64,
+    /// DACCE interpreter report.
+    pub dacce_report: RunReport,
+    /// DACCE engine statistics.
+    pub dacce_stats: DacceStats,
+    /// Final DACCE graph size (nodes, edges).
+    pub dacce_graph: (usize, usize),
+    /// PCCE interpreter report.
+    pub pcce_report: RunReport,
+    /// PCCE statistics.
+    pub pcce_stats: PcceStats,
+}
+
+impl BenchOutcome {
+    /// DACCE steady-state overhead ratio (see
+    /// [`RunReport::warm_overhead`]).
+    pub fn dacce_overhead(&self) -> f64 {
+        self.dacce_report.warm_overhead()
+    }
+
+    /// PCCE steady-state overhead ratio.
+    pub fn pcce_overhead(&self) -> f64 {
+        self.pcce_report.warm_overhead()
+    }
+
+    /// Whole-run overhead ratios `(pcce, dacce)`, warm-up included.
+    pub fn cold_overheads(&self) -> (f64, f64) {
+        (self.pcce_report.overhead(), self.dacce_report.overhead())
+    }
+
+    /// The `calls/s` analog: calls per million base-work units.
+    pub fn call_density(&self) -> f64 {
+        self.dacce_report.calls_per_mwork()
+    }
+
+    /// ccStack operations per million work units for (PCCE, DACCE) — the
+    /// Table 1 `ccStack/s` analog.
+    pub fn ccstack_density(&self) -> (f64, f64) {
+        let base = self.base_cost.max(1) as f64 / 1e6;
+        (
+            self.pcce_stats.ccstack_ops as f64 / base,
+            self.dacce_stats.ccstack_ops as f64 / base,
+        )
+    }
+
+    /// True when every sample of both runs decoded to the oracle context.
+    pub fn fully_validated(&self) -> bool {
+        self.dacce_report.mismatches == 0
+            && self.pcce_report.mismatches == 0
+            && self.dacce_report.unsupported == 0
+            && self.pcce_report.unsupported == 0
+            && self.dacce_stats.decode_errors == 0
+            && self.pcce_stats.decode_errors == 0
+    }
+}
+
+/// The interpreter configuration the driver uses for `spec`.
+pub fn interp_config(spec: &BenchSpec, cfg: &DriverConfig) -> InterpConfig {
+    InterpConfig {
+        seed: spec.seed,
+        max_depth: spec.max_depth,
+        budget_calls: ((spec.budget_calls as f64 * cfg.scale) as u64).max(1_000),
+        sample_every: cfg.sample_every,
+        sample_every_work: 0,
+        switch_every: 64,
+        max_threads: spec.threads.max(1),
+        restart_main: true,
+        validate: cfg.validate,
+    }
+}
+
+/// Generates the program for `spec` (exposed for the figure binaries).
+pub fn program_of(spec: &BenchSpec) -> Program {
+    generate_program(spec)
+}
+
+/// Runs profiling, PCCE and DACCE over one benchmark.
+pub fn run_benchmark(spec: &BenchSpec, cfg: &DriverConfig) -> BenchOutcome {
+    let program = generate_program(spec);
+    let icfg = interp_config(spec, cfg);
+
+    // 1. Offline profiling run (feeds PCCE; costless, §6.1).
+    let mut profiler = ProfilingRuntime::new();
+    let _ = Interpreter::new(&program, icfg.clone()).run(&mut profiler);
+    let profile = profiler.into_data();
+
+    // 2. PCCE measured run.
+    let mut pcce = PcceRuntime::new(profile, cfg.cost.clone());
+    let pcce_report = Interpreter::new(&program, icfg.clone()).run(&mut pcce);
+
+    // 3. DACCE measured run.
+    let mut dacce_cfg = cfg.dacce.clone();
+    dacce_cfg.keep_sample_log = cfg.keep_sample_log;
+    let mut dacce = DacceRuntime::new(dacce_cfg, cfg.cost.clone());
+    let dacce_report = Interpreter::new(&program, icfg).run(&mut dacce);
+
+    let graph = dacce.engine().graph();
+    let dacce_graph = (graph.node_count(), graph.edge_count());
+
+    BenchOutcome {
+        name: spec.name,
+        calls: dacce_report.calls,
+        base_cost: dacce_report.base_cost,
+        dacce_stats: dacce.stats(),
+        dacce_graph,
+        dacce_report,
+        pcce_stats: pcce.stats(),
+        pcce_report,
+    }
+}
+
+/// Runs only DACCE (no profiling/PCCE) over one benchmark — used by the
+/// ablation studies, which compare engine configurations against each
+/// other.
+pub fn run_dacce_only(spec: &BenchSpec, cfg: &DriverConfig) -> (RunReport, DacceStats) {
+    let program = generate_program(spec);
+    let icfg = interp_config(spec, cfg);
+    let mut dacce_cfg = cfg.dacce.clone();
+    dacce_cfg.keep_sample_log = cfg.keep_sample_log;
+    let mut dacce = DacceRuntime::new(dacce_cfg, cfg.cost.clone());
+    let report = Interpreter::new(&program, icfg).run(&mut dacce);
+    (report, dacce.stats())
+}
+
+/// Runs an arbitrary context runtime over one benchmark (related-work
+/// comparisons).
+pub fn run_with<R: dacce_program::ContextRuntime>(
+    spec: &BenchSpec,
+    cfg: &DriverConfig,
+    runtime: &mut R,
+) -> RunReport {
+    let program = generate_program(spec);
+    let icfg = interp_config(spec, cfg);
+    Interpreter::new(&program, icfg).run(runtime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_benchmark_round_trip() {
+        let spec = BenchSpec::tiny("driver-test", 21);
+        let cfg = DriverConfig {
+            scale: 0.5,
+            sample_every: 211,
+            ..DriverConfig::default()
+        };
+        let out = run_benchmark(&spec, &cfg);
+        assert!(out.fully_validated(), "dacce: {:?}\npcce: {:?}",
+            out.dacce_report.mismatch_examples, out.pcce_report.mismatch_examples);
+        assert!(out.calls >= 1_000);
+        assert!(out.dacce_graph.0 > 5);
+        // PCCE's static graph covers at least the dynamic one.
+        assert!(out.pcce_stats.nodes >= out.dacce_graph.0);
+        assert!(out.pcce_stats.edges >= out.dacce_graph.1);
+        // Overheads are finite and small-ish.
+        assert!(out.dacce_overhead() < 2.0);
+        assert!(out.pcce_overhead() < 2.0);
+    }
+
+    #[test]
+    fn scale_controls_budget() {
+        let spec = BenchSpec::tiny("driver-test", 22);
+        let small = run_benchmark(
+            &spec,
+            &DriverConfig {
+                scale: 0.1,
+                ..DriverConfig::default()
+            },
+        );
+        let large = run_benchmark(
+            &spec,
+            &DriverConfig {
+                scale: 1.0,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(large.calls > small.calls);
+    }
+}

@@ -1,0 +1,471 @@
+//! Deterministic program generation from a [`BenchSpec`].
+//!
+//! The generated program is assembled from the motifs described in
+//! [`crate::spec`]; all randomness comes from the spec's seed, so each
+//! benchmark is a fixed program.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dacce_callgraph::FunctionId;
+use dacce_program::model::TargetChoice;
+use dacce_program::{CalleeSpec, Program, ProgramBuilder};
+
+use crate::spec::BenchSpec;
+
+/// Never-executed probability (statically present call).
+const COLD: [f32; 2] = [0.0, 0.0];
+
+/// Generates the synthetic program of `spec`.
+pub fn generate_program(spec: &BenchSpec) -> Program {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xdacc_e001);
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main");
+
+    // ---- hot bush: layered DAG --------------------------------------
+    let mut layers: Vec<Vec<FunctionId>> = Vec::new();
+    for l in 0..spec.bush_depth {
+        let layer: Vec<FunctionId> = (0..spec.bush_width)
+            .map(|i| b.function(&format!("bush_l{l}_{i}")))
+            .collect();
+        layers.push(layer);
+    }
+
+    // ---- hot ladder: doubling diamonds ------------------------------
+    let mut ladder_heads: Vec<FunctionId> = Vec::new();
+    let mut ladder_pairs: Vec<(FunctionId, FunctionId)> = Vec::new();
+    for s in 0..=spec.hot_ladder {
+        ladder_heads.push(b.function(&format!("ladder_a{s}")));
+        if s < spec.hot_ladder {
+            ladder_pairs.push((
+                b.function(&format!("ladder_l{s}")),
+                b.function(&format!("ladder_r{s}")),
+            ));
+        }
+    }
+    // Ladder sabotage stages (deepest first — ladder traffic grows
+    // exponentially with depth, so deep false back edges hurt PCCE most).
+    let sabotaged_stages: Vec<usize> = (0..spec.cold_back_edges)
+        .filter(|i| spec.hot_ladder > 2 * (i + 1))
+        .map(|i| spec.hot_ladder - 1 - 2 * i)
+        .collect();
+    for s in 0..spec.hot_ladder {
+        let (l, r) = ladder_pairs[s];
+        let mut body = b
+            .body(ladder_heads[s])
+            .work(spec.call_work / 4 + 1)
+            .call_p(l, [0.6, 0.6])
+            .call_p(r, [0.55, 0.55]);
+        if sabotaged_stages.contains(&s) {
+            body = body.call_p(ladder_heads[0], COLD);
+        }
+        body.done();
+        b.body(l).work(1).call(ladder_heads[s + 1]).done();
+        b.body(r).work(1).call(ladder_heads[s + 1]).done();
+    }
+    b.body(ladder_heads[spec.hot_ladder])
+        .work(spec.call_work / 4 + 1)
+        .done();
+
+    // Sabotage pairs (§6.4): `S` is the designated hot callee of the
+    // entry-layer function `U`. A never-executed edge `S -> U` closes a
+    // static cycle whose whole-graph DFS (entered first through a cold
+    // `main -> S` edge) classifies the *hot* edge `U -> S` as a back edge —
+    // so PCCE pushes the ccStack on a hot path forever, while DACCE, which
+    // only sees invoked edges, keeps it encoded.
+    let sabotage: Vec<(FunctionId, FunctionId)> = if spec.bush_depth >= 2 {
+        (0..spec.cold_back_edges.min(spec.bush_width))
+            .map(|i| {
+                let u = layers[0][i];
+                let s = layers[1][(i * 3) % spec.bush_width];
+                (u, s)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // ---- deep recursive chains (long cycles, shallow ccStack) --------
+    // Each chain is an independent recursion region. With sabotage
+    // enabled, a never-executed edge chain[1] -> chain[0] plus a cold
+    // `main -> chain[1]` entry turns the *hot* link chain[0] -> chain[1]
+    // into a PCCE back edge, doubling PCCE's ccStack pushes per loop.
+    let mut chain_entries: Vec<FunctionId> = Vec::new();
+    let mut chain_sabotage_heads: Vec<FunctionId> = Vec::new();
+    if spec.deep_chain > 1 {
+        let n_chains = spec.chain_count.max(1);
+        let len = (spec.deep_chain / n_chains).max(2);
+        for c in 0..n_chains {
+            let chain: Vec<FunctionId> = (0..len)
+                .map(|i| b.function(&format!("chain{c}_{i}")))
+                .collect();
+            // Every chain function makes a quick helper call; on sabotaged
+            // chains a never-executed helper -> chain[0] edge closes a
+            // static cycle, so PCCE's whole-graph DFS (entered through a
+            // cold `main -> helper` edge) flags every hot
+            // `chain[i] -> helper` edge as a back edge: PCCE then pushes
+            // the ccStack on a quarter of all chain calls — at transient
+            // depth 1, matching the paper's shallow-but-frequent ccStack
+            // profile for 483.xalancbmk.
+            let helper = b.function(&format!("chain{c}_helper"));
+            let sabotage_this = c < spec.cold_back_edges.min(n_chains);
+            {
+                let mut hb = b.body(helper).work(spec.call_work / 8 + 1);
+                if sabotage_this {
+                    hb = hb.call_p(chain[0], COLD);
+                    chain_sabotage_heads.push(helper);
+                }
+                hb.done();
+            }
+            for i in 0..len {
+                let mut body = b
+                    .body(chain[i])
+                    .work(spec.call_work / 8 + 1)
+                    .call_p(helper, [0.25, 0.25]);
+                if i + 1 < len {
+                    body = body.call_p(chain[i + 1], [0.999, 0.999]);
+                } else {
+                    body = body.call_p(
+                        chain[0],
+                        [spec.chain_loop_prob, spec.chain_loop_prob],
+                    );
+                }
+                body.done();
+            }
+            chain_entries.push(chain[0]);
+        }
+    }
+
+    // ---- recursion motifs -------------------------------------------
+    let mut rec_entries: Vec<FunctionId> = Vec::new();
+    for i in 0..spec.self_recursion {
+        let f = b.function(&format!("self_rec{i}"));
+        let leaf = layers
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(main);
+        b.body(f)
+            .work(spec.call_work / 8 + 1)
+            .call_p(leaf, [0.2, 0.2])
+            .call_p(f, [spec.recursion_prob, spec.recursion_prob])
+            .done();
+        rec_entries.push(f);
+    }
+    for i in 0..spec.mutual_recursion {
+        let fa = b.function(&format!("mut_a{i}"));
+        let fb = b.function(&format!("mut_b{i}"));
+        b.body(fa)
+            .work(spec.call_work / 8 + 1)
+            .call_p(fb, [spec.recursion_prob, spec.recursion_prob])
+            .done();
+        b.body(fb)
+            .work(spec.call_work / 8 + 1)
+            .call_p(fa, [spec.recursion_prob * 0.9, spec.recursion_prob * 0.9])
+            .done();
+        rec_entries.push(fa);
+    }
+
+    // ---- cold structure ----------------------------------------------
+    // Cold ladder: statically doubling, never executed.
+    let mut cold_entry: Option<FunctionId> = None;
+    if spec.cold_ladder > 0 {
+        let heads: Vec<FunctionId> = (0..=spec.cold_ladder)
+            .map(|s| b.function(&format!("cold_ladder_a{s}")))
+            .collect();
+        for s in 0..spec.cold_ladder {
+            let l = b.function(&format!("cold_ladder_l{s}"));
+            let r = b.function(&format!("cold_ladder_r{s}"));
+            b.body(heads[s]).call_p(l, COLD).call_p(r, COLD).done();
+            b.body(l).call_p(heads[s + 1], COLD).done();
+            b.body(r).call_p(heads[s + 1], COLD).done();
+        }
+        b.body(heads[spec.cold_ladder]).work(1).done();
+        cold_entry = Some(heads[0]);
+    }
+    let cold_fns: Vec<FunctionId> = (0..spec.cold_functions)
+        .map(|i| b.function(&format!("cold{i}")))
+        .collect();
+    for (i, &f) in cold_fns.iter().enumerate() {
+        let mut body = b.body(f).work(1);
+        // Small cold chains.
+        if i + 1 < cold_fns.len() && rng.gen_bool(0.6) {
+            body = body.call_p(cold_fns[i + 1], COLD);
+        }
+        body.done();
+    }
+
+    // ---- libraries and PLT -------------------------------------------
+    let mut lib_fns: Vec<FunctionId> = Vec::new();
+    if spec.lib_functions > 0 {
+        let n_libs = 1 + spec.lib_functions / 8;
+        let libs: Vec<u32> = (0..n_libs)
+            .map(|i| b.library(&format!("libanalog{i}")))
+            .collect();
+        for i in 0..spec.lib_functions {
+            let lib = libs[i % libs.len()];
+            lib_fns.push(b.lib_function(lib, &format!("libfn{i}")));
+        }
+        for (i, &f) in lib_fns.iter().enumerate() {
+            let mut body = b.body(f).work(spec.call_work / 4 + 1);
+            // Library-internal calls.
+            if i + 1 < lib_fns.len() && rng.gen_bool(0.4) {
+                let prob = if spec.late_libs { [0.0, 0.5] } else { [0.5, 0.5] };
+                body = body.call_p(lib_fns[i + 1], prob);
+            }
+            body.done();
+        }
+    }
+
+    // ---- indirect hubs -------------------------------------------------
+    // Tables target next-layer bush functions; false positives point at
+    // cold functions.
+    let mut tables: Vec<u32> = Vec::new();
+    for i in 0..spec.indirect_sites {
+        let target_layer = if spec.bush_depth > 1 {
+            &layers[1 + (i % (spec.bush_depth - 1))]
+        } else {
+            &layers[0]
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut targets = Vec::new();
+        for k in 0..spec.indirect_targets {
+            let t = target_layer[(i * 7 + k * 3 + k) % target_layer.len()];
+            if seen.insert(t) {
+                targets.push(t);
+            }
+        }
+        if targets.is_empty() {
+            targets.push(main);
+        }
+        let mut extra = Vec::new();
+        for k in 0..spec.pointsto_extra {
+            if !cold_fns.is_empty() {
+                extra.push(cold_fns[(i * 5 + k) % cold_fns.len()]);
+            }
+        }
+        tables.push(b.table_with_extra(targets, extra));
+    }
+
+    // ---- bush bodies -----------------------------------------------------
+    let mut indirect_cursor = 0usize;
+    let mut plt_cursor = 0usize;
+    for l in 0..spec.bush_depth {
+        let is_leaf_layer = l + 1 >= spec.bush_depth;
+        // Clone the next layer to avoid borrow issues.
+        let next: Vec<FunctionId> = if is_leaf_layer {
+            Vec::new()
+        } else {
+            layers[l + 1].clone()
+        };
+        let layer = layers[l].clone();
+        for (fi, &f) in layer.iter().enumerate() {
+            let w = (spec.call_work / 2).max(1) + rng.gen_range(0..=spec.call_work.max(1));
+            let mut body = b.body(f).work(w);
+            if !next.is_empty() {
+                // Designated hot callee (phase-shifted when configured).
+                let hot0 = next[(fi * 3) % next.len()];
+                let hot1 = next[(fi * 3 + 1) % next.len()];
+                let (p0, p1) = if spec.phase_shift {
+                    (spec.hot_concentration, 0.05)
+                } else {
+                    (spec.hot_concentration, spec.hot_concentration)
+                };
+                body = body.call_p(hot0, [p0, p1]);
+                if spec.phase_shift {
+                    body = body.call_p(hot1, [0.05, spec.hot_concentration]);
+                }
+                for k in 0..spec.bush_callees.saturating_sub(1) {
+                    let t = next[(fi * 5 + k * 11 + 2) % next.len()];
+                    let p = 0.08 + rng.gen::<f32>() * 0.12;
+                    body = body.call_p(t, [p, p]);
+                }
+            }
+            // Indirect sites distributed over inner layers.
+            if !tables.is_empty() && indirect_cursor < spec.indirect_sites && (fi + l) % 3 == 0 {
+                let table = tables[indirect_cursor % tables.len()];
+                indirect_cursor += 1;
+                body = body.indirect(
+                    table,
+                    TargetChoice::Skewed {
+                        hot: spec.indirect_hot,
+                    },
+                    [0.5, 0.5],
+                    1,
+                );
+            }
+            // PLT sites; with `late_libs` the library only starts being
+            // called in phase 1 (a plugin dlopen'ed mid-run).
+            if !lib_fns.is_empty() && plt_cursor < spec.plt_sites && (fi + l) % 4 == 1 {
+                let t = lib_fns[(plt_cursor * 13) % lib_fns.len()];
+                plt_cursor += 1;
+                let prob = if spec.late_libs { [0.0, 0.4] } else { [0.4, 0.4] };
+                body = body.plt(t, prob, 1);
+            }
+            // Sabotage back-edges: S -> U, never executed.
+            for &(u, s_fn) in &sabotage {
+                if s_fn == f {
+                    body = body.call_p(u, COLD);
+                }
+            }
+            // Cold calls into the never-executed world.
+            for k in 0..spec.cold_callees {
+                if !cold_fns.is_empty() {
+                    let t = cold_fns[(fi * 17 + k * 7 + l) % cold_fns.len()];
+                    body = body.call_p(t, COLD);
+                } else if let Some(ce) = cold_entry {
+                    body = body.call_p(ce, COLD);
+                }
+            }
+            // Recursion entries from mid-bush.
+            if !rec_entries.is_empty() && l == spec.bush_depth / 2 && fi < rec_entries.len() {
+                body = body.call_p(rec_entries[fi], [0.3, 0.3]);
+            }
+            // Tail calls as the final op of a fraction of functions.
+            if !next.is_empty() && (fi as f32 + 0.5) / layer.len() as f32 <= spec.tail_fraction {
+                let t = next[(fi * 7 + 3) % next.len()];
+                body = body.tail(t, [0.35, 0.35]);
+            }
+            body.done();
+        }
+    }
+
+    // ---- workers (PARSEC analogs) ------------------------------------
+    let mut workers: Vec<FunctionId> = Vec::new();
+    for i in 0..spec.threads.saturating_sub(1) {
+        let w = b.function(&format!("worker{i}"));
+        let entry = layers[0][(i * 3) % layers[0].len()];
+        b.body(w)
+            .work(spec.call_work / 2 + 1)
+            .call_rep(entry, [0.9, 0.9], 6)
+            .done();
+        workers.push(w);
+    }
+
+    // ---- main ------------------------------------------------------------
+    {
+        let mut body = b.body(main).work(spec.call_work.max(1));
+        // The sabotage entries come first so that PCCE's whole-graph DFS
+        // reaches each sabotaged function before its hot caller.
+        for &s in &sabotaged_stages {
+            body = body.call_p(ladder_heads[s], COLD);
+        }
+        for &(_, s_fn) in &sabotage {
+            body = body.call_p(s_fn, COLD);
+        }
+        for &h in &chain_sabotage_heads {
+            body = body.call_p(h, COLD);
+        }
+        for &w in &workers {
+            body = body.push_call(CalleeSpec::Spawn(w), [0.25, 0.25], 1, false);
+        }
+        // Hot entries into the first bush layer.
+        for (i, &f) in layers[0].iter().enumerate() {
+            let p = if i == 0 {
+                0.95
+            } else {
+                0.15 + 0.5 / (i as f32 + 1.0)
+            };
+            body = body.call_p(f, [p, p]);
+        }
+        if spec.hot_ladder > 0 {
+            body = body.call_p(ladder_heads[0], [0.45, 0.45]);
+        }
+        for &c in &chain_entries {
+            let p = 0.5 / chain_entries.len() as f32;
+            body = body.call_p(c, [p, p]);
+        }
+        for (i, &r) in rec_entries.iter().enumerate() {
+            if i % 2 == 0 {
+                body = body.call_p(r, [0.25, 0.25]);
+            }
+        }
+        if let Some(ce) = cold_entry {
+            body = body.call_p(ce, COLD);
+        }
+        body.done();
+    }
+
+    b.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::interp::{InterpConfig, Interpreter};
+    use dacce_program::runtime::NullRuntime;
+    use dacce_program::Op;
+
+    #[test]
+    fn tiny_spec_generates_valid_program() {
+        let spec = BenchSpec::tiny("gen-test", 7);
+        let p = generate_program(&spec);
+        assert_eq!(p.validate(), Ok(()));
+        assert!(p.function_count() > 20);
+        assert!(p.tables.len() == spec.indirect_sites);
+        assert!(!p.libs.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchSpec::tiny("gen-test", 7);
+        let p1 = generate_program(&spec);
+        let p2 = generate_program(&spec);
+        assert_eq!(p1.function_count(), p2.function_count());
+        assert_eq!(p1.site_count, p2.site_count);
+        let ops1: Vec<_> = p1.call_ops().map(|(f, c)| (f, c.site)).collect();
+        let ops2: Vec<_> = p2.call_ops().map(|(f, c)| (f, c.site)).collect();
+        assert_eq!(ops1, ops2);
+    }
+
+    #[test]
+    fn cold_code_never_executes() {
+        let spec = BenchSpec::tiny("gen-test", 11);
+        let p = generate_program(&spec);
+        // All cold ops have probability 0 in both phases.
+        let cold_names: Vec<usize> = p
+            .functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name.starts_with("cold"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!cold_names.is_empty());
+        for (_, op) in p.call_ops() {
+            if let CalleeSpec::Direct(t) = op.callee {
+                if p.name(t).starts_with("cold") {
+                    assert_eq!(op.prob, [0.0, 0.0], "cold edge must never fire");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_program_runs_under_interpreter() {
+        let spec = BenchSpec::tiny("gen-test", 3);
+        let p = generate_program(&spec);
+        let cfg = InterpConfig {
+            budget_calls: 5_000,
+            max_depth: spec.max_depth,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&p, cfg).run(&mut NullRuntime::default());
+        assert_eq!(report.calls, 5_000);
+        assert!(report.base_cost > 0);
+    }
+
+    #[test]
+    fn tail_fraction_produces_tail_ops() {
+        let mut spec = BenchSpec::tiny("gen-test", 5);
+        spec.tail_fraction = 0.5;
+        spec.bush_width = 8;
+        let p = generate_program(&spec);
+        let tails = p
+            .functions
+            .iter()
+            .flat_map(|f| &f.body)
+            .filter(|op| matches!(op, Op::Call(c) if c.tail))
+            .count();
+        assert!(tails >= 4, "expected tail ops, got {tails}");
+    }
+}

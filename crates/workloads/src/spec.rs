@@ -1,0 +1,193 @@
+//! Benchmark specifications.
+//!
+//! A [`BenchSpec`] describes one synthetic analog of a SPEC CPU2006 or
+//! PARSEC 2.1 benchmark as counts of structural *motifs* plus dynamic
+//! parameters. The motifs map to the phenomena the paper's evaluation
+//! discusses:
+//!
+//! * **ladders** (chains of doubling diamonds) set the encoding-space
+//!   demand — `hot_ladder` drives DACCE's `maxID`, `cold_ladder` exists
+//!   only statically and inflates (or overflows) PCCE's;
+//! * **bushes** (layered random DAGs with skewed probabilities) produce the
+//!   bulk of nodes, edges and dynamic calls;
+//! * **recursion** motifs produce ccStack traffic and call-stack depth
+//!   (`483.xalancbmk`'s deep stacks);
+//! * **indirect hubs** produce indirect-call sites with many targets plus
+//!   points-to false positives (the `x264` effect for PCCE);
+//! * **PLT/libraries** produce lazily bound calls;
+//! * **phase shift** moves the hot paths mid-run, exercising adaptive
+//!   re-encoding.
+
+/// Which suite a benchmark belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// SPEC CPU2006 integer analog.
+    SpecInt,
+    /// SPEC CPU2006 floating-point analog.
+    SpecFp,
+    /// PARSEC 2.1 analog (multi-threaded).
+    Parsec,
+}
+
+impl Suite {
+    /// Short tag used in reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "int",
+            Suite::SpecFp => "fp",
+            Suite::Parsec => "parsec",
+        }
+    }
+}
+
+/// Parameters of one synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchSpec {
+    /// Benchmark name (e.g. `400.perlbench`).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// Seed for program generation and execution.
+    pub seed: u64,
+
+    // --- hot structure (exercised at runtime) ---
+    /// Layers of the hot bush.
+    pub bush_depth: usize,
+    /// Functions per hot bush layer.
+    pub bush_width: usize,
+    /// Call ops per hot bush function.
+    pub bush_callees: usize,
+    /// Stages of the hot doubling ladder (DACCE maxID ~ 2^stages).
+    pub hot_ladder: usize,
+    /// Number of self-recursive functions.
+    pub self_recursion: usize,
+    /// Number of mutual-recursion pairs.
+    pub mutual_recursion: usize,
+    /// Continuation probability of recursive calls.
+    pub recursion_prob: f32,
+    /// Length of the deep recursive chain motif (0 = none): a cycle of this
+    /// many functions whose tail loops back to its head. Long cycles
+    /// produce very deep call stacks with few ccStack entries — the
+    /// `483.xalancbmk` behaviour of Figure 10.
+    pub deep_chain: usize,
+    /// Probability that the deep chain's last function loops back.
+    pub chain_loop_prob: f32,
+    /// Number of separate deep chains the `deep_chain` functions are split
+    /// into (each chain is an independent recursion region; with
+    /// `cold_back_edges > 0` each also gets a sabotaged hot link for PCCE).
+    pub chain_count: usize,
+    /// Number of hot-ladder stages sabotaged by never-executed cold edges
+    /// that close static cycles, so that PCCE's whole-graph analysis turns
+    /// *hot* edges into back edges (§6.4: "edges that are never invoked in
+    /// real runs may still cause some edges to be identified as back edges
+    /// in a complete call graph"). DACCE never sees the cold edges.
+    pub cold_back_edges: usize,
+    /// Maximum interpreter call depth (bounds recursion; large for the
+    /// deep-stack analogs).
+    pub max_depth: usize,
+    /// Indirect hub sites.
+    pub indirect_sites: usize,
+    /// Real targets per indirect table.
+    pub indirect_targets: usize,
+    /// Points-to false positives per indirect table.
+    pub pointsto_extra: usize,
+    /// Probability that an indirect site dispatches to its dominant target
+    /// (lower values spread traffic over the chain — the `x264` effect).
+    pub indirect_hot: f32,
+    /// Fraction of hot bush functions whose last op is a tail call.
+    pub tail_fraction: f32,
+    /// Library functions reachable through the PLT.
+    pub lib_functions: usize,
+    /// PLT call sites sprinkled over the bush.
+    pub plt_sites: usize,
+    /// Shared libraries load *late*: PLT sites never fire in phase 0 and
+    /// only bind mid-run (the paper's dynamically loaded plugin scenario,
+    /// §2.2 Issue 2 — Apache/Firefox plugins).
+    pub late_libs: bool,
+
+    // --- cold structure (static only; PCCE must encode it) ---
+    /// Stages of the cold doubling ladder (PCCE maxID; ~64+ overflows).
+    pub cold_ladder: usize,
+    /// Extra never-executed functions.
+    pub cold_functions: usize,
+    /// Never-executed call ops per hot function (into cold code).
+    pub cold_callees: usize,
+
+    // --- dynamics ---
+    /// Mean base work units per function body (sets call density; the
+    /// "calls/s" analog is `1e6 / (work per call)`).
+    pub call_work: u32,
+    /// Probability of the designated hot callee per bush op.
+    pub hot_concentration: f32,
+    /// Swap hot callees at the phase boundary (mid-run).
+    pub phase_shift: bool,
+    /// Worker threads (1 = single-threaded).
+    pub threads: usize,
+    /// Dynamic call budget at scale 1.0.
+    pub budget_calls: u64,
+}
+
+impl BenchSpec {
+    /// A small, fast, single-threaded default used by tests; real entries
+    /// live in [`crate::suite`].
+    pub fn tiny(name: &'static str, seed: u64) -> Self {
+        BenchSpec {
+            name,
+            suite: Suite::SpecInt,
+            seed,
+            bush_depth: 3,
+            bush_width: 4,
+            bush_callees: 2,
+            hot_ladder: 3,
+            self_recursion: 1,
+            mutual_recursion: 0,
+            recursion_prob: 0.5,
+            deep_chain: 0,
+            chain_loop_prob: 0.0,
+            chain_count: 1,
+            cold_back_edges: 0,
+            max_depth: 64,
+            indirect_sites: 1,
+            indirect_targets: 2,
+            pointsto_extra: 1,
+            indirect_hot: 0.7,
+            tail_fraction: 0.2,
+            lib_functions: 2,
+            plt_sites: 1,
+            late_libs: false,
+            cold_ladder: 4,
+            cold_functions: 6,
+            cold_callees: 1,
+            call_work: 60,
+            hot_concentration: 0.8,
+            phase_shift: false,
+            threads: 1,
+            budget_calls: 20_000,
+        }
+    }
+
+    /// The paper's `calls/s` analog implied by the work density: dynamic
+    /// calls per million base-work units.
+    pub fn expected_call_density(&self) -> f64 {
+        1e6 / f64::from(self.call_work.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_spec_is_consistent() {
+        let s = BenchSpec::tiny("t", 1);
+        assert_eq!(s.suite.tag(), "int");
+        assert!(s.expected_call_density() > 0.0);
+        assert!(s.bush_depth > 0 && s.bush_width > 0);
+    }
+
+    #[test]
+    fn suite_tags() {
+        assert_eq!(Suite::SpecFp.tag(), "fp");
+        assert_eq!(Suite::Parsec.tag(), "parsec");
+    }
+}

@@ -1,0 +1,453 @@
+//! The 41 benchmark analogs: 29 SPEC CPU2006 + 12 PARSEC 2.1.
+//!
+//! Parameters are calibrated to reproduce the *relative* characteristics of
+//! Table 1 of the paper: graph sizes, encoding-space demand (`maxID`,
+//! including PCCE overflow on the `perlbench`/`gcc` analogs), ccStack
+//! traffic from recursion and indirect fan-out, call density (`calls/s` →
+//! `call_work` via the testbed's ~1.9 GHz clock), deep recursion for
+//! `483.xalancbmk`, the many-target indirect sites of `x264`, phase shifts
+//! where Table 1 shows many re-encodings, and PARSEC thread counts.
+//! Absolute magnitudes are scaled down to keep the whole suite runnable in
+//! seconds; `DriverConfig::scale` trades time for fidelity.
+
+use crate::spec::{BenchSpec, Suite};
+
+fn base(name: &'static str, suite: Suite, seed: u64) -> BenchSpec {
+    BenchSpec {
+        name,
+        suite,
+        seed,
+        bush_depth: 4,
+        bush_width: 20,
+        bush_callees: 3,
+        hot_ladder: 8,
+        indirect_hot: 0.7,
+        self_recursion: 1,
+        mutual_recursion: 0,
+        recursion_prob: 0.5,
+        deep_chain: 0,
+        chain_loop_prob: 0.0,
+        chain_count: 1,
+        cold_back_edges: 0,
+        max_depth: 128,
+        indirect_sites: 2,
+        indirect_targets: 3,
+        pointsto_extra: 3,
+        tail_fraction: 0.05,
+        lib_functions: 4,
+        plt_sites: 2,
+        late_libs: false,
+        cold_ladder: 12,
+        cold_functions: 150,
+        cold_callees: 1,
+        call_work: 1_000,
+        hot_concentration: 0.8,
+        phase_shift: false,
+        threads: 1,
+        budget_calls: 40_000,
+    }
+}
+
+/// The 29 SPEC CPU2006 analog benchmarks.
+pub fn spec2006_benchmarks() -> Vec<BenchSpec> {
+    use Suite::{SpecFp as FP, SpecInt as INT};
+    vec![
+        BenchSpec {
+            bush_depth: 8, bush_width: 60, bush_callees: 5, hot_ladder: 36,
+            self_recursion: 4, mutual_recursion: 2, recursion_prob: 0.70, max_depth: 300,
+            indirect_sites: 12, indirect_targets: 8, pointsto_extra: 20,
+            tail_fraction: 0.10, lib_functions: 12, plt_sites: 8,
+            late_libs: true,
+            cold_ladder: 75, cold_functions: 700, cold_callees: 3,
+            cold_back_edges: 2,
+            call_work: 64, phase_shift: true, budget_calls: 1_000_000,
+            ..base("400.perlbench", INT, 400)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 10, hot_ladder: 5, recursion_prob: 0.5,
+            indirect_sites: 1, indirect_targets: 2, pointsto_extra: 1,
+            cold_ladder: 8, cold_functions: 60, call_work: 243,
+            budget_calls: 190_000,
+            ..base("401.bzip2", INT, 401)
+        },
+        BenchSpec {
+            bush_depth: 10, bush_width: 150, bush_callees: 5, hot_ladder: 45,
+            self_recursion: 6, mutual_recursion: 4, recursion_prob: 0.80, max_depth: 300,
+            indirect_sites: 20, indirect_targets: 10, pointsto_extra: 30,
+            tail_fraction: 0.10, lib_functions: 16, plt_sites: 10,
+            cold_ladder: 78, cold_functions: 1_800, cold_callees: 3,
+            call_work: 127, phase_shift: true, budget_calls: 1_500_000,
+            ..base("403.gcc", INT, 403)
+        },
+        BenchSpec {
+            bush_depth: 2, bush_width: 4, bush_callees: 2, hot_ladder: 1,
+            recursion_prob: 0.3, indirect_sites: 0, lib_functions: 2, plt_sites: 1,
+            cold_ladder: 5, cold_functions: 50, call_work: 6_327,
+            budget_calls: 40_000,
+            ..base("429.mcf", INT, 429)
+        },
+        BenchSpec {
+            bush_depth: 7, bush_width: 150, hot_ladder: 37,
+            self_recursion: 8, mutual_recursion: 4, recursion_prob: 0.93, max_depth: 400,
+            deep_chain: 12, chain_loop_prob: 0.6,
+            indirect_sites: 10, indirect_targets: 12, pointsto_extra: 20,
+            tail_fraction: 0.08, lib_functions: 8, plt_sites: 4,
+            cold_ladder: 51, cold_functions: 800, cold_callees: 2,
+            call_work: 140, budget_calls: 600_000,
+            ..base("445.gobmk", INT, 445)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 15, bush_callees: 2, hot_ladder: 5,
+            recursion_prob: 0.4, indirect_sites: 2, indirect_targets: 3, pointsto_extra: 2,
+            cold_ladder: 15, cold_functions: 150, call_work: 999,
+            budget_calls: 80_000,
+            ..base("456.hmmer", INT, 456)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 12, bush_callees: 4, hot_ladder: 11,
+            self_recursion: 2, mutual_recursion: 1, recursion_prob: 0.55,
+            indirect_sites: 2, indirect_targets: 4, pointsto_extra: 2,
+            cold_ladder: 14, cold_functions: 70, call_work: 102,
+            phase_shift: true, budget_calls: 456_000,
+            ..base("458.sjeng", INT, 458)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 7, bush_callees: 2, hot_ladder: 3,
+            self_recursion: 0, indirect_sites: 1, indirect_targets: 2, pointsto_extra: 0,
+            cold_ladder: 19, cold_functions: 80, call_work: 4_000_000,
+            budget_calls: 30_000,
+            ..base("462.libquantum", INT, 462)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 40, bush_callees: 4, hot_ladder: 15,
+            self_recursion: 2, recursion_prob: 0.5,
+            indirect_sites: 6, indirect_targets: 6, pointsto_extra: 8,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 23, cold_functions: 180, call_work: 264,
+            budget_calls: 250_000,
+            ..base("464.h264ref", INT, 464)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 50, bush_callees: 4, hot_ladder: 13,
+            self_recursion: 3, mutual_recursion: 2, recursion_prob: 0.7, max_depth: 200,
+            indirect_sites: 8, indirect_targets: 6, pointsto_extra: 10,
+            lib_functions: 8, plt_sites: 4,
+            cold_ladder: 23, cold_functions: 1_100, cold_callees: 2,
+            call_work: 160, budget_calls: 350_000,
+            ..base("471.omnetpp", INT, 471)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 12, hot_ladder: 6, recursion_prob: 0.5,
+            indirect_sites: 1, indirect_targets: 2, pointsto_extra: 1,
+            cold_ladder: 11, cold_functions: 70, call_work: 14_434,
+            budget_calls: 50_000,
+            ..base("473.astar", INT, 473)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 120, hot_ladder: 20,
+            self_recursion: 4, mutual_recursion: 2, recursion_prob: 0.90, max_depth: 9_500,
+            deep_chain: 1_200, chain_loop_prob: 0.98, chain_count: 16,
+            indirect_sites: 14, indirect_targets: 8, pointsto_extra: 16,
+            tail_fraction: 0.06, lib_functions: 10, plt_sites: 6,
+            cold_ladder: 48, cold_functions: 4_000, cold_callees: 2,
+            cold_back_edges: 3,
+            call_work: 74, phase_shift: true, budget_calls: 1_000_000,
+            ..base("483.xalancbmk", INT, 483)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 20, bush_callees: 2, hot_ladder: 6,
+            recursion_prob: 0.4, indirect_sites: 1, indirect_targets: 2, pointsto_extra: 1,
+            cold_ladder: 22, cold_functions: 250, call_work: 7_088,
+            budget_calls: 50_000,
+            ..base("410.bwaves", FP, 410)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 70, bush_callees: 4, hot_ladder: 17,
+            self_recursion: 2, mutual_recursion: 1, recursion_prob: 0.6,
+            indirect_sites: 4, indirect_targets: 5, pointsto_extra: 6,
+            lib_functions: 8, plt_sites: 4,
+            cold_ladder: 50, cold_functions: 2_000, cold_callees: 2,
+            call_work: 552, budget_calls: 200_000,
+            ..base("416.gamess", FP, 416)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 12, hot_ladder: 8, recursion_prob: 0.6,
+            indirect_sites: 2, indirect_targets: 3, pointsto_extra: 2,
+            cold_ladder: 12, cold_functions: 100, call_work: 4_915,
+            phase_shift: true, budget_calls: 60_000,
+            ..base("433.milc", FP, 433)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 25, hot_ladder: 12, recursion_prob: 0.5,
+            indirect_sites: 2, indirect_targets: 3, pointsto_extra: 3,
+            cold_ladder: 28, cold_functions: 280, call_work: 1_170_000,
+            phase_shift: true, budget_calls: 60_000,
+            ..base("434.zeusmp", FP, 434)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 30, hot_ladder: 10, recursion_prob: 0.4,
+            indirect_sites: 2, indirect_targets: 4, pointsto_extra: 3,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 18, cold_functions: 450, call_work: 2_034,
+            budget_calls: 80_000,
+            ..base("435.gromacs", FP, 435)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 55, bush_callees: 4, hot_ladder: 17,
+            recursion_prob: 0.4, indirect_sites: 3, indirect_targets: 4, pointsto_extra: 4,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 23, cold_functions: 580, call_work: 401_000,
+            budget_calls: 60_000,
+            ..base("436.cactusADM", FP, 436)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 22, bush_callees: 4, hot_ladder: 8,
+            recursion_prob: 0.4, indirect_sites: 2, indirect_targets: 3, pointsto_extra: 2,
+            cold_ladder: 26, cold_functions: 320, call_work: 21_940,
+            budget_calls: 60_000,
+            ..base("437.leslie3d", FP, 437)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 13, hot_ladder: 4, recursion_prob: 0.5,
+            indirect_sites: 1, indirect_targets: 3, pointsto_extra: 1,
+            cold_ladder: 8, cold_functions: 110, call_work: 2_534,
+            budget_calls: 50_000,
+            ..base("444.namd", FP, 444)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 130, hot_ladder: 10,
+            self_recursion: 3, mutual_recursion: 2, recursion_prob: 0.7, max_depth: 200,
+            indirect_sites: 8, indirect_targets: 5, pointsto_extra: 8,
+            tail_fraction: 0.05, lib_functions: 10, plt_sites: 6,
+            cold_ladder: 17, cold_functions: 3_000, cold_callees: 2,
+            call_work: 96, budget_calls: 600_000,
+            ..base("447.dealII", FP, 447)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 40, bush_callees: 2, hot_ladder: 8,
+            self_recursion: 2, recursion_prob: 0.65,
+            indirect_sites: 3, indirect_targets: 4, pointsto_extra: 4,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 16, cold_functions: 500, call_work: 5_985,
+            budget_calls: 80_000,
+            ..base("450.soplex", FP, 450)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 90, bush_callees: 4, hot_ladder: 19,
+            self_recursion: 5, mutual_recursion: 3, recursion_prob: 0.9, max_depth: 400,
+            indirect_sites: 8, indirect_targets: 6, pointsto_extra: 10,
+            tail_fraction: 0.08, lib_functions: 8, plt_sites: 4,
+            cold_ladder: 56, cold_functions: 1_000, cold_callees: 2,
+            call_work: 54, budget_calls: 860_000,
+            ..base("453.povray", FP, 453)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 70, bush_callees: 4, hot_ladder: 11,
+            self_recursion: 2, recursion_prob: 0.7,
+            indirect_sites: 4, indirect_targets: 4, pointsto_extra: 5,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 30, cold_functions: 580, call_work: 511,
+            budget_calls: 160_000,
+            ..base("454.calculix", FP, 454)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 30, bush_callees: 4, hot_ladder: 13,
+            recursion_prob: 0.5, indirect_sites: 2, indirect_targets: 4, pointsto_extra: 4,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 29, cold_functions: 330, call_work: 1_184,
+            budget_calls: 120_000,
+            ..base("459.GemsFDTD", FP, 459)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 100, bush_callees: 4, hot_ladder: 17,
+            self_recursion: 3, mutual_recursion: 2, recursion_prob: 0.6,
+            indirect_sites: 8, indirect_targets: 5, pointsto_extra: 8,
+            lib_functions: 10, plt_sites: 6,
+            cold_ladder: 48, cold_functions: 1_400, cold_callees: 2,
+            call_work: 196, phase_shift: true, budget_calls: 350_000,
+            ..base("465.tonto", FP, 465)
+        },
+        BenchSpec {
+            bush_depth: 2, bush_width: 3, bush_callees: 2, hot_ladder: 1,
+            self_recursion: 0, indirect_sites: 0, lib_functions: 2, plt_sites: 1,
+            cold_ladder: 5, cold_functions: 55, call_work: 631_000,
+            budget_calls: 30_000,
+            ..base("470.lbm", FP, 470)
+        },
+        BenchSpec {
+            bush_depth: 6, bush_width: 110, bush_callees: 4, hot_ladder: 19,
+            self_recursion: 2, recursion_prob: 0.6,
+            indirect_sites: 6, indirect_targets: 5, pointsto_extra: 8,
+            lib_functions: 10, plt_sites: 6,
+            cold_ladder: 42, cold_functions: 650, call_work: 793,
+            budget_calls: 200_000,
+            ..base("481.wrf", FP, 481)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 25, hot_ladder: 6, recursion_prob: 0.5,
+            indirect_sites: 2, indirect_targets: 4, pointsto_extra: 3,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 14, cold_functions: 130, call_work: 997,
+            budget_calls: 100_000,
+            ..base("482.sphinx3", FP, 482)
+        },
+    ]
+}
+
+/// The 12 PARSEC 2.1 analog benchmarks (multi-threaded).
+pub fn parsec_benchmarks() -> Vec<BenchSpec> {
+    use Suite::Parsec as P;
+    vec![
+        BenchSpec {
+            bush_depth: 2, bush_width: 2, bush_callees: 1, hot_ladder: 2,
+            self_recursion: 0, indirect_sites: 0, lib_functions: 0, plt_sites: 0,
+            cold_ladder: 2, cold_functions: 8, cold_callees: 0,
+            call_work: 128, threads: 3, budget_calls: 370_000,
+            ..base("blackscholes", P, 900)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 40, hot_ladder: 9, recursion_prob: 0.5,
+            indirect_sites: 4, indirect_targets: 4, pointsto_extra: 6,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 17, cold_functions: 1_000, cold_callees: 2,
+            call_work: 270, threads: 4, budget_calls: 260_000,
+            ..base("bodytrack", P, 901)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 50, bush_callees: 4, hot_ladder: 10,
+            recursion_prob: 0.4, indirect_sites: 4, indirect_targets: 4, pointsto_extra: 6,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 34, cold_functions: 2_500, cold_callees: 2,
+            call_work: 210, threads: 4, budget_calls: 280_000,
+            ..base("facesim", P, 902)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 65, bush_callees: 4, hot_ladder: 11,
+            recursion_prob: 0.5, indirect_sites: 6, indirect_targets: 5, pointsto_extra: 8,
+            lib_functions: 8, plt_sites: 4,
+            cold_ladder: 49, cold_functions: 1_600, cold_callees: 2,
+            call_work: 421, threads: 4, budget_calls: 160_000,
+            ..base("ferret", P, 903)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 35, hot_ladder: 7,
+            self_recursion: 2, recursion_prob: 0.7,
+            indirect_sites: 3, indirect_targets: 4, pointsto_extra: 4,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 29, cold_functions: 2_500, cold_callees: 2,
+            call_work: 532, threads: 3, budget_calls: 160_000,
+            ..base("raytrace", P, 904)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 5, bush_callees: 2, hot_ladder: 5,
+            self_recursion: 0, indirect_sites: 1, indirect_targets: 3, pointsto_extra: 1,
+            lib_functions: 2, plt_sites: 1,
+            cold_ladder: 28, cold_functions: 800, cold_callees: 2,
+            call_work: 86, threads: 4, budget_calls: 540_000,
+            ..base("swaptions", P, 905)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 15, hot_ladder: 4,
+            self_recursion: 0, indirect_sites: 1, indirect_targets: 3, pointsto_extra: 1,
+            cold_ladder: 28, cold_functions: 800, call_work: 24_500,
+            threads: 4, budget_calls: 50_000,
+            ..base("fluidanimate", P, 906)
+        },
+        BenchSpec {
+            bush_depth: 5, bush_width: 95, hot_ladder: 14, recursion_prob: 0.5,
+            indirect_sites: 6, indirect_targets: 5, pointsto_extra: 8,
+            lib_functions: 10, plt_sites: 6,
+            cold_ladder: 39, cold_functions: 2_000, cold_callees: 2,
+            call_work: 2_187, threads: 4, budget_calls: 150_000,
+            ..base("vips", P, 907)
+        },
+        BenchSpec {
+            bush_depth: 4, bush_width: 45, bush_callees: 4, hot_ladder: 10,
+            recursion_prob: 0.5,
+            indirect_sites: 8, indirect_targets: 48, pointsto_extra: 24,
+            indirect_hot: 0.35,
+            lib_functions: 6, plt_sites: 3,
+            cold_ladder: 20, cold_functions: 600,
+            call_work: 78, threads: 4, budget_calls: 600_000,
+            ..base("x264", P, 908)
+        },
+        BenchSpec {
+            bush_depth: 3, bush_width: 22, hot_ladder: 5,
+            self_recursion: 0, indirect_sites: 2, indirect_targets: 3, pointsto_extra: 2,
+            cold_ladder: 28, cold_functions: 800, cold_callees: 2,
+            call_work: 821, threads: 4, budget_calls: 100_000,
+            ..base("canneal", P, 909)
+        },
+        BenchSpec {
+            bush_depth: 2, bush_width: 6, bush_callees: 2, hot_ladder: 2,
+            self_recursion: 0, indirect_sites: 1, indirect_targets: 2, pointsto_extra: 1,
+            cold_ladder: 6, cold_functions: 90, call_work: 1_432,
+            threads: 4, budget_calls: 60_000,
+            ..base("dedup", P, 910)
+        },
+        BenchSpec {
+            bush_depth: 2, bush_width: 3, bush_callees: 2, hot_ladder: 3,
+            self_recursion: 0, indirect_sites: 1, indirect_targets: 2, pointsto_extra: 1,
+            lib_functions: 2, plt_sites: 1,
+            cold_ladder: 28, cold_functions: 800, call_work: 16_800,
+            threads: 4, budget_calls: 50_000,
+            ..base("streamcluster", P, 911)
+        },
+    ]
+}
+
+/// All 41 benchmarks, SPEC first, in the paper's Table 1 order.
+pub fn all_benchmarks() -> Vec<BenchSpec> {
+    let mut v = spec2006_benchmarks();
+    v.extend(parsec_benchmarks());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate_program;
+
+    #[test]
+    fn suite_has_41_unique_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 41);
+        assert_eq!(spec2006_benchmarks().len(), 29);
+        assert_eq!(parsec_benchmarks().len(), 12);
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 41, "names must be unique");
+    }
+
+    #[test]
+    fn every_spec_generates_a_valid_program() {
+        for spec in all_benchmarks() {
+            let p = generate_program(&spec);
+            assert_eq!(p.validate(), Ok(()), "{} invalid", spec.name);
+            assert!(p.function_count() > 5, "{} too small", spec.name);
+        }
+    }
+
+    #[test]
+    fn parsec_analogs_are_threaded() {
+        for spec in parsec_benchmarks() {
+            assert!(spec.threads > 1, "{} must be multi-threaded", spec.name);
+        }
+    }
+
+    #[test]
+    fn overflow_candidates_have_deep_cold_ladders() {
+        let all = all_benchmarks();
+        let perl = all.iter().find(|s| s.name == "400.perlbench").unwrap();
+        let gcc = all.iter().find(|s| s.name == "403.gcc").unwrap();
+        assert!(perl.cold_ladder >= 70);
+        assert!(gcc.cold_ladder >= 70);
+        // Everyone else stays within 64-bit reach.
+        for s in &all {
+            if s.name != "400.perlbench" && s.name != "403.gcc" {
+                assert!(s.cold_ladder < 64, "{} would overflow", s.name);
+            }
+        }
+    }
+}

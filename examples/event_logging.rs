@@ -1,0 +1,83 @@
+//! Context-compressed event logging — the paper's §1 motivation from
+//! execution fast-forwarding: tagging logged events with calling contexts
+//! lets replay tools prune redundant events, but collecting those contexts
+//! by stack walking is too slow to leave on.
+//!
+//! This example runs a synthetic server loop that logs an event per
+//! request. Each event carries its *encoded* context; at analysis time the
+//! log is deduplicated by context (id + boundaries), and one representative
+//! of each class is decoded for the report.
+//!
+//! ```text
+//! cargo run --example event_logging
+//! ```
+
+use std::collections::HashMap;
+
+use dacce::Tracker;
+
+fn main() {
+    let tracker = Tracker::new();
+    let f_main = tracker.define_function("main");
+    let f_accept = tracker.define_function("accept");
+    let f_route = tracker.define_function("route");
+    let f_get = tracker.define_function("handle_get");
+    let f_put = tracker.define_function("handle_put");
+    let f_log = tracker.define_function("append_log");
+    let s_accept = tracker.define_call_site();
+    let s_route = tracker.define_call_site();
+    let s_get = tracker.define_call_site();
+    let s_put = tracker.define_call_site();
+    let s_log_get = tracker.define_call_site();
+    let s_log_put = tracker.define_call_site();
+
+    let th = tracker.register_thread(f_main);
+
+    // The "event log": (event payload, encoded context).
+    let mut log: Vec<(String, dacce::EncodedContext)> = Vec::new();
+
+    for req in 0..400u32 {
+        let _accept = th.call(s_accept, f_accept);
+        let _route = th.call(s_route, f_route);
+        if req % 5 == 0 {
+            let _h = th.call(s_put, f_put);
+            let _l = th.call(s_log_put, f_log);
+            log.push((format!("PUT #{req}"), th.sample()));
+        } else {
+            let _h = th.call(s_get, f_get);
+            let _l = th.call(s_log_get, f_log);
+            log.push((format!("GET #{req}"), th.sample()));
+        }
+    }
+
+    // Offline: group events by context identity. Two events with the same
+    // (timestamp, id, boundaries) happened in the *same calling context* —
+    // no decoding needed to bucket them.
+    let mut classes: HashMap<String, (usize, dacce::EncodedContext)> = HashMap::new();
+    for (_, ctx) in &log {
+        let key = format!("{}:{}:{:?}", ctx.ts, ctx.id, ctx.cc);
+        classes
+            .entry(key)
+            .or_insert_with(|| (0, ctx.clone()))
+            .0 += 1;
+    }
+
+    println!("{} events collapse into {} context classes:", log.len(), classes.len());
+    let mut rows: Vec<(usize, dacce::EncodedContext)> = classes.into_values().collect();
+    rows.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+    for (count, ctx) in rows {
+        println!(
+            "  {count:>4} events at {}",
+            tracker.format_path(&tracker.decode(&ctx).expect("decodes"))
+        );
+    }
+
+    let words: usize = log.iter().map(|(_, c)| c.space()).sum();
+    println!(
+        "\nlog size for contexts: {words} machine words total \
+         ({:.1} words/event); decoding happened {} times, not {} times",
+        words as f64 / log.len() as f64,
+        2,
+        log.len()
+    );
+}

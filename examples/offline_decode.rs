@@ -1,0 +1,85 @@
+//! Record online, decode offline — the paper's deployment split.
+//!
+//! The instrumented process stays lean: it appends tiny encoded contexts to
+//! a log and dumps the decode dictionaries (once per re-encoding). A
+//! separate analysis process — here simulated in the same binary, after
+//! dropping the engine — imports the dump and reconstructs full calling
+//! contexts.
+//!
+//! ```text
+//! cargo run --release --example offline_decode
+//! ```
+
+use dacce::{export_samples, export_state, import, DacceConfig, DacceRuntime};
+use dacce_program::{CostModel, Interpreter};
+use dacce_workloads::{driver, BenchSpec, DriverConfig};
+
+fn main() {
+    // ---- the "production" process -------------------------------------
+    let spec = BenchSpec {
+        budget_calls: 50_000,
+        ..BenchSpec::tiny("offline-decode-demo", 1234)
+    };
+    let program = driver::program_of(&spec);
+    let icfg = driver::interp_config(&spec, &DriverConfig::default());
+    let mut rt = DacceRuntime::new(
+        DacceConfig {
+            keep_sample_log: true,
+            ..DacceConfig::default()
+        },
+        CostModel::default(),
+    );
+    let report = Interpreter::new(&program, icfg).run(&mut rt);
+
+    let engine = rt.engine();
+    let dump = format!(
+        "{}{}",
+        export_state(engine),
+        export_samples(engine.sample_log().iter())
+    );
+    println!(
+        "production run: {} calls, {} samples, {} re-encodings",
+        report.calls,
+        engine.sample_log().len(),
+        rt.stats().reencodes
+    );
+    println!(
+        "export: {} bytes ({} lines) — dictionaries + samples",
+        dump.len(),
+        dump.lines().count()
+    );
+
+    // Function names: shipped separately, like a symbol table.
+    let names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+
+    // The engine is gone now; only the text dump crosses the boundary.
+    drop(rt);
+
+    // ---- the "analysis" process ----------------------------------------
+    let offline = import(&dump).expect("dump parses");
+    println!(
+        "\nanalysis process: imported {} dictionaries, {} samples",
+        offline.dicts().len(),
+        offline.samples().len()
+    );
+
+    let mut shown = 0;
+    for samp in offline.samples() {
+        let path = offline.decode(samp).expect("offline decode");
+        if shown < 5 {
+            shown += 1;
+            let rendered: Vec<&str> = path
+                .0
+                .iter()
+                .map(|s| names[s.func.index()].as_str())
+                .collect();
+            println!(
+                "  sample @{} id={:<4} -> {}",
+                samp.ts,
+                samp.id,
+                rendered.join(" -> ")
+            );
+        }
+    }
+    println!("  ... all {} samples decoded offline", offline.samples().len());
+}

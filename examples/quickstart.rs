@@ -1,0 +1,70 @@
+//! Quickstart: track calling contexts in ordinary Rust code.
+//!
+//! The [`dacce::Tracker`] is the library-level equivalent of preloading the
+//! paper's `dacce.so`: declare functions and call sites once, bracket calls
+//! with RAII guards, and sample an *encoded* context — a single integer
+//! plus a (usually empty) auxiliary stack — wherever you would otherwise
+//! walk the stack. Decoding happens offline, against the versioned
+//! dictionaries the engine maintains.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dacce::Tracker;
+
+fn main() {
+    let tracker = Tracker::new();
+
+    // Static program structure: declared once, like symbols in a binary.
+    let f_main = tracker.define_function("main");
+    let f_parse = tracker.define_function("parse");
+    let f_eval = tracker.define_function("eval");
+    let f_apply = tracker.define_function("apply");
+    let s_parse = tracker.define_call_site(); // main -> parse
+    let s_eval = tracker.define_call_site(); // main -> eval
+    let s_apply = tracker.define_call_site(); // eval -> apply
+    let s_self = tracker.define_call_site(); // apply -> apply (recursion)
+
+    let thread = tracker.register_thread(f_main);
+
+    // A little call tree: main -> parse, then main -> eval -> apply^3.
+    {
+        let _g = thread.call(s_parse, f_parse);
+        let ctx = thread.sample();
+        println!(
+            "inside parse : id={:<3} ccStack={:<2} -> {}",
+            ctx.id,
+            ctx.cc_depth(),
+            tracker.format_path(&tracker.decode(&ctx).expect("decodes"))
+        );
+    }
+
+    let _g1 = thread.call(s_eval, f_eval);
+    let _g2 = thread.call(s_apply, f_apply);
+    let _g3 = thread.call(s_self, f_apply);
+    let _g4 = thread.call(s_self, f_apply);
+
+    let ctx = thread.sample();
+    println!(
+        "inside apply : id={:<3} ccStack={:<2} -> {}",
+        ctx.id,
+        ctx.cc_depth(),
+        tracker.format_path(&tracker.decode(&ctx).expect("decodes"))
+    );
+
+    // The encoded context is tiny: one u64 plus the (compressed) stack of
+    // recursion boundaries. That is what a race detector or event logger
+    // would store per event instead of a full backtrace.
+    println!(
+        "stored per event: {} machine words (vs {} stack frames)",
+        ctx.space(),
+        tracker.decode(&ctx).unwrap().depth()
+    );
+
+    let stats = tracker.stats();
+    println!(
+        "engine: {} calls, {} handler traps, {} re-encodings",
+        stats.calls, stats.traps, stats.reencodes
+    );
+}

@@ -1,0 +1,23 @@
+//! Workspace facade for the DACCE reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! and re-exports the member crates for convenience. The real entry points
+//! are:
+//!
+//! * [`dacce`] — the DACCE engine and embeddable `Tracker`;
+//! * [`dacce_pcce`] — the static PCCE baseline;
+//! * [`dacce_baselines`] — stack walking / CCT / PCC comparators;
+//! * [`dacce_program`] — the synthetic program substrate;
+//! * [`dacce_workloads`] — the SPEC/PARSEC analog suite and driver;
+//! * [`dacce_callgraph`] / [`dacce_metrics`] — supporting libraries.
+//!
+//! See `README.md` for the tour and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use dacce;
+pub use dacce_baselines;
+pub use dacce_callgraph;
+pub use dacce_metrics;
+pub use dacce_pcce;
+pub use dacce_program;
+pub use dacce_workloads;

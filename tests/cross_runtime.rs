@@ -1,0 +1,138 @@
+//! Cross-crate integration: every context runtime over shared workloads,
+//! with the orderings the paper's related-work discussion predicts.
+
+use dacce::DacceRuntime;
+use dacce_baselines::{CctRuntime, PccRuntime, StackWalkRuntime};
+use dacce_pcce::{PcceRuntime, ProfilingRuntime};
+use dacce_program::{CostModel, Interpreter};
+use dacce_workloads::{driver, run_benchmark, BenchSpec, DriverConfig};
+
+fn spec() -> BenchSpec {
+    BenchSpec {
+        budget_calls: 40_000,
+        threads: 3,
+        ..BenchSpec::tiny("cross-runtime", 99)
+    }
+}
+
+#[test]
+fn all_decodable_runtimes_validate_the_same_workload() {
+    let spec = spec();
+    let program = driver::program_of(&spec);
+    let cfg = driver::interp_config(&spec, &DriverConfig::default());
+
+    // DACCE.
+    let mut dacce = DacceRuntime::with_defaults();
+    let r = Interpreter::new(&program, cfg.clone()).run(&mut dacce);
+    assert_eq!(r.mismatches, 0, "dacce: {:?}", r.mismatch_examples);
+    assert_eq!(r.unsupported, 0);
+
+    // PCCE.
+    let mut profiler = ProfilingRuntime::new();
+    let _ = Interpreter::new(&program, cfg.clone()).run(&mut profiler);
+    let mut pcce = PcceRuntime::new(profiler.into_data(), CostModel::default());
+    let r = Interpreter::new(&program, cfg.clone()).run(&mut pcce);
+    assert_eq!(r.mismatches, 0, "pcce: {:?}", r.mismatch_examples);
+    assert_eq!(r.unsupported, 0);
+
+    // CCT.
+    let mut cct = CctRuntime::new(CostModel::default());
+    let r = Interpreter::new(&program, cfg.clone()).run(&mut cct);
+    assert_eq!(r.mismatches, 0, "cct: {:?}", r.mismatch_examples);
+    assert_eq!(r.unsupported, 0);
+
+    // Stack walking.
+    let mut walk = StackWalkRuntime::new(CostModel::default());
+    let r = Interpreter::new(&program, cfg).run(&mut walk);
+    assert_eq!(r.mismatches, 0, "walk: {:?}", r.mismatch_examples);
+    assert_eq!(r.unsupported, 0);
+}
+
+#[test]
+fn related_work_cost_orderings_hold() {
+    let spec = BenchSpec {
+        budget_calls: 60_000,
+        call_work: 120,
+        ..BenchSpec::tiny("cost-ordering", 7)
+    };
+    let program = driver::program_of(&spec);
+    let cfg = driver::interp_config(&spec, &DriverConfig::default());
+
+    let mut dacce = DacceRuntime::with_defaults();
+    let dacce_oh = Interpreter::new(&program, cfg.clone())
+        .run(&mut dacce)
+        .warm_overhead();
+
+    let mut cct = CctRuntime::new(CostModel::default());
+    let cct_oh = Interpreter::new(&program, cfg.clone())
+        .run(&mut cct)
+        .warm_overhead();
+
+    let mut walk = StackWalkRuntime::new(CostModel::default());
+    let walk_oh = Interpreter::new(&program, cfg.clone())
+        .run(&mut walk)
+        .warm_overhead();
+
+    let mut walk_vg = StackWalkRuntime::valgrind_mode(CostModel::default());
+    let walk_vg_oh = Interpreter::new(&program, cfg.clone())
+        .run(&mut walk_vg)
+        .warm_overhead();
+
+    let mut pcc = PccRuntime::new(CostModel::default());
+    let pcc_oh = Interpreter::new(&program, cfg).run(&mut pcc).warm_overhead();
+
+    // The paper's related-work landscape (§7): CCT maintenance on every
+    // call dwarfs encoding; Valgrind-style per-event walking dwarfs even
+    // that; sampled walking is the cheapest but gives no always-on
+    // contexts; PCC is cheap but probabilistic.
+    assert!(cct_oh > dacce_oh * 2.0, "cct {cct_oh} vs dacce {dacce_oh}");
+    assert!(walk_vg_oh > cct_oh, "valgrind {walk_vg_oh} vs cct {cct_oh}");
+    assert!(walk_oh < dacce_oh, "sampled walk {walk_oh} vs dacce {dacce_oh}");
+    assert!(pcc_oh < cct_oh, "pcc {pcc_oh} vs cct {cct_oh}");
+}
+
+#[test]
+fn driver_outcome_is_fully_validated_on_suite_entries() {
+    // Two real suite entries at reduced scale (one single- and one
+    // multi-threaded), end to end through the driver.
+    for name in ["458.sjeng", "bodytrack"] {
+        let spec = dacce_workloads::all_benchmarks()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap();
+        let out = run_benchmark(
+            &spec,
+            &DriverConfig {
+                scale: 0.15,
+                ..DriverConfig::default()
+            },
+        );
+        assert!(
+            out.fully_validated(),
+            "{name}: dacce {:?} pcce {:?}",
+            out.dacce_report.mismatch_examples,
+            out.pcce_report.mismatch_examples
+        );
+        assert!(out.pcce_stats.nodes >= out.dacce_graph.0);
+    }
+}
+
+#[test]
+fn pcce_overflow_benchmark_still_validates() {
+    // The perlbench analog overflows PCCE's 64-bit budget and forces
+    // profile pruning; the pruned encoding must still decode everything.
+    let spec = dacce_workloads::all_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "400.perlbench")
+        .unwrap();
+    let out = run_benchmark(
+        &spec,
+        &DriverConfig {
+            scale: 0.05,
+            ..DriverConfig::default()
+        },
+    );
+    assert!(out.pcce_stats.overflowed, "must exercise the overflow path");
+    assert!(out.pcce_stats.pruned_edges > 0);
+    assert!(out.fully_validated());
+}

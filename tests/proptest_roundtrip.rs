@@ -1,0 +1,202 @@
+//! Property tests: for arbitrary generated programs and engine
+//! configurations, every sampled context decodes to exactly the oracle's
+//! calling context — the fundamental invariant of the encoding (DESIGN.md).
+
+use proptest::prelude::*;
+
+use dacce::{CompressionMode, DacceConfig, DacceRuntime};
+use dacce_program::model::TargetChoice;
+use dacce_program::{CostModel, InterpConfig, Interpreter, Program, ProgramBuilder};
+
+/// A randomly shaped call op.
+#[derive(Clone, Debug)]
+struct OpSpec {
+    callee: usize,
+    prob: f32,
+    repeat: u16,
+    indirect: bool,
+    tail: bool,
+}
+
+/// A random program description: per function, a list of ops.
+#[derive(Clone, Debug)]
+struct ProgSpec {
+    functions: usize,
+    bodies: Vec<Vec<OpSpec>>,
+}
+
+fn op_strategy(functions: usize) -> impl Strategy<Value = OpSpec> {
+    (
+        0..functions,
+        0.05f32..=1.0,
+        1u16..3,
+        prop::bool::weighted(0.2),
+        prop::bool::weighted(0.15),
+    )
+        .prop_map(|(callee, prob, repeat, indirect, tail)| OpSpec {
+            callee,
+            prob,
+            repeat,
+            indirect,
+            tail,
+        })
+}
+
+fn prog_strategy() -> impl Strategy<Value = ProgSpec> {
+    (2usize..10).prop_flat_map(|functions| {
+        prop::collection::vec(
+            prop::collection::vec(op_strategy(functions), 0..4),
+            functions,
+        )
+        .prop_map(move |bodies| ProgSpec { functions, bodies })
+    })
+}
+
+fn build(spec: &ProgSpec) -> Program {
+    let mut b = ProgramBuilder::new();
+    let fns: Vec<_> = (0..spec.functions)
+        .map(|i| b.function(&format!("f{i}")))
+        .collect();
+    // One indirect table over all functions (any-to-any indirect calls).
+    let table = b.table(fns.clone());
+    for (i, ops) in spec.bodies.iter().enumerate() {
+        let mut body = b.body(fns[i]).work(3);
+        // Tails must come last; partition the ops.
+        for op in ops.iter().filter(|o| !o.tail) {
+            if op.indirect {
+                body = body.indirect(
+                    table,
+                    TargetChoice::Uniform,
+                    [op.prob, op.prob],
+                    op.repeat,
+                );
+            } else {
+                body = body.call_rep(fns[op.callee], [op.prob, op.prob], op.repeat);
+            }
+        }
+        // Tail ops everywhere except in main (i == 0): the interpreter's
+        // main-loop restart models a fresh iteration, but a tail-chained
+        // main never returns through its own instrumented sites — in a
+        // real run those ccStack entries simply leak until process exit,
+        // which the engine surfaces as a dirty reset. Excluding main keeps
+        // the balanced-state invariant meaningful.
+        if i != 0 {
+            if let Some(op) = ops.iter().find(|o| o.tail) {
+                body = if op.indirect {
+                    body.tail_indirect(table, TargetChoice::Uniform, [op.prob, op.prob])
+                } else {
+                    body.tail(fns[op.callee], [op.prob, op.prob])
+                };
+            }
+        }
+        body.done();
+    }
+    b.build(fns[0])
+}
+
+fn eager_config(edge_threshold: usize, compression: CompressionMode) -> DacceConfig {
+    DacceConfig {
+        edge_threshold,
+        min_events_between_reencodes: 32,
+        reencode_backoff: 1.1,
+        reencode_interval_cap: 4_096,
+        compression,
+        compression_min_heat: 4,
+        hot_check_every: 1_500,
+        hot_change_nodes: 1,
+        ..DacceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// DACCE validates every sample on arbitrary programs, across eager
+    /// re-encoding and every compression mode.
+    #[test]
+    fn dacce_decodes_everything(
+        spec in prog_strategy(),
+        seed in 0u64..1_000,
+        edge_threshold in 1usize..8,
+        mode in prop_oneof![
+            Just(CompressionMode::Never),
+            Just(CompressionMode::Adaptive),
+            Just(CompressionMode::Always)
+        ],
+    ) {
+        let program = build(&spec);
+        let mut rt = DacceRuntime::new(eager_config(edge_threshold, mode), CostModel::default());
+        let icfg = InterpConfig {
+            seed,
+            budget_calls: 3_000,
+            sample_every: 23,
+            max_depth: 48,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&program, icfg).run(&mut rt);
+        prop_assert_eq!(report.mismatches, 0, "mismatches: {:?}", report.mismatch_examples);
+        prop_assert_eq!(report.unsupported, 0, "some sample failed to decode");
+        let stats = rt.stats();
+        prop_assert_eq!(stats.decode_errors, 0);
+        prop_assert_eq!(stats.unbalanced_resets, 0);
+    }
+
+    /// The encoding state returns to its initial value whenever the
+    /// program fully unwinds (balanced instrumentation).
+    #[test]
+    fn dacce_state_is_balanced(spec in prog_strategy(), seed in 0u64..500) {
+        let program = build(&spec);
+        let mut rt = DacceRuntime::new(
+            eager_config(3, CompressionMode::Adaptive),
+            CostModel::default(),
+        );
+        let icfg = InterpConfig {
+            seed,
+            budget_calls: 2_000,
+            sample_every: 0,
+            max_depth: 32,
+            ..InterpConfig::default()
+        };
+        let report = Interpreter::new(&program, icfg).run(&mut rt);
+        // Tail calls legitimately produce no return events, so the trace
+        // need not balance call-for-call; what must hold is that the engine
+        // state itself stays consistent and clean.
+        prop_assert!(report.returns <= report.calls);
+        prop_assert_eq!(rt.stats().unbalanced_resets, 0);
+        prop_assert!(rt.engine().check_invariants().is_ok(),
+            "invariants: {:?}", rt.engine().check_invariants());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// PCCE (with its offline profile) also validates every sample on
+    /// arbitrary programs.
+    #[test]
+    fn pcce_decodes_everything(spec in prog_strategy(), seed in 0u64..500) {
+        use dacce_pcce::{PcceRuntime, ProfilingRuntime};
+        let program = build(&spec);
+        let icfg = InterpConfig {
+            seed,
+            budget_calls: 2_500,
+            sample_every: 31,
+            max_depth: 48,
+            ..InterpConfig::default()
+        };
+        let mut profiler = ProfilingRuntime::new();
+        let _ = Interpreter::new(&program, icfg.clone()).run(&mut profiler);
+        let mut rt = PcceRuntime::new(profiler.into_data(), CostModel::default());
+        let report = Interpreter::new(&program, icfg).run(&mut rt);
+        prop_assert_eq!(report.mismatches, 0, "mismatches: {:?}", report.mismatch_examples);
+        prop_assert_eq!(report.unsupported, 0);
+        prop_assert_eq!(rt.stats().decode_errors, 0);
+        prop_assert_eq!(rt.stats().unexpected_edges, 0);
+    }
+}

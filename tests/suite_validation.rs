@@ -1,0 +1,31 @@
+//! CI-style gate: every benchmark of the suite validates end to end at
+//! reduced scale — every sampled context of both PCCE and DACCE decodes to
+//! the oracle's calling context.
+
+use dacce_workloads::{all_benchmarks, run_benchmark, DriverConfig};
+
+#[test]
+fn all_41_benchmarks_validate_at_small_scale() {
+    let cfg = DriverConfig {
+        scale: 0.05,
+        sample_every: 257,
+        ..DriverConfig::default()
+    };
+    let mut failures = Vec::new();
+    for spec in all_benchmarks() {
+        let out = run_benchmark(&spec, &cfg);
+        if !out.fully_validated() {
+            failures.push(format!(
+                "{}: dacce {:?} pcce {:?}",
+                out.name, out.dacce_report.mismatch_examples, out.pcce_report.mismatch_examples
+            ));
+        }
+        // Structural sanity that must hold at any scale.
+        assert!(
+            out.dacce_graph.0 <= out.pcce_stats.nodes,
+            "{}: dynamic graph larger than static",
+            out.name
+        );
+    }
+    assert!(failures.is_empty(), "{failures:#?}");
+}

@@ -1,0 +1,89 @@
+//! Integration tests of the versioned-dictionary mechanism (§4.1): samples
+//! recorded under any historical timestamp must remain decodable after
+//! arbitrarily many later re-encodings.
+
+use dacce::{DacceConfig, DacceRuntime};
+use dacce_program::{CostModel, InterpConfig, Interpreter};
+use dacce_workloads::{driver, BenchSpec, DriverConfig};
+
+fn eager() -> DacceConfig {
+    DacceConfig {
+        edge_threshold: 2,
+        min_events_between_reencodes: 64,
+        reencode_backoff: 1.05,
+        reencode_interval_cap: 2_000,
+        keep_sample_log: true,
+        ..DacceConfig::default()
+    }
+}
+
+#[test]
+fn samples_from_every_timestamp_decode() {
+    let spec = BenchSpec {
+        budget_calls: 60_000,
+        phase_shift: true,
+        ..BenchSpec::tiny("versioned", 5)
+    };
+    let program = driver::program_of(&spec);
+    let mut icfg = driver::interp_config(&spec, &DriverConfig::default());
+    icfg.sample_every = 37;
+
+    let mut rt = DacceRuntime::new(eager(), CostModel::default());
+    let report = Interpreter::new(&program, icfg).run(&mut rt);
+    assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+
+    let engine = rt.engine();
+    let stats = rt.stats();
+    assert!(
+        stats.reencodes >= 6,
+        "need many re-encodings, got {}",
+        stats.reencodes
+    );
+
+    // The log spans many timestamps; every sample decodes against its own
+    // dictionary even though the encodings changed many times since.
+    let mut stamps = std::collections::HashSet::new();
+    for samp in engine.sample_log() {
+        stamps.insert(samp.ts);
+        engine.decode(samp).expect("historical sample decodes");
+    }
+    assert!(
+        stamps.len() >= 4,
+        "samples must span many dictionary versions, got {}",
+        stamps.len()
+    );
+    assert_eq!(engine.dicts().len() as u64, stats.reencodes + 1);
+}
+
+#[test]
+fn dictionaries_are_immutable_snapshots() {
+    let spec = BenchSpec {
+        budget_calls: 20_000,
+        ..BenchSpec::tiny("immutable", 6)
+    };
+    let program = driver::program_of(&spec);
+    let icfg = driver::interp_config(&spec, &DriverConfig::default());
+
+    let mut rt = DacceRuntime::new(eager(), CostModel::default());
+    let _ = Interpreter::new(&program, icfg).run(&mut rt);
+
+    let engine = rt.engine();
+    let dicts = engine.dicts();
+    assert!(dicts.len() >= 2);
+    // maxID per snapshot is non-decreasing only in the typical case; what
+    // must always hold is that each dictionary's edge set is a subset of
+    // the final graph's edges.
+    let graph = engine.graph();
+    for ts in 0..dicts.len() {
+        let dict = dicts
+            .get(dacce_callgraph::TimeStamp::new(ts as u32))
+            .unwrap();
+        assert!(dict.edge_count() <= graph.edge_count());
+        for e in dict.edges() {
+            assert!(
+                graph.edge_id(e.site, e.callee).is_some(),
+                "dictionary edge missing from final graph"
+            );
+        }
+    }
+}
