@@ -66,12 +66,7 @@ impl CctRuntime {
         self.nodes.len()
     }
 
-    fn add_node(
-        &mut self,
-        parent: Option<u32>,
-        site: Option<CallSiteId>,
-        func: FunctionId,
-    ) -> u32 {
+    fn add_node(&mut self, parent: Option<u32>, site: Option<CallSiteId>, func: FunctionId) -> u32 {
         let idx = self.nodes.len() as u32;
         self.nodes.push(CctNode {
             parent,
@@ -214,7 +209,11 @@ mod tests {
             .call(a)
             .indirect(tbl, TargetChoice::Uniform, [0.8, 0.8], 2)
             .done();
-        b.body(a).work(1).call_p(c, [0.6, 0.6]).tail(t1, [0.3, 0.3]).done();
+        b.body(a)
+            .work(1)
+            .call_p(c, [0.6, 0.6])
+            .tail(t1, [0.3, 0.3])
+            .done();
         b.body(c).work(1).call_p(a, [0.3, 0.3]).done();
         b.body(t1).work(1).done();
         b.body(t2).work(1).done();

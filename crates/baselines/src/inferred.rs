@@ -91,7 +91,10 @@ impl ContextRuntime for InferredRuntime {
     ) {
         let mut t = InferredThread::default();
         match parent {
-            None => t.truth.push(PathStep { site: None, func: root }),
+            None => t.truth.push(PathStep {
+                site: None,
+                func: root,
+            }),
             Some((ptid, site)) => {
                 t.truth = self.threads[&ptid].truth.clone();
                 t.truth.push(PathStep {
@@ -133,16 +136,13 @@ impl ContextRuntime for InferredRuntime {
     fn sample(&mut self, tid: ThreadId, _events: u64) -> (SampleResult, u64) {
         self.stats.samples += 1;
         let t = &self.threads[&tid];
-        let key = (
-            t.truth.last().expect("root present").func,
-            t.truth.len(),
-        );
+        let key = (t.truth.last().expect("root present").func, t.truth.len());
         let entry = self.dictionary.entry(key).or_default();
         if entry.is_empty() {
             entry.push(t.truth.clone());
         } else if entry[0] != t.truth {
             self.stats.misattributed_samples += 1;
-            if !entry.iter().any(|p| *p == t.truth) {
+            if !entry.contains(&t.truth) {
                 entry.push(t.truth.clone());
             }
         }

@@ -105,10 +105,7 @@ impl ContextRuntime for PccRuntime {
         if !ev.tail {
             t.saved.push(t.v);
         }
-        t.v = t
-            .v
-            .wrapping_mul(3)
-            .wrapping_add(u64::from(ev.site.raw()));
+        t.v = t.v.wrapping_mul(3).wrapping_add(u64::from(ev.site.raw()));
         t.truth.push(PathStep {
             site: Some(ev.site),
             func: ev.callee,
@@ -195,26 +192,37 @@ pub mod reconstruct {
         // Pre-index incoming edges as (site, caller) per callee.
         let mut incoming: HashMap<FunctionId, Vec<(CallSiteId, FunctionId)>> = HashMap::new();
         for (_, e) in graph.edges() {
-            incoming.entry(e.callee).or_default().push((e.site, e.caller));
+            incoming
+                .entry(e.callee)
+                .or_default()
+                .push((e.site, e.caller));
         }
 
         let mut results: Vec<Vec<PathStep>> = Vec::new();
         // Reverse-order steps accumulated leaf-first.
         let mut acc: Vec<PathStep> = Vec::new();
         search(
-            &incoming, root, leaf, hash, max_depth, max_results, &mut acc, &mut results,
+            &incoming,
+            root,
+            leaf,
+            hash,
+            max_depth,
+            max_results,
+            &mut acc,
+            &mut results,
         );
         match results.len() {
             0 => Reconstruction::NotFound,
             1 => Reconstruction::Unique(to_path(root, &results[0])),
-            _ => Reconstruction::Ambiguous(
-                results.iter().map(|r| to_path(root, r)).collect(),
-            ),
+            _ => Reconstruction::Ambiguous(results.iter().map(|r| to_path(root, r)).collect()),
         }
     }
 
     fn to_path(root: FunctionId, rev: &[PathStep]) -> ContextPath {
-        let mut steps = vec![PathStep { site: None, func: root }];
+        let mut steps = vec![PathStep {
+            site: None,
+            func: root,
+        }];
         steps.extend(rev.iter().rev().copied());
         ContextPath(steps)
     }
@@ -247,12 +255,20 @@ pub mod reconstruct {
         };
         for &(site, caller) in candidates {
             // Invert V = 3*V_prev + site.
-            let prev = hash
-                .wrapping_sub(u64::from(site.raw()))
-                .wrapping_mul(INV3);
-            acc.push(PathStep { site: Some(site), func: cur });
+            let prev = hash.wrapping_sub(u64::from(site.raw())).wrapping_mul(INV3);
+            acc.push(PathStep {
+                site: Some(site),
+                func: cur,
+            });
             search(
-                incoming, root, caller, prev, budget - 1, max_results, acc, results,
+                incoming,
+                root,
+                caller,
+                prev,
+                budget - 1,
+                max_results,
+                acc,
+                results,
             );
             acc.pop();
         }

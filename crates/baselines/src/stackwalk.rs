@@ -102,7 +102,10 @@ impl ContextRuntime for StackWalkRuntime {
         parent: Option<(ThreadId, CallSiteId)>,
     ) {
         let base = match parent {
-            None => vec![PathStep { site: None, func: root }],
+            None => vec![PathStep {
+                site: None,
+                func: root,
+            }],
             Some((ptid, site)) => {
                 let mut base = self.threads[&ptid].path().0;
                 base.push(PathStep {

@@ -27,7 +27,14 @@ fn chain_engine(depth: u32) -> (DacceEngine, dacce::EncodedContext) {
     e.attach_main(f(0));
     e.thread_start(ThreadId::MAIN, f(0), None);
     for i in 0..depth {
-        e.call(ThreadId::MAIN, s(i), f(i), f(i + 1), CallDispatch::Direct, false);
+        e.call(
+            ThreadId::MAIN,
+            s(i),
+            f(i),
+            f(i + 1),
+            CallDispatch::Direct,
+            false,
+        );
     }
     let snap = e.snapshot(ThreadId::MAIN);
     (e, snap)
@@ -45,9 +52,23 @@ fn compressed_engine(depth: u32) -> (DacceEngine, dacce::EncodedContext) {
     let mut e = DacceEngine::new(cfg, CostModel::default());
     e.attach_main(f(0));
     e.thread_start(ThreadId::MAIN, f(0), None);
-    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
     for _ in 0..depth {
-        e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+        e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
     }
     let snap = e.snapshot(ThreadId::MAIN);
     (e, snap)
@@ -75,5 +96,9 @@ fn bench_decode_compressed_recursion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_chain, bench_decode_compressed_recursion);
+criterion_group!(
+    benches,
+    bench_decode_chain,
+    bench_decode_compressed_recursion
+);
 criterion_main!(benches);

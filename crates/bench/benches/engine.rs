@@ -27,8 +27,22 @@ fn encoded_engine() -> DacceEngine {
     e.thread_start(ThreadId::MAIN, f(0), None);
     // Discover two edges; the second discovery triggers a re-encode, after
     // which both are encoded.
-    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-    e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+    e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
+    e.call(
+        ThreadId::MAIN,
+        s(1),
+        f(1),
+        f(2),
+        CallDispatch::Direct,
+        false,
+    );
     e.ret(ThreadId::MAIN, s(1), f(1), f(2));
     e.ret(ThreadId::MAIN, s(0), f(0), f(1));
     e
@@ -38,7 +52,14 @@ fn bench_encoded_roundtrip(c: &mut Criterion) {
     let mut e = encoded_engine();
     c.bench_function("engine/encoded_call_return", |b| {
         b.iter(|| {
-            e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+            e.call(
+                ThreadId::MAIN,
+                s(0),
+                f(0),
+                f(1),
+                CallDispatch::Direct,
+                false,
+            );
             e.ret(ThreadId::MAIN, s(0), f(0), f(1));
         })
     });
@@ -54,15 +75,36 @@ fn bench_recursive_compressed(c: &mut Criterion) {
     let mut e = DacceEngine::new(cfg, CostModel::default());
     e.attach_main(f(0));
     e.thread_start(ThreadId::MAIN, f(0), None);
-    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
     // Make the self edge hot enough to be compressed after re-encoding.
     for _ in 0..128 {
-        e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+        e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         e.ret(ThreadId::MAIN, s(1), f(1), f(1));
     }
     c.bench_function("engine/compressed_recursion_call_return", |b| {
         b.iter(|| {
-            e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+            e.call(
+                ThreadId::MAIN,
+                s(1),
+                f(1),
+                f(1),
+                CallDispatch::Direct,
+                false,
+            );
             e.ret(ThreadId::MAIN, s(1), f(1), f(1));
         })
     });
@@ -77,12 +119,26 @@ fn bench_indirect_hash(c: &mut Criterion) {
     e.attach_main(f(0));
     e.thread_start(ThreadId::MAIN, f(0), None);
     for t in 1..=8u32 {
-        e.call(ThreadId::MAIN, s(0), f(0), f(t), CallDispatch::Indirect, false);
+        e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(t),
+            CallDispatch::Indirect,
+            false,
+        );
         e.ret(ThreadId::MAIN, s(0), f(0), f(t));
     }
     c.bench_function("engine/indirect_hash_dispatch", |b| {
         b.iter(|| {
-            e.call(ThreadId::MAIN, s(0), f(0), f(5), CallDispatch::Indirect, false);
+            e.call(
+                ThreadId::MAIN,
+                s(0),
+                f(0),
+                f(5),
+                CallDispatch::Indirect,
+                false,
+            );
             e.ret(ThreadId::MAIN, s(0), f(0), f(5));
         })
     });
@@ -90,9 +146,25 @@ fn bench_indirect_hash(c: &mut Criterion) {
 
 fn bench_sample(c: &mut Criterion) {
     let mut e = encoded_engine();
-    e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-    e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
-    c.bench_function("engine/sample_snapshot", |b| b.iter(|| e.sample(ThreadId::MAIN)));
+    e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
+    e.call(
+        ThreadId::MAIN,
+        s(1),
+        f(1),
+        f(2),
+        CallDispatch::Direct,
+        false,
+    );
+    c.bench_function("engine/sample_snapshot", |b| {
+        b.iter(|| e.sample(ThreadId::MAIN))
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,114 @@
+//! Multithreaded tracker throughput: N OS threads hammering one `Tracker`
+//! with call/return pairs over already-encoded edges. This is the bench
+//! that makes the concurrency architecture visible: a tracker that
+//! serializes every event through a shared lock flatlines (or worse) as
+//! threads are added, while per-thread fast paths should scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dacce::tracker::ThreadHandle;
+use dacce::{DacceConfig, Tracker};
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+/// Call/return pairs ticked per thread per measured iteration. Large
+/// enough to amortize the scoped-thread spawn/join overhead.
+const ROUNDS_PER_ITER: usize = 2_000;
+/// Nesting depth of each round (frames entered then unwound).
+const DEPTH: usize = 4;
+
+struct Prepared {
+    tracker: Tracker,
+    handles: Vec<ThreadHandle>,
+    /// Per-thread chain of call sites (distinct static locations).
+    sites: Vec<Vec<CallSiteId>>,
+    depth_fns: Vec<FunctionId>,
+}
+
+/// Build a tracker whose per-thread edges are already discovered and
+/// encoded, so the measured loop exercises only the encoded fast path.
+fn prepare(threads: usize) -> Prepared {
+    let tracker = Tracker::with_config(DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 1,
+        ..DacceConfig::default()
+    });
+    let f_main = tracker.define_function("main");
+    let worker_fns: Vec<FunctionId> = (0..threads)
+        .map(|i| tracker.define_function(&format!("worker{i}")))
+        .collect();
+    let depth_fns: Vec<FunctionId> = (0..DEPTH)
+        .map(|i| tracker.define_function(&format!("level{i}")))
+        .collect();
+    let spawn_site = tracker.define_call_site();
+    let sites: Vec<Vec<CallSiteId>> = (0..threads)
+        .map(|_| (0..DEPTH).map(|_| tracker.define_call_site()).collect())
+        .collect();
+
+    let main_th = tracker.register_thread(f_main);
+    let handles: Vec<ThreadHandle> = (0..threads)
+        .map(|w| tracker.register_spawned_thread(worker_fns[w], &main_th, spawn_site))
+        .collect();
+
+    // Warm every edge so the re-encoder folds them into the encoding; the
+    // measured loop then never traps.
+    for (w, th) in handles.iter().enumerate() {
+        for _ in 0..4 {
+            let mut guards = Vec::new();
+            for d in 0..DEPTH {
+                guards.push(th.call(sites[w][d], depth_fns[d]));
+            }
+            while let Some(g) = guards.pop() {
+                drop(g);
+            }
+        }
+    }
+
+    Prepared {
+        tracker,
+        handles,
+        sites,
+        depth_fns,
+    }
+}
+
+fn run_threads(p: &Prepared) {
+    crossbeam::scope(|scope| {
+        for (w, th) in p.handles.iter().enumerate() {
+            let sites = &p.sites[w];
+            let depth_fns = &p.depth_fns;
+            scope.spawn(move |_| {
+                for _ in 0..ROUNDS_PER_ITER {
+                    let mut guards = Vec::new();
+                    for d in 0..DEPTH {
+                        guards.push(th.call(sites[d], depth_fns[d]));
+                    }
+                    while let Some(g) = guards.pop() {
+                        drop(g);
+                    }
+                }
+            });
+        }
+    })
+    .expect("bench threads complete");
+}
+
+fn bench_tracker_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker/encoded_call_return");
+    for &threads in &[1usize, 2, 4, 8] {
+        let p = prepare(threads);
+        // One element = one call+return pair.
+        group.throughput(Throughput::Elements(
+            (threads * ROUNDS_PER_ITER * DEPTH) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| run_threads(&p))
+        });
+        // Quietly verify the fast path stayed trap-free while measuring.
+        let stats = p.tracker.stats();
+        assert_eq!(stats.decode_errors, 0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker_scale);
+criterion_main!(benches);

@@ -48,11 +48,24 @@ fn run(spec: &BenchSpec, scale: f64, dacce: DacceConfig) -> (f64, f64, u64, u64,
 
 fn main() {
     let opts = Options::from_args();
-    let mut csv = Table::new(["study", "benchmark", "variant", "overhead", "cc_depth", "gTS"]);
+    let mut csv = Table::new([
+        "study",
+        "benchmark",
+        "variant",
+        "overhead",
+        "cc_depth",
+        "gTS",
+    ]);
 
     // 1 & 2: re-encoding and heat ordering.
     println!("\nAblation 1/2: adaptive re-encoding and hot-edge ordering");
-    let mut t = Table::new(["benchmark", "variant", "overhead", "mean ccStack depth", "gTS"]);
+    let mut t = Table::new([
+        "benchmark",
+        "variant",
+        "overhead",
+        "mean ccStack depth",
+        "gTS",
+    ]);
     for name in ["400.perlbench", "458.sjeng", "471.omnetpp"] {
         let spec = spec_named(name);
         for (variant, cfg) in [

@@ -7,6 +7,7 @@
 //! by [`TimeStamp`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::encode::Encoding;
 use crate::graph::{CallGraph, Dispatch};
@@ -156,9 +157,14 @@ impl DecodeDict {
 }
 
 /// Append-only store of decode dictionaries, one per re-encoding.
+///
+/// Dictionaries are held behind [`Arc`] so the store can be cloned in O(n)
+/// pointer copies — concurrent runtimes publish immutable store snapshots
+/// to reader threads on every re-encoding without duplicating dictionary
+/// contents.
 #[derive(Clone, Debug, Default)]
 pub struct DictStore {
-    dicts: Vec<DecodeDict>,
+    dicts: Vec<Arc<DecodeDict>>,
 }
 
 impl DictStore {
@@ -179,17 +185,27 @@ impl DictStore {
             self.dicts.len(),
             "dictionary timestamp out of order"
         );
-        self.dicts.push(dict);
+        self.dicts.push(Arc::new(dict));
     }
 
     /// The dictionary for `ts`, if recorded.
     pub fn get(&self, ts: TimeStamp) -> Option<&DecodeDict> {
-        self.dicts.get(ts.index())
+        self.dicts.get(ts.index()).map(Arc::as_ref)
+    }
+
+    /// A shared handle to the dictionary for `ts`, if recorded.
+    pub fn get_arc(&self, ts: TimeStamp) -> Option<Arc<DecodeDict>> {
+        self.dicts.get(ts.index()).cloned()
     }
 
     /// The most recent dictionary, if any.
     pub fn latest(&self) -> Option<&DecodeDict> {
-        self.dicts.last()
+        self.dicts.last().map(Arc::as_ref)
+    }
+
+    /// A shared handle to the most recent dictionary, if any.
+    pub fn latest_arc(&self) -> Option<Arc<DecodeDict>> {
+        self.dicts.last().cloned()
     }
 
     /// Number of dictionaries recorded (equals the number of re-encodings).
@@ -287,9 +303,25 @@ mod tests {
         store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
         store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::new(1)).unwrap());
         assert_eq!(store.len(), 2);
-        assert_eq!(store.get(TimeStamp::ZERO).unwrap().timestamp(), TimeStamp::ZERO);
+        assert_eq!(
+            store.get(TimeStamp::ZERO).unwrap().timestamp(),
+            TimeStamp::ZERO
+        );
         assert_eq!(store.latest().unwrap().timestamp(), TimeStamp::new(1));
         assert!(store.get(TimeStamp::new(5)).is_none());
+    }
+
+    #[test]
+    fn store_clones_share_dictionaries() {
+        let mut g = diamond();
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let snapshot = store.clone();
+        let a = store.get_arc(TimeStamp::ZERO).unwrap();
+        let b = snapshot.latest_arc().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "clones must share dictionary storage");
     }
 
     #[test]

@@ -259,10 +259,7 @@ mod tests {
             seen: &mut HashMap<FunctionId, Vec<u128>>,
         ) {
             let ids = seen.entry(node).or_default();
-            assert!(
-                !ids.contains(&id),
-                "duplicate id {id} for node {node:?}"
-            );
+            assert!(!ids.contains(&id), "duplicate id {id} for node {node:?}");
             ids.push(id);
             for &eid in g.outgoing(node) {
                 let e = g.edge(eid);
@@ -309,7 +306,8 @@ mod tests {
     #[test]
     fn encoding_u64_rejects_oversized_values() {
         let mut enc = Encoding::default();
-        enc.edge_encoding.insert(EdgeId::new(0), u128::from(u64::MAX) + 1);
+        enc.edge_encoding
+            .insert(EdgeId::new(0), u128::from(u64::MAX) + 1);
         enc.edge_encoding.insert(EdgeId::new(1), 17);
         assert_eq!(enc.encoding_u64(EdgeId::new(0)), None);
         assert_eq!(enc.encoding_u64(EdgeId::new(1)), Some(17));

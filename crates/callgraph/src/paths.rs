@@ -141,15 +141,7 @@ mod tests {
 
     #[test]
     fn path_ids_are_unique_and_dense() {
-        let mut g = build(&[
-            (0, 1),
-            (0, 2),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-            (3, 4),
-            (2, 4),
-        ]);
+        let mut g = build(&[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4)]);
         classify_back_edges(&mut g, &[f(0)]);
         let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
         let mut ids: HashMap<FunctionId, Vec<u128>> = HashMap::new();

@@ -159,10 +159,7 @@ impl CcStack {
     /// Logical depth counting compressed repetitions, i.e. the number of
     /// boundaries an uncompressed stack would hold.
     pub fn logical_depth(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| e.count + 1)
-            .sum()
+        self.entries.iter().map(|e| e.count + 1).sum()
     }
 }
 
@@ -235,8 +232,18 @@ mod tests {
         assert_eq!(
             st.entries(),
             &[
-                CcEntry { id: 1, site: da, target: a, count: 0 },
-                CcEntry { id: 2, site: da, target: a, count: 1 },
+                CcEntry {
+                    id: 1,
+                    site: da,
+                    target: a,
+                    count: 0
+                },
+                CcEntry {
+                    id: 2,
+                    site: da,
+                    target: a,
+                    count: 1
+                },
             ]
         );
     }

@@ -52,7 +52,9 @@ impl EncodedContext {
 
     /// Depth of the spawn chain (0 for the initial thread).
     pub fn spawn_depth(&self) -> usize {
-        self.spawn.as_ref().map_or(0, |s| 1 + s.parent.spawn_depth())
+        self.spawn
+            .as_ref()
+            .map_or(0, |s| 1 + s.parent.spawn_depth())
     }
 }
 

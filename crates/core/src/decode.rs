@@ -244,10 +244,7 @@ mod tests {
     /// Figure 1 / §2.1: fully encoded diamond, no ccStack involved.
     #[test]
     fn decode_fully_encoded_diamond() {
-        let (dict, owner) = dict_of(
-            &[(0, 1, 0), (0, 2, 1), (1, 3, 2), (2, 3, 3)],
-            &[f(0)],
-        );
+        let (dict, owner) = dict_of(&[(0, 1, 0), (0, 2, 1), (1, 3, 2), (2, 3, 3)], &[f(0)]);
         // Path A->C->D has id = En(CD) = 1.
         let got = decode_thread(&dict, 1, f(3), f(0), &[], &owner).unwrap();
         assert_eq!(got, path(&[(None, 0), (Some(1), 2), (Some(3), 3)]));
@@ -284,8 +281,18 @@ mod tests {
         owner.insert(s(2), f(2));
         let max = dict.max_id();
         let cc = [
-            CcEntry { id: 0, site: s(0), target: f(1), count: 0 },
-            CcEntry { id: max + 1, site: s(2), target: f(3), count: 0 },
+            CcEntry {
+                id: 0,
+                site: s(0),
+                target: f(1),
+                count: 0,
+            },
+            CcEntry {
+                id: max + 1,
+                site: s(2),
+                target: f(3),
+                count: 0,
+            },
         ];
         let got = decode_thread(&dict, max + 1, f(3), f(0), &cc, &owner).unwrap();
         assert_eq!(
@@ -303,14 +310,34 @@ mod tests {
         owner.insert(s(2), f(0));
         owner.insert(s(3), f(3));
         let m = dict.max_id(); // 0
-        // Path A D A C D A D: boundaries AD, DA, (encoded ACD), DA, AD.
-        // Trace the pushes: <0,A,D>, <m+1,D,A>, <m+1,D,A>... matching the
-        // paper's worked example <0,A,D>,<1,D,A>,<1,D,A>,<1,A,D> with id 1.
+                               // Path A D A C D A D: boundaries AD, DA, (encoded ACD), DA, AD.
+                               // Trace the pushes: <0,A,D>, <m+1,D,A>, <m+1,D,A>... matching the
+                               // paper's worked example <0,A,D>,<1,D,A>,<1,D,A>,<1,A,D> with id 1.
         let cc = [
-            CcEntry { id: 0, site: s(2), target: f(3), count: 0 },
-            CcEntry { id: m + 1, site: s(3), target: f(0), count: 0 },
-            CcEntry { id: m + 1, site: s(3), target: f(0), count: 0 },
-            CcEntry { id: m + 1, site: s(2), target: f(3), count: 0 },
+            CcEntry {
+                id: 0,
+                site: s(2),
+                target: f(3),
+                count: 0,
+            },
+            CcEntry {
+                id: m + 1,
+                site: s(3),
+                target: f(0),
+                count: 0,
+            },
+            CcEntry {
+                id: m + 1,
+                site: s(3),
+                target: f(0),
+                count: 0,
+            },
+            CcEntry {
+                id: m + 1,
+                site: s(2),
+                target: f(3),
+                count: 0,
+            },
         ];
         // Wait: entry 3 is A->D again (site 2, target D), pushed with the
         // id A held at that time (m+1 adjusted ...). Current function D,
@@ -355,8 +382,18 @@ mod tests {
         assert_eq!(dict.max_id(), 1);
         // Figure 5f final state: id = 2, ccStack (1,D,A,0) | (2,D,A,1).
         let cc = [
-            CcEntry { id: 1, site: s(3), target: f(0), count: 0 },
-            CcEntry { id: 2, site: s(3), target: f(0), count: 1 },
+            CcEntry {
+                id: 1,
+                site: s(3),
+                target: f(0),
+                count: 0,
+            },
+            CcEntry {
+                id: 2,
+                site: s(3),
+                target: f(0),
+                count: 1,
+            },
         ];
         let got = decode_thread(&dict, 2, f(3), f(0), &cc, &owner).unwrap();
         // A C D (A D) x3 = A C D A D A D A D.
@@ -397,7 +434,12 @@ mod tests {
         );
         owner.insert(s(9), f(2)); // the indirect site in C targeting E
         let m = dict.max_id();
-        let cc = [CcEntry { id: 0, site: s(9), target: f(4), count: 0 }];
+        let cc = [CcEntry {
+            id: 0,
+            site: s(9),
+            target: f(4),
+            count: 0,
+        }];
         // Context A->C (id 0) | indirect to E | E->I: id = m+1 + En(EI).
         let en_ei = dict.get_edge(s(5), f(6)).unwrap().encoding;
         let got = decode_thread(&dict, m + 1 + en_ei, f(6), f(0), &cc, &owner).unwrap();
@@ -429,7 +471,12 @@ mod tests {
     fn decode_errors_on_unknown_site_owner() {
         let (dict, _) = dict_of(&[(0, 1, 0)], &[f(0)]);
         let owner = HashMap::new(); // deliberately empty
-        let cc = [CcEntry { id: 0, site: s(7), target: f(1), count: 0 }];
+        let cc = [CcEntry {
+            id: 0,
+            site: s(7),
+            target: f(1),
+            count: 0,
+        }];
         let err = decode_thread(&dict, dict.max_id() + 1, f(1), f(0), &cc, &owner).unwrap_err();
         assert_eq!(err, DecodeError::UnknownSiteOwner(s(7)));
     }
@@ -448,8 +495,7 @@ mod tests {
         let (dict, owner) = dict_of(&[(0, 1, 0)], &[f(0)]);
         // onstack set (id > maxID) but empty ccStack and id adjusts to 0 at
         // a function that is not the root.
-        let err =
-            decode_thread(&dict, dict.max_id() + 1, f(1), f(0), &[], &owner).unwrap_err();
+        let err = decode_thread(&dict, dict.max_id() + 1, f(1), f(0), &[], &owner).unwrap_err();
         assert!(matches!(err, DecodeError::CcStackUnderflow { .. }));
     }
 

@@ -1,32 +1,38 @@
 //! The DACCE engine: dynamic encoding, the runtime handler, and per-thread
 //! instrumentation execution.
 //!
-//! The engine is the library-level heart of the system. It owns the
-//! dynamically growing call graph, the per-site patch states (the "generated
-//! code"), the per-thread encoding contexts, and the versioned decode
-//! dictionaries. The interpreter (or the embeddable [`crate::Tracker`])
-//! drives it with call/return events; the engine executes exactly the
-//! instrumentation its current patch states prescribe and returns the cost
-//! units that instrumentation would have spent.
+//! The engine is the library-level heart of the system, structured as two
+//! layers since the concurrency split (see `DESIGN.md`, "Concurrency
+//! architecture"):
+//!
+//! * [`crate::shared::SharedState`] — everything global: the dynamically
+//!   growing call graph, the per-site patch states (the "generated code"),
+//!   the versioned decode dictionaries, trigger state and statistics.
+//! * [`crate::fastpath`] — pure per-thread instrumentation execution over a
+//!   read-only encoding view.
+//!
+//! `DacceEngine` composes the two behind the original single-threaded API:
+//! it owns the shared state plus every [`ThreadCtx`] and is driven with
+//! call/return events by the interpreter. The concurrent
+//! [`crate::Tracker`] composes the *same* two layers differently — shared
+//! state behind a lock, thread contexts owned by their threads.
 //!
 //! The adaptive re-encoding machinery lives in [`crate::reencode`]
 //! (implemented as further methods on [`DacceEngine`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use dacce_callgraph::encode::{encode_graph, EncodeOptions};
-use dacce_callgraph::{
-    CallGraph, CallSiteId, DecodeDict, DictStore, Dispatch, EdgeId, FunctionId, TimeStamp,
-};
+use dacce_callgraph::{CallGraph, CallSiteId, DictStore, FunctionId, TimeStamp};
 use dacce_program::runtime::CallDispatch;
 use dacce_program::{ContextPath, CostModel, ThreadId};
 
 use crate::config::DacceConfig;
 use crate::context::{EncodedContext, SpawnLink};
-use crate::decode::{decode_full, DecodeError};
-use crate::patch::{EdgeAction, IndirectPatch, SitePatch, SiteState};
-use crate::stats::{DacceStats, ProgressPoint};
-use crate::thread::{ShadowFrame, ThreadCtx};
+use crate::decode::DecodeError;
+use crate::fastpath;
+use crate::shared::SharedState;
+use crate::stats::DacceStats;
+use crate::thread::ThreadCtx;
 
 /// The DACCE engine. See the crate docs for the big picture.
 ///
@@ -54,65 +60,16 @@ use crate::thread::{ShadowFrame, ThreadCtx};
 /// ```
 #[derive(Debug)]
 pub struct DacceEngine {
-    pub(crate) config: DacceConfig,
-    pub(crate) cost: CostModel,
-    pub(crate) graph: CallGraph,
-    pub(crate) dicts: DictStore,
-    pub(crate) ts: TimeStamp,
-    pub(crate) max_id: u64,
-    pub(crate) sites: HashMap<CallSiteId, SiteState>,
-    pub(crate) site_owner: HashMap<CallSiteId, FunctionId>,
-    pub(crate) edge_heat: HashMap<EdgeId, u64>,
-    pub(crate) tail_fns: HashSet<FunctionId>,
-    pub(crate) roots: Vec<FunctionId>,
+    pub(crate) shared: SharedState,
     pub(crate) threads: HashMap<ThreadId, ThreadCtx>,
-    // Re-encoding trigger state.
-    pub(crate) new_edges: usize,
-    pub(crate) events_since_reencode: u64,
-    pub(crate) cur_min_events: u64,
-    pub(crate) window_start_events: u64,
-    pub(crate) window_start_ccops: u64,
-    pub(crate) next_hot_check: u64,
-    pub(crate) last_hot_choice: HashMap<FunctionId, EdgeId>,
-    pub(crate) events: u64,
-    pub(crate) reencode_overflowed: bool,
-    // Recent samples (ring) for heat derivation, plus the optional full log.
-    pub(crate) ring: Vec<EncodedContext>,
-    pub(crate) ring_pos: usize,
-    pub(crate) sample_log: Vec<EncodedContext>,
-    pub(crate) stats: DacceStats,
 }
 
 impl DacceEngine {
     /// Creates an engine with the given configuration and cost model.
     pub fn new(config: DacceConfig, cost: CostModel) -> Self {
-        let cur_min_events = config.min_events_between_reencodes;
         DacceEngine {
-            config,
-            cost,
-            graph: CallGraph::new(),
-            dicts: DictStore::new(),
-            ts: TimeStamp::ZERO,
-            max_id: 0,
-            sites: HashMap::new(),
-            site_owner: HashMap::new(),
-            edge_heat: HashMap::new(),
-            tail_fns: HashSet::new(),
-            roots: Vec::new(),
+            shared: SharedState::new(config, cost),
             threads: HashMap::new(),
-            new_edges: 0,
-            events_since_reencode: 0,
-            cur_min_events,
-            window_start_events: 0,
-            window_start_ccops: 0,
-            next_hot_check: 0,
-            last_hot_choice: HashMap::new(),
-            events: 0,
-            reencode_overflowed: false,
-            ring: Vec::new(),
-            ring_pos: 0,
-            sample_log: Vec::new(),
-            stats: DacceStats::default(),
         }
     }
 
@@ -121,20 +78,7 @@ impl DacceEngine {
     /// runtime (§3: "It starts with a call graph containing only function
     /// main").
     pub fn attach_main(&mut self, main: FunctionId) {
-        self.graph.ensure_node(main);
-        self.roots.push(main);
-        let enc = encode_graph(&self.graph, &self.roots, &EncodeOptions::default());
-        let dict = DecodeDict::from_encoding(&self.graph, &enc, TimeStamp::ZERO)
-            .expect("trivial graph cannot overflow");
-        self.dicts.push(dict);
-        self.max_id = enc.max_id;
-        self.next_hot_check = self.config.hot_check_every;
-        self.stats.progress.push(ProgressPoint {
-            calls: 0,
-            nodes: self.graph.node_count(),
-            edges: self.graph.edge_count(),
-            max_id: self.max_id,
-        });
+        self.shared.attach_main(main);
     }
 
     /// Registers a new thread rooted at `root`. For spawned threads the
@@ -146,10 +90,7 @@ impl DacceEngine {
         root: FunctionId,
         parent: Option<(ThreadId, CallSiteId)>,
     ) {
-        self.graph.ensure_node(root);
-        if !self.roots.contains(&root) {
-            self.roots.push(root);
-        }
+        self.shared.register_root(root);
         let spawn = parent.map(|(ptid, site)| SpawnLink {
             site,
             parent: Box::new(self.snapshot(ptid)),
@@ -160,8 +101,8 @@ impl DacceEngine {
     /// Removes a finished thread's context.
     pub fn thread_exit(&mut self, tid: ThreadId) {
         if let Some(ctx) = self.threads.remove(&tid) {
-            self.stats.ccstack_ops += ctx.cc.ops();
-            self.stats.tcstack_ops += ctx.tc_ops;
+            self.shared.stats.ccstack_ops += ctx.cc.ops();
+            self.shared.stats.tcstack_ops += ctx.tc_ops;
         }
     }
 
@@ -180,7 +121,7 @@ impl DacceEngine {
     pub fn thread_reset(&mut self, tid: ThreadId) {
         if let Some(ctx) = self.threads.get_mut(&tid) {
             if !ctx.is_clean() {
-                self.stats.unbalanced_resets += 1;
+                self.shared.stats.unbalanced_resets += 1;
             }
             ctx.reset();
         }
@@ -197,73 +138,41 @@ impl DacceEngine {
         dispatch: CallDispatch,
         tail: bool,
     ) -> u64 {
-        self.stats.calls += 1;
-        self.events += 1;
-        self.events_since_reencode += 1;
+        self.shared.stats.calls += 1;
+        self.shared.note_event();
         let mut cost = 0u64;
 
         // Resolve the action the generated code takes for this target,
         // trapping into the runtime handler on first invocations.
-        let action = match self.lookup_action(site, callee) {
-            Some((a, dispatch_cost)) => {
-                cost += dispatch_cost;
-                a
+        let (action, site_wraps) = match self.shared.lookup_action(site, callee) {
+            Some(r) => {
+                cost += r.dispatch_cost;
+                (r.action, r.tc_wrap)
             }
             None => {
-                cost += self.cost.handler_trap;
-                self.handle_trap(site, caller, callee, dispatch, tail)
+                cost += self.shared.cost.handler_trap;
+                let (a, newly_tail) = self
+                    .shared
+                    .handle_trap(site, caller, callee, dispatch, tail);
+                if let Some(tail_fn) = newly_tail {
+                    self.retrofit_tail_frames(tail_fn);
+                }
+                let wraps = self
+                    .shared
+                    .patches
+                    .get(site)
+                    .map(|s| s.tc_wrap)
+                    .unwrap_or(false);
+                (a, wraps)
             }
         };
 
-        let wrapped = !tail
-            && self.config.handle_tail_calls
-            && self
-                .sites
-                .get(&site)
-                .map(|s| s.tc_wrap)
-                .unwrap_or(false);
-
         let ctx = self.threads.get_mut(&tid).expect("thread registered");
-        let saved_id = ctx.id;
-        let saved_cc_len = ctx.cc.depth();
-        let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
-        if wrapped {
-            ctx.tc_ops += 1;
-            cost += self.cost.tcstack_op;
+        let effect = fastpath::exec_call(&self.shared, ctx, site, callee, action, site_wraps, tail);
+        cost += effect.cost;
+        if effect.compress_hit {
+            self.shared.stats.compress_hits += 1;
         }
-
-        match action {
-            EdgeAction::Encoded { delta } => {
-                if delta != 0 {
-                    ctx.id = ctx.id.wrapping_add(delta);
-                    cost += self.cost.id_arith;
-                }
-            }
-            EdgeAction::Unencoded => {
-                ctx.cc.push(ctx.id, site, callee);
-                ctx.id = self.max_id + 1;
-                cost += self.cost.ccstack_op + self.cost.id_arith;
-            }
-            EdgeAction::UnencodedCompressed => {
-                if ctx.cc.push_compressed(ctx.id, site, callee) {
-                    self.stats.compress_hits += 1;
-                }
-                ctx.id = self.max_id + 1;
-                cost += self.cost.compare + self.cost.ccstack_op + self.cost.id_arith;
-            }
-        }
-
-        if !tail {
-            ctx.shadow.push(ShadowFrame {
-                site,
-                callee,
-                saved_id,
-                saved_cc_len,
-                saved_top_count,
-                wrapped,
-            });
-        }
-        ctx.current = callee;
 
         cost + self.maybe_reencode()
     }
@@ -277,77 +186,46 @@ impl DacceEngine {
         caller: FunctionId,
         callee: FunctionId,
     ) -> u64 {
-        self.events += 1;
-        self.events_since_reencode += 1;
-        let mut cost = 0u64;
-
+        self.shared.note_event();
         let action = self
+            .shared
             .lookup_action(site, callee)
-            .map(|(a, _)| a)
-            .unwrap_or(EdgeAction::Unencoded);
-
+            .map(|r| r.action)
+            .unwrap_or(crate::patch::EdgeAction::Unencoded);
         let ctx = self.threads.get_mut(&tid).expect("thread registered");
-        let frame = ctx.shadow.pop().expect("balanced call/return events");
-        debug_assert_eq!(frame.site, site, "return does not match shadow frame");
+        let cost = fastpath::exec_ret(&self.shared, ctx, site, caller, action);
+        cost + self.maybe_reencode()
+    }
 
-        if frame.wrapped {
-            // §5.2: absolute restore via TcStack — immune to tail calls in
-            // the callee. Restores the length *and* the top entry's
-            // repetition count (a compressed push that hit changed only
-            // the count).
-            ctx.id = frame.saved_id;
-            ctx.cc.truncate(frame.saved_cc_len);
-            ctx.cc.restore_top_count(frame.saved_top_count);
-            ctx.tc_ops += 1;
-            cost += self.cost.tcstack_op;
-        } else {
-            match action {
-                EdgeAction::Encoded { delta } => {
-                    if delta != 0 {
-                        ctx.id = ctx.id.wrapping_sub(delta);
-                        cost += self.cost.id_arith;
-                    }
-                }
-                EdgeAction::Unencoded => {
-                    ctx.id = ctx.cc.pop();
-                    cost += self.cost.ccstack_op;
-                }
-                EdgeAction::UnencodedCompressed => {
-                    ctx.id = ctx.cc.pop_compressed();
-                    cost += self.cost.ccstack_op;
+    /// §5.2 retrofit: active frames that called into a function just
+    /// discovered to tail-call get their absolute-restore data now (the
+    /// save they would have made). The engine owns every thread context, so
+    /// it can do this eagerly — the concurrent tracker never needs to (its
+    /// API admits no tail-call events).
+    fn retrofit_tail_frames(&mut self, tail_fn: FunctionId) {
+        for ctx in self.threads.values_mut() {
+            for frame in &mut ctx.shadow {
+                if frame.callee == tail_fn && !frame.wrapped {
+                    frame.wrapped = true;
+                    ctx.tc_ops += 1;
                 }
             }
         }
-        ctx.current = caller;
-
-        cost + self.maybe_reencode()
     }
 
     /// Records a sample of thread `tid`'s current context. Returns the
     /// snapshot and the cost charged (the paper's libpfm4 sample handler).
     pub fn sample(&mut self, tid: ThreadId) -> (EncodedContext, u64) {
         let snap = self.snapshot(tid);
-        self.stats.samples += 1;
-        self.stats.cc_depths.push(snap.cc_depth() as u32);
-        if self.config.sample_ring > 0 {
-            if self.ring.len() < self.config.sample_ring {
-                self.ring.push(snap.clone());
-            } else {
-                self.ring[self.ring_pos % self.config.sample_ring] = snap.clone();
-            }
-            self.ring_pos += 1;
-        }
-        if self.config.keep_sample_log {
-            self.sample_log.push(snap.clone());
-        }
-        (snap, self.cost.sample_record)
+        self.shared.record_sample(&snap);
+        (snap, self.shared.cost.sample_record)
     }
 
     /// Captures the current encoded context of `tid` without recording it.
     pub fn snapshot(&self, tid: ThreadId) -> EncodedContext {
         let ctx = self.threads.get(&tid).expect("thread registered");
         EncodedContext {
-            ts: self.ts,
+            ts: self.shared.ts,
             id: ctx.id,
             leaf: ctx.current,
             root: ctx.root,
@@ -364,21 +242,21 @@ impl DacceEngine {
     /// See [`DecodeError`]; errors indicate engine bugs and are counted in
     /// [`DacceStats::decode_errors`] by [`DacceEngine::decode_counted`].
     pub fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
-        decode_full(ctx, &self.dicts, &self.site_owner)
+        self.shared.decode(ctx)
     }
 
     /// Like [`DacceEngine::decode`] but bumps the error counter on failure.
     pub fn decode_counted(&mut self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
-        let r = decode_full(ctx, &self.dicts, &self.site_owner);
+        let r = self.shared.decode(ctx);
         if r.is_err() {
-            self.stats.decode_errors += 1;
+            self.shared.stats.decode_errors += 1;
         }
         r
     }
 
     /// The engine statistics (live ccStack/TcStack counters folded in).
     pub fn stats(&self) -> DacceStats {
-        let mut s = self.stats.clone();
+        let mut s = self.shared.stats.clone();
         for ctx in self.threads.values() {
             s.ccstack_ops += ctx.cc.ops();
             s.tcstack_ops += ctx.tc_ops;
@@ -386,166 +264,46 @@ impl DacceEngine {
         s
     }
 
+    /// Sum of live threads' ccStack operations (trigger-3 bookkeeping).
+    pub(crate) fn live_thread_ccops(&self) -> u64 {
+        self.threads.values().map(|c| c.cc.ops()).sum()
+    }
+
     /// The dynamic call graph (grown so far).
     pub fn graph(&self) -> &CallGraph {
-        &self.graph
+        &self.shared.graph
     }
 
     /// The decode dictionaries recorded so far.
     pub fn dicts(&self) -> &DictStore {
-        &self.dicts
+        &self.shared.dicts
     }
 
     /// The call-site owner table (site -> containing function), learned
     /// from handler traps; needed for offline decoding.
     pub fn site_owner_map(&self) -> &HashMap<CallSiteId, FunctionId> {
-        &self.site_owner
+        &self.shared.site_owner
     }
 
     /// Current global timestamp (`gTimeStamp`).
     pub fn timestamp(&self) -> TimeStamp {
-        self.ts
+        self.shared.ts
     }
 
     /// Current `maxID`.
     pub fn max_id(&self) -> u64 {
-        self.max_id
+        self.shared.max_id
     }
 
     /// The full sample log (only populated with
     /// [`DacceConfig::keep_sample_log`]).
     pub fn sample_log(&self) -> &[EncodedContext] {
-        &self.sample_log
+        &self.shared.sample_log
     }
 
     /// The configuration the engine runs with.
     pub fn config(&self) -> &DacceConfig {
-        &self.config
-    }
-
-    /// Looks up the generated code's action for `(site, callee)` together
-    /// with the dispatch cost (inline comparisons / hash probe for indirect
-    /// sites). `None` means the site (or this target) traps.
-    fn lookup_action(&self, site: CallSiteId, callee: FunctionId) -> Option<(EdgeAction, u64)> {
-        let state = self.sites.get(&site)?;
-        match &state.patch {
-            SitePatch::Trap => None,
-            SitePatch::Direct(target, action) => {
-                if *target == callee {
-                    Some((*action, 0))
-                } else {
-                    None
-                }
-            }
-            SitePatch::Indirect(p) => match p.lookup(callee) {
-                Some((action, cmps, hashed)) => {
-                    let dispatch_cost = if hashed {
-                        self.cost.hash_lookup
-                    } else {
-                        u64::from(cmps) * self.cost.compare
-                    };
-                    Some((action, dispatch_cost))
-                }
-                None => None,
-            },
-        }
-    }
-
-    /// The runtime handler (§3): invoked on the first execution of a call
-    /// edge. Adds the edge to the call graph, patches the site, performs
-    /// tail-call discovery, and returns the action the freshly generated
-    /// code executes for this very invocation.
-    fn handle_trap(
-        &mut self,
-        site: CallSiteId,
-        caller: FunctionId,
-        callee: FunctionId,
-        dispatch: CallDispatch,
-        tail: bool,
-    ) -> EdgeAction {
-        self.stats.traps += 1;
-        let prev_owner = self.site_owner.insert(site, caller);
-        debug_assert!(
-            prev_owner.is_none() || prev_owner == Some(caller),
-            "call site {site} observed in two functions ({prev_owner:?} and {caller}); \
-             each static call location needs its own CallSiteId"
-        );
-        let graph_dispatch = match dispatch {
-            CallDispatch::Direct => Dispatch::Direct,
-            CallDispatch::Indirect => Dispatch::Indirect,
-            CallDispatch::Plt => Dispatch::Plt,
-        };
-        let (eid, is_new) = self.graph.add_edge(caller, callee, site, graph_dispatch);
-        if is_new {
-            self.new_edges += 1;
-        }
-        *self.edge_heat.entry(eid).or_insert(0) += 1;
-
-        // §5.2: the first tail call inside `caller` reveals that `caller`'s
-        // callers must save/restore the encoding context absolutely.
-        if tail && self.config.handle_tail_calls && self.tail_fns.insert(caller) {
-            self.wrap_callers_of(caller);
-        }
-
-        // Patch the site. New edges stay unencoded until the next
-        // re-encoding (§3: "that edge is not encoded until the next
-        // re-encoding process").
-        let action = EdgeAction::Unencoded;
-        let inline_max = self.config.indirect_inline_max;
-        let tc_wrap = self.config.handle_tail_calls && self.tail_fns.contains(&callee);
-        let state = self.sites.entry(site).or_insert_with(SiteState::trap);
-        if tc_wrap {
-            state.tc_wrap = true;
-        }
-        match dispatch {
-            CallDispatch::Direct | CallDispatch::Plt => {
-                state.patch = SitePatch::Direct(callee, action);
-            }
-            CallDispatch::Indirect => {
-                let p = match &mut state.patch {
-                    SitePatch::Indirect(p) => p,
-                    _ => {
-                        state.patch = SitePatch::Indirect(IndirectPatch::default());
-                        match &mut state.patch {
-                            SitePatch::Indirect(p) => p,
-                            _ => unreachable!(),
-                        }
-                    }
-                };
-                let before = p.hashed.is_some();
-                p.add_target(callee, action, inline_max);
-                if !before && p.hashed.is_some() {
-                    self.stats.hash_conversions += 1;
-                }
-            }
-        }
-        action
-    }
-
-    /// Marks every known site targeting `tail_fn` for TcStack wrapping and
-    /// retro-fits the save for frames already active (the paper's handler
-    /// "modifies the instrumented code of the current function's caller and
-    /// updates the TcStack").
-    fn wrap_callers_of(&mut self, tail_fn: FunctionId) {
-        let mut sites_to_wrap: Vec<CallSiteId> = Vec::new();
-        for &eid in self.graph.incoming(tail_fn) {
-            sites_to_wrap.push(self.graph.edge(eid).site);
-        }
-        for site in sites_to_wrap {
-            if let Some(state) = self.sites.get_mut(&site) {
-                state.tc_wrap = true;
-            }
-        }
-        // Retro-fit: active frames that called into the tail function get
-        // their absolute-restore data now (the save they would have made).
-        for ctx in self.threads.values_mut() {
-            for frame in &mut ctx.shadow {
-                if frame.callee == tail_fn && !frame.wrapped {
-                    frame.wrapped = true;
-                    ctx.tc_ops += 1;
-                }
-            }
-        }
+        &self.shared.config
     }
 }
 
@@ -579,14 +337,28 @@ mod tests {
     #[test]
     fn first_call_traps_and_patches() {
         let mut e = engine();
-        let c1 = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let c1 = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         assert!(c1 >= CostModel::default().handler_trap, "first call traps");
         let stats = e.stats();
         assert_eq!(stats.traps, 1);
         assert_eq!(e.graph().edge_count(), 1);
         // Unwind, call again: no trap this time.
         let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(1));
-        let c2 = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let c2 = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         assert!(c2 < CostModel::default().handler_trap);
         assert_eq!(e.stats().traps, 1);
     }
@@ -594,10 +366,17 @@ mod tests {
     #[test]
     fn unencoded_call_roundtrip_restores_state() {
         let mut e = engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         {
             let ctx = &e.threads[&ThreadId::MAIN];
-            assert_eq!(ctx.id, e.max_id + 1);
+            assert_eq!(ctx.id, e.max_id() + 1);
             assert_eq!(ctx.cc.depth(), 1);
             assert_eq!(ctx.current, f(1));
         }
@@ -610,8 +389,22 @@ mod tests {
     #[test]
     fn sample_decodes_to_current_path() {
         let mut e = engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         let (snap, cost) = e.sample(ThreadId::MAIN);
         assert!(cost > 0);
         let path = e.decode(&snap).unwrap();
@@ -625,31 +418,61 @@ mod tests {
     fn indirect_targets_accumulate_on_one_site() {
         let mut e = engine();
         for t in [1u32, 2, 3] {
-            let _ = e.call(ThreadId::MAIN, s(0), f(0), f(t), CallDispatch::Indirect, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(0),
+                f(0),
+                f(t),
+                CallDispatch::Indirect,
+                false,
+            );
             let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(t));
         }
         assert_eq!(e.stats().traps, 3, "each new target traps once");
         assert_eq!(e.graph().edge_count(), 3);
         // Re-dispatch to a known target: inline chain, no trap.
-        let c = e.call(ThreadId::MAIN, s(0), f(0), f(2), CallDispatch::Indirect, false);
+        let c = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(2),
+            CallDispatch::Indirect,
+            false,
+        );
         assert!(c < CostModel::default().handler_trap);
         assert_eq!(e.stats().traps, 3);
     }
 
     #[test]
     fn indirect_chain_converts_to_hash() {
-        let mut cfg = DacceConfig::default();
-        cfg.indirect_inline_max = 2;
+        let cfg = DacceConfig {
+            indirect_inline_max: 2,
+            ..DacceConfig::default()
+        };
         let mut e = DacceEngine::new(cfg, CostModel::default());
         e.attach_main(f(0));
         e.thread_start(ThreadId::MAIN, f(0), None);
         for t in [1u32, 2, 3, 4] {
-            let _ = e.call(ThreadId::MAIN, s(0), f(0), f(t), CallDispatch::Indirect, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(0),
+                f(0),
+                f(t),
+                CallDispatch::Indirect,
+                false,
+            );
             let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(t));
         }
         assert_eq!(e.stats().hash_conversions, 1);
         // Known target now costs a hash probe, not a trap.
-        let c = e.call(ThreadId::MAIN, s(0), f(0), f(4), CallDispatch::Indirect, false);
+        let c = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(4),
+            CallDispatch::Indirect,
+            false,
+        );
         assert!(c >= CostModel::default().hash_lookup);
         assert!(c < CostModel::default().handler_trap);
     }
@@ -657,9 +480,23 @@ mod tests {
     #[test]
     fn spawned_thread_contexts_chain_to_parent() {
         let mut e = engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         e.thread_start(ThreadId::new(1), f(5), Some((ThreadId::MAIN, s(9))));
-        let _ = e.call(ThreadId::new(1), s(3), f(5), f(6), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::new(1),
+            s(3),
+            f(5),
+            f(6),
+            CallDispatch::Direct,
+            false,
+        );
         let (snap, _) = e.sample(ThreadId::new(1));
         let path = e.decode(&snap).unwrap();
         let funcs: Vec<FunctionId> = path.0.iter().map(|p| p.func).collect();
@@ -670,7 +507,14 @@ mod tests {
     #[test]
     fn thread_reset_counts_dirty_state() {
         let mut e = engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         e.thread_reset(ThreadId::MAIN); // mid-call: dirty
         assert_eq!(e.stats().unbalanced_resets, 1);
         assert!(e.threads[&ThreadId::MAIN].is_clean());
@@ -681,7 +525,14 @@ mod tests {
     #[test]
     fn thread_exit_folds_stats() {
         let mut e = engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(1));
         let ops_before = e.stats().ccstack_ops;
         assert!(ops_before > 0);

@@ -25,9 +25,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use dacce_callgraph::{
-    CallSiteId, DecodeDict, DictStore, Dispatch, FunctionId, TimeStamp,
-};
+use dacce_callgraph::{CallSiteId, DecodeDict, DictStore, Dispatch, FunctionId, TimeStamp};
 use dacce_program::ContextPath;
 
 use crate::ccstack::CcEntry;
@@ -102,7 +100,10 @@ pub fn export_state(engine: &DacceEngine) -> String {
         // Also cover isolated nodes (e.g. `main` before any edge).
         for f in engine.graph().nodes() {
             if dict.num_cc(*f).is_some() && dict.incoming(*f).next().is_none() {
-                let known = dict.edges().iter().any(|e| e.caller == *f || e.callee == *f);
+                let known = dict
+                    .edges()
+                    .iter()
+                    .any(|e| e.caller == *f || e.callee == *f);
                 if !known {
                     let _ = writeln!(
                         out,
@@ -367,8 +368,7 @@ pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
                 };
                 for (i, (eid, e)) in graph.edges().enumerate() {
                     if !e.back {
-                        enc.edge_encoding
-                            .insert(eid, u128::from(encodings[i]));
+                        enc.edge_encoding.insert(eid, u128::from(encodings[i]));
                     }
                 }
                 let dict = DecodeDict::from_encoding(&graph, &enc, ts)
@@ -391,7 +391,10 @@ pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
                 out.samples.push(parse_ctx(&mut tokens, lineno)?);
             }
             other => {
-                return Err(ImportError::BadLine(lineno, format!("unknown record {other}")));
+                return Err(ImportError::BadLine(
+                    lineno,
+                    format!("unknown record {other}"),
+                ));
             }
         }
     }
@@ -422,11 +425,32 @@ mod tests {
         let mut e = DacceEngine::new(cfg, CostModel::default());
         e.attach_main(f(0));
         e.thread_start(ThreadId::MAIN, f(0), None);
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.sample(ThreadId::MAIN);
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.sample(ThreadId::MAIN);
-        let _ = e.call(ThreadId::MAIN, s(2), f(2), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(2),
+            f(2),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.sample(ThreadId::MAIN);
         e
     }
@@ -454,13 +478,22 @@ mod tests {
     fn spawned_contexts_roundtrip() {
         let mut e = engine_with_history();
         e.thread_start(ThreadId::new(7), f(9), Some((ThreadId::MAIN, s(5))));
-        let _ = e.call(ThreadId::new(7), s(6), f(9), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::new(7),
+            s(6),
+            f(9),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         let (snap, _) = e.sample(ThreadId::new(7));
         assert!(snap.spawn.is_some());
         let text = format!("{}{}", export_state(&e), export_samples([&snap]));
         let offline = import(&text).expect("imports");
         let a = e.decode(&snap).expect("engine decodes");
-        let b = offline.decode(&offline.samples()[0]).expect("offline decodes");
+        let b = offline
+            .decode(&offline.samples()[0])
+            .expect("offline decodes");
         assert_eq!(a, b);
     }
 

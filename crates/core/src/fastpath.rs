@@ -1,0 +1,263 @@
+//! Per-thread instrumentation execution — the lock-free fast path.
+//!
+//! Everything here operates on one thread's [`ThreadCtx`] plus a read-only
+//! [`EncodingView`]: no shared mutable state, no locks. The
+//! [`crate::engine::DacceEngine`] calls these functions with `&SharedState`
+//! as the view (it owns everything under one `&mut self`); the concurrent
+//! [`crate::tracker::Tracker`] calls them with a published
+//! [`EncodingSnapshot`], which is what makes call/return over
+//! already-encoded edges execute entirely on thread-local state.
+
+use dacce_callgraph::{CallSiteId, DecodeDict, FunctionId};
+use dacce_program::{ContextPath, CostModel};
+
+use crate::decode::{decode_thread, DecodeError};
+use crate::patch::EdgeAction;
+use crate::shared::{lookup_in, EncodingSnapshot, ResolvedSite, SharedState};
+use crate::thread::{ShadowFrame, ThreadCtx};
+
+/// Read-only encoding state a thread needs to execute instrumentation.
+pub(crate) trait EncodingView {
+    /// Resolves `(site, callee)` in one patch-table probe: action,
+    /// dispatch cost and TcStack wrapping. `None` traps.
+    fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite>;
+    /// `maxID` of the current encoding.
+    fn max_id(&self) -> u64;
+    /// The cost model instrumentation is charged under.
+    fn cost(&self) -> &CostModel;
+    /// Whether tail-call handling is enabled.
+    fn handle_tail_calls(&self) -> bool;
+}
+
+impl EncodingView for SharedState {
+    fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite> {
+        self.lookup_action(site, callee)
+    }
+    fn max_id(&self) -> u64 {
+        self.max_id
+    }
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+    fn handle_tail_calls(&self) -> bool {
+        self.config.handle_tail_calls
+    }
+}
+
+impl EncodingView for EncodingSnapshot {
+    fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite> {
+        lookup_in(&self.patches, &self.cost, site, callee)
+    }
+    fn max_id(&self) -> u64 {
+        self.max_id
+    }
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+    fn handle_tail_calls(&self) -> bool {
+        self.handle_tail_calls
+    }
+}
+
+/// What one before-call execution did, for the caller's accounting.
+pub(crate) struct CallEffect {
+    /// Cost units the instrumentation spent (excluding dispatch/trap).
+    pub(crate) cost: u64,
+    /// A compressed push hit the top entry (bump `compress_hits`).
+    pub(crate) compress_hit: bool,
+}
+
+/// Executes the before-call instrumentation of `site` on `ctx` for an
+/// already-resolved `action` (`site_wraps` is the site's TcStack flag from
+/// the same probe). Pure thread-local state mutation.
+pub(crate) fn exec_call(
+    view: &impl EncodingView,
+    ctx: &mut ThreadCtx,
+    site: CallSiteId,
+    callee: FunctionId,
+    action: EdgeAction,
+    site_wraps: bool,
+    tail: bool,
+) -> CallEffect {
+    let mut cost = 0u64;
+    let mut compress_hit = false;
+    let wrapped = !tail && view.handle_tail_calls() && site_wraps;
+
+    let saved_id = ctx.id;
+    let saved_cc_len = ctx.cc.depth();
+    let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+    if wrapped {
+        ctx.tc_ops += 1;
+        cost += view.cost().tcstack_op;
+    }
+
+    match action {
+        EdgeAction::Encoded { delta } => {
+            if delta != 0 {
+                ctx.id = ctx.id.wrapping_add(delta);
+                cost += view.cost().id_arith;
+            }
+        }
+        EdgeAction::Unencoded => {
+            ctx.cc.push(ctx.id, site, callee);
+            ctx.id = view.max_id() + 1;
+            cost += view.cost().ccstack_op + view.cost().id_arith;
+        }
+        EdgeAction::UnencodedCompressed => {
+            if ctx.cc.push_compressed(ctx.id, site, callee) {
+                compress_hit = true;
+            }
+            ctx.id = view.max_id() + 1;
+            cost += view.cost().compare + view.cost().ccstack_op + view.cost().id_arith;
+        }
+    }
+
+    if !tail {
+        ctx.shadow.push(ShadowFrame {
+            site,
+            callee,
+            saved_id,
+            saved_cc_len,
+            saved_top_count,
+            wrapped,
+        });
+    }
+    ctx.current = callee;
+
+    CallEffect { cost, compress_hit }
+}
+
+/// Executes the after-call instrumentation when control returns to the
+/// frame that called through `site`, for an already-resolved `action`
+/// (callers resolve it — or reuse the one cached at call time when the
+/// encoding generation has not moved). Returns the cost units spent.
+pub(crate) fn exec_ret(
+    view: &impl EncodingView,
+    ctx: &mut ThreadCtx,
+    site: CallSiteId,
+    caller: FunctionId,
+    action: EdgeAction,
+) -> u64 {
+    let mut cost = 0u64;
+
+    let frame = ctx.shadow.pop().expect("balanced call/return events");
+    debug_assert_eq!(frame.site, site, "return does not match shadow frame");
+
+    if frame.wrapped {
+        // §5.2: absolute restore via TcStack — immune to tail calls in
+        // the callee. Restores the length *and* the top entry's
+        // repetition count (a compressed push that hit changed only
+        // the count).
+        ctx.id = frame.saved_id;
+        ctx.cc.truncate(frame.saved_cc_len);
+        ctx.cc.restore_top_count(frame.saved_top_count);
+        ctx.tc_ops += 1;
+        cost += view.cost().tcstack_op;
+    } else {
+        match action {
+            EdgeAction::Encoded { delta } => {
+                if delta != 0 {
+                    ctx.id = ctx.id.wrapping_sub(delta);
+                    cost += view.cost().id_arith;
+                }
+            }
+            EdgeAction::Unencoded => {
+                ctx.id = ctx.cc.pop();
+                cost += view.cost().ccstack_op;
+            }
+            EdgeAction::UnencodedCompressed => {
+                ctx.id = ctx.cc.pop_compressed();
+                cost += view.cost().ccstack_op;
+            }
+        }
+    }
+    ctx.current = caller;
+    cost
+}
+
+/// Rebuilds one thread's encoding state by replaying its decoded path
+/// under `view`'s patch states. Physical frames are recognised by matching
+/// the old shadow stack (tail steps are never physical; a call site is
+/// statically either a tail call or not, so the match is unambiguous).
+pub(crate) fn replay(view: &impl EncodingView, ctx: &mut ThreadCtx, path: &ContextPath) {
+    let old_shadow: Vec<ShadowFrame> = std::mem::take(&mut ctx.shadow);
+    ctx.id = 0;
+    ctx.cc.clear();
+
+    let mut k = 0usize;
+    for step in path.0.iter().skip(1) {
+        let site = step.site.expect("non-root steps carry their site");
+        let func = step.func;
+        let physical =
+            k < old_shadow.len() && old_shadow[k].site == site && old_shadow[k].callee == func;
+        let saved_id = ctx.id;
+        let saved_cc_len = ctx.cc.depth();
+        let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+        let resolved = view.resolve(site, func);
+        let action = resolved.map(|r| r.action).unwrap_or(EdgeAction::Unencoded);
+        match action {
+            EdgeAction::Encoded { delta } => {
+                ctx.id = ctx.id.wrapping_add(delta);
+            }
+            EdgeAction::Unencoded => {
+                ctx.cc.push(ctx.id, site, func);
+                ctx.id = view.max_id() + 1;
+            }
+            EdgeAction::UnencodedCompressed => {
+                ctx.cc.push_compressed(ctx.id, site, func);
+                ctx.id = view.max_id() + 1;
+            }
+        }
+        if physical {
+            let wrapped = view.handle_tail_calls() && resolved.map(|r| r.tc_wrap).unwrap_or(false);
+            ctx.shadow.push(ShadowFrame {
+                site,
+                callee: func,
+                saved_id,
+                saved_cc_len,
+                saved_top_count,
+                wrapped,
+            });
+            k += 1;
+        }
+        ctx.current = func;
+    }
+    debug_assert!(
+        k == old_shadow.len() || !view.handle_tail_calls(),
+        "replay must reconstruct every physical frame"
+    );
+    // With a corrupted encoding (broken-tail-call ablation) the decoded
+    // path can disagree with the physical frames; keep the unmatched
+    // frames so call/return bookkeeping stays balanced — the contexts
+    // are wrong either way, which is what the ablation demonstrates.
+    for frame in old_shadow.into_iter().skip(k) {
+        ctx.shadow.push(frame);
+    }
+}
+
+/// Lazily migrates one thread's context from the encoding it was built
+/// under (`old_dict`) to the encoding `view` describes: decode under the
+/// old dictionary, replay under the new patches. Fully thread-local — this
+/// is the rendezvous that replaces in-place cross-thread regeneration.
+///
+/// # Errors
+///
+/// Propagates the decode error (an engine bug); the context is left
+/// untouched in that case.
+pub(crate) fn migrate(
+    view: &impl EncodingView,
+    ctx: &mut ThreadCtx,
+    old_dict: &DecodeDict,
+    owner: &std::collections::HashMap<CallSiteId, FunctionId>,
+) -> Result<(), DecodeError> {
+    let path = decode_thread(
+        old_dict,
+        ctx.id,
+        ctx.current,
+        ctx.root,
+        ctx.cc.entries(),
+        owner,
+    )?;
+    replay(view, ctx, &path);
+    Ok(())
+}

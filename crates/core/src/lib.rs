@@ -46,14 +46,16 @@ pub mod context;
 pub mod decode;
 pub mod engine;
 pub mod export;
+pub(crate) mod fastpath;
 pub mod patch;
 pub mod profile;
 pub mod reencode;
 pub mod runtime;
+pub(crate) mod shared;
 pub mod stats;
 pub mod thread;
-pub mod verify;
 pub mod tracker;
+pub mod verify;
 
 pub use ccstack::{CcEntry, CcStack};
 pub use config::{CompressionMode, DacceConfig};

@@ -7,8 +7,9 @@
 //! execute before and after the call instruction at one site.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dacce_callgraph::FunctionId;
+use dacce_callgraph::{CallSiteId, FunctionId};
 
 /// What the generated code does for one concrete call edge.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -128,6 +129,66 @@ impl Default for SiteState {
     }
 }
 
+/// Copy-on-write table of every call site's instrumentation state.
+///
+/// The table is the shared half of the "generated code": the slow path
+/// mutates it under the engine lock (via [`Arc::make_mut`], cloning only
+/// when a published snapshot still references the old version), while
+/// snapshots hand read-only clones to reader threads in O(1).
+#[derive(Clone, Debug, Default)]
+pub struct PatchTable {
+    sites: Arc<HashMap<CallSiteId, SiteState>>,
+}
+
+impl PatchTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The state of `site`, if it ever trapped.
+    pub fn get(&self, site: CallSiteId) -> Option<&SiteState> {
+        self.sites.get(&site)
+    }
+
+    /// Mutable access to `site`'s state, inserting the initial trap state
+    /// on first touch. Clones the underlying map iff a snapshot still
+    /// shares it.
+    pub fn site_mut(&mut self, site: CallSiteId) -> &mut SiteState {
+        Arc::make_mut(&mut self.sites).entry(site).or_default()
+    }
+
+    /// Mutable access to `site`'s state only if it already exists (never
+    /// inserts). Clones the underlying map iff a snapshot still shares it.
+    pub fn existing_mut(&mut self, site: CallSiteId) -> Option<&mut SiteState> {
+        if !self.sites.contains_key(&site) {
+            return None;
+        }
+        Arc::make_mut(&mut self.sites).get_mut(&site)
+    }
+
+    /// Replaces the whole table (used when a re-encoding regenerates every
+    /// site's code).
+    pub fn replace_all(&mut self, sites: HashMap<CallSiteId, SiteState>) {
+        self.sites = Arc::new(sites);
+    }
+
+    /// Iterates over all known sites in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CallSiteId, &SiteState)> {
+        self.sites.iter()
+    }
+
+    /// Number of sites that have trapped at least once.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when no site has trapped yet.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +239,24 @@ mod tests {
         let s = SiteState::default();
         assert!(!s.tc_wrap);
         assert!(matches!(s.patch, SitePatch::Trap));
+    }
+
+    #[test]
+    fn patch_table_copy_on_write() {
+        let site = CallSiteId::new(7);
+        let mut table = PatchTable::new();
+        assert!(table.is_empty());
+        table.site_mut(site).patch = SitePatch::Direct(f(1), EdgeAction::Encoded { delta: 2 });
+        let snapshot = table.clone();
+        // Mutating after a snapshot was taken must not leak into it.
+        table.site_mut(site).patch = SitePatch::Trap;
+        table.site_mut(CallSiteId::new(8)).tc_wrap = true;
+        assert!(matches!(
+            snapshot.get(site).unwrap().patch,
+            SitePatch::Direct(_, _)
+        ));
+        assert!(snapshot.get(CallSiteId::new(8)).is_none());
+        assert_eq!(table.len(), 2);
+        assert_eq!(snapshot.len(), 1);
     }
 }

@@ -1,180 +1,52 @@
-//! Adaptive re-encoding (§4 of the paper).
+//! Adaptive re-encoding (§4 of the paper) — engine orchestration.
 //!
 //! Re-encoding is triggered when (1) enough new call edges accumulated,
 //! (2) the frequently invoked call paths changed, or (3) the `ccStack` is
-//! accessed too frequently. The procedure suspends the program (atomic
-//! between events in the simulation), derives edge heat from the recently
-//! collected samples, re-classifies back edges, re-encodes the whole graph
-//! with the hottest incoming edge of every node at encoding 0, freezes a new
-//! decode dictionary under an incremented `gTimeStamp`, re-patches every
-//! site, and regenerates the live encoding state of every thread so that it
-//! looks as if the new instrumentation had been in place from the start
-//! (the paper rewrites return addresses on the machine stacks; we decode the
-//! old state and replay it under the new patches — see `DESIGN.md`).
+//! accessed too frequently. The trigger evaluation and the graph-side core
+//! (heat derivation, back-edge re-classification, encoding, dictionary
+//! freeze under an incremented `gTimeStamp`, site re-patching) live in
+//! [`crate::shared::SharedState`]; this module adds the *thread-state*
+//! half on top for the engine, which owns every context: decode each live
+//! thread under the old dictionary, run the shared core, then replay each
+//! decoded path under the new patches so the state looks as if the new
+//! instrumentation had been in place from the start (the paper rewrites
+//! return addresses on the machine stacks — see `DESIGN.md`). The
+//! concurrent [`crate::Tracker`] runs the same shared core but regenerates
+//! thread states lazily, each thread migrating itself at its next epoch
+//! check.
 
-use std::collections::HashMap;
-
-use dacce_callgraph::encode::{encode_graph, EncodeOptions, Encoding};
-use dacce_callgraph::{
-    analysis::classify_back_edges, CallSiteId, DecodeDict, Dispatch, EdgeId, FunctionId,
-};
 use dacce_program::{ContextPath, ThreadId};
 
-use crate::config::CompressionMode;
 use crate::decode::decode_thread;
 use crate::engine::DacceEngine;
-use crate::patch::{EdgeAction, IndirectPatch, SitePatch, SiteState};
-use crate::stats::ProgressPoint;
-use crate::thread::ShadowFrame;
-
-/// Minimum heat for an edge to participate in the hot-path-change check;
-/// filters sampling noise.
-const HOT_FLOOR: u64 = 16;
+use crate::fastpath;
+use crate::shared::ReencodeOutcome;
 
 impl DacceEngine {
     /// Checks the three §4 triggers and re-encodes when one fires. Returns
     /// the cost charged (0 when nothing happened).
     pub(crate) fn maybe_reencode(&mut self) -> u64 {
-        if !self.config.reencode_enabled || self.reencode_overflowed {
+        if !self.shared.reencode_check_due() {
             return 0;
         }
-        if self.events_since_reencode < self.cur_min_events {
-            return 0;
-        }
-        let mut fire = false;
-
-        // Trigger 1: the number of identified call edges reached a threshold.
-        if self.new_edges >= self.config.edge_threshold {
-            fire = true;
-        }
-
-        // Trigger 3: the ccStack is frequently accessed.
-        if self.events - self.window_start_events >= self.config.ccstack_rate_window {
-            let ccops_now = self.live_ccstack_ops();
-            let devents = self.events - self.window_start_events;
-            let dops = ccops_now.saturating_sub(self.window_start_ccops);
-            let rate = dops as f64 / devents as f64;
-            self.window_start_events = self.events;
-            self.window_start_ccops = ccops_now;
-            if rate > self.config.ccstack_rate_threshold && self.has_unencoded_hot_state() {
-                fire = true;
-            }
-        }
-
-        // Trigger 2: the frequently invoked call paths have changed.
-        if self.events >= self.next_hot_check {
-            self.next_hot_check = self.events + self.config.hot_check_every;
-            if self.hot_choices_changed() >= self.config.hot_change_nodes {
-                fire = true;
-            }
-        }
-
-        if fire {
+        let (shared, threads) = (&mut self.shared, &self.threads);
+        let live = || threads.values().map(|c| c.cc.ops()).sum::<u64>();
+        if shared.should_reencode(&live) {
             self.reencode()
         } else {
             0
         }
     }
 
-    /// Total ccStack operations so far (exited + live threads).
-    pub(crate) fn live_ccstack_ops(&self) -> u64 {
-        self.stats.ccstack_ops
-            + self
-                .threads
-                .values()
-                .map(|c| c.cc.ops())
-                .sum::<u64>()
-    }
-
-    /// True when re-encoding could plausibly reduce ccStack traffic: there
-    /// are unencoded non-back edges, or hot back edges still lacking
-    /// compression.
-    fn has_unencoded_hot_state(&self) -> bool {
-        if self.new_edges > 0 {
-            return true;
-        }
-        if self.config.compression == CompressionMode::Adaptive {
-            for (eid, e) in self.graph.edges() {
-                if !e.back {
-                    continue;
-                }
-                let heat = self.edge_heat.get(&eid).copied().unwrap_or(0);
-                if heat < self.config.compression_min_heat {
-                    continue;
-                }
-                if let Some(state) = self.sites.get(&e.site) {
-                    let action = match &state.patch {
-                        SitePatch::Direct(t, a) if *t == e.callee => Some(*a),
-                        SitePatch::Indirect(p) => p.lookup(e.callee).map(|(a, _, _)| a),
-                        _ => None,
-                    };
-                    if action == Some(EdgeAction::Unencoded) {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    /// Counts nodes whose hottest incoming edge differs from the one chosen
-    /// at the last encoding.
-    fn hot_choices_changed(&self) -> usize {
-        let mut changed = 0;
-        for &node in self.graph.nodes() {
-            let mut best: Option<(u64, EdgeId)> = None;
-            for &eid in self.graph.incoming(node) {
-                if self.graph.edge(eid).back {
-                    continue;
-                }
-                let heat = self.edge_heat.get(&eid).copied().unwrap_or(0);
-                if heat < HOT_FLOOR {
-                    continue;
-                }
-                if best.map_or(true, |(h, e)| heat > h || (heat == h && eid < e)) {
-                    best = Some((heat, eid));
-                }
-            }
-            if let (Some((_, best_eid)), Some(&prev)) = (best, self.last_hot_choice.get(&node)) {
-                if best_eid != prev {
-                    changed += 1;
-                }
-            }
-        }
-        changed
-    }
-
     /// The re-encoding procedure. Returns the cost charged.
     pub(crate) fn reencode(&mut self) -> u64 {
-        let cost = self.graph.edge_count() as u64 * self.cost.reencode_per_edge;
-        self.stats.reencodes += 1;
-        self.stats.reencode_cost += cost;
-
-        // Decode the collected contexts and mark the frequently invoked
-        // edges (§4, first bullet).
-        let ring = std::mem::take(&mut self.ring);
-        for samp in &ring {
-            if let Ok(path) = crate::decode::decode_full(samp, &self.dicts, &self.site_owner) {
-                for w in path.0.windows(2) {
-                    if let Some(site) = w[1].site {
-                        if let Some(eid) = self.graph.edge_id(site, w[1].func) {
-                            *self.edge_heat.entry(eid).or_insert(0) += 4;
-                        }
-                    }
-                }
-            } else {
-                self.stats.decode_errors += 1;
-            }
-        }
-        self.ring = ring;
-
         // Decode every live thread's state under the *old* dictionary
         // before anything changes.
         let old_dict = self
+            .shared
             .dicts
-            .get(self.ts)
-            .expect("current dictionary recorded")
-            .clone();
+            .get_arc(self.shared.ts)
+            .expect("current dictionary recorded");
         let mut decoded: Vec<(ThreadId, ContextPath)> = Vec::new();
         let tids: Vec<ThreadId> = {
             let mut v: Vec<ThreadId> = self.threads.keys().copied().collect();
@@ -189,253 +61,31 @@ impl DacceEngine {
                 ctx.current,
                 ctx.root,
                 ctx.cc.entries(),
-                &self.site_owner,
+                &self.shared.site_owner,
             ) {
                 Ok(path) => decoded.push((tid, path)),
                 Err(_) => {
                     // Engine bug; keep the stale state and surface it.
-                    self.stats.decode_errors += 1;
+                    self.shared.stats.decode_errors += 1;
                 }
             }
         }
 
-        // Re-classify and re-encode the grown graph.
-        classify_back_edges(&mut self.graph, &self.roots);
-        let opts = if self.config.heat_ordering {
-            EncodeOptions::with_heat(self.edge_heat.clone())
-        } else {
-            EncodeOptions::default()
-        };
-        let enc = encode_graph(&self.graph, &self.roots, &opts);
-        if enc.overflow {
-            // A 64-bit-overflowing dynamic graph cannot be re-encoded; keep
-            // the old encoding and stop trying (Table 1 reports this for
-            // PCCE; DACCE graphs stay far below the budget).
-            self.reencode_overflowed = true;
-            self.stats.overflow_aborts += 1;
-            self.reset_triggers();
-            return cost;
-        }
+        let (outcome, cost) = self.shared.reencode_core();
 
-        let new_ts = self.ts.next();
-        let dict = DecodeDict::from_encoding(&self.graph, &enc, new_ts)
-            .expect("overflow checked above");
-        self.dicts.push(dict);
-        self.ts = new_ts;
-        self.max_id = enc.max_id;
-        self.stats.max_max_id = self.stats.max_max_id.max(self.max_id);
-
-        self.rebuild_sites(&enc);
-
-        // Regenerate every thread's id/ccStack/shadow under the new
-        // encodings.
-        for (tid, path) in decoded {
-            self.replay_thread(tid, &path);
-        }
-
-        // Remember the per-node hot choice this encoding was built with.
-        self.last_hot_choice.clear();
-        for &node in self.graph.nodes() {
-            let mut best: Option<(u64, EdgeId)> = None;
-            for &eid in self.graph.incoming(node) {
-                if self.graph.edge(eid).back {
-                    continue;
-                }
-                let heat = self.edge_heat.get(&eid).copied().unwrap_or(0);
-                if heat < HOT_FLOOR {
-                    continue;
-                }
-                if best.map_or(true, |(h, e)| heat > h || (heat == h && eid < e)) {
-                    best = Some((heat, eid));
+        if let ReencodeOutcome::Applied = outcome {
+            // Regenerate every thread's id/ccStack/shadow under the new
+            // encodings.
+            for (tid, path) in decoded {
+                if let Some(ctx) = self.threads.get_mut(&tid) {
+                    fastpath::replay(&self.shared, ctx, &path);
                 }
             }
-            if let Some((_, eid)) = best {
-                self.last_hot_choice.insert(node, eid);
-            }
         }
 
-        self.stats.progress.push(ProgressPoint {
-            calls: self.stats.calls,
-            nodes: self.graph.node_count(),
-            edges: self.graph.edge_count(),
-            max_id: self.max_id,
-        });
-
-        // Decay heat *after* it drove this encoding, so the next
-        // re-encoding weighs recent behaviour over old phases.
-        for h in self.edge_heat.values_mut() {
-            *h /= 2;
-        }
-
-        self.reset_triggers();
+        let live = self.live_thread_ccops();
+        self.shared.reset_triggers(live);
         cost
-    }
-
-    fn reset_triggers(&mut self) {
-        self.new_edges = 0;
-        self.events_since_reencode = 0;
-        self.window_start_events = self.events;
-        self.window_start_ccops = self.live_ccstack_ops();
-        // Back off: re-encoding is cheap to trigger early (small graph,
-        // everything to gain) and increasingly rare once stable.
-        let next = (self.cur_min_events as f64 * self.config.reencode_backoff) as u64;
-        self.cur_min_events = next.min(self.config.reencode_interval_cap);
-    }
-
-    /// The action the new encoding assigns to one graph edge.
-    fn action_for_edge(&self, eid: EdgeId, back: bool, enc: &Encoding) -> EdgeAction {
-        if back {
-            let compress = match self.config.compression {
-                CompressionMode::Always => true,
-                CompressionMode::Never => false,
-                CompressionMode::Adaptive => {
-                    self.edge_heat.get(&eid).copied().unwrap_or(0)
-                        >= self.config.compression_min_heat
-                }
-            };
-            if compress {
-                EdgeAction::UnencodedCompressed
-            } else {
-                EdgeAction::Unencoded
-            }
-        } else {
-            EdgeAction::Encoded {
-                delta: enc.encoding_u64(eid).expect("non-overflowing encoding"),
-            }
-        }
-    }
-
-    /// Regenerates all site patch states from the new encoding.
-    fn rebuild_sites(&mut self, enc: &Encoding) {
-        // Group edges per site.
-        let mut by_site: HashMap<CallSiteId, Vec<EdgeId>> = HashMap::new();
-        for (eid, e) in self.graph.edges() {
-            by_site.entry(e.site).or_default().push(eid);
-        }
-
-        for (site, eids) in by_site {
-            let indirect = eids
-                .iter()
-                .any(|&eid| self.graph.edge(eid).dispatch == Dispatch::Indirect);
-            let tc_wrap = self.config.handle_tail_calls
-                && eids
-                    .iter()
-                    .any(|&eid| self.tail_fns.contains(&self.graph.edge(eid).callee));
-
-            let patch = if indirect {
-                // Order known targets hottest-first for the compare chain.
-                let mut ordered: Vec<(u64, EdgeId)> = eids
-                    .iter()
-                    .map(|&eid| (self.edge_heat.get(&eid).copied().unwrap_or(0), eid))
-                    .collect();
-                ordered.sort_by_key(|&(h, eid)| (std::cmp::Reverse(h), eid.index()));
-                let mut p = IndirectPatch::default();
-                for &(_, eid) in &ordered {
-                    let e = self.graph.edge(eid);
-                    let action = self.action_for_edge(eid, e.back, enc);
-                    p.add_target(e.callee, action, self.config.indirect_inline_max);
-                }
-                if p.hashed.is_some() {
-                    // Conversion accounting only when the site was inline
-                    // before (or new).
-                    let was_hashed = matches!(
-                        self.sites.get(&site).map(|s| &s.patch),
-                        Some(SitePatch::Indirect(old)) if old.hashed.is_some()
-                    );
-                    if !was_hashed {
-                        self.stats.hash_conversions += 1;
-                    }
-                }
-                SitePatch::Indirect(p)
-            } else {
-                let eid = eids[0];
-                let e = self.graph.edge(eid);
-                let action = self.action_for_edge(eid, e.back, enc);
-                SitePatch::Direct(e.callee, action)
-            };
-
-            self.sites.insert(site, SiteState { tc_wrap, patch });
-        }
-    }
-
-    /// Rebuilds one thread's encoding state by replaying its decoded path
-    /// under the new patch states. Physical frames are recognised by
-    /// matching the old shadow stack (tail steps are never physical; a call
-    /// site is statically either a tail call or not, so the match is
-    /// unambiguous).
-    fn replay_thread(&mut self, tid: ThreadId, path: &ContextPath) {
-        let mut ctx = match self.threads.remove(&tid) {
-            Some(c) => c,
-            None => return,
-        };
-        let old_shadow: Vec<ShadowFrame> = std::mem::take(&mut ctx.shadow);
-        ctx.id = 0;
-        ctx.cc.clear();
-
-        let mut k = 0usize;
-        for step in path.0.iter().skip(1) {
-            let site = step.site.expect("non-root steps carry their site");
-            let func = step.func;
-            let physical = k < old_shadow.len()
-                && old_shadow[k].site == site
-                && old_shadow[k].callee == func;
-            let saved_id = ctx.id;
-            let saved_cc_len = ctx.cc.depth();
-            let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
-            let action = self.action_of(site, func);
-            match action {
-                EdgeAction::Encoded { delta } => {
-                    ctx.id = ctx.id.wrapping_add(delta);
-                }
-                EdgeAction::Unencoded => {
-                    ctx.cc.push(ctx.id, site, func);
-                    ctx.id = self.max_id + 1;
-                }
-                EdgeAction::UnencodedCompressed => {
-                    ctx.cc.push_compressed(ctx.id, site, func);
-                    ctx.id = self.max_id + 1;
-                }
-            }
-            if physical {
-                let wrapped = self.config.handle_tail_calls
-                    && self.sites.get(&site).map(|s| s.tc_wrap).unwrap_or(false);
-                ctx.shadow.push(ShadowFrame {
-                    site,
-                    callee: func,
-                    saved_id,
-                    saved_cc_len,
-                    saved_top_count,
-                    wrapped,
-                });
-                k += 1;
-            }
-            ctx.current = func;
-        }
-        debug_assert!(
-            k == old_shadow.len() || !self.config.handle_tail_calls,
-            "replay must reconstruct every physical frame"
-        );
-        // With a corrupted encoding (broken-tail-call ablation) the decoded
-        // path can disagree with the physical frames; keep the unmatched
-        // frames so call/return bookkeeping stays balanced — the contexts
-        // are wrong either way, which is what the ablation demonstrates.
-        for frame in old_shadow.into_iter().skip(k) {
-            ctx.shadow.push(frame);
-        }
-        self.threads.insert(tid, ctx);
-    }
-
-    /// Current action for `(site, callee)`; defensively unencoded when the
-    /// lookup fails (cannot happen for edges already in the graph).
-    fn action_of(&self, site: CallSiteId, callee: FunctionId) -> EdgeAction {
-        match self.sites.get(&site).map(|s| &s.patch) {
-            Some(SitePatch::Direct(t, a)) if *t == callee => *a,
-            Some(SitePatch::Indirect(p)) => p
-                .lookup(callee)
-                .map(|(a, _, _)| a)
-                .unwrap_or(EdgeAction::Unencoded),
-            _ => EdgeAction::Unencoded,
-        }
     }
 }
 
@@ -472,9 +122,23 @@ mod tests {
     #[test]
     fn edge_threshold_triggers_reencode() {
         let mut e = eager_engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         assert_eq!(e.stats().reencodes, 0);
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         assert_eq!(e.stats().reencodes, 1, "second new edge fires trigger 1");
         assert_eq!(e.timestamp().raw(), 1);
         assert_eq!(e.dicts().len(), 2);
@@ -483,8 +147,22 @@ mod tests {
     #[test]
     fn reencode_regenerates_live_thread_state() {
         let mut e = eager_engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         // Re-encoding happened with two active frames; both edges are now
         // encoded with delta 0 (single incoming each), so the regenerated
         // state is id = 0 with an empty ccStack.
@@ -506,11 +184,25 @@ mod tests {
     #[test]
     fn samples_recorded_before_reencode_still_decode() {
         let mut e = eager_engine();
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         let (old_snap, _) = e.sample(ThreadId::MAIN);
         assert_eq!(old_snap.ts.raw(), 0);
         // Trigger a re-encode.
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
         assert_eq!(e.timestamp().raw(), 1);
         // The old sample decodes against dictionary 0.
         let path = e.decode(&old_snap).unwrap();
@@ -524,7 +216,14 @@ mod tests {
         e.attach_main(f(0));
         e.thread_start(ThreadId::MAIN, f(0), None);
         for i in 1..40u32 {
-            let _ = e.call(ThreadId::MAIN, s(i), f(i - 1), f(i), CallDispatch::Direct, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(i),
+                f(i - 1),
+                f(i),
+                CallDispatch::Direct,
+                false,
+            );
         }
         assert_eq!(e.stats().reencodes, 0);
         assert_eq!(e.timestamp().raw(), 0);
@@ -549,9 +248,23 @@ mod tests {
         // Build recursion: main -> rec -> rec -> ... The self edge is
         // discovered, re-encoding classifies it as a back edge, and (heat
         // permitting) compresses it.
-        let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(0),
+            f(0),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         for _ in 0..40 {
-            let _ = e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(1),
+                f(1),
+                f(1),
+                CallDispatch::Direct,
+                false,
+            );
         }
         assert!(e.stats().reencodes >= 1);
         let (snap, _) = e.sample(ThreadId::MAIN);
@@ -589,14 +302,42 @@ mod tests {
         e.thread_start(ThreadId::MAIN, f(0), None);
         // Two callers of f3: site 1 (from f1, hot) and site 2 (from f2).
         // Cold path once.
-        let _ = e.call(ThreadId::MAIN, s(3), f(0), f(2), CallDispatch::Direct, false);
-        let _ = e.call(ThreadId::MAIN, s(2), f(2), f(3), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(3),
+            f(0),
+            f(2),
+            CallDispatch::Direct,
+            false,
+        );
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(2),
+            f(2),
+            f(3),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.ret(ThreadId::MAIN, s(2), f(2), f(3));
         let _ = e.ret(ThreadId::MAIN, s(3), f(0), f(2));
         // Hot path f0 -> f1 -> f3, exercised and sampled many times.
         for _ in 0..30 {
-            let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-            let _ = e.call(ThreadId::MAIN, s(1), f(1), f(3), CallDispatch::Direct, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(0),
+                f(0),
+                f(1),
+                CallDispatch::Direct,
+                false,
+            );
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(1),
+                f(1),
+                f(3),
+                CallDispatch::Direct,
+                false,
+            );
             let _ = e.sample(ThreadId::MAIN);
             let _ = e.ret(ThreadId::MAIN, s(1), f(1), f(3));
             let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(1));

@@ -208,7 +208,11 @@ mod tests {
         };
 
         let (good_report, good_stats) = run(DacceConfig::default());
-        assert_eq!(good_report.mismatches, 0, "{:?}", good_report.mismatch_examples);
+        assert_eq!(
+            good_report.mismatches, 0,
+            "{:?}",
+            good_report.mismatch_examples
+        );
         assert_eq!(good_stats.unbalanced_resets, 0);
 
         let (bad_report, bad_stats) = run(DacceConfig::broken_tail_calls());

@@ -1,0 +1,688 @@
+//! Shared encoding state and its published snapshots.
+//!
+//! This is one half of the engine split: everything that is *global* to a
+//! DACCE instance — the dynamic call graph, the per-site patch states (the
+//! "generated code"), the versioned decode dictionaries, `gTimeStamp`,
+//! `maxID`, edge heat, re-encoding trigger state and aggregate statistics —
+//! lives in [`SharedState`]. Per-thread encoding contexts are owned by the
+//! other half (the [`crate::engine::DacceEngine`] facade or the concurrent
+//! [`crate::tracker::Tracker`] slots) and never appear here.
+//!
+//! Concurrent runtimes do not read [`SharedState`] directly on their fast
+//! paths: the slow path freezes it into an immutable [`EncodingSnapshot`]
+//! (O(1) thanks to the copy-on-write [`PatchTable`] and the `Arc`-backed
+//! [`DictStore`]) and publishes it under an epoch counter. Reader threads
+//! keep a cached `Arc<EncodingSnapshot>` and revalidate it with a single
+//! atomic epoch load per event — see `DESIGN.md`, "Concurrency
+//! architecture".
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dacce_callgraph::analysis::classify_back_edges;
+use dacce_callgraph::encode::{encode_graph, EncodeOptions, Encoding};
+use dacce_callgraph::{
+    CallGraph, CallSiteId, DecodeDict, DictStore, Dispatch, EdgeId, FunctionId, TimeStamp,
+};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{ContextPath, CostModel};
+
+use crate::config::{CompressionMode, DacceConfig};
+use crate::context::EncodedContext;
+use crate::decode::{decode_full, DecodeError};
+use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
+use crate::stats::{DacceStats, ProgressPoint};
+
+/// Minimum heat for an edge to participate in the hot-path-change check;
+/// filters sampling noise.
+const HOT_FLOOR: u64 = 16;
+
+/// Result of one re-encoding attempt.
+pub(crate) enum ReencodeOutcome {
+    /// A new dictionary was published; thread states must be regenerated
+    /// (eagerly by the engine, lazily by the concurrent tracker).
+    Applied,
+    /// The grown graph would overflow the 64-bit id budget; the old
+    /// encoding stays and re-encoding is permanently disabled.
+    Overflowed,
+}
+
+/// The shared (cross-thread) half of a DACCE instance.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) config: DacceConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) graph: CallGraph,
+    pub(crate) dicts: DictStore,
+    pub(crate) ts: TimeStamp,
+    pub(crate) max_id: u64,
+    pub(crate) patches: PatchTable,
+    pub(crate) site_owner: Arc<HashMap<CallSiteId, FunctionId>>,
+    pub(crate) edge_heat: HashMap<EdgeId, u64>,
+    pub(crate) tail_fns: HashSet<FunctionId>,
+    pub(crate) roots: Vec<FunctionId>,
+    // Re-encoding trigger state.
+    pub(crate) new_edges: usize,
+    pub(crate) events_since_reencode: u64,
+    pub(crate) cur_min_events: u64,
+    pub(crate) window_start_events: u64,
+    pub(crate) window_start_ccops: u64,
+    pub(crate) next_hot_check: u64,
+    pub(crate) last_hot_choice: HashMap<FunctionId, EdgeId>,
+    pub(crate) events: u64,
+    pub(crate) reencode_overflowed: bool,
+    // Recent samples (ring) for heat derivation, plus the optional full log.
+    pub(crate) ring: Vec<EncodedContext>,
+    pub(crate) ring_pos: usize,
+    pub(crate) sample_log: Vec<EncodedContext>,
+    pub(crate) stats: DacceStats,
+    /// Monotone publication counter; bumped whenever a snapshot observable
+    /// by fast paths (patches, dictionaries, `maxID`) changed.
+    pub(crate) epoch: u64,
+}
+
+impl SharedState {
+    pub(crate) fn new(config: DacceConfig, cost: CostModel) -> Self {
+        let cur_min_events = config.min_events_between_reencodes;
+        SharedState {
+            config,
+            cost,
+            graph: CallGraph::new(),
+            dicts: DictStore::new(),
+            ts: TimeStamp::ZERO,
+            max_id: 0,
+            patches: PatchTable::new(),
+            site_owner: Arc::new(HashMap::new()),
+            edge_heat: HashMap::new(),
+            tail_fns: HashSet::new(),
+            roots: Vec::new(),
+            new_edges: 0,
+            events_since_reencode: 0,
+            cur_min_events,
+            window_start_events: 0,
+            window_start_ccops: 0,
+            next_hot_check: 0,
+            last_hot_choice: HashMap::new(),
+            events: 0,
+            reencode_overflowed: false,
+            ring: Vec::new(),
+            ring_pos: 0,
+            sample_log: Vec::new(),
+            stats: DacceStats::default(),
+            epoch: 0,
+        }
+    }
+
+    /// §3: the initial graph contains only `main`; freeze dictionary 0.
+    pub(crate) fn attach_main(&mut self, main: FunctionId) {
+        self.graph.ensure_node(main);
+        self.roots.push(main);
+        let enc = encode_graph(&self.graph, &self.roots, &EncodeOptions::default());
+        let dict = DecodeDict::from_encoding(&self.graph, &enc, TimeStamp::ZERO)
+            .expect("trivial graph cannot overflow");
+        self.dicts.push(dict);
+        self.max_id = enc.max_id;
+        self.next_hot_check = self.config.hot_check_every;
+        self.stats.progress.push(ProgressPoint {
+            calls: 0,
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            max_id: self.max_id,
+        });
+    }
+
+    /// Adds a (thread) root function to the graph and root set.
+    pub(crate) fn register_root(&mut self, root: FunctionId) {
+        self.graph.ensure_node(root);
+        if !self.roots.contains(&root) {
+            self.roots.push(root);
+        }
+    }
+
+    /// One call/return event's trigger bookkeeping.
+    pub(crate) fn note_event(&mut self) {
+        self.events += 1;
+        self.events_since_reencode += 1;
+    }
+
+    /// Batched variant for concurrent runtimes flushing local counters.
+    pub(crate) fn note_events(&mut self, n: u64) {
+        self.events += n;
+        self.events_since_reencode += n;
+    }
+
+    /// Looks up everything the generated code at `(site, callee)` does in
+    /// one patch-table probe. `None` means the site (or this target) traps.
+    pub(crate) fn lookup_action(
+        &self,
+        site: CallSiteId,
+        callee: FunctionId,
+    ) -> Option<ResolvedSite> {
+        lookup_in(&self.patches, &self.cost, site, callee)
+    }
+
+    /// The runtime handler (§3): invoked on the first execution of a call
+    /// edge. Adds the edge to the call graph, patches the site, performs
+    /// tail-call discovery, and returns the action the freshly generated
+    /// code executes for this very invocation — plus, when this trap
+    /// revealed a *new* tail-calling function, that function, so the caller
+    /// can retrofit active frames (shared state has no thread access).
+    pub(crate) fn handle_trap(
+        &mut self,
+        site: CallSiteId,
+        caller: FunctionId,
+        callee: FunctionId,
+        dispatch: CallDispatch,
+        tail: bool,
+    ) -> (EdgeAction, Option<FunctionId>) {
+        self.stats.traps += 1;
+        let prev_owner = Arc::make_mut(&mut self.site_owner).insert(site, caller);
+        debug_assert!(
+            prev_owner.is_none() || prev_owner == Some(caller),
+            "call site {site} observed in two functions ({prev_owner:?} and {caller}); \
+             each static call location needs its own CallSiteId"
+        );
+        let graph_dispatch = match dispatch {
+            CallDispatch::Direct => Dispatch::Direct,
+            CallDispatch::Indirect => Dispatch::Indirect,
+            CallDispatch::Plt => Dispatch::Plt,
+        };
+        let (eid, is_new) = self.graph.add_edge(caller, callee, site, graph_dispatch);
+        if is_new {
+            self.new_edges += 1;
+        }
+        *self.edge_heat.entry(eid).or_insert(0) += 1;
+
+        // §5.2: the first tail call inside `caller` reveals that `caller`'s
+        // callers must save/restore the encoding context absolutely.
+        let newly_tail = if tail && self.config.handle_tail_calls && self.tail_fns.insert(caller) {
+            self.wrap_caller_sites(caller);
+            Some(caller)
+        } else {
+            None
+        };
+
+        // Patch the site. New edges stay unencoded until the next
+        // re-encoding (§3: "that edge is not encoded until the next
+        // re-encoding process").
+        let action = EdgeAction::Unencoded;
+        let inline_max = self.config.indirect_inline_max;
+        let tc_wrap = self.config.handle_tail_calls && self.tail_fns.contains(&callee);
+        let mut converted = false;
+        let state = self.patches.site_mut(site);
+        if tc_wrap {
+            state.tc_wrap = true;
+        }
+        match dispatch {
+            CallDispatch::Direct | CallDispatch::Plt => {
+                state.patch = SitePatch::Direct(callee, action);
+            }
+            CallDispatch::Indirect => {
+                let p = match &mut state.patch {
+                    SitePatch::Indirect(p) => p,
+                    _ => {
+                        state.patch = SitePatch::Indirect(IndirectPatch::default());
+                        match &mut state.patch {
+                            SitePatch::Indirect(p) => p,
+                            _ => unreachable!(),
+                        }
+                    }
+                };
+                let before = p.hashed.is_some();
+                p.add_target(callee, action, inline_max);
+                if !before && p.hashed.is_some() {
+                    converted = true;
+                }
+            }
+        }
+        if converted {
+            self.stats.hash_conversions += 1;
+        }
+        (action, newly_tail)
+    }
+
+    /// Marks every known site targeting `tail_fn` for TcStack wrapping (the
+    /// per-thread frame retrofit is the caller's job).
+    fn wrap_caller_sites(&mut self, tail_fn: FunctionId) {
+        let mut sites_to_wrap: Vec<CallSiteId> = Vec::new();
+        for &eid in self.graph.incoming(tail_fn) {
+            sites_to_wrap.push(self.graph.edge(eid).site);
+        }
+        for site in sites_to_wrap {
+            if let Some(state) = self.patches.existing_mut(site) {
+                state.tc_wrap = true;
+            }
+        }
+    }
+
+    /// Records one sample: counters, heat ring, optional full log.
+    pub(crate) fn record_sample(&mut self, snap: &EncodedContext) {
+        self.stats.samples += 1;
+        self.stats.cc_depths.push(snap.cc_depth() as u32);
+        self.push_ring(snap);
+    }
+
+    /// Feeds a sample into the heat ring (and the optional log) without
+    /// counting it — concurrent trackers count samples in per-thread shards
+    /// and flush their sample backlog here from the slow path.
+    pub(crate) fn push_ring(&mut self, snap: &EncodedContext) {
+        if self.config.sample_ring > 0 {
+            if self.ring.len() < self.config.sample_ring {
+                self.ring.push(snap.clone());
+            } else {
+                self.ring[self.ring_pos % self.config.sample_ring] = snap.clone();
+            }
+            self.ring_pos += 1;
+        }
+        if self.config.keep_sample_log {
+            self.sample_log.push(snap.clone());
+        }
+    }
+
+    /// Decodes an encoded context against the recorded dictionaries.
+    pub(crate) fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
+        decode_full(ctx, &self.dicts, &self.site_owner)
+    }
+
+    /// Cheap pre-gate for the §4 triggers: worth evaluating them at all?
+    pub(crate) fn reencode_check_due(&self) -> bool {
+        self.config.reencode_enabled
+            && !self.reencode_overflowed
+            && self.events_since_reencode >= self.cur_min_events
+    }
+
+    /// Evaluates the three §4 triggers. `live_thread_ccops` supplies the
+    /// ccStack-operation total of currently live threads (evaluated lazily —
+    /// it is only needed when the rate window elapsed).
+    pub(crate) fn should_reencode(&mut self, live_thread_ccops: &dyn Fn() -> u64) -> bool {
+        if !self.reencode_check_due() {
+            return false;
+        }
+        let mut fire = false;
+
+        // Trigger 1: the number of identified call edges reached a threshold.
+        if self.new_edges >= self.config.edge_threshold {
+            fire = true;
+        }
+
+        // Trigger 3: the ccStack is frequently accessed.
+        if self.events - self.window_start_events >= self.config.ccstack_rate_window {
+            let ccops_now = self.stats.ccstack_ops + live_thread_ccops();
+            let devents = self.events - self.window_start_events;
+            let dops = ccops_now.saturating_sub(self.window_start_ccops);
+            let rate = dops as f64 / devents as f64;
+            self.window_start_events = self.events;
+            self.window_start_ccops = ccops_now;
+            if rate > self.config.ccstack_rate_threshold && self.has_unencoded_hot_state() {
+                fire = true;
+            }
+        }
+
+        // Trigger 2: the frequently invoked call paths have changed.
+        if self.events >= self.next_hot_check {
+            self.next_hot_check = self.events + self.config.hot_check_every;
+            if self.hot_choices_changed() >= self.config.hot_change_nodes {
+                fire = true;
+            }
+        }
+
+        fire
+    }
+
+    /// True when re-encoding could plausibly reduce ccStack traffic: there
+    /// are unencoded non-back edges, or hot back edges still lacking
+    /// compression.
+    fn has_unencoded_hot_state(&self) -> bool {
+        if self.new_edges > 0 {
+            return true;
+        }
+        if self.config.compression == CompressionMode::Adaptive {
+            for (eid, e) in self.graph.edges() {
+                if !e.back {
+                    continue;
+                }
+                let heat = self.edge_heat.get(&eid).copied().unwrap_or(0);
+                if heat < self.config.compression_min_heat {
+                    continue;
+                }
+                if let Some(state) = self.patches.get(e.site) {
+                    let action = match &state.patch {
+                        SitePatch::Direct(t, a) if *t == e.callee => Some(*a),
+                        SitePatch::Indirect(p) => p.lookup(e.callee).map(|(a, _, _)| a),
+                        _ => None,
+                    };
+                    if action == Some(EdgeAction::Unencoded) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The hottest non-back incoming edge of `node`, if any clears the
+    /// noise floor.
+    fn hottest_incoming(&self, node: FunctionId) -> Option<EdgeId> {
+        let mut best: Option<(u64, EdgeId)> = None;
+        for &eid in self.graph.incoming(node) {
+            if self.graph.edge(eid).back {
+                continue;
+            }
+            let heat = self.edge_heat.get(&eid).copied().unwrap_or(0);
+            if heat < HOT_FLOOR {
+                continue;
+            }
+            if best.is_none_or(|(h, e)| heat > h || (heat == h && eid < e)) {
+                best = Some((heat, eid));
+            }
+        }
+        best.map(|(_, eid)| eid)
+    }
+
+    /// Counts nodes whose hottest incoming edge differs from the one chosen
+    /// at the last encoding.
+    fn hot_choices_changed(&self) -> usize {
+        let mut changed = 0;
+        for &node in self.graph.nodes() {
+            if let (Some(best_eid), Some(&prev)) =
+                (self.hottest_incoming(node), self.last_hot_choice.get(&node))
+            {
+                if best_eid != prev {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Derives edge heat from the recent-sample ring (§4, first bullet).
+    fn heat_from_ring(&mut self) {
+        let ring = std::mem::take(&mut self.ring);
+        for samp in &ring {
+            if let Ok(path) = decode_full(samp, &self.dicts, &self.site_owner) {
+                for w in path.0.windows(2) {
+                    if let Some(site) = w[1].site {
+                        if let Some(eid) = self.graph.edge_id(site, w[1].func) {
+                            *self.edge_heat.entry(eid).or_insert(0) += 4;
+                        }
+                    }
+                }
+            } else {
+                self.stats.decode_errors += 1;
+            }
+        }
+        self.ring = ring;
+    }
+
+    /// The shared core of the re-encoding procedure (§4): derives heat,
+    /// re-classifies back edges, re-encodes the grown graph, freezes a new
+    /// dictionary under `gTimeStamp + 1` and regenerates every site patch.
+    ///
+    /// Thread-state regeneration is the caller's job: decode live contexts
+    /// under the *old* dictionary before calling this, replay them under
+    /// the new patches afterwards (see [`crate::fastpath::replay`]), then
+    /// call [`SharedState::reset_triggers`].
+    pub(crate) fn reencode_core(&mut self) -> (ReencodeOutcome, u64) {
+        let cost = self.graph.edge_count() as u64 * self.cost.reencode_per_edge;
+        self.stats.reencodes += 1;
+        self.stats.reencode_cost += cost;
+
+        self.heat_from_ring();
+
+        // Re-classify and re-encode the grown graph.
+        classify_back_edges(&mut self.graph, &self.roots);
+        let opts = if self.config.heat_ordering {
+            EncodeOptions::with_heat(self.edge_heat.clone())
+        } else {
+            EncodeOptions::default()
+        };
+        let enc = encode_graph(&self.graph, &self.roots, &opts);
+        if enc.overflow {
+            // A 64-bit-overflowing dynamic graph cannot be re-encoded; keep
+            // the old encoding and stop trying (Table 1 reports this for
+            // PCCE; DACCE graphs stay far below the budget).
+            self.reencode_overflowed = true;
+            self.stats.overflow_aborts += 1;
+            return (ReencodeOutcome::Overflowed, cost);
+        }
+
+        let new_ts = self.ts.next();
+        let dict =
+            DecodeDict::from_encoding(&self.graph, &enc, new_ts).expect("overflow checked above");
+        self.dicts.push(dict);
+        self.ts = new_ts;
+        self.max_id = enc.max_id;
+        self.stats.max_max_id = self.stats.max_max_id.max(self.max_id);
+
+        self.rebuild_sites(&enc);
+
+        // Remember the per-node hot choice this encoding was built with.
+        self.last_hot_choice.clear();
+        for &node in self.graph.nodes() {
+            if let Some(eid) = self.hottest_incoming(node) {
+                self.last_hot_choice.insert(node, eid);
+            }
+        }
+
+        self.stats.progress.push(ProgressPoint {
+            calls: self.stats.calls,
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            max_id: self.max_id,
+        });
+
+        // Decay heat *after* it drove this encoding, so the next
+        // re-encoding weighs recent behaviour over old phases.
+        for h in self.edge_heat.values_mut() {
+            *h /= 2;
+        }
+
+        (ReencodeOutcome::Applied, cost)
+    }
+
+    /// Re-arms the §4 triggers after a re-encoding (or an overflow abort).
+    /// `live_thread_ccops` is the ccStack-operation total of live threads
+    /// *after* any replay, so the next rate window starts clean.
+    pub(crate) fn reset_triggers(&mut self, live_thread_ccops: u64) {
+        self.new_edges = 0;
+        self.events_since_reencode = 0;
+        self.window_start_events = self.events;
+        self.window_start_ccops = self.stats.ccstack_ops + live_thread_ccops;
+        // Back off: re-encoding is cheap to trigger early (small graph,
+        // everything to gain) and increasingly rare once stable.
+        let next = (self.cur_min_events as f64 * self.config.reencode_backoff) as u64;
+        self.cur_min_events = next.min(self.config.reencode_interval_cap);
+    }
+
+    /// The action the new encoding assigns to one graph edge.
+    fn action_for_edge(&self, eid: EdgeId, back: bool, enc: &Encoding) -> EdgeAction {
+        if back {
+            let compress = match self.config.compression {
+                CompressionMode::Always => true,
+                CompressionMode::Never => false,
+                CompressionMode::Adaptive => {
+                    self.edge_heat.get(&eid).copied().unwrap_or(0)
+                        >= self.config.compression_min_heat
+                }
+            };
+            if compress {
+                EdgeAction::UnencodedCompressed
+            } else {
+                EdgeAction::Unencoded
+            }
+        } else {
+            EdgeAction::Encoded {
+                delta: enc.encoding_u64(eid).expect("non-overflowing encoding"),
+            }
+        }
+    }
+
+    /// Regenerates all site patch states from the new encoding.
+    fn rebuild_sites(&mut self, enc: &Encoding) {
+        // Group edges per site.
+        let mut by_site: HashMap<CallSiteId, Vec<EdgeId>> = HashMap::new();
+        for (eid, e) in self.graph.edges() {
+            by_site.entry(e.site).or_default().push(eid);
+        }
+
+        let mut rebuilt: HashMap<CallSiteId, crate::patch::SiteState> =
+            HashMap::with_capacity(by_site.len());
+        for (site, eids) in by_site {
+            let indirect = eids
+                .iter()
+                .any(|&eid| self.graph.edge(eid).dispatch == Dispatch::Indirect);
+            let tc_wrap = self.config.handle_tail_calls
+                && eids
+                    .iter()
+                    .any(|&eid| self.tail_fns.contains(&self.graph.edge(eid).callee));
+
+            let patch = if indirect {
+                // Order known targets hottest-first for the compare chain.
+                let mut ordered: Vec<(u64, EdgeId)> = eids
+                    .iter()
+                    .map(|&eid| (self.edge_heat.get(&eid).copied().unwrap_or(0), eid))
+                    .collect();
+                ordered.sort_by_key(|&(h, eid)| (std::cmp::Reverse(h), eid.index()));
+                let mut p = IndirectPatch::default();
+                for &(_, eid) in &ordered {
+                    let e = self.graph.edge(eid);
+                    let action = self.action_for_edge(eid, e.back, enc);
+                    p.add_target(e.callee, action, self.config.indirect_inline_max);
+                }
+                if p.hashed.is_some() {
+                    // Conversion accounting only when the site was inline
+                    // before (or new).
+                    let was_hashed = matches!(
+                        self.patches.get(site).map(|s| &s.patch),
+                        Some(SitePatch::Indirect(old)) if old.hashed.is_some()
+                    );
+                    if !was_hashed {
+                        self.stats.hash_conversions += 1;
+                    }
+                }
+                SitePatch::Indirect(p)
+            } else {
+                let eid = eids[0];
+                let e = self.graph.edge(eid);
+                let action = self.action_for_edge(eid, e.back, enc);
+                SitePatch::Direct(e.callee, action)
+            };
+
+            rebuilt.insert(site, crate::patch::SiteState { tc_wrap, patch });
+        }
+        self.patches.replace_all(rebuilt);
+    }
+
+    /// Freezes the current encoding into an immutable snapshot for
+    /// publication to reader threads. Cheap: the patch table and the
+    /// dictionary store are both `Arc`-backed.
+    pub(crate) fn snapshot(&self) -> EncodingSnapshot {
+        EncodingSnapshot {
+            epoch: self.epoch,
+            ts: self.ts,
+            max_id: self.max_id,
+            patches: self.patches.clone(),
+            site_owner: Arc::clone(&self.site_owner),
+            dicts: self.dicts.clone(),
+            cost: self.cost.clone(),
+            handle_tail_calls: self.config.handle_tail_calls,
+        }
+    }
+}
+
+/// An immutable, shareable view of the encoding state at one publication
+/// epoch. Everything a thread needs to execute call/return instrumentation
+/// over already-encoded edges — and to decode or migrate its own context —
+/// without touching any shared lock.
+#[derive(Clone, Debug)]
+pub(crate) struct EncodingSnapshot {
+    /// Publication epoch this snapshot was built at.
+    pub(crate) epoch: u64,
+    /// `gTimeStamp` of the encoding the snapshot captures.
+    pub(crate) ts: TimeStamp,
+    /// `maxID` of that encoding.
+    pub(crate) max_id: u64,
+    /// Per-site generated code.
+    pub(crate) patches: PatchTable,
+    /// Call-site owner table (for decoding).
+    pub(crate) site_owner: Arc<HashMap<CallSiteId, FunctionId>>,
+    /// Every dictionary recorded up to `ts` — samples stamped with older
+    /// timestamps decode against their own dictionary.
+    pub(crate) dicts: DictStore,
+    pub(crate) cost: CostModel,
+    pub(crate) handle_tail_calls: bool,
+}
+
+impl EncodingSnapshot {
+    /// Resolves `(site, callee)` against the snapshot's generated code;
+    /// `None` means the site traps into the slow path.
+    pub(crate) fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite> {
+        lookup_in(&self.patches, &self.cost, site, callee)
+    }
+
+    /// Decodes an encoded context against the snapshot's dictionaries.
+    pub(crate) fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
+        decode_full(ctx, &self.dicts, &self.site_owner)
+    }
+
+    /// The dictionary for this snapshot's own timestamp.
+    pub(crate) fn dict(&self) -> &DecodeDict {
+        self.dicts
+            .get(self.ts)
+            .expect("snapshot timestamp has a recorded dictionary")
+    }
+}
+
+/// Everything one patch-table probe tells the fast path about a call
+/// through `(site, callee)`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResolvedSite {
+    /// The action the generated code executes.
+    pub(crate) action: EdgeAction,
+    /// Cost of resolving the target (inline comparisons / hash probe for
+    /// indirect sites; 0 for direct).
+    pub(crate) dispatch_cost: u64,
+    /// Whether the site wraps its frames with a TcStack save/restore
+    /// (§5.2).
+    pub(crate) tc_wrap: bool,
+}
+
+/// Patch-table lookup shared by [`SharedState`] and [`EncodingSnapshot`]:
+/// resolves `(site, callee)` in a single probe.
+pub(crate) fn lookup_in(
+    patches: &PatchTable,
+    cost: &CostModel,
+    site: CallSiteId,
+    callee: FunctionId,
+) -> Option<ResolvedSite> {
+    let state = patches.get(site)?;
+    match &state.patch {
+        SitePatch::Trap => None,
+        SitePatch::Direct(target, action) => {
+            if *target == callee {
+                Some(ResolvedSite {
+                    action: *action,
+                    dispatch_cost: 0,
+                    tc_wrap: state.tc_wrap,
+                })
+            } else {
+                None
+            }
+        }
+        SitePatch::Indirect(p) => match p.lookup(callee) {
+            Some((action, cmps, hashed)) => {
+                let dispatch_cost = if hashed {
+                    cost.hash_lookup
+                } else {
+                    u64::from(cmps) * cost.compare
+                };
+                Some(ResolvedSite {
+                    action,
+                    dispatch_cost,
+                    tc_wrap: state.tc_wrap,
+                })
+            }
+            None => None,
+        },
+    }
+}

@@ -58,6 +58,35 @@ impl DacceStats {
         }
         self.cc_depths.iter().map(|&d| d as f64).sum::<f64>() / self.cc_depths.len() as f64
     }
+
+    /// Folds one thread's shard into the aggregate (stats drain).
+    pub fn absorb_shard(&mut self, shard: &StatsShard) {
+        self.calls += shard.calls;
+        self.samples += shard.samples;
+        self.compress_hits += shard.compress_hits;
+        self.decode_errors += shard.decode_errors;
+        self.cc_depths.extend_from_slice(&shard.cc_depths);
+    }
+}
+
+/// Per-thread statistics shard.
+///
+/// The concurrent tracker's fast paths never touch shared counters: each
+/// thread accumulates into its own shard (behind its own uncontended slot
+/// lock) and the aggregate is assembled only when someone drains stats,
+/// via [`DacceStats::absorb_shard`].
+#[derive(Clone, Debug, Default)]
+pub struct StatsShard {
+    /// Dynamic call events executed by this thread.
+    pub calls: u64,
+    /// Samples this thread recorded.
+    pub samples: u64,
+    /// Compressed-recursion hits on this thread's ccStack.
+    pub compress_hits: u64,
+    /// Lazy-migration decodes that failed (must stay 0).
+    pub decode_errors: u64,
+    /// ccStack depth at each of this thread's samples.
+    pub cc_depths: Vec<u32>,
 }
 
 #[cfg(test)]
@@ -71,8 +100,10 @@ mod tests {
 
     #[test]
     fn mean_cc_depth_averages() {
-        let mut s = DacceStats::default();
-        s.cc_depths = vec![0, 2, 4];
+        let s = DacceStats {
+            cc_depths: vec![0, 2, 4],
+            ..DacceStats::default()
+        };
         assert!((s.mean_cc_depth() - 2.0).abs() < 1e-12);
     }
 }

@@ -3,9 +3,20 @@
 //! The paper ships DACCE as a preloadable shared library that instruments
 //! binaries. The equivalent for a Rust library is an explicit API: the
 //! application declares its functions and call sites once, registers each
-//! thread, and brackets instrumented calls with RAII guards. The engine
-//! underneath is exactly the one the evaluation uses — dynamic call-graph
-//! discovery, adaptive re-encoding, versioned decoding.
+//! thread, and brackets instrumented calls with RAII guards.
+//!
+//! Unlike the single-lock seed implementation, the tracker is built on the
+//! shared-state / per-thread split (see `DESIGN.md`, "Concurrency
+//! architecture"): every thread owns its encoding context in a
+//! [`ThreadHandle`] slot and executes call/return instrumentation over
+//! already-encoded edges against a cached, immutable [`EncodingSnapshot`] —
+//! no shared lock is touched on that path. The global [`SharedState`] lock
+//! is taken only when a call site traps (new edge), when a re-encoding is
+//! evaluated or applied, on thread registration, and when statistics are
+//! drained. Re-encoded state reaches the other threads lazily: each one
+//! notices the bumped publication epoch at its next event, decodes its own
+//! context under its *old* snapshot's dictionary and replays it under the
+//! new one (the rendezvous of §4, done thread-locally).
 //!
 //! ```
 //! use dacce::tracker::Tracker;
@@ -22,7 +33,7 @@
 //! # Ok::<(), dacce::DecodeError>(())
 //! ```
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -32,24 +43,135 @@ use dacce_program::runtime::CallDispatch;
 use dacce_program::{ContextPath, CostModel, ThreadId};
 
 use crate::config::DacceConfig;
-use crate::context::EncodedContext;
-use crate::decode::DecodeError;
-use crate::engine::DacceEngine;
-use crate::stats::DacceStats;
+use crate::context::{EncodedContext, SpawnLink};
+use crate::decode::{decode_thread, DecodeError};
+use crate::fastpath;
+use crate::patch::EdgeAction;
+use crate::shared::{EncodingSnapshot, ReencodeOutcome, SharedState};
+use crate::stats::{DacceStats, StatsShard};
+use crate::thread::ThreadCtx;
+
+/// Events a thread accumulates locally before flushing them to the shared
+/// trigger counters. Bounds how stale the §4 event counts can be.
+const EVENT_BATCH: u64 = 64;
+
+/// Per-thread sample backlog capacity (circular; feeds the shared heat
+/// ring from the slow path).
+const SAMPLE_BACKLOG: usize = 64;
+
+/// The encoding state one thread owns: its context, the snapshot it is
+/// consistent with, and locally accumulated statistics.
+#[derive(Debug)]
+struct ThreadState {
+    ctx: ThreadCtx,
+    /// The published snapshot this context's encoding matches. `ctx` always
+    /// decodes against `snap.ts`'s dictionary.
+    snap: Arc<EncodingSnapshot>,
+    /// Locally accumulated statistics, merged on [`Tracker::stats`].
+    shard: StatsShard,
+    /// Events not yet flushed to the shared trigger counters.
+    batch_events: u64,
+    /// `ctx.cc.ops()` value already published to `ccops_total`.
+    flushed_cc_ops: u64,
+    /// Recent samples awaiting a slow-path flush into the shared heat ring.
+    pending_samples: Vec<EncodedContext>,
+    pending_pos: usize,
+}
+
+/// One registered thread's slot. The mutex is per-thread: uncontended in
+/// correct use (only the owning thread's guards lock it on the hot path;
+/// cross-thread access happens on spawn snapshots and stats drains).
+#[derive(Debug)]
+struct ThreadSlot {
+    tid: ThreadId,
+    state: Mutex<ThreadState>,
+}
 
 #[derive(Debug)]
 struct TrackerInner {
-    engine: Mutex<DacceEngine>,
+    /// The shared half: call graph, patch states, dictionaries, triggers.
+    /// Locked only on trap, re-encode evaluation, registration and drains.
+    shared: Mutex<SharedState>,
+    /// The latest published snapshot. Readers reach for it only when the
+    /// epoch check fails, so this lock is uncontended in steady state.
+    published: Mutex<Arc<EncodingSnapshot>>,
+    /// Publication epoch; fast paths revalidate their cached snapshot with
+    /// one `Acquire` load of this per event.
+    epoch: AtomicU64,
+    /// Events flushed by threads, not yet absorbed into `shared`.
+    pending_events: AtomicU64,
+    /// Monotone flushed ccStack-operation total across all threads (the
+    /// "live thread ccops" input of the §4 rate trigger).
+    ccops_total: AtomicU64,
+    /// `pending_events` level at which a flush should bother taking the
+    /// shared lock to evaluate triggers; `u64::MAX` when re-encoding is off.
+    trigger_check_at: AtomicU64,
+    /// Times a call/return event acquired the shared lock (trap slow paths
+    /// and batched trigger evaluations). The encoded-edge steady state
+    /// keeps this flat — see [`Tracker::slow_path_locks`].
+    slow_locks: AtomicU64,
     names: Mutex<Vec<String>>,
-    next_fn: AtomicU32,
     next_site: AtomicU32,
     next_tid: AtomicU32,
     attached: AtomicU32,
+    registry: Mutex<Vec<Arc<ThreadSlot>>>,
 }
 
-/// A process-wide calling-context tracker. Cheap to clone handles out of;
-/// all state lives behind one lock (contexts are per-thread, but the call
-/// graph and patch states are shared, as in the paper's prototype).
+// Lock order (outer to inner): slot -> shared -> published/registry/names.
+// `published` and `registry` are leaves: no other lock is ever acquired
+// while holding them.
+
+impl TrackerInner {
+    /// Publishes the current shared encoding under a bumped epoch and
+    /// returns the fresh snapshot. Caller holds the shared lock.
+    fn republish(&self, sh: &mut SharedState) -> Arc<EncodingSnapshot> {
+        sh.epoch += 1;
+        let snap = Arc::new(sh.snapshot());
+        *self.published.lock() = Arc::clone(&snap);
+        self.epoch.store(sh.epoch, Ordering::Release);
+        snap
+    }
+
+    /// Moves flushed event counts into the shared trigger state.
+    fn absorb_pending(&self, sh: &mut SharedState) {
+        let e = self.pending_events.swap(0, Ordering::Relaxed);
+        if e > 0 {
+            sh.note_events(e);
+        }
+    }
+
+    /// Re-arms the flush threshold: how many more events must flow before a
+    /// §4 trigger could possibly fire. Until then, no thread bothers taking
+    /// the shared lock from the batched fast path. Trigger 1 (new edges)
+    /// only changes state on a trap, and the trap slow path evaluates the
+    /// triggers itself — so between traps, only the re-encoding gate and
+    /// the trigger 2/3 *window boundaries* can newly open.
+    fn update_trigger_mark(&self, sh: &SharedState) {
+        let mark = if sh.config.reencode_enabled && !sh.reencode_overflowed {
+            let gate = sh.cur_min_events.saturating_sub(sh.events_since_reencode);
+            if sh.new_edges >= sh.config.edge_threshold {
+                // Trigger 1 is already pending; fire as soon as the gate
+                // opens.
+                gate.max(EVENT_BATCH)
+            } else {
+                let next_boundary = sh
+                    .window_start_events
+                    .saturating_add(sh.config.ccstack_rate_window)
+                    .min(sh.next_hot_check)
+                    .saturating_sub(sh.events);
+                gate.max(next_boundary).max(EVENT_BATCH)
+            }
+        } else {
+            u64::MAX
+        };
+        self.trigger_check_at.store(mark, Ordering::Relaxed);
+    }
+}
+
+/// A process-wide calling-context tracker. Cheap to clone handles out of.
+/// The call graph, patch states and dictionaries are shared; per-thread
+/// encoding state lives in the [`ThreadHandle`]s, and call/return over
+/// already-encoded edges never touches the shared lock.
 #[derive(Clone, Debug)]
 pub struct Tracker {
     inner: Arc<TrackerInner>,
@@ -69,23 +191,44 @@ impl Tracker {
 
     /// A tracker with explicit engine configuration.
     pub fn with_config(config: DacceConfig) -> Self {
+        let initial_mark = if config.reencode_enabled {
+            config.min_events_between_reencodes.max(EVENT_BATCH)
+        } else {
+            u64::MAX
+        };
+        let shared = SharedState::new(config, CostModel::default());
+        let snap = Arc::new(shared.snapshot());
         Tracker {
             inner: Arc::new(TrackerInner {
-                engine: Mutex::new(DacceEngine::new(config, CostModel::default())),
+                shared: Mutex::new(shared),
+                published: Mutex::new(snap),
+                epoch: AtomicU64::new(0),
+                pending_events: AtomicU64::new(0),
+                ccops_total: AtomicU64::new(0),
+                trigger_check_at: AtomicU64::new(initial_mark),
+                slow_locks: AtomicU64::new(0),
                 names: Mutex::new(Vec::new()),
-                next_fn: AtomicU32::new(0),
                 next_site: AtomicU32::new(0),
                 next_tid: AtomicU32::new(0),
                 attached: AtomicU32::new(0),
+                registry: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Declares a function and returns its id.
+    /// Declares a function and returns its id. The id and the name slot are
+    /// allocated under one lock, so concurrent registrations cannot tear
+    /// (an id paired with another call's name).
     pub fn define_function(&self, name: &str) -> FunctionId {
-        let id = FunctionId::new(self.inner.next_fn.fetch_add(1, Ordering::Relaxed));
-        self.inner.names.lock().push(name.to_string());
+        let mut names = self.inner.names.lock();
+        let id = FunctionId::new(u32::try_from(names.len()).expect("function count fits in u32"));
+        names.push(name.to_string());
         id
+    }
+
+    /// The name `f` was declared with, if any.
+    pub fn function_name(&self, f: FunctionId) -> Option<String> {
+        self.inner.names.lock().get(f.index()).cloned()
     }
 
     /// Allocates a call-site id. Call once per static call location.
@@ -94,7 +237,7 @@ impl Tracker {
     }
 
     /// Registers the current thread with its root function. The first
-    /// registered thread initialises the engine (its root plays `main`).
+    /// registered thread initialises the tracker (its root plays `main`).
     pub fn register_thread(&self, root: FunctionId) -> ThreadHandle {
         self.register(root, None)
     }
@@ -107,30 +250,51 @@ impl Tracker {
         parent: &ThreadHandle,
         spawn_site: CallSiteId,
     ) -> ThreadHandle {
-        self.register(root, Some((parent.tid, spawn_site)))
+        let link = SpawnLink {
+            site: spawn_site,
+            parent: Box::new(parent.current_context()),
+        };
+        self.register(root, Some(link))
     }
 
-    fn register(&self, root: FunctionId, parent: Option<(ThreadId, CallSiteId)>) -> ThreadHandle {
+    fn register(&self, root: FunctionId, spawn: Option<SpawnLink>) -> ThreadHandle {
         let tid = ThreadId::new(self.inner.next_tid.fetch_add(1, Ordering::Relaxed));
-        let mut engine = self.inner.engine.lock();
+        let mut sh = self.inner.shared.lock();
         if self.inner.attached.fetch_add(1, Ordering::Relaxed) == 0 {
-            engine.attach_main(root);
+            sh.attach_main(root);
         }
-        engine.thread_start(tid, root, parent);
-        ThreadHandle {
-            tracker: self.inner.clone(),
+        sh.register_root(root);
+        let snap = self.inner.republish(&mut sh);
+        let slot = Arc::new(ThreadSlot {
             tid,
+            state: Mutex::new(ThreadState {
+                ctx: ThreadCtx::new(root, spawn),
+                snap,
+                shard: StatsShard::default(),
+                batch_events: 0,
+                flushed_cc_ops: 0,
+                pending_samples: Vec::new(),
+                pending_pos: 0,
+            }),
+        });
+        self.inner.registry.lock().push(Arc::clone(&slot));
+        drop(sh);
+        ThreadHandle {
+            inner: Arc::clone(&self.inner),
+            slot,
         }
     }
 
     /// Decodes an encoded context captured by [`ThreadHandle::sample`].
+    /// Reads the published snapshot — never blocks on the shared state.
     ///
     /// # Errors
     ///
     /// Returns a [`DecodeError`] if the context is inconsistent with the
     /// recorded dictionaries (indicates misuse such as unbalanced guards).
     pub fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
-        self.inner.engine.lock().decode(ctx)
+        let snap = Arc::clone(&self.inner.published.lock());
+        snap.decode(ctx)
     }
 
     /// Renders a decoded path as `main -> f -> g` using the declared names.
@@ -148,30 +312,54 @@ impl Tracker {
             .join(" -> ")
     }
 
-    /// Engine statistics.
-    pub fn stats(&self) -> DacceStats {
-        self.inner.engine.lock().stats()
+    /// How many call/return events have taken the shared lock so far: site
+    /// traps (first execution of a call edge) plus batched re-encoding
+    /// trigger evaluations. In encoded-edge steady state this stays flat —
+    /// the per-event fast path is lock-free with respect to shared state.
+    pub fn slow_path_locks(&self) -> u64 {
+        self.inner.slow_locks.load(Ordering::Relaxed)
     }
 
-    /// Runs `f` with the engine locked — introspection for tests, debug
-    /// dumps and offline export (`dacce::export::export_state`).
-    pub fn with_engine<R>(&self, f: impl FnOnce(&DacceEngine) -> R) -> R {
-        f(&self.inner.engine.lock())
+    /// Tracker statistics: the shared counters plus every thread's local
+    /// shard and live ccStack/TcStack operation counts.
+    pub fn stats(&self) -> DacceStats {
+        let slots: Vec<Arc<ThreadSlot>> = self.inner.registry.lock().clone();
+        let mut out = {
+            let mut sh = self.inner.shared.lock();
+            self.inner.absorb_pending(&mut sh);
+            sh.stats.clone()
+        };
+        for slot in slots {
+            let mut guard = slot.state.lock();
+            let st = &mut *guard;
+            if !st.pending_samples.is_empty() {
+                let mut sh = self.inner.shared.lock();
+                for s in st.pending_samples.drain(..) {
+                    sh.push_ring(&s);
+                }
+            }
+            out.absorb_shard(&st.shard);
+            out.ccstack_ops += st.ctx.cc.ops();
+            out.tcstack_ops += st.ctx.tc_ops;
+        }
+        out
     }
 }
 
 /// Per-thread handle; create one per OS thread via
-/// [`Tracker::register_thread`].
+/// [`Tracker::register_thread`]. Call/return instrumentation over
+/// already-encoded edges runs entirely on this handle's own state plus a
+/// cached snapshot — the shared lock is not acquired.
 #[derive(Debug)]
 pub struct ThreadHandle {
-    tracker: Arc<TrackerInner>,
-    tid: ThreadId,
+    inner: Arc<TrackerInner>,
+    slot: Arc<ThreadSlot>,
 }
 
 impl ThreadHandle {
     /// The thread id assigned by the tracker.
     pub fn id(&self) -> ThreadId {
-        self.tid
+        self.slot.tid
     }
 
     /// Enters an instrumented direct call; the returned guard leaves it on
@@ -189,22 +377,261 @@ impl ThreadHandle {
     }
 
     fn enter(&self, site: CallSiteId, target: FunctionId, dispatch: CallDispatch) -> CallGuard<'_> {
-        let mut engine = self.tracker.engine.lock();
-        let caller = engine
-            .snapshot(self.tid)
-            .leaf;
-        let _ = engine.call(self.tid, site, caller, target, dispatch, false);
+        let mut guard = self.slot.state.lock();
+        let st = &mut *guard;
+        self.refresh(st);
+        let caller = st.ctx.current;
+        // The guard remembers the resolved action and the generation it is
+        // valid under, so the matching return needs no patch-table probe
+        // unless a re-encoding intervened. The epoch is captured *before*
+        // any trigger work — a re-encoding on this very event leaves the
+        // guard with a stale epoch, forcing the return to re-resolve.
+        let (action, epoch) = match st.snap.resolve(site, target) {
+            Some(r) => {
+                let epoch = st.snap.epoch;
+                let eff = fastpath::exec_call(
+                    &*st.snap,
+                    &mut st.ctx,
+                    site,
+                    target,
+                    r.action,
+                    r.tc_wrap,
+                    false,
+                );
+                if eff.compress_hit {
+                    st.shard.compress_hits += 1;
+                }
+                st.shard.calls += 1;
+                self.note_local_event(st);
+                (r.action, epoch)
+            }
+            None => {
+                // trap_call re-resolves under the state it republishes.
+                let action = self.trap_call(st, site, caller, target, dispatch);
+                (action, st.snap.epoch)
+            }
+        };
         CallGuard {
             handle: self,
             site,
             caller,
             callee: target,
+            action,
+            epoch,
         }
+    }
+
+    /// Revalidates the cached snapshot with one atomic epoch load; on a
+    /// mismatch, fetches the published snapshot and — if the encoding
+    /// generation moved — migrates this thread's context to it (decode
+    /// under the old snapshot's dictionary, replay under the new patches).
+    fn refresh(&self, st: &mut ThreadState) {
+        let cur = self.inner.epoch.load(Ordering::Acquire);
+        if st.snap.epoch == cur {
+            return;
+        }
+        let new_snap = Arc::clone(&self.inner.published.lock());
+        if new_snap.ts != st.snap.ts {
+            let migrated = fastpath::migrate(
+                &*new_snap,
+                &mut st.ctx,
+                st.snap.dict(),
+                &new_snap.site_owner,
+            );
+            if migrated.is_err() {
+                st.shard.decode_errors += 1;
+            }
+        }
+        st.snap = new_snap;
+    }
+
+    /// The slow path: the cached snapshot has no action for `(site,
+    /// target)`. Takes the shared lock, re-checks (a racing thread may have
+    /// patched the site first), runs the runtime handler if not, executes
+    /// the call against the live shared state, evaluates the §4 triggers
+    /// and republishes.
+    fn trap_call(
+        &self,
+        st: &mut ThreadState,
+        site: CallSiteId,
+        caller: FunctionId,
+        target: FunctionId,
+        dispatch: CallDispatch,
+    ) -> EdgeAction {
+        let inner = &*self.inner;
+        let mut sh_guard = inner.shared.lock();
+        inner.slow_locks.fetch_add(1, Ordering::Relaxed);
+        let sh = &mut *sh_guard;
+        inner.absorb_pending(sh);
+        self.flush_local(st, sh);
+
+        // Catch up with any re-encoding published since our epoch check:
+        // the call below must execute against the current generation.
+        if sh.ts != st.snap.ts
+            && fastpath::migrate(&*sh, &mut st.ctx, st.snap.dict(), &sh.site_owner).is_err()
+        {
+            st.shard.decode_errors += 1;
+        }
+
+        let (action, site_wraps) = match sh.lookup_action(site, target) {
+            Some(r) => (r.action, r.tc_wrap),
+            None => {
+                // Note: the tracker API has no tail-call entry point, so a
+                // trap can never reveal a newly tail-calling function here
+                // (no frame retrofit needed — that path is engine-only).
+                let (a, newly_tail) = sh.handle_trap(site, caller, target, dispatch, false);
+                debug_assert!(newly_tail.is_none());
+                let wraps = sh.patches.get(site).map(|s| s.tc_wrap).unwrap_or(false);
+                (a, wraps)
+            }
+        };
+        let eff = fastpath::exec_call(&*sh, &mut st.ctx, site, target, action, site_wraps, false);
+        if eff.compress_hit {
+            st.shard.compress_hits += 1;
+        }
+        st.shard.calls += 1;
+        sh.note_event();
+
+        if sh.reencode_check_due() {
+            let live = inner.ccops_total.load(Ordering::Relaxed);
+            if sh.should_reencode(&|| live) {
+                self.reencode_locked(sh, st);
+            }
+        }
+        inner.update_trigger_mark(sh);
+        st.snap = inner.republish(sh);
+        // A re-encoding above may have re-patched this very site; report
+        // the action valid under the snapshot the guard will be keyed to.
+        st.snap
+            .resolve(site, target)
+            .map(|r| r.action)
+            .unwrap_or(action)
+    }
+
+    /// Applies a re-encoding while holding the shared lock. Only this
+    /// thread's context is regenerated eagerly (decode under the old
+    /// dictionary, shared core, replay under the new patches); every other
+    /// thread migrates itself at its next epoch check.
+    fn reencode_locked(&self, sh: &mut SharedState, st: &mut ThreadState) {
+        let own = {
+            let dict = sh.dicts.get(sh.ts).expect("current dictionary recorded");
+            decode_thread(
+                dict,
+                st.ctx.id,
+                st.ctx.current,
+                st.ctx.root,
+                st.ctx.cc.entries(),
+                &sh.site_owner,
+            )
+        };
+        let (outcome, _cost) = sh.reencode_core();
+        if let ReencodeOutcome::Applied = outcome {
+            match own {
+                Ok(path) => fastpath::replay(&*sh, &mut st.ctx, &path),
+                Err(_) => sh.stats.decode_errors += 1,
+            }
+        }
+        // Replay rebuilt our ccStack; sync the flushed-op counter so the
+        // rate window the triggers re-arm with starts clean.
+        let cc_now = st.ctx.cc.ops();
+        let delta = cc_now.saturating_sub(st.flushed_cc_ops);
+        if delta > 0 {
+            self.inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
+        }
+        st.flushed_cc_ops = cc_now;
+        let live = self.inner.ccops_total.load(Ordering::Relaxed);
+        sh.reset_triggers(live);
+    }
+
+    /// Flushes this thread's local event batch, ccStack-op delta and sample
+    /// backlog into the shared state. Caller holds the shared lock.
+    fn flush_local(&self, st: &mut ThreadState, sh: &mut SharedState) {
+        if st.batch_events > 0 {
+            sh.note_events(st.batch_events);
+            st.batch_events = 0;
+        }
+        let cc_now = st.ctx.cc.ops();
+        let delta = cc_now.saturating_sub(st.flushed_cc_ops);
+        if delta > 0 {
+            self.inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
+        }
+        st.flushed_cc_ops = cc_now;
+        for s in st.pending_samples.drain(..) {
+            sh.push_ring(&s);
+        }
+        st.pending_pos = 0;
+    }
+
+    /// Fast-path trigger bookkeeping: counts the event locally and, every
+    /// [`EVENT_BATCH`] events, flushes the batch to the shared atomics.
+    /// The shared lock is only *tried* — and only once enough events have
+    /// accumulated for the re-encoding gate to possibly open — so the hot
+    /// path never blocks on it.
+    fn note_local_event(&self, st: &mut ThreadState) {
+        st.batch_events += 1;
+        if st.batch_events < EVENT_BATCH {
+            return;
+        }
+        let inner = &*self.inner;
+        let batch = st.batch_events;
+        st.batch_events = 0;
+        let pending = inner.pending_events.fetch_add(batch, Ordering::Relaxed) + batch;
+        let cc_now = st.ctx.cc.ops();
+        let delta = cc_now.saturating_sub(st.flushed_cc_ops);
+        if delta > 0 {
+            inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
+        }
+        st.flushed_cc_ops = cc_now;
+
+        if pending < inner.trigger_check_at.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(mut sh_guard) = inner.shared.try_lock() else {
+            // Another thread is on the slow path; it will evaluate.
+            return;
+        };
+        inner.slow_locks.fetch_add(1, Ordering::Relaxed);
+        let sh = &mut *sh_guard;
+        inner.absorb_pending(sh);
+        for s in st.pending_samples.drain(..) {
+            sh.push_ring(&s);
+        }
+        st.pending_pos = 0;
+        if sh.reencode_check_due() {
+            let live = inner.ccops_total.load(Ordering::Relaxed);
+            if sh.should_reencode(&|| live) {
+                self.reencode_locked(sh, st);
+                st.snap = inner.republish(sh);
+            }
+        }
+        inner.update_trigger_mark(sh);
     }
 
     /// Captures the thread's current encoded context (cheap; decode later).
     pub fn sample(&self) -> EncodedContext {
-        self.tracker.engine.lock().sample(self.tid).0
+        let mut guard = self.slot.state.lock();
+        let st = &mut *guard;
+        self.refresh(st);
+        let snap = snapshot_of(st);
+        st.shard.samples += 1;
+        st.shard.cc_depths.push(snap.cc_depth() as u32);
+        // Buffer for the shared heat ring (flushed on the next slow path).
+        if st.pending_samples.len() < SAMPLE_BACKLOG {
+            st.pending_samples.push(snap.clone());
+        } else {
+            let pos = st.pending_pos % SAMPLE_BACKLOG;
+            st.pending_samples[pos] = snap.clone();
+        }
+        st.pending_pos += 1;
+        snap
+    }
+
+    /// The thread's current encoded context without sample accounting.
+    fn current_context(&self) -> EncodedContext {
+        let mut guard = self.slot.state.lock();
+        let st = &mut *guard;
+        self.refresh(st);
+        snapshot_of(st)
     }
 
     /// Captures the current context as a migratable *task origin* (§5.3,
@@ -212,10 +639,9 @@ impl ThreadHandle {
     /// executor thread will run the work and have it call
     /// [`ThreadHandle::adopt`].
     pub fn capture_task(&self, handoff_site: CallSiteId) -> TaskContext {
-        let engine = self.tracker.engine.lock();
         TaskContext {
             site: handoff_site,
-            origin: engine.snapshot(self.tid),
+            origin: self.current_context(),
         }
     }
 
@@ -224,18 +650,29 @@ impl ThreadHandle {
     /// `origin -> (handoff site) -> this thread's frames`. Nest adoptions
     /// like calls; the guard restores the previous creation link on drop.
     pub fn adopt(&self, task: &TaskContext) -> AdoptGuard<'_> {
-        let mut engine = self.tracker.engine.lock();
-        let previous = engine.adopt_spawn(
-            self.tid,
-            Some(crate::context::SpawnLink {
-                site: task.site,
-                parent: Box::new(task.origin.clone()),
-            }),
-        );
+        let mut guard = self.slot.state.lock();
+        let link = SpawnLink {
+            site: task.site,
+            parent: Box::new(task.origin.clone()),
+        };
+        let previous = guard.ctx.spawn.replace(link);
         AdoptGuard {
             handle: self,
             previous: Some(previous),
         }
+    }
+}
+
+/// Builds the encoded context of a thread's current state. Stamped with
+/// the snapshot's timestamp — the generation the context is encoded under.
+fn snapshot_of(st: &ThreadState) -> EncodedContext {
+    EncodedContext {
+        ts: st.snap.ts,
+        id: st.ctx.id,
+        leaf: st.ctx.current,
+        root: st.ctx.root,
+        cc: st.ctx.cc.entries().to_vec(),
+        spawn: st.ctx.spawn.clone(),
     }
 }
 
@@ -260,31 +697,47 @@ impl TaskContext {
 #[derive(Debug)]
 pub struct AdoptGuard<'t> {
     handle: &'t ThreadHandle,
-    previous: Option<Option<crate::context::SpawnLink>>,
+    previous: Option<Option<SpawnLink>>,
 }
 
 impl Drop for AdoptGuard<'_> {
     fn drop(&mut self) {
         if let Some(prev) = self.previous.take() {
-            let mut engine = self.handle.tracker.engine.lock();
-            let _ = engine.adopt_spawn(self.handle.tid, prev);
+            self.handle.slot.state.lock().ctx.spawn = prev;
         }
     }
 }
 
-/// RAII guard for one instrumented call.
+/// RAII guard for one instrumented call. Carries the action resolved at
+/// call time and the publication epoch it is valid under, so the return
+/// side of an encoded edge is pure arithmetic — no patch-table probe.
 #[derive(Debug)]
 pub struct CallGuard<'t> {
     handle: &'t ThreadHandle,
     site: CallSiteId,
     caller: FunctionId,
     callee: FunctionId,
+    action: EdgeAction,
+    epoch: u64,
 }
 
 impl Drop for CallGuard<'_> {
     fn drop(&mut self) {
-        let mut engine = self.handle.tracker.engine.lock();
-        let _ = engine.ret(self.handle.tid, self.site, self.caller, self.callee);
+        let mut guard = self.handle.slot.state.lock();
+        let st = &mut *guard;
+        self.handle.refresh(st);
+        let action = if st.snap.epoch == self.epoch {
+            self.action
+        } else {
+            // A publication intervened since the call; the context was
+            // migrated, so reverse under the current generation's action.
+            st.snap
+                .resolve(self.site, self.callee)
+                .map(|r| r.action)
+                .unwrap_or(EdgeAction::Unencoded)
+        };
+        let _ = fastpath::exec_ret(&*st.snap, &mut st.ctx, self.site, self.caller, action);
+        self.handle.note_local_event(st);
     }
 }
 
@@ -311,7 +764,10 @@ mod tests {
                 assert_eq!(tracker.format_path(&path), "main -> f -> g");
             }
             let ctx = th.sample();
-            assert_eq!(tracker.format_path(&tracker.decode(&ctx).unwrap()), "main -> f");
+            assert_eq!(
+                tracker.format_path(&tracker.decode(&ctx).unwrap()),
+                "main -> f"
+            );
         }
         let ctx = th.sample();
         assert_eq!(tracker.format_path(&tracker.decode(&ctx).unwrap()), "main");
@@ -422,5 +878,153 @@ mod tests {
         let stats = tracker.stats();
         assert_eq!(stats.traps, 1);
         assert!(stats.calls >= 50);
+    }
+
+    #[test]
+    fn function_names_round_trip() {
+        let tracker = Tracker::new();
+        let a = tracker.define_function("alpha");
+        let b = tracker.define_function("beta");
+        assert_eq!(tracker.function_name(a).as_deref(), Some("alpha"));
+        assert_eq!(tracker.function_name(b).as_deref(), Some("beta"));
+        assert_eq!(tracker.function_name(FunctionId::new(99)), None);
+    }
+
+    /// Regression test for the id/name registration race: ids used to come
+    /// from a separate atomic while the name was pushed under the lock, so
+    /// two racing `define_function` calls could pair an id with the other
+    /// call's name. Now both are allocated under one lock.
+    #[test]
+    fn racing_function_definitions_keep_ids_and_names_paired() {
+        let tracker = Tracker::new();
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let mut all: Vec<(FunctionId, String)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut joins = Vec::new();
+            for t in 0..THREADS {
+                let tr = tracker.clone();
+                joins.push(scope.spawn(move |_| {
+                    let mut pairs = Vec::with_capacity(PER_THREAD);
+                    for i in 0..PER_THREAD {
+                        let name = format!("fn_{t}_{i}");
+                        let id = tr.define_function(&name);
+                        pairs.push((id, name));
+                    }
+                    pairs
+                }));
+            }
+            for j in joins {
+                all.extend(j.join().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(all.len(), THREADS * PER_THREAD);
+        // Ids are unique...
+        let mut ids: Vec<u32> = all.iter().map(|(id, _)| id.index() as u32).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), THREADS * PER_THREAD, "duplicate FunctionIds");
+        // ...and every id resolves to exactly the name registered with it.
+        for (id, name) in &all {
+            assert_eq!(tracker.function_name(*id).as_deref(), Some(name.as_str()));
+        }
+    }
+
+    /// The acceptance property of the engine split: once every edge a
+    /// thread executes is encoded, its call/return events acquire zero
+    /// shared-mutex locks. Verified directly via the slow-path counter
+    /// (wall-clock scaling is hardware-dependent; this is not).
+    #[test]
+    fn encoded_edges_take_no_shared_locks() {
+        let cfg = DacceConfig {
+            // Re-encode eagerly during warmup so the chain gets encoded...
+            edge_threshold: 1,
+            min_events_between_reencodes: 1,
+            reencode_backoff: 1.0,
+            // ...then quiesce the periodic trigger windows so steady state
+            // is deterministic.
+            ccstack_rate_window: u64::MAX,
+            hot_check_every: u64::MAX,
+            ..DacceConfig::default()
+        };
+        let tracker = Tracker::with_config(cfg);
+        let main_fn = tracker.define_function("main");
+        let fns: Vec<FunctionId> = (0..4)
+            .map(|i| tracker.define_function(&format!("f{i}")))
+            .collect();
+        let sites: Vec<CallSiteId> = (0..4).map(|_| tracker.define_call_site()).collect();
+        let th = tracker.register_thread(main_fn);
+
+        // Warmup: trap every edge and let the re-encoding encode them.
+        for _ in 0..3 {
+            let mut guards = Vec::new();
+            for (s, f) in sites.iter().zip(&fns) {
+                guards.push(th.call(*s, *f));
+            }
+            while let Some(g) = guards.pop() {
+                drop(g);
+            }
+        }
+        assert!(tracker.stats().reencodes >= 1);
+
+        // Steady state: thousands of call/return pairs, zero shared locks.
+        let locks_before = tracker.slow_path_locks();
+        for _ in 0..5_000 {
+            let mut guards = Vec::new();
+            for (s, f) in sites.iter().zip(&fns) {
+                guards.push(th.call(*s, *f));
+            }
+            while let Some(g) = guards.pop() {
+                drop(g);
+            }
+        }
+        assert_eq!(
+            tracker.slow_path_locks(),
+            locks_before,
+            "encoded-edge call/return must not touch the shared lock"
+        );
+        // And the encoding is still exact.
+        let path = tracker.decode(&th.sample()).unwrap();
+        assert_eq!(tracker.format_path(&path), "main");
+        assert_eq!(tracker.stats().decode_errors, 0);
+    }
+
+    /// Re-encodings triggered through one thread's slow path must reach
+    /// the other threads' contexts (lazily, at their next event).
+    #[test]
+    fn reencode_migrates_other_threads_lazily() {
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            ..DacceConfig::default()
+        };
+        let tracker = Tracker::with_config(cfg);
+        let main_fn = tracker.define_function("main");
+        let worker_fn = tracker.define_function("worker");
+        let f = tracker.define_function("f");
+        let g = tracker.define_function("g");
+        let s_spawn = tracker.define_call_site();
+        let s_f = tracker.define_call_site();
+        let s_g = tracker.define_call_site();
+        let s_wf = tracker.define_call_site();
+
+        let main_th = tracker.register_thread(main_fn);
+        let worker = tracker.register_spawned_thread(worker_fn, &main_th, s_spawn);
+        // The worker parks with one active frame under generation 0.
+        let wg = worker.call(s_wf, f);
+        // Main traps two new edges -> trigger 1 fires -> re-encode.
+        let _a = tracker.decode(&main_th.sample()).unwrap();
+        let _g1 = main_th.call(s_f, f);
+        let _g2 = main_th.call(s_g, g);
+        assert!(tracker.stats().reencodes >= 1);
+        // The worker's next sample migrates its context to the new
+        // generation and still decodes to the true path.
+        let p = tracker.decode(&worker.sample()).unwrap();
+        assert_eq!(tracker.format_path(&p), "main -> worker -> f");
+        drop(wg);
+        let p = tracker.decode(&worker.sample()).unwrap();
+        assert_eq!(tracker.format_path(&p), "main -> worker");
+        assert_eq!(tracker.stats().decode_errors, 0);
     }
 }

@@ -52,15 +52,16 @@ impl DacceEngine {
         }
 
         // 3: graph edges vs patch states and owners.
-        for (_, e) in self.graph.edges() {
+        for (_, e) in self.shared.graph.edges() {
             let state = self
-                .sites
-                .get(&e.site)
+                .shared
+                .patches
+                .get(e.site)
                 .ok_or_else(|| format!("edge {e:?} has no site state"))?;
             if matches!(state.patch, SitePatch::Trap) {
                 return Err(format!("executed site {} still patched as trap", e.site));
             }
-            match self.site_owner.get(&e.site) {
+            match self.shared.site_owner.get(&e.site) {
                 Some(&owner) if owner == e.caller => {}
                 Some(&owner) => {
                     return Err(format!(
@@ -101,7 +102,7 @@ impl DacceEngine {
                 ctx.current,
                 ctx.root,
                 ctx.cc.entries(),
-                &self.site_owner,
+                &self.shared.site_owner,
             )
             .map_err(|e| format!("{tid}: live context does not decode: {e}"))?;
             match (path.0.first(), path.0.last()) {
@@ -198,6 +199,9 @@ mod tests {
         e.thread_start(ThreadId::MAIN, f(0), None);
         e.threads.get_mut(&ThreadId::MAIN).unwrap().current = f(7);
         let err = e.check_invariants().unwrap_err();
-        assert!(err.contains("does not decode") || err.contains("decoded"), "{err}");
+        assert!(
+            err.contains("does not decode") || err.contains("decoded"),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,136 @@
+//! Concurrent differential test: reader threads sample and decode their
+//! calling contexts while a writer thread keeps trapping new edges and
+//! forcing re-encodes. Every decoded path must match the oracle (the call
+//! chain the reader actually performed), across every encoding generation
+//! it happens to land in, and no decode may error.
+//!
+//! This exercises the snapshot-publication machinery end to end: epoch
+//! revalidation, lazy cross-generation migration (decode under the old
+//! dictionary, replay under the new patches), trap re-checks under the
+//! shared lock, and versioned decoding of samples stamped with older
+//! timestamps.
+
+use dacce::config::DacceConfig;
+use dacce::tracker::Tracker;
+use dacce_callgraph::{CallSiteId, FunctionId};
+
+/// One call-chain step a reader replays: `(site, callee, callee name)`.
+type ChainStep = (CallSiteId, FunctionId, String);
+/// A reader's private workload: `(worker fn, spawn site, call chain)`.
+type ReaderChain = (FunctionId, CallSiteId, Vec<ChainStep>);
+
+/// Tiny deterministic PRNG (xorshift64*) so the interleaving pressure is
+/// reproducible modulo scheduling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+const READERS: usize = 4;
+const ROUNDS: usize = 1500;
+const DEPTH: usize = 6;
+const WRITER_TRAPS: usize = 120;
+
+#[test]
+fn decode_stays_correct_during_concurrent_reencodes() {
+    // Eager triggers with no back-off: every writer trap can fire a
+    // re-encoding, so readers constantly cross encoding generations.
+    let cfg = DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 1,
+        reencode_backoff: 1.0,
+        ..DacceConfig::default()
+    };
+    let tracker = Tracker::with_config(cfg);
+    let main_fn = tracker.define_function("main");
+    let main_th = tracker.register_thread(main_fn);
+
+    // Per-reader function/site chains (sites are unique per static call
+    // location, so every reader owns its own).
+    let mut chains: Vec<ReaderChain> = Vec::new();
+    for r in 0..READERS {
+        let worker = tracker.define_function(&format!("reader{r}"));
+        let spawn_site = tracker.define_call_site();
+        let mut chain = Vec::with_capacity(DEPTH);
+        for d in 0..DEPTH {
+            let name = format!("r{r}_f{d}");
+            let f = tracker.define_function(&name);
+            let s = tracker.define_call_site();
+            chain.push((s, f, name));
+        }
+        chains.push((worker, spawn_site, chain));
+    }
+    let writer_fn = tracker.define_function("writer");
+    let writer_spawn = tracker.define_call_site();
+
+    crossbeam::scope(|scope| {
+        let tracker = &tracker;
+        let main_th = &main_th;
+        // Readers: walk their chain to a random depth, decode at the
+        // deepest point and after each unwind step, and compare with the
+        // path they actually took.
+        for (r, (worker, spawn_site, chain)) in chains.iter().enumerate() {
+            scope.spawn(move |_| {
+                let th = tracker.register_spawned_thread(*worker, main_th, *spawn_site);
+                let mut rng = Rng(0x9e37_79b9 + r as u64);
+                let prefix = format!("main -> reader{r}");
+                for _ in 0..ROUNDS {
+                    let depth = 1 + (rng.next() as usize) % DEPTH;
+                    let mut guards = Vec::with_capacity(depth);
+                    let mut expected = prefix.clone();
+                    for (s, f, name) in &chain[..depth] {
+                        guards.push(th.call(*s, *f));
+                        expected.push_str(" -> ");
+                        expected.push_str(name);
+                    }
+                    let path = tracker.decode(&th.sample()).expect("sample decodes");
+                    assert_eq!(tracker.format_path(&path), expected);
+                    // Unwind, checking one intermediate level as we go.
+                    while let Some(g) = guards.pop() {
+                        drop(g);
+                    }
+                    let path = tracker
+                        .decode(&th.sample())
+                        .expect("unwound sample decodes");
+                    assert_eq!(tracker.format_path(&path), prefix);
+                }
+            });
+        }
+        // Writer: keeps discovering new edges, each trap re-evaluating the
+        // triggers under the shared lock and republishing the encoding.
+        scope.spawn(move |_| {
+            let th = tracker.register_spawned_thread(writer_fn, main_th, writer_spawn);
+            for i in 0..WRITER_TRAPS {
+                let f = tracker.define_function(&format!("hot{i}"));
+                let s = tracker.define_call_site();
+                let _g = th.call(s, f);
+                let path = tracker.decode(&th.sample()).expect("writer sample decodes");
+                assert_eq!(
+                    tracker.format_path(&path),
+                    format!("main -> writer -> hot{i}")
+                );
+            }
+        });
+    })
+    .unwrap();
+
+    let stats = tracker.stats();
+    assert_eq!(stats.decode_errors, 0, "no decode may ever fail");
+    assert!(
+        stats.reencodes >= 20,
+        "writer must have forced many re-encodes, got {}",
+        stats.reencodes
+    );
+    assert!(
+        stats.calls as usize >= READERS * ROUNDS + WRITER_TRAPS,
+        "all calls accounted for"
+    );
+}

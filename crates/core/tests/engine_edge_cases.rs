@@ -41,7 +41,14 @@ fn plt_calls_bind_then_encode() {
         let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(1));
         // Trigger a re-encode via a second edge on the first round.
         if round == 0 {
-            let _ = e.call(ThreadId::MAIN, s(1), f(0), f(2), CallDispatch::Direct, false);
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(1),
+                f(0),
+                f(2),
+                CallDispatch::Direct,
+                false,
+            );
             let _ = e.ret(ThreadId::MAIN, s(1), f(0), f(2));
         }
     }
@@ -57,16 +64,41 @@ fn head_match_takes_priority_over_zero_edges() {
     let mut e = engine(eager());
     // Build: main -> a (encoded after re-encode), a -> b, and an
     // *indirect* main -> b edge that stays unencoded initially.
-    let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-    let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(1),
+        f(1),
+        f(2),
+        CallDispatch::Direct,
+        false,
+    );
     let _ = e.ret(ThreadId::MAIN, s(1), f(1), f(2));
     let _ = e.ret(ThreadId::MAIN, s(0), f(0), f(1));
     // Now an indirect call straight to b: new edge, unencoded boundary.
-    let _ = e.call(ThreadId::MAIN, s(2), f(0), f(2), CallDispatch::Indirect, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(2),
+        f(0),
+        f(2),
+        CallDispatch::Indirect,
+        false,
+    );
     let (snap, _) = e.sample(ThreadId::MAIN);
     let path = e.decode(&snap).unwrap();
     let funcs: Vec<u32> = path.0.iter().map(|p| p.func.raw()).collect();
-    assert_eq!(funcs, vec![0, 2], "boundary pop must win over a->b's zero edge");
+    assert_eq!(
+        funcs,
+        vec![0, 2],
+        "boundary pop must win over a->b's zero edge"
+    );
     let _ = e.ret(ThreadId::MAIN, s(2), f(0), f(2));
     e.check_invariants().unwrap();
 }
@@ -75,10 +107,24 @@ fn head_match_takes_priority_over_zero_edges() {
 #[test]
 fn indirect_tail_calls_decode() {
     let mut e = engine(eager());
-    let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
     // f1 performs an indirect *tail* call to f2 or f3 (no return events
     // for these, and f1's frame is replaced).
-    let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Indirect, true);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(1),
+        f(1),
+        f(2),
+        CallDispatch::Indirect,
+        true,
+    );
     let (snap, _) = e.sample(ThreadId::MAIN);
     let path = e.decode(&snap).unwrap();
     let funcs: Vec<u32> = path.0.iter().map(|p| p.func.raw()).collect();
@@ -100,12 +146,23 @@ fn mutual_recursion_is_not_falsely_compressed() {
         ..eager()
     };
     let mut e = engine(cfg);
-    let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
     // Alternate f1 -> f2 -> f1 -> f2 ... then unwind; every decode along
     // the way must see the exact alternation.
     let mut depth_funcs = vec![0u32, 1];
     for k in 0..6u32 {
-        let (site, from, to) = if k % 2 == 0 { (s(1), f(1), f(2)) } else { (s(2), f(2), f(1)) };
+        let (site, from, to) = if k % 2 == 0 {
+            (s(1), f(1), f(2))
+        } else {
+            (s(2), f(2), f(1))
+        };
         let _ = e.call(ThreadId::MAIN, site, from, to, CallDispatch::Direct, false);
         depth_funcs.push(to.raw());
         let (snap, _) = e.sample(ThreadId::MAIN);
@@ -114,7 +171,11 @@ fn mutual_recursion_is_not_falsely_compressed() {
         assert_eq!(funcs, depth_funcs, "at nesting {k}");
     }
     for k in (0..6u32).rev() {
-        let (site, from, to) = if k % 2 == 0 { (s(1), f(1), f(2)) } else { (s(2), f(2), f(1)) };
+        let (site, from, to) = if k % 2 == 0 {
+            (s(1), f(1), f(2))
+        } else {
+            (s(2), f(2), f(1))
+        };
         let _ = e.ret(ThreadId::MAIN, site, from, to);
         depth_funcs.pop();
         let (snap, _) = e.sample(ThreadId::MAIN);
@@ -136,13 +197,48 @@ fn reencode_regenerates_all_threads() {
     e.thread_start(ThreadId::new(1), f(10), Some((ThreadId::MAIN, s(9))));
     e.thread_start(ThreadId::new(2), f(10), Some((ThreadId::MAIN, s(9))));
     // Wind each thread into a different position.
-    let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
-    let _ = e.call(ThreadId::new(1), s(3), f(10), f(11), CallDispatch::Direct, false);
-    let _ = e.call(ThreadId::new(2), s(3), f(10), f(11), CallDispatch::Direct, false);
-    let _ = e.call(ThreadId::new(2), s(4), f(11), f(12), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
+    let _ = e.call(
+        ThreadId::new(1),
+        s(3),
+        f(10),
+        f(11),
+        CallDispatch::Direct,
+        false,
+    );
+    let _ = e.call(
+        ThreadId::new(2),
+        s(3),
+        f(10),
+        f(11),
+        CallDispatch::Direct,
+        false,
+    );
+    let _ = e.call(
+        ThreadId::new(2),
+        s(4),
+        f(11),
+        f(12),
+        CallDispatch::Direct,
+        false,
+    );
     // This call crosses the edge threshold and re-encodes with all three
     // threads live.
-    let _ = e.call(ThreadId::MAIN, s(1), f(1), f(2), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(1),
+        f(1),
+        f(2),
+        CallDispatch::Direct,
+        false,
+    );
     assert!(e.stats().reencodes >= 1);
     e.check_invariants().unwrap();
     for (tid, want) in [
@@ -170,9 +266,23 @@ fn ccstack_rate_triggers_reencode() {
         ..DacceConfig::default()
     };
     let mut e = engine(cfg);
-    let _ = e.call(ThreadId::MAIN, s(0), f(0), f(1), CallDispatch::Direct, false);
+    let _ = e.call(
+        ThreadId::MAIN,
+        s(0),
+        f(0),
+        f(1),
+        CallDispatch::Direct,
+        false,
+    );
     for _ in 0..400 {
-        let _ = e.call(ThreadId::MAIN, s(1), f(1), f(1), CallDispatch::Direct, false);
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(1),
+            f(1),
+            f(1),
+            CallDispatch::Direct,
+            false,
+        );
         let _ = e.ret(ThreadId::MAIN, s(1), f(1), f(1));
     }
     assert!(

@@ -49,13 +49,24 @@ fn interleaved_threads_with_eager_reencode() {
             let site = 1 + (w as u32) * 6 + d as u32;
             let caller = if d == 0 { 1 } else { 2 + d as u32 - 1 };
             let callee = 2 + d as u32;
-            e.call(tid, s(site), f(caller), f(callee), CallDispatch::Direct, false);
+            e.call(
+                tid,
+                s(site),
+                f(caller),
+                f(callee),
+                CallDispatch::Direct,
+                false,
+            );
             stacks[w].push((site, callee));
             if stacks[w].len() >= target_depth[w] {
                 winding[w] = false;
             }
         } else if let Some((site, callee)) = stacks[w].pop() {
-            let caller = if stacks[w].is_empty() { 1 } else { stacks[w].last().unwrap().1 };
+            let caller = if stacks[w].is_empty() {
+                1
+            } else {
+                stacks[w].last().unwrap().1
+            };
             e.ret(tid, s(site), f(caller), f(callee));
         } else {
             winding[w] = true;

@@ -52,11 +52,22 @@ fn run(seed: u64) {
             let site = 1 + (w as u32) * 6 + depth as u32;
             let caller = if depth == 0 { 1 } else { 2 + depth as u32 - 1 };
             let callee = 2 + depth as u32;
-            e.call(tid, s(site), f(caller), f(callee), CallDispatch::Direct, false);
+            e.call(
+                tid,
+                s(site),
+                f(caller),
+                f(callee),
+                CallDispatch::Direct,
+                false,
+            );
             stacks[w].push((site, callee));
         } else {
             let (site, callee) = stacks[w].pop().unwrap();
-            let caller = if stacks[w].is_empty() { 1 } else { stacks[w].last().unwrap().1 };
+            let caller = if stacks[w].is_empty() {
+                1
+            } else {
+                stacks[w].last().unwrap().1
+            };
             e.ret(tid, s(site), f(caller), f(callee));
         }
         // Real ring sampling (like the Tracker) plus validation.

@@ -12,6 +12,6 @@ pub mod stats;
 pub mod table;
 
 pub use cdf::Cdf;
-pub use format::{sci, percent};
+pub use format::{percent, sci};
 pub use stats::{geomean, mean, percentile};
 pub use table::Table;

@@ -11,12 +11,10 @@
 
 use std::collections::HashMap;
 
+use dacce::patch::EdgeAction;
 use dacce_callgraph::analysis::classify_back_edges;
 use dacce_callgraph::encode::{encode_graph, EncodeOptions};
-use dacce_callgraph::{
-    CallGraph, CallSiteId, DecodeDict, EdgeId, FunctionId, TimeStamp,
-};
-use dacce::patch::EdgeAction;
+use dacce_callgraph::{CallGraph, CallSiteId, DecodeDict, EdgeId, FunctionId, TimeStamp};
 
 use crate::pointsto::StaticGraph;
 use crate::profile::ProfileData;
@@ -207,7 +205,10 @@ mod tests {
         // Call ops in order: 0 main->left(1), 1 main->right(2),
         // 2 left->sink(3), 3 right->sink(3). The sink is reached
         // overwhelmingly through `right`.
-        let prof = profile_with(&[((0, 1), 5), ((1, 2), 500), ((2, 3), 5), ((3, 3), 500)], &p);
+        let prof = profile_with(
+            &[((0, 1), 5), ((1, 2), 500), ((2, 3), 5), ((3, 3), 500)],
+            &p,
+        );
         let enc = PcceEncoder::encode(&sg, &prof);
         assert!(!enc.overflowed);
         assert_eq!(enc.full_nodes, 4);
@@ -260,7 +261,9 @@ mod tests {
                 .call_p(fns[base + 2], [0.0, 0.0])
                 .done();
             b.body(fns[base + 1]).call(fns[base + 3]).done();
-            b.body(fns[base + 2]).call_p(fns[base + 3], [0.0, 0.0]).done();
+            b.body(fns[base + 2])
+                .call_p(fns[base + 3], [0.0, 0.0])
+                .done();
         }
         let p = b.build(fns[0]);
         let sg = build_static_graph(&p);

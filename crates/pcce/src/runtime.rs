@@ -364,10 +364,7 @@ mod tests {
         assert_eq!(report.unsupported, 0);
         let stats = rt.stats();
         assert_eq!(stats.decode_errors, 0);
-        assert_eq!(
-            stats.unexpected_edges, 0,
-            "profile covers the measured run"
-        );
+        assert_eq!(stats.unexpected_edges, 0, "profile covers the measured run");
         assert!(stats.nodes >= 8);
     }
 
@@ -430,7 +427,11 @@ mod tests {
         let main = b.function("main");
         let worker = b.function("worker");
         let job = b.function("job");
-        b.body(main).spawn(worker, [0.4, 0.4]).work(3).call(job).done();
+        b.body(main)
+            .spawn(worker, [0.4, 0.4])
+            .work(3)
+            .call(job)
+            .done();
         b.body(worker).work(2).call_rep(job, [1.0, 1.0], 4).done();
         b.body(job).work(1).done();
         let p = b.build(main);

@@ -250,10 +250,7 @@ mod tests {
         let main = b.function("main");
         let a = b.function("a");
         // Tail call followed by another call violates validation.
-        b.body(main)
-            .tail(a, [1.0, 1.0])
-            .call(a)
-            .done();
+        b.body(main).tail(a, [1.0, 1.0]).call(a).done();
         let _ = b.build(main);
     }
 

@@ -249,12 +249,7 @@ impl<'p> Interpreter<'p> {
             while quantum > 0 && threads[ti].alive && report.calls < cfg.budget_calls {
                 quantum -= 1;
                 let mut pending_spawn: Option<(FunctionId, CallSiteId)> = None;
-                self.step(
-                    &mut threads[ti],
-                    runtime,
-                    &mut report,
-                    &mut pending_spawn,
-                );
+                self.step(&mut threads[ti], runtime, &mut report, &mut pending_spawn);
                 if let Some((root, site)) = pending_spawn {
                     let live = threads.iter().filter(|t| t.alive).count();
                     if live < cfg.max_threads {
@@ -302,11 +297,7 @@ impl<'p> Interpreter<'p> {
                     let ev = ReturnEvent {
                         tid: t.tid,
                         site: entry.site,
-                        caller: t
-                            .frames
-                            .last()
-                            .map(|f| f.func)
-                            .unwrap_or(t.oracle.root()),
+                        caller: t.frames.last().map(|f| f.func).unwrap_or(t.oracle.root()),
                         callee: entry.callee,
                         dispatch: entry.dispatch,
                         tail_chain: frame.tail_chain,
@@ -338,10 +329,7 @@ impl<'p> Interpreter<'p> {
             0
         };
 
-        let frame = thread
-            .frames
-            .last_mut()
-            .expect("alive thread has frames");
+        let frame = thread.frames.last_mut().expect("alive thread has frames");
         let body = &self.program.functions[frame.func.index()].body;
 
         if frame.op_idx >= body.len() {
@@ -392,8 +380,7 @@ impl<'p> Interpreter<'p> {
                 frame.op_idx += 1;
                 frame.rep_left = u16::MAX;
                 if cfg.sample_every_work > 0
-                    && before / cfg.sample_every_work
-                        != report.base_cost / cfg.sample_every_work
+                    && before / cfg.sample_every_work != report.base_cost / cfg.sample_every_work
                 {
                     self.take_sample(thread, runtime, report);
                 }
@@ -477,7 +464,7 @@ impl<'p> Interpreter<'p> {
                 report.calls += 1;
                 report.instr_cost += runtime.on_call(&ev, &thread.oracle);
 
-                if cfg.sample_every > 0 && report.calls % cfg.sample_every == 0 {
+                if cfg.sample_every > 0 && report.calls.is_multiple_of(cfg.sample_every) {
                     self.take_sample(thread, runtime, report);
                 }
             }
@@ -656,7 +643,11 @@ mod tests {
         let main = b.function("main");
         let worker = b.function("worker");
         let leaf = b.function("leaf");
-        b.body(main).spawn(worker, [1.0, 1.0]).work(10).call(leaf).done();
+        b.body(main)
+            .spawn(worker, [1.0, 1.0])
+            .work(10)
+            .call(leaf)
+            .done();
         b.body(worker).work(5).call_rep(leaf, [1.0, 1.0], 4).done();
         b.body(leaf).work(1).done();
         let p = b.build(main);
@@ -691,7 +682,10 @@ mod tests {
         let _ = Interpreter::new(&p, cfg).run(&mut rt);
         let rare_calls = rt.by_callee.get(&rare).copied().unwrap_or(0);
         let common_calls = rt.by_callee.get(&common).copied().unwrap_or(0);
-        assert!(common_calls > rare_calls * 20, "common {common_calls} rare {rare_calls}");
+        assert!(
+            common_calls > rare_calls * 20,
+            "common {common_calls} rare {rare_calls}"
+        );
     }
 
     #[test]
@@ -805,9 +799,11 @@ mod tests {
 
     #[test]
     fn overhead_is_ratio_of_costs() {
-        let mut r = RunReport::default();
-        r.base_cost = 1000;
-        r.instr_cost = 25;
+        let mut r = RunReport {
+            base_cost: 1000,
+            instr_cost: 25,
+            ..RunReport::default()
+        };
         assert!((r.overhead() - 0.025).abs() < 1e-12);
         r.base_cost = 0;
         assert_eq!(r.overhead(), 0.0);

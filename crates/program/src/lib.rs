@@ -49,6 +49,8 @@ pub mod runtime;
 pub use builder::ProgramBuilder;
 pub use cost::CostModel;
 pub use interp::{InterpConfig, Interpreter, RunReport};
-pub use model::{CallOp, CalleeSpec, Function, IndirectTable, Op, Program, SharedLibrary, ThreadId};
+pub use model::{
+    CallOp, CalleeSpec, Function, IndirectTable, Op, Program, SharedLibrary, ThreadId,
+};
 pub use oracle::{ContextPath, OracleStack, PathStep};
 pub use runtime::{CallEvent, ContextRuntime, NullRuntime, ReturnEvent, SampleResult};

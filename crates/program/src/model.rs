@@ -186,11 +186,7 @@ impl Program {
         self.functions
             .iter()
             .enumerate()
-            .filter(|(_, f)| {
-                f.body
-                    .iter()
-                    .any(|op| matches!(op, Op::Call(c) if c.tail))
-            })
+            .filter(|(_, f)| f.body.iter().any(|op| matches!(op, Op::Call(c) if c.tail)))
             .map(|(i, _)| FunctionId::new(i as u32))
             .collect()
     }
@@ -212,10 +208,7 @@ impl Program {
                     return Err(format!("{}: library index {lib} out of range", func.name));
                 }
             }
-            let last_call_pos = func
-                .body
-                .iter()
-                .rposition(|op| matches!(op, Op::Call(_)));
+            let last_call_pos = func.body.iter().rposition(|op| matches!(op, Op::Call(_)));
             for (oi, op) in func.body.iter().enumerate() {
                 let Op::Call(c) = op else { continue };
                 if c.site.index() >= self.site_count as usize {
@@ -410,10 +403,7 @@ mod tests {
     fn validate_rejects_plt_to_non_library_function() {
         let mut p = two_function_program();
         p.functions[0].body.push(call(0, CalleeSpec::Plt(f(1))));
-        assert!(p
-            .validate()
-            .unwrap_err()
-            .contains("not a library function"));
+        assert!(p.validate().unwrap_err().contains("not a library function"));
     }
 
     #[test]

@@ -243,9 +243,18 @@ mod tests {
         assert_eq!(
             p.0,
             vec![
-                PathStep { site: None, func: f(0) },
-                PathStep { site: Some(s(5)), func: f(1) },
-                PathStep { site: Some(s(7)), func: f(2) },
+                PathStep {
+                    site: None,
+                    func: f(0)
+                },
+                PathStep {
+                    site: Some(s(5)),
+                    func: f(1)
+                },
+                PathStep {
+                    site: Some(s(7)),
+                    func: f(2)
+                },
             ]
         );
     }
@@ -262,17 +271,41 @@ mod tests {
     #[test]
     fn prepend_concatenates_parent_context() {
         let parent = ContextPath(vec![
-            PathStep { site: None, func: f(0) },
-            PathStep { site: Some(s(1)), func: f(1) },
+            PathStep {
+                site: None,
+                func: f(0),
+            },
+            PathStep {
+                site: Some(s(1)),
+                func: f(1),
+            },
         ]);
         let child = ContextPath(vec![
-            PathStep { site: None, func: f(9) },
-            PathStep { site: Some(s(4)), func: f(10) },
+            PathStep {
+                site: None,
+                func: f(9),
+            },
+            PathStep {
+                site: Some(s(4)),
+                func: f(10),
+            },
         ]);
         let full = child.prepend(&parent, Some(s(3)));
         assert_eq!(full.depth(), 4);
-        assert_eq!(full.0[2], PathStep { site: Some(s(3)), func: f(9) });
-        assert_eq!(full.0[3], PathStep { site: Some(s(4)), func: f(10) });
+        assert_eq!(
+            full.0[2],
+            PathStep {
+                site: Some(s(3)),
+                func: f(9)
+            }
+        );
+        assert_eq!(
+            full.0[3],
+            PathStep {
+                site: Some(s(4)),
+                func: f(10)
+            }
+        );
     }
 
     #[test]

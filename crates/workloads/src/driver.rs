@@ -202,8 +202,12 @@ mod tests {
             ..DriverConfig::default()
         };
         let out = run_benchmark(&spec, &cfg);
-        assert!(out.fully_validated(), "dacce: {:?}\npcce: {:?}",
-            out.dacce_report.mismatch_examples, out.pcce_report.mismatch_examples);
+        assert!(
+            out.fully_validated(),
+            "dacce: {:?}\npcce: {:?}",
+            out.dacce_report.mismatch_examples,
+            out.pcce_report.mismatch_examples
+        );
         assert!(out.calls >= 1_000);
         assert!(out.dacce_graph.0 > 5);
         // PCCE's static graph covers at least the dynamic one.

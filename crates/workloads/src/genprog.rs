@@ -125,10 +125,7 @@ pub fn generate_program(spec: &BenchSpec) -> Program {
                 if i + 1 < len {
                     body = body.call_p(chain[i + 1], [0.999, 0.999]);
                 } else {
-                    body = body.call_p(
-                        chain[0],
-                        [spec.chain_loop_prob, spec.chain_loop_prob],
-                    );
+                    body = body.call_p(chain[0], [spec.chain_loop_prob, spec.chain_loop_prob]);
                 }
                 body.done();
             }
@@ -210,7 +207,11 @@ pub fn generate_program(spec: &BenchSpec) -> Program {
             let mut body = b.body(f).work(spec.call_work / 4 + 1);
             // Library-internal calls.
             if i + 1 < lib_fns.len() && rng.gen_bool(0.4) {
-                let prob = if spec.late_libs { [0.0, 0.5] } else { [0.5, 0.5] };
+                let prob = if spec.late_libs {
+                    [0.0, 0.5]
+                } else {
+                    [0.5, 0.5]
+                };
                 body = body.call_p(lib_fns[i + 1], prob);
             }
             body.done();
@@ -299,7 +300,11 @@ pub fn generate_program(spec: &BenchSpec) -> Program {
             if !lib_fns.is_empty() && plt_cursor < spec.plt_sites && (fi + l) % 4 == 1 {
                 let t = lib_fns[(plt_cursor * 13) % lib_fns.len()];
                 plt_cursor += 1;
-                let prob = if spec.late_libs { [0.0, 0.4] } else { [0.4, 0.4] };
+                let prob = if spec.late_libs {
+                    [0.0, 0.4]
+                } else {
+                    [0.4, 0.4]
+                };
                 body = body.plt(t, prob, 1);
             }
             // Sabotage back-edges: S -> U, never executed.

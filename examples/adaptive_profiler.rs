@@ -43,7 +43,10 @@ fn main() {
 
     let stats = rt.stats();
     println!("\nencoding progress (Figure 9 view):");
-    println!("{:>10} {:>6} {:>6} {:>10}", "calls", "nodes", "edges", "maxID");
+    println!(
+        "{:>10} {:>6} {:>6} {:>10}",
+        "calls", "nodes", "edges", "maxID"
+    );
     for p in &stats.progress {
         println!(
             "{:>10} {:>6} {:>6} {:>10}",

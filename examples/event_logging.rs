@@ -56,13 +56,14 @@ fn main() {
     let mut classes: HashMap<String, (usize, dacce::EncodedContext)> = HashMap::new();
     for (_, ctx) in &log {
         let key = format!("{}:{}:{:?}", ctx.ts, ctx.id, ctx.cc);
-        classes
-            .entry(key)
-            .or_insert_with(|| (0, ctx.clone()))
-            .0 += 1;
+        classes.entry(key).or_insert_with(|| (0, ctx.clone())).0 += 1;
     }
 
-    println!("{} events collapse into {} context classes:", log.len(), classes.len());
+    println!(
+        "{} events collapse into {} context classes:",
+        log.len(),
+        classes.len()
+    );
     let mut rows: Vec<(usize, dacce::EncodedContext)> = classes.into_values().collect();
     rows.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
     for (count, ctx) in rows {

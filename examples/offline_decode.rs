@@ -81,5 +81,8 @@ fn main() {
             );
         }
     }
-    println!("  ... all {} samples decoded offline", offline.samples().len());
+    println!(
+        "  ... all {} samples decoded offline",
+        offline.samples().len()
+    );
 }

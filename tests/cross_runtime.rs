@@ -79,7 +79,9 @@ fn related_work_cost_orderings_hold() {
         .warm_overhead();
 
     let mut pcc = PccRuntime::new(CostModel::default());
-    let pcc_oh = Interpreter::new(&program, cfg).run(&mut pcc).warm_overhead();
+    let pcc_oh = Interpreter::new(&program, cfg)
+        .run(&mut pcc)
+        .warm_overhead();
 
     // The paper's related-work landscape (§7): CCT maintenance on every
     // call dwarfs encoding; Valgrind-style per-event walking dwarfs even
@@ -87,7 +89,10 @@ fn related_work_cost_orderings_hold() {
     // contexts; PCC is cheap but probabilistic.
     assert!(cct_oh > dacce_oh * 2.0, "cct {cct_oh} vs dacce {dacce_oh}");
     assert!(walk_vg_oh > cct_oh, "valgrind {walk_vg_oh} vs cct {cct_oh}");
-    assert!(walk_oh < dacce_oh, "sampled walk {walk_oh} vs dacce {dacce_oh}");
+    assert!(
+        walk_oh < dacce_oh,
+        "sampled walk {walk_oh} vs dacce {dacce_oh}"
+    );
     assert!(pcc_oh < cct_oh, "pcc {pcc_oh} vs cct {cct_oh}");
 }
 

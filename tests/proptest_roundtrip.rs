@@ -64,12 +64,7 @@ fn build(spec: &ProgSpec) -> Program {
         // Tails must come last; partition the ops.
         for op in ops.iter().filter(|o| !o.tail) {
             if op.indirect {
-                body = body.indirect(
-                    table,
-                    TargetChoice::Uniform,
-                    [op.prob, op.prob],
-                    op.repeat,
-                );
+                body = body.indirect(table, TargetChoice::Uniform, [op.prob, op.prob], op.repeat);
             } else {
                 body = body.call_rep(fns[op.callee], [op.prob, op.prob], op.repeat);
             }

@@ -31,11 +31,10 @@ fn concurrent_threads_decode_their_own_contexts() {
     let main_th = tracker.register_thread(f_main);
 
     crossbeam::scope(|scope| {
-        for w in 0..4usize {
+        for (w, sites) in sites_per_worker.iter().enumerate() {
             let tracker = &tracker;
             let main_th = &main_th;
             let depth_fns = &depth_fns;
-            let sites = &sites_per_worker[w];
             scope.spawn(move |_| {
                 let th = tracker.register_spawned_thread(f_worker, main_th, spawn_site);
                 for round in 0..200usize {

@@ -3,7 +3,7 @@
 //! arbitrarily many later re-encodings.
 
 use dacce::{DacceConfig, DacceRuntime};
-use dacce_program::{CostModel, InterpConfig, Interpreter};
+use dacce_program::{CostModel, Interpreter};
 use dacce_workloads::{driver, BenchSpec, DriverConfig};
 
 fn eager() -> DacceConfig {

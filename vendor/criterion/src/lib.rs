@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal wall-clock benchmark harness exposing the criterion surface
+//! the benches use: `criterion_group!`/`criterion_main!`, `Criterion::
+//! bench_function`, `benchmark_group` with `bench_with_input`/
+//! `BenchmarkId`, and `Throughput`. Each benchmark warms up briefly,
+//! calibrates an iteration count, then reports mean ns/iter (and
+//! elements/s when a throughput is set). No statistics, plots, or
+//! baseline comparisons — numbers are indicative, not criterion-grade.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(400);
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// One benchmark invocation: `iter` calibrates and measures the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = (WARMUP.as_nanos() / u128::from(warm_iters.max(1))).max(1);
+        let iters = (MEASURE.as_nanos() / per_iter).clamp(10, 100_000_000) as u64;
+        let timer = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = timer.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{id:<48} (no measurement)");
+            return;
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{id:<48} time: [{ns:>12.2} ns/iter]");
+        if let Some(tp) = throughput {
+            let per_sec = match tp {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 * 1e9 / ns,
+            };
+            let unit = match tp {
+                Throughput::Elements(_) => "elem/s",
+                Throughput::Bytes(_) => "B/s",
+            };
+            line.push_str(&format!("  thrpt: [{per_sec:>14.0} {unit}]"));
+        }
+        println!("{line}");
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn configure_from_args(&mut self) -> &mut Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench invokes the binary with `--bench`; this harness
+            // takes no arguments and runs every registered group.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! Only `crossbeam::scope` / `Scope::spawn` are used by this workspace;
+//! they are implemented on top of `std::thread::scope`. As with real
+//! crossbeam, `scope` returns `Err` with the panic payload when any
+//! spawned thread panicked instead of unwinding into the caller.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again so it
+    /// can spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns; if any
+/// of them (or the closure itself) panicked, the panic payload is
+/// returned as `Err` rather than propagated.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_stack_state() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                let hits = &hits;
+                scope.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}
