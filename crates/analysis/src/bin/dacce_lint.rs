@@ -1,0 +1,65 @@
+//! `dacce-lint` — audit exported DACCE engine states.
+//!
+//! Usage: `dacce-lint <export-file>...`
+//!
+//! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
+//! file is imported and run through the encoding verifier; findings are
+//! printed with their rule id, severity and witness path. Exits non-zero
+//! if any file fails to parse or any error-severity finding is reported.
+
+use std::process::ExitCode;
+
+use dacce_analyze::verifier::verify_export;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: dacce-lint <export-file>...");
+        return ExitCode::from(2);
+    }
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let decoder = match dacce::import(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{file}: cannot import: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let diags = verify_export(&decoder);
+        for d in &diags {
+            println!("{file}: {d}");
+            if d.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+        }
+        if diags.is_empty() {
+            println!(
+                "{file}: ok ({} dictionaries, {} samples)",
+                decoder.dicts().len(),
+                decoder.samples().len()
+            );
+        }
+    }
+    println!(
+        "dacce-lint: {} file(s), {errors} error(s), {warnings} warning(s)",
+        files.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,167 @@
+//! Sound whole-program static call-graph construction.
+//!
+//! PCCE needs the complete call graph before encoding (§2.2, Issue 1 of the
+//! DACCE paper). For direct calls the target is syntactic; for indirect
+//! calls a conservative points-to analysis over-approximates the target set
+//! — modelled here by each table's real targets plus its `pointsto_extra`
+//! false positives; PLT calls are resolved post-link to their library
+//! function. Spawn targets become additional graph roots and produce no
+//! call edge (a spawned root starts a fresh context, §5.3).
+//!
+//! The resulting graph is a sound over-approximation of anything the
+//! dynamic engine can discover: every runtime call event resolves its
+//! callee from the same `CalleeSpec` the static pass enumerates, so every
+//! dynamically discovered `(site, callee)` pair is present here.
+
+use std::collections::{HashMap, HashSet};
+
+use dacce_callgraph::{CallGraph, CallSiteId, Dispatch, FunctionId};
+use dacce_program::{CalleeSpec, Program};
+
+/// The static graph together with the side tables the encoder, runtime and
+/// warm-start seeding need.
+#[derive(Clone, Debug, Default)]
+pub struct StaticGraph {
+    /// The complete call graph (cold code and false positives included).
+    pub graph: CallGraph,
+    /// Function containing each call site.
+    pub site_owner: HashMap<CallSiteId, FunctionId>,
+    /// Entry functions: `main` plus every spawn target, in discovery order.
+    pub roots: Vec<FunctionId>,
+    /// Conservative target list per indirect site, real targets first.
+    pub indirect_targets: HashMap<CallSiteId, Vec<FunctionId>>,
+    /// Number of points-to false-positive edges added.
+    pub false_positive_edges: usize,
+    /// Functions containing at least one tail-call op (the static analogue
+    /// of the engine's dynamically discovered `tail_fns` set).
+    pub tail_functions: Vec<FunctionId>,
+}
+
+impl StaticGraph {
+    /// Conservative indirect-target cardinality estimate for `site`:
+    /// the number of distinct functions the site may dispatch to, or
+    /// `None` if the site is not an indirect call.
+    pub fn indirect_cardinality(&self, site: CallSiteId) -> Option<usize> {
+        self.indirect_targets.get(&site).map(|targets| {
+            let distinct: HashSet<FunctionId> = targets.iter().copied().collect();
+            distinct.len()
+        })
+    }
+
+    /// Largest indirect-target cardinality over all indirect sites
+    /// (0 when the program has no indirect calls). High-cardinality sites
+    /// are the main source of PCCE false-positive blowup (§2.2).
+    pub fn max_indirect_cardinality(&self) -> usize {
+        self.indirect_targets
+            .keys()
+            .filter_map(|&s| self.indirect_cardinality(s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the whole-program static call graph of `program`.
+///
+/// Roots are collected through a hash set (insertion order preserved in
+/// [`StaticGraph::roots`]) so repeated spawn targets cost O(1) instead of a
+/// linear scan per spawn op.
+pub fn build_static_graph(program: &Program) -> StaticGraph {
+    let mut out = StaticGraph::default();
+    let mut root_set: HashSet<FunctionId> = HashSet::new();
+    out.graph.ensure_node(program.main);
+    out.roots.push(program.main);
+    root_set.insert(program.main);
+
+    for (owner, op) in program.call_ops() {
+        out.site_owner.insert(op.site, owner);
+        match &op.callee {
+            CalleeSpec::Direct(t) => {
+                out.graph.add_edge(owner, *t, op.site, Dispatch::Direct);
+            }
+            CalleeSpec::Plt(t) => {
+                out.graph.add_edge(owner, *t, op.site, Dispatch::Plt);
+            }
+            CalleeSpec::Spawn(t) => {
+                out.graph.ensure_node(*t);
+                if root_set.insert(*t) {
+                    out.roots.push(*t);
+                }
+            }
+            CalleeSpec::Indirect { table, .. } => {
+                let tbl = &program.tables[*table as usize];
+                let mut targets = Vec::new();
+                for &t in &tbl.targets {
+                    out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
+                    targets.push(t);
+                }
+                for &t in &tbl.pointsto_extra {
+                    let (_, new) = out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
+                    if new {
+                        out.false_positive_edges += 1;
+                    }
+                    targets.push(t);
+                }
+                out.indirect_targets.insert(op.site, targets);
+            }
+        }
+    }
+    out.tail_functions = program.functions_with_tail_calls();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::model::TargetChoice;
+
+    #[test]
+    fn repeated_spawn_targets_are_rooted_once_in_order() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let w1 = b.function("w1");
+        let w2 = b.function("w2");
+        b.body(main)
+            .spawn(w1, [1.0, 1.0])
+            .spawn(w2, [1.0, 1.0])
+            .spawn(w1, [1.0, 1.0])
+            .done();
+        b.body(w1).work(1).done();
+        b.body(w2).work(1).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.roots, vec![main, w1, w2]);
+    }
+
+    #[test]
+    fn tail_functions_and_cardinality_are_reported() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let t1 = b.function("t1");
+        let t2 = b.function("t2");
+        let fp = b.function("fp");
+        let table = b.table_with_extra(vec![t1, t2], vec![fp]);
+        b.body(main)
+            .call(a)
+            .indirect(table, TargetChoice::Uniform, [1.0, 1.0], 1)
+            .done();
+        b.body(a).tail(t1, [1.0, 1.0]).done();
+        b.body(t1).work(1).done();
+        b.body(t2).work(1).done();
+        b.body(fp).work(1).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.tail_functions, vec![a]);
+        let site = p
+            .call_ops()
+            .find(|(_, op)| matches!(op.callee, CalleeSpec::Indirect { .. }))
+            .unwrap()
+            .1
+            .site;
+        assert_eq!(sg.indirect_cardinality(site), Some(3));
+        assert_eq!(sg.max_indirect_cardinality(), 3);
+        let direct_site = p.call_ops().next().unwrap().1.site;
+        assert_eq!(sg.indirect_cardinality(direct_site), None);
+    }
+}

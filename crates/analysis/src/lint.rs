@@ -1,0 +1,88 @@
+//! Structured lint diagnostics emitted by the encoding verifier.
+//!
+//! Each finding carries a stable rule id, a severity, the dictionary
+//! timestamp it applies to, a human-readable message and (where it makes
+//! sense) a witness path demonstrating the violation — rather than a bare
+//! `Err(String)` that the caller can only print.
+
+use dacce_callgraph::TimeStamp;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not a soundness violation (e.g. the hottest incoming
+    /// edge of a node not being encoded as zero costs compactness, not
+    /// correctness).
+    Warning,
+    /// A violated invariant: decoding may be ambiguous or ids may collide.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One verifier finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `encoding-partition`.
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Dictionary timestamp the finding applies to, if any.
+    pub ts: Option<TimeStamp>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Witness: a rendered root-to-node path (or pair of paths) showing the
+    /// violation. Empty when no path witness applies.
+    pub witness: Vec<String>,
+}
+
+impl Diagnostic {
+    /// True when the finding is an [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule)?;
+        if let Some(ts) = self.ts {
+            write!(f, " ts={}", ts.raw())?;
+        }
+        write!(f, ": {}", self.message)?;
+        for w in &self.witness {
+            write!(f, "\n    witness: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render_with_witnesses() {
+        let d = Diagnostic {
+            rule: "encoding-partition",
+            severity: Severity::Error,
+            ts: Some(TimeStamp::new(2)),
+            message: "bad partition at f3".into(),
+            witness: vec!["f0 --cs0/+0--> f3".into()],
+        };
+        let s = d.to_string();
+        assert!(s.contains("error[encoding-partition]"));
+        assert!(s.contains("ts=2"));
+        assert!(s.contains("witness: f0"));
+        assert!(d.is_error());
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+}

@@ -1,0 +1,165 @@
+//! The combined static-analysis pipeline.
+//!
+//! Pass ordering matters and is fixed here:
+//!
+//! 1. [`build_static_graph`] — sound over-approximate call graph plus side
+//!    tables (owners, roots, indirect targets, tail functions).
+//! 2. `classify_back_edges` — DFS back-edge marking from the static roots;
+//!    back edges are never encoded (§3.2 of the paper), so classifying them
+//!    ahead of time tells us exactly which edges the encoder will skip.
+//! 3. [`strongly_connected_components`] — SCC condensation; a function is
+//!    recursive iff its component has more than one member or a self loop.
+//! 4. Tail-call reachability — which functions contain tail ops, which can
+//!    be *entered* through a tail call, and which call sites must be
+//!    TcStack-wrapped (§5.2).
+
+use std::collections::HashSet;
+
+use dacce_callgraph::analysis::{
+    classify_back_edges, find_back_edges, strongly_connected_components, BackEdgeAnalysis,
+    SccAnalysis,
+};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::{CalleeSpec, Program};
+
+use crate::graph::{build_static_graph, StaticGraph};
+
+/// Ahead-of-time tail-call facts (§5.2: tail calls splice frames, so the
+/// runtime wraps every call into a function that may tail-call onward).
+#[derive(Clone, Debug, Default)]
+pub struct TailAnalysis {
+    /// Functions containing at least one tail-call op. This is the static
+    /// analogue of the engine's `tail_fns` set, which it otherwise only
+    /// learns inside `handle_trap`.
+    pub tail_callers: HashSet<FunctionId>,
+    /// Functions that can be *entered* via a tail call (targets of any tail
+    /// op, including every conservative target of a tail-indirect site).
+    pub tail_entered: HashSet<FunctionId>,
+    /// Call sites with at least one static callee in `tail_callers`; the
+    /// runtime must TcStack-wrap these.
+    pub wrap_sites: HashSet<CallSiteId>,
+}
+
+/// Everything the downstream consumers (warm start, verifier, lint CLI,
+/// benches) need from one analysis run.
+#[derive(Clone, Debug)]
+pub struct StaticAnalysis {
+    /// The over-approximate call graph and side tables. Back-edge flags on
+    /// `graph.graph` are already classified from `graph.roots`.
+    pub graph: StaticGraph,
+    /// DFS back-edge classification from the static roots.
+    pub back_edges: BackEdgeAnalysis,
+    /// SCC condensation of the static graph.
+    pub scc: SccAnalysis,
+    /// Tail-call reachability facts.
+    pub tails: TailAnalysis,
+}
+
+impl StaticAnalysis {
+    /// True when the static graph says `f` sits on a cycle (mutual or
+    /// self-recursion). All edges into such a component from within it are
+    /// back edges under some DFS order, so DACCE's encoder will leave at
+    /// least one of them unencoded.
+    pub fn is_recursive(&self, f: FunctionId) -> bool {
+        self.scc.is_recursive(f)
+    }
+}
+
+/// Runs the full pipeline over `program` in the documented pass order.
+pub fn analyze(program: &Program) -> StaticAnalysis {
+    let mut graph = build_static_graph(program);
+    let roots = graph.roots.clone();
+    classify_back_edges(&mut graph.graph, &roots);
+    let back_edges = find_back_edges(&graph.graph, &roots);
+    let scc = strongly_connected_components(&graph.graph, &roots);
+    let tails = tail_analysis(program, &graph);
+    StaticAnalysis {
+        graph,
+        back_edges,
+        scc,
+        tails,
+    }
+}
+
+fn tail_analysis(program: &Program, graph: &StaticGraph) -> TailAnalysis {
+    let mut out = TailAnalysis {
+        tail_callers: graph.tail_functions.iter().copied().collect(),
+        ..TailAnalysis::default()
+    };
+    for (_, op) in program.call_ops() {
+        if !op.tail {
+            continue;
+        }
+        match &op.callee {
+            CalleeSpec::Direct(t) | CalleeSpec::Plt(t) | CalleeSpec::Spawn(t) => {
+                out.tail_entered.insert(*t);
+            }
+            CalleeSpec::Indirect { .. } => {
+                if let Some(targets) = graph.indirect_targets.get(&op.site) {
+                    out.tail_entered.extend(targets.iter().copied());
+                }
+            }
+        }
+    }
+    for (_, e) in graph.graph.edges() {
+        if out.tail_callers.contains(&e.callee) {
+            out.wrap_sites.insert(e.site);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+    use dacce_program::model::TargetChoice;
+
+    #[test]
+    fn pipeline_classifies_recursion_and_tails() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let rec = b.function("rec");
+        let t1 = b.function("t1");
+        let t2 = b.function("t2");
+        let table = b.table(vec![t1, t2]);
+        b.body(main).call(a).call(rec).done();
+        // `a` tail-calls through the table, so t1/t2 are tail-entered and
+        // every site calling `a` must be wrapped.
+        b.body(a)
+            .tail_indirect(table, TargetChoice::Uniform, [1.0, 1.0])
+            .done();
+        b.body(rec).call_p(rec, [0.3, 0.3]).done();
+        b.body(t1).work(1).done();
+        b.body(t2).work(1).done();
+        let p = b.build(main);
+
+        let sa = analyze(&p);
+        assert!(sa.is_recursive(rec));
+        assert!(!sa.is_recursive(a));
+        assert!(sa.tails.tail_callers.contains(&a));
+        assert!(sa.tails.tail_entered.contains(&t1));
+        assert!(sa.tails.tail_entered.contains(&t2));
+        let main_to_a = p.call_ops().next().unwrap().1.site;
+        assert!(sa.tails.wrap_sites.contains(&main_to_a));
+        // The self-loop on rec is a back edge both by DFS and by SCC.
+        assert_eq!(sa.back_edges.back_edges.len(), 1);
+        let eid = sa.back_edges.back_edges[0];
+        assert!(sa.graph.graph.edge(eid).back);
+    }
+
+    #[test]
+    fn spawn_only_programs_have_no_edges_but_extra_roots() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let w = b.function("w");
+        b.body(main).spawn(w, [1.0, 1.0]).done();
+        b.body(w).work(1).done();
+        let p = b.build(main);
+        let sa = analyze(&p);
+        assert_eq!(sa.graph.graph.edge_count(), 0);
+        assert_eq!(sa.graph.roots, vec![main, w]);
+        assert!(!sa.is_recursive(w));
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline encoding verifier ("model checker" for Ball–Larus/DACCE
+//! invariants).
+//!
+//! Given decode dictionaries plus the site-owner table, the verifier proves
+//! the encoding invariants the runtime relies on and reports violations as
+//! structured [`Diagnostic`]s. Rule catalogue:
+//!
+//! | rule | severity | invariant |
+//! |------|----------|-----------|
+//! | `dict-monotone` | error | dictionary timestamps equal their store index (append-only `gTimeStamp`) |
+//! | `owner-consistent` | error | every dictionary edge's caller owns its call site |
+//! | `encoding-partition` | error | per node, the non-back incoming encodings partition `[0, numCC)` into caller-sized intervals (implies root-to-node path-id uniqueness and density) |
+//! | `path-id-unique` | error | bounded exhaustive path enumeration finds no two acyclic paths with equal ids at a node |
+//! | `unencoded-range` | error | `maxID = max numCC - 1`, so unencoded-edge ids land in `[maxID+1, 2*maxID+1]` without colliding with encoded ids |
+//! | `hottest-zero` | warning | every join node has an incoming edge encoded 0 (the hottest edge after adaptive re-encoding) |
+//! | `overflow-budget` | error | `2*maxID+1` and every path sum fit in 64 bits |
+//!
+//! The partition check is the workhorse: if at every node the sorted
+//! non-back incoming encodings are exactly the prefix sums of their
+//! callers' `numCC` values and total `numCC(n)`, then by induction over the
+//! acyclic (non-back) subgraph every root-to-node path has a distinct id in
+//! `[0, numCC(n))` and every id is reachable — Ball–Larus minimality. The
+//! path enumeration is a bounded secondary check that does not rely on that
+//! induction.
+
+use std::collections::HashMap;
+
+use dacce::{DacceEngine, OfflineDecoder};
+use dacce_callgraph::encode::MAX_ENCODABLE_ID;
+use dacce_callgraph::{CallSiteId, DecodeDict, DictEdge, DictStore, FunctionId, TimeStamp};
+
+use crate::lint::{Diagnostic, Severity};
+
+/// Cap on enumerated paths per dictionary in the `path-id-unique` check.
+const MAX_PATHS: usize = 10_000;
+/// Cap on DFS steps per dictionary in the `path-id-unique` check.
+const MAX_STEPS: usize = 50_000;
+
+/// Verifies every dictionary in `dicts` against `owners`.
+///
+/// Returns all findings, most severe first; an empty vector means every
+/// invariant holds.
+pub fn verify_dicts(
+    dicts: &DictStore,
+    owners: &HashMap<CallSiteId, FunctionId>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 0..dicts.len() {
+        let ts = TimeStamp::new(u32::try_from(i).expect("dictionary count fits u32"));
+        let Some(dict) = dicts.get(ts) else {
+            out.push(Diagnostic {
+                rule: "dict-monotone",
+                severity: Severity::Error,
+                ts: Some(ts),
+                message: format!(
+                    "store of length {} has no dictionary at index {i}",
+                    dicts.len()
+                ),
+                witness: Vec::new(),
+            });
+            continue;
+        };
+        if dict.timestamp() != ts {
+            out.push(Diagnostic {
+                rule: "dict-monotone",
+                severity: Severity::Error,
+                ts: Some(ts),
+                message: format!(
+                    "dictionary at store index {i} is stamped ts={}",
+                    dict.timestamp().raw()
+                ),
+                witness: Vec::new(),
+            });
+        }
+        verify_dict(dict, owners, &mut out);
+    }
+    out.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    out
+}
+
+/// Verifies an imported engine-state export.
+pub fn verify_export(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
+    verify_dicts(decoder.dicts(), decoder.owners())
+}
+
+/// Verifies a live engine's dictionaries.
+pub fn verify_engine(engine: &DacceEngine) -> Vec<Diagnostic> {
+    verify_dicts(engine.dicts(), engine.site_owner_map())
+}
+
+fn verify_dict(
+    dict: &DecodeDict,
+    owners: &HashMap<CallSiteId, FunctionId>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ts = Some(dict.timestamp());
+
+    // owner-consistent: every frozen edge agrees with the owner table.
+    for e in dict.edges() {
+        if owners.get(&e.site) != Some(&e.caller) {
+            out.push(Diagnostic {
+                rule: "owner-consistent",
+                severity: Severity::Error,
+                ts,
+                message: format!(
+                    "edge {} -> {} at {} but site owner table says {}",
+                    e.caller,
+                    e.callee,
+                    e.site,
+                    owners
+                        .get(&e.site)
+                        .map_or_else(|| "<missing>".to_string(), ToString::to_string)
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    // Group non-back incoming edges per callee once.
+    let mut nodes: Vec<FunctionId> = Vec::new();
+    let mut incoming: HashMap<FunctionId, Vec<&DictEdge>> = HashMap::new();
+    for e in dict.edges() {
+        if incoming.entry(e.callee).or_default().is_empty() {
+            nodes.push(e.callee);
+        }
+        if !e.back {
+            incoming.get_mut(&e.callee).expect("just inserted").push(e);
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = incoming.entry(e.caller) {
+            slot.insert(Vec::new());
+            nodes.push(e.caller);
+        }
+    }
+    nodes.sort_by_key(|n| n.raw());
+    nodes.dedup();
+
+    let mut max_cc: u64 = 0;
+    for &n in &nodes {
+        let Some(cc) = dict.num_cc(n) else {
+            out.push(Diagnostic {
+                rule: "encoding-partition",
+                severity: Severity::Error,
+                ts,
+                message: format!("node {n} appears in edges but has no numCC"),
+                witness: Vec::new(),
+            });
+            continue;
+        };
+        max_cc = max_cc.max(cc);
+        check_partition(dict, n, cc, &incoming, ts, out);
+    }
+
+    // unencoded-range: maxID must equal max numCC - 1 so the unencoded band
+    // [maxID+1, 2*maxID+1] starts right above the greatest encodable id.
+    let expected_max_id = max_cc.saturating_sub(1);
+    if !nodes.is_empty() && dict.max_id() != expected_max_id {
+        out.push(Diagnostic {
+            rule: "unencoded-range",
+            severity: Severity::Error,
+            ts,
+            message: format!(
+                "maxID is {} but the greatest numCC is {max_cc}; unencoded ids in \
+                 [{}, {}] would not sit flush above the encodable range",
+                dict.max_id(),
+                dict.max_id() + 1,
+                2 * dict.max_id() + 1
+            ),
+            witness: Vec::new(),
+        });
+    }
+
+    // overflow-budget: 2*maxID+1 must fit in u64.
+    if u128::from(dict.max_id()) > MAX_ENCODABLE_ID {
+        out.push(Diagnostic {
+            rule: "overflow-budget",
+            severity: Severity::Error,
+            ts,
+            message: format!(
+                "maxID {} exceeds the 64-bit budget ({MAX_ENCODABLE_ID}); \
+                 2*maxID+1 overflows",
+                dict.max_id()
+            ),
+            witness: Vec::new(),
+        });
+    }
+
+    enumerate_paths(dict, &nodes, &incoming, ts, out);
+}
+
+/// Per-node interval-partition check: sorted non-back incoming encodings
+/// must be the exact prefix sums of their callers' `numCC` values, summing
+/// to `numCC(n)`.
+fn check_partition(
+    dict: &DecodeDict,
+    n: FunctionId,
+    cc: u64,
+    incoming: &HashMap<FunctionId, Vec<&DictEdge>>,
+    ts: Option<TimeStamp>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut ins: Vec<&DictEdge> = incoming.get(&n).cloned().unwrap_or_default();
+    if ins.is_empty() {
+        // Heads (and nodes whose every incoming edge is a back edge) carry
+        // exactly one context.
+        if cc != 1 {
+            out.push(Diagnostic {
+                rule: "encoding-partition",
+                severity: Severity::Error,
+                ts,
+                message: format!("{n} has no non-back incoming edges but numCC {cc} != 1"),
+                witness: Vec::new(),
+            });
+        }
+        return;
+    }
+    ins.sort_by_key(|e| e.encoding);
+    if ins[0].encoding != 0 {
+        out.push(Diagnostic {
+            rule: "hottest-zero",
+            severity: Severity::Warning,
+            ts,
+            message: format!(
+                "{n} has no incoming edge encoded 0; the hottest incoming edge \
+                 should be zero-weight after re-encoding"
+            ),
+            witness: witness_path(dict, incoming, ins[0]),
+        });
+    }
+    let mut expect: u128 = 0;
+    for e in &ins {
+        if u128::from(e.encoding) != expect {
+            out.push(Diagnostic {
+                rule: "encoding-partition",
+                severity: Severity::Error,
+                ts,
+                message: format!(
+                    "incoming encodings of {n} do not partition [0, {cc}): edge \
+                     from {} at {} is encoded {} where {expect} was expected",
+                    e.caller, e.site, e.encoding
+                ),
+                witness: witness_path(dict, incoming, e),
+            });
+            return;
+        }
+        expect += u128::from(dict.num_cc(e.caller).unwrap_or(1));
+    }
+    if expect != u128::from(cc) {
+        out.push(Diagnostic {
+            rule: "encoding-partition",
+            severity: Severity::Error,
+            ts,
+            message: format!("incoming intervals of {n} cover [0, {expect}) but numCC is {cc}"),
+            witness: witness_path(dict, incoming, ins[ins.len() - 1]),
+        });
+    }
+}
+
+/// Bounded exhaustive enumeration of acyclic (non-back) root-to-node paths,
+/// asserting no two distinct paths reach a node with the same id and that
+/// no path sum overflows.
+fn enumerate_paths(
+    dict: &DecodeDict,
+    nodes: &[FunctionId],
+    incoming: &HashMap<FunctionId, Vec<&DictEdge>>,
+    ts: Option<TimeStamp>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut outgoing: HashMap<FunctionId, Vec<&DictEdge>> = HashMap::new();
+    for e in dict.edges() {
+        if !e.back {
+            outgoing.entry(e.caller).or_default().push(e);
+        }
+    }
+    let heads: Vec<FunctionId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| incoming.get(n).is_none_or(Vec::is_empty))
+        .collect();
+
+    let mut seen: HashMap<(FunctionId, u128), Vec<String>> = HashMap::new();
+    let mut paths = 0usize;
+    let mut steps = 0usize;
+    for &head in &heads {
+        // DFS stack of (node, id-so-far, rendered path).
+        let mut stack: Vec<(FunctionId, u128, Vec<String>)> =
+            vec![(head, 0, vec![head.to_string()])];
+        while let Some((node, id, path)) = stack.pop() {
+            steps += 1;
+            if paths >= MAX_PATHS || steps >= MAX_STEPS {
+                return; // bounded check: silently stop past the cap
+            }
+            paths += 1;
+            if id > u128::from(u64::MAX) {
+                out.push(Diagnostic {
+                    rule: "overflow-budget",
+                    severity: Severity::Error,
+                    ts,
+                    message: format!("path id {id} at {node} overflows 64 bits"),
+                    witness: path,
+                });
+                continue;
+            }
+            if let Some(prev) = seen.get(&(node, id)) {
+                if *prev != path {
+                    out.push(Diagnostic {
+                        rule: "path-id-unique",
+                        severity: Severity::Error,
+                        ts,
+                        message: format!("two distinct paths reach {node} with id {id}"),
+                        witness: vec![prev.join(" "), path.join(" ")],
+                    });
+                    continue;
+                }
+            } else {
+                seen.insert((node, id), path.clone());
+            }
+            for e in outgoing.get(&node).into_iter().flatten() {
+                let mut next = path.clone();
+                next.push(format!("--{}/+{}--> {}", e.site, e.encoding, e.callee));
+                stack.push((e.callee, id + u128::from(e.encoding), next));
+            }
+        }
+    }
+}
+
+/// Builds a root-to-node witness path ending in `last` by walking up the
+/// first non-back incoming edge of each caller.
+fn witness_path(
+    dict: &DecodeDict,
+    incoming: &HashMap<FunctionId, Vec<&DictEdge>>,
+    last: &DictEdge,
+) -> Vec<String> {
+    let mut hops: Vec<&DictEdge> = vec![last];
+    let mut at = last.caller;
+    let mut guard = 0usize;
+    while let Some(e) = incoming.get(&at).and_then(|v| v.first()) {
+        hops.push(e);
+        at = e.caller;
+        guard += 1;
+        if guard > dict.edge_count() {
+            break; // corrupted dictionaries may cycle through "non-back" edges
+        }
+    }
+    let mut rendered = vec![at.to_string()];
+    for e in hops.iter().rev() {
+        rendered.push(format!("--{}/+{}--> {}", e.site, e.encoding, e.callee));
+    }
+    vec![rendered.join(" ")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_callgraph::analysis::classify_back_edges;
+    use dacce_callgraph::encode::encode_graph;
+    use dacce_callgraph::{CallGraph, Dispatch, EncodeOptions};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn diamond_store() -> (DictStore, HashMap<CallSiteId, FunctionId>) {
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(0), f(2), s(1), Dispatch::Direct);
+        g.add_edge(f(1), f(3), s(2), Dispatch::Direct);
+        g.add_edge(f(2), f(3), s(3), Dispatch::Direct);
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let owners = HashMap::from([(s(0), f(0)), (s(1), f(0)), (s(2), f(1)), (s(3), f(2))]);
+        (store, owners)
+    }
+
+    #[test]
+    fn valid_diamond_is_clean() {
+        let (store, owners) = diamond_store();
+        let diags = verify_dicts(&store, &owners);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn wrong_owner_is_reported() {
+        let (store, mut owners) = diamond_store();
+        owners.insert(s(3), f(1));
+        let diags = verify_dicts(&store, &owners);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "owner-consistent" && d.is_error()));
+    }
+
+    #[test]
+    fn duplicated_encoding_yields_partition_error_with_witness() {
+        // Hand-build a dictionary where both edges into f3 are encoded 0 —
+        // the classic duplicated-weight corruption. numCC(f3) stays 2, so
+        // id 0 is ambiguous.
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(0), f(2), s(1), Dispatch::Direct);
+        g.add_edge(f(1), f(3), s(2), Dispatch::Direct);
+        g.add_edge(f(2), f(3), s(3), Dispatch::Direct);
+        classify_back_edges(&mut g, &[f(0)]);
+        let mut enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let dup = g.edge_id(s(3), f(3)).unwrap();
+        enc.edge_encoding.insert(dup, 0);
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let owners = HashMap::from([(s(0), f(0)), (s(1), f(0)), (s(2), f(1)), (s(3), f(2))]);
+        let diags = verify_dicts(&store, &owners);
+        let partition = diags
+            .iter()
+            .find(|d| d.rule == "encoding-partition")
+            .expect("partition violation detected");
+        assert!(partition.is_error());
+        assert!(!partition.witness.is_empty(), "witness path expected");
+        assert!(partition.witness[0].contains("f3"));
+        assert!(
+            diags.iter().any(|d| d.rule == "path-id-unique"),
+            "path enumeration should also find the id collision: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_zero_encoding_is_a_warning() {
+        // Single edge into f1 encoded 1 instead of 0: partition error and
+        // hottest-zero warning.
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        classify_back_edges(&mut g, &[f(0)]);
+        let mut enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let eid = g.edge_id(s(0), f(1)).unwrap();
+        enc.edge_encoding.insert(eid, 1);
+        enc.num_cc.insert(f(1), 2);
+        enc.max_id = 1;
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let owners = HashMap::from([(s(0), f(0))]);
+        let diags = verify_dicts(&store, &owners);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "hottest-zero" && d.severity == Severity::Warning));
+        assert!(diags.iter().any(|d| d.rule == "encoding-partition"));
+        // Errors sort before warnings.
+        assert!(diags[0].is_error());
+    }
+
+    #[test]
+    fn wrong_max_id_breaks_unencoded_range() {
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(0), f(1), s(1), Dispatch::Direct);
+        classify_back_edges(&mut g, &[f(0)]);
+        let mut enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        assert_eq!(enc.max_id, 1);
+        enc.max_id = 7; // unencoded band shifted away from the encodable range
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let owners = HashMap::from([(s(0), f(0)), (s(1), f(0))]);
+        let diags = verify_dicts(&store, &owners);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "unencoded-range" && d.is_error()));
+    }
+
+    #[test]
+    fn back_edges_are_exempt_from_partition() {
+        let mut g = CallGraph::new();
+        g.add_edge(f(0), f(1), s(0), Dispatch::Direct);
+        g.add_edge(f(1), f(1), s(1), Dispatch::Direct); // self recursion
+        classify_back_edges(&mut g, &[f(0)]);
+        let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
+        let mut store = DictStore::new();
+        store.push(DecodeDict::from_encoding(&g, &enc, TimeStamp::ZERO).unwrap());
+        let owners = HashMap::from([(s(0), f(0)), (s(1), f(1))]);
+        let diags = verify_dicts(&store, &owners);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+}

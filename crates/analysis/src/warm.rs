@@ -1,0 +1,67 @@
+//! Warm-start seeding: turn a static analysis into an engine seed.
+//!
+//! DACCE normally starts from an empty graph, so every first invocation of
+//! an edge traps (§3.1). Seeding the engine with the sound static graph
+//! removes those cold-start traps entirely: every statically known
+//! `(site, callee)` pair already has an encoded patch before the first
+//! call executes. Soundness of the over-approximation (see
+//! [`crate::graph`]) guarantees the runtime never discovers an edge outside
+//! the seed, so warm-started runs trap only if the engine pruned part of
+//! the seed to stay inside the 64-bit id budget.
+
+use dacce::{SeedEdge, WarmStartSeed};
+use dacce_program::Program;
+
+use crate::passes::analyze;
+
+/// Builds a [`WarmStartSeed`] for `program` from the full static analysis.
+///
+/// The seed carries the static roots (spawn targets must be registered
+/// before their threads start), every static call edge, and the statically
+/// known tail-calling functions — the engine only learns `tail_fns` inside
+/// its trap handler, which seeded sites never reach, so omitting them would
+/// corrupt tail-call contexts (Figure 7a).
+pub fn warm_seed(program: &Program) -> WarmStartSeed {
+    let analysis = analyze(program);
+    let edges = analysis
+        .graph
+        .graph
+        .edges()
+        .map(|(_, e)| SeedEdge {
+            caller: e.caller,
+            callee: e.callee,
+            site: e.site,
+            dispatch: e.dispatch,
+        })
+        .collect();
+    WarmStartSeed {
+        roots: analysis.graph.roots.clone(),
+        edges,
+        tail_fns: analysis.tails.tail_callers.iter().copied().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce_program::builder::ProgramBuilder;
+
+    #[test]
+    fn seed_covers_edges_roots_and_tails() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        let t = b.function("t");
+        let w = b.function("w");
+        b.body(main).call(a).spawn(w, [1.0, 1.0]).done();
+        b.body(a).tail(t, [1.0, 1.0]).done();
+        b.body(t).work(1).done();
+        b.body(w).work(1).done();
+        let p = b.build(main);
+        let seed = warm_seed(&p);
+        assert_eq!(seed.roots, vec![main, w]);
+        assert_eq!(seed.edges.len(), 2); // main->a, a->t; spawn adds no edge
+        assert!(seed.edges.iter().all(|e| e.caller == main || e.caller == a));
+        assert_eq!(seed.tail_fns, vec![a]);
+    }
+}

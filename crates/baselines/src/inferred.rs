@@ -96,7 +96,7 @@ impl ContextRuntime for InferredRuntime {
                 func: root,
             }),
             Some((ptid, site)) => {
-                t.truth = self.threads[&ptid].truth.clone();
+                t.truth.clone_from(&self.threads[&ptid].truth);
                 t.truth.push(PathStep {
                     site: Some(site),
                     func: root,

@@ -85,7 +85,7 @@ impl ContextRuntime for PccRuntime {
         if let Some((ptid, site)) = parent {
             let p = &self.threads[&ptid];
             t.v = p.v.wrapping_mul(3).wrapping_add(u64::from(site.raw()));
-            t.truth = p.truth.clone();
+            t.truth.clone_from(&p.truth);
             t.truth.push(PathStep {
                 site: Some(site),
                 func: root,

@@ -79,7 +79,7 @@ fn bench_decode_chain(c: &mut Criterion) {
     for depth in [8u32, 64, 512] {
         let (e, snap) = chain_engine(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| e.decode(&snap).expect("decodes"))
+            b.iter(|| e.decode(&snap).expect("decodes"));
         });
     }
     group.finish();
@@ -90,7 +90,7 @@ fn bench_decode_compressed_recursion(c: &mut Criterion) {
     for depth in [64u32, 1024, 8192] {
         let (e, snap) = compressed_engine(depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| e.decode(&snap).expect("decodes"))
+            b.iter(|| e.decode(&snap).expect("decodes"));
         });
     }
     group.finish();

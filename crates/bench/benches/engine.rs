@@ -61,7 +61,7 @@ fn bench_encoded_roundtrip(c: &mut Criterion) {
                 false,
             );
             e.ret(ThreadId::MAIN, s(0), f(0), f(1));
-        })
+        });
     });
 }
 
@@ -106,7 +106,7 @@ fn bench_recursive_compressed(c: &mut Criterion) {
                 false,
             );
             e.ret(ThreadId::MAIN, s(1), f(1), f(1));
-        })
+        });
     });
 }
 
@@ -140,7 +140,7 @@ fn bench_indirect_hash(c: &mut Criterion) {
                 false,
             );
             e.ret(ThreadId::MAIN, s(0), f(0), f(5));
-        })
+        });
     });
 }
 
@@ -163,7 +163,7 @@ fn bench_sample(c: &mut Criterion) {
         false,
     );
     c.bench_function("engine/sample_snapshot", |b| {
-        b.iter(|| e.sample(ThreadId::MAIN))
+        b.iter(|| e.sample(ThreadId::MAIN));
     });
 }
 

@@ -23,7 +23,7 @@ fn bench_null(c: &mut Criterion) {
     let program = driver::program_of(&spec);
     let cfg = driver::interp_config(&spec, &DriverConfig::default());
     c.bench_function("endtoend/null", |b| {
-        b.iter(|| Interpreter::new(&program, cfg.clone()).run(&mut NullRuntime::default()))
+        b.iter(|| Interpreter::new(&program, cfg.clone()).run(&mut NullRuntime::default()));
     });
 }
 
@@ -35,7 +35,7 @@ fn bench_dacce(c: &mut Criterion) {
         b.iter(|| {
             let mut rt = DacceRuntime::with_defaults();
             Interpreter::new(&program, cfg.clone()).run(&mut rt)
-        })
+        });
     });
 }
 
@@ -50,7 +50,7 @@ fn bench_pcce(c: &mut Criterion) {
         b.iter(|| {
             let mut rt = PcceRuntime::new(profile.clone(), CostModel::default());
             Interpreter::new(&program, cfg.clone()).run(&mut rt)
-        })
+        });
     });
 }
 

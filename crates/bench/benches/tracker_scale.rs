@@ -101,7 +101,7 @@ fn bench_tracker_scale(c: &mut Criterion) {
             (threads * ROUNDS_PER_ITER * DEPTH) as u64,
         ));
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| run_threads(&p))
+            b.iter(|| run_threads(&p));
         });
         // Quietly verify the fast path stayed trap-free while measuring.
         let stats = p.tracker.stats();

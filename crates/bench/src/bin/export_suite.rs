@@ -1,0 +1,52 @@
+//! Exports DACCE engine state for every workload-suite benchmark.
+//!
+//! Each benchmark runs cold under DACCE with the sample log retained; the
+//! final engine state (decode dictionaries, discovered graph, site owners)
+//! plus every sampled context is written as one `dacce-export v1` file per
+//! benchmark. These artifacts feed `dacce-lint`, which re-verifies the
+//! encoding invariants offline — the CI `lint-encodings` job runs exactly
+//! this pipeline.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin export_suite -- \
+//!     --scale 0.05 --out target/exports
+//! cargo run -p dacce-analyze --release --bin dacce-lint -- \
+//!     target/exports/*.export
+//! ```
+
+use dacce::{export_samples, export_state};
+use dacce_bench::Options;
+use dacce_workloads::{all_benchmarks, run_dacce_runtime, DriverConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let specs = opts.select(all_benchmarks());
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+
+    for spec in &specs {
+        let cfg = DriverConfig {
+            scale: opts.scale,
+            keep_sample_log: true,
+            ..DriverConfig::default()
+        };
+        let (report, rt) = run_dacce_runtime(spec, &cfg);
+        let engine = rt.engine();
+        let mut text = export_state(engine);
+        text.push_str(&export_samples(engine.sample_log().iter()));
+        let path = opts.out.join(format!("{}.export", spec.name));
+        std::fs::write(&path, &text).expect("write export");
+        println!(
+            "{}: {} calls, {} dicts, {} samples -> {}",
+            spec.name,
+            report.calls,
+            engine.dicts().len(),
+            engine.sample_log().len(),
+            path.display()
+        );
+    }
+    println!(
+        "exported {} benchmark(s) to {}",
+        specs.len(),
+        opts.out.display()
+    );
+}

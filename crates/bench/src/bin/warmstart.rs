@@ -1,0 +1,74 @@
+//! Warm-start ablation: cold engine vs. engine pre-seeded with the static
+//! call graph (`dacce-analyze`'s `warm_seed`).
+//!
+//! A cold DACCE engine traps on the first invocation of every edge (§3.1);
+//! the static graph is a sound over-approximation of everything the engine
+//! can discover, so seeding it ahead of time removes those traps — at the
+//! price of encoding cold code and points-to false positives, which can
+//! inflate ids (and, on the overflow-prone analogs, force the seeder to
+//! prune back to the dynamic core). This binary measures that trade per
+//! benchmark: trap counts, re-encode counts, seed size and pruning, and
+//! final id width.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin warmstart [-- --scale 1.0]
+//! ```
+
+use dacce_bench::Options;
+use dacce_metrics::Table;
+use dacce_workloads::{all_benchmarks, run_dacce_only, run_dacce_warm, DriverConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let specs = opts.select(all_benchmarks());
+
+    let mut t = Table::new([
+        "benchmark",
+        "cold traps",
+        "warm traps",
+        "cold gTS",
+        "warm gTS",
+        "seeded",
+        "pruned",
+        "bad samples",
+    ]);
+    let mut total_cold = 0u64;
+    let mut total_warm = 0u64;
+    let mut regressions = 0usize;
+
+    for spec in &specs {
+        let cfg = DriverConfig {
+            scale: opts.scale,
+            ..DriverConfig::default()
+        };
+        let (_, cold) = run_dacce_only(spec, &cfg);
+        let (report, rt) = run_dacce_warm(spec, &cfg);
+        let warm = rt.stats();
+        let wr = *rt.warm_report().expect("warm run has a report");
+        let bad = report.mismatches + report.unsupported;
+        total_cold += cold.traps;
+        total_warm += warm.traps;
+        if warm.traps >= cold.traps {
+            regressions += 1;
+        }
+        t.row([
+            spec.name.to_string(),
+            cold.traps.to_string(),
+            warm.traps.to_string(),
+            cold.reencodes.to_string(),
+            warm.reencodes.to_string(),
+            wr.seeded_edges.to_string(),
+            wr.pruned_edges.to_string(),
+            bad.to_string(),
+        ]);
+    }
+
+    println!("{}", t.render());
+    println!(
+        "totals: cold traps {total_cold}, warm traps {total_warm}, \
+         benchmarks where warm >= cold: {regressions}/{}",
+        specs.len()
+    );
+    let path = opts.write_csv("warmstart.csv", &t.to_csv());
+    println!("CSV written to {}", path.display());
+}

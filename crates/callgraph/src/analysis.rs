@@ -163,6 +163,142 @@ pub fn topological_order(graph: &CallGraph) -> Vec<FunctionId> {
     order
 }
 
+/// Strongly connected components of a call graph, with the condensation
+/// metadata ahead-of-time analyses need: which components are recursive
+/// (so every intra-component edge chosen as a DFS back edge stays
+/// unencoded forever) and the component DAG over the rest.
+#[derive(Clone, Debug, Default)]
+pub struct SccAnalysis {
+    /// Component index per node; components are numbered in reverse
+    /// topological order of the condensation (callees before callers).
+    pub component_of: HashMap<FunctionId, usize>,
+    /// Member lists per component, in discovery order.
+    pub components: Vec<Vec<FunctionId>>,
+    /// Components containing a cycle: more than one member, or a single
+    /// member with a self loop. Functions in these components can recurse.
+    pub recursive: Vec<bool>,
+    /// Condensation edges `(caller component, callee component)`, deduped,
+    /// self edges excluded. This is a DAG by construction.
+    pub dag_edges: Vec<(usize, usize)>,
+}
+
+impl SccAnalysis {
+    /// Whether `f` sits inside a recursive component.
+    pub fn is_recursive(&self, f: FunctionId) -> bool {
+        self.component_of
+            .get(&f)
+            .is_some_and(|&c| self.recursive[c])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Computes the strongly connected components of `graph` with an iterative
+/// Tarjan traversal (no recursion: PCCE-style static graphs can be deep).
+///
+/// Deterministic for a given construction order: roots are visited first,
+/// then remaining nodes in insertion order, and out-edges in insertion
+/// order — the same discipline as [`find_back_edges`].
+pub fn strongly_connected_components(graph: &CallGraph, roots: &[FunctionId]) -> SccAnalysis {
+    const UNVISITED: usize = usize::MAX;
+    let mut index_of: HashMap<FunctionId, usize> =
+        graph.nodes().iter().map(|&f| (f, UNVISITED)).collect();
+    let mut lowlink: HashMap<FunctionId, usize> = HashMap::new();
+    let mut on_stack: HashSet<FunctionId> = HashSet::new();
+    let mut tarjan_stack: Vec<FunctionId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = SccAnalysis::default();
+
+    let mut start_points: Vec<FunctionId> = roots
+        .iter()
+        .copied()
+        .filter(|f| graph.contains_node(*f))
+        .collect();
+    start_points.extend(graph.nodes().iter().copied());
+
+    // Explicit DFS frame: node + index of the next outgoing edge.
+    let mut work: Vec<(FunctionId, usize)> = Vec::new();
+    for start in start_points {
+        if index_of[&start] != UNVISITED {
+            continue;
+        }
+        work.push((start, 0));
+        index_of.insert(start, next_index);
+        lowlink.insert(start, next_index);
+        next_index += 1;
+        tarjan_stack.push(start);
+        on_stack.insert(start);
+
+        while let Some(&mut (node, ref mut next)) = work.last_mut() {
+            let outgoing = graph.outgoing(node);
+            if *next < outgoing.len() {
+                let eid = outgoing[*next];
+                *next += 1;
+                let target = graph.edge(eid).callee;
+                if index_of[&target] == UNVISITED {
+                    work.push((target, 0));
+                    index_of.insert(target, next_index);
+                    lowlink.insert(target, next_index);
+                    next_index += 1;
+                    tarjan_stack.push(target);
+                    on_stack.insert(target);
+                } else if on_stack.contains(&target) {
+                    let t_idx = index_of[&target];
+                    let low = lowlink.get_mut(&node).expect("visited");
+                    *low = (*low).min(t_idx);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    let node_low = lowlink[&node];
+                    let low = lowlink.get_mut(&parent).expect("visited");
+                    *low = (*low).min(node_low);
+                }
+                if lowlink[&node] == index_of[&node] {
+                    // `node` is a component root; pop its members.
+                    let comp = out.components.len();
+                    let mut members = Vec::new();
+                    loop {
+                        let m = tarjan_stack.pop().expect("component member on stack");
+                        on_stack.remove(&m);
+                        out.component_of.insert(m, comp);
+                        members.push(m);
+                        if m == node {
+                            break;
+                        }
+                    }
+                    let recursive = members.len() > 1
+                        || graph.outgoing(node).iter().any(|&eid| {
+                            let e = graph.edge(eid);
+                            e.caller == node && e.callee == node
+                        });
+                    out.components.push(members);
+                    out.recursive.push(recursive);
+                }
+            }
+        }
+    }
+
+    // Condensation edges, deduped, excluding intra-component edges.
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for (_, e) in graph.edges() {
+        let a = out.component_of[&e.caller];
+        let b = out.component_of[&e.callee];
+        if a != b && seen.insert((a, b)) {
+            out.dag_edges.push((a, b));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +418,66 @@ mod tests {
         for i in 0..4 {
             assert!(a.reachable.contains(&f(i)));
         }
+    }
+
+    #[test]
+    fn scc_identifies_recursive_components() {
+        let mut g = CallGraph::new();
+        // main -> a; a <-> b (mutual recursion); a -> leaf; self loop on c.
+        chain(&mut g, &[(0, 1), (1, 2), (2, 1), (1, 3), (0, 4), (4, 4)]);
+        let scc = strongly_connected_components(&g, &[f(0)]);
+        assert_eq!(scc.component_of[&f(1)], scc.component_of[&f(2)]);
+        assert_ne!(scc.component_of[&f(0)], scc.component_of[&f(1)]);
+        assert!(scc.is_recursive(f(1)));
+        assert!(scc.is_recursive(f(2)));
+        assert!(scc.is_recursive(f(4)), "self loop is recursive");
+        assert!(!scc.is_recursive(f(0)));
+        assert!(!scc.is_recursive(f(3)));
+        assert!(!scc.is_recursive(f(99)), "unknown node is not recursive");
+    }
+
+    #[test]
+    fn scc_condensation_is_a_dag_in_reverse_topological_order() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (1, 2), (2, 1), (2, 3), (0, 3)]);
+        let scc = strongly_connected_components(&g, &[f(0)]);
+        assert!(!scc.is_empty());
+        // Tarjan emits components callees-first, so every condensation edge
+        // goes from a higher-numbered component to a lower-numbered one.
+        for &(a, b) in &scc.dag_edges {
+            assert!(a > b, "condensation edge {a} -> {b} not reverse-topo");
+        }
+        // No intra-component edges and no duplicates.
+        let mut seen = HashSet::new();
+        for &e in &scc.dag_edges {
+            assert_ne!(e.0, e.1);
+            assert!(seen.insert(e));
+        }
+    }
+
+    #[test]
+    fn scc_covers_unreachable_nodes() {
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (5, 6), (6, 5)]);
+        let scc = strongly_connected_components(&g, &[f(0)]);
+        assert_eq!(scc.component_of.len(), 4);
+        assert!(scc.is_recursive(f(5)));
+        assert_eq!(
+            scc.components.iter().map(Vec::len).sum::<usize>(),
+            g.node_count()
+        );
+    }
+
+    #[test]
+    fn scc_back_edge_agreement_on_acyclic_graph() {
+        // On an acyclic graph every component is a singleton and nothing is
+        // recursive — matching find_back_edges reporting no back edges.
+        let mut g = CallGraph::new();
+        chain(&mut g, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let scc = strongly_connected_components(&g, &[f(0)]);
+        assert_eq!(scc.len(), g.node_count());
+        assert!(scc.recursive.iter().all(|&r| !r));
+        assert!(find_back_edges(&g, &[f(0)]).back_edges.is_empty());
     }
 
     #[test]

@@ -300,7 +300,7 @@ mod tests {
         classify_back_edges(&mut g, &[f(0)]);
         let enc = encode_graph(&g, &[f(0)], &EncodeOptions::default());
         assert!(enc.overflow);
-        assert_eq!(enc.max_id as u128, MAX_ENCODABLE_ID);
+        assert_eq!(u128::from(enc.max_id), MAX_ENCODABLE_ID);
     }
 
     #[test]

@@ -187,18 +187,12 @@ impl CallGraph {
 
     /// Incoming edge ids of `f` (empty if `f` has no node).
     pub fn incoming(&self, f: FunctionId) -> &[EdgeId] {
-        self.nodes
-            .get(&f)
-            .map(|n| n.incoming.as_slice())
-            .unwrap_or(&[])
+        self.nodes.get(&f).map_or(&[], |n| n.incoming.as_slice())
     }
 
     /// Outgoing edge ids of `f` (empty if `f` has no node).
     pub fn outgoing(&self, f: FunctionId) -> &[EdgeId] {
-        self.nodes
-            .get(&f)
-            .map(|n| n.outgoing.as_slice())
-            .unwrap_or(&[])
+        self.nodes.get(&f).map_or(&[], |n| n.outgoing.as_slice())
     }
 
     /// Clears every `back` flag; used before re-running back-edge analysis.

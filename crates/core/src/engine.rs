@@ -81,6 +81,25 @@ impl DacceEngine {
         self.shared.attach_main(main);
     }
 
+    /// Pre-seeds the engine from a static call graph (see [`crate::warm`]).
+    /// Must be called after [`DacceEngine::attach_main`] and before any
+    /// thread starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any thread has already been registered, or if any call
+    /// event or re-encoding already happened.
+    pub fn warm_start(
+        &mut self,
+        seed: &crate::warm::WarmStartSeed,
+    ) -> crate::warm::WarmStartReport {
+        assert!(
+            self.threads.is_empty(),
+            "warm_start must precede thread_start"
+        );
+        self.shared.warm_start(seed)
+    }
+
     /// Registers a new thread rooted at `root`. For spawned threads the
     /// parent's current encoded context is captured so the child's full
     /// calling context can be reconstructed (§5.3).
@@ -157,12 +176,7 @@ impl DacceEngine {
                 if let Some(tail_fn) = newly_tail {
                     self.retrofit_tail_frames(tail_fn);
                 }
-                let wraps = self
-                    .shared
-                    .patches
-                    .get(site)
-                    .map(|s| s.tc_wrap)
-                    .unwrap_or(false);
+                let wraps = self.shared.patches.get(site).is_some_and(|s| s.tc_wrap);
                 (a, wraps)
             }
         };
@@ -190,8 +204,7 @@ impl DacceEngine {
         let action = self
             .shared
             .lookup_action(site, callee)
-            .map(|r| r.action)
-            .unwrap_or(crate::patch::EdgeAction::Unencoded);
+            .map_or(crate::patch::EdgeAction::Unencoded, |r| r.action);
         let ctx = self.threads.get_mut(&tid).expect("thread registered");
         let cost = fastpath::exec_ret(&self.shared, ctx, site, caller, action);
         cost + self.maybe_reencode()

@@ -191,6 +191,11 @@ impl OfflineDecoder {
         &self.samples
     }
 
+    /// The imported call-site owner table.
+    pub fn owners(&self) -> &HashMap<CallSiteId, FunctionId> {
+        &self.owners
+    }
+
     /// Decodes one context against the imported dictionaries.
     ///
     /// # Errors
@@ -506,12 +511,12 @@ mod tests {
     #[test]
     fn import_reports_line_numbers() {
         let text = format!("{HEADER}\nbogus record\n");
-        match import(&text).unwrap_err() {
-            ImportError::BadLine(n, what) => {
-                assert_eq!(n, 2);
-                assert!(what.contains("bogus"));
-            }
-            other => panic!("unexpected {other:?}"),
+        let err = import(&text).unwrap_err();
+        if let ImportError::BadLine(n, what) = err {
+            assert_eq!(n, 2);
+            assert!(what.contains("bogus"));
+        } else {
+            panic!("unexpected {err:?}");
         }
     }
 

@@ -85,7 +85,7 @@ pub(crate) fn exec_call(
 
     let saved_id = ctx.id;
     let saved_cc_len = ctx.cc.depth();
-    let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+    let saved_top_count = ctx.cc.top().map_or(0, |e| e.count);
     if wrapped {
         ctx.tc_ops += 1;
         cost += view.cost().tcstack_op;
@@ -192,9 +192,9 @@ pub(crate) fn replay(view: &impl EncodingView, ctx: &mut ThreadCtx, path: &Conte
             k < old_shadow.len() && old_shadow[k].site == site && old_shadow[k].callee == func;
         let saved_id = ctx.id;
         let saved_cc_len = ctx.cc.depth();
-        let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+        let saved_top_count = ctx.cc.top().map_or(0, |e| e.count);
         let resolved = view.resolve(site, func);
-        let action = resolved.map(|r| r.action).unwrap_or(EdgeAction::Unencoded);
+        let action = resolved.map_or(EdgeAction::Unencoded, |r| r.action);
         match action {
             EdgeAction::Encoded { delta } => {
                 ctx.id = ctx.id.wrapping_add(delta);
@@ -209,7 +209,7 @@ pub(crate) fn replay(view: &impl EncodingView, ctx: &mut ThreadCtx, path: &Conte
             }
         }
         if physical {
-            let wrapped = view.handle_tail_calls() && resolved.map(|r| r.tc_wrap).unwrap_or(false);
+            let wrapped = view.handle_tail_calls() && resolved.is_some_and(|r| r.tc_wrap);
             ctx.shadow.push(ShadowFrame {
                 site,
                 callee: func,

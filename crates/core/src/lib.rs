@@ -56,6 +56,7 @@ pub mod stats;
 pub mod thread;
 pub mod tracker;
 pub mod verify;
+pub mod warm;
 
 pub use ccstack::{CcEntry, CcStack};
 pub use config::{CompressionMode, DacceConfig};
@@ -67,3 +68,4 @@ pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;
 pub use stats::{DacceStats, ProgressPoint};
 pub use tracker::{TaskContext, Tracker};
+pub use warm::{SeedEdge, WarmStartReport, WarmStartSeed};

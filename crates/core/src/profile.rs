@@ -234,7 +234,7 @@ mod tests {
         let tree = p.render_tree(|fu| format!("fn{}", fu.raw()));
         let lines: Vec<&str> = tree.lines().collect();
         // Root fn0 inclusive 3, fn1 inclusive 3, fn3 (2) before fn2 (1).
-        assert!(lines[0].contains("3") && lines[0].contains("fn0"));
+        assert!(lines[0].contains('3') && lines[0].contains("fn0"));
         assert!(lines[1].contains("fn1"));
         assert!(lines[2].contains("fn3"), "{tree}");
         assert!(lines[3].contains("fn2"), "{tree}");

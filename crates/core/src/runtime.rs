@@ -8,11 +8,16 @@ use dacce_program::{CostModel, OracleStack, Program, ThreadId};
 use crate::config::DacceConfig;
 use crate::engine::DacceEngine;
 use crate::stats::DacceStats;
+use crate::warm::{WarmStartReport, WarmStartSeed};
 
 /// The DACCE context runtime (the paper's `dacce.so`).
 #[derive(Debug)]
 pub struct DacceRuntime {
     engine: DacceEngine,
+    /// Seed applied at attach time, if warm starting.
+    warm: Option<WarmStartSeed>,
+    /// What the warm start loaded (populated at attach).
+    warm_report: Option<WarmStartReport>,
 }
 
 impl DacceRuntime {
@@ -20,12 +25,29 @@ impl DacceRuntime {
     pub fn new(config: DacceConfig, cost: CostModel) -> Self {
         DacceRuntime {
             engine: DacceEngine::new(config, cost),
+            warm: None,
+            warm_report: None,
         }
     }
 
     /// A runtime with default configuration and costs.
     pub fn with_defaults() -> Self {
         Self::new(DacceConfig::default(), CostModel::default())
+    }
+
+    /// A runtime that warm-starts the engine from `seed` when the program
+    /// is attached (see [`crate::warm`]).
+    pub fn with_warm_start(config: DacceConfig, cost: CostModel, seed: WarmStartSeed) -> Self {
+        DacceRuntime {
+            engine: DacceEngine::new(config, cost),
+            warm: Some(seed),
+            warm_report: None,
+        }
+    }
+
+    /// What the warm start loaded; `None` for cold runs (or before attach).
+    pub fn warm_report(&self) -> Option<&WarmStartReport> {
+        self.warm_report.as_ref()
     }
 
     /// Accesses the underlying engine (for experiment harnesses).
@@ -51,6 +73,9 @@ impl ContextRuntime for DacceRuntime {
 
     fn attach(&mut self, program: &Program) {
         self.engine.attach_main(program.main);
+        if let Some(seed) = self.warm.take() {
+            self.warm_report = Some(self.engine.warm_start(&seed));
+        }
     }
 
     fn on_thread_start(

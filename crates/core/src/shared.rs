@@ -518,7 +518,7 @@ impl SharedState {
     }
 
     /// Regenerates all site patch states from the new encoding.
-    fn rebuild_sites(&mut self, enc: &Encoding) {
+    pub(crate) fn rebuild_sites(&mut self, enc: &Encoding) {
         // Group edges per site.
         let mut by_site: HashMap<CallSiteId, Vec<EdgeId>> = HashMap::new();
         for (eid, e) in self.graph.edges() {

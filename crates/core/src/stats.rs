@@ -56,7 +56,7 @@ impl DacceStats {
         if self.cc_depths.is_empty() {
             return 0.0;
         }
-        self.cc_depths.iter().map(|&d| d as f64).sum::<f64>() / self.cc_depths.len() as f64
+        self.cc_depths.iter().map(|&d| f64::from(d)).sum::<f64>() / self.cc_depths.len() as f64
     }
 
     /// Folds one thread's shard into the aggregate (stats drain).

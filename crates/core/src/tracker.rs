@@ -50,6 +50,8 @@ use crate::patch::EdgeAction;
 use crate::shared::{EncodingSnapshot, ReencodeOutcome, SharedState};
 use crate::stats::{DacceStats, StatsShard};
 use crate::thread::ThreadCtx;
+use crate::verify::{check_shared, check_thread};
+use crate::warm::{WarmStartReport, WarmStartSeed};
 
 /// Events a thread accumulates locally before flushing them to the shared
 /// trigger counters. Bounds how stale the §4 event counts can be.
@@ -234,6 +236,61 @@ impl Tracker {
     /// Allocates a call-site id. Call once per static call location.
     pub fn define_call_site(&self) -> CallSiteId {
         CallSiteId::new(self.inner.next_site.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Pre-seeds the tracker from a static call graph (see [`crate::warm`])
+    /// and attaches `main`. Must be called before any thread registers;
+    /// the first registered thread should be rooted at `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread was already registered (the seed must be loaded
+    /// before any instrumentation executes).
+    pub fn warm_start(&self, main: FunctionId, seed: &WarmStartSeed) -> WarmStartReport {
+        let mut sh = self.inner.shared.lock();
+        let prev = self.inner.attached.swap(1, Ordering::Relaxed);
+        assert_eq!(prev, 0, "warm_start must precede thread registration");
+        sh.attach_main(main);
+        let report = sh.warm_start(seed);
+        self.inner.update_trigger_mark(&sh);
+        let _ = self.inner.republish(&mut sh);
+        report
+    }
+
+    /// Audits the tracker at a safe point: every live thread's context is
+    /// validated against the snapshot it is encoded under (id budget,
+    /// shadow-stack monotonicity, decodability to a root-to-current path),
+    /// then the shared state's dictionary/patch/owner invariants are
+    /// checked — the concurrent analogue of
+    /// [`DacceEngine::check_invariants`](crate::DacceEngine::check_invariants).
+    ///
+    /// Threads may run concurrently with the audit; each slot is checked
+    /// under its own lock at an event boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let slots: Vec<Arc<ThreadSlot>> = self.inner.registry.lock().clone();
+        for slot in slots {
+            let st = slot.state.lock();
+            let dict = st.snap.dicts.get(st.snap.ts).ok_or_else(|| {
+                format!(
+                    "{}: snapshot timestamp {} has no dictionary",
+                    slot.tid, st.snap.ts
+                )
+            })?;
+            check_thread(
+                dict,
+                &st.snap.site_owner,
+                st.snap.max_id,
+                &slot.tid.to_string(),
+                &st.ctx,
+            )?;
+        }
+        let sh = self.inner.shared.lock();
+        check_shared(&sh)
     }
 
     /// Registers the current thread with its root function. The first
@@ -481,7 +538,7 @@ impl ThreadHandle {
                 // (no frame retrofit needed — that path is engine-only).
                 let (a, newly_tail) = sh.handle_trap(site, caller, target, dispatch, false);
                 debug_assert!(newly_tail.is_none());
-                let wraps = sh.patches.get(site).map(|s| s.tc_wrap).unwrap_or(false);
+                let wraps = sh.patches.get(site).is_some_and(|s| s.tc_wrap);
                 (a, wraps)
             }
         };
@@ -502,10 +559,7 @@ impl ThreadHandle {
         st.snap = inner.republish(sh);
         // A re-encoding above may have re-patched this very site; report
         // the action valid under the snapshot the guard will be keyed to.
-        st.snap
-            .resolve(site, target)
-            .map(|r| r.action)
-            .unwrap_or(action)
+        st.snap.resolve(site, target).map_or(action, |r| r.action)
     }
 
     /// Applies a re-encoding while holding the shared lock. Only this
@@ -733,8 +787,7 @@ impl Drop for CallGuard<'_> {
             // migrated, so reverse under the current generation's action.
             st.snap
                 .resolve(self.site, self.callee)
-                .map(|r| r.action)
-                .unwrap_or(EdgeAction::Unencoded)
+                .map_or(EdgeAction::Unencoded, |r| r.action)
         };
         let _ = fastpath::exec_ret(&*st.snap, &mut st.ctx, self.site, self.caller, action);
         self.handle.note_local_event(st);
@@ -863,6 +916,76 @@ mod tests {
         // Guard dropped: back to the spawn chain.
         let p = tracker.decode(&worker.sample()).unwrap();
         assert_eq!(tracker.format_path(&p), "main -> worker");
+    }
+
+    #[test]
+    fn warm_started_tracker_never_traps_on_seeded_edges() {
+        use crate::warm::SeedEdge;
+        use dacce_callgraph::Dispatch;
+
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let g = tracker.define_function("g");
+        let s1 = tracker.define_call_site();
+        let s2 = tracker.define_call_site();
+        let report = tracker.warm_start(
+            main_fn,
+            &WarmStartSeed {
+                roots: vec![main_fn],
+                edges: vec![
+                    SeedEdge {
+                        caller: main_fn,
+                        callee: f,
+                        site: s1,
+                        dispatch: Dispatch::Direct,
+                    },
+                    SeedEdge {
+                        caller: f,
+                        callee: g,
+                        site: s2,
+                        dispatch: Dispatch::Direct,
+                    },
+                ],
+                tail_fns: Vec::new(),
+            },
+        );
+        assert_eq!(report.seeded_edges, 2);
+
+        let th = tracker.register_thread(main_fn);
+        {
+            let _a = th.call(s1, f);
+            let _b = th.call(s2, g);
+            let path = tracker.decode(&th.sample()).unwrap();
+            assert_eq!(tracker.format_path(&path), "main -> f -> g");
+            tracker.check_invariants().unwrap();
+        }
+        assert_eq!(tracker.stats().traps, 0, "seeded edges must not trap");
+        tracker.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "precede thread registration")]
+    fn warm_start_after_registration_panics() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let _th = tracker.register_thread(main_fn);
+        tracker.warm_start(main_fn, &WarmStartSeed::default());
+    }
+
+    #[test]
+    fn check_invariants_passes_under_activity() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let s = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        tracker.check_invariants().unwrap();
+        {
+            let _g = th.call(s, f);
+            tracker.check_invariants().unwrap();
+        }
+        tracker.check_invariants().unwrap();
     }
 
     #[test]

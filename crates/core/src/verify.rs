@@ -3,11 +3,128 @@
 //! [`DacceEngine::check_invariants`] audits the internal consistency of the
 //! engine at a safe point (between events). It is deliberately exhaustive
 //! and O(state size) — meant for tests, debugging sessions and the
-//! randomized differential harness, not for the hot path.
+//! randomized differential harness, not for the hot path. The concurrent
+//! [`crate::Tracker`] reuses the same checks over its shared state and
+//! every live thread slot via `Tracker::check_invariants`.
+
+use std::collections::HashMap;
+
+use dacce_callgraph::{CallSiteId, DecodeDict, FunctionId};
 
 use crate::decode::decode_thread;
 use crate::engine::DacceEngine;
 use crate::patch::SitePatch;
+use crate::shared::SharedState;
+use crate::thread::ThreadCtx;
+
+/// Shared-state invariants: dictionaries in lock step with `gTimeStamp`,
+/// `maxID` agreement, and every graph edge patched with a consistent owner.
+pub(crate) fn check_shared(sh: &SharedState) -> Result<(), String> {
+    // 1 & 2: dictionaries.
+    if sh.dicts.len() != sh.ts.index() + 1 {
+        return Err(format!(
+            "dictionary count {} out of step with timestamp {}",
+            sh.dicts.len(),
+            sh.ts
+        ));
+    }
+    let latest = sh
+        .dicts
+        .latest()
+        .ok_or_else(|| "no dictionary recorded".to_string())?;
+    if latest.max_id() != sh.max_id {
+        return Err(format!(
+            "latest dictionary maxID {} != live maxID {}",
+            latest.max_id(),
+            sh.max_id
+        ));
+    }
+
+    // 3: graph edges vs patch states and owners.
+    for (_, e) in sh.graph.edges() {
+        let state = sh
+            .patches
+            .get(e.site)
+            .ok_or_else(|| format!("edge {e:?} has no site state"))?;
+        if matches!(state.patch, SitePatch::Trap) {
+            return Err(format!("executed site {} still patched as trap", e.site));
+        }
+        match sh.site_owner.get(&e.site) {
+            Some(&owner) if owner == e.caller => {}
+            Some(&owner) => {
+                return Err(format!(
+                    "site {} owner {owner} disagrees with edge caller {}",
+                    e.site, e.caller
+                ))
+            }
+            None => return Err(format!("site {} has no recorded owner", e.site)),
+        }
+    }
+    Ok(())
+}
+
+/// Per-thread invariants against the dictionary the thread's context is
+/// stamped with: shadow-stack monotonicity, id within the encodable budget
+/// `[0, 2*maxID + 1]`, and the live context decoding to a root-to-current
+/// path. `label` names the thread in error messages.
+pub(crate) fn check_thread(
+    dict: &DecodeDict,
+    owners: &HashMap<CallSiteId, FunctionId>,
+    max_id: u64,
+    label: &str,
+    ctx: &ThreadCtx,
+) -> Result<(), String> {
+    let budget = 2u128 * u128::from(max_id) + 1;
+    if u128::from(ctx.id) > budget {
+        return Err(format!(
+            "{label}: id {} outside encodable range [0, {budget}]",
+            ctx.id
+        ));
+    }
+    let mut prev = 0usize;
+    for frame in &ctx.shadow {
+        if frame.saved_cc_len > ctx.cc.depth() {
+            return Err(format!(
+                "{label}: shadow frame saved ccStack length {} exceeds depth {}",
+                frame.saved_cc_len,
+                ctx.cc.depth()
+            ));
+        }
+        if frame.saved_cc_len < prev {
+            return Err(format!(
+                "{label}: shadow saved ccStack lengths not monotone"
+            ));
+        }
+        prev = frame.saved_cc_len;
+    }
+    let path = decode_thread(
+        dict,
+        ctx.id,
+        ctx.current,
+        ctx.root,
+        ctx.cc.entries(),
+        owners,
+    )
+    .map_err(|e| format!("{label}: live context does not decode: {e}"))?;
+    match (path.0.first(), path.0.last()) {
+        (Some(first), Some(last)) => {
+            if first.func != ctx.root {
+                return Err(format!(
+                    "{label}: decoded root {} != thread root {}",
+                    first.func, ctx.root
+                ));
+            }
+            if last.func != ctx.current {
+                return Err(format!(
+                    "{label}: decoded leaf {} != current {}",
+                    last.func, ctx.current
+                ));
+            }
+        }
+        _ => return Err(format!("{label}: decoded empty path")),
+    }
+    Ok(())
+}
 
 impl DacceEngine {
     /// Checks every internal invariant; returns a description of the first
@@ -31,97 +148,19 @@ impl DacceEngine {
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        // 1 & 2: dictionaries.
-        if self.dicts().len() != self.timestamp().index() + 1 {
-            return Err(format!(
-                "dictionary count {} out of step with timestamp {}",
-                self.dicts().len(),
-                self.timestamp()
-            ));
-        }
+        check_shared(&self.shared)?;
         let latest = self
             .dicts()
             .latest()
             .ok_or_else(|| "no dictionary recorded".to_string())?;
-        if latest.max_id() != self.max_id() {
-            return Err(format!(
-                "latest dictionary maxID {} != live maxID {}",
-                latest.max_id(),
-                self.max_id()
-            ));
-        }
-
-        // 3: graph edges vs patch states and owners.
-        for (_, e) in self.shared.graph.edges() {
-            let state = self
-                .shared
-                .patches
-                .get(e.site)
-                .ok_or_else(|| format!("edge {e:?} has no site state"))?;
-            if matches!(state.patch, SitePatch::Trap) {
-                return Err(format!("executed site {} still patched as trap", e.site));
-            }
-            match self.shared.site_owner.get(&e.site) {
-                Some(&owner) if owner == e.caller => {}
-                Some(&owner) => {
-                    return Err(format!(
-                        "site {} owner {owner} disagrees with edge caller {}",
-                        e.site, e.caller
-                    ))
-                }
-                None => return Err(format!("site {} has no recorded owner", e.site)),
-            }
-        }
-
-        // 4 & 5: per-thread state.
-        let budget = 2u128 * u128::from(self.max_id()) + 1;
         for (tid, ctx) in &self.threads {
-            if u128::from(ctx.id) > budget {
-                return Err(format!(
-                    "{tid}: id {} outside encodable range [0, {budget}]",
-                    ctx.id
-                ));
-            }
-            let mut prev = 0usize;
-            for frame in &ctx.shadow {
-                if frame.saved_cc_len > ctx.cc.depth() {
-                    return Err(format!(
-                        "{tid}: shadow frame saved ccStack length {} exceeds depth {}",
-                        frame.saved_cc_len,
-                        ctx.cc.depth()
-                    ));
-                }
-                if frame.saved_cc_len < prev {
-                    return Err(format!("{tid}: shadow saved ccStack lengths not monotone"));
-                }
-                prev = frame.saved_cc_len;
-            }
-            let path = decode_thread(
+            check_thread(
                 latest,
-                ctx.id,
-                ctx.current,
-                ctx.root,
-                ctx.cc.entries(),
                 &self.shared.site_owner,
-            )
-            .map_err(|e| format!("{tid}: live context does not decode: {e}"))?;
-            match (path.0.first(), path.0.last()) {
-                (Some(first), Some(last)) => {
-                    if first.func != ctx.root {
-                        return Err(format!(
-                            "{tid}: decoded root {} != thread root {}",
-                            first.func, ctx.root
-                        ));
-                    }
-                    if last.func != ctx.current {
-                        return Err(format!(
-                            "{tid}: decoded leaf {} != current {}",
-                            last.func, ctx.current
-                        ));
-                    }
-                }
-                _ => return Err(format!("{tid}: decoded empty path")),
-            }
+                self.max_id(),
+                &tid.to_string(),
+                ctx,
+            )?;
         }
         Ok(())
     }
@@ -131,7 +170,6 @@ impl DacceEngine {
 mod tests {
     use super::*;
     use crate::config::DacceConfig;
-    use dacce_callgraph::{CallSiteId, FunctionId};
     use dacce_program::runtime::CallDispatch;
     use dacce_program::{CostModel, ThreadId};
 

@@ -1,0 +1,264 @@
+//! Warm starting: pre-seeding the dynamic engine from a static call graph.
+//!
+//! DACCE's graph is normally discovered one trap at a time (§3.1). A sound
+//! static over-approximation — built ahead of time by `dacce-analyze` —
+//! can be loaded into the engine *before* the first call executes: every
+//! seeded `(site, callee)` pair gets an encoded patch immediately, so
+//! statically known edges never trap and the early re-encoding churn
+//! disappears.
+//!
+//! Seeding must happen after `main` is attached and before any thread
+//! runs. If the static graph is too large to encode within the 64-bit id
+//! budget (the PCCE failure mode of Table 1), the engine prunes the
+//! highest-`numCC` callees from the seed until the rest encodes; pruned
+//! edges simply fall back to normal trap-time discovery.
+
+use std::sync::Arc;
+
+use dacce_callgraph::analysis::classify_back_edges;
+use dacce_callgraph::encode::{encode_graph, EncodeOptions};
+use dacce_callgraph::{CallSiteId, DecodeDict, Dispatch, FunctionId, TimeStamp};
+
+use crate::shared::SharedState;
+use crate::stats::ProgressPoint;
+
+/// One static call edge to pre-seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedEdge {
+    /// The calling function.
+    pub caller: FunctionId,
+    /// The called function.
+    pub callee: FunctionId,
+    /// The call site inside the caller.
+    pub site: CallSiteId,
+    /// Dispatch kind of the site.
+    pub dispatch: Dispatch,
+}
+
+/// A static pre-seed for the dynamic engine: roots (main plus spawn
+/// targets), call edges, and statically known tail-calling functions.
+///
+/// `tail_fns` matters for correctness, not just warmth: the engine only
+/// discovers tail-calling functions inside its trap handler, and seeded
+/// sites never trap — so the seed must carry the static tail set or
+/// tail-call contexts would corrupt (Figure 7a of the paper).
+#[derive(Clone, Debug, Default)]
+pub struct WarmStartSeed {
+    /// Entry functions to register ahead of time.
+    pub roots: Vec<FunctionId>,
+    /// Static call edges.
+    pub edges: Vec<SeedEdge>,
+    /// Functions statically known to contain tail calls.
+    pub tail_fns: Vec<FunctionId>,
+}
+
+/// What a warm start actually loaded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WarmStartReport {
+    /// Edges seeded with encoded patches.
+    pub seeded_edges: usize,
+    /// Edges dropped to stay inside the 64-bit id budget (they will be
+    /// discovered by traps as usual).
+    pub pruned_edges: usize,
+    /// `maxID` of the seeded encoding.
+    pub max_id: u64,
+}
+
+impl SharedState {
+    /// Seeds the engine from `seed`. Must run after [`Self::attach_main`]
+    /// and before any call event; publishes the seeded encoding as
+    /// dictionary 1 (dictionary 0 stays the trivial `main`-only one).
+    pub(crate) fn warm_start(&mut self, seed: &WarmStartSeed) -> WarmStartReport {
+        assert!(
+            !self.dicts.is_empty(),
+            "warm_start requires attach_main first"
+        );
+        assert_eq!(
+            self.ts,
+            TimeStamp::ZERO,
+            "warm_start must precede any re-encoding"
+        );
+        assert_eq!(self.events, 0, "warm_start must precede execution");
+
+        for &r in &seed.roots {
+            self.register_root(r);
+        }
+        if self.config.handle_tail_calls {
+            self.tail_fns.extend(seed.tail_fns.iter().copied());
+        }
+
+        // Spawn pseudo-edges never materialize as call events; drop them
+        // defensively in case a caller hands us a richer graph.
+        let mut edges: Vec<&SeedEdge> = seed
+            .edges
+            .iter()
+            .filter(|e| e.dispatch != Dispatch::Spawn)
+            .collect();
+        let total = edges.len();
+
+        loop {
+            let mut g = self.graph.clone();
+            for e in &edges {
+                g.add_edge(e.caller, e.callee, e.site, e.dispatch);
+            }
+            classify_back_edges(&mut g, &self.roots);
+            let enc = encode_graph(&g, &self.roots, &EncodeOptions::default());
+            if enc.overflow {
+                // Prune the callee with the largest context count — the
+                // node driving the blowup — and try again. Its edges fall
+                // back to dynamic discovery.
+                let worst = enc
+                    .num_cc
+                    .iter()
+                    .max_by_key(|(f, cc)| (**cc, std::cmp::Reverse(f.raw())))
+                    .map(|(f, _)| *f);
+                let before = edges.len();
+                if let Some(w) = worst {
+                    edges.retain(|e| e.callee != w);
+                }
+                if edges.len() == before {
+                    // Cannot happen for a well-formed encoding, but never
+                    // loop forever on a corrupt one.
+                    edges.clear();
+                }
+                continue;
+            }
+
+            self.graph = g;
+            let owners = Arc::make_mut(&mut self.site_owner);
+            for e in &edges {
+                owners.insert(e.site, e.caller);
+            }
+            let new_ts = self.ts.next();
+            let dict = DecodeDict::from_encoding(&self.graph, &enc, new_ts)
+                .expect("overflow checked above");
+            self.dicts.push(dict);
+            self.ts = new_ts;
+            self.max_id = enc.max_id;
+            self.stats.max_max_id = self.stats.max_max_id.max(self.max_id);
+            self.rebuild_sites(&enc);
+            self.last_hot_choice.clear();
+            self.stats.progress.push(ProgressPoint {
+                calls: 0,
+                nodes: self.graph.node_count(),
+                edges: self.graph.edge_count(),
+                max_id: self.max_id,
+            });
+            return WarmStartReport {
+                seeded_edges: edges.len(),
+                pruned_edges: total - edges.len(),
+                max_id: self.max_id,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DacceConfig;
+    use crate::engine::DacceEngine;
+    use dacce_program::runtime::CallDispatch;
+    use dacce_program::{CostModel, ThreadId};
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId::new(i)
+    }
+    fn s(i: u32) -> CallSiteId {
+        CallSiteId::new(i)
+    }
+
+    fn edge(caller: u32, callee: u32, site: u32) -> SeedEdge {
+        SeedEdge {
+            caller: f(caller),
+            callee: f(callee),
+            site: s(site),
+            dispatch: Dispatch::Direct,
+        }
+    }
+
+    #[test]
+    fn seeded_edges_do_not_trap() {
+        let mut engine = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        engine.attach_main(f(0));
+        let report = engine.warm_start(&WarmStartSeed {
+            roots: vec![f(0)],
+            edges: vec![edge(0, 1, 0), edge(1, 2, 1)],
+            tail_fns: Vec::new(),
+        });
+        assert_eq!(report.seeded_edges, 2);
+        assert_eq!(report.pruned_edges, 0);
+        let tid = ThreadId::MAIN;
+        engine.thread_start(tid, f(0), None);
+        engine.call(tid, s(0), f(0), f(1), CallDispatch::Direct, false);
+        engine.call(tid, s(1), f(1), f(2), CallDispatch::Direct, false);
+        assert_eq!(engine.stats().traps, 0, "seeded calls must not trap");
+        let (ctx, _) = engine.sample(tid);
+        let path = engine.decode(&ctx).unwrap();
+        assert_eq!(path.0.len(), 3);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unseeded_edges_still_trap_and_decode() {
+        let mut engine = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        engine.attach_main(f(0));
+        engine.warm_start(&WarmStartSeed {
+            roots: vec![f(0)],
+            edges: vec![edge(0, 1, 0)],
+            tail_fns: Vec::new(),
+        });
+        let tid = ThreadId::MAIN;
+        engine.thread_start(tid, f(0), None);
+        engine.call(tid, s(0), f(0), f(1), CallDispatch::Direct, false);
+        engine.call(tid, s(7), f(1), f(9), CallDispatch::Direct, false);
+        assert_eq!(engine.stats().traps, 1);
+        let (ctx, _) = engine.sample(tid);
+        let path = engine.decode(&ctx).unwrap();
+        assert_eq!(path.0.len(), 3);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overflowing_seed_is_pruned_not_fatal() {
+        // A wide layered graph whose full static encoding overflows u64:
+        // 64 layers of 2 nodes with all 4 cross edges per layer would give
+        // 2^64 contexts at the bottom; keep building until overflow is
+        // certain.
+        let mut edges = Vec::new();
+        let mut site = 0u32;
+        let layers = 70u32;
+        for l in 0..layers {
+            let (a, b) = (1 + 2 * l, 2 + 2 * l);
+            let (c, d) = (1 + 2 * (l + 1), 2 + 2 * (l + 1));
+            for &(x, y) in &[(a, c), (a, d), (b, c), (b, d)] {
+                edges.push(edge(x, y, site));
+                site += 1;
+            }
+        }
+        edges.push(edge(0, 1, site));
+        edges.push(edge(0, 2, site + 1));
+        let total = edges.len();
+
+        let mut engine = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        engine.attach_main(f(0));
+        let report = engine.warm_start(&WarmStartSeed {
+            roots: vec![f(0)],
+            edges,
+            tail_fns: Vec::new(),
+        });
+        assert!(report.pruned_edges > 0, "seed must be pruned");
+        assert!(report.seeded_edges < total);
+        assert!(u128::from(report.max_id) <= dacce_callgraph::encode::MAX_ENCODABLE_ID);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "precede thread_start")]
+    fn warm_start_after_threads_panics() {
+        let mut engine = DacceEngine::new(DacceConfig::default(), CostModel::default());
+        engine.attach_main(f(0));
+        engine.thread_start(ThreadId::MAIN, f(0), None);
+        engine.warm_start(&WarmStartSeed::default());
+    }
+}

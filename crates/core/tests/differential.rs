@@ -61,7 +61,7 @@ fn run_seed(seed: u64, config: DacceConfig) {
     let mut log: Vec<String> = Vec::new();
 
     for step in 0..4000 {
-        let cur = truth.last().map(|&(_, t, _)| t).unwrap_or(0);
+        let cur = truth.last().map_or(0, |&(_, t, _)| t);
         let sites = &uni[cur as usize];
         let can_call = !sites.is_empty() && truth.len() < 24;
         let do_call = can_call && (truth.is_empty() || rng.gen_bool(0.55));

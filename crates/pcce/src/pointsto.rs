@@ -1,74 +1,13 @@
 //! Whole-program static call-graph construction.
 //!
 //! PCCE needs the complete call graph before encoding (§2.2, Issue 1 of the
-//! DACCE paper). For direct calls the target is syntactic; for indirect
-//! calls a conservative points-to analysis over-approximates the target set
-//! — modelled here by each table's real targets plus its `pointsto_extra`
-//! false positives; PLT calls are resolved post-link to their library
-//! function. Spawn targets become additional graph roots.
+//! DACCE paper). The construction itself — conservative points-to handling
+//! of indirect sites, PLT resolution, spawn targets as extra roots — now
+//! lives in the reusable `dacce-analyze` crate ([`dacce_analyze::graph`]),
+//! where it also feeds SCC condensation, tail reachability and warm-start
+//! seeding; PCCE re-exports it unchanged.
 
-use std::collections::HashMap;
-
-use dacce_callgraph::{CallGraph, CallSiteId, Dispatch, FunctionId};
-use dacce_program::{CalleeSpec, Program};
-
-/// The static graph together with the side tables the encoder and runtime
-/// need.
-#[derive(Clone, Debug, Default)]
-pub struct StaticGraph {
-    /// The complete call graph (cold code and false positives included).
-    pub graph: CallGraph,
-    /// Function containing each call site.
-    pub site_owner: HashMap<CallSiteId, FunctionId>,
-    /// Entry functions: `main` plus every spawn target.
-    pub roots: Vec<FunctionId>,
-    /// Conservative target list per indirect site, real targets first.
-    pub indirect_targets: HashMap<CallSiteId, Vec<FunctionId>>,
-    /// Number of points-to false-positive edges added.
-    pub false_positive_edges: usize,
-}
-
-/// Builds the whole-program static call graph of `program`.
-pub fn build_static_graph(program: &Program) -> StaticGraph {
-    let mut out = StaticGraph::default();
-    out.graph.ensure_node(program.main);
-    out.roots.push(program.main);
-
-    for (owner, op) in program.call_ops() {
-        out.site_owner.insert(op.site, owner);
-        match &op.callee {
-            CalleeSpec::Direct(t) => {
-                out.graph.add_edge(owner, *t, op.site, Dispatch::Direct);
-            }
-            CalleeSpec::Plt(t) => {
-                out.graph.add_edge(owner, *t, op.site, Dispatch::Plt);
-            }
-            CalleeSpec::Spawn(t) => {
-                out.graph.ensure_node(*t);
-                if !out.roots.contains(t) {
-                    out.roots.push(*t);
-                }
-            }
-            CalleeSpec::Indirect { table, .. } => {
-                let tbl = &program.tables[*table as usize];
-                let mut targets = Vec::new();
-                for &t in &tbl.targets {
-                    out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
-                    targets.push(t);
-                }
-                for &t in &tbl.pointsto_extra {
-                    let (_, new) = out.graph.add_edge(owner, t, op.site, Dispatch::Indirect);
-                    if new {
-                        out.false_positive_edges += 1;
-                    }
-                    targets.push(t);
-                }
-                out.indirect_targets.insert(op.site, targets);
-            }
-        }
-    }
-    out
-}
+pub use dacce_analyze::graph::{build_static_graph, StaticGraph};
 
 #[cfg(test)]
 mod tests {

@@ -59,7 +59,7 @@ impl PcceStats {
         if self.cc_depths.is_empty() {
             return 0.0;
         }
-        self.cc_depths.iter().map(|&d| d as f64).sum::<f64>() / self.cc_depths.len() as f64
+        self.cc_depths.iter().map(|&d| f64::from(d)).sum::<f64>() / self.cc_depths.len() as f64
     }
 }
 
@@ -149,7 +149,7 @@ impl ContextRuntime for PcceRuntime {
 
     fn attach(&mut self, program: &Program) {
         let sg: StaticGraph = build_static_graph(program);
-        self.site_owner = sg.site_owner.clone();
+        self.site_owner.clone_from(&sg.site_owner);
         let enc = PcceEncoder::encode(&sg, &self.profile);
 
         self.stats.nodes = enc.full_nodes;
@@ -212,7 +212,7 @@ impl ContextRuntime for PcceRuntime {
         let ctx = self.threads.get_mut(&ev.tid).expect("thread registered");
         let saved_id = ctx.id;
         let saved_cc_len = ctx.cc.depth();
-        let saved_top_count = ctx.cc.top().map(|e| e.count).unwrap_or(0);
+        let saved_top_count = ctx.cc.top().map_or(0, |e| e.count);
         if wrapped {
             ctx.tc_ops += 1;
             cost += tc_cost;

@@ -297,7 +297,7 @@ impl<'p> Interpreter<'p> {
                     let ev = ReturnEvent {
                         tid: t.tid,
                         site: entry.site,
-                        caller: t.frames.last().map(|f| f.func).unwrap_or(t.oracle.root()),
+                        caller: t.frames.last().map_or(t.oracle.root(), |f| f.func),
                         callee: entry.callee,
                         dispatch: entry.dispatch,
                         tail_chain: frame.tail_chain,
@@ -323,11 +323,7 @@ impl<'p> Interpreter<'p> {
         pending_spawn: &mut Option<(FunctionId, CallSiteId)>,
     ) {
         let cfg = &self.config;
-        let phase = if report.calls.saturating_mul(2) >= cfg.budget_calls {
-            1
-        } else {
-            0
-        };
+        let phase = usize::from(report.calls.saturating_mul(2) >= cfg.budget_calls);
 
         let frame = thread.frames.last_mut().expect("alive thread has frames");
         let body = &self.program.functions[frame.func.index()].body;
@@ -342,8 +338,7 @@ impl<'p> Interpreter<'p> {
                     caller: thread
                         .frames
                         .last()
-                        .map(|f| f.func)
-                        .unwrap_or(thread.oracle.root()),
+                        .map_or_else(|| thread.oracle.root(), |f| f.func),
                     callee: entry.callee,
                     dispatch: entry.dispatch,
                     tail_chain: frame.tail_chain,

@@ -63,11 +63,14 @@ impl ContextPath {
 
     /// Renders the path as `main -(cs0)-> f1 -(cs3)-> f2` for diagnostics.
     pub fn display(&self, mut name: impl FnMut(FunctionId) -> String) -> String {
+        use std::fmt::Write;
         let mut out = String::new();
         for (i, step) in self.0.iter().enumerate() {
             if i > 0 {
                 match step.site {
-                    Some(s) => out.push_str(&format!(" -({s})-> ")),
+                    Some(s) => {
+                        let _ = write!(out, " -({s})-> ");
+                    }
                     None => out.push_str(" -> "),
                 }
             }
@@ -116,7 +119,7 @@ impl OracleStack {
 
     /// The current (innermost) function.
     pub fn current(&self) -> FunctionId {
-        self.frames.last().map(|f| f.func).unwrap_or(self.root)
+        self.frames.last().map_or(self.root, |f| f.func)
     }
 
     /// Records a non-tail call through `site` into `func`.

@@ -177,6 +177,32 @@ pub fn run_dacce_only(spec: &BenchSpec, cfg: &DriverConfig) -> (RunReport, Dacce
     (report, dacce.stats())
 }
 
+/// Like [`run_dacce_only`] but returns the whole runtime, so callers can
+/// reach the engine afterwards (state exports, warm-start reports).
+pub fn run_dacce_runtime(spec: &BenchSpec, cfg: &DriverConfig) -> (RunReport, DacceRuntime) {
+    let program = generate_program(spec);
+    let icfg = interp_config(spec, cfg);
+    let mut dacce_cfg = cfg.dacce.clone();
+    dacce_cfg.keep_sample_log = cfg.keep_sample_log;
+    let mut dacce = DacceRuntime::new(dacce_cfg, cfg.cost.clone());
+    let report = Interpreter::new(&program, icfg).run(&mut dacce);
+    (report, dacce)
+}
+
+/// Runs DACCE warm-started from the static analysis of the benchmark's
+/// program (the warm-start ablation). The returned runtime's
+/// [`DacceRuntime::warm_report`] says how much of the seed was loaded.
+pub fn run_dacce_warm(spec: &BenchSpec, cfg: &DriverConfig) -> (RunReport, DacceRuntime) {
+    let program = generate_program(spec);
+    let icfg = interp_config(spec, cfg);
+    let seed = dacce_analyze::warm_seed(&program);
+    let mut dacce_cfg = cfg.dacce.clone();
+    dacce_cfg.keep_sample_log = cfg.keep_sample_log;
+    let mut dacce = DacceRuntime::with_warm_start(dacce_cfg, cfg.cost.clone(), seed);
+    let report = Interpreter::new(&program, icfg).run(&mut dacce);
+    (report, dacce)
+}
+
 /// Runs an arbitrary context runtime over one benchmark (related-work
 /// comparisons).
 pub fn run_with<R: dacce_program::ContextRuntime>(

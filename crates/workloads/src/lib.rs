@@ -26,7 +26,10 @@ pub mod spec;
 pub mod suite;
 
 pub use characterize::{characterize, ProgramShape};
-pub use driver::{run_benchmark, run_dacce_only, run_with, BenchOutcome, DriverConfig};
+pub use driver::{
+    run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm, run_with, BenchOutcome,
+    DriverConfig,
+};
 pub use genprog::generate_program;
 pub use spec::{BenchSpec, Suite};
 pub use suite::{all_benchmarks, parsec_benchmarks, spec2006_benchmarks};

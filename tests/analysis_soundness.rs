@@ -1,0 +1,182 @@
+//! Property tests for `dacce-analyze`: on arbitrary generated programs,
+//!
+//! 1. the static call graph is a sound over-approximation — every edge the
+//!    dynamic engine discovers is already present statically, with the same
+//!    site owner;
+//! 2. the encoding verifier accepts every dictionary a real engine run
+//!    publishes, across eager re-encoding schedules; and
+//! 3. warm-starting from the static graph eliminates first-invocation
+//!    traps whenever the seed fits the id budget unpruned.
+
+use proptest::prelude::*;
+
+use dacce::{DacceConfig, DacceRuntime};
+use dacce_analyze::{build_static_graph, verify_dicts, warm_seed};
+use dacce_program::model::TargetChoice;
+use dacce_program::{CostModel, InterpConfig, Interpreter, Program, ProgramBuilder};
+
+/// A randomly shaped call op (same generator family as
+/// `proptest_roundtrip.rs`).
+#[derive(Clone, Debug)]
+struct OpSpec {
+    callee: usize,
+    prob: f32,
+    repeat: u16,
+    indirect: bool,
+    tail: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ProgSpec {
+    functions: usize,
+    bodies: Vec<Vec<OpSpec>>,
+}
+
+fn op_strategy(functions: usize) -> impl Strategy<Value = OpSpec> {
+    (
+        0..functions,
+        0.05f32..=1.0,
+        1u16..3,
+        prop::bool::weighted(0.2),
+        prop::bool::weighted(0.15),
+    )
+        .prop_map(|(callee, prob, repeat, indirect, tail)| OpSpec {
+            callee,
+            prob,
+            repeat,
+            indirect,
+            tail,
+        })
+}
+
+fn prog_strategy() -> impl Strategy<Value = ProgSpec> {
+    (2usize..10).prop_flat_map(|functions| {
+        prop::collection::vec(
+            prop::collection::vec(op_strategy(functions), 0..4),
+            functions,
+        )
+        .prop_map(move |bodies| ProgSpec { functions, bodies })
+    })
+}
+
+fn build(spec: &ProgSpec) -> Program {
+    let mut b = ProgramBuilder::new();
+    let fns: Vec<_> = (0..spec.functions)
+        .map(|i| b.function(&format!("f{i}")))
+        .collect();
+    let table = b.table(fns.clone());
+    for (i, ops) in spec.bodies.iter().enumerate() {
+        let mut body = b.body(fns[i]).work(3);
+        for op in ops.iter().filter(|o| !o.tail) {
+            if op.indirect {
+                body = body.indirect(table, TargetChoice::Uniform, [op.prob, op.prob], op.repeat);
+            } else {
+                body = body.call_rep(fns[op.callee], [op.prob, op.prob], op.repeat);
+            }
+        }
+        // Tails only outside main; see proptest_roundtrip.rs for why.
+        if i != 0 {
+            if let Some(op) = ops.iter().find(|o| o.tail) {
+                body = if op.indirect {
+                    body.tail_indirect(table, TargetChoice::Uniform, [op.prob, op.prob])
+                } else {
+                    body.tail(fns[op.callee], [op.prob, op.prob])
+                };
+            }
+        }
+        body.done();
+    }
+    b.build(fns[0])
+}
+
+fn eager_config(edge_threshold: usize) -> DacceConfig {
+    DacceConfig {
+        edge_threshold,
+        min_events_between_reencodes: 32,
+        reencode_backoff: 1.1,
+        reencode_interval_cap: 4_096,
+        hot_check_every: 1_500,
+        hot_change_nodes: 1,
+        ..DacceConfig::default()
+    }
+}
+
+fn interp(seed: u64) -> InterpConfig {
+    InterpConfig {
+        seed,
+        budget_calls: 3_000,
+        sample_every: 23,
+        max_depth: 48,
+        ..InterpConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Soundness: every `(site, callee)` edge the engine discovers at run
+    /// time is present in the static graph, owned by the same caller.
+    #[test]
+    fn static_graph_covers_dynamic_edges(spec in prog_strategy(), seed in 0u64..1_000) {
+        let program = build(&spec);
+        let sg = build_static_graph(&program);
+
+        let mut rt = DacceRuntime::with_defaults();
+        let _ = Interpreter::new(&program, interp(seed)).run(&mut rt);
+
+        for (_, e) in rt.engine().graph().edges() {
+            let sid = sg.graph.edge_id(e.site, e.callee);
+            prop_assert!(
+                sid.is_some(),
+                "dynamic edge {:?} -> {:?} at {:?} missing statically",
+                e.caller, e.callee, e.site
+            );
+            prop_assert_eq!(sg.site_owner.get(&e.site), Some(&e.caller));
+            prop_assert_eq!(sg.graph.edge(sid.unwrap()).dispatch, e.dispatch);
+        }
+    }
+
+    /// The verifier accepts every dictionary version a real engine run
+    /// publishes, even under eager re-encoding.
+    #[test]
+    fn verifier_accepts_engine_encodings(
+        spec in prog_strategy(),
+        seed in 0u64..1_000,
+        edge_threshold in 1usize..8,
+    ) {
+        let program = build(&spec);
+        let mut rt = DacceRuntime::new(eager_config(edge_threshold), CostModel::default());
+        let report = Interpreter::new(&program, interp(seed)).run(&mut rt);
+        prop_assert_eq!(report.mismatches, 0);
+
+        let diags = verify_dicts(rt.engine().dicts(), rt.engine().site_owner_map());
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        prop_assert!(errors.is_empty(), "verifier rejected a live engine: {errors:?}");
+    }
+
+    /// Warm start from the static graph removes every first-invocation trap
+    /// whenever nothing was pruned for id-budget reasons (small programs
+    /// never overflow, so nothing is).
+    #[test]
+    fn warm_start_eliminates_traps(spec in prog_strategy(), seed in 0u64..500) {
+        let program = build(&spec);
+        let seed_graph = warm_seed(&program);
+        let mut rt = DacceRuntime::with_warm_start(
+            DacceConfig::default(),
+            CostModel::default(),
+            seed_graph,
+        );
+        let report = Interpreter::new(&program, interp(seed)).run(&mut rt);
+        prop_assert_eq!(report.mismatches, 0, "{:?}", report.mismatch_examples);
+        prop_assert_eq!(report.unsupported, 0);
+        let wr = *rt.warm_report().expect("warm run has a report");
+        if wr.pruned_edges == 0 {
+            prop_assert_eq!(rt.stats().traps, 0, "seeded edges must not trap");
+        }
+        prop_assert!(rt.engine().check_invariants().is_ok(),
+            "invariants: {:?}", rt.engine().check_invariants());
+    }
+}

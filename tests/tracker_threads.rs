@@ -58,12 +58,18 @@ fn concurrent_threads_decode_their_own_contexts() {
                     while let Some(g) = guards.pop() {
                         drop(g);
                     }
+                    if round % 50 == 0 {
+                        tracker.check_invariants().expect("invariants hold mid-run");
+                    }
                 }
             });
         }
     })
     .expect("threads complete");
 
+    tracker
+        .check_invariants()
+        .expect("invariants hold after all threads finish");
     let stats = tracker.stats();
     assert!(stats.calls >= 4 * 200);
     assert!(stats.reencodes > 0, "re-encoding must have happened");

@@ -1,0 +1,125 @@
+//! Integration tests for the warm-start pipeline and the export lint gate:
+//! seeding the engine from `dacce-analyze`'s static graph must strictly
+//! reduce first-invocation traps across the workload suite, and a corrupted
+//! export must be caught by the verifier with a witness path.
+
+use dacce::{export_samples, export_state, import, DacceConfig, DacceRuntime};
+use dacce_analyze::verify_export;
+use dacce_program::{CostModel, InterpConfig, Interpreter, ProgramBuilder};
+use dacce_workloads::{all_benchmarks, run_dacce_only, run_dacce_warm, DriverConfig};
+
+/// The acceptance criterion of the warm-start ablation: strictly fewer
+/// first-invocation traps than a cold engine on every suite benchmark, with
+/// all samples still validating.
+#[test]
+fn warm_start_traps_strictly_below_cold_across_suite() {
+    for spec in all_benchmarks() {
+        let cfg = DriverConfig {
+            scale: 0.01,
+            ..DriverConfig::default()
+        };
+        let (_, cold) = run_dacce_only(&spec, &cfg);
+        let (report, rt) = run_dacce_warm(&spec, &cfg);
+        let warm = rt.stats();
+        assert!(
+            warm.traps < cold.traps,
+            "{}: warm traps {} not below cold {}",
+            spec.name,
+            warm.traps,
+            cold.traps
+        );
+        assert_eq!(
+            report.mismatches, 0,
+            "{}: {:?}",
+            spec.name, report.mismatch_examples
+        );
+        assert_eq!(report.unsupported, 0, "{}", spec.name);
+        let wr = rt.warm_report().expect("warm run has a report");
+        assert!(wr.seeded_edges > 0, "{}: nothing seeded", spec.name);
+        rt.engine()
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+/// Engine exports pass the lint verifier unmodified, and a seeded mutation
+/// (duplicating one edge's encoding) is caught with a concrete witness.
+#[test]
+fn mutated_export_is_caught_with_witness() {
+    // Diamond: c has two incoming edges with distinct encodings 0 and 1.
+    let mut b = ProgramBuilder::new();
+    let main = b.function("main");
+    let a = b.function("a");
+    let bb = b.function("b");
+    let c = b.function("c");
+    b.body(main).call(a).call(bb).done();
+    b.body(a).work(1).call(c).done();
+    b.body(bb).work(1).call(c).done();
+    b.body(c).work(1).done();
+    let p = b.build(main);
+
+    let mut dacce_cfg = DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 8,
+        ..DacceConfig::default()
+    };
+    dacce_cfg.keep_sample_log = true;
+    let mut rt = DacceRuntime::new(dacce_cfg, CostModel::default());
+    let icfg = InterpConfig {
+        budget_calls: 5_000,
+        sample_every: 37,
+        ..InterpConfig::default()
+    };
+    let report = Interpreter::new(&p, icfg).run(&mut rt);
+    assert_eq!(report.mismatches, 0);
+
+    let mut text = export_state(rt.engine());
+    text.push_str(&export_samples(rt.engine().sample_log().iter()));
+
+    // The pristine export is lint-clean.
+    let clean = import(&text).expect("export parses");
+    assert!(
+        verify_export(&clean).iter().all(|d| !d.is_error()),
+        "pristine export must verify: {:?}",
+        verify_export(&clean)
+    );
+
+    // Seeded mutation: rewrite the first non-back edge with a nonzero
+    // encoding to encoding 0, duplicating its sibling's path ids.
+    let mut mutated = false;
+    let text: String = text
+        .lines()
+        .map(|line| {
+            let mut fields: Vec<&str> = line.split_whitespace().collect();
+            // Line shape: `edge <caller> <callee> <site> <encoding> <back>
+            // <dispatch>` — zero the encoding of a non-back encoded edge.
+            if !mutated
+                && fields.first() == Some(&"edge")
+                && fields.get(5) == Some(&"0")
+                && fields.get(4).is_some_and(|e| *e != "0")
+            {
+                mutated = true;
+                fields[4] = "0";
+                format!("{}\n", fields.join(" "))
+            } else {
+                format!("{line}\n")
+            }
+        })
+        .collect();
+    assert!(mutated, "export had no encoded edge to corrupt");
+
+    let broken = import(&text).expect("mutated export still parses");
+    let diags = verify_export(&broken);
+    let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+    assert!(!errors.is_empty(), "mutation must be detected");
+    assert!(
+        errors.iter().any(|d| !d.witness.is_empty()),
+        "at least one error must carry a witness path: {errors:?}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|d| d.rule == "encoding-partition" || d.rule == "path-id-unique"),
+        "expected a partition/uniqueness violation: {errors:?}"
+    );
+}
