@@ -1,24 +1,65 @@
 //! `dacce-lint` — audit exported DACCE engine states.
 //!
-//! Usage: `dacce-lint <export-file>...`
+//! Usage: `dacce-lint [--metrics <prometheus-file>] <export-file>...`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
 //! file is imported and run through the encoding verifier; findings are
-//! printed with their rule id, severity and witness path. Exits non-zero
-//! if any file fails to parse or any error-severity finding is reported.
+//! printed with their rule id, severity and witness path. With
+//! `--metrics`, a Prometheus document exported by the same run (e.g.
+//! `dacce-top --prom-out`) is additionally cross-checked against each
+//! export: dictionary counts, generation `maxID`s and the
+//! traps/edges/re-encodes arithmetic must agree. Exits non-zero if any
+//! file fails to parse or any error-severity finding is reported.
 
 use std::process::ExitCode;
 
+use dacce_analyze::metrics::{verify_metrics, PromDoc};
 use dacce_analyze::verifier::verify_export;
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            match args.next() {
+                Some(path) => metrics = Some(path),
+                None => {
+                    eprintln!("--metrics requires a file path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(arg);
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: dacce-lint <export-file>...");
+        eprintln!("usage: dacce-lint [--metrics <prometheus-file>] <export-file>...");
         return ExitCode::from(2);
     }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
+
+    let prom: Option<PromDoc> = match &metrics {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match PromDoc::parse(&text) {
+                Ok(doc) => Some(doc),
+                Err(e) => {
+                    eprintln!("{path}: malformed metrics export: {e}");
+                    errors += 1;
+                    None
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                errors += 1;
+                None
+            }
+        },
+    };
+
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -36,7 +77,10 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let diags = verify_export(&decoder);
+        let mut diags = verify_export(&decoder);
+        if let Some(doc) = &prom {
+            diags.extend(verify_metrics(doc, &decoder));
+        }
         for d in &diags {
             println!("{file}: {d}");
             if d.is_error() {
@@ -47,9 +91,14 @@ fn main() -> ExitCode {
         }
         if diags.is_empty() {
             println!(
-                "{file}: ok ({} dictionaries, {} samples)",
+                "{file}: ok ({} dictionaries, {} samples{})",
                 decoder.dicts().len(),
-                decoder.samples().len()
+                decoder.samples().len(),
+                if prom.is_some() {
+                    ", metrics consistent"
+                } else {
+                    ""
+                }
             );
         }
     }

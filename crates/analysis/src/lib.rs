@@ -25,12 +25,14 @@
 
 pub mod graph;
 pub mod lint;
+pub mod metrics;
 pub mod passes;
 pub mod verifier;
 pub mod warm;
 
 pub use graph::{build_static_graph, StaticGraph};
 pub use lint::{Diagnostic, Severity};
+pub use metrics::{verify_metrics, PromDoc, PromSample};
 pub use passes::{analyze, StaticAnalysis, TailAnalysis};
 pub use verifier::{verify_dicts, verify_engine, verify_export};
 pub use warm::warm_seed;

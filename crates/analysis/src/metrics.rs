@@ -1,0 +1,397 @@
+//! Cross-checks an exported Prometheus metrics document against a
+//! `dacce-export v1` engine-state file from the same run.
+//!
+//! The observability registry (`dacce-obs`) and the engine's export are
+//! two independent records of one execution: the registry accumulates
+//! counters and a generation table as events happen, the export freezes
+//! the final decode dictionaries. `dacce-lint --metrics` replays the
+//! arithmetic that ties them together — every decode dictionary is one
+//! generation row, every applied re-encoding is one dictionary past the
+//! initial (and warm-start) ones, every dictionary edge was either
+//! warm-seeded or trap-discovered — and reports any divergence as a lint
+//! [`Diagnostic`]. A totals mismatch means an event was dropped, double
+//! counted, or wired to the wrong hook.
+
+use std::collections::BTreeMap;
+
+use dacce::OfflineDecoder;
+use dacce_callgraph::TimeStamp;
+
+use crate::lint::{Diagnostic, Severity};
+
+/// One parsed Prometheus sample: name, sorted labels, integer value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PromSample {
+    /// Metric name (e.g. `dacce_traps_total`).
+    pub name: String,
+    /// Label set, sorted by key.
+    pub labels: BTreeMap<String, String>,
+    /// Sample value. DACCE metrics are all non-negative integers.
+    pub value: u64,
+}
+
+/// A parsed Prometheus text-format document.
+#[derive(Clone, Debug, Default)]
+pub struct PromDoc {
+    samples: Vec<PromSample>,
+}
+
+impl PromDoc {
+    /// Parses the Prometheus text exposition format (the subset
+    /// `MetricsSnapshot::to_prometheus` emits: `# HELP`/`# TYPE` comments
+    /// and `name{labels} value` samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line with its 1-based line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut samples = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let sample =
+                parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", no + 1))?;
+            samples.push(sample);
+        }
+        Ok(Self { samples })
+    }
+
+    /// All samples, in document order.
+    #[must_use]
+    pub fn samples(&self) -> &[PromSample] {
+        &self.samples
+    }
+
+    /// The value of an unlabelled series, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The value of a series carrying `label=value`, if present.
+    #[must_use]
+    pub fn get_labeled(&self, name: &str, label: &str, value: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.get(label).map(String::as_str) == Some(value))
+            .map(|s| s.value)
+    }
+}
+
+fn parse_sample(line: &str) -> Result<PromSample, &'static str> {
+    // `name` or `name{k="v",...}`, then whitespace, then the value.
+    let (head, value) = line
+        .rsplit_once(char::is_whitespace)
+        .ok_or("missing value")?;
+    let value: u64 = match value.parse() {
+        Ok(v) => v,
+        // Histogram buckets use `+Inf`; clamp to max (only ordering and
+        // presence matter for the cross-checks).
+        Err(_) if value == "+Inf" => u64::MAX,
+        Err(_) => {
+            let f: f64 = value.parse().map_err(|_| "non-numeric value")?;
+            if f < 0.0 || f.fract() != 0.0 {
+                return Err("non-integer value");
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                f as u64
+            }
+        }
+    };
+    let head = head.trim_end();
+    let (name, labels) = match head.split_once('{') {
+        None => (head, BTreeMap::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            let mut labels = BTreeMap::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or("label without `=`")?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or("unquoted label value")?;
+                labels.insert(k.to_string(), v.to_string());
+            }
+            (name, labels)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err("invalid metric name");
+    }
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn diag(rule: &'static str, ts: Option<TimeStamp>, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        ts,
+        message,
+        witness: Vec::new(),
+    }
+}
+
+/// Returns a named counter, reporting a diagnostic when the series is
+/// missing from the document.
+fn require(doc: &PromDoc, name: &'static str, diags: &mut Vec<Diagnostic>) -> Option<u64> {
+    let v = doc.get(name);
+    if v.is_none() {
+        diags.push(diag(
+            "metrics-missing",
+            None,
+            format!("required series `{name}` absent from metrics export"),
+        ));
+    }
+    v
+}
+
+/// Cross-checks exported metric totals against the engine-state export
+/// they were captured with.
+///
+/// Rules (all [`Severity::Error`] — a mismatch is lost or double-counted
+/// telemetry, not a style concern):
+///
+/// - `metrics-missing` — a series the runtime always exports is absent.
+/// - `metrics-dictionaries` — `dacce_dictionaries` must equal the number
+///   of decode dictionaries in the export.
+/// - `metrics-reencodes` — applied re-encodings (`dacce_reencodes_total`
+///   − `dacce_reencode_aborts_total`) must account for every dictionary
+///   past the initial one (and the warm-start one, when edges were
+///   seeded).
+/// - `metrics-generation` — each dictionary's generation row must exist
+///   and agree on `maxID`; `dacce_max_id` must equal the newest
+///   dictionary's.
+/// - `metrics-edges` — every dictionary edge was warm-seeded or
+///   trap-discovered, and a trap precedes every discovery:
+///   `dict.edges ≤ seeded + discovered ≤ seeded + traps`.
+#[must_use]
+pub fn verify_metrics(doc: &PromDoc, decoder: &OfflineDecoder) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let dicts = decoder.dicts();
+
+    let dict_gauge = require(doc, "dacce_dictionaries", &mut diags);
+    let traps = require(doc, "dacce_traps_total", &mut diags);
+    let discovered = require(doc, "dacce_edges_discovered_total", &mut diags);
+    let reencodes = require(doc, "dacce_reencodes_total", &mut diags);
+    let aborts = require(doc, "dacce_reencode_aborts_total", &mut diags);
+    let seeded = require(doc, "dacce_warm_seeded_edges_total", &mut diags);
+    let max_id = require(doc, "dacce_max_id", &mut diags);
+
+    if let Some(g) = dict_gauge {
+        if g != dicts.len() as u64 {
+            diags.push(diag(
+                "metrics-dictionaries",
+                None,
+                format!(
+                    "metrics report {g} dictionaries, export holds {}",
+                    dicts.len()
+                ),
+            ));
+        }
+    }
+
+    if let (Some(re), Some(ab), Some(seeded)) = (reencodes, aborts, seeded) {
+        let applied = re.saturating_sub(ab);
+        // Dictionary count = initial encoding + warm-start re-encoding
+        // (when any edge was seeded) + one per applied re-encoding.
+        let expected = 1 + u64::from(seeded > 0) + applied;
+        if ab > re {
+            diags.push(diag(
+                "metrics-reencodes",
+                None,
+                format!("{ab} re-encode aborts exceed {re} re-encodes"),
+            ));
+        } else if expected != dicts.len() as u64 {
+            diags.push(diag(
+                "metrics-reencodes",
+                None,
+                format!(
+                    "{applied} applied re-encoding(s) (+initial{}) expect {expected} \
+                     dictionaries, export holds {}",
+                    if seeded > 0 { "+warm" } else { "" },
+                    dicts.len()
+                ),
+            ));
+        }
+    }
+
+    for i in 0..dicts.len() {
+        let ts = TimeStamp::new(u32::try_from(i).expect("dict count fits u32"));
+        let dict = dicts.get(ts).expect("store is dense");
+        let generation = ts.raw().to_string();
+        match doc.get_labeled("dacce_dict_max_id", "generation", &generation) {
+            None => diags.push(diag(
+                "metrics-generation",
+                Some(ts),
+                format!("no generation row for dictionary ts={generation}"),
+            )),
+            Some(row_max) if row_max != dict.max_id() => diags.push(diag(
+                "metrics-generation",
+                Some(ts),
+                format!(
+                    "generation row maxID {row_max} != dictionary maxID {}",
+                    dict.max_id()
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    if let (Some(max_id), Some(latest)) = (max_id, dicts.latest()) {
+        if max_id != latest.max_id() {
+            diags.push(diag(
+                "metrics-generation",
+                Some(latest.timestamp()),
+                format!(
+                    "dacce_max_id {max_id} != newest dictionary maxID {}",
+                    latest.max_id()
+                ),
+            ));
+        }
+    }
+
+    if let (Some(traps), Some(discovered), Some(seeded)) = (traps, discovered, seeded) {
+        if discovered > traps {
+            diags.push(diag(
+                "metrics-edges",
+                None,
+                format!("{discovered} edges discovered but only {traps} traps handled"),
+            ));
+        }
+        if let Some(latest) = dicts.latest() {
+            let accounted = seeded + discovered;
+            if (latest.edge_count() as u64) > accounted {
+                diags.push(diag(
+                    "metrics-edges",
+                    Some(latest.timestamp()),
+                    format!(
+                        "newest dictionary encodes {} edges but metrics only account \
+                         for {accounted} ({seeded} seeded + {discovered} discovered)",
+                        latest.edge_count()
+                    ),
+                ));
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacce::{import, DacceConfig, DacceEngine};
+    use dacce_callgraph::{CallSiteId, FunctionId};
+    use dacce_program::{runtime::CallDispatch, CostModel, ThreadId};
+
+    /// An engine driven far enough to trap and re-encode, plus its metrics
+    /// document and re-imported engine-state export.
+    fn run_and_export() -> (PromDoc, OfflineDecoder) {
+        let mut e = DacceEngine::new(
+            DacceConfig {
+                edge_threshold: 1,
+                min_events_between_reencodes: 1,
+                ..DacceConfig::default()
+            },
+            CostModel::default(),
+        );
+        let main = FunctionId::new(0);
+        e.attach_main(main);
+        e.thread_start(ThreadId::MAIN, main, None);
+        for round in 0u32..50 {
+            for i in 0u32..6 {
+                if (round + i) % 3 == 0 {
+                    let (s, f) = (CallSiteId::new(i), FunctionId::new(i + 1));
+                    e.call(ThreadId::MAIN, s, main, f, CallDispatch::Direct, false);
+                    e.ret(ThreadId::MAIN, s, main, f);
+                }
+            }
+        }
+        let text = dacce::export_state(&e);
+        let doc = PromDoc::parse(&e.observability().snapshot().to_prometheus())
+            .expect("runtime export parses");
+        (doc, import(&text).expect("own export imports"))
+    }
+
+    #[test]
+    fn parses_names_labels_and_values() {
+        let doc = PromDoc::parse(
+            "# HELP dacce_traps_total Traps\n\
+             # TYPE dacce_traps_total counter\n\
+             dacce_traps_total 12\n\
+             dacce_dict_edges{generation=\"2\"} 14\n\
+             dacce_trap_ns_bucket{le=\"+Inf\"} 2\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("dacce_traps_total"), Some(12));
+        assert_eq!(
+            doc.get_labeled("dacce_dict_edges", "generation", "2"),
+            Some(14)
+        );
+        assert_eq!(
+            doc.get_labeled("dacce_trap_ns_bucket", "le", "+Inf"),
+            Some(2)
+        );
+        assert_eq!(doc.get("absent"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "dacce_x",
+            "dacce_x{generation=\"1\" 3",
+            "da cce 3",
+            "dacce_x -1",
+        ] {
+            assert!(PromDoc::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn live_run_cross_checks_clean() {
+        let (doc, decoder) = run_and_export();
+        assert!(decoder.dicts().len() > 1, "run must re-encode");
+        let diags = verify_metrics(&doc, &decoder);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    }
+
+    #[test]
+    fn tampered_totals_are_caught() {
+        let (doc, decoder) = run_and_export();
+        let tamper = |name: &str, value: u64| {
+            let mut d = doc.clone();
+            for s in &mut d.samples {
+                if s.name == name && s.labels.is_empty() {
+                    s.value = value;
+                }
+            }
+            d
+        };
+
+        let d = verify_metrics(&tamper("dacce_dictionaries", 99), &decoder);
+        assert!(d.iter().any(|d| d.rule == "metrics-dictionaries"), "{d:?}");
+
+        let d = verify_metrics(&tamper("dacce_reencodes_total", 0), &decoder);
+        assert!(d.iter().any(|d| d.rule == "metrics-reencodes"), "{d:?}");
+
+        let d = verify_metrics(&tamper("dacce_edges_discovered_total", 0), &decoder);
+        assert!(d.iter().any(|d| d.rule == "metrics-edges"), "{d:?}");
+
+        let d = verify_metrics(&tamper("dacce_max_id", 1), &decoder);
+        assert!(d.iter().any(|d| d.rule == "metrics-generation"), "{d:?}");
+
+        let mut gone = doc.clone();
+        gone.samples.retain(|s| s.name != "dacce_traps_total");
+        let d = verify_metrics(&gone, &decoder);
+        assert!(d.iter().any(|d| d.rule == "metrics-missing"), "{d:?}");
+    }
+}

@@ -1,0 +1,460 @@
+//! `dacce-top` — live introspection of a DACCE run.
+//!
+//! Runs one workload from the suite under the DACCE runtime with the event
+//! journal enabled and renders a periodically refreshing health view:
+//! event rates per kind, trap-latency / ccStack-depth / re-encode-cost
+//! histogram sketches, the per-generation dictionary table, id headroom,
+//! and — once the run completes — the hottest calling contexts
+//! reconstructed from the sample log.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin dacce-top -- --bench 401.bzip2
+//! cargo run -p dacce-bench --release --bin dacce-top -- \
+//!     --bench 400.perlbench --json --require-reencodes > top.json
+//! ```
+//!
+//! `--json` skips the live view and emits a single machine-readable
+//! document on stdout (the CI `observe` job consumes this);
+//! `--require-reencodes` makes the process exit non-zero when the journal
+//! recorded no re-encode events — a canary for adaptivity being wired off.
+//! In JSON mode `--prom-out`/`--export-out` additionally write the final
+//! Prometheus metrics export and `dacce-export v1` engine state, the input
+//! pair for `dacce-lint --metrics`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use dacce::{DacceConfig, DacceRuntime, HotContextProfile};
+use dacce_obs::{EventKind, EventRecord, JournalAggregates, MetricsSnapshot};
+use dacce_program::{ContextPath, Interpreter, Program, RunReport};
+use dacce_workloads::{all_benchmarks, interp_config, program_of, BenchSpec, DriverConfig};
+
+struct TopOptions {
+    bench: String,
+    scale: f64,
+    json: bool,
+    interval_ms: u64,
+    require_reencodes: bool,
+    top: usize,
+    /// Write the final Prometheus metrics export here (JSON mode only).
+    prom_out: Option<String>,
+    /// Write the final `dacce-export v1` engine state here (JSON mode
+    /// only). Together with `--prom-out` this feeds `dacce-lint --metrics`.
+    export_out: Option<String>,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            bench: "401.bzip2".to_string(),
+            scale: 0.05,
+            json: false,
+            interval_ms: 500,
+            require_reencodes: false,
+            top: 10,
+            prom_out: None,
+            export_out: None,
+        }
+    }
+}
+
+impl TopOptions {
+    fn from_args() -> TopOptions {
+        let mut o = TopOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" => o.bench = args.next().expect("--bench needs a name"),
+                "--scale" => {
+                    o.scale = args
+                        .next()
+                        .expect("--scale needs a value")
+                        .parse()
+                        .expect("--scale needs a number");
+                }
+                "--interval-ms" => {
+                    o.interval_ms = args
+                        .next()
+                        .expect("--interval-ms needs a value")
+                        .parse()
+                        .expect("--interval-ms needs an integer");
+                }
+                "--top" => {
+                    o.top = args
+                        .next()
+                        .expect("--top needs a value")
+                        .parse()
+                        .expect("--top needs an integer");
+                }
+                "--json" => o.json = true,
+                "--require-reencodes" => o.require_reencodes = true,
+                "--prom-out" => o.prom_out = Some(args.next().expect("--prom-out needs a path")),
+                "--export-out" => {
+                    o.export_out = Some(args.next().expect("--export-out needs a path"));
+                }
+                other => panic!(
+                    "unknown argument {other}; use \
+                     --bench/--scale/--json/--interval-ms/--top/--require-reencodes\
+                     /--prom-out/--export-out"
+                ),
+            }
+        }
+        o
+    }
+}
+
+fn main() {
+    let opts = TopOptions::from_args();
+    let spec = all_benchmarks()
+        .into_iter()
+        .find(|s| s.name.contains(&opts.bench))
+        .unwrap_or_else(|| panic!("no suite benchmark matches {:?}", opts.bench));
+
+    let cfg = DriverConfig {
+        scale: opts.scale,
+        keep_sample_log: true,
+        dacce: DacceConfig {
+            journal_ring_capacity: 1 << 16,
+            keep_sample_log: true,
+            ..DacceConfig::default()
+        },
+        ..DriverConfig::default()
+    };
+    let program = program_of(&spec);
+    let icfg = interp_config(&spec, &cfg);
+    let mut rt = DacceRuntime::new(cfg.dacce.clone(), cfg.cost.clone());
+    let obs = rt.observability().clone();
+    obs.set_journaling(true);
+
+    if opts.json {
+        let report = Interpreter::new(&program, icfg).run(&mut rt);
+        let batch = obs.drain_journal();
+        let by_kind = count_by_kind(&batch.events);
+        let ok = finish_json(
+            &opts,
+            &spec,
+            &program,
+            &report,
+            &rt,
+            &batch.events,
+            &by_kind,
+        );
+        if let Some(path) = &opts.prom_out {
+            write_creating_dirs(path, &rt.observe().to_prometheus());
+        }
+        if let Some(path) = &opts.export_out {
+            write_creating_dirs(path, &dacce::export_state(rt.engine()));
+        }
+        std::process::exit(i32::from(!ok));
+    }
+
+    // Live mode: the workload runs on a worker thread; the main thread
+    // renders from the shared observability handle.
+    let (tx, rx) = mpsc::channel::<(RunReport, DacceRuntime)>();
+    let worker = std::thread::spawn(move || {
+        let report = Interpreter::new(&program, icfg).run(&mut rt);
+        tx.send((report, rt)).expect("main thread alive");
+    });
+
+    let started = Instant::now();
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut events_total = 0u64;
+    let (report, rt) = loop {
+        match rx.recv_timeout(Duration::from_millis(opts.interval_ms)) {
+            Ok(done) => break done,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => panic!("workload thread died"),
+        }
+        let batch = obs.drain_journal();
+        let fresh = count_by_kind(&batch.events);
+        for (k, v) in &fresh {
+            *totals.entry(k).or_insert(0) += v;
+        }
+        events_total += batch.events.len() as u64;
+        let screen = render_live(
+            &spec,
+            started.elapsed(),
+            &obs.snapshot(),
+            &fresh,
+            &totals,
+            events_total,
+            opts.interval_ms,
+        );
+        // Clear + home, then the frame.
+        print!("\x1b[2J\x1b[H{screen}");
+    };
+    worker.join().expect("workload thread joins");
+
+    // Final drain + summary (plain, no ANSI — it should survive in logs).
+    let batch = obs.drain_journal();
+    let fresh = count_by_kind(&batch.events);
+    for (k, v) in &fresh {
+        *totals.entry(k).or_insert(0) += v;
+    }
+    events_total += batch.events.len() as u64;
+    let snap = obs.snapshot();
+    println!("\x1b[2J\x1b[H");
+    println!(
+        "dacce-top — {} finished in {:.2}s ({} calls, overhead {:.3})",
+        spec.name,
+        started.elapsed().as_secs_f64(),
+        report.calls,
+        report.overhead()
+    );
+    println!(
+        "journal: {events_total} events ({} dropped)",
+        snap.journal_dropped
+    );
+    for (kind, n) in &totals {
+        println!("  {kind:<16} {n}");
+    }
+    print!("{}", render_health(&snap));
+    // The program was moved into the worker; regenerate it (deterministic
+    // from the spec) to resolve function names for the context tree.
+    let program = program_of(&spec);
+    print!(
+        "{}",
+        render_hottest(rt.engine(), opts.top, |f| program.name(f).to_string())
+    );
+}
+
+fn write_creating_dirs(path: &str, contents: &str) {
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn count_by_kind(events: &[EventRecord]) -> BTreeMap<&'static str, u64> {
+    let mut map = BTreeMap::new();
+    for ev in events {
+        *map.entry(ev.kind.name()).or_insert(0) += 1;
+    }
+    map
+}
+
+fn render_live(
+    spec: &BenchSpec,
+    elapsed: Duration,
+    snap: &MetricsSnapshot,
+    fresh: &BTreeMap<&'static str, u64>,
+    totals: &BTreeMap<&'static str, u64>,
+    events_total: u64,
+    interval_ms: u64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "dacce-top — {}  [{:.1}s]  journal {} events ({} dropped)",
+        spec.name,
+        elapsed.as_secs_f64(),
+        events_total,
+        snap.journal_dropped
+    );
+    let _ = writeln!(s, "\nevent rates (last {interval_ms} ms):");
+    let _ = writeln!(
+        s,
+        "  {:<16} {:>10} {:>12} {:>10}",
+        "kind", "rate/s", "tick", "total"
+    );
+    let secs = (interval_ms as f64 / 1000.0).max(1e-9);
+    for name in EventKind::all_names() {
+        let tick = fresh.get(name).copied().unwrap_or(0);
+        let total = totals.get(name).copied().unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {name:<16} {:>10.1} {tick:>12} {total:>10}",
+            tick as f64 / secs
+        );
+    }
+    s.push_str(&render_health(snap));
+    s
+}
+
+/// The histogram / dictionary-table / headroom section shared by the live
+/// frame and the final summary.
+fn render_health(snap: &MetricsSnapshot) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\ncounters: traps {} · edges {} · reencodes {} ({} aborted) · \
+         migrations {} · samples {} · ccStack overflows {}",
+        snap.traps,
+        snap.edges_discovered,
+        snap.reencodes,
+        snap.reencode_aborts,
+        snap.migrations,
+        snap.samples,
+        snap.cc_overflows
+    );
+    for (label, h) in [
+        ("trap latency ns", &snap.trap_ns),
+        ("reencode cost", &snap.reencode_cost),
+        ("ccStack depth", &snap.cc_depth),
+        ("sampled ids", &snap.sampled_ids),
+    ] {
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{label:<16} [{}] n={} mean={:.1} p50={} p99={} max={}",
+            h.sketch(),
+            h.count,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\ndictionaries ({} generations):",
+        snap.generations.len()
+    );
+    let _ = writeln!(
+        s,
+        "  {:>4} {:>8} {:>8} {:>14} {:>10}",
+        "gen", "nodes", "edges", "maxID", "cost"
+    );
+    // The table can grow long on eager configs; show the newest entries.
+    for g in snap.generations.iter().rev().take(12).rev() {
+        let _ = writeln!(
+            s,
+            "  {:>4} {:>8} {:>8} {:>14} {:>10}",
+            g.generation, g.nodes, g.edges, g.max_id, g.cost
+        );
+    }
+    let _ = writeln!(
+        s,
+        "id headroom: maxID {} uses {}/64 bits ({} spare)",
+        snap.id_headroom.max_id, snap.id_headroom.bits_used, snap.id_headroom.bits_spare
+    );
+    s
+}
+
+/// Decodes the retained sample log into a hot-context profile and renders
+/// the top of it.
+fn render_hottest(
+    engine: &dacce::DacceEngine,
+    top: usize,
+    mut name: impl FnMut(dacce_callgraph::FunctionId) -> String,
+) -> String {
+    let mut profile = HotContextProfile::new();
+    for ctx in engine.sample_log() {
+        if let Ok(path) = engine.decode(ctx) {
+            profile.record(&path);
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\nhottest contexts ({} samples, {} distinct):",
+        profile.total(),
+        profile.distinct()
+    );
+    for (path, weight) in profile.top(top) {
+        let _ = writeln!(s, "  {weight:>8}  {}", format_path(&path, &mut name));
+    }
+    s
+}
+
+fn format_path(
+    path: &ContextPath,
+    name: &mut impl FnMut(dacce_callgraph::FunctionId) -> String,
+) -> String {
+    path.0
+        .iter()
+        .map(|st| name(st.func))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Emits the one-shot JSON document and returns whether the health checks
+/// passed.
+fn finish_json(
+    opts: &TopOptions,
+    spec: &BenchSpec,
+    program: &Program,
+    report: &RunReport,
+    rt: &DacceRuntime,
+    events: &[EventRecord],
+    by_kind: &BTreeMap<&'static str, u64>,
+) -> bool {
+    let snap = rt.observe();
+    let agg = JournalAggregates::replay(events);
+    let stats = rt.stats();
+
+    let mut profile = HotContextProfile::new();
+    for ctx in rt.engine().sample_log() {
+        if let Ok(path) = rt.engine().decode(ctx) {
+            profile.record(&path);
+        }
+    }
+    let mut hottest = String::from("[");
+    for (i, (path, weight)) in profile.top(opts.top).iter().enumerate() {
+        if i > 0 {
+            hottest.push(',');
+        }
+        let rendered = path
+            .0
+            .iter()
+            .map(|st| program.name(st.func).to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let _ = write!(hottest, "{{\"weight\":{weight},\"path\":\"{rendered}\"}}");
+    }
+    hottest.push(']');
+
+    let mut kinds = String::from("{");
+    for (i, (k, v)) in by_kind.iter().enumerate() {
+        if i > 0 {
+            kinds.push(',');
+        }
+        let _ = write!(kinds, "\"{k}\":{v}");
+    }
+    kinds.push('}');
+
+    println!(
+        "{{\"workload\":\"{}\",\"scale\":{},\"calls\":{},\"overhead\":{:.6},\
+         \"stats\":{{\"traps\":{},\"reencodes\":{},\"reencode_cost\":{},\
+         \"overflow_aborts\":{},\"samples\":{},\"decode_errors\":{}}},\
+         \"journal\":{{\"events\":{},\"dropped\":{},\"by_kind\":{}}},\
+         \"replay\":{{\"traps\":{},\"reencodes\":{},\"migrations\":{}}},\
+         \"metrics\":{},\"hottest\":{}}}",
+        spec.name,
+        opts.scale,
+        report.calls,
+        report.overhead(),
+        stats.traps,
+        stats.reencodes,
+        stats.reencode_cost,
+        stats.overflow_aborts,
+        stats.samples,
+        stats.decode_errors,
+        events.len(),
+        snap.journal_dropped,
+        kinds,
+        agg.traps,
+        agg.reencodes,
+        agg.migrations,
+        snap.to_json(),
+        hottest
+    );
+
+    if opts.require_reencodes && agg.reencodes == 0 {
+        eprintln!(
+            "dacce-top: --require-reencodes: journal recorded no re-encode \
+             events on {}",
+            spec.name
+        );
+        return false;
+    }
+    true
+}

@@ -65,6 +65,13 @@ pub struct DacceConfig {
     /// Keep every sample ever taken (needed by the figure binaries; costs
     /// memory on long runs).
     pub keep_sample_log: bool,
+    /// Per-producer event-journal ring capacity (rounded up to a power of
+    /// two). Only read when the `obs` feature is compiled in; the journal
+    /// additionally has a runtime enable flag and starts disabled.
+    pub journal_ring_capacity: usize,
+    /// ccStack depth at which a new per-thread high-water mark is journaled
+    /// as an overflow event (observability only; no behaviour changes).
+    pub journal_overflow_watermark: u32,
 }
 
 impl Default for DacceConfig {
@@ -86,6 +93,8 @@ impl Default for DacceConfig {
             handle_tail_calls: true,
             sample_ring: 256,
             keep_sample_log: false,
+            journal_ring_capacity: 4096,
+            journal_overflow_watermark: 48,
         }
     }
 }

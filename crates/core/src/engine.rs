@@ -170,9 +170,9 @@ impl DacceEngine {
             }
             None => {
                 cost += self.shared.cost.handler_trap;
-                let (a, newly_tail) = self
-                    .shared
-                    .handle_trap(site, caller, callee, dispatch, tail);
+                let (a, newly_tail) =
+                    self.shared
+                        .handle_trap(tid.raw(), site, caller, callee, dispatch, tail);
                 if let Some(tail_fn) = newly_tail {
                     self.retrofit_tail_frames(tail_fn);
                 }
@@ -182,10 +182,21 @@ impl DacceEngine {
         };
 
         let ctx = self.threads.get_mut(&tid).expect("thread registered");
+        let prev_max = ctx.cc.max_depth();
         let effect = fastpath::exec_call(&self.shared, ctx, site, callee, action, site_wraps, tail);
         cost += effect.cost;
         if effect.compress_hit {
             self.shared.stats.compress_hits += 1;
+        }
+        if action.uses_ccstack() {
+            let depth = ctx.cc.depth();
+            if self.shared.obs_writer.enabled() {
+                self.shared.obs_writer.cc_push(tid.raw(), depth as u32);
+            }
+            if depth > prev_max && depth as u32 >= self.shared.obs_writer.watermark() {
+                self.shared.obs.on_cc_overflow();
+                self.shared.obs_writer.cc_overflow(tid.raw(), depth as u32);
+            }
         }
 
         cost + self.maybe_reencode()
@@ -207,6 +218,11 @@ impl DacceEngine {
             .map_or(crate::patch::EdgeAction::Unencoded, |r| r.action);
         let ctx = self.threads.get_mut(&tid).expect("thread registered");
         let cost = fastpath::exec_ret(&self.shared, ctx, site, caller, action);
+        if action.uses_ccstack() && self.shared.obs_writer.enabled() {
+            self.shared
+                .obs_writer
+                .cc_pop(tid.raw(), ctx.cc.depth() as u32);
+        }
         cost + self.maybe_reencode()
     }
 
@@ -317,6 +333,12 @@ impl DacceEngine {
     /// The configuration the engine runs with.
     pub fn config(&self) -> &DacceConfig {
         &self.shared.config
+    }
+
+    /// The observability handle (event journal + metrics registry). With
+    /// the `obs` feature disabled this is an inert placeholder.
+    pub fn observability(&self) -> &crate::observe::Observability {
+        &self.shared.obs
     }
 }
 

@@ -47,6 +47,7 @@ pub mod decode;
 pub mod engine;
 pub mod export;
 pub(crate) mod fastpath;
+pub mod observe;
 pub mod patch;
 pub mod profile;
 pub mod reencode;
@@ -64,6 +65,7 @@ pub use context::{EncodedContext, SpawnLink};
 pub use decode::{decode_full, decode_thread, DecodeError};
 pub use engine::DacceEngine;
 pub use export::{export_samples, export_state, import, ImportError, OfflineDecoder};
+pub use observe::Observability;
 pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;
 pub use stats::{DacceStats, ProgressPoint};

@@ -45,18 +45,32 @@ impl HotContextProfile {
         self.record_weighted(path, 1);
     }
 
-    /// Records one decoded context with an explicit weight.
+    /// Records one decoded context with an explicit weight. Zero weights
+    /// are dropped: they carry no heat, and materialising them would leave
+    /// phantom contexts in [`Self::distinct`]/[`Self::top`] while keeping
+    /// `total` unchanged.
     pub fn record_weighted(&mut self, path: &ContextPath, weight: u64) {
+        if weight == 0 {
+            return;
+        }
         *self.counts.entry(path.0.clone()).or_insert(0) += weight;
         self.total += weight;
     }
 
-    /// Merges another profile into this one.
+    /// Merges another profile into this one. The invariant `total == sum of
+    /// counts` is preserved: the total grows by exactly the weight copied
+    /// over (zero-count entries, should `other` somehow hold any, are
+    /// skipped rather than materialised).
     pub fn merge(&mut self, other: &HotContextProfile) {
+        let mut copied = 0u64;
         for (path, &count) in &other.counts {
+            if count == 0 {
+                continue;
+            }
             *self.counts.entry(path.clone()).or_insert(0) += count;
+            copied += count;
         }
-        self.total += other.total;
+        self.total += copied;
     }
 
     /// Total recorded weight.

@@ -71,14 +71,20 @@ impl DacceEngine {
             }
         }
 
+        let old_ts = self.shared.ts.raw();
         let (outcome, cost) = self.shared.reencode_core();
 
         if let ReencodeOutcome::Applied = outcome {
             // Regenerate every thread's id/ccStack/shadow under the new
             // encodings.
+            let new_ts = self.shared.ts.raw();
             for (tid, path) in decoded {
                 if let Some(ctx) = self.threads.get_mut(&tid) {
                     fastpath::replay(&self.shared, ctx, &path);
+                    self.shared.obs.on_migration();
+                    if self.shared.obs_writer.enabled() {
+                        self.shared.obs_writer.migration(tid.raw(), old_ts, new_ts);
+                    }
                 }
             }
         }

@@ -30,6 +30,7 @@ use dacce_program::{ContextPath, CostModel};
 use crate::config::{CompressionMode, DacceConfig};
 use crate::context::EncodedContext;
 use crate::decode::{decode_full, DecodeError};
+use crate::observe::{self, ObsWriter, Observability};
 use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
 use crate::stats::{DacceStats, ProgressPoint};
 
@@ -79,11 +80,23 @@ pub(crate) struct SharedState {
     /// Monotone publication counter; bumped whenever a snapshot observable
     /// by fast paths (patches, dictionaries, `maxID`) changed.
     pub(crate) epoch: u64,
+    /// Observability handle (journal + metrics); cloned by runtimes that
+    /// need to observe from other threads.
+    pub(crate) obs: Observability,
+    /// Journal writer for events emitted under the shared lock (traps,
+    /// re-encodes, warm starts) — single-producer because the lock
+    /// serialises all such emissions.
+    pub(crate) obs_writer: ObsWriter,
 }
 
 impl SharedState {
     pub(crate) fn new(config: DacceConfig, cost: CostModel) -> Self {
         let cur_min_events = config.min_events_between_reencodes;
+        let obs = Observability::from_settings(
+            config.journal_ring_capacity,
+            config.journal_overflow_watermark,
+        );
+        let obs_writer = obs.writer(u32::MAX);
         SharedState {
             config,
             cost,
@@ -110,6 +123,8 @@ impl SharedState {
             sample_log: Vec::new(),
             stats: DacceStats::default(),
             epoch: 0,
+            obs,
+            obs_writer,
         }
     }
 
@@ -129,6 +144,13 @@ impl SharedState {
             edges: self.graph.edge_count(),
             max_id: self.max_id,
         });
+        self.obs.record_generation(
+            self.ts.raw(),
+            self.graph.node_count() as u32,
+            self.graph.edge_count() as u32,
+            self.max_id,
+            0,
+        );
     }
 
     /// Adds a (thread) root function to the graph and root set.
@@ -169,12 +191,14 @@ impl SharedState {
     /// can retrofit active frames (shared state has no thread access).
     pub(crate) fn handle_trap(
         &mut self,
+        tid: u32,
         site: CallSiteId,
         caller: FunctionId,
         callee: FunctionId,
         dispatch: CallDispatch,
         tail: bool,
     ) -> (EdgeAction, Option<FunctionId>) {
+        let timer = observe::start_timer();
         self.stats.traps += 1;
         let prev_owner = Arc::make_mut(&mut self.site_owner).insert(site, caller);
         debug_assert!(
@@ -238,6 +262,24 @@ impl SharedState {
         if converted {
             self.stats.hash_conversions += 1;
         }
+
+        self.obs.on_trap(timer.elapsed_ns());
+        self.obs.on_site_patched();
+        if is_new {
+            self.obs.on_edge_discovered();
+        }
+        if self.obs_writer.enabled() {
+            let (s, cr, ce) = (site.raw(), caller.raw(), callee.raw());
+            self.obs_writer.trap(tid, s, cr, ce);
+            if is_new {
+                self.obs_writer.edge_discovered(tid, s, cr, ce);
+            }
+            let targets = match &self.patches.get(site).expect("site patched above").patch {
+                SitePatch::Indirect(p) => p.target_count() as u32,
+                _ => 1,
+            };
+            self.obs_writer.site_patched(tid, s, targets);
+        }
         (action, newly_tail)
     }
 
@@ -259,6 +301,7 @@ impl SharedState {
     pub(crate) fn record_sample(&mut self, snap: &EncodedContext) {
         self.stats.samples += 1;
         self.stats.cc_depths.push(snap.cc_depth() as u32);
+        self.obs.on_sample(snap.cc_depth() as u32, snap.id);
         self.push_ring(snap);
     }
 
@@ -426,6 +469,7 @@ impl SharedState {
         let cost = self.graph.edge_count() as u64 * self.cost.reencode_per_edge;
         self.stats.reencodes += 1;
         self.stats.reencode_cost += cost;
+        self.obs_writer.reencode_begin(self.ts.raw());
 
         self.heat_from_ring();
 
@@ -443,6 +487,9 @@ impl SharedState {
             // PCCE; DACCE graphs stay far below the budget).
             self.reencode_overflowed = true;
             self.stats.overflow_aborts += 1;
+            self.obs.on_reencode(false, cost);
+            self.obs_writer
+                .reencode_end(self.ts.raw(), false, cost, 0, 0, 0);
             return (ReencodeOutcome::Overflowed, cost);
         }
 
@@ -476,6 +523,23 @@ impl SharedState {
         for h in self.edge_heat.values_mut() {
             *h /= 2;
         }
+
+        self.obs.on_reencode(true, cost);
+        self.obs.record_generation(
+            self.ts.raw(),
+            self.graph.node_count() as u32,
+            self.graph.edge_count() as u32,
+            self.max_id,
+            cost,
+        );
+        self.obs_writer.reencode_end(
+            self.ts.raw(),
+            true,
+            cost,
+            self.graph.node_count() as u32,
+            self.graph.edge_count() as u32,
+            self.max_id,
+        );
 
         (ReencodeOutcome::Applied, cost)
     }

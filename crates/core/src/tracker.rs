@@ -46,6 +46,7 @@ use crate::config::DacceConfig;
 use crate::context::{EncodedContext, SpawnLink};
 use crate::decode::{decode_thread, DecodeError};
 use crate::fastpath;
+use crate::observe::{ObsWriter, Observability};
 use crate::patch::EdgeAction;
 use crate::shared::{EncodingSnapshot, ReencodeOutcome, SharedState};
 use crate::stats::{DacceStats, StatsShard};
@@ -78,6 +79,8 @@ struct ThreadState {
     /// Recent samples awaiting a slow-path flush into the shared heat ring.
     pending_samples: Vec<EncodedContext>,
     pending_pos: usize,
+    /// This thread's journal writer (its own event ring; lock-free).
+    writer: ObsWriter,
 }
 
 /// One registered thread's slot. The mutex is per-thread: uncontended in
@@ -117,6 +120,10 @@ struct TrackerInner {
     next_tid: AtomicU32,
     attached: AtomicU32,
     registry: Mutex<Vec<Arc<ThreadSlot>>>,
+    /// Observability handle shared with `shared` (same journal + metrics);
+    /// kept outside the mutex so thread registration and metric hooks on
+    /// the fast path never take the shared lock for it.
+    obs: Observability,
 }
 
 // Lock order (outer to inner): slot -> shared -> published/registry/names.
@@ -200,6 +207,7 @@ impl Tracker {
         };
         let shared = SharedState::new(config, CostModel::default());
         let snap = Arc::new(shared.snapshot());
+        let obs = shared.obs.clone();
         Tracker {
             inner: Arc::new(TrackerInner {
                 shared: Mutex::new(shared),
@@ -214,8 +222,15 @@ impl Tracker {
                 next_tid: AtomicU32::new(0),
                 attached: AtomicU32::new(0),
                 registry: Mutex::new(Vec::new()),
+                obs,
             }),
         }
+    }
+
+    /// The observability handle (event journal + metrics registry). With
+    /// the `obs` feature disabled this is an inert placeholder.
+    pub fn observability(&self) -> &Observability {
+        &self.inner.obs
     }
 
     /// Declares a function and returns its id. The id and the name slot are
@@ -332,6 +347,7 @@ impl Tracker {
                 flushed_cc_ops: 0,
                 pending_samples: Vec::new(),
                 pending_pos: 0,
+                writer: self.inner.obs.writer(tid.raw()),
             }),
         });
         self.inner.registry.lock().push(Arc::clone(&slot));
@@ -446,6 +462,7 @@ impl ThreadHandle {
         let (action, epoch) = match st.snap.resolve(site, target) {
             Some(r) => {
                 let epoch = st.snap.epoch;
+                let prev_max = st.ctx.cc.max_depth();
                 let eff = fastpath::exec_call(
                     &*st.snap,
                     &mut st.ctx,
@@ -459,12 +476,19 @@ impl ThreadHandle {
                     st.shard.compress_hits += 1;
                 }
                 st.shard.calls += 1;
+                if r.action.uses_ccstack() {
+                    self.note_cc_push(st, prev_max);
+                }
                 self.note_local_event(st);
                 (r.action, epoch)
             }
             None => {
                 // trap_call re-resolves under the state it republishes.
+                let prev_max = st.ctx.cc.max_depth();
                 let action = self.trap_call(st, site, caller, target, dispatch);
+                if action.uses_ccstack() {
+                    self.note_cc_push(st, prev_max);
+                }
                 (action, st.snap.epoch)
             }
         };
@@ -498,8 +522,27 @@ impl ThreadHandle {
             if migrated.is_err() {
                 st.shard.decode_errors += 1;
             }
+            self.inner.obs.on_migration();
+            if st.writer.enabled() {
+                st.writer
+                    .migration(self.slot.tid.raw(), st.snap.ts.raw(), new_snap.ts.raw());
+            }
         }
         st.snap = new_snap;
+    }
+
+    /// Journal-side bookkeeping for a ccStack push that just happened:
+    /// records the push event and — when the stack reached a new high-water
+    /// mark past the configured watermark — an overflow event and metric.
+    fn note_cc_push(&self, st: &mut ThreadState, prev_max: usize) {
+        let depth = st.ctx.cc.depth();
+        if st.writer.enabled() {
+            st.writer.cc_push(self.slot.tid.raw(), depth as u32);
+        }
+        if depth > prev_max && depth as u32 >= st.writer.watermark() {
+            self.inner.obs.on_cc_overflow();
+            st.writer.cc_overflow(self.slot.tid.raw(), depth as u32);
+        }
     }
 
     /// The slow path: the cached snapshot has no action for `(site,
@@ -524,10 +567,15 @@ impl ThreadHandle {
 
         // Catch up with any re-encoding published since our epoch check:
         // the call below must execute against the current generation.
-        if sh.ts != st.snap.ts
-            && fastpath::migrate(&*sh, &mut st.ctx, st.snap.dict(), &sh.site_owner).is_err()
-        {
-            st.shard.decode_errors += 1;
+        if sh.ts != st.snap.ts {
+            if fastpath::migrate(&*sh, &mut st.ctx, st.snap.dict(), &sh.site_owner).is_err() {
+                st.shard.decode_errors += 1;
+            }
+            sh.obs.on_migration();
+            if st.writer.enabled() {
+                st.writer
+                    .migration(self.slot.tid.raw(), st.snap.ts.raw(), sh.ts.raw());
+            }
         }
 
         let (action, site_wraps) = match sh.lookup_action(site, target) {
@@ -536,7 +584,8 @@ impl ThreadHandle {
                 // Note: the tracker API has no tail-call entry point, so a
                 // trap can never reveal a newly tail-calling function here
                 // (no frame retrofit needed — that path is engine-only).
-                let (a, newly_tail) = sh.handle_trap(site, caller, target, dispatch, false);
+                let (a, newly_tail) =
+                    sh.handle_trap(self.slot.tid.raw(), site, caller, target, dispatch, false);
                 debug_assert!(newly_tail.is_none());
                 let wraps = sh.patches.get(site).is_some_and(|s| s.tc_wrap);
                 (a, wraps)
@@ -578,10 +627,18 @@ impl ThreadHandle {
                 &sh.site_owner,
             )
         };
+        let old_ts = sh.ts.raw();
         let (outcome, _cost) = sh.reencode_core();
         if let ReencodeOutcome::Applied = outcome {
             match own {
-                Ok(path) => fastpath::replay(&*sh, &mut st.ctx, &path),
+                Ok(path) => {
+                    fastpath::replay(&*sh, &mut st.ctx, &path);
+                    sh.obs.on_migration();
+                    if st.writer.enabled() {
+                        st.writer
+                            .migration(self.slot.tid.raw(), old_ts, sh.ts.raw());
+                    }
+                }
                 Err(_) => sh.stats.decode_errors += 1,
             }
         }
@@ -669,6 +726,7 @@ impl ThreadHandle {
         let snap = snapshot_of(st);
         st.shard.samples += 1;
         st.shard.cc_depths.push(snap.cc_depth() as u32);
+        self.inner.obs.on_sample(snap.cc_depth() as u32, snap.id);
         // Buffer for the shared heat ring (flushed on the next slow path).
         if st.pending_samples.len() < SAMPLE_BACKLOG {
             st.pending_samples.push(snap.clone());
@@ -790,6 +848,10 @@ impl Drop for CallGuard<'_> {
                 .map_or(EdgeAction::Unencoded, |r| r.action)
         };
         let _ = fastpath::exec_ret(&*st.snap, &mut st.ctx, self.site, self.caller, action);
+        if action.uses_ccstack() && st.writer.enabled() {
+            st.writer
+                .cc_pop(self.handle.slot.tid.raw(), st.ctx.cc.depth() as u32);
+        }
         self.handle.note_local_event(st);
     }
 }

@@ -144,11 +144,26 @@ impl SharedState {
                 edges: self.graph.edge_count(),
                 max_id: self.max_id,
             });
-            return WarmStartReport {
+            let report = WarmStartReport {
                 seeded_edges: edges.len(),
                 pruned_edges: total - edges.len(),
                 max_id: self.max_id,
             };
+            self.obs
+                .on_warm_start(report.seeded_edges as u64, report.pruned_edges as u64);
+            self.obs.record_generation(
+                self.ts.raw(),
+                self.graph.node_count() as u32,
+                self.graph.edge_count() as u32,
+                self.max_id,
+                0,
+            );
+            self.obs_writer.warm_seed(
+                report.seeded_edges as u32,
+                report.pruned_edges as u32,
+                self.max_id,
+            );
+            return report;
         }
     }
 }

@@ -1,0 +1,93 @@
+//! Property tests for [`dacce::HotContextProfile`]: the `total` accumulator
+//! must always equal the sum of the per-context counts, no matter how
+//! records (including zero weights) and merges interleave.
+
+use proptest::prelude::*;
+
+use dacce::HotContextProfile;
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::{ContextPath, PathStep};
+
+/// One profile-building operation.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Record the path with the given index and weight.
+    Record { path: usize, weight: u64 },
+    /// Merge a scratch profile built from the listed (path, weight) pairs.
+    Merge(Vec<(usize, u64)>),
+}
+
+fn path(idx: usize) -> ContextPath {
+    // A small pool of distinct paths: chains of varying length and leaf.
+    let len = 1 + idx % 4;
+    ContextPath(
+        (0..len)
+            .map(|d| PathStep {
+                site: if d == 0 {
+                    None
+                } else {
+                    Some(CallSiteId::new((idx * 8 + d) as u32))
+                },
+                func: FunctionId::new((idx * 8 + d) as u32),
+            })
+            .collect(),
+    )
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..12, 0u64..1000).prop_map(|(path, weight)| Op::Record { path, weight }),
+        prop::collection::vec((0usize..12, 0u64..1000), 0..6).prop_map(Op::Merge),
+    ]
+}
+
+fn checked_sum(p: &HotContextProfile) -> u64 {
+    p.top(usize::MAX).iter().map(|(_, c)| *c).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// `total` equals the sum of counts after arbitrary record/merge
+    /// sequences, and no context ever shows up with zero weight.
+    #[test]
+    fn total_equals_sum_of_counts(ops in prop::collection::vec(op_strategy(), 0..24)) {
+        let mut profile = HotContextProfile::new();
+        for op in ops {
+            match op {
+                Op::Record { path: p, weight } => profile.record_weighted(&path(p), weight),
+                Op::Merge(pairs) => {
+                    let mut other = HotContextProfile::new();
+                    for (p, w) in pairs {
+                        other.record_weighted(&path(p), w);
+                    }
+                    prop_assert_eq!(other.total(), checked_sum(&other));
+                    profile.merge(&other);
+                }
+            }
+            prop_assert_eq!(profile.total(), checked_sum(&profile));
+            prop_assert_eq!(profile.distinct(), profile.top(usize::MAX).len());
+            prop_assert!(profile.top(usize::MAX).iter().all(|(_, c)| *c > 0));
+        }
+    }
+
+    /// Merging is weight-preserving: the merged total is the sum of parts.
+    #[test]
+    fn merge_preserves_total(
+        a in prop::collection::vec((0usize..12, 0u64..1000), 0..12),
+        b in prop::collection::vec((0usize..12, 0u64..1000), 0..12),
+    ) {
+        let mut pa = HotContextProfile::new();
+        for (p, w) in a {
+            pa.record_weighted(&path(p), w);
+        }
+        let mut pb = HotContextProfile::new();
+        for (p, w) in b {
+            pb.record_weighted(&path(p), w);
+        }
+        let (ta, tb) = (pa.total(), pb.total());
+        pa.merge(&pb);
+        prop_assert_eq!(pa.total(), ta + tb);
+        prop_assert_eq!(pa.total(), checked_sum(&pa));
+    }
+}

@@ -1,0 +1,631 @@
+//! Typed lifecycle events and their fixed-width / JSON codecs.
+//!
+//! Every event the runtime can emit is a variant of [`EventKind`]; a
+//! [`EventRecord`] wraps the kind with a global sequence number, a
+//! monotonic timestamp (nanoseconds since the journal epoch) and the
+//! emitting thread. Records serialise two ways:
+//!
+//! - a fixed array of `u64` words (`WORDS` per record) so the lock-free
+//!   ring buffer can store them in plain atomics, and
+//! - one flat JSON object per event for export / replay.
+
+/// Number of `u64` words a serialised [`EventRecord`] occupies in a ring
+/// slot: tag+tid packed, seq, nanos, and four payload words.
+pub(crate) const WORDS: usize = 7;
+
+/// A typed runtime lifecycle event.
+///
+/// Variants mirror the DACCE state machine: cold-start traps, call-site
+/// patching, edge discovery, adaptive re-encoding under `gTimeStamp`,
+/// ccStack traffic, lazy cross-generation migration, and warm-start
+/// seeding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A call site trapped into the runtime handler (first execution of
+    /// an edge, or an unpatched indirect target).
+    Trap {
+        /// Call-site identifier.
+        site: u32,
+        /// Caller function id.
+        caller: u32,
+        /// Callee function id.
+        callee: u32,
+    },
+    /// A call site was (re)patched; `targets` is the number of callee
+    /// targets the site dispatches to after patching.
+    SitePatched {
+        /// Call-site identifier.
+        site: u32,
+        /// Number of distinct targets the patched site now covers.
+        targets: u32,
+    },
+    /// A never-before-seen call edge was added to the dynamic call graph.
+    EdgeDiscovered {
+        /// Call-site identifier through which the edge was observed.
+        site: u32,
+        /// Caller function id.
+        caller: u32,
+        /// Callee function id.
+        callee: u32,
+    },
+    /// An adaptive re-encode started; `generation` is the `gTimeStamp`
+    /// in force while the new encoding is computed.
+    ReencodeBegin {
+        /// Generation (timestamp) being superseded.
+        generation: u32,
+    },
+    /// A re-encode finished. `applied` is false when the attempt was
+    /// aborted (e.g. encoding overflow) and the old generation stays
+    /// live.
+    ReencodeEnd {
+        /// Generation in force after the attempt (new one when applied,
+        /// the old one when aborted).
+        generation: u32,
+        /// Whether the new encoding was published.
+        applied: bool,
+        /// Abstract cost charged for the attempt.
+        cost: u64,
+        /// Nodes in the encoded graph.
+        nodes: u32,
+        /// Edges in the encoded graph.
+        edges: u32,
+        /// Maximum context id of the new encoding (0 when aborted).
+        max_id: u64,
+    },
+    /// A value was pushed on a thread's ccStack; `depth` is the stack
+    /// depth after the push.
+    CcPush {
+        /// ccStack depth after the push.
+        depth: u32,
+    },
+    /// A value was popped from a thread's ccStack; `depth` is the stack
+    /// depth after the pop.
+    CcPop {
+        /// ccStack depth after the pop.
+        depth: u32,
+    },
+    /// A thread's ccStack reached a new high-water depth at or above the
+    /// configured watermark.
+    CcOverflow {
+        /// The record depth that crossed the watermark.
+        depth: u32,
+    },
+    /// A thread lazily migrated its context from one encoding generation
+    /// to a newer one.
+    Migration {
+        /// Generation the thread was encoded under.
+        from: u32,
+        /// Generation the thread re-encoded into.
+        to: u32,
+    },
+    /// A warm-start seed was applied before execution began.
+    WarmSeed {
+        /// Edges seeded into the call graph.
+        seeded: u32,
+        /// Seed edges pruned to stay within the id budget.
+        pruned: u32,
+        /// Maximum context id after seeding.
+        max_id: u64,
+    },
+}
+
+const TAG_TRAP: u64 = 1;
+const TAG_SITE_PATCHED: u64 = 2;
+const TAG_EDGE_DISCOVERED: u64 = 3;
+const TAG_REENCODE_BEGIN: u64 = 4;
+const TAG_REENCODE_END: u64 = 5;
+const TAG_CC_PUSH: u64 = 6;
+const TAG_CC_POP: u64 = 7;
+const TAG_CC_OVERFLOW: u64 = 8;
+const TAG_MIGRATION: u64 = 9;
+const TAG_WARM_SEED: u64 = 10;
+
+impl EventKind {
+    /// Stable lowercase name used in JSON exports and rate tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Trap { .. } => "trap",
+            EventKind::SitePatched { .. } => "site_patched",
+            EventKind::EdgeDiscovered { .. } => "edge_discovered",
+            EventKind::ReencodeBegin { .. } => "reencode_begin",
+            EventKind::ReencodeEnd { .. } => "reencode_end",
+            EventKind::CcPush { .. } => "cc_push",
+            EventKind::CcPop { .. } => "cc_pop",
+            EventKind::CcOverflow { .. } => "cc_overflow",
+            EventKind::Migration { .. } => "migration",
+            EventKind::WarmSeed { .. } => "warm_seed",
+        }
+    }
+
+    /// All event names, in tag order; used for by-kind tables.
+    #[must_use]
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "trap",
+            "site_patched",
+            "edge_discovered",
+            "reencode_begin",
+            "reencode_end",
+            "cc_push",
+            "cc_pop",
+            "cc_overflow",
+            "migration",
+            "warm_seed",
+        ]
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            EventKind::Trap { .. } => TAG_TRAP,
+            EventKind::SitePatched { .. } => TAG_SITE_PATCHED,
+            EventKind::EdgeDiscovered { .. } => TAG_EDGE_DISCOVERED,
+            EventKind::ReencodeBegin { .. } => TAG_REENCODE_BEGIN,
+            EventKind::ReencodeEnd { .. } => TAG_REENCODE_END,
+            EventKind::CcPush { .. } => TAG_CC_PUSH,
+            EventKind::CcPop { .. } => TAG_CC_POP,
+            EventKind::CcOverflow { .. } => TAG_CC_OVERFLOW,
+            EventKind::Migration { .. } => TAG_MIGRATION,
+            EventKind::WarmSeed { .. } => TAG_WARM_SEED,
+        }
+    }
+
+    fn payload(&self) -> [u64; 4] {
+        match *self {
+            EventKind::Trap {
+                site,
+                caller,
+                callee,
+            }
+            | EventKind::EdgeDiscovered {
+                site,
+                caller,
+                callee,
+            } => [u64::from(site), u64::from(caller), u64::from(callee), 0],
+            EventKind::SitePatched { site, targets } => [u64::from(site), u64::from(targets), 0, 0],
+            EventKind::ReencodeBegin { generation } => [u64::from(generation), 0, 0, 0],
+            EventKind::ReencodeEnd {
+                generation,
+                applied,
+                cost,
+                nodes,
+                edges,
+                max_id,
+            } => [
+                u64::from(generation) | (u64::from(applied) << 32),
+                cost,
+                u64::from(nodes) | (u64::from(edges) << 32),
+                max_id,
+            ],
+            EventKind::CcPush { depth }
+            | EventKind::CcPop { depth }
+            | EventKind::CcOverflow { depth } => [u64::from(depth), 0, 0, 0],
+            EventKind::Migration { from, to } => [u64::from(from), u64::from(to), 0, 0],
+            EventKind::WarmSeed {
+                seeded,
+                pruned,
+                max_id,
+            } => [u64::from(seeded), u64::from(pruned), max_id, 0],
+        }
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_parts(tag: u64, p: [u64; 4]) -> Option<EventKind> {
+        let lo = |w: u64| w as u32;
+        let hi = |w: u64| (w >> 32) as u32;
+        Some(match tag {
+            TAG_TRAP => EventKind::Trap {
+                site: lo(p[0]),
+                caller: lo(p[1]),
+                callee: lo(p[2]),
+            },
+            TAG_SITE_PATCHED => EventKind::SitePatched {
+                site: lo(p[0]),
+                targets: lo(p[1]),
+            },
+            TAG_EDGE_DISCOVERED => EventKind::EdgeDiscovered {
+                site: lo(p[0]),
+                caller: lo(p[1]),
+                callee: lo(p[2]),
+            },
+            TAG_REENCODE_BEGIN => EventKind::ReencodeBegin {
+                generation: lo(p[0]),
+            },
+            TAG_REENCODE_END => EventKind::ReencodeEnd {
+                generation: lo(p[0]),
+                applied: hi(p[0]) != 0,
+                cost: p[1],
+                nodes: lo(p[2]),
+                edges: hi(p[2]),
+                max_id: p[3],
+            },
+            TAG_CC_PUSH => EventKind::CcPush { depth: lo(p[0]) },
+            TAG_CC_POP => EventKind::CcPop { depth: lo(p[0]) },
+            TAG_CC_OVERFLOW => EventKind::CcOverflow { depth: lo(p[0]) },
+            TAG_MIGRATION => EventKind::Migration {
+                from: lo(p[0]),
+                to: lo(p[1]),
+            },
+            TAG_WARM_SEED => EventKind::WarmSeed {
+                seeded: lo(p[0]),
+                pruned: lo(p[1]),
+                max_id: p[2],
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One journal entry: an [`EventKind`] plus ordering metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Global sequence number; a strict total order across all threads.
+    pub seq: u64,
+    /// Nanoseconds since the journal epoch (monotonic clock).
+    pub nanos: u64,
+    /// Emitting thread id (`ThreadId::raw`).
+    pub tid: u32,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl EventRecord {
+    pub(crate) fn to_words(self) -> [u64; WORDS] {
+        let p = self.kind.payload();
+        [
+            self.kind.tag() | (u64::from(self.tid) << 32),
+            self.seq,
+            self.nanos,
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+        ]
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    pub(crate) fn from_words(w: [u64; WORDS]) -> Option<EventRecord> {
+        let kind = EventKind::from_parts(w[0] & 0xffff_ffff, [w[3], w[4], w[5], w[6]])?;
+        Some(EventRecord {
+            seq: w[1],
+            nanos: w[2],
+            tid: (w[0] >> 32) as u32,
+            kind,
+        })
+    }
+
+    /// Renders this record as one flat JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{{\"seq\":{},\"nanos\":{},\"tid\":{},\"event\":\"{}\"",
+            self.seq,
+            self.nanos,
+            self.tid,
+            self.kind.name()
+        );
+        for (key, value) in self.kind.fields() {
+            let _ = write!(s, ",\"{key}\":{value}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a record from the flat JSON object produced by
+    /// [`EventRecord::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(line: &str) -> Result<EventRecord, String> {
+        let pairs = parse_flat_object(line)?;
+        let num = |key: &str| -> Result<u64, String> {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .ok_or_else(|| format!("missing field `{key}` in event: {line}"))?
+                .1
+                .parse::<u64>()
+                .map_err(|_| format!("field `{key}` is not an integer in event: {line}"))
+        };
+        let num32 = |key: &str| -> Result<u32, String> {
+            u32::try_from(num(key)?).map_err(|_| format!("field `{key}` overflows u32"))
+        };
+        let name = pairs
+            .iter()
+            .find(|(k, _)| k == "event")
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| format!("missing field `event` in: {line}"))?;
+        let kind = match name.as_str() {
+            "trap" => EventKind::Trap {
+                site: num32("site")?,
+                caller: num32("caller")?,
+                callee: num32("callee")?,
+            },
+            "site_patched" => EventKind::SitePatched {
+                site: num32("site")?,
+                targets: num32("targets")?,
+            },
+            "edge_discovered" => EventKind::EdgeDiscovered {
+                site: num32("site")?,
+                caller: num32("caller")?,
+                callee: num32("callee")?,
+            },
+            "reencode_begin" => EventKind::ReencodeBegin {
+                generation: num32("generation")?,
+            },
+            "reencode_end" => EventKind::ReencodeEnd {
+                generation: num32("generation")?,
+                applied: num("applied")? != 0,
+                cost: num("cost")?,
+                nodes: num32("nodes")?,
+                edges: num32("edges")?,
+                max_id: num("max_id")?,
+            },
+            "cc_push" => EventKind::CcPush {
+                depth: num32("depth")?,
+            },
+            "cc_pop" => EventKind::CcPop {
+                depth: num32("depth")?,
+            },
+            "cc_overflow" => EventKind::CcOverflow {
+                depth: num32("depth")?,
+            },
+            "migration" => EventKind::Migration {
+                from: num32("from")?,
+                to: num32("to")?,
+            },
+            "warm_seed" => EventKind::WarmSeed {
+                seeded: num32("seeded")?,
+                pruned: num32("pruned")?,
+                max_id: num("max_id")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        };
+        Ok(EventRecord {
+            seq: num("seq")?,
+            nanos: num("nanos")?,
+            tid: num32("tid")?,
+            kind,
+        })
+    }
+}
+
+impl EventKind {
+    /// Payload fields as `(name, value)` pairs for JSON rendering.
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::Trap {
+                site,
+                caller,
+                callee,
+            }
+            | EventKind::EdgeDiscovered {
+                site,
+                caller,
+                callee,
+            } => vec![
+                ("site", u64::from(site)),
+                ("caller", u64::from(caller)),
+                ("callee", u64::from(callee)),
+            ],
+            EventKind::SitePatched { site, targets } => {
+                vec![("site", u64::from(site)), ("targets", u64::from(targets))]
+            }
+            EventKind::ReencodeBegin { generation } => {
+                vec![("generation", u64::from(generation))]
+            }
+            EventKind::ReencodeEnd {
+                generation,
+                applied,
+                cost,
+                nodes,
+                edges,
+                max_id,
+            } => vec![
+                ("generation", u64::from(generation)),
+                ("applied", u64::from(applied)),
+                ("cost", cost),
+                ("nodes", u64::from(nodes)),
+                ("edges", u64::from(edges)),
+                ("max_id", max_id),
+            ],
+            EventKind::CcPush { depth }
+            | EventKind::CcPop { depth }
+            | EventKind::CcOverflow { depth } => vec![("depth", u64::from(depth))],
+            EventKind::Migration { from, to } => {
+                vec![("from", u64::from(from)), ("to", u64::from(to))]
+            }
+            EventKind::WarmSeed {
+                seeded,
+                pruned,
+                max_id,
+            } => vec![
+                ("seeded", u64::from(seeded)),
+                ("pruned", u64::from(pruned)),
+                ("max_id", max_id),
+            ],
+        }
+    }
+}
+
+/// Renders a slice of records as a JSON array, one object per line.
+#[must_use]
+pub fn events_to_json(events: &[EventRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(&ev.to_json());
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Parses the JSON array produced by [`events_to_json`].
+///
+/// # Errors
+/// Returns a description of the first malformed line.
+pub fn events_from_json(text: &str) -> Result<Vec<EventRecord>, String> {
+    let mut out = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        out.push(EventRecord::from_json(line)?);
+    }
+    Ok(out)
+}
+
+/// Splits a one-line flat JSON object into `(key, value)` string pairs.
+/// Values keep their literal text except string values, which are
+/// unquoted. Nested objects/arrays are rejected.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, String)>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut pairs = Vec::new();
+    for part in split_top_level(body) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed pair `{part}`"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if value.starts_with('{') || value.starts_with('[') {
+            return Err(format!("nested value for `{key}` not supported"));
+        }
+        let value = match value {
+            "true" => "1".to_string(),
+            "false" => "0".to_string(),
+            other => other.trim_matches('"').to_string(),
+        };
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Splits on commas that are not inside a quoted string.
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_string = !in_string;
+                current.push(ch);
+            }
+            ',' if !in_string => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Trap {
+                site: 7,
+                caller: 1,
+                callee: 2,
+            },
+            EventKind::SitePatched {
+                site: 7,
+                targets: 3,
+            },
+            EventKind::EdgeDiscovered {
+                site: 7,
+                caller: 1,
+                callee: 2,
+            },
+            EventKind::ReencodeBegin { generation: 4 },
+            EventKind::ReencodeEnd {
+                generation: 5,
+                applied: true,
+                cost: 1234,
+                nodes: 10,
+                edges: 22,
+                max_id: 99,
+            },
+            EventKind::ReencodeEnd {
+                generation: 5,
+                applied: false,
+                cost: 50,
+                nodes: 0,
+                edges: 0,
+                max_id: 0,
+            },
+            EventKind::CcPush { depth: 3 },
+            EventKind::CcPop { depth: 2 },
+            EventKind::CcOverflow { depth: 64 },
+            EventKind::Migration { from: 2, to: 5 },
+            EventKind::WarmSeed {
+                seeded: 40,
+                pruned: 2,
+                max_id: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn words_roundtrip_every_kind() {
+        for (i, kind) in sample_kinds().into_iter().enumerate() {
+            let rec = EventRecord {
+                seq: i as u64 * 3 + 1,
+                nanos: 1_000_000 + i as u64,
+                tid: u32::try_from(i).unwrap(),
+                kind,
+            };
+            let back = EventRecord::from_words(rec.to_words()).expect("decodable");
+            assert_eq!(rec, back);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_every_kind() {
+        let records: Vec<EventRecord> = sample_kinds()
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| EventRecord {
+                seq: i as u64,
+                nanos: 42 + i as u64,
+                tid: 1,
+                kind,
+            })
+            .collect();
+        let text = events_to_json(&records);
+        let back = events_from_json(&text).expect("parse");
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn bad_words_rejected() {
+        assert!(EventRecord::from_words([999, 0, 0, 0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(EventRecord::from_json("{\"seq\":1}").is_err());
+        assert!(EventRecord::from_json("not json").is_err());
+        assert!(
+            EventRecord::from_json("{\"seq\":1,\"nanos\":2,\"tid\":0,\"event\":\"mystery\"}")
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Renders a [`MetricsSnapshot`] as JSON and Prometheus-style text.
+//!
+//! Both writers are hand-rolled (no serde in the dependency closure). The
+//! JSON form nests histograms and the generation table; the Prometheus
+//! form flattens everything into `dacce_*` series with `HELP`/`TYPE`
+//! headers, cumulative `_bucket{le=...}` histogram series, and a
+//! `generation` label on the dictionary table gauges.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"traps\": {},", self.traps);
+        let _ = writeln!(s, "  \"edges_discovered\": {},", self.edges_discovered);
+        let _ = writeln!(s, "  \"sites_patched\": {},", self.sites_patched);
+        let _ = writeln!(s, "  \"reencodes\": {},", self.reencodes);
+        let _ = writeln!(s, "  \"reencode_aborts\": {},", self.reencode_aborts);
+        let _ = writeln!(s, "  \"migrations\": {},", self.migrations);
+        let _ = writeln!(s, "  \"cc_overflows\": {},", self.cc_overflows);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"warm_seeded_edges\": {},", self.warm_seeded_edges);
+        let _ = writeln!(s, "  \"warm_pruned_edges\": {},", self.warm_pruned_edges);
+        let _ = writeln!(s, "  \"journal_dropped\": {},", self.journal_dropped);
+        let _ = writeln!(
+            s,
+            "  \"id_headroom\": {{\"max_id\": {}, \"bits_used\": {}, \"bits_spare\": {}}},",
+            self.id_headroom.max_id, self.id_headroom.bits_used, self.id_headroom.bits_spare
+        );
+        s.push_str("  \"generations\": [");
+        for (i, g) in self.generations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"generation\": {}, \"nodes\": {}, \"edges\": {}, \"max_id\": {}, \"cost\": {}}}",
+                g.generation, g.nodes, g.edges, g.max_id, g.cost
+            );
+        }
+        if self.generations.is_empty() {
+            s.push_str("],\n");
+        } else {
+            s.push_str("\n  ],\n");
+        }
+        json_histogram(&mut s, "trap_ns", &self.trap_ns, true);
+        json_histogram(&mut s, "reencode_cost", &self.reencode_cost, true);
+        json_histogram(&mut s, "cc_depth", &self.cc_depth, true);
+        json_histogram(&mut s, "sampled_ids", &self.sampled_ids, false);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the snapshot as Prometheus-style exposition text.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let counters: [(&str, &str, u64); 11] = [
+            ("dacce_traps_total", "Cold-start traps handled", self.traps),
+            (
+                "dacce_edges_discovered_total",
+                "New call edges added to the dynamic graph",
+                self.edges_discovered,
+            ),
+            (
+                "dacce_sites_patched_total",
+                "Call sites (re)patched",
+                self.sites_patched,
+            ),
+            (
+                "dacce_reencodes_total",
+                "Re-encode attempts, applied or aborted",
+                self.reencodes,
+            ),
+            (
+                "dacce_reencode_aborts_total",
+                "Re-encode attempts aborted on overflow",
+                self.reencode_aborts,
+            ),
+            (
+                "dacce_migrations_total",
+                "Threads lazily migrated across generations",
+                self.migrations,
+            ),
+            (
+                "dacce_cc_overflows_total",
+                "New ccStack high-water marks at or above the watermark",
+                self.cc_overflows,
+            ),
+            ("dacce_samples_total", "Context samples taken", self.samples),
+            (
+                "dacce_warm_seeded_edges_total",
+                "Warm-start edges seeded",
+                self.warm_seeded_edges,
+            ),
+            (
+                "dacce_warm_pruned_edges_total",
+                "Warm-start edges pruned for id budget",
+                self.warm_pruned_edges,
+            ),
+            (
+                "dacce_journal_dropped_total",
+                "Journal records lost to ring overwrites",
+                self.journal_dropped,
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} counter");
+            let _ = writeln!(s, "{name} {value}");
+        }
+        let gauges: [(&str, &str, u64); 4] = [
+            (
+                "dacce_dictionaries",
+                "Encoding generations with a live decode dictionary",
+                self.generations.len() as u64,
+            ),
+            (
+                "dacce_max_id",
+                "maxID of the current encoding generation",
+                self.id_headroom.max_id,
+            ),
+            (
+                "dacce_id_bits_used",
+                "Bits needed to represent the current maxID",
+                u64::from(self.id_headroom.bits_used),
+            ),
+            (
+                "dacce_id_bits_spare",
+                "Bits of u64 headroom before context ids overflow",
+                u64::from(self.id_headroom.bits_spare),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} gauge");
+            let _ = writeln!(s, "{name} {value}");
+        }
+        for (name, help) in [
+            ("dacce_dict_nodes", "Nodes per encoding generation"),
+            ("dacce_dict_edges", "Edges per encoding generation"),
+            ("dacce_dict_max_id", "maxID per encoding generation"),
+        ] {
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} gauge");
+            for g in &self.generations {
+                let value = match name {
+                    "dacce_dict_nodes" => u64::from(g.nodes),
+                    "dacce_dict_edges" => u64::from(g.edges),
+                    _ => g.max_id,
+                };
+                let _ = writeln!(s, "{name}{{generation=\"{}\"}} {value}", g.generation);
+            }
+        }
+        prom_histogram(
+            &mut s,
+            "dacce_trap_ns",
+            "Trap-handling latency in nanoseconds",
+            &self.trap_ns,
+        );
+        prom_histogram(
+            &mut s,
+            "dacce_reencode_cost",
+            "Abstract cost per re-encode attempt",
+            &self.reencode_cost,
+        );
+        prom_histogram(
+            &mut s,
+            "dacce_cc_depth",
+            "ccStack depth at sample points",
+            &self.cc_depth,
+        );
+        prom_histogram(
+            &mut s,
+            "dacce_sampled_ids",
+            "Context ids observed at sample points",
+            &self.sampled_ids,
+        );
+        s
+    }
+}
+
+fn json_histogram(s: &mut String, name: &str, h: &HistogramSnapshot, trailing_comma: bool) {
+    let _ = write!(
+        s,
+        "  \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+        h.count, h.sum, h.max
+    );
+    for (i, (le, n)) in h.nonzero_buckets().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{{\"le\": {le}, \"count\": {n}}}");
+    }
+    s.push_str("]}");
+    if trailing_comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+fn prom_histogram(s: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(s, "# HELP {name} {help}");
+    let _ = writeln!(s, "# TYPE {name} histogram");
+    let mut cumulative = 0;
+    for (le, n) in h.nonzero_buckets() {
+        cumulative += n;
+        if le == u64::MAX {
+            let _ = writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        } else {
+            let _ = writeln!(s, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+    }
+    if cumulative < h.count {
+        cumulative = h.count;
+    }
+    let _ = writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(s, "{name}_sum {}", h.sum);
+    let _ = writeln!(s, "{name}_count {}", h.count);
+    let _ = writeln!(s, "{name}_max {}", h.max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{GenerationInfo, MetricsRegistry};
+
+    fn populated() -> MetricsSnapshot {
+        let reg = MetricsRegistry::default();
+        reg.traps.add(12);
+        reg.edges_discovered.add(10);
+        reg.reencodes.add(2);
+        reg.trap_ns.observe(1500);
+        reg.trap_ns.observe(900);
+        reg.cc_depth.observe(4);
+        reg.record_generation(GenerationInfo {
+            generation: 1,
+            nodes: 8,
+            edges: 10,
+            max_id: 40,
+            cost: 0,
+        });
+        reg.record_generation(GenerationInfo {
+            generation: 2,
+            nodes: 9,
+            edges: 14,
+            max_id: 70,
+            cost: 33,
+        });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_is_balanced_and_contains_fields() {
+        let json = populated().to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in: {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"traps\": 12"));
+        assert!(json.contains("\"generation\": 2"));
+        assert!(json.contains("\"trap_ns\""));
+    }
+
+    #[test]
+    fn empty_snapshot_json_is_balanced() {
+        let json = MetricsSnapshot::default().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_contains_series_and_labels() {
+        let text = populated().to_prometheus();
+        assert!(text.contains("dacce_traps_total 12"));
+        assert!(text.contains("dacce_dictionaries 2"));
+        assert!(text.contains("dacce_dict_edges{generation=\"2\"} 14"));
+        assert!(text.contains("dacce_trap_ns_count 2"));
+        assert!(text.contains("dacce_trap_ns_bucket{le=\"+Inf\"} 2"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line}"
+            );
+            assert!(parts.next().is_some());
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The event journal: per-writer rings, global sequencing, merged drains.
+//!
+//! A [`Journal`] owns one [`EventRing`] per registered writer and a global
+//! sequence counter that gives every record a strict total order across
+//! threads. Emission is gated by a runtime flag read with a relaxed load;
+//! when the flag is off, [`JournalWriter::emit`] returns before
+//! constructing anything. Draining collects each ring's published records
+//! and merges them by sequence number into one ordered stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{EventKind, EventRecord};
+use crate::ring::EventRing;
+
+/// Journal construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct JournalConfig {
+    /// Slots per writer ring (rounded up to a power of two, min 8).
+    pub ring_capacity: usize,
+    /// ccStack depth at which new high-water marks emit `CcOverflow`.
+    pub overflow_watermark: u32,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            ring_capacity: 4096,
+            overflow_watermark: 48,
+        }
+    }
+}
+
+/// A merged drain result: records ordered by global sequence number plus
+/// the number of records lost to ring overwrites since the last drain.
+#[derive(Clone, Debug, Default)]
+pub struct JournalBatch {
+    /// Drained records, ascending by `seq`.
+    pub events: Vec<EventRecord>,
+    /// Records overwritten before this drain could read them.
+    pub dropped: u64,
+}
+
+/// Lock-free event journal shared by the runtime and its threads.
+pub struct Journal {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+    config: JournalConfig,
+    rings: Mutex<Vec<Arc<EventRing>>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("enabled", &self.enabled())
+            .field("config", &self.config)
+            .field("writers", &self.rings.lock().map_or(0, |r| r.len()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Creates a disabled journal; call [`Journal::set_enabled`] to start
+    /// recording.
+    #[must_use]
+    pub fn new(config: JournalConfig) -> Journal {
+        Journal {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+            config,
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether emission is currently on (relaxed load — the fast-path
+    /// gate).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns emission on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The configuration the journal was built with.
+    #[must_use]
+    pub fn config(&self) -> JournalConfig {
+        self.config
+    }
+
+    /// Total records lost to ring overwrites across all drains so far.
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Registers a new single-producer writer with its own ring.
+    #[must_use]
+    pub fn writer(self: &Arc<Self>, tid: u32) -> JournalWriter {
+        let ring = Arc::new(EventRing::new(self.config.ring_capacity));
+        self.rings
+            .lock()
+            .expect("journal ring registry poisoned")
+            .push(Arc::clone(&ring));
+        JournalWriter {
+            journal: Arc::clone(self),
+            ring,
+            tid,
+        }
+    }
+
+    /// Drains every ring and merges the records into one stream ordered
+    /// by global sequence number.
+    #[must_use]
+    pub fn drain(&self) -> JournalBatch {
+        let rings: Vec<Arc<EventRing>> = self
+            .rings
+            .lock()
+            .expect("journal ring registry poisoned")
+            .clone();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for ring in rings {
+            dropped += ring.drain_into(&mut events);
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        JournalBatch { events, dropped }
+    }
+}
+
+/// A handle for one producer thread; owns a private ring inside the
+/// journal. Emission is a relaxed-load check plus a handful of atomic
+/// stores when enabled, and a single relaxed load when disabled.
+pub struct JournalWriter {
+    journal: Arc<Journal>,
+    ring: Arc<EventRing>,
+    tid: u32,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Whether the journal is currently recording (relaxed load).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.journal.enabled()
+    }
+
+    /// The ccStack depth at which new high-water marks should emit
+    /// `CcOverflow`.
+    #[must_use]
+    pub fn overflow_watermark(&self) -> u32 {
+        self.journal.config.overflow_watermark
+    }
+
+    /// The thread id stamped on this writer's records.
+    #[must_use]
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Records an event for this writer's thread, if recording is on.
+    pub fn emit(&self, kind: EventKind) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit_always(self.tid, kind);
+    }
+
+    /// Records an event attributed to an explicit thread (used by the
+    /// shared slow path, which acts on behalf of the trapping thread).
+    pub fn emit_for(&self, tid: u32, kind: EventKind) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit_always(tid, kind);
+    }
+
+    fn emit_always(&self, tid: u32, kind: EventKind) {
+        let seq = self.journal.seq.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(self.journal.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.ring.push(&EventRecord {
+            seq,
+            nanos,
+            tid,
+            kind,
+        });
+    }
+}
+
+/// Aggregate counters reconstructed by replaying a journal stream.
+///
+/// Field names match their `DacceStats` counterparts where one exists, so
+/// a journal captured with large-enough rings can be checked against the
+/// engine's own accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalAggregates {
+    /// `Trap` events (== `DacceStats::traps` when nothing was dropped).
+    pub traps: u64,
+    /// `EdgeDiscovered` events.
+    pub edges_discovered: u64,
+    /// `SitePatched` events.
+    pub sites_patched: u64,
+    /// `ReencodeEnd` events, applied or not (== `DacceStats::reencodes`).
+    pub reencodes: u64,
+    /// Sum of `ReencodeEnd` costs (== `DacceStats::reencode_cost`).
+    pub reencode_cost: u64,
+    /// `ReencodeEnd` events with `applied == false`
+    /// (== `DacceStats::overflow_aborts`).
+    pub overflow_aborts: u64,
+    /// `CcPush` events.
+    pub cc_pushes: u64,
+    /// `CcPop` events.
+    pub cc_pops: u64,
+    /// `CcOverflow` events.
+    pub cc_overflows: u64,
+    /// `Migration` events.
+    pub migrations: u64,
+    /// Edges seeded by `WarmSeed` events.
+    pub warm_seeded: u64,
+    /// Edges pruned by `WarmSeed` events.
+    pub warm_pruned: u64,
+    /// Highest ccStack depth seen in any ccStack event.
+    pub max_cc_depth: u32,
+}
+
+impl JournalAggregates {
+    /// Replays a stream of records into aggregate counters.
+    #[must_use]
+    pub fn replay(events: &[EventRecord]) -> JournalAggregates {
+        let mut agg = JournalAggregates::default();
+        for ev in events {
+            match ev.kind {
+                EventKind::Trap { .. } => agg.traps += 1,
+                EventKind::EdgeDiscovered { .. } => agg.edges_discovered += 1,
+                EventKind::SitePatched { .. } => agg.sites_patched += 1,
+                EventKind::ReencodeBegin { .. } => {}
+                EventKind::ReencodeEnd { applied, cost, .. } => {
+                    agg.reencodes += 1;
+                    agg.reencode_cost += cost;
+                    if !applied {
+                        agg.overflow_aborts += 1;
+                    }
+                }
+                EventKind::CcPush { depth } => {
+                    agg.cc_pushes += 1;
+                    agg.max_cc_depth = agg.max_cc_depth.max(depth);
+                }
+                EventKind::CcPop { depth } => {
+                    agg.cc_pops += 1;
+                    agg.max_cc_depth = agg.max_cc_depth.max(depth);
+                }
+                EventKind::CcOverflow { depth } => {
+                    agg.cc_overflows += 1;
+                    agg.max_cc_depth = agg.max_cc_depth.max(depth);
+                }
+                EventKind::Migration { .. } => agg.migrations += 1,
+                EventKind::WarmSeed { seeded, pruned, .. } => {
+                    agg.warm_seeded += u64::from(seeded);
+                    agg.warm_pruned += u64::from(pruned);
+                }
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_emits_nothing() {
+        let journal = Arc::new(Journal::new(JournalConfig::default()));
+        let writer = journal.writer(0);
+        assert!(!writer.enabled());
+        writer.emit(EventKind::CcPush { depth: 1 });
+        let batch = journal.drain();
+        assert!(batch.events.is_empty());
+        assert_eq!(batch.dropped, 0);
+    }
+
+    #[test]
+    fn multi_writer_drain_is_seq_ordered() {
+        let journal = Arc::new(Journal::new(JournalConfig::default()));
+        journal.set_enabled(true);
+        let w0 = journal.writer(0);
+        let w1 = journal.writer(1);
+        for i in 0..50u32 {
+            if i % 2 == 0 {
+                w0.emit(EventKind::CcPush { depth: i });
+            } else {
+                w1.emit(EventKind::CcPop { depth: i });
+            }
+        }
+        let batch = journal.drain();
+        assert_eq!(batch.events.len(), 50);
+        assert_eq!(batch.dropped, 0);
+        assert!(batch.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(batch.events.iter().any(|e| e.tid == 0));
+        assert!(batch.events.iter().any(|e| e.tid == 1));
+    }
+
+    #[test]
+    fn toggling_enabled_gates_emission() {
+        let journal = Arc::new(Journal::new(JournalConfig::default()));
+        let writer = journal.writer(3);
+        writer.emit(EventKind::Trap {
+            site: 1,
+            caller: 0,
+            callee: 2,
+        });
+        journal.set_enabled(true);
+        writer.emit(EventKind::Trap {
+            site: 1,
+            caller: 0,
+            callee: 2,
+        });
+        journal.set_enabled(false);
+        writer.emit(EventKind::Trap {
+            site: 1,
+            caller: 0,
+            callee: 2,
+        });
+        assert_eq!(journal.drain().events.len(), 1);
+    }
+
+    #[test]
+    fn replay_matches_emitted_counts() {
+        let journal = Arc::new(Journal::new(JournalConfig {
+            ring_capacity: 1 << 14,
+            ..JournalConfig::default()
+        }));
+        journal.set_enabled(true);
+        let writer = journal.writer(0);
+        for i in 0..10u32 {
+            writer.emit(EventKind::Trap {
+                site: i,
+                caller: 0,
+                callee: i + 1,
+            });
+            writer.emit(EventKind::EdgeDiscovered {
+                site: i,
+                caller: 0,
+                callee: i + 1,
+            });
+        }
+        writer.emit(EventKind::ReencodeBegin { generation: 1 });
+        writer.emit(EventKind::ReencodeEnd {
+            generation: 2,
+            applied: true,
+            cost: 77,
+            nodes: 11,
+            edges: 10,
+            max_id: 40,
+        });
+        writer.emit(EventKind::ReencodeEnd {
+            generation: 2,
+            applied: false,
+            cost: 5,
+            nodes: 0,
+            edges: 0,
+            max_id: 0,
+        });
+        let batch = journal.drain();
+        let agg = JournalAggregates::replay(&batch.events);
+        assert_eq!(agg.traps, 10);
+        assert_eq!(agg.edges_discovered, 10);
+        assert_eq!(agg.reencodes, 2);
+        assert_eq!(agg.reencode_cost, 82);
+        assert_eq!(agg.overflow_aborts, 1);
+    }
+}

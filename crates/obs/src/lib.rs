@@ -1,0 +1,35 @@
+//! Runtime observability for the DACCE reproduction.
+//!
+//! Three pieces, designed so the encoded fast path pays at most one
+//! relaxed atomic load when observability is compiled in but idle:
+//!
+//! - **Event journal** ([`Journal`]): typed lifecycle events
+//!   ([`EventKind`]) recorded into per-writer, fixed-capacity, lock-free
+//!   ring buffers ([`ring::EventRing`]) with overwrite-oldest semantics,
+//!   drained on demand into one stream ordered by a global sequence
+//!   number. Streams round-trip through JSON ([`events_to_json`] /
+//!   [`events_from_json`]) and replay into aggregate counters
+//!   ([`JournalAggregates`]) comparable with the engine's `DacceStats`.
+//! - **Metrics registry** ([`MetricsRegistry`]): sharded counters and
+//!   log₂-bucketed histograms plus the per-generation dictionary table,
+//!   snapshotted into plain data ([`MetricsSnapshot`]) and exported as
+//!   JSON or Prometheus-style text.
+//! - The `dacce` core crate wires both into the engine behind its `obs`
+//!   feature; the `dacce-top` binary renders them live.
+//!
+//! This crate is dependency-free and contains no `unsafe`.
+
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod ring;
+
+pub use event::{events_from_json, events_to_json, EventKind, EventRecord};
+pub use journal::{Journal, JournalAggregates, JournalBatch, JournalConfig, JournalWriter};
+pub use metrics::{
+    Counter, GenerationInfo, Histogram, HistogramSnapshot, IdHeadroom, MetricsRegistry,
+    MetricsSnapshot,
+};

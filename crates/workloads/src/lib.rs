@@ -27,8 +27,8 @@ pub mod suite;
 
 pub use characterize::{characterize, ProgramShape};
 pub use driver::{
-    run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm, run_with, BenchOutcome,
-    DriverConfig,
+    interp_config, program_of, run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm,
+    run_with, BenchOutcome, DriverConfig,
 };
 pub use genprog::generate_program;
 pub use spec::{BenchSpec, Suite};

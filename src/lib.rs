@@ -18,6 +18,7 @@ pub use dacce;
 pub use dacce_baselines;
 pub use dacce_callgraph;
 pub use dacce_metrics;
+pub use dacce_obs;
 pub use dacce_pcce;
 pub use dacce_program;
 pub use dacce_workloads;
