@@ -1,6 +1,6 @@
 //! `dacce-lint` — audit exported DACCE engine states.
 //!
-//! Usage: `dacce-lint [--metrics <prometheus-file>] <export-file>...`
+//! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] <export-file>...`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
 //! file is imported and run through the encoding verifier; findings are
@@ -8,16 +8,20 @@
 //! `--metrics`, a Prometheus document exported by the same run (e.g.
 //! `dacce-top --prom-out`) is additionally cross-checked against each
 //! export: dictionary counts, generation `maxID`s and the
-//! traps/edges/re-encodes arithmetic must agree. Exits non-zero if any
-//! file fails to parse or any error-severity finding is reported.
+//! traps/edges/re-encodes arithmetic must agree. With `--dispatch`, the
+//! export's compiled dispatch table (the flat slot-indexed fast path) is
+//! verified edge-for-edge against the latest dictionary (rule
+//! `dispatch-table`). Exits non-zero if any file fails to parse or any
+//! error-severity finding is reported.
 
 use std::process::ExitCode;
 
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
-use dacce_analyze::verifier::verify_export;
+use dacce_analyze::verifier::{verify_dispatch, verify_export};
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
+    let mut dispatch = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,12 +33,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--dispatch" {
+            dispatch = true;
         } else {
             files.push(arg);
         }
     }
     if files.is_empty() {
-        eprintln!("usage: dacce-lint [--metrics <prometheus-file>] <export-file>...");
+        eprintln!("usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] <export-file>...");
         return ExitCode::from(2);
     }
 
@@ -80,6 +86,13 @@ fn main() -> ExitCode {
         let mut diags = verify_export(&decoder);
         if let Some(doc) = &prom {
             diags.extend(verify_metrics(doc, &decoder));
+        }
+        if dispatch {
+            if decoder.dispatch().is_empty() {
+                eprintln!("{file}: --dispatch requested but export carries no dispatch records");
+                errors += 1;
+            }
+            diags.extend(verify_dispatch(&decoder));
         }
         for d in &diags {
             println!("{file}: {d}");

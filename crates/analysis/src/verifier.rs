@@ -14,6 +14,7 @@
 //! | `unencoded-range` | error | `maxID = max numCC - 1`, so unencoded-edge ids land in `[maxID+1, 2*maxID+1]` without colliding with encoded ids |
 //! | `hottest-zero` | warning | every join node has an incoming edge encoded 0 (the hottest edge after adaptive re-encoding) |
 //! | `overflow-budget` | error | `2*maxID+1` and every path sum fit in 64 bits |
+//! | `dispatch-table` | error | the exported compiled dispatch table agrees edge-for-edge with the latest dictionary (opt-in via [`verify_dispatch`] / `dacce-lint --dispatch`) |
 //!
 //! The partition check is the workhorse: if at every node the sorted
 //! non-back incoming encodings are exactly the prefix sums of their
@@ -25,7 +26,8 @@
 
 use std::collections::HashMap;
 
-use dacce::{DacceEngine, OfflineDecoder};
+use dacce::patch::EdgeAction;
+use dacce::{DacceEngine, DispatchKind, OfflineDecoder};
 use dacce_callgraph::encode::MAX_ENCODABLE_ID;
 use dacce_callgraph::{CallSiteId, DecodeDict, DictEdge, DictStore, FunctionId, TimeStamp};
 
@@ -86,6 +88,140 @@ pub fn verify_export(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
 /// Verifies a live engine's dictionaries.
 pub fn verify_engine(engine: &DacceEngine) -> Vec<Diagnostic> {
     verify_dicts(engine.dicts(), engine.site_owner_map())
+}
+
+/// Cross-checks the export's compiled dispatch table (the flat slot-indexed
+/// fast path) against the latest dictionary (the logical encoding), rule
+/// `dispatch-table`:
+///
+/// * each compiled site uses exactly one slot, and no two sites share one;
+/// * every latest-dictionary edge has a compiled record for its
+///   `(site, callee)` pair — non-back edges must be compiled
+///   `Encoded { delta }` with `delta` equal to the edge's encoding, back
+///   edges must be compiled with a ccStack action;
+/// * every compiled `Encoded` record corresponds to a latest-dictionary
+///   non-back edge with the same encoding (stale deltas from an earlier
+///   generation are the bug this rule exists to catch). Extra ccStack
+///   records without a dictionary edge are allowed: traps patch sites
+///   before the edge is frozen into a dictionary.
+///
+/// Exports produced before the flat dispatch table carry no records;
+/// those return no findings.
+pub fn verify_dispatch(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let records = decoder.dispatch();
+    if records.is_empty() {
+        return out;
+    }
+    let ts = decoder.dicts().latest().map(DecodeDict::timestamp);
+    let err = |message: String, witness: Vec<String>| Diagnostic {
+        rule: "dispatch-table",
+        severity: Severity::Error,
+        ts,
+        message,
+        witness,
+    };
+
+    // Slot discipline: one slot per site, one site per slot.
+    let mut slot_of: HashMap<CallSiteId, u32> = HashMap::new();
+    let mut site_of: HashMap<u32, CallSiteId> = HashMap::new();
+    for r in records {
+        match slot_of.insert(r.site, r.slot) {
+            Some(prev) if prev != r.slot => out.push(err(
+                format!(
+                    "site {} compiled with two slots ({prev} and {})",
+                    r.site, r.slot
+                ),
+                Vec::new(),
+            )),
+            _ => {}
+        }
+        match site_of.insert(r.slot, r.site) {
+            Some(prev) if prev != r.site => out.push(err(
+                format!("slot {} shared by sites {prev} and {}", r.slot, r.site),
+                Vec::new(),
+            )),
+            _ => {}
+        }
+    }
+
+    // Index compiled actions by (site, target); trap records carry none.
+    let mut compiled: HashMap<(CallSiteId, FunctionId), EdgeAction> = HashMap::new();
+    for r in records {
+        if let (Some(target), Some(action)) = (r.target, r.action) {
+            if compiled.insert((r.site, target), action).is_some() {
+                out.push(err(
+                    format!("duplicate dispatch record for ({}, {target})", r.site),
+                    Vec::new(),
+                ));
+            }
+        } else if r.kind != DispatchKind::Trap {
+            out.push(err(
+                format!("non-trap record for {} lacks target/action", r.site),
+                Vec::new(),
+            ));
+        }
+    }
+
+    let Some(latest) = decoder.dicts().latest() else {
+        out.push(err(
+            "dispatch records present but no dictionary to check against".into(),
+            Vec::new(),
+        ));
+        return out;
+    };
+
+    // Edge-for-edge agreement with the latest (current-generation)
+    // dictionary.
+    let mut edge_of: HashMap<(CallSiteId, FunctionId), &DictEdge> = HashMap::new();
+    for e in latest.edges() {
+        edge_of.insert((e.site, e.callee), e);
+        let Some(&action) = compiled.get(&(e.site, e.callee)) else {
+            out.push(err(
+                format!(
+                    "dictionary edge {} --{}--> {} has no compiled dispatch record",
+                    e.caller, e.site, e.callee
+                ),
+                Vec::new(),
+            ));
+            continue;
+        };
+        if e.back {
+            if !action.uses_ccstack() {
+                out.push(err(
+                    format!(
+                        "back edge {} --{}--> {} compiled as {action:?} instead of a \
+                         ccStack action",
+                        e.caller, e.site, e.callee
+                    ),
+                    Vec::new(),
+                ));
+            }
+        } else if action != (EdgeAction::Encoded { delta: e.encoding }) {
+            out.push(err(
+                format!(
+                    "edge {} --{}--> {} is encoded {} in the dictionary but compiled \
+                     as {action:?}",
+                    e.caller, e.site, e.callee, e.encoding
+                ),
+                Vec::new(),
+            ));
+        }
+    }
+    for (&(site, target), &action) in &compiled {
+        if let EdgeAction::Encoded { delta } = action {
+            if !edge_of.contains_key(&(site, target)) {
+                out.push(err(
+                    format!(
+                        "compiled record ({site}, {target}) adds {delta} but the latest \
+                         dictionary has no such edge"
+                    ),
+                    Vec::new(),
+                ));
+            }
+        }
+    }
+    out
 }
 
 fn verify_dict(
@@ -464,6 +600,120 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.rule == "unencoded-range" && d.is_error()));
+    }
+
+    fn exported_engine_text() -> String {
+        use dacce::{export_state, DacceConfig};
+        use dacce_program::runtime::CallDispatch;
+        use dacce_program::{CostModel, ThreadId};
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        for i in 0..4u32 {
+            let caller = if i == 0 { f(0) } else { f(i) };
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(i),
+                caller,
+                f(i + 1),
+                CallDispatch::Direct,
+                false,
+            );
+        }
+        // An indirect site with two targets exercises poly records.
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(9),
+            f(4),
+            f(6),
+            CallDispatch::Indirect,
+            false,
+        );
+        let _ = e.ret(ThreadId::MAIN, s(9), f(4), f(6));
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(9),
+            f(4),
+            f(7),
+            CallDispatch::Indirect,
+            false,
+        );
+        export_state(&e)
+    }
+
+    #[test]
+    fn dispatch_table_agreement_is_clean() {
+        let text = exported_engine_text();
+        let decoder = dacce::import(&text).expect("imports");
+        assert!(
+            !decoder.dispatch().is_empty(),
+            "export must carry dispatch records"
+        );
+        let diags = verify_dispatch(&decoder);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn stale_dispatch_delta_is_detected() {
+        let text = exported_engine_text();
+        let mut done = false;
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if !done && l.starts_with("dispatch") && l.contains("enc:") {
+                    done = true;
+                    let pos = l.find("enc:").unwrap();
+                    let rest = &l[pos + 4..];
+                    let end = rest.find(' ').unwrap_or(rest.len());
+                    let delta: u64 = rest[..end].parse().unwrap();
+                    format!("{}enc:{}{}", &l[..pos], delta + 17, &rest[end..])
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(done, "export must contain an encoded dispatch record");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_dispatch(&decoder);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "dispatch-table" && d.is_error()),
+            "stale delta must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn shared_dispatch_slot_is_detected() {
+        let text = exported_engine_text();
+        // Rewrite every dispatch slot to 0 so distinct sites collide.
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("dispatch") {
+                    let mut parts: Vec<&str> = l.split(' ').collect();
+                    parts[2] = "0";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_dispatch(&decoder);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "dispatch-table" && d.message.contains("shared by sites")),
+            "slot collision must be reported: {diags:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Per-op cost of the four site-dispatch outcomes on the tracker fast
+//! path, single-threaded so nothing but the dispatch shape varies:
+//!
+//! * `mono` — direct site, one known target: the compiled record *is* the
+//!   resolution (one bounds-checked array index, no compare).
+//! * `poly_hit` — indirect site with two known targets, always called
+//!   with the same one: after the first probe the per-thread inline cache
+//!   answers every call.
+//! * `poly_miss` — the same site called with alternating targets: the
+//!   direct-mapped cache entry is thrashed every call, falling back to
+//!   the compare chain and refilling.
+//! * `trap` — first execution of a fresh site: full runtime-handler cost
+//!   (graph insert, patch, dispatch-table sync, republish).
+//!
+//! Times itself and writes `results/dispatch.csv`; `DACCE_BENCH_QUICK=1`
+//! shrinks the run for CI smoke jobs.
+//!
+//! ```text
+//! cargo bench -p dacce-bench --bench dispatch
+//! ```
+
+use std::time::Instant;
+
+use dacce::tracker::ThreadHandle;
+use dacce::{DacceConfig, Tracker};
+use dacce_callgraph::FunctionId;
+
+fn quick() -> bool {
+    std::env::var("DACCE_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn rounds() -> usize {
+    if quick() {
+        2_000
+    } else {
+        20_000
+    }
+}
+
+fn iters() -> usize {
+    if quick() {
+        3
+    } else {
+        30
+    }
+}
+
+/// Tracker whose edges re-encode eagerly, so the measured sites carry
+/// `Encoded` actions rather than ccStack pushes.
+fn eager_tracker() -> Tracker {
+    Tracker::with_config(DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 1,
+        ..DacceConfig::default()
+    })
+}
+
+fn register(tracker: &Tracker) -> (ThreadHandle, FunctionId, FunctionId) {
+    let f_main = tracker.define_function("main");
+    let a = tracker.define_function("target_a");
+    let b = tracker.define_function("target_b");
+    (tracker.register_thread(f_main), a, b)
+}
+
+/// Best-of-`iters()` nanoseconds per call+return pair.
+fn best(mut one_iter: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters() {
+        let ns = one_iter();
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn bench_mono() -> f64 {
+    let tracker = eager_tracker();
+    let (th, a, _) = register(&tracker);
+    let site = tracker.define_call_site();
+    for _ in 0..4 {
+        drop(th.call(site, a));
+    }
+    let n = rounds();
+    best(|| {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            drop(th.call(site, a));
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    })
+}
+
+/// `alternate = false` measures steady-state inline-cache hits;
+/// `alternate = true` flips the callee every round so the direct-mapped
+/// entry misses every probe.
+fn bench_poly(alternate: bool) -> f64 {
+    let tracker = eager_tracker();
+    let (th, a, b) = register(&tracker);
+    let site = tracker.define_call_site();
+    // Two targets through one site make it polymorphic.
+    for _ in 0..4 {
+        drop(th.call_indirect(site, a));
+        drop(th.call_indirect(site, b));
+    }
+    let n = rounds();
+    let ns = best(|| {
+        let t0 = Instant::now();
+        for i in 0..n {
+            let target = if alternate && i % 2 == 1 { b } else { a };
+            drop(th.call_indirect(site, target));
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    });
+    // The cache must actually behave as the scenario intends.
+    let stats = tracker.stats();
+    if alternate {
+        assert!(
+            stats.icache_misses > (n / 2) as u64,
+            "alternating targets must thrash the inline cache"
+        );
+    } else {
+        assert!(
+            stats.icache_hits > (n / 2) as u64,
+            "steady target must hit the inline cache"
+        );
+    }
+    ns
+}
+
+fn bench_trap() -> f64 {
+    // Each measured call is the first execution of its site, so every
+    // iteration needs a fresh tracker. Default config: no eager re-encode
+    // storm in the middle of the handler measurements.
+    let n = rounds().min(4_000);
+    best(|| {
+        let tracker = Tracker::with_config(DacceConfig::default());
+        let (th, a, _) = register(&tracker);
+        let sites: Vec<_> = (0..n).map(|_| tracker.define_call_site()).collect();
+        let t0 = Instant::now();
+        for &site in &sites {
+            drop(th.call(site, a));
+        }
+        t0.elapsed().as_nanos() as f64 / n as f64
+    })
+}
+
+fn main() {
+    println!("site-dispatch per-op cost (call+return, single thread)");
+    let mut csv = String::from("variant,per_op_ns\n");
+    for (variant, ns) in [
+        ("mono", bench_mono()),
+        ("poly_hit", bench_poly(false)),
+        ("poly_miss", bench_poly(true)),
+        ("trap", bench_trap()),
+    ] {
+        println!("{variant:>10} {ns:>12.2} ns/op");
+        use std::fmt::Write as _;
+        let _ = writeln!(csv, "{variant},{ns:.2}");
+    }
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("dispatch.csv"), csv).expect("write dispatch.csv");
+    println!("wrote results/dispatch.csv");
+}

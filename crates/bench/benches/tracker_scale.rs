@@ -1,20 +1,58 @@
 //! Multithreaded tracker throughput: N OS threads hammering one `Tracker`
-//! with call/return pairs over already-encoded edges. This is the bench
-//! that makes the concurrency architecture visible: a tracker that
-//! serializes every event through a shared lock flatlines (or worse) as
-//! threads are added, while per-thread fast paths should scale.
+//! with call/return pairs over already-encoded edges, through both drive
+//! APIs:
+//!
+//! * `guard` — one RAII [`dacce::tracker::CallGuard`] per call, the
+//!   drop-in instrumentation shape. Every event pays the thread-slot
+//!   lock, snapshot refresh and journal gate.
+//! * `batch` — [`ThreadHandle::run_batch`] over pre-built
+//!   [`BatchOp`] programs. Slot lock, snapshot load and journal gate are
+//!   hoisted out of the per-op loop, which is what the flat dispatch
+//!   table was built for.
+//!
+//! Times itself (the acceptance criterion is a per-op cost, not a
+//! statistical distribution) and writes `results/tracker_scale.csv`;
+//! compare against `results/tracker_scale_baseline.csv` (the hash-probed
+//! pre-dispatch-table numbers). `DACCE_BENCH_QUICK=1` shrinks the run for
+//! CI smoke jobs.
+//!
+//! ```text
+//! cargo bench -p dacce-bench --bench tracker_scale
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
-use dacce::tracker::ThreadHandle;
+use dacce::tracker::{BatchOp, ThreadHandle};
 use dacce::{DacceConfig, Tracker};
 use dacce_callgraph::{CallSiteId, FunctionId};
 
-/// Call/return pairs ticked per thread per measured iteration. Large
-/// enough to amortize the scoped-thread spawn/join overhead.
-const ROUNDS_PER_ITER: usize = 2_000;
 /// Nesting depth of each round (frames entered then unwound).
 const DEPTH: usize = 4;
+/// Rounds folded into one `run_batch` call (`2 * DEPTH` ops each).
+const ROUNDS_PER_BATCH: usize = 16;
+
+fn quick() -> bool {
+    std::env::var("DACCE_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Call/return pairs ticked per thread per measured iteration. Large
+/// enough to amortize the scoped-thread spawn/join overhead; a multiple
+/// of [`ROUNDS_PER_BATCH`] so both variants do identical work.
+fn rounds_per_iter() -> usize {
+    if quick() {
+        ROUNDS_PER_BATCH * 10
+    } else {
+        ROUNDS_PER_BATCH * 125
+    }
+}
+
+fn iters() -> usize {
+    if quick() {
+        3
+    } else {
+        30
+    }
+}
 
 struct Prepared {
     tracker: Tracker,
@@ -22,6 +60,9 @@ struct Prepared {
     /// Per-thread chain of call sites (distinct static locations).
     sites: Vec<Vec<CallSiteId>>,
     depth_fns: Vec<FunctionId>,
+    /// Per-thread pre-built batch program: `ROUNDS_PER_BATCH` rounds of
+    /// `DEPTH` calls then `DEPTH` returns.
+    batches: Vec<Vec<BatchOp>>,
 }
 
 /// Build a tracker whose per-thread edges are already discovered and
@@ -63,21 +104,40 @@ fn prepare(threads: usize) -> Prepared {
         }
     }
 
+    let batches: Vec<Vec<BatchOp>> = (0..threads)
+        .map(|w| {
+            let mut ops = Vec::with_capacity(ROUNDS_PER_BATCH * 2 * DEPTH);
+            for _ in 0..ROUNDS_PER_BATCH {
+                for d in 0..DEPTH {
+                    ops.push(BatchOp::Call {
+                        site: sites[w][d],
+                        target: depth_fns[d],
+                    });
+                }
+                for _ in 0..DEPTH {
+                    ops.push(BatchOp::Ret);
+                }
+            }
+            ops
+        })
+        .collect();
+
     Prepared {
         tracker,
         handles,
         sites,
         depth_fns,
+        batches,
     }
 }
 
-fn run_threads(p: &Prepared) {
+fn run_threads_guard(p: &Prepared, rounds: usize) {
     crossbeam::scope(|scope| {
         for (w, th) in p.handles.iter().enumerate() {
             let sites = &p.sites[w];
             let depth_fns = &p.depth_fns;
             scope.spawn(move |_| {
-                for _ in 0..ROUNDS_PER_ITER {
+                for _ in 0..rounds {
                     let mut guards = Vec::new();
                     for d in 0..DEPTH {
                         guards.push(th.call(sites[d], depth_fns[d]));
@@ -92,23 +152,67 @@ fn run_threads(p: &Prepared) {
     .expect("bench threads complete");
 }
 
-fn bench_tracker_scale(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tracker/encoded_call_return");
+fn run_threads_batch(p: &Prepared, rounds: usize) {
+    let calls = rounds / ROUNDS_PER_BATCH;
+    crossbeam::scope(|scope| {
+        for (w, th) in p.handles.iter().enumerate() {
+            let ops = &p.batches[w];
+            scope.spawn(move |_| {
+                for _ in 0..calls {
+                    th.run_batch(ops);
+                }
+            });
+        }
+    })
+    .expect("bench threads complete");
+}
+
+/// Best-of-`iters()` per-op nanoseconds (minimum is the standard noise
+/// rejection for throughput micro-benchmarks). One op = one call+return
+/// pair.
+fn measure(p: &Prepared, threads: usize, run: impl Fn(&Prepared, usize)) -> f64 {
+    let rounds = rounds_per_iter();
+    let ops = (threads * rounds * DEPTH) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters() {
+        let t0 = Instant::now();
+        run(p, rounds);
+        let ns = t0.elapsed().as_nanos() as f64 / ops;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn main() {
+    let mut csv = String::from("threads,variant,per_op_ns\n");
+    println!("tracker encoded call/return per-op cost (guard vs batch drive)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "threads", "guard ns/op", "batch ns/op", "speedup"
+    );
     for &threads in &[1usize, 2, 4, 8] {
         let p = prepare(threads);
-        // One element = one call+return pair.
-        group.throughput(Throughput::Elements(
-            (threads * ROUNDS_PER_ITER * DEPTH) as u64,
-        ));
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| run_threads(&p));
-        });
+        let guard = measure(&p, threads, run_threads_guard);
+        let batch = measure(&p, threads, run_threads_batch);
         // Quietly verify the fast path stayed trap-free while measuring.
         let stats = p.tracker.stats();
         assert_eq!(stats.decode_errors, 0);
-    }
-    group.finish();
-}
 
-criterion_group!(benches, bench_tracker_scale);
-criterion_main!(benches);
+        println!(
+            "{threads:>8} {guard:>14.2} {batch:>14.2} {:>8.2}x",
+            guard / batch.max(f64::MIN_POSITIVE)
+        );
+        use std::fmt::Write as _;
+        let _ = writeln!(csv, "{threads},guard,{guard:.2}");
+        let _ = writeln!(csv, "{threads},batch,{batch:.2}");
+    }
+    // `cargo bench` runs with the package as CWD; anchor on the manifest so
+    // the CSV lands in the workspace-root `results/` like every other
+    // artifact.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("tracker_scale.csv"), csv).expect("write tracker_scale.csv");
+    println!("wrote results/tracker_scale.csv");
+}

@@ -293,6 +293,21 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         snap.samples,
         snap.cc_overflows
     );
+    let ic_total = snap.icache_hits + snap.icache_misses;
+    let _ = writeln!(
+        s,
+        "dispatch: {} slots over span {} ({:.1}% dense) · inline cache {} ({} hit / {} miss)",
+        snap.dispatch_slots,
+        snap.dispatch_span,
+        percent(snap.dispatch_slots, snap.dispatch_span),
+        if ic_total == 0 {
+            "idle".to_string()
+        } else {
+            format!("{:.1}% hit", percent(snap.icache_hits, ic_total))
+        },
+        snap.icache_hits,
+        snap.icache_misses
+    );
     for (label, h) in [
         ("trap latency ns", &snap.trap_ns),
         ("reencode cost", &snap.reencode_cost),
@@ -337,6 +352,20 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         snap.id_headroom.max_id, snap.id_headroom.bits_used, snap.id_headroom.bits_spare
     );
     s
+}
+
+/// `part / whole`; 0 when `whole` is 0.
+fn ratio(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// `part` as a percentage of `whole`; 0 when `whole` is 0.
+fn percent(part: u64, whole: u64) -> f64 {
+    100.0 * ratio(part, whole)
 }
 
 /// Decodes the retained sample log into a hot-context profile and renders
@@ -427,6 +456,8 @@ fn finish_json(
          \"overflow_aborts\":{},\"samples\":{},\"decode_errors\":{}}},\
          \"journal\":{{\"events\":{},\"dropped\":{},\"by_kind\":{}}},\
          \"replay\":{{\"traps\":{},\"reencodes\":{},\"migrations\":{}}},\
+         \"dispatch\":{{\"slots\":{},\"span\":{},\"occupancy\":{:.4},\
+         \"icache_hits\":{},\"icache_misses\":{},\"icache_hit_rate\":{:.4}}},\
          \"metrics\":{},\"hottest\":{}}}",
         spec.name,
         opts.scale,
@@ -444,6 +475,12 @@ fn finish_json(
         agg.traps,
         agg.reencodes,
         agg.migrations,
+        snap.dispatch_slots,
+        snap.dispatch_span,
+        ratio(snap.dispatch_slots, snap.dispatch_span),
+        snap.icache_hits,
+        snap.icache_misses,
+        ratio(snap.icache_hits, snap.icache_hits + snap.icache_misses),
         snap.to_json(),
         hottest
     );

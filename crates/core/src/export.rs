@@ -15,8 +15,15 @@
 //! edge <caller> <callee> <site> <encoding> <back> <dispatch>
 //! enddict
 //! owner <site> <func>
+//! dispatch <site> <slot> <kind> <target|-> <action|-> <tcwrap>
 //! sample <ts> <id> <leaf> <root> <cc-entries> | <spawn-site> <parent...>
 //! ```
+//!
+//! `dispatch` lines dump the compiled dispatch table of the *current*
+//! generation (one line per known target for polymorphic sites; `kind` is
+//! `trap`, `mono` or `poly`; `action` is `enc:<delta>`, `cc` or `ccc`).
+//! They let an offline verifier check the flat table edge-for-edge against
+//! the latest dictionary (`dacce-lint --dispatch`).
 //!
 //! [`export_state`] dumps an engine's dictionaries and site-owner table;
 //! [`export_samples`] appends contexts; [`import`] parses everything back
@@ -31,7 +38,9 @@ use dacce_program::ContextPath;
 use crate::ccstack::CcEntry;
 use crate::context::{EncodedContext, SpawnLink};
 use crate::decode::{decode_full, DecodeError};
+use crate::dispatch::CompiledDispatch;
 use crate::engine::DacceEngine;
+use crate::patch::EdgeAction;
 
 /// Header line of the export format.
 pub const HEADER: &str = "dacce-export v1";
@@ -73,6 +82,24 @@ fn parse_dispatch(s: &str) -> Option<Dispatch> {
         "plt" => Dispatch::Plt,
         "spawn" => Dispatch::Spawn,
         _ => return None,
+    })
+}
+
+fn action_tag(a: EdgeAction) -> String {
+    match a {
+        EdgeAction::Encoded { delta } => format!("enc:{delta}"),
+        EdgeAction::Unencoded => "cc".into(),
+        EdgeAction::UnencodedCompressed => "ccc".into(),
+    }
+}
+
+fn parse_action(s: &str) -> Option<EdgeAction> {
+    Some(match s {
+        "cc" => EdgeAction::Unencoded,
+        "ccc" => EdgeAction::UnencodedCompressed,
+        _ => EdgeAction::Encoded {
+            delta: s.strip_prefix("enc:")?.parse().ok()?,
+        },
     })
 }
 
@@ -133,6 +160,45 @@ pub fn export_state(engine: &DacceEngine) -> String {
     for (site, func) in owners {
         let _ = writeln!(out, "owner {} {}", site.raw(), func.raw());
     }
+    // The compiled dispatch table of the current generation, one line per
+    // resolvable target (polymorphic targets sorted for stable output).
+    for (site, slot, cs) in engine.shared.dispatch.iter_compiled() {
+        match cs.dispatch {
+            CompiledDispatch::Trap => {
+                let _ = writeln!(
+                    out,
+                    "dispatch {} {slot} trap - - {}",
+                    site.raw(),
+                    u8::from(cs.tc_wrap)
+                );
+            }
+            CompiledDispatch::Mono { target, action } => {
+                let _ = writeln!(
+                    out,
+                    "dispatch {} {slot} mono {} {} {}",
+                    site.raw(),
+                    target.raw(),
+                    action_tag(action),
+                    u8::from(cs.tc_wrap)
+                );
+            }
+            CompiledDispatch::Poly { index } => {
+                let mut targets: Vec<(FunctionId, EdgeAction)> =
+                    engine.shared.dispatch.poly_patch(index).targets().collect();
+                targets.sort_by_key(|(t, _)| t.raw());
+                for (target, action) in targets {
+                    let _ = writeln!(
+                        out,
+                        "dispatch {} {slot} poly {} {} {}",
+                        site.raw(),
+                        target.raw(),
+                        action_tag(action),
+                        u8::from(cs.tc_wrap)
+                    );
+                }
+            }
+        }
+    }
     out
 }
 
@@ -172,12 +238,41 @@ pub fn export_samples<'a>(samples: impl IntoIterator<Item = &'a EncodedContext>)
     out
 }
 
+/// Kind of a [`DispatchRecord`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// The site still traps into the runtime handler.
+    Trap,
+    /// Monomorphic: exactly one known target.
+    Mono,
+    /// Polymorphic: one record line per known target.
+    Poly,
+}
+
+/// One line of the export's compiled dispatch table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The call site the record compiles.
+    pub site: CallSiteId,
+    /// The dense slot assigned to the site.
+    pub slot: u32,
+    /// Record kind.
+    pub kind: DispatchKind,
+    /// The resolved target (`None` for trap records).
+    pub target: Option<FunctionId>,
+    /// The action compiled for `target` (`None` for trap records).
+    pub action: Option<EdgeAction>,
+    /// §5.2 TcStack wrap flag of the site.
+    pub tc_wrap: bool,
+}
+
 /// Offline decoding state reassembled from an export.
 #[derive(Debug, Default)]
 pub struct OfflineDecoder {
     dicts: DictStore,
     owners: HashMap<CallSiteId, FunctionId>,
     samples: Vec<EncodedContext>,
+    dispatch: Vec<DispatchRecord>,
 }
 
 impl OfflineDecoder {
@@ -194,6 +289,11 @@ impl OfflineDecoder {
     /// The imported call-site owner table.
     pub fn owners(&self) -> &HashMap<CallSiteId, FunctionId> {
         &self.owners
+    }
+
+    /// The imported compiled dispatch table, in input order.
+    pub fn dispatch(&self) -> &[DispatchRecord] {
+        &self.dispatch
     }
 
     /// Decodes one context against the imported dictionaries.
@@ -392,6 +492,60 @@ pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
                 out.owners
                     .insert(CallSiteId::new(site), FunctionId::new(func));
             }
+            "dispatch" => {
+                let fields: Vec<&str> = tokens.by_ref().collect();
+                if fields.len() != 6 {
+                    return Err(ImportError::BadLine(
+                        lineno,
+                        "dispatch needs 6 fields".into(),
+                    ));
+                }
+                let site: u32 = fields[0]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad dispatch site".into()))?;
+                let slot: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| ImportError::BadLine(lineno, "bad dispatch slot".into()))?;
+                let kind = match fields[2] {
+                    "trap" => DispatchKind::Trap,
+                    "mono" => DispatchKind::Mono,
+                    "poly" => DispatchKind::Poly,
+                    other => {
+                        return Err(ImportError::BadLine(
+                            lineno,
+                            format!("bad dispatch kind {other}"),
+                        ))
+                    }
+                };
+                let target = match fields[3] {
+                    "-" => None,
+                    t => Some(FunctionId::new(t.parse().map_err(|_| {
+                        ImportError::BadLine(lineno, "bad dispatch target".into())
+                    })?)),
+                };
+                let action = match fields[4] {
+                    "-" => None,
+                    a => Some(parse_action(a).ok_or_else(|| {
+                        ImportError::BadLine(lineno, format!("bad dispatch action {a}"))
+                    })?),
+                };
+                let want_payload = kind != DispatchKind::Trap;
+                if target.is_some() != want_payload || action.is_some() != want_payload {
+                    return Err(ImportError::BadLine(
+                        lineno,
+                        "dispatch target/action must be '-' iff kind is trap".into(),
+                    ));
+                }
+                let tc_wrap = fields[5] == "1";
+                out.dispatch.push(DispatchRecord {
+                    site: CallSiteId::new(site),
+                    slot,
+                    kind,
+                    target,
+                    action,
+                    tc_wrap,
+                });
+            }
             "sample" => {
                 out.samples.push(parse_ctx(&mut tokens, lineno)?);
             }
@@ -476,6 +630,82 @@ mod tests {
             let a = e.decode(orig).expect("engine decodes");
             let b = offline.decode(imported).expect("offline decodes");
             assert_eq!(a, b, "offline decode matches engine decode");
+        }
+    }
+
+    #[test]
+    fn dispatch_records_roundtrip() {
+        let mut e = engine_with_history();
+        // Add an indirect site with two targets so a poly record appears.
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(9),
+            f(2),
+            f(3),
+            CallDispatch::Indirect,
+            false,
+        );
+        let _ = e.ret(ThreadId::MAIN, s(9), f(2), f(3));
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(9),
+            f(2),
+            f(4),
+            CallDispatch::Indirect,
+            false,
+        );
+        let text = export_state(&e);
+        let offline = import(&text).expect("imports");
+        let records = offline.dispatch();
+        assert!(!records.is_empty(), "export carries dispatch records");
+        // One record per (site, target) pair for non-trap sites; the poly
+        // site contributes one line per known target.
+        let poly: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == DispatchKind::Poly)
+            .collect();
+        assert_eq!(poly.len(), 2, "both indirect targets exported");
+        assert!(poly.iter().all(|r| r.site == s(9)));
+        assert!(poly
+            .iter()
+            .all(|r| r.target.is_some() && r.action.is_some()));
+        // Slots are stable per site: all lines of one site share a slot and
+        // no two sites share one.
+        let mut slot_of: HashMap<CallSiteId, u32> = HashMap::new();
+        for r in records {
+            match slot_of.get(&r.site) {
+                Some(&slot) => assert_eq!(slot, r.slot, "slot consistent within site"),
+                None => {
+                    assert!(
+                        slot_of.values().all(|&used| used != r.slot),
+                        "slot unique across sites"
+                    );
+                    slot_of.insert(r.site, r.slot);
+                }
+            }
+        }
+        // Every record's action must agree with the engine's live resolution.
+        for r in records.iter().filter(|r| r.kind != DispatchKind::Trap) {
+            let resolved = e
+                .shared
+                .lookup_action(r.site, r.target.unwrap())
+                .expect("record target resolves live");
+            assert_eq!(resolved.action, r.action.unwrap());
+            assert_eq!(resolved.tc_wrap, r.tc_wrap);
+        }
+    }
+
+    #[test]
+    fn malformed_dispatch_lines_are_rejected() {
+        for bad in [
+            "dacce-export v1\ndispatch 0 0 mono 1 enc:3\n", // 5 fields
+            "dacce-export v1\ndispatch 0 0 wat 1 enc:3 0\n", // bad kind
+            "dacce-export v1\ndispatch 0 0 mono - enc:3 0\n", // mono needs target
+            "dacce-export v1\ndispatch 0 0 trap 1 enc:3 0\n", // trap forbids target
+            "dacce-export v1\ndispatch 0 0 mono 1 huh 0\n", // bad action
+            "dacce-export v1\ndispatch x 0 mono 1 enc:3 0\n", // bad site
+        ] {
+            assert!(import(bad).is_err(), "must reject: {bad:?}");
         }
     }
 

@@ -13,7 +13,7 @@ use dacce_program::{ContextPath, CostModel};
 
 use crate::decode::{decode_thread, DecodeError};
 use crate::patch::EdgeAction;
-use crate::shared::{lookup_in, EncodingSnapshot, ResolvedSite, SharedState};
+use crate::shared::{EncodingSnapshot, ResolvedSite, SharedState};
 use crate::thread::{ShadowFrame, ThreadCtx};
 
 /// Read-only encoding state a thread needs to execute instrumentation.
@@ -46,7 +46,7 @@ impl EncodingView for SharedState {
 
 impl EncodingView for EncodingSnapshot {
     fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite> {
-        lookup_in(&self.patches, &self.cost, site, callee)
+        EncodingSnapshot::resolve(self, site, callee)
     }
     fn max_id(&self) -> u64 {
         self.max_id

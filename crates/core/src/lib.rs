@@ -44,6 +44,7 @@ pub mod ccstack;
 pub mod config;
 pub mod context;
 pub mod decode;
+pub(crate) mod dispatch;
 pub mod engine;
 pub mod export;
 pub(crate) mod fastpath;
@@ -64,10 +65,12 @@ pub use config::{CompressionMode, DacceConfig};
 pub use context::{EncodedContext, SpawnLink};
 pub use decode::{decode_full, decode_thread, DecodeError};
 pub use engine::DacceEngine;
-pub use export::{export_samples, export_state, import, ImportError, OfflineDecoder};
+pub use export::{
+    export_samples, export_state, import, DispatchKind, DispatchRecord, ImportError, OfflineDecoder,
+};
 pub use observe::Observability;
 pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;
 pub use stats::{DacceStats, ProgressPoint};
-pub use tracker::{TaskContext, Tracker};
+pub use tracker::{BatchOp, TaskContext, Tracker};
 pub use warm::{SeedEdge, WarmStartReport, WarmStartSeed};

@@ -151,6 +151,22 @@ mod imp {
             self.metrics.warm_pruned_edges.add(pruned);
         }
 
+        /// Records the compiled dispatch table's shape after a mutation:
+        /// `occupied` allocated slots over a `span`-wide site-id range.
+        pub(crate) fn record_dispatch(&self, occupied: u64, span: u64) {
+            self.metrics.record_dispatch(occupied, span);
+        }
+
+        /// Folds a batch of per-thread inline-cache probe outcomes in.
+        pub(crate) fn on_icache(&self, hits: u64, misses: u64) {
+            if hits != 0 {
+                self.metrics.icache_hits.add(hits);
+            }
+            if misses != 0 {
+                self.metrics.icache_misses.add(misses);
+            }
+        }
+
         pub(crate) fn record_generation(
             &self,
             generation: u32,
@@ -310,6 +326,8 @@ mod imp {
         pub(crate) fn on_cc_overflow(&self) {}
         pub(crate) fn on_sample(&self, _cc_depth: u32, _id: u64) {}
         pub(crate) fn on_warm_start(&self, _seeded: u64, _pruned: u64) {}
+        pub(crate) fn record_dispatch(&self, _occupied: u64, _span: u64) {}
+        pub(crate) fn on_icache(&self, _hits: u64, _misses: u64) {}
         pub(crate) fn record_generation(
             &self,
             _generation: u32,

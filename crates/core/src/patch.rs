@@ -76,6 +76,16 @@ impl IndirectPatch {
         self.inline.len() + self.hashed.as_ref().map_or(0, HashMap::len)
     }
 
+    /// Iterates every known `(target, action)` pair: the compare chain in
+    /// evaluation order, then the hash table in unspecified order.
+    pub fn targets(&self) -> impl Iterator<Item = (FunctionId, EdgeAction)> + '_ {
+        self.inline.iter().copied().chain(
+            self.hashed
+                .iter()
+                .flat_map(|h| h.iter().map(|(t, a)| (*t, *a))),
+        )
+    }
+
     /// Registers a newly discovered target with the given action, keeping it
     /// in the hash table when one exists or appending to the chain.
     pub fn add_target(&mut self, target: FunctionId, action: EdgeAction, inline_max: usize) {

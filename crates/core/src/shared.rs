@@ -30,6 +30,7 @@ use dacce_program::{ContextPath, CostModel};
 use crate::config::{CompressionMode, DacceConfig};
 use crate::context::EncodedContext;
 use crate::decode::{decode_full, DecodeError};
+use crate::dispatch::DispatchTable;
 use crate::observe::{self, ObsWriter, Observability};
 use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
 use crate::stats::{DacceStats, ProgressPoint};
@@ -58,6 +59,10 @@ pub(crate) struct SharedState {
     pub(crate) ts: TimeStamp,
     pub(crate) max_id: u64,
     pub(crate) patches: PatchTable,
+    /// The patch table compiled into dense slot-indexed vectors; kept in
+    /// lock step with `patches` by every mutation path (the hot-path
+    /// `resolve` reads only this).
+    pub(crate) dispatch: DispatchTable,
     pub(crate) site_owner: Arc<HashMap<CallSiteId, FunctionId>>,
     pub(crate) edge_heat: HashMap<EdgeId, u64>,
     pub(crate) tail_fns: HashSet<FunctionId>,
@@ -105,6 +110,7 @@ impl SharedState {
             ts: TimeStamp::ZERO,
             max_id: 0,
             patches: PatchTable::new(),
+            dispatch: DispatchTable::new(),
             site_owner: Arc::new(HashMap::new()),
             edge_heat: HashMap::new(),
             tail_fns: HashSet::new(),
@@ -174,13 +180,14 @@ impl SharedState {
     }
 
     /// Looks up everything the generated code at `(site, callee)` does in
-    /// one patch-table probe. `None` means the site (or this target) traps.
+    /// one compiled-table probe (a bounds-checked array index for
+    /// monomorphic sites). `None` means the site (or this target) traps.
     pub(crate) fn lookup_action(
         &self,
         site: CallSiteId,
         callee: FunctionId,
     ) -> Option<ResolvedSite> {
-        lookup_in(&self.patches, &self.cost, site, callee)
+        self.dispatch.resolve(site, callee, &self.cost)
     }
 
     /// The runtime handler (§3): invoked on the first execution of a call
@@ -262,6 +269,10 @@ impl SharedState {
         if converted {
             self.stats.hash_conversions += 1;
         }
+        self.dispatch
+            .sync_site(site, self.patches.get(site).expect("site patched above"));
+        let (occupied, span) = self.dispatch.occupancy();
+        self.obs.record_dispatch(occupied, span);
 
         self.obs.on_trap(timer.elapsed_ns());
         self.obs.on_site_patched();
@@ -293,6 +304,9 @@ impl SharedState {
         for site in sites_to_wrap {
             if let Some(state) = self.patches.existing_mut(site) {
                 state.tc_wrap = true;
+            }
+            if let Some(state) = self.patches.get(site) {
+                self.dispatch.sync_site(site, state);
             }
         }
     }
@@ -635,6 +649,9 @@ impl SharedState {
             rebuilt.insert(site, crate::patch::SiteState { tc_wrap, patch });
         }
         self.patches.replace_all(rebuilt);
+        self.dispatch.rebuild(&self.patches);
+        let (occupied, span) = self.dispatch.occupancy();
+        self.obs.record_dispatch(occupied, span);
     }
 
     /// Freezes the current encoding into an immutable snapshot for
@@ -645,7 +662,7 @@ impl SharedState {
             epoch: self.epoch,
             ts: self.ts,
             max_id: self.max_id,
-            patches: self.patches.clone(),
+            dispatch: self.dispatch.clone(),
             site_owner: Arc::clone(&self.site_owner),
             dicts: self.dicts.clone(),
             cost: self.cost.clone(),
@@ -666,8 +683,10 @@ pub(crate) struct EncodingSnapshot {
     pub(crate) ts: TimeStamp,
     /// `maxID` of that encoding.
     pub(crate) max_id: u64,
-    /// Per-site generated code.
-    pub(crate) patches: PatchTable,
+    /// The compiled, slot-indexed dispatch table the fast path resolves
+    /// against (the logical patch table stays behind the shared lock; a
+    /// snapshot carries only the flattened form).
+    pub(crate) dispatch: DispatchTable,
     /// Call-site owner table (for decoding).
     pub(crate) site_owner: Arc<HashMap<CallSiteId, FunctionId>>,
     /// Every dictionary recorded up to `ts` — samples stamped with older
@@ -678,10 +697,10 @@ pub(crate) struct EncodingSnapshot {
 }
 
 impl EncodingSnapshot {
-    /// Resolves `(site, callee)` against the snapshot's generated code;
-    /// `None` means the site traps into the slow path.
+    /// Resolves `(site, callee)` against the snapshot's compiled dispatch
+    /// table; `None` means the site traps into the slow path.
     pub(crate) fn resolve(&self, site: CallSiteId, callee: FunctionId) -> Option<ResolvedSite> {
-        lookup_in(&self.patches, &self.cost, site, callee)
+        self.dispatch.resolve(site, callee, &self.cost)
     }
 
     /// Decodes an encoded context against the snapshot's dictionaries.
@@ -699,7 +718,7 @@ impl EncodingSnapshot {
 
 /// Everything one patch-table probe tells the fast path about a call
 /// through `(site, callee)`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct ResolvedSite {
     /// The action the generated code executes.
     pub(crate) action: EdgeAction,

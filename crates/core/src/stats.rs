@@ -48,6 +48,10 @@ pub struct DacceStats {
     pub unbalanced_resets: u64,
     /// Re-encoding aborted because the encoding would overflow 64 bits.
     pub overflow_aborts: u64,
+    /// Indirect-call inline-cache hits (tracker fast path only).
+    pub icache_hits: u64,
+    /// Indirect-call inline-cache misses (tracker fast path only).
+    pub icache_misses: u64,
 }
 
 impl DacceStats {
@@ -65,6 +69,8 @@ impl DacceStats {
         self.samples += shard.samples;
         self.compress_hits += shard.compress_hits;
         self.decode_errors += shard.decode_errors;
+        self.icache_hits += shard.icache_hits;
+        self.icache_misses += shard.icache_misses;
         self.cc_depths.extend_from_slice(&shard.cc_depths);
     }
 }
@@ -85,6 +91,10 @@ pub struct StatsShard {
     pub compress_hits: u64,
     /// Lazy-migration decodes that failed (must stay 0).
     pub decode_errors: u64,
+    /// Indirect-call inline-cache hits on this thread.
+    pub icache_hits: u64,
+    /// Indirect-call inline-cache misses on this thread.
+    pub icache_misses: u64,
     /// ccStack depth at each of this thread's samples.
     pub cc_depths: Vec<u32>,
 }

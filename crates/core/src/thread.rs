@@ -14,6 +14,94 @@ use dacce_callgraph::{CallSiteId, FunctionId};
 
 use crate::ccstack::CcStack;
 use crate::context::SpawnLink;
+use crate::patch::EdgeAction;
+
+/// Number of [`InlineCache`] entries. A power of two; the dispatch slot
+/// masked by `IC_SIZE - 1` picks the entry (direct-mapped).
+const IC_SIZE: usize = 64;
+
+/// One inline-cache entry: the last `(site, target)` resolved through a
+/// polymorphic (indirect) dispatch slot, stamped with the encoding epoch
+/// it was filled under.
+#[derive(Clone, Copy, Debug)]
+struct IcEntry {
+    /// Snapshot epoch the entry was filled under; `u64::MAX` = empty.
+    epoch: u64,
+    site: CallSiteId,
+    target: FunctionId,
+    action: EdgeAction,
+    tc_wrap: bool,
+}
+
+const IC_EMPTY: IcEntry = IcEntry {
+    epoch: u64::MAX,
+    site: CallSiteId::new(u32::MAX),
+    target: FunctionId::new(u32::MAX),
+    action: EdgeAction::Unencoded,
+    tc_wrap: false,
+};
+
+/// A per-thread direct-mapped cache over polymorphic (indirect) call
+/// sites: last callee → resolved action. Entries are stamped with the
+/// encoding epoch they were filled under, so publishing a new snapshot
+/// invalidates every entry for free — no cross-thread shootdown.
+///
+/// Monomorphic sites never come through here: their dispatch record *is*
+/// the resolution, so caching would only add a compare.
+#[derive(Clone, Debug)]
+pub struct InlineCache {
+    entries: Box<[IcEntry; IC_SIZE]>,
+}
+
+impl Default for InlineCache {
+    fn default() -> Self {
+        InlineCache {
+            entries: Box::new([IC_EMPTY; IC_SIZE]),
+        }
+    }
+}
+
+impl InlineCache {
+    /// Looks up `(site, target)` at dispatch slot `slot` under `epoch`.
+    /// A stale epoch, a colliding slot or a different callee all miss.
+    #[inline]
+    pub(crate) fn probe(
+        &self,
+        slot: u32,
+        epoch: u64,
+        site: CallSiteId,
+        target: FunctionId,
+    ) -> Option<(EdgeAction, bool)> {
+        let e = &self.entries[slot as usize & (IC_SIZE - 1)];
+        (e.epoch == epoch && e.site == site && e.target == target).then_some((e.action, e.tc_wrap))
+    }
+
+    /// Installs the resolution for `(site, target)` at slot `slot`,
+    /// evicting whatever shared the entry.
+    #[inline]
+    pub(crate) fn fill(
+        &mut self,
+        slot: u32,
+        epoch: u64,
+        site: CallSiteId,
+        target: FunctionId,
+        action: EdgeAction,
+        tc_wrap: bool,
+    ) {
+        self.entries[slot as usize & (IC_SIZE - 1)] = IcEntry {
+            epoch,
+            site,
+            target,
+            action,
+            tc_wrap,
+        };
+    }
+
+    /// Drops every entry (thread reset).
+    pub(crate) fn clear(&mut self) {
+        *self.entries = [IC_EMPTY; IC_SIZE];
+    }
+}
 
 /// One shadow frame: a physical, still-active call.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +142,8 @@ pub struct ThreadCtx {
     pub spawn: Option<SpawnLink>,
     /// `TcStack` save/restore operations performed.
     pub tc_ops: u64,
+    /// Indirect-call inline cache (epoch-stamped, see [`InlineCache`]).
+    pub icache: InlineCache,
 }
 
 impl ThreadCtx {
@@ -67,6 +157,7 @@ impl ThreadCtx {
             shadow: Vec::with_capacity(64),
             spawn,
             tc_ops: 0,
+            icache: InlineCache::default(),
         }
     }
 
@@ -82,6 +173,7 @@ impl ThreadCtx {
         self.cc.clear();
         self.shadow.clear();
         self.current = self.root;
+        self.icache.clear();
     }
 }
 
@@ -118,5 +210,33 @@ mod tests {
         ctx.reset();
         assert!(ctx.is_clean());
         assert_eq!(ctx.current, f(0));
+    }
+
+    #[test]
+    fn icache_hits_only_exact_epoch_site_target() {
+        let mut ic = InlineCache::default();
+        let site = CallSiteId::new(9);
+        let action = EdgeAction::Encoded { delta: 7 };
+        assert!(ic.probe(3, 1, site, f(2)).is_none());
+        ic.fill(3, 1, site, f(2), action, true);
+        assert_eq!(ic.probe(3, 1, site, f(2)), Some((action, true)));
+        // Different callee, stale epoch, colliding slot with another site:
+        // all miss.
+        assert!(ic.probe(3, 1, site, f(5)).is_none());
+        assert!(ic.probe(3, 2, site, f(2)).is_none());
+        assert!(ic.probe(3 + 64, 1, CallSiteId::new(10), f(2)).is_none());
+        ic.clear();
+        assert!(ic.probe(3, 1, site, f(2)).is_none());
+    }
+
+    #[test]
+    fn icache_slot_collision_evicts() {
+        let mut ic = InlineCache::default();
+        let a = CallSiteId::new(1);
+        let b = CallSiteId::new(2);
+        ic.fill(5, 1, a, f(1), EdgeAction::Unencoded, false);
+        ic.fill(5 + 64, 1, b, f(2), EdgeAction::Unencoded, false);
+        assert!(ic.probe(5, 1, a, f(1)).is_none());
+        assert!(ic.probe(5 + 64, 1, b, f(2)).is_some());
     }
 }

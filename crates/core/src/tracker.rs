@@ -45,10 +45,11 @@ use dacce_program::{ContextPath, CostModel, ThreadId};
 use crate::config::DacceConfig;
 use crate::context::{EncodedContext, SpawnLink};
 use crate::decode::{decode_thread, DecodeError};
+use crate::dispatch::CompiledDispatch;
 use crate::fastpath;
 use crate::observe::{ObsWriter, Observability};
 use crate::patch::EdgeAction;
-use crate::shared::{EncodingSnapshot, ReencodeOutcome, SharedState};
+use crate::shared::{EncodingSnapshot, ReencodeOutcome, ResolvedSite, SharedState};
 use crate::stats::{DacceStats, StatsShard};
 use crate::thread::ThreadCtx;
 use crate::verify::{check_shared, check_thread};
@@ -76,6 +77,9 @@ struct ThreadState {
     batch_events: u64,
     /// `ctx.cc.ops()` value already published to `ccops_total`.
     flushed_cc_ops: u64,
+    /// Inline-cache hit/miss totals already published to the obs metrics.
+    flushed_icache_hits: u64,
+    flushed_icache_misses: u64,
     /// Recent samples awaiting a slow-path flush into the shared heat ring.
     pending_samples: Vec<EncodedContext>,
     pending_pos: usize,
@@ -345,6 +349,8 @@ impl Tracker {
                 shard: StatsShard::default(),
                 batch_events: 0,
                 flushed_cc_ops: 0,
+                flushed_icache_hits: 0,
+                flushed_icache_misses: 0,
                 pending_samples: Vec::new(),
                 pending_pos: 0,
                 writer: self.inner.obs.writer(tid.raw()),
@@ -411,12 +417,35 @@ impl Tracker {
                     sh.push_ring(&s);
                 }
             }
+            flush_icache_obs(&self.inner.obs, st);
             out.absorb_shard(&st.shard);
             out.ccstack_ops += st.ctx.cc.ops();
             out.tcstack_ops += st.ctx.tc_ops;
         }
         out
     }
+}
+
+/// One operation of a batched drive sequence; see
+/// [`ThreadHandle::run_batch`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchOp {
+    /// Enter a direct call from the current function through `site`.
+    Call {
+        /// The call site executed.
+        site: CallSiteId,
+        /// The callee.
+        target: FunctionId,
+    },
+    /// Enter an indirect (function-pointer / vtable) call.
+    CallIndirect {
+        /// The call site executed.
+        site: CallSiteId,
+        /// The callee the pointer resolved to.
+        target: FunctionId,
+    },
+    /// Return from the innermost call opened earlier in the same batch.
+    Ret,
 }
 
 /// Per-thread handle; create one per OS thread via
@@ -449,6 +478,112 @@ impl ThreadHandle {
         self.enter(site, target, CallDispatch::Indirect)
     }
 
+    /// Drives a balanced sequence of call/return operations in one locked
+    /// section. The slot lock, the snapshot epoch revalidation and the
+    /// journal gate are paid once per batch instead of once per op, and
+    /// the trigger-counter flush runs once at the end — the per-op cost of
+    /// an encoded edge drops to the bare instrumentation arithmetic.
+    ///
+    /// Semantically equivalent to bracketing every call with
+    /// [`Self::call`] / [`Self::call_indirect`] guards: traps taken
+    /// mid-batch run the full slow path (and may re-encode), and returns
+    /// crossing a re-encoding re-resolve their action under the new
+    /// generation exactly like a guard drop does. Re-encodings published
+    /// by *other* threads are observed at the next batch or guard, which
+    /// matches the lazy-migration semantics of the per-op path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`BatchOp::Ret`] with no matching call earlier in the
+    /// same batch, and when the batch ends with calls still open: frames
+    /// cannot span batch boundaries (use guards for long-lived frames).
+    pub fn run_batch(&self, ops: &[BatchOp]) {
+        let mut guard = self.slot.state.lock();
+        let st = &mut *guard;
+        self.refresh(st);
+        let mut obs_on = st.writer.enabled();
+        // (site, caller, callee, action, epoch) of each still-open call.
+        let mut open: Vec<(CallSiteId, FunctionId, FunctionId, EdgeAction, u64)> =
+            Vec::with_capacity(16);
+        for &op in ops {
+            match op {
+                BatchOp::Call { site, target } | BatchOp::CallIndirect { site, target } => {
+                    let caller = st.ctx.current;
+                    let (action, epoch) = match resolve_cached(st, site, target) {
+                        Some(r) => {
+                            let epoch = st.snap.epoch;
+                            let prev_max = st.ctx.cc.max_depth();
+                            let eff = fastpath::exec_call(
+                                &*st.snap,
+                                &mut st.ctx,
+                                site,
+                                target,
+                                r.action,
+                                r.tc_wrap,
+                                false,
+                            );
+                            if eff.compress_hit {
+                                st.shard.compress_hits += 1;
+                            }
+                            st.shard.calls += 1;
+                            if r.action.uses_ccstack() {
+                                self.note_cc_push(st, prev_max, obs_on);
+                            }
+                            st.batch_events += 1;
+                            (r.action, epoch)
+                        }
+                        None => {
+                            let dispatch = match op {
+                                BatchOp::CallIndirect { .. } => CallDispatch::Indirect,
+                                _ => CallDispatch::Direct,
+                            };
+                            let prev_max = st.ctx.cc.max_depth();
+                            let action = self.trap_call(st, site, caller, target, dispatch);
+                            if action.uses_ccstack() {
+                                self.note_cc_push(st, prev_max, obs_on);
+                            }
+                            // The trap republished the snapshot; re-hoist
+                            // the gate in case journaling was toggled.
+                            obs_on = st.writer.enabled();
+                            (action, st.snap.epoch)
+                        }
+                    };
+                    open.push((site, caller, target, action, epoch));
+                }
+                BatchOp::Ret => {
+                    let (site, caller, callee, action, epoch) = open
+                        .pop()
+                        .expect("BatchOp::Ret without a matching call in this batch");
+                    let action = if st.snap.epoch == epoch {
+                        action
+                    } else {
+                        // A trap mid-batch republished (possibly after a
+                        // re-encoding that replayed our context); reverse
+                        // under the current generation's action.
+                        st.snap
+                            .resolve(site, callee)
+                            .map_or(EdgeAction::Unencoded, |r| r.action)
+                    };
+                    let _ = fastpath::exec_ret(&*st.snap, &mut st.ctx, site, caller, action);
+                    if obs_on && action.uses_ccstack() {
+                        st.writer
+                            .cc_pop(self.slot.tid.raw(), st.ctx.cc.depth() as u32);
+                    }
+                    st.batch_events += 1;
+                }
+            }
+        }
+        assert!(
+            open.is_empty(),
+            "batch left {} call(s) unreturned; batches must be balanced",
+            open.len()
+        );
+        if st.batch_events >= EVENT_BATCH {
+            self.flush_batch_counters(st);
+        }
+        flush_icache_obs(&self.inner.obs, st);
+    }
+
     fn enter(&self, site: CallSiteId, target: FunctionId, dispatch: CallDispatch) -> CallGuard<'_> {
         let mut guard = self.slot.state.lock();
         let st = &mut *guard;
@@ -459,7 +594,7 @@ impl ThreadHandle {
         // unless a re-encoding intervened. The epoch is captured *before*
         // any trigger work — a re-encoding on this very event leaves the
         // guard with a stale epoch, forcing the return to re-resolve.
-        let (action, epoch) = match st.snap.resolve(site, target) {
+        let (action, epoch) = match resolve_cached(st, site, target) {
             Some(r) => {
                 let epoch = st.snap.epoch;
                 let prev_max = st.ctx.cc.max_depth();
@@ -477,7 +612,7 @@ impl ThreadHandle {
                 }
                 st.shard.calls += 1;
                 if r.action.uses_ccstack() {
-                    self.note_cc_push(st, prev_max);
+                    self.note_cc_push(st, prev_max, st.writer.enabled());
                 }
                 self.note_local_event(st);
                 (r.action, epoch)
@@ -487,7 +622,7 @@ impl ThreadHandle {
                 let prev_max = st.ctx.cc.max_depth();
                 let action = self.trap_call(st, site, caller, target, dispatch);
                 if action.uses_ccstack() {
-                    self.note_cc_push(st, prev_max);
+                    self.note_cc_push(st, prev_max, st.writer.enabled());
                 }
                 (action, st.snap.epoch)
             }
@@ -534,9 +669,11 @@ impl ThreadHandle {
     /// Journal-side bookkeeping for a ccStack push that just happened:
     /// records the push event and — when the stack reached a new high-water
     /// mark past the configured watermark — an overflow event and metric.
-    fn note_cc_push(&self, st: &mut ThreadState, prev_max: usize) {
+    /// `obs_on` is the journal gate, hoisted by batched callers so the
+    /// per-op loop does not re-load it.
+    fn note_cc_push(&self, st: &mut ThreadState, prev_max: usize, obs_on: bool) {
         let depth = st.ctx.cc.depth();
-        if st.writer.enabled() {
+        if obs_on {
             st.writer.cc_push(self.slot.tid.raw(), depth as u32);
         }
         if depth > prev_max && depth as u32 >= st.writer.watermark() {
@@ -667,6 +804,7 @@ impl ThreadHandle {
             self.inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
         }
         st.flushed_cc_ops = cc_now;
+        flush_icache_obs(&self.inner.obs, st);
         for s in st.pending_samples.drain(..) {
             sh.push_ring(&s);
         }
@@ -683,6 +821,15 @@ impl ThreadHandle {
         if st.batch_events < EVENT_BATCH {
             return;
         }
+        self.flush_batch_counters(st);
+    }
+
+    /// Flushes the accumulated local event batch to the shared atomics and
+    /// — once enough events have flowed for the re-encoding gate to
+    /// possibly open — *tries* the shared lock to evaluate the §4
+    /// triggers. Shared by the per-event fast path (at [`EVENT_BATCH`]
+    /// granularity) and [`Self::run_batch`] (once per batch).
+    fn flush_batch_counters(&self, st: &mut ThreadState) {
         let inner = &*self.inner;
         let batch = st.batch_events;
         st.batch_events = 0;
@@ -693,6 +840,7 @@ impl ThreadHandle {
             inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
         }
         st.flushed_cc_ops = cc_now;
+        flush_icache_obs(&inner.obs, st);
 
         if pending < inner.trigger_check_at.load(Ordering::Relaxed) {
             return;
@@ -772,6 +920,66 @@ impl ThreadHandle {
             handle: self,
             previous: Some(previous),
         }
+    }
+}
+
+/// Resolves `(site, target)` against the thread's cached snapshot, routing
+/// polymorphic (indirect) sites through the per-thread inline cache. A hit
+/// costs one epoch-stamped entry compare instead of the compare chain /
+/// hash probe; a miss falls back to the snapshot's poly table and installs
+/// the result. Entries are keyed to the snapshot epoch, so a republish
+/// invalidates the whole cache without any cross-thread signal.
+#[inline]
+fn resolve_cached(
+    st: &mut ThreadState,
+    site: CallSiteId,
+    target: FunctionId,
+) -> Option<ResolvedSite> {
+    let (slot, cs) = st.snap.dispatch.entry(site)?;
+    match cs.dispatch {
+        CompiledDispatch::Trap => None,
+        CompiledDispatch::Mono {
+            target: known,
+            action,
+        } => (known == target).then_some(ResolvedSite {
+            action,
+            dispatch_cost: 0,
+            tc_wrap: cs.tc_wrap,
+        }),
+        CompiledDispatch::Poly { index } => {
+            if let Some((action, tc_wrap)) = st.ctx.icache.probe(slot, st.snap.epoch, site, target)
+            {
+                st.shard.icache_hits += 1;
+                Some(ResolvedSite {
+                    action,
+                    // One compare against the cached entry replaces the
+                    // chain walk / hash probe.
+                    dispatch_cost: st.snap.cost.compare,
+                    tc_wrap,
+                })
+            } else {
+                st.shard.icache_misses += 1;
+                let r = st
+                    .snap
+                    .dispatch
+                    .poly_resolve(index, target, &st.snap.cost, cs.tc_wrap)?;
+                st.ctx
+                    .icache
+                    .fill(slot, st.snap.epoch, site, target, r.action, r.tc_wrap);
+                Some(r)
+            }
+        }
+    }
+}
+
+/// Publishes the thread's inline-cache hit/miss deltas to the obs metrics.
+fn flush_icache_obs(obs: &Observability, st: &mut ThreadState) {
+    let dh = st.shard.icache_hits - st.flushed_icache_hits;
+    let dm = st.shard.icache_misses - st.flushed_icache_misses;
+    if dh != 0 || dm != 0 {
+        obs.on_icache(dh, dm);
+        st.flushed_icache_hits = st.shard.icache_hits;
+        st.flushed_icache_misses = st.shard.icache_misses;
     }
 }
 
@@ -1211,5 +1419,132 @@ mod tests {
         let p = tracker.decode(&worker.sample()).unwrap();
         assert_eq!(tracker.format_path(&p), "main -> worker");
         assert_eq!(tracker.stats().decode_errors, 0);
+    }
+
+    /// A batch must leave exactly the state an equivalent guard sequence
+    /// leaves: same context id, same ccStack, same call count, same
+    /// decoded paths — including when the batch itself traps and
+    /// re-encodes mid-flight.
+    #[test]
+    fn run_batch_is_equivalent_to_guards() {
+        let build = || {
+            let tracker = Tracker::with_config(DacceConfig {
+                edge_threshold: 1,
+                min_events_between_reencodes: 1,
+                ..DacceConfig::default()
+            });
+            let main_fn = tracker.define_function("main");
+            let f = tracker.define_function("f");
+            let g = tracker.define_function("g");
+            let s1 = tracker.define_call_site();
+            let s2 = tracker.define_call_site();
+            let th = tracker.register_thread(main_fn);
+            (tracker, th, f, g, s1, s2)
+        };
+
+        // Guard drive.
+        let (t_guard, th, f, g, s1, s2) = build();
+        {
+            let _a = th.call(s1, f);
+            let _b = th.call_indirect(s2, g);
+        }
+        {
+            let _a = th.call(s1, f);
+            let _b = th.call_indirect(s2, f);
+        }
+        let guard_stats = t_guard.stats();
+        let snap = th.sample();
+        assert_eq!((snap.id, snap.cc_depth()), (0, 0));
+
+        // Batched drive of the same op sequence (first batch traps both
+        // sites and re-encodes under the eager triggers).
+        let (t_batch, th, f, g, s1, s2) = build();
+        th.run_batch(&[
+            BatchOp::Call {
+                site: s1,
+                target: f,
+            },
+            BatchOp::CallIndirect {
+                site: s2,
+                target: g,
+            },
+            BatchOp::Ret,
+            BatchOp::Ret,
+        ]);
+        th.run_batch(&[
+            BatchOp::Call {
+                site: s1,
+                target: f,
+            },
+            BatchOp::CallIndirect {
+                site: s2,
+                target: f,
+            },
+            BatchOp::Ret,
+            BatchOp::Ret,
+        ]);
+        let batch_stats = t_batch.stats();
+        let snap = th.sample();
+        assert_eq!((snap.id, snap.cc_depth()), (0, 0));
+
+        assert_eq!(guard_stats.calls, batch_stats.calls);
+        assert_eq!(guard_stats.decode_errors, 0);
+        assert_eq!(batch_stats.decode_errors, 0);
+        assert!(batch_stats.reencodes >= 1, "eager triggers fired mid-batch");
+        t_batch.check_invariants().expect("post-batch invariants");
+    }
+
+    /// A batch observes frames opened earlier in the same batch: the
+    /// deepest point decodes to the full chain when sampled right after.
+    #[test]
+    fn run_batch_partial_depth_decodes() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let g = tracker.define_function("g");
+        let s1 = tracker.define_call_site();
+        let s2 = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        // Balanced batch, then a guard walk to prove the batch left the
+        // patch/dispatch state usable by the per-op path.
+        th.run_batch(&[
+            BatchOp::Call {
+                site: s1,
+                target: f,
+            },
+            BatchOp::Call {
+                site: s2,
+                target: g,
+            },
+            BatchOp::Ret,
+            BatchOp::Ret,
+        ]);
+        let a = th.call(s1, f);
+        let b = th.call(s2, g);
+        let path = tracker.decode(&th.sample()).unwrap();
+        assert_eq!(tracker.format_path(&path), "main -> f -> g");
+        drop(b);
+        drop(a);
+        assert_eq!(tracker.stats().decode_errors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching call")]
+    fn run_batch_rejects_unmatched_ret() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let th = tracker.register_thread(main_fn);
+        th.run_batch(&[BatchOp::Ret]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be balanced")]
+    fn run_batch_rejects_open_frames_at_end() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let s = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        th.run_batch(&[BatchOp::Call { site: s, target: f }]);
     }
 }

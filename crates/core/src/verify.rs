@@ -14,11 +14,13 @@ use dacce_callgraph::{CallSiteId, DecodeDict, FunctionId};
 use crate::decode::decode_thread;
 use crate::engine::DacceEngine;
 use crate::patch::SitePatch;
-use crate::shared::SharedState;
+use crate::shared::{lookup_in, SharedState};
 use crate::thread::ThreadCtx;
 
 /// Shared-state invariants: dictionaries in lock step with `gTimeStamp`,
-/// `maxID` agreement, and every graph edge patched with a consistent owner.
+/// `maxID` agreement, every graph edge patched with a consistent owner,
+/// and the compiled dispatch table agreeing with the logical patch table
+/// for every `(site, callee)` pair.
 pub(crate) fn check_shared(sh: &SharedState) -> Result<(), String> {
     // 1 & 2: dictionaries.
     if sh.dicts.len() != sh.ts.index() + 1 {
@@ -59,6 +61,55 @@ pub(crate) fn check_shared(sh: &SharedState) -> Result<(), String> {
             }
             None => return Err(format!("site {} has no recorded owner", e.site)),
         }
+    }
+
+    // 4: the compiled dispatch table is the flattening of the patch table.
+    check_dispatch(sh)
+}
+
+/// Exhaustively cross-checks the flat dispatch table against the logical
+/// patch table: every patched site must have a compiled record whose
+/// `resolve` agrees with [`lookup_in`] for every node of the call graph
+/// (including unknown-target traps), compiled slots must be unique, and no
+/// record may exist for an unpatched site.
+fn check_dispatch(sh: &SharedState) -> Result<(), String> {
+    let mut nodes: Vec<FunctionId> = sh.graph.nodes().to_vec();
+    // Probe an id the graph has never seen so unknown-callee traps are
+    // covered too.
+    nodes.push(FunctionId::new(u32::MAX - 1));
+    let mut compiled = 0usize;
+    let mut seen_slots = std::collections::HashSet::new();
+    for (site, slot, _) in sh.dispatch.iter_compiled() {
+        if sh.patches.get(site).is_none() {
+            return Err(format!(
+                "dispatch table has a record for unpatched site {site}"
+            ));
+        }
+        if !seen_slots.insert(slot) {
+            return Err(format!("dispatch slot {slot} assigned to {site} twice"));
+        }
+        compiled += 1;
+    }
+    for (&site, _) in sh.patches.iter() {
+        if !sh.dispatch.iter_compiled().any(|(s, _, _)| s == site) {
+            return Err(format!("patched site {site} has no compiled record"));
+        }
+        for &callee in &nodes {
+            let flat = sh.dispatch.resolve(site, callee, &sh.cost);
+            let logical = lookup_in(&sh.patches, &sh.cost, site, callee);
+            if flat != logical {
+                return Err(format!(
+                    "dispatch disagreement at ({site}, {callee}): \
+                     flat {flat:?} != logical {logical:?}"
+                ));
+            }
+        }
+    }
+    if compiled != sh.patches.len() {
+        return Err(format!(
+            "{compiled} compiled records != {} patched sites",
+            sh.patches.len()
+        ));
     }
     Ok(())
 }

@@ -25,6 +25,10 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"samples\": {},", self.samples);
         let _ = writeln!(s, "  \"warm_seeded_edges\": {},", self.warm_seeded_edges);
         let _ = writeln!(s, "  \"warm_pruned_edges\": {},", self.warm_pruned_edges);
+        let _ = writeln!(s, "  \"icache_hits\": {},", self.icache_hits);
+        let _ = writeln!(s, "  \"icache_misses\": {},", self.icache_misses);
+        let _ = writeln!(s, "  \"dispatch_slots\": {},", self.dispatch_slots);
+        let _ = writeln!(s, "  \"dispatch_span\": {},", self.dispatch_span);
         let _ = writeln!(s, "  \"journal_dropped\": {},", self.journal_dropped);
         let _ = writeln!(
             s,
@@ -59,7 +63,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
-        let counters: [(&str, &str, u64); 11] = [
+        let counters: [(&str, &str, u64); 13] = [
             ("dacce_traps_total", "Cold-start traps handled", self.traps),
             (
                 "dacce_edges_discovered_total",
@@ -103,6 +107,16 @@ impl MetricsSnapshot {
                 self.warm_pruned_edges,
             ),
             (
+                "dacce_icache_hits_total",
+                "Indirect-call inline-cache hits",
+                self.icache_hits,
+            ),
+            (
+                "dacce_icache_misses_total",
+                "Indirect-call inline-cache misses",
+                self.icache_misses,
+            ),
+            (
                 "dacce_journal_dropped_total",
                 "Journal records lost to ring overwrites",
                 self.journal_dropped,
@@ -113,7 +127,7 @@ impl MetricsSnapshot {
             let _ = writeln!(s, "# TYPE {name} counter");
             let _ = writeln!(s, "{name} {value}");
         }
-        let gauges: [(&str, &str, u64); 4] = [
+        let gauges: [(&str, &str, u64); 6] = [
             (
                 "dacce_dictionaries",
                 "Encoding generations with a live decode dictionary",
@@ -133,6 +147,16 @@ impl MetricsSnapshot {
                 "dacce_id_bits_spare",
                 "Bits of u64 headroom before context ids overflow",
                 u64::from(self.id_headroom.bits_spare),
+            ),
+            (
+                "dacce_dispatch_slots",
+                "Allocated dispatch-table slots (compiled sites)",
+                self.dispatch_slots,
+            ),
+            (
+                "dacce_dispatch_span",
+                "Site-id index range the dispatch slot vector spans",
+                self.dispatch_span,
             ),
         ];
         for (name, help, value) in gauges {

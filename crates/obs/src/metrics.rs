@@ -279,6 +279,10 @@ pub struct MetricsRegistry {
     pub warm_seeded_edges: Counter,
     /// Warm-start edges pruned for id budget.
     pub warm_pruned_edges: Counter,
+    /// Per-thread indirect-call inline-cache hits.
+    pub icache_hits: Counter,
+    /// Per-thread indirect-call inline-cache misses.
+    pub icache_misses: Counter,
     /// Trap-handling latency in nanoseconds.
     pub trap_ns: Histogram,
     /// Abstract cost per re-encode attempt.
@@ -288,10 +292,19 @@ pub struct MetricsRegistry {
     /// Context ids observed at sample points (id-space consumption).
     pub sampled_ids: Histogram,
     max_id: AtomicU64,
+    dispatch_slots: AtomicU64,
+    dispatch_span: AtomicU64,
     generations: Mutex<Vec<GenerationInfo>>,
 }
 
 impl MetricsRegistry {
+    /// Records the compiled dispatch table's shape: `occupied` allocated
+    /// slots over a `span`-wide site-id index range (gauges, last wins).
+    pub fn record_dispatch(&self, occupied: u64, span: u64) {
+        self.dispatch_slots.store(occupied, Ordering::Relaxed);
+        self.dispatch_span.store(span, Ordering::Relaxed);
+    }
+
     /// Records (or replaces) the dictionary table row for a generation
     /// and updates the current `maxID` gauge.
     pub fn record_generation(&self, info: GenerationInfo) {
@@ -322,6 +335,10 @@ impl MetricsRegistry {
             samples: self.samples.get(),
             warm_seeded_edges: self.warm_seeded_edges.get(),
             warm_pruned_edges: self.warm_pruned_edges.get(),
+            icache_hits: self.icache_hits.get(),
+            icache_misses: self.icache_misses.get(),
+            dispatch_slots: self.dispatch_slots.load(Ordering::Relaxed),
+            dispatch_span: self.dispatch_span.load(Ordering::Relaxed),
             trap_ns: self.trap_ns.snapshot(),
             reencode_cost: self.reencode_cost.snapshot(),
             cc_depth: self.cc_depth.snapshot(),
@@ -360,6 +377,14 @@ pub struct MetricsSnapshot {
     pub warm_seeded_edges: u64,
     /// Warm-start edges pruned for id budget.
     pub warm_pruned_edges: u64,
+    /// Per-thread indirect-call inline-cache hits.
+    pub icache_hits: u64,
+    /// Per-thread indirect-call inline-cache misses.
+    pub icache_misses: u64,
+    /// Allocated dispatch-table slots (compiled sites).
+    pub dispatch_slots: u64,
+    /// Site-id index range the slot vector spans.
+    pub dispatch_span: u64,
     /// Trap-handling latency in nanoseconds.
     pub trap_ns: HistogramSnapshot,
     /// Abstract cost per re-encode attempt.

@@ -1,0 +1,375 @@
+//! Batched tracker drive: record a workload's instrumentation streams,
+//! then replay them through the [`Tracker`] front-end with
+//! [`ThreadHandle::run_batch`] doing the bulk of the work.
+//!
+//! The interpreter delivers call/return events one at a time, which is
+//! the right shape for the per-event engine adapters but wastes the
+//! batched fast path: every op would pay the slot lock, snapshot refresh
+//! and journal gate on its own. This module splits a recorded per-thread
+//! stream into *balanced windows* — subsequences whose calls all return
+//! within the window — and drives each window with one `run_batch` call.
+//! Frames that stay open past the window bound (the deep spine of the
+//! call tree) fall back to RAII guards, so arbitrary traces replay
+//! exactly.
+//!
+//! The tracker front-end has no tail-call entry point, so
+//! [`run_tracker_batched`] regenerates the benchmark program with
+//! `tail_fraction = 0`; PLT calls bind to one target and replay as
+//! direct calls.
+
+use std::collections::HashMap;
+
+use dacce::tracker::{BatchOp, ThreadHandle, Tracker};
+use dacce::{DacceConfig, DacceStats};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::{CallDispatch, CallEvent, ContextRuntime, ReturnEvent, SampleResult};
+use dacce_program::{Interpreter, OracleStack, Program, ThreadId};
+
+use crate::driver::{interp_config, DriverConfig};
+use crate::genprog::generate_program;
+use crate::spec::BenchSpec;
+
+/// One recorded instrumentation op of one thread.
+#[derive(Clone, Copy, Debug)]
+enum TraceOp {
+    Call {
+        site: CallSiteId,
+        target: FunctionId,
+        indirect: bool,
+    },
+    Ret,
+}
+
+/// One recorded thread: its id, root function and (for spawned threads)
+/// the parent thread and spawn site.
+#[derive(Clone, Copy, Debug)]
+struct ThreadStart {
+    tid: ThreadId,
+    root: FunctionId,
+    parent: Option<(ThreadId, CallSiteId)>,
+}
+
+/// The recorded streams of one interpreter run: per-thread op sequences
+/// plus the spawn topology, in thread start order.
+#[derive(Debug, Default)]
+pub struct WorkloadTrace {
+    /// Thread starts in order; parents always precede their children.
+    threads: Vec<ThreadStart>,
+    traces: HashMap<ThreadId, Vec<TraceOp>>,
+}
+
+impl WorkloadTrace {
+    /// Total recorded call ops across all threads.
+    pub fn calls(&self) -> u64 {
+        self.traces
+            .values()
+            .map(|t| {
+                t.iter()
+                    .filter(|op| matches!(op, TraceOp::Call { .. }))
+                    .count() as u64
+            })
+            .sum()
+    }
+}
+
+/// A cost-free [`ContextRuntime`] that records every instrumentation
+/// event instead of encoding it.
+#[derive(Debug, Default)]
+struct TraceRecorder {
+    trace: WorkloadTrace,
+}
+
+impl ContextRuntime for TraceRecorder {
+    fn name(&self) -> &'static str {
+        "trace-recorder"
+    }
+
+    fn attach(&mut self, _program: &Program) {}
+
+    fn on_thread_start(
+        &mut self,
+        tid: ThreadId,
+        root: FunctionId,
+        parent: Option<(ThreadId, CallSiteId)>,
+    ) {
+        self.trace.threads.push(ThreadStart { tid, root, parent });
+        self.trace.traces.entry(tid).or_default();
+    }
+
+    fn on_call(&mut self, ev: &CallEvent, _stack: &OracleStack) -> u64 {
+        assert!(
+            !ev.tail,
+            "tracker replay records must be tail-free (regenerate with tail_fraction = 0)"
+        );
+        self.trace
+            .traces
+            .entry(ev.tid)
+            .or_default()
+            .push(TraceOp::Call {
+                site: ev.site,
+                target: ev.callee,
+                indirect: matches!(ev.dispatch, CallDispatch::Indirect),
+            });
+        0
+    }
+
+    fn on_return(&mut self, ev: &ReturnEvent, _stack: &OracleStack) -> u64 {
+        self.trace
+            .traces
+            .entry(ev.tid)
+            .or_default()
+            .push(TraceOp::Ret);
+        0
+    }
+
+    fn sample(&mut self, _tid: ThreadId, _events: u64) -> (SampleResult, u64) {
+        (SampleResult::Unsupported, 0)
+    }
+}
+
+/// Records the instrumentation streams of `program` under `icfg`.
+fn record(program: &Program, icfg: dacce_program::InterpConfig) -> WorkloadTrace {
+    let mut rec = TraceRecorder::default();
+    let _ = Interpreter::new(program, icfg).run(&mut rec);
+    rec.trace
+}
+
+/// What a batched replay did and produced.
+#[derive(Clone, Debug)]
+pub struct TrackerBatchOutcome {
+    /// Call ops replayed (batched + guard-driven).
+    pub calls: u64,
+    /// Ops (calls and returns) that went through `run_batch` windows.
+    pub batched_ops: u64,
+    /// Ops driven through per-op guards (the deep spine).
+    pub guard_ops: u64,
+    /// Final tracker statistics.
+    pub stats: DacceStats,
+}
+
+/// Ops folded into one `run_batch` call; windows whose matching return
+/// lies further out than this stay on the guard path.
+const BATCH_WINDOW: usize = 64;
+
+/// Replays `trace` against a fresh [`Tracker`] under `config`, driving
+/// balanced windows of up to `window` ops through [`ThreadHandle::run_batch`]
+/// and the rest through guards. `window = 0` forces the pure guard path
+/// (the differential reference).
+pub fn replay_with_window(
+    trace: &WorkloadTrace,
+    config: DacceConfig,
+    window: usize,
+) -> TrackerBatchOutcome {
+    let tracker = Tracker::with_config(config);
+    // The trace carries the program's id spaces; the tracker allocates its
+    // own, so both maps are built lazily as ids first appear.
+    let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
+    let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    let mut handles: HashMap<ThreadId, ThreadHandle> = HashMap::new();
+
+    let mut batched_ops = 0u64;
+    let mut guard_ops = 0u64;
+
+    for &ThreadStart { tid, root, parent } in &trace.threads {
+        let root = *fn_map
+            .entry(root)
+            .or_insert_with(|| tracker.define_function(&format!("fn{}", root.index())));
+        let th = match parent {
+            None => tracker.register_thread(root),
+            Some((ptid, psite)) => {
+                let psite = *site_map
+                    .entry(psite)
+                    .or_insert_with(|| tracker.define_call_site());
+                let parent = handles.get(&ptid).expect("parent registered before child");
+                tracker.register_spawned_thread(root, parent, psite)
+            }
+        };
+        // Park the handle first: guards borrow it, and children registered
+        // later need their parent's handle to still be reachable.
+        handles.insert(tid, th);
+        let th = &handles[&tid];
+        let ops = &trace.traces[&tid];
+
+        // `match_ret[i]` = index of the Ret closing the Call at `i`
+        // (usize::MAX when the trace ends with the frame still open).
+        let mut match_ret = vec![usize::MAX; ops.len()];
+        let mut open = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                TraceOp::Call { .. } => open.push(i),
+                TraceOp::Ret => match_ret[open.pop().expect("return matches a call")] = i,
+            }
+        }
+
+        let mut buf: Vec<BatchOp> = Vec::with_capacity(window.max(1));
+        // Calls queued in `buf` and not yet closed by a queued Ret. A far
+        // call or a guard-frame return can only arrive at `buf_depth == 0`
+        // (nesting: everything inside a batched window closes within it),
+        // so flushing there always hands `run_batch` a balanced sequence.
+        let mut buf_depth = 0usize;
+        let mut guards = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            match ops[i] {
+                TraceOp::Call {
+                    site,
+                    target,
+                    indirect,
+                } => {
+                    let site = *site_map
+                        .entry(site)
+                        .or_insert_with(|| tracker.define_call_site());
+                    let target = *fn_map.entry(target).or_insert_with(|| {
+                        tracker.define_function(&format!("fn{}", target.index()))
+                    });
+                    let j = match_ret[i];
+                    if j != usize::MAX && j - i < window {
+                        // The whole window [i, j] is balanced; queue it
+                        // op-by-op as the cursor passes (inner frames
+                        // close within the window by nesting).
+                        buf.push(if indirect {
+                            BatchOp::CallIndirect { site, target }
+                        } else {
+                            BatchOp::Call { site, target }
+                        });
+                        buf_depth += 1;
+                        i += 1;
+                    } else {
+                        debug_assert_eq!(buf_depth, 0, "far calls only occur between windows");
+                        if !buf.is_empty() {
+                            batched_ops += buf.len() as u64;
+                            th.run_batch(&buf);
+                            buf.clear();
+                        }
+                        guards.push(if indirect {
+                            th.call_indirect(site, target)
+                        } else {
+                            th.call(site, target)
+                        });
+                        guard_ops += 1;
+                        i += 1;
+                    }
+                }
+                TraceOp::Ret => {
+                    if buf_depth > 0 {
+                        buf.push(BatchOp::Ret);
+                        buf_depth -= 1;
+                        // A balanced buffer is a complete set of windows;
+                        // flush once it is big enough.
+                        if buf_depth == 0 && buf.len() >= window.max(1) {
+                            batched_ops += buf.len() as u64;
+                            th.run_batch(&buf);
+                            buf.clear();
+                        }
+                    } else {
+                        // Closes a guard frame; queued (balanced) windows
+                        // precede it in program order, so flush them first.
+                        if !buf.is_empty() {
+                            batched_ops += buf.len() as u64;
+                            th.run_batch(&buf);
+                            buf.clear();
+                        }
+                        drop(guards.pop().expect("guard for unbatched return"));
+                        guard_ops += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        debug_assert_eq!(buf_depth, 0, "queued windows close within the trace");
+        if !buf.is_empty() {
+            batched_ops += buf.len() as u64;
+            th.run_batch(&buf);
+            buf.clear();
+        }
+        // The interpreter's budget can cut a run mid-stack; unwind what
+        // stayed open so the thread finishes clean.
+        while let Some(g) = guards.pop() {
+            drop(g);
+            guard_ops += 1;
+        }
+    }
+
+    tracker
+        .check_invariants()
+        .expect("flat dispatch must agree with the logical table after replay");
+    TrackerBatchOutcome {
+        calls: trace.calls(),
+        batched_ops,
+        guard_ops,
+        stats: tracker.stats(),
+    }
+}
+
+/// Records `spec`'s workload (tail-free variant) and replays it through
+/// the batched tracker drive — the workload-scale exercise of
+/// [`ThreadHandle::run_batch`].
+pub fn run_tracker_batched(spec: &BenchSpec, cfg: &DriverConfig) -> TrackerBatchOutcome {
+    let mut spec = spec.clone();
+    spec.tail_fraction = 0.0;
+    let program = generate_program(&spec);
+    let mut icfg = interp_config(&spec, cfg);
+    icfg.sample_every = 0;
+    icfg.validate = false;
+    let trace = record(&program, icfg);
+    replay_with_window(&trace, cfg.dacce.clone(), BATCH_WINDOW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> DriverConfig {
+        DriverConfig {
+            scale: 0.1,
+            ..DriverConfig::default()
+        }
+    }
+
+    #[test]
+    fn batched_replay_covers_the_workload() {
+        let out = run_tracker_batched(&BenchSpec::tiny("batch-test", 7), &smoke_cfg());
+        assert!(
+            out.calls >= 1_000,
+            "tiny spec still runs {} calls",
+            out.calls
+        );
+        assert_eq!(out.stats.calls, out.calls, "every recorded call replays");
+        assert_eq!(out.stats.decode_errors, 0);
+        assert!(
+            out.batched_ops > out.guard_ops,
+            "leaf churn must dominate: {} batched vs {} guard ops",
+            out.batched_ops,
+            out.guard_ops
+        );
+        assert!(out.stats.reencodes > 0, "adaptivity still kicks in");
+    }
+
+    #[test]
+    fn batched_and_guard_replays_agree() {
+        let spec = BenchSpec::tiny("batch-diff", 11);
+        let cfg = smoke_cfg();
+        let mut tail_free = spec.clone();
+        tail_free.tail_fraction = 0.0;
+        let program = generate_program(&tail_free);
+        let mut icfg = interp_config(&tail_free, &cfg);
+        icfg.sample_every = 0;
+        icfg.validate = false;
+        let trace = record(&program, icfg);
+
+        let batched = replay_with_window(&trace, cfg.dacce.clone(), BATCH_WINDOW);
+        let guarded = replay_with_window(&trace, cfg.dacce.clone(), 0);
+        assert_eq!(batched.guard_ops + batched.batched_ops, guarded.guard_ops);
+        assert_eq!(batched.stats.calls, guarded.stats.calls);
+        // Trigger counters flush per batch rather than per op, so the two
+        // drives may re-encode a few events apart — the ccStack traffic
+        // must agree up to that slack, not exactly.
+        let (a, b) = (batched.stats.ccstack_ops, guarded.stats.ccstack_ops);
+        assert!(
+            a.abs_diff(b) * 20 <= a.max(b).max(1),
+            "ccstack traffic diverged: batched {a} vs guarded {b}"
+        );
+        assert_eq!(batched.stats.decode_errors, 0);
+        assert_eq!(guarded.stats.decode_errors, 0);
+    }
+}

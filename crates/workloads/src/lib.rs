@@ -19,6 +19,7 @@
 //!   baselines) over a spec and collects everything the tables and figures
 //!   need.
 
+pub mod batch;
 pub mod characterize;
 pub mod driver;
 pub mod genprog;
