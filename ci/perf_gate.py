@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a freshly benched CSV against its checked-in baseline.
+
+Usage: perf_gate.py BASELINE.csv CANDIDATE.csv [--threshold 0.25]
+
+Both files are the per-op CSVs the quick-mode benches record
+(`results/dispatch.csv`, `results/tracker_scale.csv`): a header row, then
+one row per variant whose *last* column is the per-op nanosecond figure and
+whose remaining columns form the variant key.
+
+The gate fails (exit 1) when
+
+* any baseline variant is missing from the candidate (a bench leg
+  silently disappeared), or
+* any variant's per-op time exceeds its baseline by more than the
+  threshold (default 25%).
+
+Variants new in the candidate are reported but never fail the gate, and
+improvements are simply printed — the checked-in baseline is only ratcheted
+down by re-recording it deliberately.
+"""
+
+import argparse
+import csv
+import sys
+
+
+def load(path):
+    """Returns {variant-key-tuple: per-op-ns} for one CSV."""
+    with open(path, newline="") as fh:
+        rows = [r for r in csv.reader(fh) if r]
+    if len(rows) < 2:
+        sys.exit(f"perf-gate: {path}: no data rows")
+    out = {}
+    for row in rows[1:]:
+        try:
+            out[tuple(row[:-1])] = float(row[-1])
+        except ValueError:
+            sys.exit(f"perf-gate: {path}: non-numeric per-op value in {row!r}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional per-op regression (default 0.25)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures = []
+    print(f"perf-gate: {args.candidate} vs {args.baseline} "
+          f"(threshold +{args.threshold:.0%})")
+    for key in sorted(base):
+        name = "/".join(key)
+        if key not in cand:
+            failures.append(f"{name}: present in baseline but not benched")
+            print(f"  {name:<24} MISSING")
+            continue
+        b, c = base[key], cand[key]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {c:.2f} ns/op vs baseline {b:.2f} "
+                f"({ratio - 1.0:+.1%})")
+        print(f"  {name:<24} {b:>10.2f} -> {c:>10.2f} ns/op  "
+              f"({ratio - 1.0:+7.1%})  {verdict}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"  {'/'.join(key):<24} (new variant, {cand[key]:.2f} ns/op — "
+              f"not gated)")
+
+    if failures:
+        print("perf-gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf-gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

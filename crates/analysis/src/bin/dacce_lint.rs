@@ -1,6 +1,6 @@
 //! `dacce-lint` — audit exported DACCE engine states.
 //!
-//! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] <export-file>...`
+//! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] <export-file>...`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
 //! file is imported and run through the encoding verifier; findings are
@@ -11,17 +11,20 @@
 //! traps/edges/re-encodes arithmetic must agree. With `--dispatch`, the
 //! export's compiled dispatch table (the flat slot-indexed fast path) is
 //! verified edge-for-edge against the latest dictionary (rule
-//! `dispatch-table`). Exits non-zero if any file fails to parse or any
-//! error-severity finding is reported.
+//! `dispatch-table`). With `--degraded`, the exported degraded-state
+//! counters are checked for internal consistency (rule `degraded-state`).
+//! Exits non-zero if any file fails to parse or any error-severity finding
+//! is reported.
 
 use std::process::ExitCode;
 
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
-use dacce_analyze::verifier::{verify_dispatch, verify_export};
+use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export};
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut dispatch = false;
+    let mut degraded = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,12 +38,17 @@ fn main() -> ExitCode {
             }
         } else if arg == "--dispatch" {
             dispatch = true;
+        } else if arg == "--degraded" {
+            degraded = true;
         } else {
             files.push(arg);
         }
     }
     if files.is_empty() {
-        eprintln!("usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] <export-file>...");
+        eprintln!(
+            "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] \
+             <export-file>..."
+        );
         return ExitCode::from(2);
     }
 
@@ -93,6 +101,9 @@ fn main() -> ExitCode {
                 errors += 1;
             }
             diags.extend(verify_dispatch(&decoder));
+        }
+        if degraded {
+            diags.extend(verify_degraded(&decoder));
         }
         for d in &diags {
             println!("{file}: {d}");

@@ -15,6 +15,7 @@
 //! | `hottest-zero` | warning | every join node has an incoming edge encoded 0 (the hottest edge after adaptive re-encoding) |
 //! | `overflow-budget` | error | `2*maxID+1` and every path sum fit in 64 bits |
 //! | `dispatch-table` | error | the exported compiled dispatch table agrees edge-for-edge with the latest dictionary (opt-in via [`verify_dispatch`] / `dacce-lint --dispatch`) |
+//! | `degraded-state` | error | the exported [`DegradedState`] arithmetic is internally consistent — traps recorded imply degraded mode, the trap counter covers every trap node, spill events and the spilled peak move together (opt-in via [`verify_degraded`] / `dacce-lint --degraded`) |
 //!
 //! The partition check is the workhorse: if at every node the sorted
 //! non-back incoming encodings are exactly the prefix sums of their
@@ -220,6 +221,58 @@ pub fn verify_dispatch(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
                 ));
             }
         }
+    }
+    out
+}
+
+/// Validates the export's [`DegradedState`] arithmetic, rule
+/// `degraded-state`:
+///
+/// * trap nodes or degraded traps recorded ⇒ degraded mode is active
+///   (degradation accounting only runs once the engine entered degraded
+///   mode);
+/// * `degraded_traps >= trap_nodes.len()` — every demoted function was
+///   recorded by at least one trap;
+/// * `cc_spill_events` and `cc_spilled_peak` are zero or non-zero
+///   together — a shed entry is resident in the heap region, and the
+///   region only fills by shedding.
+///
+/// Exports from runs that never degraded return no findings.
+///
+/// [`DegradedState`]: dacce::DegradedState
+pub fn verify_degraded(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let d = decoder.degraded();
+    let err = |message: String| Diagnostic {
+        rule: "degraded-state",
+        severity: Severity::Error,
+        ts: None,
+        message,
+        witness: Vec::new(),
+    };
+
+    if !d.active && (!d.trap_nodes.is_empty() || d.degraded_traps > 0) {
+        out.push(err(format!(
+            "{} trap node(s) and {} degraded trap(s) recorded but degraded \
+             mode is not active",
+            d.trap_nodes.len(),
+            d.degraded_traps
+        )));
+    }
+    if d.degraded_traps < d.trap_nodes.len() as u64 {
+        out.push(err(format!(
+            "{} functions demoted to trap-everything but only {} degraded \
+             trap(s) counted; each demotion is recorded by a trap",
+            d.trap_nodes.len(),
+            d.degraded_traps
+        )));
+    }
+    if (d.cc_spill_events == 0) != (d.cc_spilled_peak == 0) {
+        out.push(err(format!(
+            "ccStack spill counters disagree: {} spill event(s) but a \
+             spilled peak of {} entries",
+            d.cc_spill_events, d.cc_spilled_peak
+        )));
     }
     out
 }
@@ -713,6 +766,141 @@ mod tests {
                 .iter()
                 .any(|d| d.rule == "dispatch-table" && d.message.contains("shared by sites")),
             "slot collision must be reported: {diags:?}"
+        );
+    }
+
+    fn degraded_engine_text() -> String {
+        use dacce::{export_state, DacceConfig, FaultPlan};
+        use dacce_program::runtime::CallDispatch;
+        use dacce_program::{CostModel, ThreadId};
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            fault: FaultPlan {
+                max_id_cap: Some(0),
+                ..FaultPlan::default()
+            },
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        // A diamond gives f3 two contexts, so maxID >= 1 exceeds the cap
+        // and the first re-encode degrades; the extra edges afterwards
+        // become degraded trap nodes.
+        for &(site, caller, callee) in &[(0, 0, 1), (1, 1, 3), (2, 0, 2), (3, 2, 3)] {
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(site),
+                f(caller),
+                f(callee),
+                CallDispatch::Direct,
+                false,
+            );
+            let _ = e.ret(ThreadId::MAIN, s(site), f(caller), f(callee));
+        }
+        for i in 4..6u32 {
+            let _ = e.call(
+                ThreadId::MAIN,
+                s(i),
+                f(0),
+                f(i),
+                CallDispatch::Direct,
+                false,
+            );
+            let _ = e.ret(ThreadId::MAIN, s(i), f(0), f(i));
+        }
+        let text = export_state(&e);
+        assert!(
+            text.lines().any(|l| l.starts_with("degraded ")),
+            "run must actually degrade"
+        );
+        text
+    }
+
+    #[test]
+    fn consistent_degraded_state_is_clean() {
+        let decoder = dacce::import(&degraded_engine_text()).expect("imports");
+        assert!(decoder.degraded().active, "degraded state roundtrips");
+        let diags = verify_degraded(&decoder);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn inactive_degraded_state_with_traps_is_reported() {
+        // Flip the `active` flag off while trap nodes remain exported.
+        let corrupted: String = degraded_engine_text()
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("degraded 1 ") {
+                    format!("degraded 0 {rest}")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_degraded(&decoder);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "degraded-state" && d.message.contains("not active")),
+            "inactive-with-traps must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn undercounted_degraded_traps_are_reported() {
+        // Zero the degraded-trap counter while trap nodes remain.
+        let corrupted: String = degraded_engine_text()
+            .lines()
+            .map(|l| {
+                if l.starts_with("degraded ") {
+                    let mut parts: Vec<&str> = l.split(' ').collect();
+                    parts[2] = "0";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_degraded(&decoder);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "degraded-state" && d.message.contains("demoted")),
+            "undercounted traps must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_spill_counters_are_reported() {
+        // Events without a peak: peak is field 5 (0-indexed) after the rule
+        // name — degraded <active> <traps> <retries> <spills> <peak> ...
+        let corrupted: String = degraded_engine_text()
+            .lines()
+            .map(|l| {
+                if l.starts_with("degraded ") {
+                    let mut parts: Vec<&str> = l.split(' ').collect();
+                    parts[4] = "3";
+                    parts[5] = "0";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_degraded(&decoder);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "degraded-state" && d.message.contains("spill")),
+            "spill-counter mismatch must be reported: {diags:?}"
         );
     }
 

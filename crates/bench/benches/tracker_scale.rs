@@ -159,7 +159,7 @@ fn run_threads_batch(p: &Prepared, rounds: usize) {
             let ops = &p.batches[w];
             scope.spawn(move |_| {
                 for _ in 0..calls {
-                    th.run_batch(ops);
+                    th.run_batch(ops).expect("balanced batch");
                 }
             });
         }

@@ -308,6 +308,24 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         snap.icache_hits,
         snap.icache_misses
     );
+    let degraded_any = snap.degraded_traps
+        + snap.reencode_retries
+        + snap.cc_spills
+        + snap.lock_poisonings
+        + snap.slot_failures
+        > 0;
+    if degraded_any {
+        let _ = writeln!(
+            s,
+            "degraded: traps {} · reencode retries {} · ccStack spills {} · \
+             lock poisonings {} · slot failures {}",
+            snap.degraded_traps,
+            snap.reencode_retries,
+            snap.cc_spills,
+            snap.lock_poisonings,
+            snap.slot_failures
+        );
+    }
     for (label, h) in [
         ("trap latency ns", &snap.trap_ns),
         ("reencode cost", &snap.reencode_cost),
@@ -458,6 +476,9 @@ fn finish_json(
          \"replay\":{{\"traps\":{},\"reencodes\":{},\"migrations\":{}}},\
          \"dispatch\":{{\"slots\":{},\"span\":{},\"occupancy\":{:.4},\
          \"icache_hits\":{},\"icache_misses\":{},\"icache_hit_rate\":{:.4}}},\
+         \"degraded\":{{\"active\":{},\"trap_nodes\":{},\"traps\":{},\
+         \"reencode_retries\":{},\"cc_spill_events\":{},\"cc_spilled_peak\":{},\
+         \"lock_poisonings\":{},\"slot_failures\":{},\"batch_errors\":{}}},\
          \"metrics\":{},\"hottest\":{}}}",
         spec.name,
         opts.scale,
@@ -481,6 +502,15 @@ fn finish_json(
         snap.icache_hits,
         snap.icache_misses,
         ratio(snap.icache_hits, snap.icache_hits + snap.icache_misses),
+        stats.degraded.active,
+        stats.degraded.trap_nodes.len(),
+        stats.degraded.degraded_traps,
+        stats.degraded.reencode_retries,
+        stats.degraded.cc_spill_events,
+        stats.degraded.cc_spilled_peak,
+        stats.degraded.lock_poisonings,
+        stats.degraded.slot_failures,
+        stats.degraded.batch_errors,
         snap.to_json(),
         hottest
     );

@@ -26,11 +26,25 @@ pub struct CcEntry {
 }
 
 /// A per-thread encoding-context stack with operation statistics.
+///
+/// Under an injected overflow limit ([`CcStack::set_spill_limit`]) the
+/// stack never refuses a push: once the resident region exceeds the
+/// limit, the *bottom* entries — the coldest, only needed again when the
+/// thread unwinds that deep — are shed to a heap spill region down to a
+/// watermark of half the limit. No entry is ever dropped, so decoding is
+/// unaffected; the spill is bookkeeping standing in for the mmap'd
+/// overflow arena a production runtime would page cold frames into.
 #[derive(Clone, Debug, Default)]
 pub struct CcStack {
     entries: Vec<CcEntry>,
     ops: u64,
     max_depth: usize,
+    /// Injected resident-region limit; `None` = unbounded (no fault).
+    spill_limit: Option<usize>,
+    /// Entries at the bottom currently shed to the spill region.
+    spilled: usize,
+    spill_events: u64,
+    spilled_peak: usize,
 }
 
 impl CcStack {
@@ -75,6 +89,7 @@ impl CcStack {
             count: 0,
         });
         self.max_depth = self.max_depth.max(self.entries.len());
+        self.maybe_spill();
     }
 
     /// The compressed push of Figure 5e: if `<id, site, target>` equals the
@@ -95,6 +110,7 @@ impl CcStack {
             count: 0,
         });
         self.max_depth = self.max_depth.max(self.entries.len());
+        self.maybe_spill();
         false
     }
 
@@ -106,7 +122,9 @@ impl CcStack {
     /// underflows.
     pub fn pop(&mut self) -> u64 {
         self.ops += 1;
-        self.entries.pop().expect("ccStack underflow").id
+        let id = self.entries.pop().expect("ccStack underflow").id;
+        self.unspill_to_len();
+        id
     }
 
     /// The compressed pop of Figure 5e: restores the saved id and either
@@ -123,6 +141,7 @@ impl CcStack {
             top.count -= 1;
         } else {
             self.entries.pop();
+            self.unspill_to_len();
         }
         id
     }
@@ -133,6 +152,7 @@ impl CcStack {
         if len < self.entries.len() {
             self.ops += 1;
             self.entries.truncate(len);
+            self.unspill_to_len();
         }
     }
 
@@ -149,6 +169,7 @@ impl CcStack {
     /// Removes all entries (thread restart).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.spilled = 0;
     }
 
     /// The entries bottom-to-top (for samples and regeneration).
@@ -160,6 +181,50 @@ impl CcStack {
     /// boundaries an uncompressed stack would hold.
     pub fn logical_depth(&self) -> u64 {
         self.entries.iter().map(|e| e.count + 1).sum()
+    }
+
+    /// Arms (or disarms) the injected resident-region limit. Limits below
+    /// 2 are clamped so the watermark stays meaningful.
+    pub fn set_spill_limit(&mut self, limit: Option<usize>) {
+        self.spill_limit = limit.map(|l| l.max(2));
+    }
+
+    /// Entries currently shed to the heap spill region.
+    pub fn spilled(&self) -> usize {
+        self.spilled
+    }
+
+    /// Watermark shedding events performed (each sheds a batch).
+    pub fn spill_events(&self) -> u64 {
+        self.spill_events
+    }
+
+    /// Greatest number of entries ever resident in the spill region.
+    pub fn spilled_peak(&self) -> usize {
+        self.spilled_peak
+    }
+
+    /// Sheds the bottom of the stack to the spill region when the
+    /// resident part exceeds the injected limit, down to a watermark of
+    /// half the limit.
+    fn maybe_spill(&mut self) {
+        let Some(limit) = self.spill_limit else {
+            return;
+        };
+        let resident = self.entries.len() - self.spilled;
+        if resident > limit {
+            let watermark = (limit / 2).max(1);
+            self.spilled += resident - watermark;
+            self.spill_events += 1;
+            self.spilled_peak = self.spilled_peak.max(self.spilled);
+        }
+    }
+
+    /// Pages entries back in as unwinding reaches the spill boundary.
+    fn unspill_to_len(&mut self) {
+        if self.spilled > self.entries.len() {
+            self.spilled = self.entries.len();
+        }
     }
 }
 
@@ -267,6 +332,47 @@ mod tests {
     #[should_panic(expected = "ccStack underflow")]
     fn pop_empty_panics() {
         CcStack::new().pop();
+    }
+
+    #[test]
+    fn spill_sheds_to_watermark_and_loses_nothing() {
+        let mut st = CcStack::new();
+        st.set_spill_limit(Some(4));
+        for i in 0..10u64 {
+            st.push(i, s(1), f(1));
+        }
+        // Every entry is still present (soundness), but the resident
+        // region was shed to the watermark at least once.
+        assert_eq!(st.depth(), 10);
+        assert!(st.spill_events() > 0);
+        assert!(st.spilled() > 0);
+        assert!(st.spilled_peak() >= st.spilled());
+        assert!(st.depth() - st.spilled() <= 4);
+        // Unwinding pops every id back in order; the spill region pages
+        // back in as the boundary is reached.
+        for i in (0..10u64).rev() {
+            assert_eq!(st.pop(), i);
+        }
+        assert!(st.is_empty());
+        assert_eq!(st.spilled(), 0);
+    }
+
+    #[test]
+    fn spill_limit_is_clamped_and_optional() {
+        let mut st = CcStack::new();
+        st.set_spill_limit(Some(0)); // clamped to 2
+        st.push(1, s(1), f(1));
+        st.push(2, s(1), f(1));
+        st.push(3, s(1), f(1));
+        assert_eq!(st.depth(), 3);
+        assert!(st.spilled() > 0);
+        st.set_spill_limit(None);
+        for i in 0..20u64 {
+            st.push(i, s(2), f(2));
+        }
+        let spilled_before = st.spilled();
+        assert_eq!(st.spilled(), spilled_before);
+        assert_eq!(st.depth(), 23);
     }
 
     #[test]

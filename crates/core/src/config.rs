@@ -1,5 +1,7 @@
 //! Runtime configuration and ablation switches.
 
+use crate::fault::FaultPlan;
+
 /// When recursion compression (Figure 5e of the paper) is applied to back
 /// edges.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -72,6 +74,10 @@ pub struct DacceConfig {
     /// ccStack depth at which a new per-thread high-water mark is journaled
     /// as an overflow event (observability only; no behaviour changes).
     pub journal_overflow_watermark: u32,
+    /// Deterministic fault-injection plan (disarmed by default). See
+    /// [`FaultPlan`] for the fault kinds and the degradation path each
+    /// lands on.
+    pub fault: FaultPlan,
 }
 
 impl Default for DacceConfig {
@@ -95,6 +101,7 @@ impl Default for DacceConfig {
             keep_sample_log: false,
             journal_ring_capacity: 4096,
             journal_overflow_watermark: 48,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -112,6 +119,14 @@ impl DacceConfig {
     pub fn broken_tail_calls() -> Self {
         DacceConfig {
             handle_tail_calls: false,
+            ..DacceConfig::default()
+        }
+    }
+
+    /// The default configuration with `plan` armed.
+    pub fn with_fault(plan: FaultPlan) -> Self {
+        DacceConfig {
+            fault: plan,
             ..DacceConfig::default()
         }
     }
@@ -137,5 +152,12 @@ mod tests {
         assert!(!DacceConfig::no_reencoding().reencode_enabled);
         assert!(!DacceConfig::broken_tail_calls().handle_tail_calls);
         assert!(DacceConfig::broken_tail_calls().reencode_enabled);
+        assert!(!DacceConfig::default().fault.is_armed());
+        let faulted = DacceConfig::with_fault(FaultPlan {
+            max_id_cap: Some(7),
+            ..FaultPlan::default()
+        });
+        assert!(faulted.fault.is_armed());
+        assert!(faulted.reencode_enabled);
     }
 }

@@ -83,6 +83,11 @@ pub(crate) struct DispatchTable {
     sites: Arc<Vec<CompiledSite>>,
     /// Out-of-line dispatch state of polymorphic sites.
     poly: Arc<Vec<IndirectPatch>>,
+    /// Injected slot-allocation cap (fault injection); `None` = unbounded.
+    slot_cap: Option<u32>,
+    /// Allocation requests the cap refused. A refused site stays
+    /// un-compiled and traps on every call — sound, just slow.
+    slot_failures: u64,
 }
 
 impl DispatchTable {
@@ -91,10 +96,30 @@ impl DispatchTable {
         Self::default()
     }
 
+    /// Arms the injected slot-allocation cap.
+    pub(crate) fn set_slot_cap(&mut self, cap: Option<u32>) {
+        self.slot_cap = cap;
+    }
+
+    /// Allocation requests refused by the injected cap so far.
+    pub(crate) fn slot_failures(&self) -> u64 {
+        self.slot_failures
+    }
+
     /// The slot assigned to `site`, allocating one on first touch. Clones
-    /// the underlying vectors iff a snapshot still shares them.
-    fn ensure_slot(&mut self, site: CallSiteId) -> u32 {
+    /// the underlying vectors iff a snapshot still shares them. `None`
+    /// when the injected cap refused the allocation — the site then has
+    /// no compiled record and keeps trapping.
+    fn ensure_slot(&mut self, site: CallSiteId) -> Option<u32> {
         let idx = site.index();
+        if self.slots.get(idx).copied().unwrap_or(NO_SLOT) == NO_SLOT {
+            if let Some(cap) = self.slot_cap {
+                if self.sites.len() as u64 >= u64::from(cap) {
+                    self.slot_failures += 1;
+                    return None;
+                }
+            }
+        }
         let slots = Arc::make_mut(&mut self.slots);
         if idx >= slots.len() {
             slots.resize(idx + 1, NO_SLOT);
@@ -105,14 +130,18 @@ impl DispatchTable {
             sites.push(CompiledSite::TRAP);
             slots[idx] = slot;
         }
-        slots[idx]
+        Some(slots[idx])
     }
 
     /// Recompiles one site's record from its logical patch state. Called
     /// from the trap slow path after the patch table changed; keeps the
-    /// compiled table in lock step without a full rebuild.
-    pub(crate) fn sync_site(&mut self, site: CallSiteId, state: &SiteState) {
-        let slot = self.ensure_slot(site) as usize;
+    /// compiled table in lock step without a full rebuild. Returns
+    /// `false` when the injected slot cap refused the site a record.
+    pub(crate) fn sync_site(&mut self, site: CallSiteId, state: &SiteState) -> bool {
+        let Some(slot) = self.ensure_slot(site) else {
+            return false;
+        };
+        let slot = slot as usize;
         let dispatch = match &state.patch {
             SitePatch::Trap => CompiledDispatch::Trap,
             SitePatch::Direct(target, action) => CompiledDispatch::Mono {
@@ -142,6 +171,7 @@ impl DispatchTable {
             dispatch,
             tc_wrap: state.tc_wrap,
         };
+        true
     }
 
     /// Recompiles the whole table from the logical patch table (after a
@@ -158,6 +188,12 @@ impl DispatchTable {
                 slots.resize(idx + 1, NO_SLOT);
             }
             if slots[idx] == NO_SLOT {
+                if let Some(cap) = self.slot_cap {
+                    if sites.len() as u64 >= u64::from(cap) {
+                        self.slot_failures += 1;
+                        continue;
+                    }
+                }
                 slots[idx] = u32::try_from(sites.len()).expect("slot count fits in u32");
                 sites.push(CompiledSite::TRAP);
             }
@@ -418,6 +454,33 @@ mod tests {
         let r = snapshot.resolve(s(1), f(1), &cost()).unwrap();
         assert_eq!(r.action, EdgeAction::Encoded { delta: 2 });
         assert!(snapshot.entry(s(7)).is_none());
+    }
+
+    #[test]
+    fn slot_cap_starves_late_sites_but_keeps_early_ones() {
+        let mut t = DispatchTable::new();
+        t.set_slot_cap(Some(2));
+        assert!(t.sync_site(s(0), &direct_state(f(1), EdgeAction::Unencoded)));
+        assert!(t.sync_site(s(1), &direct_state(f(2), EdgeAction::Unencoded)));
+        // Third distinct site is refused a slot; re-syncing an existing
+        // site still works.
+        assert!(!t.sync_site(s(2), &direct_state(f(3), EdgeAction::Unencoded)));
+        assert!(t.sync_site(s(0), &direct_state(f(1), EdgeAction::Encoded { delta: 4 })));
+        assert_eq!(t.slot_failures(), 1);
+        assert!(t.entry(s(2)).is_none(), "starved site has no record");
+        assert!(t.resolve(s(2), f(3), &cost()).is_none(), "starved = trap");
+        let r = t.resolve(s(0), f(1), &cost()).unwrap();
+        assert_eq!(r.action, EdgeAction::Encoded { delta: 4 });
+
+        // A rebuild preserves the starvation and counts refusals.
+        let mut patches = PatchTable::new();
+        patches.site_mut(s(0)).patch = SitePatch::Direct(f(1), EdgeAction::Encoded { delta: 9 });
+        patches.site_mut(s(1)).patch = SitePatch::Direct(f(2), EdgeAction::Unencoded);
+        patches.site_mut(s(2)).patch = SitePatch::Direct(f(3), EdgeAction::Unencoded);
+        t.rebuild(&patches);
+        assert!(t.entry(s(2)).is_none());
+        assert_eq!(t.slot_failures(), 2);
+        assert_eq!(t.occupancy().0, 2);
     }
 
     #[test]

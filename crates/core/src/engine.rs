@@ -114,7 +114,10 @@ impl DacceEngine {
             site,
             parent: Box::new(self.snapshot(ptid)),
         });
-        self.threads.insert(tid, ThreadCtx::new(root, spawn));
+        let mut ctx = ThreadCtx::new(root, spawn);
+        ctx.cc
+            .set_spill_limit(self.shared.config.fault.cc_spill_limit);
+        self.threads.insert(tid, ctx);
     }
 
     /// Removes a finished thread's context.
@@ -122,6 +125,14 @@ impl DacceEngine {
         if let Some(ctx) = self.threads.remove(&tid) {
             self.shared.stats.ccstack_ops += ctx.cc.ops();
             self.shared.stats.tcstack_ops += ctx.tc_ops;
+            self.shared.stats.degraded.cc_spill_events += ctx.cc.spill_events();
+            self.shared.stats.degraded.cc_spilled_peak = self
+                .shared
+                .stats
+                .degraded
+                .cc_spilled_peak
+                .max(ctx.cc.spilled_peak() as u64);
+            self.shared.obs.on_cc_spills(ctx.cc.spill_events());
         }
     }
 
@@ -289,6 +300,9 @@ impl DacceEngine {
         for ctx in self.threads.values() {
             s.ccstack_ops += ctx.cc.ops();
             s.tcstack_ops += ctx.tc_ops;
+            s.degraded.cc_spill_events += ctx.cc.spill_events();
+            s.degraded.cc_spilled_peak =
+                s.degraded.cc_spilled_peak.max(ctx.cc.spilled_peak() as u64);
         }
         s
     }

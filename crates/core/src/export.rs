@@ -16,6 +16,8 @@
 //! enddict
 //! owner <site> <func>
 //! dispatch <site> <slot> <kind> <target|-> <action|-> <tcwrap>
+//! degraded <active> <traps> <retries> <spills> <spilledpeak> <poisonings> <slotfail> <batcherr>
+//! degradednode <func>
 //! sample <ts> <id> <leaf> <root> <cc-entries> | <spawn-site> <parent...>
 //! ```
 //!
@@ -41,6 +43,7 @@ use crate::decode::{decode_full, DecodeError};
 use crate::dispatch::CompiledDispatch;
 use crate::engine::DacceEngine;
 use crate::patch::EdgeAction;
+use crate::stats::DegradedState;
 
 /// Header line of the export format.
 pub const HEADER: &str = "dacce-export v1";
@@ -199,6 +202,26 @@ pub fn export_state(engine: &DacceEngine) -> String {
             }
         }
     }
+    // Degraded-state record: lets offline tools audit a run that survived
+    // injected faults (one `degradednode` line per demoted function).
+    let d = engine.stats().degraded;
+    if d.any() {
+        let _ = writeln!(
+            out,
+            "degraded {} {} {} {} {} {} {} {}",
+            u8::from(d.active),
+            d.degraded_traps,
+            d.reencode_retries,
+            d.cc_spill_events,
+            d.cc_spilled_peak,
+            d.lock_poisonings,
+            d.slot_failures,
+            d.batch_errors,
+        );
+        for n in &d.trap_nodes {
+            let _ = writeln!(out, "degradednode {n}");
+        }
+    }
     out
 }
 
@@ -273,6 +296,7 @@ pub struct OfflineDecoder {
     owners: HashMap<CallSiteId, FunctionId>,
     samples: Vec<EncodedContext>,
     dispatch: Vec<DispatchRecord>,
+    degraded: DegradedState,
 }
 
 impl OfflineDecoder {
@@ -294,6 +318,12 @@ impl OfflineDecoder {
     /// The imported compiled dispatch table, in input order.
     pub fn dispatch(&self) -> &[DispatchRecord] {
         &self.dispatch
+    }
+
+    /// The imported degraded-state record (all-zero when the export
+    /// carried none — the run saw no faults).
+    pub fn degraded(&self) -> &DegradedState {
+        &self.degraded
     }
 
     /// Decodes one context against the imported dictionaries.
@@ -546,6 +576,33 @@ pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
                     tc_wrap,
                 });
             }
+            "degraded" => {
+                let fields: Vec<&str> = tokens.by_ref().collect();
+                if fields.len() != 8 {
+                    return Err(ImportError::BadLine(
+                        lineno,
+                        "degraded needs 8 fields".into(),
+                    ));
+                }
+                let nums: Result<Vec<u64>, _> = fields.iter().map(|t| t.parse::<u64>()).collect();
+                let nums =
+                    nums.map_err(|_| ImportError::BadLine(lineno, "bad degraded counter".into()))?;
+                out.degraded.active = nums[0] != 0;
+                out.degraded.degraded_traps = nums[1];
+                out.degraded.reencode_retries = nums[2];
+                out.degraded.cc_spill_events = nums[3];
+                out.degraded.cc_spilled_peak = nums[4];
+                out.degraded.lock_poisonings = nums[5];
+                out.degraded.slot_failures = nums[6];
+                out.degraded.batch_errors = nums[7];
+            }
+            "degradednode" => {
+                let n: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ImportError::BadLine(lineno, "bad degraded node".into()))?;
+                out.degraded.note_trap_node(n);
+            }
             "sample" => {
                 out.samples.push(parse_ctx(&mut tokens, lineno)?);
             }
@@ -730,6 +787,81 @@ mod tests {
             .decode(&offline.samples()[0])
             .expect("offline decodes");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degraded_state_roundtrips() {
+        use crate::fault::FaultPlan;
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            fault: FaultPlan {
+                max_id_cap: Some(0),
+                ..FaultPlan::default()
+            },
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+        // Build a diamond (f0->f1->f3 and f0->f2->f3) so f3 has two
+        // calling contexts and the encoding needs ids past the cap.
+        let walk = [
+            (s(0), f(0), f(1)),
+            (s(1), f(1), f(3)),
+            (s(2), f(0), f(2)),
+            (s(3), f(2), f(3)),
+        ];
+        for chunk in walk.chunks(2) {
+            for &(site, caller, callee) in chunk {
+                let _ = e.call(
+                    ThreadId::MAIN,
+                    site,
+                    caller,
+                    callee,
+                    CallDispatch::Direct,
+                    false,
+                );
+            }
+            for &(site, caller, callee) in chunk.iter().rev() {
+                let _ = e.ret(ThreadId::MAIN, site, caller, callee);
+            }
+        }
+        // Past exhaustion: new edges stay unencoded and are recorded as
+        // degraded traps.
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(4),
+            f(0),
+            f(4),
+            CallDispatch::Direct,
+            false,
+        );
+        let _ = e.call(
+            ThreadId::MAIN,
+            s(5),
+            f(4),
+            f(5),
+            CallDispatch::Direct,
+            false,
+        );
+        let d = e.stats().degraded;
+        assert!(d.active, "maxID cap 0 must force degraded mode");
+        assert!(d.degraded_traps > 0, "post-exhaustion edges trap degraded");
+        assert!(!d.trap_nodes.is_empty());
+        let offline = import(&export_state(&e)).expect("imports");
+        assert_eq!(offline.degraded(), &d, "degraded record round-trips");
+    }
+
+    #[test]
+    fn malformed_degraded_lines_are_rejected() {
+        for bad in [
+            "dacce-export v1\ndegraded 1 2 3 4 5 6 7\n",   // 7 fields
+            "dacce-export v1\ndegraded 1 2 3 4 5 6 7 x\n", // bad counter
+            "dacce-export v1\ndegradednode nope\n",        // bad node id
+        ] {
+            assert!(import(bad).is_err(), "must reject: {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] arms the runtime's failure paths from configuration
+//! alone — every trigger is keyed off deterministic state (generation
+//! numbers, slot counts, depths, slow-path acquisition order), never
+//! wall-clock time or ambient randomness, so a faulted run is exactly
+//! reproducible from its arguments. Each armed fault lands on a graceful
+//! degradation path (see `DESIGN.md`, "Failure model & degraded modes")
+//! and is counted in [`crate::stats::DegradedState`]:
+//!
+//! | fault                    | degradation path                           |
+//! |--------------------------|--------------------------------------------|
+//! | `max_id_cap`             | re-encode aborts as id-space exhaustion; after the retry budget, permanent trap-everything degraded mode |
+//! | `cc_spill_limit`         | ccStack sheds its bottom region to the heap spill at a watermark instead of growing unboundedly |
+//! | `abort_generations`      | generation rollback + capped exponential backoff retry |
+//! | `dispatch_slot_cap`      | site stays un-compiled: permanent (still sound) trap dispatch |
+//! | `poison_slow_locks`      | poison cleared, snapshot revalidated, acquisition retried |
+
+/// A deterministic fault-injection plan. The default plan arms nothing;
+/// the runtime behaves exactly as without the fault layer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Treat a re-encoding whose `maxID` would exceed this cap as 64-bit
+    /// id-space exhaustion (forces the overflow/abort path without
+    /// needing astronomically many edges).
+    pub max_id_cap: Option<u64>,
+    /// Force the ccStack overflow path once the resident (unspilled)
+    /// depth exceeds this limit: the stack sheds its bottom entries to
+    /// the heap spill region down to a watermark of half the limit.
+    pub cc_spill_limit: Option<usize>,
+    /// Abort the re-encoding that would produce these generations
+    /// (`gTimeStamp` values), even if the encoding would fit. Each abort
+    /// rolls the generation back and re-arms the trigger with extra
+    /// backoff.
+    pub abort_generations: Vec<u32>,
+    /// Refuse dispatch-table slot allocation beyond this many slots.
+    /// Sites that lose the race stay un-compiled and trap on every call
+    /// (sound, just slower).
+    pub dispatch_slot_cap: Option<u32>,
+    /// Poison the tracker's shared slow-path lock on exactly these
+    /// acquisitions (0-based, in global acquisition order). The holder
+    /// clears the poison, revalidates the published snapshot and
+    /// proceeds — the simulated analogue of `PoisonError::into_inner`.
+    pub poison_slow_locks: Vec<u64>,
+    /// Seed recorded alongside the plan. Workload generators fold it into
+    /// their own PRNG seed so the *trace* driven under the plan is part
+    /// of the plan's identity; the runtime itself never draws randomness.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// True when at least one fault is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.max_id_cap.is_some()
+            || self.cc_spill_limit.is_some()
+            || !self.abort_generations.is_empty()
+            || self.dispatch_slot_cap.is_some()
+            || !self.poison_slow_locks.is_empty()
+    }
+
+    /// True when re-encoding to generation `ts` must abort.
+    #[must_use]
+    pub fn aborts_generation(&self, ts: u32) -> bool {
+        self.abort_generations.contains(&ts)
+    }
+
+    /// True when the `n`-th slow-path lock acquisition is poisoned.
+    #[must_use]
+    pub fn poisons_acquisition(&self, n: u64) -> bool {
+        self.poison_slow_locks.contains(&n)
+    }
+
+    /// The named fault-plan presets the CI fault matrix runs, most
+    /// specific first. Every preset is deterministic and every one must
+    /// complete the chaos harness with a decode identical to the
+    /// fault-free run.
+    #[must_use]
+    pub fn presets() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            (
+                "maxid-exhaustion",
+                FaultPlan {
+                    max_id_cap: Some(40),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "cc-overflow",
+                FaultPlan {
+                    cc_spill_limit: Some(6),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "reencode-abort",
+                FaultPlan {
+                    abort_generations: vec![1, 2, 4],
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "slot-starvation",
+                FaultPlan {
+                    dispatch_slot_cap: Some(6),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "poisoned-locks",
+                FaultPlan {
+                    poison_slow_locks: vec![0, 1, 3, 7, 15, 31],
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "everything",
+                FaultPlan {
+                    max_id_cap: Some(64),
+                    cc_spill_limit: Some(8),
+                    abort_generations: vec![2, 3],
+                    dispatch_slot_cap: Some(12),
+                    poison_slow_locks: vec![0, 2, 4, 8, 16],
+                    ..FaultPlan::default()
+                },
+            ),
+        ]
+    }
+
+    /// Looks up a preset by name.
+    #[must_use]
+    pub fn preset(name: &str) -> Option<FaultPlan> {
+        Self::presets()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_disarmed() {
+        let p = FaultPlan::default();
+        assert!(!p.is_armed());
+        assert!(!p.aborts_generation(1));
+        assert!(!p.poisons_acquisition(0));
+    }
+
+    #[test]
+    fn every_preset_is_armed_and_named_uniquely() {
+        let presets = FaultPlan::presets();
+        assert!(presets.len() >= 5);
+        let mut names: Vec<_> = presets.iter().map(|(n, _)| *n).collect();
+        for (name, plan) in &presets {
+            assert!(plan.is_armed(), "preset {name} arms nothing");
+            assert_eq!(FaultPlan::preset(name).as_ref(), Some(plan));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), presets.len());
+    }
+
+    #[test]
+    fn unknown_preset_is_none() {
+        assert!(FaultPlan::preset("no-such-plan").is_none());
+    }
+
+    #[test]
+    fn triggers_match_armed_values() {
+        let p = FaultPlan {
+            abort_generations: vec![2, 5],
+            poison_slow_locks: vec![3],
+            ..FaultPlan::default()
+        };
+        assert!(p.aborts_generation(2));
+        assert!(p.aborts_generation(5));
+        assert!(!p.aborts_generation(3));
+        assert!(p.poisons_acquisition(3));
+        assert!(!p.poisons_acquisition(4));
+    }
+}

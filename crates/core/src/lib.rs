@@ -48,6 +48,7 @@ pub(crate) mod dispatch;
 pub mod engine;
 pub mod export;
 pub(crate) mod fastpath;
+pub mod fault;
 pub mod observe;
 pub mod patch;
 pub mod profile;
@@ -68,9 +69,10 @@ pub use engine::DacceEngine;
 pub use export::{
     export_samples, export_state, import, DispatchKind, DispatchRecord, ImportError, OfflineDecoder,
 };
+pub use fault::FaultPlan;
 pub use observe::Observability;
 pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;
-pub use stats::{DacceStats, ProgressPoint};
-pub use tracker::{BatchOp, TaskContext, Tracker};
+pub use stats::{DacceStats, DegradedState, ProgressPoint};
+pub use tracker::{BatchError, BatchErrorKind, BatchOp, TaskContext, Tracker};
 pub use warm::{SeedEdge, WarmStartReport, WarmStartSeed};

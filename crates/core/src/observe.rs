@@ -157,6 +157,32 @@ mod imp {
             self.metrics.record_dispatch(occupied, span);
         }
 
+        // --- degraded-mode hooks (fault injection / graceful paths) ---
+
+        pub(crate) fn on_degraded_trap(&self) {
+            self.metrics.degraded_traps.inc();
+        }
+
+        pub(crate) fn on_reencode_retry(&self) {
+            self.metrics.reencode_retries.inc();
+        }
+
+        pub(crate) fn on_slot_failures(&self, n: u64) {
+            if n != 0 {
+                self.metrics.slot_failures.add(n);
+            }
+        }
+
+        pub(crate) fn on_cc_spills(&self, n: u64) {
+            if n != 0 {
+                self.metrics.cc_spills.add(n);
+            }
+        }
+
+        pub(crate) fn on_lock_poison(&self) {
+            self.metrics.lock_poisonings.inc();
+        }
+
         /// Folds a batch of per-thread inline-cache probe outcomes in.
         pub(crate) fn on_icache(&self, hits: u64, misses: u64) {
             if hits != 0 {
@@ -327,6 +353,11 @@ mod imp {
         pub(crate) fn on_sample(&self, _cc_depth: u32, _id: u64) {}
         pub(crate) fn on_warm_start(&self, _seeded: u64, _pruned: u64) {}
         pub(crate) fn record_dispatch(&self, _occupied: u64, _span: u64) {}
+        pub(crate) fn on_degraded_trap(&self) {}
+        pub(crate) fn on_reencode_retry(&self) {}
+        pub(crate) fn on_slot_failures(&self, _n: u64) {}
+        pub(crate) fn on_cc_spills(&self, _n: u64) {}
+        pub(crate) fn on_lock_poison(&self) {}
         pub(crate) fn on_icache(&self, _hits: u64, _misses: u64) {}
         pub(crate) fn record_generation(
             &self,

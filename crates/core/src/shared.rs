@@ -44,8 +44,10 @@ pub(crate) enum ReencodeOutcome {
     /// A new dictionary was published; thread states must be regenerated
     /// (eagerly by the engine, lazily by the concurrent tracker).
     Applied,
-    /// The grown graph would overflow the 64-bit id budget; the old
-    /// encoding stays and re-encoding is permanently disabled.
+    /// The attempt aborted: either the grown graph would overflow the
+    /// 64-bit id budget (old encoding stays, re-encoding permanently
+    /// disabled, degraded trap-everything mode from here on) or an
+    /// injected abort rolled the generation back for a later retry.
     Overflowed,
 }
 
@@ -77,6 +79,9 @@ pub(crate) struct SharedState {
     pub(crate) last_hot_choice: HashMap<FunctionId, EdgeId>,
     pub(crate) events: u64,
     pub(crate) reencode_overflowed: bool,
+    /// Injected re-encode aborts that already fired, one-shot per target
+    /// generation so the rolled-back attempt can succeed on retry.
+    pub(crate) fired_aborts: HashSet<u32>,
     // Recent samples (ring) for heat derivation, plus the optional full log.
     pub(crate) ring: Vec<EncodedContext>,
     pub(crate) ring_pos: usize,
@@ -102,6 +107,8 @@ impl SharedState {
             config.journal_overflow_watermark,
         );
         let obs_writer = obs.writer(u32::MAX);
+        let mut dispatch = DispatchTable::new();
+        dispatch.set_slot_cap(config.fault.dispatch_slot_cap);
         SharedState {
             config,
             cost,
@@ -110,7 +117,7 @@ impl SharedState {
             ts: TimeStamp::ZERO,
             max_id: 0,
             patches: PatchTable::new(),
-            dispatch: DispatchTable::new(),
+            dispatch,
             site_owner: Arc::new(HashMap::new()),
             edge_heat: HashMap::new(),
             tail_fns: HashSet::new(),
@@ -124,6 +131,7 @@ impl SharedState {
             last_hot_choice: HashMap::new(),
             events: 0,
             reencode_overflowed: false,
+            fired_aborts: HashSet::new(),
             ring: Vec::new(),
             ring_pos: 0,
             sample_log: Vec::new(),
@@ -224,6 +232,16 @@ impl SharedState {
         }
         *self.edge_heat.entry(eid).or_insert(0) += 1;
 
+        // In degraded mode newly discovered edges can never be encoded —
+        // re-encoding is off for good — so the callee's subgraph runs
+        // trap-everything (first call traps, later calls take the plain
+        // sub-path push, all decodable through `[maxID+1, 2*maxID+1]`).
+        if self.stats.degraded.active {
+            self.stats.degraded.note_trap_node(callee.raw());
+            self.stats.degraded.degraded_traps += 1;
+            self.obs.on_degraded_trap();
+        }
+
         // §5.2: the first tail call inside `caller` reveals that `caller`'s
         // callers must save/restore the encoding context absolutely.
         let newly_tail = if tail && self.config.handle_tail_calls && self.tail_fns.insert(caller) {
@@ -271,6 +289,7 @@ impl SharedState {
         }
         self.dispatch
             .sync_site(site, self.patches.get(site).expect("site patched above"));
+        self.sync_slot_failures();
         let (occupied, span) = self.dispatch.occupancy();
         self.obs.record_dispatch(occupied, span);
 
@@ -339,6 +358,26 @@ impl SharedState {
     /// Decodes an encoded context against the recorded dictionaries.
     pub(crate) fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
         decode_full(ctx, &self.dicts, &self.site_owner)
+    }
+
+    /// Mirrors the dispatch table's slot-refusal counter into
+    /// [`crate::stats::DegradedState`] and the obs metrics (delta-based,
+    /// so every mutation path can call it idempotently).
+    pub(crate) fn sync_slot_failures(&mut self) {
+        let total = self.dispatch.slot_failures();
+        let prev = self.stats.degraded.slot_failures;
+        if total > prev {
+            self.obs.on_slot_failures(total - prev);
+            self.stats.degraded.slot_failures = total;
+        }
+    }
+
+    /// Switches the instance into permanent degraded mode: the current
+    /// encoding is the last one, and every edge discovered from here on
+    /// runs trap-everything (sound via the sub-path mechanism).
+    fn enter_degraded(&mut self) {
+        self.reencode_overflowed = true;
+        self.stats.degraded.active = true;
     }
 
     /// Cheap pre-gate for the §4 triggers: worth evaluating them at all?
@@ -495,12 +534,38 @@ impl SharedState {
             EncodeOptions::default()
         };
         let enc = encode_graph(&self.graph, &self.roots, &opts);
-        if enc.overflow {
-            // A 64-bit-overflowing dynamic graph cannot be re-encoded; keep
-            // the old encoding and stop trying (Table 1 reports this for
-            // PCCE; DACCE graphs stay far below the budget).
-            self.reencode_overflowed = true;
+        // Injected id-space exhaustion: treat an encoding past the cap
+        // exactly like a genuine 64-bit overflow.
+        let exhausted = enc.overflow
+            || self
+                .config
+                .fault
+                .max_id_cap
+                .is_some_and(|cap| enc.max_id > cap);
+        // Injected abort of this target generation: one-shot, so the
+        // rolled-back attempt can succeed when retried.
+        let target_gen = self.ts.raw() + 1;
+        let injected_abort =
+            self.config.fault.aborts_generation(target_gen) && self.fired_aborts.insert(target_gen);
+        if exhausted || injected_abort {
             self.stats.overflow_aborts += 1;
+            if exhausted {
+                // A 64-bit-overflowing dynamic graph cannot be re-encoded;
+                // keep the old encoding, stop trying for good (Table 1
+                // reports this for PCCE; DACCE graphs stay far below the
+                // budget) and degrade the rest of the run to
+                // trap-everything on newly discovered edges.
+                self.enter_degraded();
+            } else {
+                // Generation rollback is implicit — no dictionary was
+                // pushed and `gTimeStamp` never advanced. Re-arm the
+                // trigger with one extra (capped) backoff step so the
+                // retry is exponential, not immediate.
+                self.stats.degraded.reencode_retries += 1;
+                self.obs.on_reencode_retry();
+                let next = (self.cur_min_events as f64 * self.config.reencode_backoff) as u64;
+                self.cur_min_events = next.min(self.config.reencode_interval_cap);
+            }
             self.obs.on_reencode(false, cost);
             self.obs_writer
                 .reencode_end(self.ts.raw(), false, cost, 0, 0, 0);
@@ -650,6 +715,7 @@ impl SharedState {
         }
         self.patches.replace_all(rebuilt);
         self.dispatch.rebuild(&self.patches);
+        self.sync_slot_failures();
         let (occupied, span) = self.dispatch.occupancy();
         self.obs.record_dispatch(occupied, span);
     }

@@ -14,6 +14,66 @@ pub struct ProgressPoint {
     pub max_id: u64,
 }
 
+/// Degradation bookkeeping: which graceful-degradation paths the run
+/// took and how often. All-zero (and `active == false`) on a healthy
+/// run; the fault-injection layer ([`crate::fault::FaultPlan`]) forces
+/// each path deterministically so CI can prove the counters move and the
+/// run stays sound.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradedState {
+    /// True once the engine gave up re-encoding for good (retry budget
+    /// exhausted or genuine id-space exhaustion) and runs the affected
+    /// subgraph in trap-everything mode.
+    pub active: bool,
+    /// Functions demoted to trap-everything: callees of edges discovered
+    /// after degradation activated (sorted, deduplicated raw ids). They
+    /// stay decodable through the sub-path `[maxID+1, 2*maxID+1]`
+    /// mechanism — only ever pushed, never encoded.
+    pub trap_nodes: Vec<u32>,
+    /// Traps taken on degraded edges after degradation activated.
+    pub degraded_traps: u64,
+    /// Re-encode attempts re-armed after an abort (generation rollback +
+    /// extra backoff).
+    pub reencode_retries: u64,
+    /// ccStack watermark-shedding events across all threads.
+    pub cc_spill_events: u64,
+    /// Greatest number of ccStack entries resident in any thread's heap
+    /// spill region.
+    pub cc_spilled_peak: u64,
+    /// Slow-path lock acquisitions that found the lock poisoned and
+    /// recovered (poison cleared, snapshot revalidated).
+    pub lock_poisonings: u64,
+    /// Dispatch-table slot allocations refused by the injected cap; each
+    /// leaves a site permanently on the trap path.
+    pub slot_failures: u64,
+    /// Malformed (unbalanced) `run_batch` windows degraded to partial
+    /// progress instead of a thread abort.
+    pub batch_errors: u64,
+}
+
+impl DegradedState {
+    /// True when any degradation path was taken at least once.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.active
+            || !self.trap_nodes.is_empty()
+            || self.degraded_traps > 0
+            || self.reencode_retries > 0
+            || self.cc_spill_events > 0
+            || self.lock_poisonings > 0
+            || self.slot_failures > 0
+            || self.batch_errors > 0
+    }
+
+    /// Records `node` as demoted to trap-everything (keeps the list
+    /// sorted and deduplicated).
+    pub fn note_trap_node(&mut self, node: u32) {
+        if let Err(pos) = self.trap_nodes.binary_search(&node) {
+            self.trap_nodes.insert(pos, node);
+        }
+    }
+}
+
 /// Counters accumulated by the DACCE engine over one run.
 #[derive(Clone, Debug, Default)]
 pub struct DacceStats {
@@ -52,6 +112,8 @@ pub struct DacceStats {
     pub icache_hits: u64,
     /// Indirect-call inline-cache misses (tracker fast path only).
     pub icache_misses: u64,
+    /// Degradation bookkeeping (all-zero on a healthy run).
+    pub degraded: DegradedState,
 }
 
 impl DacceStats {
@@ -71,6 +133,7 @@ impl DacceStats {
         self.decode_errors += shard.decode_errors;
         self.icache_hits += shard.icache_hits;
         self.icache_misses += shard.icache_misses;
+        self.degraded.batch_errors += shard.batch_errors;
         self.cc_depths.extend_from_slice(&shard.cc_depths);
     }
 }
@@ -95,6 +158,8 @@ pub struct StatsShard {
     pub icache_hits: u64,
     /// Indirect-call inline-cache misses on this thread.
     pub icache_misses: u64,
+    /// Unbalanced `run_batch` windows this thread degraded gracefully.
+    pub batch_errors: u64,
     /// ccStack depth at each of this thread's samples.
     pub cc_depths: Vec<u32>,
 }

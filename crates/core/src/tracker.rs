@@ -33,6 +33,7 @@
 //! # Ok::<(), dacce::DecodeError>(())
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -80,6 +81,9 @@ struct ThreadState {
     /// Inline-cache hit/miss totals already published to the obs metrics.
     flushed_icache_hits: u64,
     flushed_icache_misses: u64,
+    /// `ctx.cc.spill_events()` value already folded into the shared
+    /// degraded-state counters.
+    flushed_spill_events: u64,
     /// Recent samples awaiting a slow-path flush into the shared heat ring.
     pending_samples: Vec<EncodedContext>,
     pending_pos: usize,
@@ -178,6 +182,25 @@ impl TrackerInner {
             u64::MAX
         };
         self.trigger_check_at.store(mark, Ordering::Relaxed);
+    }
+
+    /// Counts one slow-path lock acquisition and — when the fault plan
+    /// names this acquisition — simulates a *poisoned* lock. The vendored
+    /// mutex has no real poisoning (it cannot observe a panicking holder),
+    /// so the fault is injected at the acquisition counter: the current
+    /// holder finds the lock poisoned, records the event, and recovers by
+    /// clearing the poison and republishing the encoding so every thread
+    /// revalidates its cached snapshot against state of unknown freshness.
+    /// Returns whether the caller must republish to complete recovery.
+    fn note_slow_lock(&self, sh: &mut SharedState) -> bool {
+        let n = self.slow_locks.fetch_add(1, Ordering::Relaxed);
+        if sh.config.fault.poisons_acquisition(n) {
+            sh.stats.degraded.lock_poisonings += 1;
+            sh.obs.on_lock_poison();
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -341,16 +364,19 @@ impl Tracker {
         }
         sh.register_root(root);
         let snap = self.inner.republish(&mut sh);
+        let mut ctx = ThreadCtx::new(root, spawn);
+        ctx.cc.set_spill_limit(sh.config.fault.cc_spill_limit);
         let slot = Arc::new(ThreadSlot {
             tid,
             state: Mutex::new(ThreadState {
-                ctx: ThreadCtx::new(root, spawn),
+                ctx,
                 snap,
                 shard: StatsShard::default(),
                 batch_events: 0,
                 flushed_cc_ops: 0,
                 flushed_icache_hits: 0,
                 flushed_icache_misses: 0,
+                flushed_spill_events: 0,
                 pending_samples: Vec::new(),
                 pending_pos: 0,
                 writer: self.inner.obs.writer(tid.raw()),
@@ -421,6 +447,16 @@ impl Tracker {
             out.absorb_shard(&st.shard);
             out.ccstack_ops += st.ctx.cc.ops();
             out.tcstack_ops += st.ctx.tc_ops;
+            // Spill activity not yet flushed through a slow path.
+            out.degraded.cc_spill_events += st
+                .ctx
+                .cc
+                .spill_events()
+                .saturating_sub(st.flushed_spill_events);
+            out.degraded.cc_spilled_peak = out
+                .degraded
+                .cc_spilled_peak
+                .max(st.ctx.cc.spilled_peak() as u64);
         }
         out
     }
@@ -447,6 +483,55 @@ pub enum BatchOp {
     /// Return from the innermost call opened earlier in the same batch.
     Ret,
 }
+
+/// What was malformed about a [`ThreadHandle::run_batch`] sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchErrorKind {
+    /// A [`BatchOp::Ret`] had no matching call earlier in the same batch.
+    /// The offending op (and everything after it) was not executed.
+    UnmatchedRet {
+        /// Index of the unmatched return within the batch.
+        index: usize,
+    },
+    /// The batch ended with calls still open. The dangling frames were
+    /// auto-unwound so the thread lands back at a consistent boundary.
+    UnclosedCalls {
+        /// How many frames were still open (and auto-returned).
+        open: usize,
+    },
+}
+
+/// A malformed [`ThreadHandle::run_batch`] drive. The batch stopped early
+/// but the thread was left at a consistent event boundary (dangling frames
+/// are auto-unwound), so the handle — and every other thread — stays fully
+/// usable: a bad trace degrades instead of aborting the run. `executed`
+/// reports partial progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchError {
+    /// What was malformed.
+    pub kind: BatchErrorKind,
+    /// Ops fully executed before the batch stopped.
+    pub executed: usize,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            BatchErrorKind::UnmatchedRet { index } => write!(
+                f,
+                "batch op {index} is a Ret without a matching call ({} ops executed)",
+                self.executed
+            ),
+            BatchErrorKind::UnclosedCalls { open } => write!(
+                f,
+                "batch left {open} call(s) unreturned; frames auto-unwound ({} ops executed)",
+                self.executed
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// Per-thread handle; create one per OS thread via
 /// [`Tracker::register_thread`]. Call/return instrumentation over
@@ -492,12 +577,19 @@ impl ThreadHandle {
     /// by *other* threads are observed at the next batch or guard, which
     /// matches the lazy-migration semantics of the per-op path.
     ///
-    /// # Panics
+    /// Returns the number of ops executed — `ops.len()` on success.
     ///
-    /// Panics on a [`BatchOp::Ret`] with no matching call earlier in the
-    /// same batch, and when the batch ends with calls still open: frames
-    /// cannot span batch boundaries (use guards for long-lived frames).
-    pub fn run_batch(&self, ops: &[BatchOp]) {
+    /// # Errors
+    ///
+    /// Returns a [`BatchError`] on a [`BatchOp::Ret`] with no matching
+    /// call earlier in the same batch (execution stops before the bad op)
+    /// and when the batch ends with calls still open (the dangling frames
+    /// are auto-unwound — frames cannot span batch boundaries; use guards
+    /// for long-lived frames). Either way the thread lands at a consistent
+    /// event boundary and the handle stays usable: a malformed trace
+    /// degrades instead of aborting the thread, and partial progress is
+    /// reported in [`BatchError::executed`].
+    pub fn run_batch(&self, ops: &[BatchOp]) -> Result<usize, BatchError> {
         let mut guard = self.slot.state.lock();
         let st = &mut *guard;
         self.refresh(st);
@@ -505,7 +597,9 @@ impl ThreadHandle {
         // (site, caller, callee, action, epoch) of each still-open call.
         let mut open: Vec<(CallSiteId, FunctionId, FunctionId, EdgeAction, u64)> =
             Vec::with_capacity(16);
-        for &op in ops {
+        let mut executed = 0usize;
+        let mut error: Option<BatchErrorKind> = None;
+        for (i, &op) in ops.iter().enumerate() {
             match op {
                 BatchOp::Call { site, target } | BatchOp::CallIndirect { site, target } => {
                     let caller = st.ctx.current;
@@ -549,11 +643,15 @@ impl ThreadHandle {
                         }
                     };
                     open.push((site, caller, target, action, epoch));
+                    executed += 1;
                 }
                 BatchOp::Ret => {
-                    let (site, caller, callee, action, epoch) = open
-                        .pop()
-                        .expect("BatchOp::Ret without a matching call in this batch");
+                    let Some((site, caller, callee, action, epoch)) = open.pop() else {
+                        // Malformed trace: stop before the bad op; any
+                        // frames opened earlier unwind below.
+                        error = Some(BatchErrorKind::UnmatchedRet { index: i });
+                        break;
+                    };
                     let action = if st.snap.epoch == epoch {
                         action
                     } else {
@@ -570,18 +668,43 @@ impl ThreadHandle {
                             .cc_pop(self.slot.tid.raw(), st.ctx.cc.depth() as u32);
                     }
                     st.batch_events += 1;
+                    executed += 1;
                 }
             }
         }
-        assert!(
-            open.is_empty(),
-            "batch left {} call(s) unreturned; batches must be balanced",
-            open.len()
-        );
+        // Graceful degradation: auto-unwind whatever the batch left open
+        // (malformed trace or early stop) so the thread's encoding lands
+        // back at a consistent boundary instead of aborting the thread.
+        let unclosed = open.len();
+        while let Some((site, caller, callee, action, epoch)) = open.pop() {
+            let action = if st.snap.epoch == epoch {
+                action
+            } else {
+                st.snap
+                    .resolve(site, callee)
+                    .map_or(EdgeAction::Unencoded, |r| r.action)
+            };
+            let _ = fastpath::exec_ret(&*st.snap, &mut st.ctx, site, caller, action);
+            if obs_on && action.uses_ccstack() {
+                st.writer
+                    .cc_pop(self.slot.tid.raw(), st.ctx.cc.depth() as u32);
+            }
+            st.batch_events += 1;
+        }
+        if error.is_none() && unclosed > 0 {
+            error = Some(BatchErrorKind::UnclosedCalls { open: unclosed });
+        }
         if st.batch_events >= EVENT_BATCH {
             self.flush_batch_counters(st);
         }
         flush_icache_obs(&self.inner.obs, st);
+        match error {
+            None => Ok(executed),
+            Some(kind) => {
+                st.shard.batch_errors += 1;
+                Err(BatchError { kind, executed })
+            }
+        }
     }
 
     fn enter(&self, site: CallSiteId, target: FunctionId, dispatch: CallDispatch) -> CallGuard<'_> {
@@ -697,8 +820,10 @@ impl ThreadHandle {
     ) -> EdgeAction {
         let inner = &*self.inner;
         let mut sh_guard = inner.shared.lock();
-        inner.slow_locks.fetch_add(1, Ordering::Relaxed);
         let sh = &mut *sh_guard;
+        // A simulated poisoning needs no extra recovery here: this slow
+        // path unconditionally republishes before returning.
+        let _ = inner.note_slow_lock(sh);
         inner.absorb_pending(sh);
         self.flush_local(st, sh);
 
@@ -804,6 +929,18 @@ impl ThreadHandle {
             self.inner.ccops_total.fetch_add(delta, Ordering::Relaxed);
         }
         st.flushed_cc_ops = cc_now;
+        let spills = st.ctx.cc.spill_events();
+        let d_spills = spills.saturating_sub(st.flushed_spill_events);
+        if d_spills > 0 {
+            sh.stats.degraded.cc_spill_events += d_spills;
+            sh.stats.degraded.cc_spilled_peak = sh
+                .stats
+                .degraded
+                .cc_spilled_peak
+                .max(st.ctx.cc.spilled_peak() as u64);
+            sh.obs.on_cc_spills(d_spills);
+            st.flushed_spill_events = spills;
+        }
         flush_icache_obs(&self.inner.obs, st);
         for s in st.pending_samples.drain(..) {
             sh.push_ring(&s);
@@ -849,8 +986,8 @@ impl ThreadHandle {
             // Another thread is on the slow path; it will evaluate.
             return;
         };
-        inner.slow_locks.fetch_add(1, Ordering::Relaxed);
         let sh = &mut *sh_guard;
+        let poisoned = inner.note_slow_lock(sh);
         inner.absorb_pending(sh);
         for s in st.pending_samples.drain(..) {
             sh.push_ring(&s);
@@ -862,6 +999,11 @@ impl ThreadHandle {
                 self.reencode_locked(sh, st);
                 st.snap = inner.republish(sh);
             }
+        }
+        if poisoned {
+            // Recovery from the simulated poisoning: republish so every
+            // thread revalidates its cached snapshot at its next event.
+            st.snap = inner.republish(sh);
         }
         inner.update_trigger_mark(sh);
     }
@@ -1459,6 +1601,21 @@ mod tests {
         // Batched drive of the same op sequence (first batch traps both
         // sites and re-encodes under the eager triggers).
         let (t_batch, th, f, g, s1, s2) = build();
+        let n = th
+            .run_batch(&[
+                BatchOp::Call {
+                    site: s1,
+                    target: f,
+                },
+                BatchOp::CallIndirect {
+                    site: s2,
+                    target: g,
+                },
+                BatchOp::Ret,
+                BatchOp::Ret,
+            ])
+            .expect("balanced batch");
+        assert_eq!(n, 4);
         th.run_batch(&[
             BatchOp::Call {
                 site: s1,
@@ -1466,23 +1623,12 @@ mod tests {
             },
             BatchOp::CallIndirect {
                 site: s2,
-                target: g,
-            },
-            BatchOp::Ret,
-            BatchOp::Ret,
-        ]);
-        th.run_batch(&[
-            BatchOp::Call {
-                site: s1,
-                target: f,
-            },
-            BatchOp::CallIndirect {
-                site: s2,
                 target: f,
             },
             BatchOp::Ret,
             BatchOp::Ret,
-        ]);
+        ])
+        .expect("balanced batch");
         let batch_stats = t_batch.stats();
         let snap = th.sample();
         assert_eq!((snap.id, snap.cc_depth()), (0, 0));
@@ -1518,7 +1664,8 @@ mod tests {
             },
             BatchOp::Ret,
             BatchOp::Ret,
-        ]);
+        ])
+        .expect("balanced batch");
         let a = th.call(s1, f);
         let b = th.call(s2, g);
         let path = tracker.decode(&th.sample()).unwrap();
@@ -1528,23 +1675,55 @@ mod tests {
         assert_eq!(tracker.stats().decode_errors, 0);
     }
 
+    /// An unmatched `Ret` stops the batch before the bad op, reports the
+    /// error with partial progress, and leaves the handle fully usable.
     #[test]
-    #[should_panic(expected = "without a matching call")]
-    fn run_batch_rejects_unmatched_ret() {
-        let tracker = Tracker::new();
-        let main_fn = tracker.define_function("main");
-        let th = tracker.register_thread(main_fn);
-        th.run_batch(&[BatchOp::Ret]);
-    }
-
-    #[test]
-    #[should_panic(expected = "must be balanced")]
-    fn run_batch_rejects_open_frames_at_end() {
+    fn run_batch_reports_unmatched_ret_and_stays_usable() {
         let tracker = Tracker::new();
         let main_fn = tracker.define_function("main");
         let f = tracker.define_function("f");
         let s = tracker.define_call_site();
         let th = tracker.register_thread(main_fn);
-        th.run_batch(&[BatchOp::Call { site: s, target: f }]);
+        let err = th
+            .run_batch(&[
+                BatchOp::Call { site: s, target: f },
+                BatchOp::Ret,
+                BatchOp::Ret,
+            ])
+            .unwrap_err();
+        assert_eq!(err.kind, BatchErrorKind::UnmatchedRet { index: 2 });
+        assert_eq!(err.executed, 2);
+        // The thread landed back at a consistent boundary...
+        let ctx = th.sample();
+        assert_eq!(ctx.id, 0);
+        assert_eq!(tracker.format_path(&tracker.decode(&ctx).unwrap()), "main");
+        // ...and the failure is visible in the degraded-state counters.
+        assert_eq!(tracker.stats().degraded.batch_errors, 1);
+        tracker.check_invariants().unwrap();
+    }
+
+    /// Frames still open at batch end are auto-unwound: the error reports
+    /// them, the encoding lands back at the pre-batch frame, and later
+    /// batches on the same handle keep working.
+    #[test]
+    fn run_batch_unwinds_open_frames_at_end() {
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let f = tracker.define_function("f");
+        let s = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        let err = th
+            .run_batch(&[BatchOp::Call { site: s, target: f }])
+            .unwrap_err();
+        assert_eq!(err.kind, BatchErrorKind::UnclosedCalls { open: 1 });
+        assert_eq!(err.executed, 1);
+        let ctx = th.sample();
+        assert_eq!(ctx.id, 0);
+        let n = th
+            .run_batch(&[BatchOp::Call { site: s, target: f }, BatchOp::Ret])
+            .expect("handle stays usable after a batch error");
+        assert_eq!(n, 2);
+        assert_eq!(tracker.stats().degraded.batch_errors, 1);
+        tracker.check_invariants().unwrap();
     }
 }

@@ -64,7 +64,10 @@ pub(crate) fn check_shared(sh: &SharedState) -> Result<(), String> {
     }
 
     // 4: the compiled dispatch table is the flattening of the patch table.
-    check_dispatch(sh)
+    check_dispatch(sh)?;
+
+    // 5: degraded-state bookkeeping is arithmetically consistent.
+    check_degraded(sh)
 }
 
 /// Exhaustively cross-checks the flat dispatch table against the logical
@@ -72,6 +75,12 @@ pub(crate) fn check_shared(sh: &SharedState) -> Result<(), String> {
 /// `resolve` agrees with [`lookup_in`] for every node of the call graph
 /// (including unknown-target traps), compiled slots must be unique, and no
 /// record may exist for an unpatched site.
+///
+/// Degraded encodings are accepted: with an injected dispatch-slot cap a
+/// patched site may legitimately have *no* compiled record (it was starved
+/// and traps on every call). Such sites are exempt from the per-callee
+/// equivalence check — trapping is always sound — but must be fully
+/// accounted for by the table's refusal counter.
 fn check_dispatch(sh: &SharedState) -> Result<(), String> {
     let mut nodes: Vec<FunctionId> = sh.graph.nodes().to_vec();
     // Probe an id the graph has never seen so unknown-callee traps are
@@ -90,9 +99,15 @@ fn check_dispatch(sh: &SharedState) -> Result<(), String> {
         }
         compiled += 1;
     }
+    let mut starved = 0usize;
     for (&site, _) in sh.patches.iter() {
         if !sh.dispatch.iter_compiled().any(|(s, _, _)| s == site) {
-            return Err(format!("patched site {site} has no compiled record"));
+            if sh.dispatch.slot_failures() == 0 {
+                return Err(format!("patched site {site} has no compiled record"));
+            }
+            // Starved by the injected slot cap: permanently traps.
+            starved += 1;
+            continue;
         }
         for &callee in &nodes {
             let flat = sh.dispatch.resolve(site, callee, &sh.cost);
@@ -105,10 +120,50 @@ fn check_dispatch(sh: &SharedState) -> Result<(), String> {
             }
         }
     }
-    if compiled != sh.patches.len() {
+    if compiled + starved != sh.patches.len() {
         return Err(format!(
-            "{compiled} compiled records != {} patched sites",
+            "{compiled} compiled + {starved} starved records != {} patched sites",
             sh.patches.len()
+        ));
+    }
+    if starved > 0 && sh.dispatch.slot_failures() < starved as u64 {
+        return Err(format!(
+            "{starved} starved sites but only {} recorded slot refusals",
+            sh.dispatch.slot_failures()
+        ));
+    }
+    Ok(())
+}
+
+/// Degraded-state arithmetic: demoted nodes must exist in the call graph,
+/// and the counters must be mutually consistent (a node can only be
+/// demoted by a trap, and degradation is monotone with the overflow
+/// switch).
+pub(crate) fn check_degraded(sh: &SharedState) -> Result<(), String> {
+    let d = &sh.stats.degraded;
+    if d.active && !sh.reencode_overflowed {
+        return Err("degraded mode active but re-encoding still enabled".to_string());
+    }
+    for &raw in &d.trap_nodes {
+        if !sh.graph.nodes().contains(&FunctionId::new(raw)) {
+            return Err(format!("degraded node {raw} is not in the call graph"));
+        }
+    }
+    if d.degraded_traps < d.trap_nodes.len() as u64 {
+        return Err(format!(
+            "{} degraded traps cannot have demoted {} nodes",
+            d.degraded_traps,
+            d.trap_nodes.len()
+        ));
+    }
+    if (!d.trap_nodes.is_empty() || d.degraded_traps > 0) && !d.active {
+        return Err("degraded traps recorded without degraded mode".to_string());
+    }
+    if d.slot_failures < sh.dispatch.slot_failures() {
+        return Err(format!(
+            "stats record {} slot failures but the table refused {}",
+            d.slot_failures,
+            sh.dispatch.slot_failures()
         ));
     }
     Ok(())

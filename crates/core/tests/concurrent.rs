@@ -215,7 +215,7 @@ fn inline_cache_stays_generation_safe_during_reencodes() {
                         for _ in 0..DEPTH {
                             ops.push(BatchOp::Ret);
                         }
-                        th.run_batch(&ops);
+                        th.run_batch(&ops).expect("balanced batch");
                         let path = tracker.decode(&th.sample()).expect("post-batch decodes");
                         assert_eq!(tracker.format_path(&path), prefix);
                     } else {

@@ -1,0 +1,100 @@
+//! Property test for soundness under degradation: for any random program
+//! walk and any injected fault schedule, every sampled context decodes to
+//! exactly the oracle call stack, and the engine's invariants
+//! ([`DacceEngine::check_invariants`], which audits the degraded-state
+//! arithmetic too) hold at every step.
+//!
+//! Faults may make the encoding *worse* — more trapping, ccStack spills,
+//! aborted or permanently disabled re-encodings, starved dispatch slots —
+//! but never *wrong*: decode exactness is the invariant the whole failure
+//! model is built around.
+
+use proptest::prelude::*;
+
+use dacce::{DacceConfig, DacceEngine, FaultPlan};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::runtime::CallDispatch;
+use dacce_program::{CostModel, ThreadId};
+
+/// Function pool size; call sites are derived as `caller * POOL + callee`
+/// so each site has exactly one owning function.
+const POOL: u32 = 6;
+
+fn f(i: u32) -> FunctionId {
+    FunctionId::new(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decoded_contexts_stay_exact_under_any_fault_schedule(
+        // Each op: (callee, push?) — pops when `push` is false and frames
+        // are open, otherwise calls `callee` from the current leaf.
+        ops in prop::collection::vec((0u32..POOL, prop::bool::weighted(0.6)), 1..140),
+        max_id_cap in prop_oneof![
+            Just(None),
+            (0u64..4).prop_map(Some),
+        ],
+        cc_spill_limit in prop_oneof![
+            Just(None),
+            (2usize..8).prop_map(Some),
+        ],
+        abort_generations in prop::collection::vec(1u32..8, 0..3),
+        dispatch_slot_cap in prop_oneof![
+            Just(None),
+            (1u32..10).prop_map(Some),
+        ],
+        seed in 0u64..1000,
+    ) {
+        let fault = FaultPlan {
+            max_id_cap,
+            cc_spill_limit,
+            abort_generations,
+            dispatch_slot_cap,
+            poison_slow_locks: Vec::new(),
+            seed,
+        };
+        // Eager re-encoding so generation-targeted faults actually see
+        // re-encodings within a ~100-op walk.
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            fault,
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(f(0));
+        e.thread_start(ThreadId::MAIN, f(0), None);
+
+        // The oracle stack: (site, caller, callee) of every open frame.
+        let mut stack: Vec<(CallSiteId, FunctionId, FunctionId)> = Vec::new();
+        for (i, &(callee, push)) in ops.iter().enumerate() {
+            if push || stack.is_empty() {
+                let caller = stack.last().map_or(f(0), |&(_, _, c)| c);
+                let callee = f(callee);
+                let site = CallSiteId::new(caller.raw() * POOL + callee.raw());
+                let _ = e.call(ThreadId::MAIN, site, caller, callee, CallDispatch::Direct, false);
+                stack.push((site, caller, callee));
+            } else {
+                let (site, caller, callee) = stack.pop().expect("non-empty");
+                let _ = e.ret(ThreadId::MAIN, site, caller, callee);
+            }
+
+            // Exactness: the sampled context decodes to the oracle stack.
+            let (snap, _) = e.sample(ThreadId::MAIN);
+            let path = e.decode(&snap).expect("context decodes under faults");
+            let got: Vec<FunctionId> = path.0.iter().map(|s| s.func).collect();
+            let mut want = vec![f(0)];
+            want.extend(stack.iter().map(|&(_, _, c)| c));
+            prop_assert_eq!(got, want, "op {} of {}", i, ops.len());
+
+            if i % 8 == 0 {
+                let inv = e.check_invariants();
+                prop_assert!(inv.is_ok(), "op {}: {}", i, inv.unwrap_err());
+            }
+        }
+        let inv = e.check_invariants();
+        prop_assert!(inv.is_ok(), "final: {}", inv.unwrap_err());
+    }
+}

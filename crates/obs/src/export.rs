@@ -27,6 +27,11 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"warm_pruned_edges\": {},", self.warm_pruned_edges);
         let _ = writeln!(s, "  \"icache_hits\": {},", self.icache_hits);
         let _ = writeln!(s, "  \"icache_misses\": {},", self.icache_misses);
+        let _ = writeln!(s, "  \"degraded_traps\": {},", self.degraded_traps);
+        let _ = writeln!(s, "  \"reencode_retries\": {},", self.reencode_retries);
+        let _ = writeln!(s, "  \"cc_spills\": {},", self.cc_spills);
+        let _ = writeln!(s, "  \"lock_poisonings\": {},", self.lock_poisonings);
+        let _ = writeln!(s, "  \"slot_failures\": {},", self.slot_failures);
         let _ = writeln!(s, "  \"dispatch_slots\": {},", self.dispatch_slots);
         let _ = writeln!(s, "  \"dispatch_span\": {},", self.dispatch_span);
         let _ = writeln!(s, "  \"journal_dropped\": {},", self.journal_dropped);
@@ -63,7 +68,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
-        let counters: [(&str, &str, u64); 13] = [
+        let counters: [(&str, &str, u64); 18] = [
             ("dacce_traps_total", "Cold-start traps handled", self.traps),
             (
                 "dacce_edges_discovered_total",
@@ -115,6 +120,31 @@ impl MetricsSnapshot {
                 "dacce_icache_misses_total",
                 "Indirect-call inline-cache misses",
                 self.icache_misses,
+            ),
+            (
+                "dacce_degraded_traps_total",
+                "Traps taken on degraded trap-everything nodes",
+                self.degraded_traps,
+            ),
+            (
+                "dacce_reencode_retries_total",
+                "Re-encode attempts re-armed after an abort",
+                self.reencode_retries,
+            ),
+            (
+                "dacce_cc_spills_total",
+                "ccStack watermark-shedding spill events",
+                self.cc_spills,
+            ),
+            (
+                "dacce_lock_poisonings_total",
+                "Slow-path lock acquisitions recovered from poisoning",
+                self.lock_poisonings,
+            ),
+            (
+                "dacce_slot_failures_total",
+                "Dispatch-slot allocations refused by an injected cap",
+                self.slot_failures,
             ),
             (
                 "dacce_journal_dropped_total",

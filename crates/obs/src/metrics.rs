@@ -283,6 +283,17 @@ pub struct MetricsRegistry {
     pub icache_hits: Counter,
     /// Per-thread indirect-call inline-cache misses.
     pub icache_misses: Counter,
+    /// Traps taken on degraded (trap-everything) nodes after the engine
+    /// gave up re-encoding.
+    pub degraded_traps: Counter,
+    /// Re-encode attempts re-armed after an abort (rollback + backoff).
+    pub reencode_retries: Counter,
+    /// ccStack watermark-shedding (spill) events.
+    pub cc_spills: Counter,
+    /// Slow-path lock acquisitions that recovered from poisoning.
+    pub lock_poisonings: Counter,
+    /// Dispatch-slot allocations refused by an injected cap.
+    pub slot_failures: Counter,
     /// Trap-handling latency in nanoseconds.
     pub trap_ns: Histogram,
     /// Abstract cost per re-encode attempt.
@@ -337,6 +348,11 @@ impl MetricsRegistry {
             warm_pruned_edges: self.warm_pruned_edges.get(),
             icache_hits: self.icache_hits.get(),
             icache_misses: self.icache_misses.get(),
+            degraded_traps: self.degraded_traps.get(),
+            reencode_retries: self.reencode_retries.get(),
+            cc_spills: self.cc_spills.get(),
+            lock_poisonings: self.lock_poisonings.get(),
+            slot_failures: self.slot_failures.get(),
             dispatch_slots: self.dispatch_slots.load(Ordering::Relaxed),
             dispatch_span: self.dispatch_span.load(Ordering::Relaxed),
             trap_ns: self.trap_ns.snapshot(),
@@ -381,6 +397,16 @@ pub struct MetricsSnapshot {
     pub icache_hits: u64,
     /// Per-thread indirect-call inline-cache misses.
     pub icache_misses: u64,
+    /// Traps taken on degraded (trap-everything) nodes.
+    pub degraded_traps: u64,
+    /// Re-encode attempts re-armed after an abort.
+    pub reencode_retries: u64,
+    /// ccStack watermark-shedding (spill) events.
+    pub cc_spills: u64,
+    /// Slow-path lock acquisitions that recovered from poisoning.
+    pub lock_poisonings: u64,
+    /// Dispatch-slot allocations refused by an injected cap.
+    pub slot_failures: u64,
     /// Allocated dispatch-table slots (compiled sites).
     pub dispatch_slots: u64,
     /// Site-id index range the slot vector spans.

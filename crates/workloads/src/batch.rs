@@ -31,7 +31,7 @@ use crate::spec::BenchSpec;
 
 /// One recorded instrumentation op of one thread.
 #[derive(Clone, Copy, Debug)]
-enum TraceOp {
+pub(crate) enum TraceOp {
     Call {
         site: CallSiteId,
         target: FunctionId,
@@ -43,10 +43,10 @@ enum TraceOp {
 /// One recorded thread: its id, root function and (for spawned threads)
 /// the parent thread and spawn site.
 #[derive(Clone, Copy, Debug)]
-struct ThreadStart {
-    tid: ThreadId,
-    root: FunctionId,
-    parent: Option<(ThreadId, CallSiteId)>,
+pub(crate) struct ThreadStart {
+    pub(crate) tid: ThreadId,
+    pub(crate) root: FunctionId,
+    pub(crate) parent: Option<(ThreadId, CallSiteId)>,
 }
 
 /// The recorded streams of one interpreter run: per-thread op sequences
@@ -54,8 +54,8 @@ struct ThreadStart {
 #[derive(Debug, Default)]
 pub struct WorkloadTrace {
     /// Thread starts in order; parents always precede their children.
-    threads: Vec<ThreadStart>,
-    traces: HashMap<ThreadId, Vec<TraceOp>>,
+    pub(crate) threads: Vec<ThreadStart>,
+    pub(crate) traces: HashMap<ThreadId, Vec<TraceOp>>,
 }
 
 impl WorkloadTrace {
@@ -128,7 +128,7 @@ impl ContextRuntime for TraceRecorder {
 }
 
 /// Records the instrumentation streams of `program` under `icfg`.
-fn record(program: &Program, icfg: dacce_program::InterpConfig) -> WorkloadTrace {
+pub(crate) fn record(program: &Program, icfg: dacce_program::InterpConfig) -> WorkloadTrace {
     let mut rec = TraceRecorder::default();
     let _ = Interpreter::new(program, icfg).run(&mut rec);
     rec.trace
@@ -238,7 +238,7 @@ pub fn replay_with_window(
                         debug_assert_eq!(buf_depth, 0, "far calls only occur between windows");
                         if !buf.is_empty() {
                             batched_ops += buf.len() as u64;
-                            th.run_batch(&buf);
+                            th.run_batch(&buf).expect("replay windows are balanced");
                             buf.clear();
                         }
                         guards.push(if indirect {
@@ -258,7 +258,7 @@ pub fn replay_with_window(
                         // flush once it is big enough.
                         if buf_depth == 0 && buf.len() >= window.max(1) {
                             batched_ops += buf.len() as u64;
-                            th.run_batch(&buf);
+                            th.run_batch(&buf).expect("replay windows are balanced");
                             buf.clear();
                         }
                     } else {
@@ -266,7 +266,7 @@ pub fn replay_with_window(
                         // precede it in program order, so flush them first.
                         if !buf.is_empty() {
                             batched_ops += buf.len() as u64;
-                            th.run_batch(&buf);
+                            th.run_batch(&buf).expect("replay windows are balanced");
                             buf.clear();
                         }
                         drop(guards.pop().expect("guard for unbatched return"));
@@ -279,7 +279,7 @@ pub fn replay_with_window(
         debug_assert_eq!(buf_depth, 0, "queued windows close within the trace");
         if !buf.is_empty() {
             batched_ops += buf.len() as u64;
-            th.run_batch(&buf);
+            th.run_batch(&buf).expect("replay windows are balanced");
             buf.clear();
         }
         // The interpreter's budget can cut a run mid-stack; unwind what

@@ -20,12 +20,14 @@
 //!   need.
 
 pub mod batch;
+pub mod chaos;
 pub mod characterize;
 pub mod driver;
 pub mod genprog;
 pub mod spec;
 pub mod suite;
 
+pub use chaos::{chaos_trace, run_all_presets, run_chaos_plan, ChaosOutcome, ChaosReplay};
 pub use characterize::{characterize, ProgramShape};
 pub use driver::{
     interp_config, program_of, run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm,

@@ -1,0 +1,83 @@
+//! CI fault-matrix entry point: replay a recorded workload under every
+//! [`FaultPlan`] preset (or one named by `DACCE_CHAOS_PRESET`) and
+//! differentially check decoded contexts against the fault-free run.
+//!
+//! The CI `fault-matrix` job runs this test once per preset with
+//! `DACCE_CHAOS_PRESET=<name>`; locally (no env var) every preset runs in
+//! one pass. `DACCE_CHAOS_SCALE` scales the workload (default 0.1).
+
+use dacce::{DacceConfig, FaultPlan};
+use dacce_workloads::chaos::{chaos_trace, run_chaos_plan};
+use dacce_workloads::{BenchSpec, DriverConfig};
+
+fn scale() -> f64 {
+    std::env::var("DACCE_CHAOS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+#[test]
+fn fault_matrix_presets_are_sound() {
+    let cfg = DriverConfig {
+        scale: scale(),
+        ..DriverConfig::default()
+    };
+    // Two workload shapes: a recursion-heavy tiny spec and a threaded one
+    // (spawned threads exercise spawn-context decode under faults).
+    let specs = [
+        BenchSpec::tiny("chaos-ci-a", 17),
+        BenchSpec::tiny("chaos-ci-b", 23),
+    ];
+    // Eager re-encoding so generation-targeted faults (aborts, exhaustion)
+    // actually see re-encodings on a CI-sized trace.
+    let base = DacceConfig {
+        edge_threshold: 4,
+        min_events_between_reencodes: 32,
+        ..DacceConfig::default()
+    };
+
+    let only = std::env::var("DACCE_CHAOS_PRESET").ok();
+    let presets: Vec<(&'static str, FaultPlan)> = match &only {
+        Some(name) => {
+            let plan = FaultPlan::preset(name)
+                .unwrap_or_else(|| panic!("unknown DACCE_CHAOS_PRESET {name:?}"));
+            vec![(
+                FaultPlan::presets()
+                    .into_iter()
+                    .find(|(n, _)| n == name)
+                    .expect("preset exists")
+                    .0,
+                plan,
+            )]
+        }
+        None => FaultPlan::presets(),
+    };
+
+    for spec in &specs {
+        let trace = chaos_trace(spec, &cfg);
+        for (name, plan) in &presets {
+            let out = run_chaos_plan(&trace, &base, name, plan.clone());
+            assert!(
+                out.samples > 0,
+                "{}/{name}: no sample points — workload too small",
+                spec.name
+            );
+            assert_eq!(
+                out.mismatches, 0,
+                "{}/{name}: {} of {} decoded contexts diverged from the fault-free run",
+                spec.name, out.mismatches, out.samples
+            );
+            assert_eq!(
+                out.replay.decode_failures, 0,
+                "{}/{name}: contexts failed to decode under injected faults",
+                spec.name
+            );
+            assert_eq!(
+                out.replay.invariant_error, None,
+                "{}/{name}: post-run invariants violated",
+                spec.name
+            );
+        }
+    }
+}
