@@ -61,7 +61,9 @@ def main():
             print(f"  {name:<24} MISSING")
             continue
         b, c = base[key], cand[key]
-        ratio = c / b if b > 0 else float("inf")
+        # A zero baseline is a hard pin (e.g. cold-start trap counts):
+        # staying at zero is fine, any non-zero value is a regression.
+        ratio = c / b if b > 0 else (1.0 if c == 0 else float("inf"))
         verdict = "ok"
         if ratio > 1.0 + args.threshold:
             verdict = "REGRESSION"

@@ -1,6 +1,7 @@
 //! `dacce-lint` — audit exported DACCE engine states.
 //!
 //! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] <export-file>...`
+//! or: `dacce-lint --fleet <tenant-export> <twin-export>`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
 //! file is imported and run through the encoding verifier; findings are
@@ -13,18 +14,22 @@
 //! verified edge-for-edge against the latest dictionary (rule
 //! `dispatch-table`). With `--degraded`, the exported degraded-state
 //! counters are checked for internal consistency (rule `degraded-state`).
+//! With `--fleet`, exactly two exports are expected — a shared-lineage
+//! fleet tenant and its standalone twin — and the pair is cross-checked
+//! for identity (rule `fleet-twin`) on top of the per-file audits.
 //! Exits non-zero if any file fails to parse or any error-severity finding
 //! is reported.
 
 use std::process::ExitCode;
 
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
-use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export};
+use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export, verify_fleet_twin};
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut dispatch = false;
     let mut degraded = false;
+    let mut fleet = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +45,8 @@ fn main() -> ExitCode {
             dispatch = true;
         } else if arg == "--degraded" {
             degraded = true;
+        } else if arg == "--fleet" {
+            fleet = true;
         } else {
             files.push(arg);
         }
@@ -47,7 +54,14 @@ fn main() -> ExitCode {
     if files.is_empty() {
         eprintln!(
             "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] \
-             <export-file>..."
+             <export-file>... | dacce-lint --fleet <tenant-export> <twin-export>"
+        );
+        return ExitCode::from(2);
+    }
+    if fleet && files.len() != 2 {
+        eprintln!(
+            "--fleet compares exactly two exports (tenant, standalone twin); got {}",
+            files.len()
         );
         return ExitCode::from(2);
     }
@@ -74,12 +88,14 @@ fn main() -> ExitCode {
         },
     };
 
+    let mut decoders = Vec::with_capacity(files.len());
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{file}: cannot read: {e}");
                 errors += 1;
+                decoders.push(None);
                 continue;
             }
         };
@@ -88,6 +104,7 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("{file}: cannot import: {e}");
                 errors += 1;
+                decoders.push(None);
                 continue;
             }
         };
@@ -124,6 +141,27 @@ fn main() -> ExitCode {
                     ""
                 }
             );
+        }
+        decoders.push(Some(decoder));
+    }
+
+    if fleet {
+        if let [Some(tenant), Some(twin)] = &decoders[..] {
+            let diags = verify_fleet_twin(tenant, twin);
+            for d in &diags {
+                println!("{} vs {}: {d}", files[0], files[1]);
+                if d.is_error() {
+                    errors += 1;
+                } else {
+                    warnings += 1;
+                }
+            }
+            if diags.is_empty() {
+                println!(
+                    "{} vs {}: fleet twin ok (shared-lineage export matches standalone twin)",
+                    files[0], files[1]
+                );
+            }
         }
     }
     println!(

@@ -164,4 +164,60 @@ mod tests {
         let direct_site = p.call_ops().next().unwrap().1.site;
         assert_eq!(sg.indirect_cardinality(direct_site), None);
     }
+
+    #[test]
+    fn static_graph_includes_cold_code_and_false_positives() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let hot = b.function("hot");
+        let cold = b.function("cold_error_handler");
+        let fp = b.function("never_a_target");
+        let table = b.table_with_extra(vec![hot], vec![fp]);
+        b.body(main)
+            .call(hot)
+            .call_p(cold, [0.0, 0.0]) // never executes, statically present
+            .indirect(table, TargetChoice::Uniform, [1.0, 1.0], 1)
+            .done();
+        b.body(hot).work(1).done();
+        b.body(cold).work(1).done();
+        b.body(fp).work(1).done();
+        let p = b.build(main);
+
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.graph.node_count(), 4);
+        // Edges: main->hot (direct), main->cold, main->hot (indirect),
+        // main->fp (false positive).
+        assert_eq!(sg.graph.edge_count(), 4);
+        assert_eq!(sg.false_positive_edges, 1);
+        assert_eq!(sg.roots, vec![main]);
+        let targets = &sg.indirect_targets[&p.call_ops().nth(2).unwrap().1.site];
+        assert_eq!(targets, &vec![hot, fp]);
+    }
+
+    #[test]
+    fn spawn_targets_become_roots() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let worker = b.function("worker");
+        b.body(main).spawn(worker, [1.0, 1.0]).done();
+        b.body(worker).work(1).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.roots, vec![main, worker]);
+        assert!(sg.graph.contains_node(worker));
+    }
+
+    #[test]
+    fn site_owner_is_recorded_for_every_call_op() {
+        let mut b = ProgramBuilder::new();
+        let main = b.function("main");
+        let a = b.function("a");
+        b.body(main).call(a).done();
+        b.body(a).call_p(a, [0.5, 0.5]).done();
+        let p = b.build(main);
+        let sg = build_static_graph(&p);
+        assert_eq!(sg.site_owner.len(), 2);
+        let (owner0, op0) = p.call_ops().next().unwrap();
+        assert_eq!(sg.site_owner[&op0.site], owner0);
+    }
 }

@@ -16,6 +16,7 @@
 //! | `overflow-budget` | error | `2*maxID+1` and every path sum fit in 64 bits |
 //! | `dispatch-table` | error | the exported compiled dispatch table agrees edge-for-edge with the latest dictionary (opt-in via [`verify_dispatch`] / `dacce-lint --dispatch`) |
 //! | `degraded-state` | error | the exported [`DegradedState`] arithmetic is internally consistent — traps recorded imply degraded mode, the trap counter covers every trap node, spill events and the spilled peak move together (opt-in via [`verify_degraded`] / `dacce-lint --degraded`) |
+//! | `fleet-twin` | error | a shared-lineage tenant's export is identical — dictionaries, owners, compiled dispatch — to a standalone twin of the same program (opt-in via [`verify_fleet_twin`] / `dacce-lint --fleet`) |
 //!
 //! The partition check is the workhorse: if at every node the sorted
 //! non-back incoming encodings are exactly the prefix sums of their
@@ -273,6 +274,161 @@ pub fn verify_degraded(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
              spilled peak of {} entries",
             d.cc_spill_events, d.cc_spilled_peak
         )));
+    }
+    out
+}
+
+/// Cross-checks a shared-lineage tenant's export against its standalone
+/// twin (rule `fleet-twin`, opt-in via `dacce-lint --fleet`).
+///
+/// A tenant that attached to an encoding lineage must be observationally
+/// identical to a tracker that built the same program on its own: same
+/// dictionary chain (per generation: `maxID`, every `numCC`, every frozen
+/// edge with its encoding), same site-owner table, same compiled dispatch
+/// table. Any drift means the shared snapshot and the standalone encode
+/// path disagree — the copy-on-write machinery leaked state between
+/// tenants or adopted a generation it should not have.
+pub fn verify_fleet_twin(tenant: &OfflineDecoder, twin: &OfflineDecoder) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut err = |ts: Option<TimeStamp>, message: String| {
+        out.push(Diagnostic {
+            rule: "fleet-twin",
+            severity: Severity::Error,
+            ts,
+            message,
+            witness: Vec::new(),
+        });
+    };
+
+    if tenant.dicts().len() != twin.dicts().len() {
+        err(
+            None,
+            format!(
+                "tenant has {} dictionary generation(s), twin has {}",
+                tenant.dicts().len(),
+                twin.dicts().len()
+            ),
+        );
+    }
+    // Functions whose numCC must agree: every edge endpoint or site owner
+    // either side knows (covers isolated nodes such as a pre-edge `main`).
+    let mut funcs: Vec<FunctionId> = tenant
+        .owners()
+        .values()
+        .chain(twin.owners().values())
+        .copied()
+        .collect();
+    for dec in [tenant, twin] {
+        for i in 0..dec.dicts().len() {
+            let ts = TimeStamp::new(u32::try_from(i).expect("dictionary count fits u32"));
+            if let Some(dict) = dec.dicts().get(ts) {
+                funcs.extend(dict.edges().iter().flat_map(|e| [e.caller, e.callee]));
+            }
+        }
+    }
+    funcs.sort_unstable();
+    funcs.dedup();
+
+    for i in 0..tenant.dicts().len().min(twin.dicts().len()) {
+        let ts = TimeStamp::new(u32::try_from(i).expect("dictionary count fits u32"));
+        let (Some(a), Some(b)) = (tenant.dicts().get(ts), twin.dicts().get(ts)) else {
+            continue;
+        };
+        if a.max_id() != b.max_id() {
+            err(
+                Some(ts),
+                format!(
+                    "maxID {} on the tenant, {} on the twin",
+                    a.max_id(),
+                    b.max_id()
+                ),
+            );
+        }
+        for &f in &funcs {
+            if a.num_cc(f) != b.num_cc(f) {
+                err(
+                    Some(ts),
+                    format!(
+                        "numCC({f}) is {:?} on the tenant, {:?} on the twin",
+                        a.num_cc(f),
+                        b.num_cc(f)
+                    ),
+                );
+            }
+        }
+        let key = |e: &DictEdge| (e.site, e.callee);
+        let mut a_edges: Vec<&DictEdge> = a.edges().iter().collect();
+        let mut b_edges: Vec<&DictEdge> = b.edges().iter().collect();
+        a_edges.sort_by_key(|e| key(e));
+        b_edges.sort_by_key(|e| key(e));
+        let b_by_key: HashMap<(CallSiteId, FunctionId), &DictEdge> =
+            b_edges.iter().map(|e| (key(e), *e)).collect();
+        for e in &a_edges {
+            match b_by_key.get(&key(e)) {
+                None => err(
+                    Some(ts),
+                    format!(
+                        "edge {} -> {} at {} frozen on the tenant but absent on the twin",
+                        e.caller, e.callee, e.site
+                    ),
+                ),
+                Some(t) if (t.caller, t.encoding, t.back) != (e.caller, e.encoding, e.back) => {
+                    err(
+                        Some(ts),
+                        format!(
+                            "edge {} -> {} at {} encodes {} (back={}) on the tenant \
+                             but {} (back={}) on the twin",
+                            e.caller, e.callee, e.site, e.encoding, e.back, t.encoding, t.back
+                        ),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        if b_edges.len() != a_edges.len() {
+            err(
+                Some(ts),
+                format!(
+                    "{} frozen edge(s) on the tenant, {} on the twin",
+                    a_edges.len(),
+                    b_edges.len()
+                ),
+            );
+        }
+    }
+
+    if tenant.owners() != twin.owners() {
+        err(
+            None,
+            format!(
+                "site-owner tables differ: {} entries on the tenant, {} on the twin",
+                tenant.owners().len(),
+                twin.owners().len()
+            ),
+        );
+    }
+
+    // Slot indices are fast-path allocation order, which depends on compile
+    // timing, not on the encoding — compare the semantic content only.
+    let semantic = |dec: &OfflineDecoder| {
+        let mut v: Vec<_> = dec
+            .dispatch()
+            .iter()
+            .map(|r| (r.site, r.target, r.kind, r.action, r.tc_wrap))
+            .collect();
+        v.sort_by_key(|&(site, target, ..)| (site, target.map(FunctionId::raw)));
+        v
+    };
+    let (a_disp, b_disp) = (semantic(tenant), semantic(twin));
+    if a_disp != b_disp {
+        err(
+            None,
+            format!(
+                "compiled dispatch tables differ: {} record(s) on the tenant, {} on the twin",
+                a_disp.len(),
+                b_disp.len()
+            ),
+        );
     }
     out
 }
@@ -901,6 +1057,100 @@ mod tests {
                 .iter()
                 .any(|d| d.rule == "degraded-state" && d.message.contains("spill")),
             "spill-counter mismatch must be reported: {diags:?}"
+        );
+    }
+
+    fn fleet_chain_def() -> dacce_fleet::ProgramDef {
+        use dacce_fleet::DefEdge;
+        dacce_fleet::ProgramDef {
+            functions: vec!["main".into(), "a".into(), "b".into(), "c".into()],
+            main: 0,
+            call_sites: 3,
+            edges: (0..3)
+                .map(|d| DefEdge {
+                    caller: d,
+                    callee: d + 1,
+                    site: d,
+                    indirect: false,
+                })
+                .collect(),
+            tail_fns: vec![],
+            extra_roots: vec![],
+        }
+    }
+
+    fn fleet_config() -> dacce::DacceConfig {
+        dacce::DacceConfig {
+            edge_threshold: 1,
+            min_events_between_reencodes: 1,
+            ..dacce::DacceConfig::default()
+        }
+    }
+
+    /// The standalone twin of a fleet founder: same declarations, same warm
+    /// seed, no lineage attached.
+    fn standalone_twin(def: &dacce_fleet::ProgramDef) -> dacce::Tracker {
+        let twin = dacce::Tracker::with_config(fleet_config());
+        for name in &def.functions {
+            let _ = twin.define_function(name);
+        }
+        for _ in 0..def.call_sites {
+            let _ = twin.define_call_site();
+        }
+        let _ = twin.warm_start(def.main_fn(), &def.seed());
+        twin
+    }
+
+    #[test]
+    fn fleet_tenant_export_matches_standalone_twin() {
+        use dacce::export_tracker_state;
+        use dacce_fleet::Fleet;
+        let def = fleet_chain_def();
+        let fleet = Fleet::with_config(fleet_config());
+        let _founder = fleet.register("svc-0", &def);
+        let attached = fleet.register("svc-1", &def);
+        let tenant = fleet.tracker(attached).expect("registered");
+
+        let tenant_dec =
+            dacce::import(&export_tracker_state(&tenant)).expect("tenant export imports");
+        let twin_dec = dacce::import(&export_tracker_state(&standalone_twin(&def)))
+            .expect("twin export imports");
+        let diags = verify_fleet_twin(&tenant_dec, &twin_dec);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+        // The shared-lineage export also passes the full per-file audit.
+        let own = verify_export(&tenant_dec);
+        assert!(own.is_empty(), "tenant export unsound: {own:?}");
+    }
+
+    #[test]
+    fn fleet_twin_flags_a_diverged_tenant() {
+        use dacce::export_tracker_state;
+        use dacce_fleet::Fleet;
+        let def = fleet_chain_def();
+        let fleet = Fleet::with_config(fleet_config());
+        let _founder = fleet.register("svc-0", &def);
+        let attached = fleet.register("svc-1", &def);
+        let tenant = fleet.tracker(attached).expect("registered");
+
+        // Diverge the tenant: discover an edge the twin never sees, then
+        // let the fleet run the tenant's re-encode so the new edge freezes.
+        let wild = tenant.define_function("wild");
+        let wild_site = tenant.define_call_site();
+        {
+            let thread = tenant.register_thread(def.main_fn());
+            drop(thread.call(wild_site, wild));
+        }
+        let _ = fleet.reencode(attached);
+        fleet.poll();
+
+        let tenant_dec =
+            dacce::import(&export_tracker_state(&tenant)).expect("tenant export imports");
+        let twin_dec = dacce::import(&export_tracker_state(&standalone_twin(&def)))
+            .expect("twin export imports");
+        let diags = verify_fleet_twin(&tenant_dec, &twin_dec);
+        assert!(
+            diags.iter().any(|d| d.rule == "fleet-twin" && d.is_error()),
+            "diverged tenant must not pass the twin check: {diags:?}"
         );
     }
 

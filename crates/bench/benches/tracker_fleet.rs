@@ -1,0 +1,215 @@
+//! Multi-tenant fleet cost: per-op overhead of running a tracker inside a
+//! [`dacce_fleet::Fleet`] of N tenants sharing one content-addressed
+//! encoding lineage, versus the same workload on a standalone tracker.
+//!
+//! Three things are measured/checked:
+//!
+//! * **Cold-start traps for the Nth tenant** — a tenant attaching to an
+//!   existing lineage adopts the founder's warm encoding wholesale, so a
+//!   full walk over the defined edges must trap zero times. Recorded as
+//!   the `cold_traps` row (and asserted); the perf gate then pins it to
+//!   zero (any baseline-zero variant that comes back non-zero fails).
+//! * **Per-op cost at fleet scale** — batched encoded call/return pairs
+//!   driven on the last-registered tenant while the whole fleet is
+//!   resident. The acceptance bar is within 10% of the standalone twin
+//!   (compare with the `batch` rows of `results/tracker_scale.csv`).
+//! * **Shared-state footprint** — attached tenants hold `Arc`s to the
+//!   lineage's dictionaries/graph/owner table rather than copies; the
+//!   bench prints the lineage count (always 1) as the witness.
+//!
+//! Times itself (best-of-K per-op nanoseconds, same protocol as
+//! `tracker_scale`) and writes `results/tracker_fleet.csv`.
+//! `DACCE_BENCH_QUICK=1` shrinks iteration counts for CI smoke jobs; the
+//! tenant ladder stays identical so the perf-gate variant keys match.
+//!
+//! ```text
+//! cargo bench -p dacce-bench --bench tracker_fleet
+//! ```
+
+use std::time::Instant;
+
+use dacce::tracker::BatchOp;
+use dacce::{DacceConfig, Tracker};
+use dacce_fleet::{DefEdge, Fleet, ProgramDef};
+
+/// Nesting depth of each round (frames entered then unwound).
+const DEPTH: usize = 4;
+/// Rounds folded into one `run_batch` call (`2 * DEPTH` ops each).
+const ROUNDS_PER_BATCH: usize = 16;
+/// Tenant-count ladder; identical in quick mode so gate keys line up.
+const LADDER: [usize; 4] = [1, 8, 64, 1000];
+
+fn quick() -> bool {
+    std::env::var("DACCE_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn rounds_per_iter() -> usize {
+    if quick() {
+        ROUNDS_PER_BATCH * 50
+    } else {
+        ROUNDS_PER_BATCH * 125
+    }
+}
+
+fn iters() -> usize {
+    if quick() {
+        20
+    } else {
+        200
+    }
+}
+
+/// The shared program: a `main -> level0 -> … -> level{DEPTH-1}` chain of
+/// direct calls — the same shape `tracker_scale` drives, so the
+/// standalone/fleet per-op numbers are directly comparable.
+fn chain_def() -> ProgramDef {
+    let mut functions = vec!["main".to_string()];
+    for d in 0..DEPTH {
+        functions.push(format!("level{d}"));
+    }
+    let edges = (0..DEPTH)
+        .map(|d| DefEdge {
+            caller: d,
+            callee: d + 1,
+            site: d,
+            indirect: false,
+        })
+        .collect();
+    ProgramDef {
+        functions,
+        main: 0,
+        call_sites: DEPTH,
+        edges,
+        tail_fns: vec![],
+        extra_roots: vec![],
+    }
+}
+
+fn config() -> DacceConfig {
+    DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 1,
+        ..DacceConfig::default()
+    }
+}
+
+/// One batch program: `ROUNDS_PER_BATCH` rounds of `DEPTH` calls then
+/// `DEPTH` returns over the chain.
+fn batch_ops(def: &ProgramDef) -> Vec<BatchOp> {
+    let mut ops = Vec::with_capacity(ROUNDS_PER_BATCH * 2 * DEPTH);
+    for _ in 0..ROUNDS_PER_BATCH {
+        for d in 0..DEPTH {
+            ops.push(BatchOp::Call {
+                site: def.site(d),
+                target: def.function(d + 1),
+            });
+        }
+        for _ in 0..DEPTH {
+            ops.push(BatchOp::Ret);
+        }
+    }
+    ops
+}
+
+/// Best-of-`iters()` per-op nanoseconds of the batched drive on `tracker`.
+fn measure(tracker: &Tracker, def: &ProgramDef) -> f64 {
+    let thread = tracker.register_thread(def.main_fn());
+    let ops = batch_ops(def);
+    let rounds = rounds_per_iter();
+    let calls = rounds / ROUNDS_PER_BATCH;
+    let total_ops = (rounds * DEPTH) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters() {
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            thread.run_batch(&ops).expect("balanced batch");
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / total_ops;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// The standalone twin: the same declaration and warm seed as a fleet
+/// founder, with no lineage attached.
+fn standalone(def: &ProgramDef) -> Tracker {
+    let tracker = Tracker::with_config(config());
+    for name in &def.functions {
+        let _ = tracker.define_function(name);
+    }
+    for _ in 0..def.call_sites {
+        let _ = tracker.define_call_site();
+    }
+    let _ = tracker.warm_start(def.main_fn(), &def.seed());
+    tracker
+}
+
+fn main() {
+    let def = chain_def();
+    let mut csv = String::from("scenario,variant,per_op_ns\n");
+    use std::fmt::Write as _;
+
+    println!("fleet tenant per-op cost (batched encoded call/return pairs)");
+    println!("{:>14} {:>14} {:>10}", "scenario", "batch ns/op", "vs solo");
+
+    let solo = measure(&standalone(&def), &def);
+    println!("{:>14} {solo:>14.2} {:>9.2}x", "standalone", 1.0);
+    let _ = writeln!(csv, "standalone,batch,{solo:.2}");
+
+    for &tenants in &LADDER {
+        let fleet = Fleet::with_config(config());
+        let mut last = None;
+        let t0 = Instant::now();
+        for i in 0..tenants {
+            last = Some(fleet.register(&format!("svc-{i}"), &def));
+        }
+        let attach_total = t0.elapsed();
+        let nth = fleet
+            .tracker(last.expect("ladder counts are non-zero"))
+            .expect("registered");
+
+        // Cold-start check on the Nth tenant: a full walk over the defined
+        // chain must not trap — the adopted lineage already encodes it.
+        {
+            let thread = nth.register_thread(def.main_fn());
+            let mut guards = Vec::new();
+            for d in 0..DEPTH {
+                guards.push(thread.call(def.site(d), def.function(d + 1)));
+            }
+            while let Some(g) = guards.pop() {
+                drop(g);
+            }
+        }
+        let cold_traps = nth.stats().traps;
+        assert_eq!(
+            cold_traps, 0,
+            "tenant {tenants} of a shared lineage must attach with zero cold-start traps"
+        );
+
+        let per_op = measure(&nth, &def);
+        let stats = fleet.fleet_stats();
+        assert_eq!(stats.lineages, 1, "one program definition, one lineage");
+        println!(
+            "{:>14} {per_op:>14.2} {:>9.2}x   ({} tenants, {} lineage, registered in {:.1} ms)",
+            format!("fleet-{tenants}"),
+            per_op / solo.max(f64::MIN_POSITIVE),
+            stats.tenants,
+            stats.lineages,
+            attach_total.as_secs_f64() * 1e3
+        );
+        let _ = writeln!(csv, "fleet-{tenants},batch,{per_op:.2}");
+        if tenants == *LADDER.last().expect("ladder is non-empty") {
+            let _ = writeln!(csv, "fleet-{tenants},cold_traps,{cold_traps}.00");
+        }
+    }
+
+    // `cargo bench` runs with the package as CWD; anchor on the manifest so
+    // the CSV lands in the workspace-root `results/` like every other
+    // artifact.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("tracker_fleet.csv"), csv).expect("write tracker_fleet.csv");
+    println!("wrote results/tracker_fleet.csv");
+}

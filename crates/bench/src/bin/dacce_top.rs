@@ -20,14 +20,27 @@
 //! In JSON mode `--prom-out`/`--export-out` additionally write the final
 //! Prometheus metrics export and `dacce-export v1` engine state, the input
 //! pair for `dacce-lint --metrics`.
+//!
+//! `--fleet N` switches to the multi-tenant view: N tenants of one shared
+//! program run under a [`dacce_fleet::Fleet`], their journals and metrics
+//! merged through a [`dacce_obs::FleetPump`] into one labeled surface
+//! (per-tenant `tenant="…"` rows, `dacce_fleet_` aggregates):
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin dacce-top -- --fleet 8
+//! cargo run -p dacce-bench --release --bin dacce-top -- \
+//!     --fleet 8 --json --prom-out fleet.prom > fleet.json
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use dacce::{DacceConfig, DacceRuntime, HotContextProfile};
-use dacce_obs::{EventKind, EventRecord, JournalAggregates, MetricsSnapshot};
+use dacce::{DacceConfig, DacceRuntime, HotContextProfile, Tracker};
+use dacce_fleet::{DefEdge, Fleet, ProgramDef, TenantId};
+use dacce_obs::{EventKind, EventRecord, FleetPump, JournalAggregates, MetricsSnapshot};
 use dacce_program::{ContextPath, Interpreter, Program, RunReport};
 use dacce_workloads::{all_benchmarks, interp_config, program_of, BenchSpec, DriverConfig};
 
@@ -38,6 +51,8 @@ struct TopOptions {
     interval_ms: u64,
     require_reencodes: bool,
     top: usize,
+    /// Run the multi-tenant fleet view with this many tenants.
+    fleet: Option<usize>,
     /// Write the final Prometheus metrics export here (JSON mode only).
     prom_out: Option<String>,
     /// Write the final `dacce-export v1` engine state here (JSON mode
@@ -54,6 +69,7 @@ impl Default for TopOptions {
             interval_ms: 500,
             require_reencodes: false,
             top: 10,
+            fleet: None,
             prom_out: None,
             export_out: None,
         }
@@ -88,6 +104,14 @@ impl TopOptions {
                         .parse()
                         .expect("--top needs an integer");
                 }
+                "--fleet" => {
+                    o.fleet = Some(
+                        args.next()
+                            .expect("--fleet needs a tenant count")
+                            .parse()
+                            .expect("--fleet needs an integer"),
+                    );
+                }
                 "--json" => o.json = true,
                 "--require-reencodes" => o.require_reencodes = true,
                 "--prom-out" => o.prom_out = Some(args.next().expect("--prom-out needs a path")),
@@ -96,8 +120,8 @@ impl TopOptions {
                 }
                 other => panic!(
                     "unknown argument {other}; use \
-                     --bench/--scale/--json/--interval-ms/--top/--require-reencodes\
-                     /--prom-out/--export-out"
+                     --bench/--scale/--fleet/--json/--interval-ms/--top\
+                     /--require-reencodes/--prom-out/--export-out"
                 ),
             }
         }
@@ -107,6 +131,10 @@ impl TopOptions {
 
 fn main() {
     let opts = TopOptions::from_args();
+    if let Some(tenants) = opts.fleet {
+        let ok = run_fleet(&opts, tenants.max(1));
+        std::process::exit(i32::from(!ok));
+    }
     let spec = all_benchmarks()
         .into_iter()
         .find(|s| s.name.contains(&opts.bench))
@@ -520,6 +548,249 @@ fn finish_json(
             "dacce-top: --require-reencodes: journal recorded no re-encode \
              events on {}",
             spec.name
+        );
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Fleet mode (`--fleet N`)
+// ---------------------------------------------------------------------------
+
+/// Middle-layer width of the synthetic fleet program.
+const FLEET_MID: usize = 4;
+/// Leaf-layer width of the synthetic fleet program.
+const FLEET_LEAF: usize = 4;
+
+/// The shared program every fleet tenant registers: `main` calls one of
+/// [`FLEET_MID`] services, each service calls one of [`FLEET_LEAF`]
+/// operations (odd services through indirect sites). One definition →
+/// one content hash → one shared lineage across the whole fleet.
+fn fleet_def() -> ProgramDef {
+    let mut functions = vec!["main".to_string()];
+    for m in 0..FLEET_MID {
+        functions.push(format!("svc{m}"));
+    }
+    for l in 0..FLEET_LEAF {
+        functions.push(format!("op{l}"));
+    }
+    let mut edges = Vec::new();
+    let mut site = 0usize;
+    for m in 0..FLEET_MID {
+        edges.push(DefEdge {
+            caller: 0,
+            callee: 1 + m,
+            site,
+            indirect: false,
+        });
+        site += 1;
+    }
+    for m in 0..FLEET_MID {
+        for l in 0..FLEET_LEAF {
+            edges.push(DefEdge {
+                caller: 1 + m,
+                callee: 1 + FLEET_MID + l,
+                site,
+                indirect: m % 2 == 1,
+            });
+            site += 1;
+        }
+    }
+    ProgramDef {
+        functions,
+        main: 0,
+        call_sites: site,
+        edges,
+        tail_fns: vec![],
+        extra_roots: vec![],
+    }
+}
+
+/// Drives one tenant: deterministic main → svc → op walks with periodic
+/// samples. Every fourth tenant grows a private indirect edge halfway
+/// through — the copy-on-write divergence the fleet view should surface.
+fn drive_tenant(tracker: &Tracker, def: &ProgramDef, index: usize, iterations: u64) {
+    let thread = tracker.register_thread(def.main_fn());
+    let diverge_at = (index % 4 == 3).then_some(iterations / 2);
+    let mut private = None;
+    for i in 0..iterations {
+        if diverge_at == Some(i) {
+            let pfn = tracker.define_function(&format!("wild{index}"));
+            let psite = tracker.define_call_site();
+            private = Some((psite, pfn));
+        }
+        let m = usize::try_from(i).unwrap_or(usize::MAX) % FLEET_MID;
+        let l = usize::try_from(i / 3).unwrap_or(usize::MAX) % FLEET_LEAF;
+        let g1 = thread.call(def.site(m), def.function(1 + m));
+        let g2 = thread.call(
+            def.site(FLEET_MID + m * FLEET_LEAF + l),
+            def.function(1 + FLEET_MID + l),
+        );
+        if let Some((psite, pfn)) = private {
+            if i % 16 == 0 {
+                let _g3 = thread.call_indirect(psite, pfn);
+            }
+        }
+        if i % 512 == 0 {
+            let _ = thread.sample();
+        }
+        drop(g2);
+        drop(g1);
+    }
+}
+
+/// Drains every tenant's journal and metrics into the pump.
+fn pump_tick(fleet: &Fleet, pump: &mut FleetPump) {
+    for (_, label, tracker) in fleet.tenants() {
+        let obs = tracker.observability();
+        let batch = obs.drain_journal();
+        pump.note_events(&label, batch.events.len() as u64);
+        pump.record(&label, obs.snapshot());
+    }
+}
+
+fn render_fleet(fleet: &Fleet, pump: &FleetPump, elapsed: Duration) -> String {
+    let stats = fleet.fleet_stats();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "dacce-top --fleet — {} tenants sharing {} lineage(s)  [{:.1}s]",
+        stats.tenants,
+        stats.lineages,
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        s,
+        "registry: founded {} · attached {} · diverged {} · adoptions {} · publishes {}",
+        stats.founded, stats.attached, stats.diverged, stats.adoptions, stats.publishes
+    );
+    let _ = writeln!(
+        s,
+        "\n  {:<10} {:>8} {:>10} {:>8} {:>8} {:>6} {:>5} {:>10}",
+        "tenant", "traps", "samples", "reenc", "migr", "adopt", "div", "events"
+    );
+    for (label, member) in pump.members() {
+        let m = &member.snapshot;
+        let _ = writeln!(
+            s,
+            "  {label:<10} {:>8} {:>10} {:>8} {:>8} {:>6} {:>5} {:>10}",
+            m.traps,
+            m.samples,
+            m.reencodes,
+            m.migrations,
+            m.lineage_adoptions,
+            m.lineage_divergences,
+            member.events
+        );
+    }
+    let agg = pump.aggregate();
+    let _ = writeln!(
+        s,
+        "\nfleet: traps {} · edges {} · reencodes {} ({} aborted) · migrations {} · \
+         samples {} · journal {} events ({} dropped)",
+        agg.traps,
+        agg.edges_discovered,
+        agg.reencodes,
+        agg.reencode_aborts,
+        agg.migrations,
+        agg.samples,
+        pump.total_events(),
+        agg.journal_dropped
+    );
+    s
+}
+
+/// Runs the multi-tenant fleet view and returns whether the health checks
+/// passed.
+fn run_fleet(opts: &TopOptions, tenants: usize) -> bool {
+    let def = fleet_def();
+    let fleet = Fleet::with_config(DacceConfig {
+        journal_ring_capacity: 1 << 14,
+        ..DacceConfig::default()
+    });
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|i| fleet.register(&format!("svc-{i:03}"), &def))
+        .collect();
+    // Enable journaling before worker threads register: writers capture
+    // the gate at registration.
+    for id in &ids {
+        let tracker = fleet.tracker(*id).expect("tenant just registered");
+        tracker.observability().set_journaling(true);
+    }
+
+    let iterations = ((opts.scale * 200_000.0) as u64).max(1_024);
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
+    let mut pump = FleetPump::new();
+    std::thread::scope(|scope| {
+        for (i, id) in ids.iter().enumerate() {
+            let tracker = fleet.tracker(*id).expect("tenant just registered");
+            let def = &def;
+            let done = &done;
+            scope.spawn(move || {
+                drive_tenant(&tracker, def, i, iterations);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Maintenance + render loop. The first tenant (the founder, which
+        // never diverges) drives the shared re-encode; the sweep bounds
+        // adoption staleness for its siblings.
+        while done.load(Ordering::Relaxed) < ids.len() {
+            std::thread::sleep(Duration::from_millis(opts.interval_ms));
+            let _ = fleet.reencode(ids[0]);
+            let _ = fleet.poll();
+            pump_tick(&fleet, &mut pump);
+            if !opts.json {
+                print!(
+                    "\x1b[2J\x1b[H{}",
+                    render_fleet(&fleet, &pump, started.elapsed())
+                );
+            }
+        }
+    });
+    // Final maintenance pass + drain, so laggard adoptions and the last
+    // journal entries land in the summary.
+    let _ = fleet.reencode(ids[0]);
+    let _ = fleet.poll();
+    pump_tick(&fleet, &mut pump);
+    let stats = fleet.fleet_stats();
+
+    if opts.json {
+        println!(
+            "{{\"fleet\":{},\"registry\":{{\"tenants\":{},\"lineages\":{},\
+             \"founded\":{},\"attached\":{},\"diverged\":{},\"adoptions\":{},\
+             \"publishes\":{}}},\"iterations\":{iterations}}}",
+            pump.to_json(),
+            stats.tenants,
+            stats.lineages,
+            stats.founded,
+            stats.attached,
+            stats.diverged,
+            stats.adoptions,
+            stats.publishes
+        );
+    } else {
+        println!("\x1b[2J\x1b[H");
+        print!("{}", render_fleet(&fleet, &pump, started.elapsed()));
+    }
+    if let Some(path) = &opts.prom_out {
+        write_creating_dirs(path, &pump.to_prometheus());
+    }
+    if let Some(path) = &opts.export_out {
+        let founder = fleet.tracker(ids[0]).expect("founder registered");
+        write_creating_dirs(path, &dacce::export_tracker_state(&founder));
+    }
+
+    let agg = pump.aggregate();
+    if opts.require_reencodes && agg.reencodes == 0 {
+        eprintln!("dacce-top: --require-reencodes: fleet recorded no re-encodes");
+        return false;
+    }
+    if stats.lineages != 1 {
+        eprintln!(
+            "dacce-top: fleet of one program split into {} lineages",
+            stats.lineages
         );
         return false;
     }

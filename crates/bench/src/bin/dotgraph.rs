@@ -10,9 +10,9 @@
 //! Writes `<out>/<bench>.dacce.dot` and `<out>/<bench>.static.dot`.
 
 use dacce::DacceRuntime;
+use dacce_analyze::graph::build_static_graph;
 use dacce_bench::Options;
 use dacce_callgraph::dot::to_dot;
-use dacce_pcce::build_static_graph;
 use dacce_program::Interpreter;
 use dacce_workloads::{all_benchmarks, driver, DriverConfig};
 

@@ -100,6 +100,68 @@ impl DacceEngine {
         self.shared.warm_start(seed)
     }
 
+    /// Attaches this engine to a shared encoding lineage, adopting its
+    /// latest generation wholesale — the non-founding tenant's replacement
+    /// for `attach_main` + `warm_start` (zero cold-start traps for every
+    /// edge the lineage already encodes). Returns the adopted generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread already started or the engine is already
+    /// attached to a lineage.
+    pub fn attach_lineage(&mut self, lineage: &crate::lineage::EncodingLineage) -> u64 {
+        assert!(
+            self.threads.is_empty(),
+            "attach_lineage must precede thread_start"
+        );
+        assert!(
+            self.shared.lineage.is_none(),
+            "engine already attached to a lineage"
+        );
+        let state = lineage.current();
+        let generation = state.generation;
+        self.shared.lineage = Some(lineage.clone());
+        self.shared.adopt_lineage_state(&state);
+        generation
+    }
+
+    /// Founds a shared lineage (generation 0) from this engine's current
+    /// encoding state, addressed by `hash` — the first tenant of a program
+    /// calls this after `attach_main` (and optionally `warm_start`) so
+    /// later tenants can [`DacceEngine::attach_lineage`] instead of
+    /// rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already attached to a lineage.
+    pub fn found_lineage(&mut self, hash: u64) -> crate::lineage::EncodingLineage {
+        assert!(
+            self.shared.lineage.is_none(),
+            "engine already attached to a lineage"
+        );
+        let lineage =
+            crate::lineage::EncodingLineage::found(hash, self.shared.export_lineage_state());
+        self.shared.lineage = Some(lineage.clone());
+        self.shared.lineage_gen = 0;
+        lineage
+    }
+
+    /// Registers an additional root function — lineage-attached runtimes
+    /// register their own entry point on top of the adopted root set.
+    pub fn register_root(&mut self, root: FunctionId) {
+        self.shared.register_root(root);
+    }
+
+    /// The shared lineage this engine is attached to, if any.
+    pub fn lineage(&self) -> Option<&crate::lineage::EncodingLineage> {
+        self.shared.lineage.as_ref()
+    }
+
+    /// True once this engine diverged (copy-on-write) off its lineage.
+    pub fn diverged(&self) -> bool {
+        self.shared.diverged
+    }
+
     /// Registers a new thread rooted at `root`. For spawned threads the
     /// parent's current encoded context is captured so the child's full
     /// calling context can be reconstructed (§5.3).

@@ -108,11 +108,29 @@ fn parse_action(s: &str) -> Option<EdgeAction> {
 
 /// Serialises the engine's decode dictionaries and site owners.
 pub fn export_state(engine: &DacceEngine) -> String {
+    export_shared(&engine.shared, &engine.stats().degraded)
+}
+
+/// Serialises a [`crate::Tracker`]'s shared encoding state in the same
+/// `dacce-export v1` format as [`export_state`]. Pending per-thread
+/// deltas are absorbed first, so the dump reflects everything the tracker
+/// has observed. Used by fleet tooling to compare a shared-lineage
+/// tenant's decode state against a standalone twin.
+pub fn export_tracker_state(tracker: &crate::Tracker) -> String {
+    let degraded = tracker.stats().degraded;
+    tracker.with_shared(|sh| export_shared(sh, &degraded))
+}
+
+/// The format body, over the shared state both fronts wrap.
+pub(crate) fn export_shared(
+    shared: &crate::shared::SharedState,
+    degraded: &DegradedState,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER}");
-    for ts_idx in 0..engine.dicts().len() {
+    for ts_idx in 0..shared.dicts.len() {
         let ts = TimeStamp::new(ts_idx as u32);
-        let dict = engine.dicts().get(ts).expect("indexed in range");
+        let dict = shared.dicts.get(ts).expect("indexed in range");
         let _ = writeln!(out, "dict {} {}", ts.raw(), dict.max_id());
         // Nodes: emit numCC for every function the dictionary knows.
         let mut nodes: Vec<FunctionId> = dict
@@ -128,7 +146,7 @@ pub fn export_state(engine: &DacceEngine) -> String {
             }
         }
         // Also cover isolated nodes (e.g. `main` before any edge).
-        for f in engine.graph().nodes() {
+        for f in shared.graph.nodes() {
             if dict.num_cc(*f).is_some() && dict.incoming(*f).next().is_none() {
                 let known = dict
                     .edges()
@@ -158,14 +176,14 @@ pub fn export_state(engine: &DacceEngine) -> String {
         }
         let _ = writeln!(out, "enddict");
     }
-    let mut owners: Vec<(&CallSiteId, &FunctionId)> = engine.site_owner_map().iter().collect();
+    let mut owners: Vec<(&CallSiteId, &FunctionId)> = shared.site_owner.iter().collect();
     owners.sort_by_key(|(s, _)| s.raw());
     for (site, func) in owners {
         let _ = writeln!(out, "owner {} {}", site.raw(), func.raw());
     }
     // The compiled dispatch table of the current generation, one line per
     // resolvable target (polymorphic targets sorted for stable output).
-    for (site, slot, cs) in engine.shared.dispatch.iter_compiled() {
+    for (site, slot, cs) in shared.dispatch.iter_compiled() {
         match cs.dispatch {
             CompiledDispatch::Trap => {
                 let _ = writeln!(
@@ -187,7 +205,7 @@ pub fn export_state(engine: &DacceEngine) -> String {
             }
             CompiledDispatch::Poly { index } => {
                 let mut targets: Vec<(FunctionId, EdgeAction)> =
-                    engine.shared.dispatch.poly_patch(index).targets().collect();
+                    shared.dispatch.poly_patch(index).targets().collect();
                 targets.sort_by_key(|(t, _)| t.raw());
                 for (target, action) in targets {
                     let _ = writeln!(
@@ -204,7 +222,7 @@ pub fn export_state(engine: &DacceEngine) -> String {
     }
     // Degraded-state record: lets offline tools audit a run that survived
     // injected faults (one `degradednode` line per demoted function).
-    let d = engine.stats().degraded;
+    let d = degraded;
     if d.any() {
         let _ = writeln!(
             out,

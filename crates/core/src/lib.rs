@@ -49,6 +49,7 @@ pub mod engine;
 pub mod export;
 pub(crate) mod fastpath;
 pub mod fault;
+pub mod lineage;
 pub mod observe;
 pub mod patch;
 pub mod profile;
@@ -67,9 +68,11 @@ pub use context::{EncodedContext, SpawnLink};
 pub use decode::{decode_full, decode_thread, DecodeError};
 pub use engine::DacceEngine;
 pub use export::{
-    export_samples, export_state, import, DispatchKind, DispatchRecord, ImportError, OfflineDecoder,
+    export_samples, export_state, export_tracker_state, import, DispatchKind, DispatchRecord,
+    ImportError, OfflineDecoder,
 };
 pub use fault::FaultPlan;
+pub use lineage::EncodingLineage;
 pub use observe::Observability;
 pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;

@@ -183,6 +183,20 @@ mod imp {
             self.metrics.lock_poisonings.inc();
         }
 
+        // --- shared-lineage hooks (fleet tenancy) ---
+
+        pub(crate) fn on_lineage_adopt(&self) {
+            self.metrics.lineage_adoptions.inc();
+        }
+
+        pub(crate) fn on_lineage_publish(&self) {
+            self.metrics.lineage_publishes.inc();
+        }
+
+        pub(crate) fn on_lineage_diverge(&self) {
+            self.metrics.lineage_divergences.inc();
+        }
+
         /// Folds a batch of per-thread inline-cache probe outcomes in.
         pub(crate) fn on_icache(&self, hits: u64, misses: u64) {
             if hits != 0 {
@@ -358,6 +372,9 @@ mod imp {
         pub(crate) fn on_slot_failures(&self, _n: u64) {}
         pub(crate) fn on_cc_spills(&self, _n: u64) {}
         pub(crate) fn on_lock_poison(&self) {}
+        pub(crate) fn on_lineage_adopt(&self) {}
+        pub(crate) fn on_lineage_publish(&self) {}
+        pub(crate) fn on_lineage_diverge(&self) {}
         pub(crate) fn on_icache(&self, _hits: u64, _misses: u64) {}
         pub(crate) fn record_generation(
             &self,

@@ -20,7 +20,7 @@ use dacce_program::{ContextPath, ThreadId};
 use crate::decode::decode_thread;
 use crate::engine::DacceEngine;
 use crate::fastpath;
-use crate::shared::ReencodeOutcome;
+use crate::shared::{LineageReencode, ReencodeOutcome};
 
 impl DacceEngine {
     /// Checks the three §4 triggers and re-encodes when one fires. Returns
@@ -39,9 +39,54 @@ impl DacceEngine {
     }
 
     /// The re-encoding procedure. Returns the cost charged.
+    ///
+    /// Attached (non-diverged) instances route through the shared lineage:
+    /// if another tenant already published a newer generation it is
+    /// adopted instead of re-encoding locally, and a locally applied
+    /// re-encode is published for every other attached tenant.
     pub(crate) fn reencode(&mut self) -> u64 {
         // Decode every live thread's state under the *old* dictionary
         // before anything changes.
+        let decoded = self.decode_live_threads();
+        let old_ts = self.shared.ts.raw();
+        let (applied, cost) = match self.shared.reencode_via_lineage() {
+            LineageReencode::Adopted => (true, 0),
+            LineageReencode::Local(ReencodeOutcome::Applied, cost) => (true, cost),
+            LineageReencode::Local(ReencodeOutcome::Overflowed, cost) => (false, cost),
+        };
+
+        if applied {
+            self.replay_live_threads(decoded, old_ts);
+        }
+
+        let live = self.live_thread_ccops();
+        self.shared.reset_triggers(live);
+        cost
+    }
+
+    /// Adopts a newer generation published into this engine's shared
+    /// lineage, if one exists, migrating every live thread eagerly (the
+    /// engine has no lazy snapshot path). Returns `true` on adoption.
+    pub fn poll_lineage(&mut self) -> bool {
+        let stale =
+            self.shared.lineage.as_ref().is_some_and(|l| {
+                !self.shared.diverged && l.generation() != self.shared.lineage_gen
+            });
+        if !stale {
+            return false;
+        }
+        let decoded = self.decode_live_threads();
+        let old_ts = self.shared.ts.raw();
+        if !self.shared.adopt_pending_lineage() {
+            return false;
+        }
+        self.replay_live_threads(decoded, old_ts);
+        true
+    }
+
+    /// Decodes every live thread's state under the current (pre-change)
+    /// dictionary, in deterministic thread order.
+    fn decode_live_threads(&mut self) -> Vec<(ThreadId, ContextPath)> {
         let old_dict = self
             .shared
             .dicts
@@ -70,28 +115,22 @@ impl DacceEngine {
                 }
             }
         }
+        decoded
+    }
 
-        let old_ts = self.shared.ts.raw();
-        let (outcome, cost) = self.shared.reencode_core();
-
-        if let ReencodeOutcome::Applied = outcome {
-            // Regenerate every thread's id/ccStack/shadow under the new
-            // encodings.
-            let new_ts = self.shared.ts.raw();
-            for (tid, path) in decoded {
-                if let Some(ctx) = self.threads.get_mut(&tid) {
-                    fastpath::replay(&self.shared, ctx, &path);
-                    self.shared.obs.on_migration();
-                    if self.shared.obs_writer.enabled() {
-                        self.shared.obs_writer.migration(tid.raw(), old_ts, new_ts);
-                    }
+    /// Regenerates every thread's id/ccStack/shadow under the new
+    /// encodings after an applied re-encode or a lineage adoption.
+    fn replay_live_threads(&mut self, decoded: Vec<(ThreadId, ContextPath)>, old_ts: u32) {
+        let new_ts = self.shared.ts.raw();
+        for (tid, path) in decoded {
+            if let Some(ctx) = self.threads.get_mut(&tid) {
+                fastpath::replay(&self.shared, ctx, &path);
+                self.shared.obs.on_migration();
+                if self.shared.obs_writer.enabled() {
+                    self.shared.obs_writer.migration(tid.raw(), old_ts, new_ts);
                 }
             }
         }
-
-        let live = self.live_thread_ccops();
-        self.shared.reset_triggers(live);
-        cost
     }
 }
 

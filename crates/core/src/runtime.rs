@@ -7,6 +7,7 @@ use dacce_program::{CostModel, OracleStack, Program, ThreadId};
 
 use crate::config::DacceConfig;
 use crate::engine::DacceEngine;
+use crate::lineage::EncodingLineage;
 use crate::stats::DacceStats;
 use crate::warm::{WarmStartReport, WarmStartSeed};
 
@@ -18,6 +19,8 @@ pub struct DacceRuntime {
     warm: Option<WarmStartSeed>,
     /// What the warm start loaded (populated at attach).
     warm_report: Option<WarmStartReport>,
+    /// Lineage adopted at attach time, if joining a shared encoding.
+    lineage: Option<EncodingLineage>,
 }
 
 impl DacceRuntime {
@@ -27,6 +30,7 @@ impl DacceRuntime {
             engine: DacceEngine::new(config, cost),
             warm: None,
             warm_report: None,
+            lineage: None,
         }
     }
 
@@ -42,6 +46,20 @@ impl DacceRuntime {
             engine: DacceEngine::new(config, cost),
             warm: Some(seed),
             warm_report: None,
+            lineage: None,
+        }
+    }
+
+    /// A runtime that attaches to a shared encoding lineage when the
+    /// program is attached, adopting the latest generation instead of
+    /// rebuilding it (zero cold-start traps for every edge the lineage
+    /// already encodes).
+    pub fn with_lineage(config: DacceConfig, cost: CostModel, lineage: EncodingLineage) -> Self {
+        DacceRuntime {
+            engine: DacceEngine::new(config, cost),
+            warm: None,
+            warm_report: None,
+            lineage: Some(lineage),
         }
     }
 
@@ -85,7 +103,15 @@ impl ContextRuntime for DacceRuntime {
     }
 
     fn attach(&mut self, program: &Program) {
-        self.engine.attach_main(program.main);
+        if let Some(lineage) = self.lineage.take() {
+            self.engine.attach_lineage(&lineage);
+            // The lineage's root set already contains the founder's main;
+            // registering again is an idempotent safety net in case the
+            // attaching program's entry differs.
+            self.engine.register_root(program.main);
+        } else {
+            self.engine.attach_main(program.main);
+        }
         if let Some(seed) = self.warm.take() {
             self.warm_report = Some(self.engine.warm_start(&seed));
         }

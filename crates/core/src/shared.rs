@@ -31,9 +31,11 @@ use crate::config::{CompressionMode, DacceConfig};
 use crate::context::EncodedContext;
 use crate::decode::{decode_full, DecodeError};
 use crate::dispatch::DispatchTable;
+use crate::lineage::{EncodingLineage, LineageState};
 use crate::observe::{self, ObsWriter, Observability};
 use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
 use crate::stats::{DacceStats, ProgressPoint};
+use crate::warm::WarmStartReport;
 
 /// Minimum heat for an edge to participate in the hot-path-change check;
 /// filters sampling noise.
@@ -51,12 +53,27 @@ pub(crate) enum ReencodeOutcome {
     Overflowed,
 }
 
+/// How a re-encode request was serviced when the instance is attached to a
+/// shared [`EncodingLineage`].
+pub(crate) enum LineageReencode {
+    /// A newer generation published by another tenant was adopted instead
+    /// of re-encoding locally; thread states must be regenerated exactly
+    /// as after an applied re-encode.
+    Adopted,
+    /// The local re-encoding core ran (and, when applied and attached
+    /// non-diverged, its result was published into the lineage).
+    Local(ReencodeOutcome, u64),
+}
+
 /// The shared (cross-thread) half of a DACCE instance.
 #[derive(Debug)]
 pub(crate) struct SharedState {
     pub(crate) config: DacceConfig,
     pub(crate) cost: CostModel,
-    pub(crate) graph: CallGraph,
+    /// The dynamic call graph, copy-on-write shared with an attached
+    /// lineage: attaching is `Arc::clone`, the first local mutation after
+    /// attach pays one deep clone (`Arc::make_mut`).
+    pub(crate) graph: Arc<CallGraph>,
     pub(crate) dicts: DictStore,
     pub(crate) ts: TimeStamp,
     pub(crate) max_id: u64,
@@ -97,6 +114,18 @@ pub(crate) struct SharedState {
     /// re-encodes, warm starts) — single-producer because the lock
     /// serialises all such emissions.
     pub(crate) obs_writer: ObsWriter,
+    /// The shared encoding lineage this instance is attached to, if any.
+    pub(crate) lineage: Option<EncodingLineage>,
+    /// The lineage generation this instance last adopted or published.
+    pub(crate) lineage_gen: u64,
+    /// True once this instance grew an edge its lineage does not have —
+    /// from then on it owns a private copy-on-write encoding and neither
+    /// publishes into nor adopts from the lineage.
+    pub(crate) diverged: bool,
+    /// Fingerprint and report of the warm start already applied, so a
+    /// repeated identical seeding is a cached no-op (tenant-safe
+    /// idempotence) instead of double-counting edges.
+    pub(crate) warm_fingerprint: Option<(u64, WarmStartReport)>,
 }
 
 impl SharedState {
@@ -112,7 +141,7 @@ impl SharedState {
         SharedState {
             config,
             cost,
-            graph: CallGraph::new(),
+            graph: Arc::new(CallGraph::new()),
             dicts: DictStore::new(),
             ts: TimeStamp::ZERO,
             max_id: 0,
@@ -139,12 +168,16 @@ impl SharedState {
             epoch: 0,
             obs,
             obs_writer,
+            lineage: None,
+            lineage_gen: 0,
+            diverged: false,
+            warm_fingerprint: None,
         }
     }
 
     /// §3: the initial graph contains only `main`; freeze dictionary 0.
     pub(crate) fn attach_main(&mut self, main: FunctionId) {
-        self.graph.ensure_node(main);
+        Arc::make_mut(&mut self.graph).ensure_node(main);
         self.roots.push(main);
         let enc = encode_graph(&self.graph, &self.roots, &EncodeOptions::default());
         let dict = DecodeDict::from_encoding(&self.graph, &enc, TimeStamp::ZERO)
@@ -169,7 +202,9 @@ impl SharedState {
 
     /// Adds a (thread) root function to the graph and root set.
     pub(crate) fn register_root(&mut self, root: FunctionId) {
-        self.graph.ensure_node(root);
+        if !self.graph.contains_node(root) {
+            Arc::make_mut(&mut self.graph).ensure_node(root);
+        }
         if !self.roots.contains(&root) {
             self.roots.push(root);
         }
@@ -226,9 +261,11 @@ impl SharedState {
             CallDispatch::Indirect => Dispatch::Indirect,
             CallDispatch::Plt => Dispatch::Plt,
         };
-        let (eid, is_new) = self.graph.add_edge(caller, callee, site, graph_dispatch);
+        let (eid, is_new) =
+            Arc::make_mut(&mut self.graph).add_edge(caller, callee, site, graph_dispatch);
         if is_new {
             self.new_edges += 1;
+            self.mark_diverged();
         }
         *self.edge_heat.entry(eid).or_insert(0) += 1;
 
@@ -527,7 +564,7 @@ impl SharedState {
         self.heat_from_ring();
 
         // Re-classify and re-encode the grown graph.
-        classify_back_edges(&mut self.graph, &self.roots);
+        classify_back_edges(Arc::make_mut(&mut self.graph), &self.roots);
         let opts = if self.config.heat_ordering {
             EncodeOptions::with_heat(self.edge_heat.clone())
         } else {
@@ -635,6 +672,147 @@ impl SharedState {
         // everything to gain) and increasingly rare once stable.
         let next = (self.cur_min_events as f64 * self.config.reencode_backoff) as u64;
         self.cur_min_events = next.min(self.config.reencode_interval_cap);
+    }
+
+    /// Marks this instance as diverged from its lineage (first new edge
+    /// the lineage does not have). Idempotent; a no-op without a lineage.
+    fn mark_diverged(&mut self) {
+        if self.diverged {
+            return;
+        }
+        if let Some(lineage) = &self.lineage {
+            self.diverged = true;
+            self.stats.lineage_divergences += 1;
+            lineage.note_divergence();
+            self.obs.on_lineage_diverge();
+        }
+    }
+
+    /// Freezes the complete encodable state for founding or publishing
+    /// into a lineage. Cheap: every constituent is `Arc`-backed or small.
+    pub(crate) fn export_lineage_state(&self) -> LineageState {
+        LineageState {
+            graph: Arc::clone(&self.graph),
+            dicts: self.dicts.clone(),
+            ts: self.ts,
+            max_id: self.max_id,
+            patches: self.patches.clone(),
+            dispatch: self.dispatch.clone(),
+            site_owner: Arc::clone(&self.site_owner),
+            tail_fns: self.tail_fns.clone(),
+            roots: self.roots.clone(),
+            warm: self.warm_fingerprint,
+            generation: self.lineage_gen,
+        }
+    }
+
+    /// Replaces this instance's encodable state with a lineage generation.
+    /// Per-instance trigger bookkeeping, statistics and observability are
+    /// kept; thread states migrate lazily through the published snapshot
+    /// (the adopted `ts` differs, so `refresh` decodes under the old
+    /// dictionary and replays under the adopted patches).
+    pub(crate) fn adopt_lineage_state(&mut self, state: &LineageState) {
+        self.graph = Arc::clone(&state.graph);
+        self.dicts = state.dicts.clone();
+        self.ts = state.ts;
+        self.max_id = state.max_id;
+        self.patches = state.patches.clone();
+        self.dispatch = state.dispatch.clone();
+        // The lineage's table was compiled under the founder's config;
+        // this tenant's (possibly fault-injected) slot cap must survive.
+        self.dispatch
+            .set_slot_cap(self.config.fault.dispatch_slot_cap);
+        self.site_owner = Arc::clone(&state.site_owner);
+        self.tail_fns.clone_from(&state.tail_fns);
+        for &r in &state.roots {
+            if !self.roots.contains(&r) {
+                self.roots.push(r);
+            }
+        }
+        // Roots this tenant registered beyond the lineage's set must keep
+        // their graph nodes (the adopted graph may not contain them).
+        let missing: Vec<FunctionId> = self
+            .roots
+            .iter()
+            .copied()
+            .filter(|&r| !self.graph.contains_node(r))
+            .collect();
+        if !missing.is_empty() {
+            let g = Arc::make_mut(&mut self.graph);
+            for r in missing {
+                g.ensure_node(r);
+            }
+        }
+        self.warm_fingerprint = state.warm;
+        self.lineage_gen = state.generation;
+        self.stats.max_max_id = self.stats.max_max_id.max(self.max_id);
+        self.last_hot_choice.clear();
+        self.next_hot_check = self.events + self.config.hot_check_every;
+        self.stats.progress.push(ProgressPoint {
+            calls: self.stats.calls,
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            max_id: self.max_id,
+        });
+        self.obs.record_generation(
+            self.ts.raw(),
+            self.graph.node_count() as u32,
+            self.graph.edge_count() as u32,
+            self.max_id,
+            0,
+        );
+    }
+
+    /// Adopts the latest lineage generation if one was published past the
+    /// generation this instance holds. Returns `true` if state changed
+    /// (the caller must republish its snapshot so threads migrate).
+    pub(crate) fn adopt_pending_lineage(&mut self) -> bool {
+        let Some(lineage) = self.lineage.clone() else {
+            return false;
+        };
+        if self.diverged || lineage.generation() == self.lineage_gen {
+            return false;
+        }
+        let state = lineage.current();
+        if state.generation <= self.lineage_gen {
+            return false;
+        }
+        self.adopt_lineage_state(&state);
+        self.stats.lineage_adoptions += 1;
+        self.obs.on_lineage_adopt();
+        true
+    }
+
+    /// Routes a due re-encode through the shared lineage: if another
+    /// tenant already published a newer generation, adopt it (one
+    /// background re-encode serves every attached tenant); otherwise run
+    /// the local core and — when applied and still on the shared lineage —
+    /// publish the result as the next generation. Detached or diverged
+    /// instances fall through to the plain local core.
+    pub(crate) fn reencode_via_lineage(&mut self) -> LineageReencode {
+        let lineage = match (&self.lineage, self.diverged) {
+            (Some(l), false) => l.clone(),
+            _ => {
+                let (outcome, cost) = self.reencode_core();
+                return LineageReencode::Local(outcome, cost);
+            }
+        };
+        let mut guard = lineage.lock_state();
+        if guard.generation > self.lineage_gen {
+            let state = guard.clone();
+            drop(guard);
+            self.adopt_lineage_state(&state);
+            self.stats.lineage_adoptions += 1;
+            self.obs.on_lineage_adopt();
+            return LineageReencode::Adopted;
+        }
+        let (outcome, cost) = self.reencode_core();
+        if matches!(outcome, ReencodeOutcome::Applied) && !self.diverged {
+            self.lineage_gen = lineage.publish_into(&mut guard, self.export_lineage_state());
+            self.stats.lineage_publishes += 1;
+            self.obs.on_lineage_publish();
+        }
+        LineageReencode::Local(outcome, cost)
     }
 
     /// The action the new encoding assigns to one graph edge.

@@ -112,6 +112,13 @@ pub struct DacceStats {
     pub icache_hits: u64,
     /// Indirect-call inline-cache misses (tracker fast path only).
     pub icache_misses: u64,
+    /// Shared-lineage generations adopted instead of re-encoding locally
+    /// (fleet tenants attached to a shared encoding).
+    pub lineage_adoptions: u64,
+    /// Locally applied re-encodings published into the shared lineage.
+    pub lineage_publishes: u64,
+    /// 1 once this instance diverged (copy-on-write) off its lineage.
+    pub lineage_divergences: u64,
     /// Degradation bookkeeping (all-zero on a healthy run).
     pub degraded: DegradedState,
 }

@@ -48,9 +48,12 @@ use crate::context::{EncodedContext, SpawnLink};
 use crate::decode::{decode_thread, DecodeError};
 use crate::dispatch::CompiledDispatch;
 use crate::fastpath;
+use crate::lineage::EncodingLineage;
 use crate::observe::{ObsWriter, Observability};
 use crate::patch::EdgeAction;
-use crate::shared::{EncodingSnapshot, ReencodeOutcome, ResolvedSite, SharedState};
+use crate::shared::{
+    EncodingSnapshot, LineageReencode, ReencodeOutcome, ResolvedSite, SharedState,
+};
 use crate::stats::{DacceStats, StatsShard};
 use crate::thread::ThreadCtx;
 use crate::verify::{check_shared, check_thread};
@@ -290,6 +293,14 @@ impl Tracker {
     /// before any instrumentation executes).
     pub fn warm_start(&self, main: FunctionId, seed: &WarmStartSeed) -> WarmStartReport {
         let mut sh = self.inner.shared.lock();
+        // Idempotent repeat: a tracker already seeded with this exact seed
+        // (by content fingerprint) returns the cached report — tenant-safe
+        // when several fleet registrants race to seed the same program.
+        if let Some((prev, report)) = sh.warm_fingerprint {
+            if prev == seed.fingerprint() {
+                return report;
+            }
+        }
         let prev = self.inner.attached.swap(1, Ordering::Relaxed);
         assert_eq!(prev, 0, "warm_start must precede thread registration");
         sh.attach_main(main);
@@ -297,6 +308,98 @@ impl Tracker {
         self.inner.update_trigger_mark(&sh);
         let _ = self.inner.republish(&mut sh);
         report
+    }
+
+    /// A tracker attached to a shared encoding lineage: the latest
+    /// published generation is adopted wholesale (graph, dictionaries,
+    /// patches, warm-start state), so every edge the lineage already
+    /// encodes executes without a single cold-start trap. Re-encodings the
+    /// tracker applies while on the lineage are published back into it;
+    /// generations published by sibling tenants are adopted lazily at the
+    /// next slow path (or eagerly via [`Self::poll_lineage`]).
+    pub fn with_lineage(config: DacceConfig, lineage: &EncodingLineage) -> Self {
+        let tracker = Self::with_config(config);
+        {
+            let mut sh = tracker.inner.shared.lock();
+            let state = lineage.current();
+            sh.lineage = Some(lineage.clone());
+            sh.adopt_lineage_state(&state);
+            // The adopted state carries the founder's `main`; the first
+            // register() must not attach a second one.
+            tracker.inner.attached.store(1, Ordering::Relaxed);
+            tracker.inner.update_trigger_mark(&sh);
+            let _ = tracker.inner.republish(&mut sh);
+        }
+        tracker
+    }
+
+    /// Founds a shared encoding lineage from this tracker's current state,
+    /// keyed by `hash` (the registering program's content hash). The
+    /// tracker itself joins the lineage at generation 0; siblings attach
+    /// via [`Self::with_lineage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracker is already on a lineage.
+    pub fn found_lineage(&self, hash: u64) -> EncodingLineage {
+        let mut sh = self.inner.shared.lock();
+        assert!(
+            sh.lineage.is_none(),
+            "tracker is already attached to a lineage"
+        );
+        let lineage = EncodingLineage::found(hash, sh.export_lineage_state());
+        sh.lineage = Some(lineage.clone());
+        sh.lineage_gen = 0;
+        lineage
+    }
+
+    /// Eagerly adopts a newer generation published to this tracker's
+    /// lineage by a sibling tenant, if one exists. Returns whether an
+    /// adoption happened. Without polling, adoption still happens lazily
+    /// on the next slow path (trap or batched trigger check).
+    pub fn poll_lineage(&self) -> bool {
+        let mut sh = self.inner.shared.lock();
+        if sh.adopt_pending_lineage() {
+            self.inner.update_trigger_mark(&sh);
+            let _ = self.inner.republish(&mut sh);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forces a re-encoding of the current graph regardless of the §4
+    /// triggers — the fleet-maintenance entry point. On a shared lineage
+    /// the applied encoding is published for the sibling tenants (or a
+    /// generation a sibling already published is adopted instead); live
+    /// threads migrate lazily at their next epoch check. Returns whether
+    /// a new generation was applied or adopted.
+    pub fn request_reencode(&self) -> bool {
+        let mut sh = self.inner.shared.lock();
+        self.inner.absorb_pending(&mut sh);
+        let applied = match sh.reencode_via_lineage() {
+            LineageReencode::Adopted => true,
+            LineageReencode::Local(outcome, _cost) => {
+                matches!(outcome, ReencodeOutcome::Applied)
+            }
+        };
+        let live = self.inner.ccops_total.load(Ordering::Relaxed);
+        sh.reset_triggers(live);
+        self.inner.update_trigger_mark(&sh);
+        let _ = self.inner.republish(&mut sh);
+        applied
+    }
+
+    /// The lineage this tracker is attached to, if any.
+    pub fn lineage(&self) -> Option<EncodingLineage> {
+        self.inner.shared.lock().lineage.clone()
+    }
+
+    /// Whether this tracker has diverged from its lineage (discovered an
+    /// edge the shared encoding does not cover). Diverged trackers keep
+    /// running on their private copy and no longer publish or adopt.
+    pub fn diverged(&self) -> bool {
+        self.inner.shared.lock().diverged
     }
 
     /// Audits the tracker at a safe point: every live thread's context is
@@ -423,6 +526,14 @@ impl Tracker {
     /// the per-event fast path is lock-free with respect to shared state.
     pub fn slow_path_locks(&self) -> u64 {
         self.inner.slow_locks.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with the shared state locked, absorbing pending per-thread
+    /// deltas first. Crate-internal escape hatch for exporters.
+    pub(crate) fn with_shared<R>(&self, f: impl FnOnce(&SharedState) -> R) -> R {
+        let mut sh = self.inner.shared.lock();
+        self.inner.absorb_pending(&mut sh);
+        f(&sh)
     }
 
     /// Tracker statistics: the shared counters plus every thread's local
@@ -827,6 +938,11 @@ impl ThreadHandle {
         inner.absorb_pending(sh);
         self.flush_local(st, sh);
 
+        // Adopt any generation a sibling tenant published to our shared
+        // lineage; the migration below then carries this thread across the
+        // local *and* lineage generation change in one decode/replay hop.
+        let _ = sh.adopt_pending_lineage();
+
         // Catch up with any re-encoding published since our epoch check:
         // the call below must execute against the current generation.
         if sh.ts != st.snap.ts {
@@ -890,8 +1006,16 @@ impl ThreadHandle {
             )
         };
         let old_ts = sh.ts.raw();
-        let (outcome, _cost) = sh.reencode_core();
-        if let ReencodeOutcome::Applied = outcome {
+        // On a shared lineage this either adopts a generation a sibling
+        // already published (skipping the redundant local re-encode) or
+        // re-encodes locally and publishes the result for the siblings.
+        let applied = match sh.reencode_via_lineage() {
+            LineageReencode::Adopted => true,
+            LineageReencode::Local(outcome, _cost) => {
+                matches!(outcome, ReencodeOutcome::Applied)
+            }
+        };
+        if applied {
             match own {
                 Ok(path) => {
                     fastpath::replay(&*sh, &mut st.ctx, &path);
@@ -993,6 +1117,21 @@ impl ThreadHandle {
             sh.push_ring(&s);
         }
         st.pending_pos = 0;
+        if sh.adopt_pending_lineage() {
+            // A sibling tenant published a newer lineage generation; move
+            // this thread across it (decode under the old snapshot's
+            // dictionary, replay under the adopted patches) and republish
+            // so the other threads migrate at their next epoch check.
+            if fastpath::migrate(&*sh, &mut st.ctx, st.snap.dict(), &sh.site_owner).is_err() {
+                st.shard.decode_errors += 1;
+            }
+            sh.obs.on_migration();
+            if st.writer.enabled() {
+                st.writer
+                    .migration(self.slot.tid.raw(), st.snap.ts.raw(), sh.ts.raw());
+            }
+            st.snap = inner.republish(sh);
+        }
         if sh.reencode_check_due() {
             let live = inner.ccops_total.load(Ordering::Relaxed);
             if sh.should_reencode(&|| live) {

@@ -1,0 +1,46 @@
+//! # dacce-fleet — a multi-tenant calling-context fleet
+//!
+//! Hosting thousands of independent [`Tracker`](dacce::Tracker) instances
+//! — one per tenant service, plugin or sandbox — naively multiplies every
+//! cost DACCE already paid once: each instance re-discovers the same call
+//! graph trap by trap, re-encodes it on the same triggers, and keeps its
+//! own copy of the dictionaries and dispatch tables. A fleet deduplicates
+//! all of it.
+//!
+//! The [`Fleet`] registry is sharded (tenant lookup never takes a global
+//! lock) and *content-addressed*: tenants registering the same
+//! [`ProgramDef`] — recognised by an FNV-1a hash over the function/edge
+//! definition stream — attach to one shared, refcounted
+//! [`EncodingLineage`](dacce::EncodingLineage) instead of building their
+//! own encoding. The first registrant *founds* the lineage (paying the
+//! warm-start encode once); every later registrant adopts the founder's
+//! state wholesale, so the Nth tenant starts with **zero cold-start
+//! traps**. Re-encodings published by any attached tenant are adopted by
+//! the rest ([`Fleet::poll`] / lazily on their next slow path), and a
+//! tenant whose dynamic behaviour grows an edge the lineage does not have
+//! *diverges* — copy-on-write — onto a private encoding without disturbing
+//! its siblings.
+//!
+//! ```
+//! use dacce_fleet::{DefEdge, Fleet, ProgramDef};
+//!
+//! let def = ProgramDef {
+//!     functions: vec!["main".into(), "handler".into()],
+//!     main: 0,
+//!     call_sites: 1,
+//!     edges: vec![DefEdge { caller: 0, callee: 1, site: 0, indirect: false }],
+//!     tail_fns: vec![],
+//!     extra_roots: vec![],
+//! };
+//! let fleet = Fleet::new();
+//! let a = fleet.register("svc-a", &def); // founds the lineage
+//! let b = fleet.register("svc-b", &def); // attaches: no traps ahead
+//! assert_eq!(fleet.fleet_stats().lineages, 1);
+//! # let _ = (a, b);
+//! ```
+
+pub mod program;
+pub mod registry;
+
+pub use program::{DefEdge, ProgramDef};
+pub use registry::{Fleet, FleetStats, TenantId};

@@ -1,0 +1,241 @@
+//! Content-addressed program definitions.
+//!
+//! A [`ProgramDef`] is the portable description of one instrumented
+//! program: its function names, call sites, static call edges and tail
+//! sets, all by index. Two tenants handing the fleet byte-identical
+//! definitions produce the same [`content_hash`](ProgramDef::content_hash)
+//! and therefore share one encoding lineage. Because every tenant declares
+//! the definition in the same deterministic order, the `FunctionId`s and
+//! `CallSiteId`s a tenant's tracker allocates line up index-for-index with
+//! every sibling's — a shared dictionary decodes any of their contexts.
+
+use dacce::{SeedEdge, WarmStartSeed};
+use dacce_callgraph::{CallSiteId, Dispatch, FunctionId};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, value: u64) -> u64 {
+    fnv_bytes(h, &value.to_le_bytes())
+}
+
+/// One static call edge of a [`ProgramDef`], by function/site index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefEdge {
+    /// Index of the calling function in [`ProgramDef::functions`].
+    pub caller: usize,
+    /// Index of the called function.
+    pub callee: usize,
+    /// Call-site index (`0..call_sites`).
+    pub site: usize,
+    /// Whether the site dispatches indirectly (function pointer, vtable).
+    pub indirect: bool,
+}
+
+/// The definition stream of one program: what a tenant declares to its
+/// tracker, in deterministic order. The fleet content-addresses lineages
+/// by [`Self::content_hash`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramDef {
+    /// Function names; index is the `FunctionId` the tracker allocates.
+    pub functions: Vec<String>,
+    /// Index of the entry function.
+    pub main: usize,
+    /// Number of call sites to allocate (`CallSiteId`s `0..call_sites`).
+    pub call_sites: usize,
+    /// Static call edges, seeded at founding time so no attached tenant
+    /// ever traps on them.
+    pub edges: Vec<DefEdge>,
+    /// Indices of functions statically known to contain tail calls.
+    pub tail_fns: Vec<usize>,
+    /// Extra root functions (thread entry points) beyond `main`.
+    pub extra_roots: Vec<usize>,
+}
+
+impl ProgramDef {
+    /// FNV-1a content hash over the whole definition stream (names,
+    /// entry, sites, edges, tail set, roots). Identical definitions —
+    /// and only those — share an encoding lineage.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_u64(h, self.functions.len() as u64);
+        for name in &self.functions {
+            h = fnv_u64(h, name.len() as u64);
+            h = fnv_bytes(h, name.as_bytes());
+        }
+        h = fnv_u64(h, self.main as u64);
+        h = fnv_u64(h, self.call_sites as u64);
+        h = fnv_u64(h, self.edges.len() as u64);
+        for e in &self.edges {
+            h = fnv_u64(h, e.caller as u64);
+            h = fnv_u64(h, e.callee as u64);
+            h = fnv_u64(h, e.site as u64);
+            h = fnv_u64(h, u64::from(e.indirect));
+        }
+        h = fnv_u64(h, self.tail_fns.len() as u64);
+        for &t in &self.tail_fns {
+            h = fnv_u64(h, t as u64);
+        }
+        h = fnv_u64(h, self.extra_roots.len() as u64);
+        for &r in &self.extra_roots {
+            h = fnv_u64(h, r as u64);
+        }
+        h
+    }
+
+    /// Checks that every index is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range index.
+    pub fn validate(&self) -> Result<(), String> {
+        let nf = self.functions.len();
+        if self.main >= nf {
+            return Err(format!(
+                "main index {} out of range ({nf} functions)",
+                self.main
+            ));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.caller >= nf || e.callee >= nf {
+                return Err(format!("edge {i} references function out of range"));
+            }
+            if e.site >= self.call_sites {
+                return Err(format!(
+                    "edge {i} site {} out of range ({} sites)",
+                    e.site, self.call_sites
+                ));
+            }
+        }
+        if let Some(&t) = self.tail_fns.iter().find(|&&t| t >= nf) {
+            return Err(format!("tail function index {t} out of range"));
+        }
+        if let Some(&r) = self.extra_roots.iter().find(|&&r| r >= nf) {
+            return Err(format!("root index {r} out of range"));
+        }
+        Ok(())
+    }
+
+    /// The `FunctionId` a tenant's tracker allocates for function index
+    /// `i` (declaration order is deterministic).
+    #[must_use]
+    pub fn function(&self, i: usize) -> FunctionId {
+        debug_assert!(i < self.functions.len());
+        FunctionId::new(u32::try_from(i).expect("function index fits in u32"))
+    }
+
+    /// The `CallSiteId` for call-site index `i`.
+    #[must_use]
+    pub fn site(&self, i: usize) -> CallSiteId {
+        debug_assert!(i < self.call_sites);
+        CallSiteId::new(u32::try_from(i).expect("site index fits in u32"))
+    }
+
+    /// The `FunctionId` of the entry function.
+    #[must_use]
+    pub fn main_fn(&self) -> FunctionId {
+        self.function(self.main)
+    }
+
+    /// The warm-start seed the founding tenant loads: every static edge
+    /// pre-encoded, roots and tail sets registered.
+    #[must_use]
+    pub fn seed(&self) -> WarmStartSeed {
+        let mut roots = vec![self.main_fn()];
+        roots.extend(self.extra_roots.iter().map(|&r| self.function(r)));
+        WarmStartSeed {
+            roots,
+            edges: self
+                .edges
+                .iter()
+                .map(|e| SeedEdge {
+                    caller: self.function(e.caller),
+                    callee: self.function(e.callee),
+                    site: self.site(e.site),
+                    dispatch: if e.indirect {
+                        Dispatch::Indirect
+                    } else {
+                        Dispatch::Direct
+                    },
+                })
+                .collect(),
+            tail_fns: self.tail_fns.iter().map(|&t| self.function(t)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def() -> ProgramDef {
+        ProgramDef {
+            functions: vec!["main".into(), "a".into(), "b".into()],
+            main: 0,
+            call_sites: 2,
+            edges: vec![
+                DefEdge {
+                    caller: 0,
+                    callee: 1,
+                    site: 0,
+                    indirect: false,
+                },
+                DefEdge {
+                    caller: 1,
+                    callee: 2,
+                    site: 1,
+                    indirect: true,
+                },
+            ],
+            tail_fns: vec![2],
+            extra_roots: vec![],
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let d = def();
+        assert_eq!(d.content_hash(), d.clone().content_hash());
+        let mut renamed = def();
+        renamed.functions[2] = "c".into();
+        assert_ne!(d.content_hash(), renamed.content_hash());
+        let mut rewired = def();
+        rewired.edges[1].indirect = false;
+        assert_ne!(d.content_hash(), rewired.content_hash());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_indices() {
+        assert!(def().validate().is_ok());
+        let mut bad = def();
+        bad.edges.push(DefEdge {
+            caller: 9,
+            callee: 0,
+            site: 0,
+            indirect: false,
+        });
+        assert!(bad.validate().is_err());
+        let mut bad = def();
+        bad.edges[0].site = 7;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn seed_mirrors_the_definition() {
+        let d = def();
+        let seed = d.seed();
+        assert_eq!(seed.roots, vec![d.main_fn()]);
+        assert_eq!(seed.edges.len(), 2);
+        assert_eq!(seed.edges[1].dispatch, Dispatch::Indirect);
+        assert_eq!(seed.tail_fns, vec![d.function(2)]);
+    }
+}

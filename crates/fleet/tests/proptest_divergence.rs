@@ -1,0 +1,196 @@
+//! Property test: copy-on-write divergence in a shared-lineage fleet.
+//!
+//! For arbitrary layered programs and arbitrary tenant behaviour — some
+//! tenants stay on the definition, some grow random private indirect
+//! edges — every tenant's sampled context decodes to exactly the path it
+//! walked, before and after a shared-lineage re-encode, and every
+//! tracker's invariants hold. Divergence must be observed precisely on
+//! the tenants that patched off-definition, and only there.
+
+use proptest::prelude::*;
+
+use dacce::Tracker;
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_fleet::{DefEdge, Fleet, ProgramDef};
+
+/// A layered program: `main` is layer 0; every node of layer `l` calls
+/// every node of layer `l+1` through its own site.
+fn layered_def(widths: &[usize]) -> ProgramDef {
+    let mut functions = vec!["main".to_string()];
+    let mut layers: Vec<Vec<usize>> = vec![vec![0]];
+    for (l, &w) in widths.iter().enumerate() {
+        let mut layer = Vec::new();
+        for j in 0..w {
+            layer.push(functions.len());
+            functions.push(format!("f{l}_{j}"));
+        }
+        layers.push(layer);
+    }
+    let mut edges = Vec::new();
+    let mut site = 0usize;
+    for pair in layers.windows(2) {
+        for &caller in &pair[0] {
+            for &callee in &pair[1] {
+                edges.push(DefEdge {
+                    caller,
+                    callee,
+                    site,
+                    indirect: false,
+                });
+                site += 1;
+            }
+        }
+    }
+    ProgramDef {
+        functions,
+        main: 0,
+        call_sites: site,
+        edges,
+        tail_fns: vec![],
+        extra_roots: vec![],
+    }
+}
+
+/// The site wired from `caller` to `callee` in a [`layered_def`].
+fn def_site(def: &ProgramDef, caller: usize, callee: usize) -> usize {
+    def.edges
+        .iter()
+        .find(|e| e.caller == caller && e.callee == callee)
+        .map(|e| e.site)
+        .expect("layered definitions are fully wired")
+}
+
+/// One tenant's behaviour: which callee it picks at every layer on each
+/// of its two walks, and whether (and how deep) it patches a private
+/// indirect edge off-definition on the first walk.
+#[derive(Clone, Debug)]
+struct TenantPlan {
+    walk_a: Vec<u8>,
+    walk_b: Vec<u8>,
+    diverges: bool,
+    diverge_depth: u8,
+}
+
+fn tenant_strategy(depth: usize) -> impl Strategy<Value = TenantPlan> {
+    (
+        prop::collection::vec(0u8..8, depth),
+        prop::collection::vec(0u8..8, depth),
+        prop::bool::weighted(0.4),
+        0u8..depth.max(1) as u8,
+    )
+        .prop_map(|(walk_a, walk_b, diverges, diverge_depth)| TenantPlan {
+            walk_a,
+            walk_b,
+            diverges,
+            diverge_depth,
+        })
+}
+
+/// Walks the definition per `choices`, optionally patching a private
+/// indirect call at `diverge_at`, and checks the sampled context decodes
+/// to exactly the walked path. Returns whether the walk went
+/// off-definition.
+fn walk_and_check(
+    tracker: &Tracker,
+    def: &ProgramDef,
+    widths: &[usize],
+    choices: &[u8],
+    diverge_at: Option<u8>,
+    private: Option<(CallSiteId, FunctionId, &str)>,
+) -> bool {
+    let thread = tracker.register_thread(def.main_fn());
+    let mut guards = Vec::new();
+    let mut expected = vec!["main".to_string()];
+    let mut caller = 0usize; // function index of the current frame
+    let mut offdef = false;
+    let mut fn_base = 1usize; // index of the first function of the layer
+    for (l, &w) in widths.iter().enumerate() {
+        let pick = choices[l] as usize % w;
+        let callee = fn_base + pick;
+        let site = def_site(def, caller, callee);
+        guards.push(thread.call(def.site(site), def.function(callee)));
+        expected.push(def.functions[callee].clone());
+        caller = callee;
+        fn_base += w;
+        if diverge_at == Some(l as u8) {
+            let (psite, pfn, pname) = private.expect("divergent plans carry a private edge");
+            guards.push(thread.call_indirect(psite, pfn));
+            expected.push(pname.to_string());
+            offdef = true;
+            break;
+        }
+    }
+    let path = tracker
+        .decode(&thread.sample())
+        .expect("walked context decodes");
+    assert_eq!(tracker.format_path(&path), expected.join(" -> "));
+    // Unwind innermost-first.
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+    offdef
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn divergent_tenants_split_off_exactly_and_decode_exactly(
+        widths in prop::collection::vec(1usize..3, 1..4),
+        plans in prop::collection::vec(tenant_strategy(4), 2..6),
+    ) {
+        let def = layered_def(&widths);
+        let fleet = Fleet::new();
+        let tenants: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, _)| fleet.register(&format!("svc-{i}"), &def))
+            .collect();
+
+        // Tenant 0 is the maintenance tenant: it must stay on the
+        // definition so its forced re-encode publishes into the lineage.
+        let mut expect_diverged = vec![false; plans.len()];
+        for (i, (plan, id)) in plans.iter().zip(&tenants).enumerate() {
+            let tracker = fleet.tracker(*id).unwrap();
+            let diverge_at = (i != 0 && plan.diverges)
+                .then_some(plan.diverge_depth % widths.len() as u8);
+            let private = diverge_at.map(|_| {
+                let name = format!("private{i}");
+                let pfn = tracker.define_function(&name);
+                let psite = tracker.define_call_site();
+                (psite, pfn, name)
+            });
+            expect_diverged[i] = walk_and_check(
+                &tracker,
+                &def,
+                &widths,
+                &plan.walk_a,
+                diverge_at,
+                private.as_ref().map(|(s, f, n)| (*s, *f, n.as_str())),
+            );
+            prop_assert_eq!(tracker.diverged(), expect_diverged[i]);
+        }
+
+        // One shared-lineage re-encode from the steady tenant; every
+        // attached non-diverged tenant adopts it (eagerly via the sweep).
+        prop_assert!(fleet.reencode(tenants[0]));
+        let steady = expect_diverged.iter().filter(|d| !**d).count();
+        prop_assert_eq!(fleet.poll(), steady - 1);
+
+        // Every tenant — adopted, publishing or diverged — still decodes
+        // its walks exactly and passes a full audit.
+        for (i, (plan, id)) in plans.iter().zip(&tenants).enumerate() {
+            let tracker = fleet.tracker(*id).unwrap();
+            walk_and_check(&tracker, &def, &widths, &plan.walk_b, None, None);
+            prop_assert_eq!(tracker.diverged(), expect_diverged[i]);
+            tracker.check_invariants().unwrap();
+        }
+        let stats = fleet.fleet_stats();
+        prop_assert_eq!(stats.lineages, 1);
+        prop_assert_eq!(stats.diverged, expect_diverged.iter().filter(|d| **d).count());
+        prop_assert_eq!(stats.publishes, 1);
+    }
+}

@@ -32,6 +32,13 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"cc_spills\": {},", self.cc_spills);
         let _ = writeln!(s, "  \"lock_poisonings\": {},", self.lock_poisonings);
         let _ = writeln!(s, "  \"slot_failures\": {},", self.slot_failures);
+        let _ = writeln!(s, "  \"lineage_adoptions\": {},", self.lineage_adoptions);
+        let _ = writeln!(s, "  \"lineage_publishes\": {},", self.lineage_publishes);
+        let _ = writeln!(
+            s,
+            "  \"lineage_divergences\": {},",
+            self.lineage_divergences
+        );
         let _ = writeln!(s, "  \"dispatch_slots\": {},", self.dispatch_slots);
         let _ = writeln!(s, "  \"dispatch_span\": {},", self.dispatch_span);
         let _ = writeln!(s, "  \"journal_dropped\": {},", self.journal_dropped);
@@ -68,7 +75,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
-        let counters: [(&str, &str, u64); 18] = [
+        let counters: [(&str, &str, u64); 21] = [
             ("dacce_traps_total", "Cold-start traps handled", self.traps),
             (
                 "dacce_edges_discovered_total",
@@ -145,6 +152,21 @@ impl MetricsSnapshot {
                 "dacce_slot_failures_total",
                 "Dispatch-slot allocations refused by an injected cap",
                 self.slot_failures,
+            ),
+            (
+                "dacce_lineage_adoptions_total",
+                "Shared-lineage generations adopted instead of re-encoding",
+                self.lineage_adoptions,
+            ),
+            (
+                "dacce_lineage_publishes_total",
+                "Applied re-encodings published into a shared lineage",
+                self.lineage_publishes,
+            ),
+            (
+                "dacce_lineage_divergences_total",
+                "Tenants diverged copy-on-write off their shared lineage",
+                self.lineage_divergences,
             ),
             (
                 "dacce_journal_dropped_total",

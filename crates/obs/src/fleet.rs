@@ -1,0 +1,257 @@
+//! Fleet drain pump: one labeled observability surface for many runtimes.
+//!
+//! A multi-tenant fleet runs one `MetricsRegistry` + journal per tenant.
+//! [`FleetPump`] merges their drained state into a single surface: each
+//! member keeps its latest [`MetricsSnapshot`] and journal totals under a
+//! stable tenant label, [`FleetPump::aggregate`] folds every member into
+//! one fleet-wide snapshot (via [`MetricsSnapshot::absorb`]), and the
+//! exporters emit a self-contained Prometheus/JSON document — per-tenant
+//! series carry a `tenant="…"` label and fleet totals use a
+//! `dacce_fleet_` prefix, so a fleet scrape never collides with the
+//! per-instance `dacce_*` series of a standalone exporter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// One tenant's drained observability state.
+#[derive(Clone, Debug, Default)]
+pub struct FleetMember {
+    /// Latest metrics snapshot recorded for this tenant.
+    pub snapshot: MetricsSnapshot,
+    /// Journal events drained from this tenant so far.
+    pub events: u64,
+}
+
+/// Merges per-tenant metrics snapshots and journal drains into one
+/// labeled, aggregable surface. Labels are stable tenant identifiers
+/// (registration labels or `tenant-<id>` strings); members render in
+/// label order.
+#[derive(Clone, Debug, Default)]
+pub struct FleetPump {
+    members: BTreeMap<String, FleetMember>,
+}
+
+/// The per-tenant counter series the Prometheus export emits; a curated
+/// health set, not the full registry (the aggregate carries the rest).
+const TENANT_SERIES: [&str; 8] = [
+    "traps",
+    "reencodes",
+    "migrations",
+    "samples",
+    "lineage_adoptions",
+    "lineage_publishes",
+    "lineage_divergences",
+    "journal_events",
+];
+
+fn tenant_value(member: &FleetMember, series: &str) -> u64 {
+    let s = &member.snapshot;
+    match series {
+        "traps" => s.traps,
+        "reencodes" => s.reencodes,
+        "migrations" => s.migrations,
+        "samples" => s.samples,
+        "lineage_adoptions" => s.lineage_adoptions,
+        "lineage_publishes" => s.lineage_publishes,
+        "lineage_divergences" => s.lineage_divergences,
+        "journal_events" => member.events,
+        _ => unreachable!("unknown tenant series {series}"),
+    }
+}
+
+impl FleetPump {
+    /// An empty pump.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (replaces) a tenant's latest metrics snapshot.
+    pub fn record(&mut self, label: &str, snapshot: MetricsSnapshot) {
+        self.members.entry(label.to_string()).or_default().snapshot = snapshot;
+    }
+
+    /// Adds `drained` journal events to a tenant's running total.
+    pub fn note_events(&mut self, label: &str, drained: u64) {
+        self.members.entry(label.to_string()).or_default().events += drained;
+    }
+
+    /// Drops a tenant (after eviction). Returns whether it existed.
+    pub fn remove(&mut self, label: &str) -> bool {
+        self.members.remove(label).is_some()
+    }
+
+    /// Number of tenants recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no tenant has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members in label order.
+    pub fn members(&self) -> impl Iterator<Item = (&str, &FleetMember)> {
+        self.members.iter().map(|(l, m)| (l.as_str(), m))
+    }
+
+    /// Folds every member into one fleet-wide snapshot: counters and
+    /// histograms add, gauges take the maximum, per-tenant generation
+    /// tables are dropped (they do not merge).
+    #[must_use]
+    pub fn aggregate(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for member in self.members.values() {
+            out.absorb(&member.snapshot);
+        }
+        out
+    }
+
+    /// Total journal events drained across the fleet.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.members.values().map(|m| m.events).sum()
+    }
+
+    /// Prometheus-style text: per-tenant labeled series plus
+    /// `dacce_fleet_` aggregates. Self-contained — no name collides with
+    /// the per-instance `dacce_*` export.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for series in TENANT_SERIES {
+            let _ = writeln!(out, "# TYPE dacce_tenant_{series}_total counter");
+            for (label, member) in &self.members {
+                let _ = writeln!(
+                    out,
+                    "dacce_tenant_{series}_total{{tenant=\"{label}\"}} {}",
+                    tenant_value(member, series)
+                );
+            }
+        }
+        let agg = self.aggregate();
+        let _ = writeln!(out, "# TYPE dacce_fleet_tenants gauge");
+        let _ = writeln!(out, "dacce_fleet_tenants {}", self.members.len());
+        for (name, value) in [
+            ("traps", agg.traps),
+            ("edges_discovered", agg.edges_discovered),
+            ("reencodes", agg.reencodes),
+            ("reencode_aborts", agg.reencode_aborts),
+            ("migrations", agg.migrations),
+            ("samples", agg.samples),
+            ("lineage_adoptions", agg.lineage_adoptions),
+            ("lineage_publishes", agg.lineage_publishes),
+            ("lineage_divergences", agg.lineage_divergences),
+            ("journal_events", self.total_events()),
+            ("journal_dropped", agg.journal_dropped),
+        ] {
+            let _ = writeln!(out, "# TYPE dacce_fleet_{name}_total counter");
+            let _ = writeln!(out, "dacce_fleet_{name}_total {value}");
+        }
+        out
+    }
+
+    /// One JSON document: every tenant's full metrics snapshot plus the
+    /// fleet aggregate.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"tenants\":[");
+        for (i, (label, member)) in self.members.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":\"{label}\",\"journal_events\":{},\"metrics\":{}}}",
+                member.events,
+                member.snapshot.to_json()
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"aggregate\":{},\"tenant_count\":{}}}",
+            self.aggregate().to_json(),
+            self.members.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(traps: u64, adoptions: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            traps,
+            lineage_adoptions: adoptions,
+            samples: 10,
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_members() {
+        let mut pump = FleetPump::new();
+        pump.record("a", snap(3, 1));
+        pump.record("b", snap(4, 2));
+        pump.note_events("a", 100);
+        pump.note_events("b", 50);
+        let agg = pump.aggregate();
+        assert_eq!(agg.traps, 7);
+        assert_eq!(agg.lineage_adoptions, 3);
+        assert_eq!(agg.samples, 20);
+        assert_eq!(pump.total_events(), 150);
+        // Re-recording replaces, not accumulates.
+        pump.record("a", snap(5, 1));
+        assert_eq!(pump.aggregate().traps, 9);
+    }
+
+    #[test]
+    fn prometheus_is_labeled_and_collision_free() {
+        let mut pump = FleetPump::new();
+        pump.record("svc-0", snap(2, 0));
+        pump.record("svc-1", snap(0, 4));
+        let prom = pump.to_prometheus();
+        assert!(prom.contains("dacce_tenant_traps_total{tenant=\"svc-0\"} 2"));
+        assert!(prom.contains("dacce_tenant_lineage_adoptions_total{tenant=\"svc-1\"} 4"));
+        assert!(prom.contains("dacce_fleet_tenants 2"));
+        assert!(prom.contains("dacce_fleet_traps_total 2"));
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.starts_with("dacce_tenant_") || name.starts_with("dacce_fleet_"),
+                "fleet series {name} must not collide with per-instance dacce_* names"
+            );
+        }
+    }
+
+    #[test]
+    fn json_parses_and_carries_every_tenant() {
+        let mut pump = FleetPump::new();
+        pump.record("x", snap(1, 0));
+        pump.record("y", snap(2, 3));
+        let json = pump.to_json();
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "balanced braces in {json}");
+        assert!(json.contains("\"tenant\":\"x\""));
+        assert!(json.contains("\"tenant\":\"y\""));
+        assert!(json.contains("\"tenant_count\":2"));
+    }
+
+    #[test]
+    fn remove_drops_a_member() {
+        let mut pump = FleetPump::new();
+        pump.record("gone", snap(9, 9));
+        assert!(pump.remove("gone"));
+        assert!(!pump.remove("gone"));
+        assert!(pump.is_empty());
+        assert_eq!(pump.aggregate().traps, 0);
+    }
+}

@@ -14,8 +14,12 @@
 //!   log₂-bucketed histograms plus the per-generation dictionary table,
 //!   snapshotted into plain data ([`MetricsSnapshot`]) and exported as
 //!   JSON or Prometheus-style text.
+//! - **Fleet pump** ([`FleetPump`]): merges many runtimes' drained
+//!   metrics and journals into one labeled surface — per-tenant
+//!   `tenant="…"` Prometheus series plus `dacce_fleet_` aggregates.
 //! - The `dacce` core crate wires both into the engine behind its `obs`
-//!   feature; the `dacce-top` binary renders them live.
+//!   feature; the `dacce-top` binary renders them live (`--fleet` for the
+//!   multi-tenant view).
 //!
 //! This crate is dependency-free and contains no `unsafe`.
 
@@ -23,11 +27,13 @@
 
 pub mod event;
 pub mod export;
+pub mod fleet;
 pub mod journal;
 pub mod metrics;
 pub mod ring;
 
 pub use event::{events_from_json, events_to_json, EventKind, EventRecord};
+pub use fleet::{FleetMember, FleetPump};
 pub use journal::{Journal, JournalAggregates, JournalBatch, JournalConfig, JournalWriter};
 pub use metrics::{
     Counter, GenerationInfo, Histogram, HistogramSnapshot, IdHeadroom, MetricsRegistry,

@@ -191,6 +191,21 @@ impl HistogramSnapshot {
             .collect()
     }
 
+    /// Folds another snapshot in: counts, sums and per-bucket tallies
+    /// add; `max` takes the larger. Merging is exact because every
+    /// snapshot uses the same log₂ bucket layout.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// An ASCII sketch of the distribution (one char per populated
     /// bucket, height scaled to the fullest bucket).
     #[must_use]
@@ -294,6 +309,12 @@ pub struct MetricsRegistry {
     pub lock_poisonings: Counter,
     /// Dispatch-slot allocations refused by an injected cap.
     pub slot_failures: Counter,
+    /// Shared-lineage generations adopted instead of re-encoding locally.
+    pub lineage_adoptions: Counter,
+    /// Locally applied re-encodings published into a shared lineage.
+    pub lineage_publishes: Counter,
+    /// Tenants diverged (copy-on-write) off their shared lineage.
+    pub lineage_divergences: Counter,
     /// Trap-handling latency in nanoseconds.
     pub trap_ns: Histogram,
     /// Abstract cost per re-encode attempt.
@@ -353,6 +374,9 @@ impl MetricsRegistry {
             cc_spills: self.cc_spills.get(),
             lock_poisonings: self.lock_poisonings.get(),
             slot_failures: self.slot_failures.get(),
+            lineage_adoptions: self.lineage_adoptions.get(),
+            lineage_publishes: self.lineage_publishes.get(),
+            lineage_divergences: self.lineage_divergences.get(),
             dispatch_slots: self.dispatch_slots.load(Ordering::Relaxed),
             dispatch_span: self.dispatch_span.load(Ordering::Relaxed),
             trap_ns: self.trap_ns.snapshot(),
@@ -407,6 +431,12 @@ pub struct MetricsSnapshot {
     pub lock_poisonings: u64,
     /// Dispatch-slot allocations refused by an injected cap.
     pub slot_failures: u64,
+    /// Shared-lineage generations adopted instead of re-encoding locally.
+    pub lineage_adoptions: u64,
+    /// Locally applied re-encodings published into a shared lineage.
+    pub lineage_publishes: u64,
+    /// Tenants diverged (copy-on-write) off their shared lineage.
+    pub lineage_divergences: u64,
     /// Allocated dispatch-table slots (compiled sites).
     pub dispatch_slots: u64,
     /// Site-id index range the slot vector spans.
@@ -426,6 +456,46 @@ pub struct MetricsSnapshot {
     /// Journal records lost to ring overwrites (filled in by the glue
     /// layer, which owns the journal).
     pub journal_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Folds another runtime instance's snapshot into this one: counters
+    /// and histograms add, gauges take the maximum, and the generation
+    /// table is dropped (per-instance dictionary histories do not merge —
+    /// a fleet aggregate reports them per tenant instead).
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.traps += other.traps;
+        self.edges_discovered += other.edges_discovered;
+        self.sites_patched += other.sites_patched;
+        self.reencodes += other.reencodes;
+        self.reencode_aborts += other.reencode_aborts;
+        self.migrations += other.migrations;
+        self.cc_overflows += other.cc_overflows;
+        self.samples += other.samples;
+        self.warm_seeded_edges += other.warm_seeded_edges;
+        self.warm_pruned_edges += other.warm_pruned_edges;
+        self.icache_hits += other.icache_hits;
+        self.icache_misses += other.icache_misses;
+        self.degraded_traps += other.degraded_traps;
+        self.reencode_retries += other.reencode_retries;
+        self.cc_spills += other.cc_spills;
+        self.lock_poisonings += other.lock_poisonings;
+        self.slot_failures += other.slot_failures;
+        self.lineage_adoptions += other.lineage_adoptions;
+        self.lineage_publishes += other.lineage_publishes;
+        self.lineage_divergences += other.lineage_divergences;
+        self.dispatch_slots = self.dispatch_slots.max(other.dispatch_slots);
+        self.dispatch_span = self.dispatch_span.max(other.dispatch_span);
+        self.trap_ns.absorb(&other.trap_ns);
+        self.reencode_cost.absorb(&other.reencode_cost);
+        self.cc_depth.absorb(&other.cc_depth);
+        self.sampled_ids.absorb(&other.sampled_ids);
+        if other.id_headroom.max_id > self.id_headroom.max_id {
+            self.id_headroom = other.id_headroom;
+        }
+        self.generations.clear();
+        self.journal_dropped += other.journal_dropped;
+    }
 }
 
 #[cfg(test)]

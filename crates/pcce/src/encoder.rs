@@ -16,8 +16,8 @@ use dacce_callgraph::analysis::classify_back_edges;
 use dacce_callgraph::encode::{encode_graph, EncodeOptions};
 use dacce_callgraph::{CallGraph, CallSiteId, DecodeDict, EdgeId, FunctionId, TimeStamp};
 
-use crate::pointsto::StaticGraph;
 use crate::profile::ProfileData;
+use dacce_analyze::graph::StaticGraph;
 
 /// Result of the offline encoding.
 #[derive(Clone, Debug)]
@@ -169,7 +169,7 @@ impl PcceEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pointsto::build_static_graph;
+    use dacce_analyze::graph::build_static_graph;
     use dacce_program::builder::ProgramBuilder;
     use dacce_program::model::TargetChoice;
     use dacce_program::Program;

@@ -8,8 +8,9 @@
 //! give PCCE a full potential of profiling", and the whole graph is encoded
 //! once, offline. This crate reproduces that baseline:
 //!
-//! * [`pointsto`] builds the whole-program graph from the program model,
-//!   including never-executed cold code and points-to false positives;
+//! * [`dacce_analyze::graph`] builds the whole-program graph from the
+//!   program model, including never-executed cold code and points-to
+//!   false positives (shared with warm-start seeding and the verifier);
 //! * [`profile`] is the Pin stand-in: an offline run collecting edge
 //!   frequencies (it charges no cost — profiling happens before the
 //!   measured run);
@@ -28,11 +29,9 @@
 //! static dictionary.
 
 pub mod encoder;
-pub mod pointsto;
 pub mod profile;
 pub mod runtime;
 
 pub use encoder::{PcceEncoder, PcceEncoding};
-pub use pointsto::{build_static_graph, StaticGraph};
 pub use profile::{ProfileData, ProfilingRuntime};
 pub use runtime::{PcceRuntime, PcceStats};

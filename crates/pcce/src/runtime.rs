@@ -20,8 +20,8 @@ use dacce_program::runtime::{CallEvent, ContextRuntime, ReturnEvent, SampleResul
 use dacce_program::{CostModel, OracleStack, Program, ThreadId};
 
 use crate::encoder::{PcceEncoder, PcceEncoding};
-use crate::pointsto::{build_static_graph, StaticGraph};
 use crate::profile::ProfileData;
+use dacce_analyze::graph::{build_static_graph, StaticGraph};
 
 /// Statistics of one PCCE run (the PCCE half of Table 1).
 #[derive(Clone, Debug, Default)]
