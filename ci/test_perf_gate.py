@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Unit tests for ci/perf_gate.py.
+
+Covers the gate's full decision table: a baseline variant missing from
+the candidate, a regression past the threshold, an improvement (never
+gated), a variant new in the candidate (reported, never gated), and the
+zero-baseline hard pin used for cold-start trap counts.
+
+Run directly (`python3 ci/test_perf_gate.py`) or via unittest discovery
+(`python3 -m unittest discover ci`); CI runs it in the model-check job.
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import perf_gate  # noqa: E402
+
+
+def write_csv(directory, name, rows):
+    path = os.path.join(directory, name)
+    with open(path, "w", newline="") as fh:
+        fh.write("\n".join(",".join(r) for r in rows) + "\n")
+    return path
+
+
+HEADER = ["bench", "variant", "ns_per_op"]
+
+
+class PerfGateTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def run_gate(self, base_rows, cand_rows, threshold=None):
+        """Runs perf_gate.main() on two in-tempdir CSVs.
+
+        Returns (exit_code, stdout_text).
+        """
+        base = write_csv(self.dir, "base.csv", [HEADER] + base_rows)
+        cand = write_csv(self.dir, "cand.csv", [HEADER] + cand_rows)
+        argv = ["perf_gate.py", base, cand]
+        if threshold is not None:
+            argv += ["--threshold", str(threshold)]
+        out = io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(out):
+                code = perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue()
+
+    def test_identical_results_pass(self):
+        rows = [["dispatch", "direct", "12.5"], ["dispatch", "virtual", "30.0"]]
+        code, out = self.run_gate(rows, rows)
+        self.assertEqual(code, 0)
+        self.assertIn("perf-gate: ok", out)
+
+    def test_missing_variant_fails(self):
+        base = [["dispatch", "direct", "12.5"], ["dispatch", "virtual", "30.0"]]
+        cand = [["dispatch", "direct", "12.5"]]
+        code, out = self.run_gate(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("MISSING", out)
+        self.assertIn("present in baseline but not benched", out)
+
+    def test_regression_past_threshold_fails(self):
+        base = [["dispatch", "direct", "10.0"]]
+        cand = [["dispatch", "direct", "13.0"]]  # +30% > default 25%
+        code, out = self.run_gate(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("perf-gate: FAIL", out)
+
+    def test_regression_within_threshold_passes(self):
+        base = [["dispatch", "direct", "10.0"]]
+        cand = [["dispatch", "direct", "12.0"]]  # +20% < default 25%
+        code, out = self.run_gate(base, cand)
+        self.assertEqual(code, 0)
+        self.assertNotIn("REGRESSION", out)
+
+    def test_custom_threshold_is_honoured(self):
+        base = [["dispatch", "direct", "10.0"]]
+        cand = [["dispatch", "direct", "12.0"]]  # +20% > custom 10%
+        code, _ = self.run_gate(base, cand, threshold=0.10)
+        self.assertEqual(code, 1)
+
+    def test_improvement_passes_and_is_not_ratcheted(self):
+        base = [["tracker", "t8", "100.0"]]
+        cand = [["tracker", "t8", "40.0"]]
+        code, out = self.run_gate(base, cand)
+        self.assertEqual(code, 0)
+        # The baseline is only re-recorded deliberately; an improvement is
+        # printed as an ok row, never as a failure.
+        self.assertIn("-60.0%", out)
+        self.assertIn("ok", out)
+
+    def test_new_variant_is_reported_but_never_gated(self):
+        base = [["dispatch", "direct", "12.5"]]
+        cand = [["dispatch", "direct", "12.5"],
+                ["dispatch", "megamorphic", "95.0"]]
+        code, out = self.run_gate(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("new variant", out)
+        self.assertIn("not gated", out)
+
+    def test_zero_baseline_pins_cold_traps_at_zero(self):
+        # A zero baseline (e.g. warm-start cold_traps) is a hard pin:
+        # staying at zero passes, any nonzero candidate is a regression
+        # regardless of the threshold.
+        base = [["tracker", "cold_traps", "0"]]
+        code, _ = self.run_gate(base, [["tracker", "cold_traps", "0"]])
+        self.assertEqual(code, 0)
+        code, out = self.run_gate(base, [["tracker", "cold_traps", "1"]],
+                                  threshold=100.0)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_empty_candidate_file_is_a_hard_error(self):
+        base = write_csv(self.dir, "base.csv",
+                         [HEADER, ["dispatch", "direct", "12.5"]])
+        cand = write_csv(self.dir, "cand.csv", [HEADER])
+        old_argv, sys.argv = sys.argv, ["perf_gate.py", base, cand]
+        try:
+            with self.assertRaises(SystemExit) as cm:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        self.assertIn("no data rows", str(cm.exception))
+
+    def test_non_numeric_per_op_value_is_a_hard_error(self):
+        base = write_csv(self.dir, "base.csv",
+                         [HEADER, ["dispatch", "direct", "12.5"]])
+        cand = write_csv(self.dir, "cand.csv",
+                         [HEADER, ["dispatch", "direct", "fast"]])
+        old_argv, sys.argv = sys.argv, ["perf_gate.py", base, cand]
+        try:
+            with self.assertRaises(SystemExit) as cm:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        self.assertIn("non-numeric", str(cm.exception))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -2,6 +2,7 @@
 //!
 //! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] <export-file>...`
 //! or: `dacce-lint --fleet <tenant-export> <twin-export>`
+//! or: `dacce-lint --list-rules`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
 //! file is imported and run through the encoding verifier; findings are
@@ -17,11 +18,14 @@
 //! With `--fleet`, exactly two exports are expected — a shared-lineage
 //! fleet tenant and its standalone twin — and the pair is cross-checked
 //! for identity (rule `fleet-twin`) on top of the per-file audits.
-//! Exits non-zero if any file fails to parse or any error-severity finding
-//! is reported.
+//! With `--list-rules`, prints the full rule catalogue (id, severity,
+//! enabling flag, invariant) and exits. Exits non-zero if any file fails
+//! to parse or any finding — error **or** warning severity — is reported
+//! (see `dacce_analyze::lint::exit_code`).
 
 use std::process::ExitCode;
 
+use dacce_analyze::lint;
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
 use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export, verify_fleet_twin};
 
@@ -33,7 +37,15 @@ fn main() -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--metrics" {
+        if arg == "--list-rules" {
+            for r in lint::RULES {
+                println!(
+                    "{:22} {:8} [{}] {}",
+                    r.id, r.severity, r.enabled_by, r.summary
+                );
+            }
+            return ExitCode::SUCCESS;
+        } else if arg == "--metrics" {
             match args.next() {
                 Some(path) => metrics = Some(path),
                 None => {
@@ -168,9 +180,5 @@ fn main() -> ExitCode {
         "dacce-lint: {} file(s), {errors} error(s), {warnings} warning(s)",
         files.len()
     );
-    if errors > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(lint::exit_code(errors, warnings))
 }

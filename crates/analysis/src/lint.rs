@@ -64,6 +64,131 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// One entry of the lint rule catalogue (`dacce-lint --list-rules`).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    /// Stable rule identifier, as stamped on [`Diagnostic::rule`].
+    pub id: &'static str,
+    /// Severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line statement of the invariant the rule checks.
+    pub summary: &'static str,
+    /// How the rule is enabled: `"always"`, or the opt-in flag.
+    pub enabled_by: &'static str,
+}
+
+/// Every rule `dacce-lint` can report, with its severity and the flag
+/// that enables it. Kept in sync with the verifier by
+/// `catalogue_covers_every_emitted_rule` in `tests/lint_rules.rs`.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "dict-monotone",
+        severity: Severity::Error,
+        summary: "dictionary timestamps equal their store index (append-only gTimeStamp)",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "owner-consistent",
+        severity: Severity::Error,
+        summary: "every dictionary edge's caller owns its call site",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "encoding-partition",
+        severity: Severity::Error,
+        summary:
+            "per node, non-back incoming encodings partition [0, numCC) into caller-sized intervals",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "path-id-unique",
+        severity: Severity::Error,
+        summary: "bounded path enumeration finds no two acyclic paths with equal ids at a node",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "unencoded-range",
+        severity: Severity::Error,
+        summary: "maxID = max numCC - 1, so unencoded-edge ids land in [maxID+1, 2*maxID+1]",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "hottest-zero",
+        severity: Severity::Warning,
+        summary:
+            "every join node has an incoming edge encoded 0 (the hottest edge after re-encoding)",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "overflow-budget",
+        severity: Severity::Error,
+        summary: "2*maxID+1 and every path sum fit in 64 bits",
+        enabled_by: "always",
+    },
+    RuleInfo {
+        id: "dispatch-table",
+        severity: Severity::Error,
+        summary:
+            "the exported compiled dispatch table agrees edge-for-edge with the latest dictionary",
+        enabled_by: "--dispatch",
+    },
+    RuleInfo {
+        id: "degraded-state",
+        severity: Severity::Error,
+        summary: "exported DegradedState arithmetic is internally consistent",
+        enabled_by: "--degraded",
+    },
+    RuleInfo {
+        id: "fleet-twin",
+        severity: Severity::Error,
+        summary: "a shared-lineage tenant's export is identical to its standalone twin",
+        enabled_by: "--fleet",
+    },
+    RuleInfo {
+        id: "metrics-missing",
+        severity: Severity::Error,
+        summary: "every series the runtime always exports is present in the Prometheus document",
+        enabled_by: "--metrics",
+    },
+    RuleInfo {
+        id: "metrics-dictionaries",
+        severity: Severity::Error,
+        summary: "dacce_dictionaries equals the number of exported dictionaries",
+        enabled_by: "--metrics",
+    },
+    RuleInfo {
+        id: "metrics-reencodes",
+        severity: Severity::Error,
+        summary: "applied re-encodings reconcile with the dictionary count",
+        enabled_by: "--metrics",
+    },
+    RuleInfo {
+        id: "metrics-generation",
+        severity: Severity::Error,
+        summary: "each dictionary's generation row exists with the right maxID",
+        enabled_by: "--metrics",
+    },
+    RuleInfo {
+        id: "metrics-edges",
+        severity: Severity::Error,
+        summary: "every dictionary edge was warm-seeded or trap-discovered",
+        enabled_by: "--metrics",
+    },
+];
+
+/// Maps finding counts to the `dacce-lint` process exit code.
+///
+/// **Every** reported finding — warnings included — must produce a
+/// nonzero exit: a rule that prints but exits 0 is invisible to CI, which
+/// is how the warning-severity `hottest-zero` rule silently passed before
+/// this was factored out and pinned by a regression test. Usage and
+/// parse/IO problems use exit code 2 (handled by the binary before
+/// findings are counted).
+#[must_use]
+pub fn exit_code(errors: usize, warnings: usize) -> u8 {
+    u8::from(errors > 0 || warnings > 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,7 @@ pub mod reencode;
 pub mod runtime;
 pub(crate) mod shared;
 pub mod stats;
+pub mod sync;
 pub mod thread;
 pub mod tracker;
 pub mod verify;

@@ -26,8 +26,9 @@
 //! [`ReencodeOutcome::Applied`]: crate::shared::ReencodeOutcome
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+
+use crate::sync::{protocol, AtomicU64, Mutex, MutexGuard, Ordering};
 
 use dacce_callgraph::{CallGraph, CallSiteId, DictStore, FunctionId, TimeStamp};
 
@@ -104,7 +105,7 @@ impl EncodingLineage {
 
     /// The latest published generation (0 is the founding state).
     pub fn generation(&self) -> u64 {
-        self.inner.generation.load(Ordering::Acquire)
+        self.inner.generation.load(protocol::LINEAGE_GEN_CHECK)
     }
 
     /// Number of tenants currently attached (registry-managed refcount).
@@ -134,13 +135,11 @@ impl EncodingLineage {
         self.inner.divergences.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Locks the lineage state. Poisoning is recovered (the state is only
-    /// ever replaced wholesale, never left half-written).
+    /// Locks the lineage state. The shim mutex has no poisoning (the
+    /// state is only ever replaced wholesale, never left half-written, so
+    /// a panicking holder cannot leave it inconsistent).
     pub(crate) fn lock_state(&self) -> MutexGuard<'_, LineageState> {
-        self.inner
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.inner.state.lock()
     }
 
     /// A consistent `(state, generation)` copy of the latest generation.
@@ -155,7 +154,9 @@ impl EncodingLineage {
         let generation = guard.generation + 1;
         state.generation = generation;
         *guard = state;
-        self.inner.generation.store(generation, Ordering::Release);
+        self.inner
+            .generation
+            .store(generation, protocol::LINEAGE_GEN_PUBLISH);
         generation
     }
 }

@@ -34,10 +34,9 @@
 //! ```
 
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::{protocol, AtomicU32, AtomicU64, Mutex, Ordering};
 
 use dacce_callgraph::{CallSiteId, FunctionId};
 use dacce_program::runtime::CallDispatch;
@@ -148,7 +147,7 @@ impl TrackerInner {
         sh.epoch += 1;
         let snap = Arc::new(sh.snapshot());
         *self.published.lock() = Arc::clone(&snap);
-        self.epoch.store(sh.epoch, Ordering::Release);
+        self.epoch.store(sh.epoch, protocol::EPOCH_PUBLISH);
         snap
     }
 
@@ -876,7 +875,7 @@ impl ThreadHandle {
     /// generation moved — migrates this thread's context to it (decode
     /// under the old snapshot's dictionary, replay under the new patches).
     fn refresh(&self, st: &mut ThreadState) {
-        let cur = self.inner.epoch.load(Ordering::Acquire);
+        let cur = self.inner.epoch.load(protocol::EPOCH_CHECK);
         if st.snap.epoch == cur {
             return;
         }

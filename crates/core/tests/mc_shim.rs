@@ -1,0 +1,103 @@
+//! Smoke test for the `mc` instrumentation feature: with the feature on,
+//! the tracker's protocol operations — epoch publishes, epoch checks,
+//! lock acquisitions and releases — must all flow through the `dacce-sync`
+//! hook, carrying their declared orderings.
+//!
+//! Runs only under `--features mc`; the default build compiles the shim
+//! to direct std/parking_lot re-exports with nothing to observe.
+
+#![cfg(feature = "mc")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dacce::config::DacceConfig;
+use dacce::sync::{clear_hook, set_hook, SyncEvent, SyncHook, SyncOp};
+use dacce::tracker::Tracker;
+
+#[derive(Default)]
+struct CountingHook {
+    loads: AtomicU64,
+    stores: AtomicU64,
+    rmws: AtomicU64,
+    lock_acquires: AtomicU64,
+    lock_releases: AtomicU64,
+    release_stores: AtomicU64,
+    acquire_loads: AtomicU64,
+}
+
+impl SyncHook for CountingHook {
+    fn on_sync(&self, event: &SyncEvent) {
+        match event.op {
+            SyncOp::Load => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                if matches!(event.order, Ordering::Acquire) {
+                    self.acquire_loads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            SyncOp::Store => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                if matches!(event.order, Ordering::Release) {
+                    self.release_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            SyncOp::Rmw => {
+                self.rmws.fetch_add(1, Ordering::Relaxed);
+            }
+            SyncOp::LockAcquire => {
+                self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+            }
+            SyncOp::LockRelease => {
+                self.lock_releases.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn tracker_protocol_operations_report_to_the_hook() {
+    let hook = Arc::new(CountingHook::default());
+    set_hook(Arc::clone(&hook) as Arc<dyn SyncHook>);
+
+    // Eager triggers so the run publishes at least one new epoch.
+    let cfg = DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 1,
+        reencode_backoff: 1.0,
+        ..DacceConfig::default()
+    };
+    let tracker = Tracker::with_config(cfg);
+    let main_fn = tracker.define_function("main");
+    let th = tracker.register_thread(main_fn);
+    for i in 0..8 {
+        let f = tracker.define_function(&format!("f{i}"));
+        let s = tracker.define_call_site();
+        let _g = th.call(s, f);
+        let _ = tracker.decode(&th.sample()).expect("sample decodes");
+    }
+    let stats = tracker.stats();
+    clear_hook();
+
+    assert!(stats.reencodes > 0, "workload must force a re-encode");
+    let loads = hook.loads.load(Ordering::Relaxed);
+    let stores = hook.stores.load(Ordering::Relaxed);
+    let acquires = hook.lock_acquires.load(Ordering::Relaxed);
+    let releases = hook.lock_releases.load(Ordering::Relaxed);
+    assert!(loads > 0, "epoch checks must report loads");
+    assert!(stores > 0, "epoch publishes must report stores");
+    assert!(
+        hook.rmws.load(Ordering::Relaxed) > 0,
+        "counters must report RMWs"
+    );
+    assert!(acquires > 0, "slow path must report lock acquisitions");
+    assert_eq!(acquires, releases, "every acquire pairs with a release");
+    assert!(
+        hook.release_stores.load(Ordering::Relaxed) > 0,
+        "EPOCH_PUBLISH stores must carry Release"
+    );
+    assert!(
+        hook.acquire_loads.load(Ordering::Relaxed) > 0,
+        "EPOCH_CHECK loads must carry Acquire"
+    );
+}

@@ -12,13 +12,10 @@
 //! under the lineage-table lock so a racing register can never attach to a
 //! lineage an evict is about to free.
 
+use dacce::sync::{AtomicU64, Mutex, Ordering};
+use dacce::{DacceConfig, EncodingLineage, Tracker};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
-
-use dacce::{DacceConfig, EncodingLineage, Tracker};
 
 use crate::program::ProgramDef;
 

@@ -1,0 +1,199 @@
+//! CLI for the DACCE protocol model checker.
+//!
+//! ```text
+//! dacce_mc [--list] [--model NAME] [--models-only] [--mutants-only]
+//!          [--csv PATH]
+//! ```
+//!
+//! With no mode flag, runs everything: all five protocol models under the
+//! real orderings (must be clean) and the full mutation suite (every
+//! mutant must be caught with a concrete interleaving trace). Exits
+//! nonzero when a real model reports a violation or a mutant goes
+//! uncaught.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dacce_mc::{all_models, model, mutants, Checker, Orderings, Report};
+
+struct Row {
+    kind: &'static str,
+    name: String,
+    report: Report,
+    /// For mutants: whether the checker caught the weakened ordering.
+    expected_violation: bool,
+}
+
+fn print_report(row: &Row) {
+    let r = &row.report;
+    let status = if row.expected_violation {
+        if r.clean() {
+            "MISSED"
+        } else {
+            "caught"
+        }
+    } else if r.clean() {
+        "ok"
+    } else {
+        "VIOLATION"
+    };
+    println!(
+        "{:7} {:38} {:9} interleavings {:6} transitions {:6} states {:5} memo-hits {:5} wall {:>8.2?}",
+        row.kind, row.name, status, r.interleavings, r.transitions, r.states, r.memo_hits, r.wall
+    );
+    if !r.clean() {
+        for v in r
+            .violations
+            .iter()
+            .take(if row.expected_violation { 1 } else { 4 })
+        {
+            println!("        {:?} at {}.{}", v.kind, v.thread, v.op);
+            println!("        interleaving: {}", v.trace.join(" -> "));
+        }
+    }
+}
+
+fn run_models(rows: &mut Vec<Row>) {
+    for m in all_models(&Orderings::default()) {
+        let report = Checker::default().run(&m);
+        rows.push(Row {
+            kind: "model",
+            name: m.name.clone(),
+            report,
+            expected_violation: false,
+        });
+    }
+}
+
+fn run_mutants(rows: &mut Vec<Row>) {
+    for mu in mutants() {
+        let m = model(mu.model, &mu.orderings).expect("mutant names a known model");
+        let report = Checker::default().run(&m);
+        rows.push(Row {
+            kind: "mutant",
+            name: format!("{}/{} ({})", mu.model, mu.name, mu.weakens),
+            report,
+            expected_violation: true,
+        });
+    }
+}
+
+fn write_csv(path: &str, rows: &[Row]) -> std::io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "kind,name,interleavings,transitions,states,memo_hits,wall_us,violations,pass"
+    );
+    for row in rows {
+        let r = &row.report;
+        let pass = if row.expected_violation {
+            !r.clean()
+        } else {
+            r.clean()
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            row.kind,
+            row.name.split(' ').next().unwrap_or(&row.name),
+            r.interleavings,
+            r.transitions,
+            r.states,
+            r.memo_hits,
+            r.wall.as_micros(),
+            r.violations.len(),
+            pass
+        );
+    }
+    std::fs::write(path, out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv: Option<String> = None;
+    let mut one_model: Option<String> = None;
+    let mut models_only = false;
+    let mut mutants_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                println!("models (real orderings, must be clean):");
+                for m in all_models(&Orderings::default()) {
+                    println!("  {:22} {}", m.name, m.about);
+                }
+                println!("mutants (one weakened edge each, must be caught):");
+                for mu in mutants() {
+                    println!("  {:22} {}  [{}]", mu.model, mu.name, mu.weakens);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--model" => match it.next() {
+                Some(n) => one_model = Some(n.clone()),
+                None => {
+                    eprintln!("--model requires a name (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--csv" => match it.next() {
+                Some(p) => csv = Some(p.clone()),
+                None => {
+                    eprintln!("--csv requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--models-only" => models_only = true,
+            "--mutants-only" => mutants_only = true,
+            other => {
+                eprintln!("unknown argument: {other} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    if let Some(name) = one_model {
+        let Some(m) = model(&name, &Orderings::default()) else {
+            eprintln!("unknown model: {name} (see --list)");
+            return ExitCode::FAILURE;
+        };
+        let report = Checker::default().run(&m);
+        rows.push(Row {
+            kind: "model",
+            name,
+            report,
+            expected_violation: false,
+        });
+    } else {
+        if !mutants_only {
+            run_models(&mut rows);
+        }
+        if !models_only {
+            run_mutants(&mut rows);
+        }
+    }
+
+    let mut failed = false;
+    for row in &rows {
+        print_report(row);
+        let pass = if row.expected_violation {
+            !row.report.clean()
+        } else {
+            row.report.clean()
+        };
+        failed |= !pass;
+    }
+    if let Some(path) = csv {
+        if let Err(e) = write_csv(&path, &rows) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if failed {
+        eprintln!("model check FAILED");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,737 @@
+//! The explorer: exhaustive DFS over sequentially-consistent
+//! interleavings with sleep-set partial-order reduction, value-context
+//! state memoisation, and a vector-clock happens-before checker.
+//!
+//! # What is checked
+//!
+//! Three rules run during every transition:
+//!
+//! - **R1 — data race.** Two conflicting plain-data accesses unordered by
+//!   happens-before. Classic vector-clock (FastTrack-style) detection:
+//!   each data location carries the clock of its last write and a vector
+//!   of per-thread read times.
+//! - **R2 — stale publish gate.** A *gate* load (a load whose observed
+//!   value admits the thread into consuming published state — epoch
+//!   checks, generation checks, seqlock stamp validation) observes a
+//!   foreign value over a weak reads-from edge: the store was not
+//!   `Release` or the load is not `Acquire`. This is deliberately a
+//!   *per-edge proof obligation*, not a whole-execution race check: a
+//!   redundant happens-before path (a mutex, an adjacent released
+//!   location) does not excuse a weak edge, which is exactly what lets a
+//!   single weakened `Ordering` mutant be caught deterministically even
+//!   when locks would mask the downstream data race.
+//! - **R3 — torn seqlock consume.** Every seqlock-section load records
+//!   the ghost version of the value it saw and whether the write that
+//!   produced it happens-before the reader. [`Ctx::seq_consume`] then
+//!   flags consuming a mix of versions, or any word whose write is not
+//!   ordered before the consume. Under SC exploration the stamp recheck
+//!   keeps this rule quiet; it exists to catch models (and protocol
+//!   changes) that drop the recheck or validate obligations.
+//!
+//! Deadlock (no enabled thread while some thread is unfinished) and
+//! effect-level assertion failures are reported as violations too.
+//!
+//! # Soundness of the memoisation
+//!
+//! The memo key contains everything future behaviour depends on: pcs,
+//! locals, atomic values/writer metadata, data values, mutex owners, the
+//! recorded seqlock reads, the sleep set, and the *entire clock matrix*
+//! canonicalised per component by dense rank. Ranking is sound because
+//! clocks only ever influence the checker through `⊑` comparisons, which
+//! are component-wise order comparisons — absolute magnitudes never
+//! matter.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::model::{Access, Model, Outcome};
+use crate::vclock::VClock;
+use crate::Ordering;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[derive(Clone)]
+struct AtomicLoc {
+    value: u64,
+    /// Ghost write count; version `k` is the `k`-th store to this cell.
+    version: u64,
+    /// Thread that produced the current value (`None` = initial value).
+    last_writer: Option<usize>,
+    /// Whether the producing store carried Release semantics (directly or
+    /// via a preceding release fence).
+    last_release: bool,
+    /// The synchronises-with payload an Acquire load obtains. Set by a
+    /// Release store, cleared by a Relaxed store, joined by RMWs
+    /// (release-sequence preservation).
+    sync_clock: VClock,
+    /// Full clock of the producing store, for happens-before diagnosis
+    /// and the R3 consume check.
+    stamp_clock: VClock,
+}
+
+#[derive(Clone)]
+struct DataLoc {
+    value: u64,
+    version: u64,
+    writer: Option<usize>,
+    write_clock: VClock,
+    /// `read_clock[t]` = `C_t[t]` at thread `t`'s last read.
+    read_clock: VClock,
+}
+
+#[derive(Clone)]
+struct MutexLoc {
+    owner: Option<usize>,
+    clock: VClock,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SeqRead {
+    loc: usize,
+    version: u64,
+    /// Whether the producing write happens-before the reader at read time.
+    hb: bool,
+}
+
+#[derive(Clone)]
+struct ThreadRun {
+    pc: usize,
+    done: bool,
+    clock: VClock,
+    locals: Vec<u64>,
+    /// Sync payloads of non-acquire loads since the last acquire fence;
+    /// an Acquire fence joins this into the thread clock.
+    acq_pending: VClock,
+    /// Clock at the last release fence, if any: makes subsequent relaxed
+    /// stores carry release semantics from that point.
+    rel_fence: Option<VClock>,
+    seq_reads: Vec<SeqRead>,
+}
+
+#[derive(Clone)]
+struct State {
+    threads: Vec<ThreadRun>,
+    atomics: Vec<AtomicLoc>,
+    datas: Vec<DataLoc>,
+    mutexes: Vec<MutexLoc>,
+    /// Sleep set: bitmask of threads whose next op need not be explored
+    /// from this state (already covered by a sibling branch).
+    sleep: u32,
+    /// The interleaving prefix that reached this state, for traces.
+    path: Vec<(usize, usize)>,
+}
+
+/// The kind of a reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// R1: two conflicting plain-data accesses unordered by HB.
+    DataRace {
+        /// Data location name.
+        loc: String,
+        /// `"read-write"`, `"write-write"`, or `"write-read"`.
+        conflict: &'static str,
+    },
+    /// R2: a publish-gate load crossed a weak reads-from edge.
+    StaleGate {
+        /// Atomic location name.
+        loc: String,
+        /// Why the edge is weak.
+        detail: String,
+    },
+    /// R3: a seqlock consume observed torn or un-synchronised words.
+    TornSeqlock {
+        /// Explanation of which word was torn / unordered.
+        detail: String,
+    },
+    /// A model-level assertion failed (observed impossible value).
+    Assertion {
+        /// The assertion message.
+        msg: String,
+    },
+    /// No thread is enabled but some thread is unfinished.
+    Deadlock,
+}
+
+/// A violation plus the exact interleaving that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The thread executing the offending step.
+    pub thread: String,
+    /// The offending op's label.
+    pub op: String,
+    /// The full interleaving: `"thread.op"` per executed step, in order,
+    /// ending with the offending step.
+    pub trace: Vec<String>,
+}
+
+/// Exploration statistics and findings for one model run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Model name.
+    pub model: String,
+    /// Distinct violations (deduplicated by kind/site across
+    /// interleavings; each carries its first concrete trace).
+    pub violations: Vec<Violation>,
+    /// Maximal interleavings actually walked to completion.
+    pub interleavings: u64,
+    /// Executed transitions.
+    pub transitions: u64,
+    /// Distinct canonical states visited.
+    pub states: u64,
+    /// Branches pruned because the canonical state was already visited.
+    pub memo_hits: u64,
+    /// Wall-clock exploration time.
+    pub wall: Duration,
+}
+
+impl Report {
+    /// Whether the run found no violations.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Effect-side handle to the exploring state: performs the op's declared
+/// access with full happens-before bookkeeping. Every accessor asserts
+/// the op declared the matching footprint.
+pub struct Ctx<'a> {
+    state: &'a mut State,
+    model: &'a Model,
+    tid: usize,
+    access: Access,
+    gate: bool,
+    seq_track: bool,
+    pending: Vec<ViolationKind>,
+}
+
+impl Ctx<'_> {
+    /// Performs the declared atomic load and returns the value.
+    pub fn load(&mut self) -> u64 {
+        let Access::AtomicLoad(id, order) = self.access else {
+            panic!(
+                "op declared {:?}, effect performed an atomic load",
+                self.access
+            );
+        };
+        let publish = self.model.atomics[id.0].publish;
+        let loc = &self.state.atomics[id.0];
+        let value = loc.value;
+        // R2: publish-gate loads must cross a Release->Acquire edge when
+        // they observe a foreign value. Checked per-edge, before any join.
+        if self.gate && publish {
+            if let Some(w) = loc.last_writer {
+                if w != self.tid && !(loc.last_release && is_acquire(order)) {
+                    let detail = if loc.last_release {
+                        format!("load is {order:?}, not Acquire")
+                    } else {
+                        "store published without Release".to_string()
+                    };
+                    self.pending.push(ViolationKind::StaleGate {
+                        loc: self.model.atomic_name(id.0).to_string(),
+                        detail,
+                    });
+                }
+            }
+        }
+        let sync = self.state.atomics[id.0].sync_clock.clone();
+        let th = &mut self.state.threads[self.tid];
+        if is_acquire(order) {
+            th.clock.join(&sync);
+        } else {
+            th.acq_pending.join(&sync);
+        }
+        if self.seq_track {
+            let loc = &self.state.atomics[id.0];
+            let hb = loc.stamp_clock.leq(&self.state.threads[self.tid].clock);
+            let version = loc.version;
+            self.state.threads[self.tid].seq_reads.push(SeqRead {
+                loc: id.0,
+                version,
+                hb,
+            });
+        }
+        value
+    }
+
+    /// Performs the declared atomic store.
+    pub fn store(&mut self, value: u64) {
+        let Access::AtomicStore(id, order) = self.access else {
+            panic!(
+                "op declared {:?}, effect performed an atomic store",
+                self.access
+            );
+        };
+        let release_clock = if is_release(order) {
+            Some(self.state.threads[self.tid].clock.clone())
+        } else {
+            self.state.threads[self.tid].rel_fence.clone()
+        };
+        let loc = &mut self.state.atomics[id.0];
+        loc.value = value;
+        loc.version += 1;
+        loc.last_writer = Some(self.tid);
+        match release_clock {
+            Some(c) => {
+                loc.sync_clock = c;
+                loc.last_release = true;
+            }
+            None => {
+                loc.sync_clock.clear();
+                loc.last_release = false;
+            }
+        }
+        loc.stamp_clock = self.state.threads[self.tid].clock.clone();
+    }
+
+    /// Performs the declared atomic read-modify-write, applying `f` to
+    /// the current value; returns the previous value.
+    pub fn rmw(&mut self, f: impl FnOnce(u64) -> u64) -> u64 {
+        let Access::AtomicRmw(id, order) = self.access else {
+            panic!(
+                "op declared {:?}, effect performed an atomic rmw",
+                self.access
+            );
+        };
+        let sync = self.state.atomics[id.0].sync_clock.clone();
+        let th = &mut self.state.threads[self.tid];
+        if is_acquire(order) {
+            th.clock.join(&sync);
+        } else {
+            th.acq_pending.join(&sync);
+        }
+        let clock = th.clock.clone();
+        let loc = &mut self.state.atomics[id.0];
+        let old = loc.value;
+        loc.value = f(old);
+        loc.version += 1;
+        loc.last_writer = Some(self.tid);
+        if is_release(order) {
+            // RMWs continue the release sequence: join rather than
+            // replace, so earlier Release payloads survive.
+            loc.sync_clock.join(&clock);
+            loc.last_release = true;
+        }
+        loc.stamp_clock.join(&clock);
+        old
+    }
+
+    /// Performs the declared plain-data read (R1-checked).
+    pub fn read(&mut self) -> u64 {
+        let Access::DataRead(id) = self.access else {
+            panic!(
+                "op declared {:?}, effect performed a data read",
+                self.access
+            );
+        };
+        let th_clock = self.state.threads[self.tid].clock.clone();
+        let loc = &mut self.state.datas[id.0];
+        if !loc.write_clock.leq(&th_clock) {
+            self.pending.push(ViolationKind::DataRace {
+                loc: self.model.data_name(id.0).to_string(),
+                conflict: "write-read",
+            });
+        }
+        let t = self.tid;
+        let now = th_clock.get(t);
+        loc.read_clock.set(t, now);
+        loc.value
+    }
+
+    /// Performs the declared plain-data write (R1-checked).
+    pub fn write(&mut self, value: u64) {
+        let Access::DataWrite(id) = self.access else {
+            panic!(
+                "op declared {:?}, effect performed a data write",
+                self.access
+            );
+        };
+        let th_clock = self.state.threads[self.tid].clock.clone();
+        let loc = &mut self.state.datas[id.0];
+        if !loc.write_clock.leq(&th_clock) {
+            self.pending.push(ViolationKind::DataRace {
+                loc: self.model.data_name(id.0).to_string(),
+                conflict: "write-write",
+            });
+        }
+        if !loc.read_clock.leq(&th_clock) {
+            self.pending.push(ViolationKind::DataRace {
+                loc: self.model.data_name(id.0).to_string(),
+                conflict: "read-write",
+            });
+        }
+        loc.value = value;
+        loc.version += 1;
+        loc.writer = Some(self.tid);
+        loc.write_clock = th_clock;
+    }
+
+    /// R3: consumes the seqlock reads recorded since the section began.
+    /// Flags mixed ghost versions relative to `expect_version` and any
+    /// word whose producing write is not happens-before the consumer.
+    pub fn seq_consume(&mut self, expect_version: u64) {
+        let reads = std::mem::take(&mut self.state.threads[self.tid].seq_reads);
+        for r in &reads {
+            if r.version != expect_version {
+                self.pending.push(ViolationKind::TornSeqlock {
+                    detail: format!(
+                        "word {} observed version {} in a section validated for version {}",
+                        self.model.atomic_name(r.loc),
+                        r.version,
+                        expect_version
+                    ),
+                });
+            }
+            if !r.hb {
+                self.pending.push(ViolationKind::TornSeqlock {
+                    detail: format!(
+                        "word {} consumed without a happens-before edge from its writer",
+                        self.model.atomic_name(r.loc)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Discards recorded seqlock reads (validation failed; nothing is
+    /// consumed).
+    pub fn seq_discard(&mut self) {
+        self.state.threads[self.tid].seq_reads.clear();
+    }
+
+    /// A model-level assertion: reports a violation when `cond` is false.
+    pub fn check(&mut self, cond: bool, msg: &str) {
+        if !cond {
+            self.pending.push(ViolationKind::Assertion {
+                msg: msg.to_string(),
+            });
+        }
+    }
+
+    /// Reads local slot `i` of the executing thread.
+    #[must_use]
+    pub fn local(&self, i: usize) -> u64 {
+        self.state.threads[self.tid].locals[i]
+    }
+
+    /// Writes local slot `i` of the executing thread.
+    pub fn set_local(&mut self, i: usize, v: u64) {
+        self.state.threads[self.tid].locals[i] = v;
+    }
+}
+
+/// The explorer. One instance checks one [`Model`].
+pub struct Checker {
+    /// Cap on recorded distinct violations (exploration continues, later
+    /// duplicates of the same site are merged regardless).
+    pub max_violations: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker { max_violations: 16 }
+    }
+}
+
+struct Explore<'a> {
+    model: &'a Model,
+    visited: HashSet<Vec<u64>>,
+    report: Report,
+    /// Dedup key per violation: (discriminant-ish string, thread, op).
+    seen_violations: Vec<(String, usize, usize)>,
+    max_violations: usize,
+}
+
+impl Checker {
+    /// Exhaustively explores `model` and returns the findings.
+    #[must_use]
+    pub fn run(&self, model: &Model) -> Report {
+        let n = model.threads.len();
+        assert!(n <= 8, "thread bitmask is u32-backed; keep models small");
+        let start = Instant::now();
+        let init = State {
+            threads: (0..n)
+                .map(|t| ThreadRun {
+                    pc: 0,
+                    done: false,
+                    // Each thread starts with its own component nonzero so
+                    // a first-op access is not vacuously ordered before
+                    // everything (the zero clock is ⊑ every clock).
+                    clock: {
+                        let mut c = VClock::new(n);
+                        c.tick(t);
+                        c
+                    },
+                    locals: vec![0; model.locals],
+                    acq_pending: VClock::new(n),
+                    rel_fence: None,
+                    seq_reads: Vec::new(),
+                })
+                .collect(),
+            atomics: model
+                .atomics
+                .iter()
+                .map(|a| AtomicLoc {
+                    value: a.init,
+                    version: 0,
+                    last_writer: None,
+                    last_release: false,
+                    sync_clock: VClock::new(n),
+                    stamp_clock: VClock::new(n),
+                })
+                .collect(),
+            datas: model
+                .datas
+                .iter()
+                .map(|d| DataLoc {
+                    value: d.init,
+                    version: 0,
+                    writer: None,
+                    write_clock: VClock::new(n),
+                    read_clock: VClock::new(n),
+                })
+                .collect(),
+            mutexes: model
+                .mutexes
+                .iter()
+                .map(|_| MutexLoc {
+                    owner: None,
+                    clock: VClock::new(n),
+                })
+                .collect(),
+            sleep: 0,
+            path: Vec::new(),
+        };
+        let mut ex = Explore {
+            model,
+            visited: HashSet::new(),
+            report: Report {
+                model: model.name.clone(),
+                ..Report::default()
+            },
+            seen_violations: Vec::new(),
+            max_violations: self.max_violations,
+        };
+        ex.explore(init);
+        ex.report.states = ex.visited.len() as u64;
+        ex.report.wall = start.elapsed();
+        ex.report
+    }
+}
+
+impl Explore<'_> {
+    fn enabled(&self, s: &State, t: usize) -> bool {
+        let th = &s.threads[t];
+        if th.done || th.pc >= self.model.threads[t].ops.len() {
+            return false;
+        }
+        match self.model.threads[t].ops[th.pc].access {
+            Access::Lock(m) => s.mutexes[m.0].owner.is_none(),
+            _ => true,
+        }
+    }
+
+    fn explore(&mut self, s: State) {
+        if !self.visited.insert(state_key(self.model, &s)) {
+            self.report.memo_hits += 1;
+            return;
+        }
+        let n = self.model.threads.len();
+        let enabled: Vec<usize> = (0..n).filter(|&t| self.enabled(&s, t)).collect();
+        if enabled.is_empty() {
+            if s.threads.iter().all(|t| t.done) {
+                self.report.interleavings += 1;
+            } else if s.threads.iter().any(|t| !t.done) {
+                // Some thread is stuck on a mutex no runnable thread will
+                // ever release.
+                let t = (0..n).find(|&t| !s.threads[t].done).unwrap_or(0);
+                let th = &s.threads[t];
+                let op = th.pc.min(self.model.threads[t].ops.len() - 1);
+                self.record(&s, t, op, ViolationKind::Deadlock);
+            }
+            return;
+        }
+        let mut sleep = s.sleep;
+        for &t in &enabled {
+            if sleep & (1 << t) != 0 {
+                continue;
+            }
+            let mut next = s.clone();
+            // Wake sleeping threads whose next op is dependent with t's.
+            let t_access = self.model.threads[t].ops[next.threads[t].pc].access;
+            let mut child_sleep = sleep;
+            for u in 0..n {
+                if child_sleep & (1 << u) != 0 && self.enabled(&next, u) {
+                    let u_access = self.model.threads[u].ops[next.threads[u].pc].access;
+                    if t_access.dependent(u_access) {
+                        child_sleep &= !(1 << u);
+                    }
+                }
+            }
+            next.sleep = child_sleep;
+            self.step(&mut next, t);
+            self.explore(next);
+            sleep |= 1 << t;
+        }
+    }
+
+    fn step(&mut self, s: &mut State, t: usize) {
+        self.report.transitions += 1;
+        let op = &self.model.threads[t].ops[s.threads[t].pc];
+        s.path.push((t, s.threads[t].pc));
+        // Access-level scheduler bookkeeping (locks, fences).
+        match op.access {
+            Access::Lock(m) => {
+                debug_assert!(s.mutexes[m.0].owner.is_none());
+                s.mutexes[m.0].owner = Some(t);
+                let clock = s.mutexes[m.0].clock.clone();
+                s.threads[t].clock.join(&clock);
+            }
+            Access::Unlock(m) => {
+                assert_eq!(
+                    s.mutexes[m.0].owner,
+                    Some(t),
+                    "model bug: unlock of a mutex the thread does not hold"
+                );
+                s.mutexes[m.0].clock = s.threads[t].clock.clone();
+                s.mutexes[m.0].owner = None;
+            }
+            Access::Fence(order) => {
+                if is_acquire(order) {
+                    let pend = std::mem::replace(
+                        &mut s.threads[t].acq_pending,
+                        VClock::new(self.model.threads.len()),
+                    );
+                    s.threads[t].clock.join(&pend);
+                }
+                if is_release(order) {
+                    s.threads[t].rel_fence = Some(s.threads[t].clock.clone());
+                }
+            }
+            _ => {}
+        }
+        let mut cx = Ctx {
+            state: s,
+            model: self.model,
+            tid: t,
+            access: op.access,
+            gate: op.gate,
+            seq_track: op.seq_track,
+            pending: Vec::new(),
+        };
+        let outcome = (op.effect)(&mut cx);
+        let pending = std::mem::take(&mut cx.pending);
+        let pc = s.threads[t].pc;
+        for kind in pending {
+            self.record(s, t, pc, kind);
+        }
+        s.threads[t].clock.tick(t);
+        match outcome {
+            Outcome::Next => s.threads[t].pc += 1,
+            Outcome::Goto(i) => s.threads[t].pc = i,
+            Outcome::Done => s.threads[t].done = true,
+        }
+        if s.threads[t].pc >= self.model.threads[t].ops.len() {
+            s.threads[t].done = true;
+        }
+    }
+
+    fn record(&mut self, s: &State, t: usize, op: usize, kind: ViolationKind) {
+        let key = (format!("{kind:?}"), t, op);
+        if self.seen_violations.contains(&key) {
+            return;
+        }
+        self.seen_violations.push(key);
+        if self.report.violations.len() >= self.max_violations {
+            return;
+        }
+        let trace = s
+            .path
+            .iter()
+            .map(|&(tt, pc)| {
+                format!(
+                    "{}.{}",
+                    self.model.threads[tt].name, self.model.threads[tt].ops[pc].label
+                )
+            })
+            .collect();
+        self.report.violations.push(Violation {
+            kind,
+            thread: self.model.threads[t].name.clone(),
+            op: self.model.threads[t].ops[op].label.clone(),
+            trace,
+        });
+    }
+}
+
+/// Canonical memo key for a state. Clock components are replaced by their
+/// dense rank within each component column (see the module docs for why
+/// that is sound).
+fn state_key(model: &Model, s: &State) -> Vec<u64> {
+    let n = model.threads.len();
+    let mut key: Vec<u64> = Vec::with_capacity(64);
+    for th in &s.threads {
+        key.push(th.pc as u64);
+        key.push(u64::from(th.done));
+        key.extend_from_slice(&th.locals);
+        key.push(th.seq_reads.len() as u64);
+        for r in &th.seq_reads {
+            key.push(r.loc as u64);
+            key.push(r.version);
+            key.push(u64::from(r.hb));
+        }
+        key.push(u64::from(th.rel_fence.is_some()));
+    }
+    for a in &s.atomics {
+        key.push(a.value);
+        key.push(a.version);
+        key.push(a.last_writer.map_or(0, |w| w as u64 + 1));
+        key.push(u64::from(a.last_release));
+    }
+    for d in &s.datas {
+        key.push(d.value);
+        key.push(d.version);
+        key.push(d.writer.map_or(0, |w| w as u64 + 1));
+    }
+    for m in &s.mutexes {
+        key.push(m.owner.map_or(0, |o| o as u64 + 1));
+    }
+    key.push(u64::from(s.sleep));
+    // Clock matrix, canonicalised per component column by dense rank.
+    let clocks: Vec<&VClock> = s
+        .threads
+        .iter()
+        .flat_map(|t| {
+            let mut v = vec![&t.clock, &t.acq_pending];
+            if let Some(rf) = &t.rel_fence {
+                v.push(rf);
+            }
+            v
+        })
+        .chain(
+            s.atomics
+                .iter()
+                .flat_map(|a| [&a.sync_clock, &a.stamp_clock]),
+        )
+        .chain(s.datas.iter().flat_map(|d| [&d.write_clock, &d.read_clock]))
+        .chain(s.mutexes.iter().map(|m| &m.clock))
+        .collect();
+    for i in 0..n {
+        let mut col: Vec<u64> = clocks.iter().map(|c| c.get(i)).collect();
+        col.sort_unstable();
+        col.dedup();
+        for c in &clocks {
+            let rank = col.binary_search(&c.get(i)).unwrap_or(0) as u64;
+            key.push(rank);
+        }
+    }
+    key
+}

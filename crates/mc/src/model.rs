@@ -1,0 +1,282 @@
+//! Protocol models: explicit step machines over a tiny shared-memory
+//! vocabulary.
+//!
+//! A [`Model`] declares shared locations (atomics, plain data, mutexes)
+//! and a handful of threads, each a straight-line list of [`Op`]s. Every
+//! op declares exactly **one** shared access up front (its [`Access`]
+//! footprint, carrying the `Ordering` the production code uses at the
+//! matching site) plus an effect closure that performs the access through
+//! the checker's [`Ctx`] and decides control flow. Declaring footprints
+//! statically is what lets the explorer do sleep-set partial-order
+//! reduction without peeking inside closures, and the `Ctx` accessors
+//! assert that the effect touches exactly the location and kind it
+//! declared — a model cannot lie about its footprint.
+
+use crate::checker::Ctx;
+use crate::Ordering;
+
+/// Handle to an atomic location declared on a [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AtomicId(pub(crate) usize);
+
+/// Handle to a plain-data location declared on a [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataId(pub(crate) usize);
+
+/// Handle to a mutex declared on a [`Model`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutexId(pub(crate) usize);
+
+/// The single shared access an op performs, declared statically.
+#[derive(Clone, Copy, Debug)]
+pub enum Access {
+    /// Atomic load with the given ordering.
+    AtomicLoad(AtomicId, Ordering),
+    /// Atomic store with the given ordering.
+    AtomicStore(AtomicId, Ordering),
+    /// Atomic read-modify-write with the given ordering.
+    AtomicRmw(AtomicId, Ordering),
+    /// Plain (non-atomic) read — subject to data-race detection.
+    DataRead(DataId),
+    /// Plain (non-atomic) write — subject to data-race detection.
+    DataWrite(DataId),
+    /// Mutex acquisition (the op blocks while the mutex is held).
+    Lock(MutexId),
+    /// Mutex release (must be held by the executing thread).
+    Unlock(MutexId),
+    /// A memory fence with the given ordering.
+    Fence(Ordering),
+    /// No shared access (pure local step: branches, assertions).
+    Local,
+}
+
+impl Access {
+    /// Whether two accesses can influence each other's outcome — the
+    /// dependency relation driving sleep-set partial-order reduction.
+    /// Commuting (independent) pairs need not be explored in both orders.
+    #[must_use]
+    pub fn dependent(self, other: Access) -> bool {
+        use Access::{
+            AtomicLoad, AtomicRmw, AtomicStore, DataRead, DataWrite, Fence, Local, Lock, Unlock,
+        };
+        match (self, other) {
+            (Local, _) | (_, Local) => false,
+            // A fence interacts with the executing thread's surrounding
+            // atomics only, but conservatively order it against all
+            // atomic traffic (fences are rare; precision is not worth
+            // soundness risk here).
+            (Fence(_), AtomicLoad(..) | AtomicStore(..) | AtomicRmw(..) | Fence(_))
+            | (AtomicLoad(..) | AtomicStore(..) | AtomicRmw(..), Fence(_)) => true,
+            (Fence(_), _) | (_, Fence(_)) => false,
+            // Atomics on the same location: dependent unless both read.
+            (AtomicLoad(..), AtomicLoad(..)) => false,
+            (
+                AtomicLoad(a, _) | AtomicStore(a, _) | AtomicRmw(a, _),
+                AtomicLoad(b, _) | AtomicStore(b, _) | AtomicRmw(b, _),
+            ) => a == b,
+            // Plain data on the same location: dependent unless both read
+            // (two conflicting plain accesses are exactly what the race
+            // checker must observe in both orders).
+            (DataRead(..), DataRead(..)) => false,
+            (DataRead(a) | DataWrite(a), DataRead(b) | DataWrite(b)) => a == b,
+            // Mutex operations on the same mutex never commute.
+            (Lock(a) | Unlock(a), Lock(b) | Unlock(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Control flow after an op's effect runs.
+#[derive(Clone, Copy, Debug)]
+pub enum Outcome {
+    /// Fall through to the next op.
+    Next,
+    /// Jump to op index `0..ops.len()` in the same thread.
+    Goto(usize),
+    /// The thread is finished.
+    Done,
+}
+
+/// One step of a model thread: a declared access plus its effect.
+pub struct Op {
+    /// Short label shown in violation traces (e.g. `"publish-epoch"`).
+    pub label: String,
+    /// The declared shared-access footprint.
+    pub access: Access,
+    /// Whether this load is a *publish gate*: a load whose observed value
+    /// admits the thread into consuming published state. Gate loads carry
+    /// the per-edge proof obligation checked by rule R2 (see `checker`).
+    pub gate: bool,
+    /// Whether this load is part of a seqlock read section: its observed
+    /// ghost version and happens-before status are recorded for a later
+    /// [`Ctx::seq_consume`] check (rule R3).
+    pub seq_track: bool,
+    /// The effect: performs the declared access via [`Ctx`] and decides
+    /// control flow.
+    #[allow(clippy::type_complexity)]
+    pub effect: Box<dyn Fn(&mut Ctx<'_>) -> Outcome>,
+}
+
+/// A model thread: a name plus its op list.
+pub struct ThreadDef {
+    /// Thread name shown in traces (e.g. `"reencoder"`).
+    pub name: String,
+    /// Straight-line op list (branches via [`Outcome::Goto`]).
+    pub ops: Vec<Op>,
+}
+
+impl ThreadDef {
+    /// An empty thread with the given name.
+    #[must_use]
+    pub fn new(name: &str) -> ThreadDef {
+        ThreadDef {
+            name: name.to_string(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an op.
+    pub fn op(
+        &mut self,
+        label: &str,
+        access: Access,
+        effect: impl Fn(&mut Ctx<'_>) -> Outcome + 'static,
+    ) -> &mut Self {
+        self.ops.push(Op {
+            label: label.to_string(),
+            access,
+            gate: false,
+            seq_track: false,
+            effect: Box::new(effect),
+        });
+        self
+    }
+
+    /// Appends a *publish gate* load (R2-checked, see [`Op::gate`]).
+    pub fn gate(
+        &mut self,
+        label: &str,
+        access: Access,
+        effect: impl Fn(&mut Ctx<'_>) -> Outcome + 'static,
+    ) -> &mut Self {
+        self.ops.push(Op {
+            label: label.to_string(),
+            access,
+            gate: true,
+            seq_track: false,
+            effect: Box::new(effect),
+        });
+        self
+    }
+
+    /// Appends a seqlock-section load (R3-tracked, see [`Op::seq_track`]).
+    pub fn seq_read(
+        &mut self,
+        label: &str,
+        access: Access,
+        effect: impl Fn(&mut Ctx<'_>) -> Outcome + 'static,
+    ) -> &mut Self {
+        self.ops.push(Op {
+            label: label.to_string(),
+            access,
+            gate: false,
+            seq_track: true,
+            effect: Box::new(effect),
+        });
+        self
+    }
+}
+
+pub(crate) struct AtomicDecl {
+    pub(crate) name: String,
+    pub(crate) init: u64,
+    pub(crate) publish: bool,
+}
+
+pub(crate) struct DataDecl {
+    pub(crate) name: String,
+    pub(crate) init: u64,
+}
+
+/// A complete bounded protocol model.
+pub struct Model {
+    /// Model name (CLI identifier, e.g. `"snapshot-publish"`).
+    pub name: String,
+    /// One-line description of the protocol being checked.
+    pub about: String,
+    pub(crate) atomics: Vec<AtomicDecl>,
+    pub(crate) datas: Vec<DataDecl>,
+    pub(crate) mutexes: Vec<String>,
+    /// The model's threads.
+    pub threads: Vec<ThreadDef>,
+    /// Number of per-thread local slots (scratch values carried between
+    /// ops of one thread; part of the memoised state).
+    pub locals: usize,
+}
+
+impl Model {
+    /// An empty model.
+    #[must_use]
+    pub fn new(name: &str, about: &str) -> Model {
+        Model {
+            name: name.to_string(),
+            about: about.to_string(),
+            atomics: Vec::new(),
+            datas: Vec::new(),
+            mutexes: Vec::new(),
+            threads: Vec::new(),
+            locals: 2,
+        }
+    }
+
+    /// Declares an ordinary atomic location.
+    pub fn atomic(&mut self, name: &str, init: u64) -> AtomicId {
+        self.atomics.push(AtomicDecl {
+            name: name.to_string(),
+            init,
+            publish: false,
+        });
+        AtomicId(self.atomics.len() - 1)
+    }
+
+    /// Declares a *publish-marked* atomic: an epoch/generation/stamp
+    /// location whose stores publish state for gate loads (rule R2
+    /// applies to gate loads of these locations).
+    pub fn publish_atomic(&mut self, name: &str, init: u64) -> AtomicId {
+        let id = self.atomic(name, init);
+        self.atomics[id.0].publish = true;
+        id
+    }
+
+    /// Declares a plain-data location (race-checked).
+    pub fn data(&mut self, name: &str, init: u64) -> DataId {
+        self.datas.push(DataDecl {
+            name: name.to_string(),
+            init,
+        });
+        DataId(self.datas.len() - 1)
+    }
+
+    /// Declares a mutex.
+    pub fn mutex(&mut self, name: &str) -> MutexId {
+        self.mutexes.push(name.to_string());
+        MutexId(self.mutexes.len() - 1)
+    }
+
+    /// Adds a thread.
+    pub fn push_thread(&mut self, thread: ThreadDef) {
+        assert!(
+            self.threads.len() < 8,
+            "models are bounded to a handful of threads"
+        );
+        self.threads.push(thread);
+    }
+
+    pub(crate) fn atomic_name(&self, id: usize) -> &str {
+        &self.atomics[id].name
+    }
+
+    pub(crate) fn data_name(&self, id: usize) -> &str {
+        &self.datas[id].name
+    }
+}

@@ -1,0 +1,96 @@
+//! Vector clocks for the happens-before analysis.
+//!
+//! One component per model thread. A clock `a` happens-before `b` iff
+//! `a ⊑ b` component-wise; two accesses race iff neither clock is ⊑ the
+//! other at the time of the second access. Only *comparisons* between
+//! clocks ever matter to the checker, which is what makes the per-column
+//! rank canonicalisation in the memo key sound (see `checker::state_key`).
+
+/// A fixed-width vector clock (one component per model thread).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock over `threads` components.
+    #[must_use]
+    pub fn new(threads: usize) -> VClock {
+        VClock(vec![0; threads])
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component `t`.
+    #[must_use]
+    pub fn get(&self, t: usize) -> u64 {
+        self.0[t]
+    }
+
+    /// Sets component `t` to `v`.
+    pub fn set(&mut self, t: usize, v: u64) {
+        self.0[t] = v;
+    }
+
+    /// Advances component `t` by one (a local step of thread `t`).
+    pub fn tick(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    /// Component-wise maximum (the join of two knowledge frontiers).
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self ⊑ other` component-wise (self happens-before other
+    /// when `self` is an event clock and `other` an observer's clock).
+    #[must_use]
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Resets every component to zero (a Relaxed store clearing the
+    /// synchronises-with payload of an atomic location).
+    pub fn clear(&mut self) {
+        self.0.fill(0);
+    }
+
+    /// The raw components, for canonicalisation.
+    #[must_use]
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        a.set(0, 2);
+        b.set(1, 5);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.components(), &[2, 5, 0]);
+    }
+
+    #[test]
+    fn tick_orders_successive_events() {
+        let mut c = VClock::new(2);
+        let before = c.clone();
+        c.tick(0);
+        assert!(before.leq(&c));
+        assert!(!c.leq(&before));
+    }
+}

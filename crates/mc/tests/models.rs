@@ -1,0 +1,254 @@
+//! End-to-end checks of the model checker against the five DACCE
+//! protocol models: the real orderings must verify clean, every mutant in
+//! the mutation suite must be caught with a concrete interleaving trace,
+//! and the R1/R3 rules must demonstrably have teeth.
+
+use dacce_mc::{
+    all_models, model, mutants, ring_drain_no_recheck, Access, Checker, Model, Ordering, Outcome,
+    ThreadDef, ViolationKind,
+};
+
+#[test]
+fn real_orderings_verify_clean() {
+    for m in all_models(&dacce_mc::Orderings::default()) {
+        let report = Checker::default().run(&m);
+        assert!(
+            report.clean(),
+            "{} must be race-free under the real orderings, got {:?}",
+            report.model,
+            report.violations
+        );
+        assert!(
+            report.interleavings > 0,
+            "{}: nothing explored",
+            report.model
+        );
+        assert!(report.transitions > 0, "{}: no transitions", report.model);
+    }
+}
+
+#[test]
+fn every_mutant_is_caught_with_a_trace() {
+    let suite = mutants();
+    assert_eq!(suite.len(), 5, "one mutant per protocol");
+    for mu in suite {
+        let m = model(mu.model, &mu.orderings).expect("mutant names a known model");
+        let report = Checker::default().run(&m);
+        assert!(
+            !report.clean(),
+            "mutant {}/{} ({}) must be caught",
+            mu.model,
+            mu.name,
+            mu.weakens
+        );
+        let v = &report.violations[0];
+        assert!(
+            matches!(v.kind, ViolationKind::StaleGate { .. }),
+            "{}/{}: weakened publish edges surface as stale gates, got {:?}",
+            mu.model,
+            mu.name,
+            v.kind
+        );
+        assert!(
+            !v.trace.is_empty(),
+            "{}/{}: violation must carry a concrete interleaving",
+            mu.model,
+            mu.name
+        );
+        assert!(
+            v.trace.last().unwrap().ends_with(&v.op),
+            "trace must end at the offending step"
+        );
+    }
+}
+
+#[test]
+fn mutants_stay_contained_to_models_sharing_the_constant() {
+    // Protocols 1–3 share the epoch publish/check constants, so a mutant
+    // of that pair is visible to all of them (`Mutant::affects` records
+    // the set); every model *outside* the set must stay clean.
+    for mu in mutants() {
+        assert!(
+            mu.affects.contains(&mu.model),
+            "a mutant must affect its own model"
+        );
+        for m in all_models(&mu.orderings) {
+            let report = Checker::default().run(&m);
+            if mu.affects.contains(&m.name.as_str()) {
+                assert!(
+                    !report.clean(),
+                    "mutant {} shares a constant with model {} and must be visible there",
+                    mu.name,
+                    report.model
+                );
+            } else {
+                assert!(
+                    report.clean(),
+                    "mutant {} leaked into unrelated model {}: {:?}",
+                    mu.name,
+                    report.model,
+                    report.violations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dropping_the_seqlock_recheck_is_caught_by_r3() {
+    let m = ring_drain_no_recheck(&dacce_mc::Orderings::default());
+    let report = Checker::default().run(&m);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::TornSeqlock { .. })),
+        "a drain without the stamp recheck must be able to consume torn words, got {:?}",
+        report.violations
+    );
+}
+
+/// A two-thread unsynchronised write/read on plain data: R1 must fire.
+#[test]
+fn unsynchronised_plain_data_access_is_a_data_race() {
+    let mut m = Model::new("plain-race", "two plain accesses, no synchronisation");
+    let cell = m.data("cell", 0);
+    let mut w = ThreadDef::new("writer");
+    w.op("write", Access::DataWrite(cell), |cx| {
+        cx.write(1);
+        Outcome::Done
+    });
+    m.push_thread(w);
+    let mut r = ThreadDef::new("reader");
+    r.op("read", Access::DataRead(cell), |cx| {
+        let _ = cx.read();
+        Outcome::Done
+    });
+    m.push_thread(r);
+    let report = Checker::default().run(&m);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::DataRace { .. })),
+        "expected a data race, got {:?}",
+        report.violations
+    );
+}
+
+/// The same accesses ordered by a mutex: R1 must stay quiet.
+#[test]
+fn mutex_ordered_plain_data_access_is_race_free() {
+    let mut m = Model::new("plain-locked", "two plain accesses under one mutex");
+    let cell = m.data("cell", 0);
+    let mx = m.mutex("guard");
+    let mut w = ThreadDef::new("writer");
+    w.op("lock", Access::Lock(mx), |_| Outcome::Next);
+    w.op("write", Access::DataWrite(cell), |cx| {
+        cx.write(1);
+        Outcome::Next
+    });
+    w.op("unlock", Access::Unlock(mx), |_| Outcome::Done);
+    m.push_thread(w);
+    let mut r = ThreadDef::new("reader");
+    r.op("lock", Access::Lock(mx), |_| Outcome::Next);
+    r.op("read", Access::DataRead(cell), |cx| {
+        let _ = cx.read();
+        Outcome::Next
+    });
+    r.op("unlock", Access::Unlock(mx), |_| Outcome::Done);
+    m.push_thread(r);
+    let report = Checker::default().run(&m);
+    assert!(
+        report.clean(),
+        "mutex orders the accesses: {:?}",
+        report.violations
+    );
+}
+
+/// A Release store / Acquire load pair orders downstream plain access.
+#[test]
+fn release_acquire_edge_orders_plain_data() {
+    let mut m = Model::new("rel-acq", "message passing via Release/Acquire");
+    let flag = m.publish_atomic("flag", 0);
+    let cell = m.data("cell", 0);
+    let mut w = ThreadDef::new("writer");
+    w.op("write", Access::DataWrite(cell), |cx| {
+        cx.write(42);
+        Outcome::Next
+    });
+    w.op(
+        "publish",
+        Access::AtomicStore(flag, Ordering::Release),
+        |cx| {
+            cx.store(1);
+            Outcome::Done
+        },
+    );
+    m.push_thread(w);
+    let mut r = ThreadDef::new("reader");
+    r.gate("check", Access::AtomicLoad(flag, Ordering::Acquire), |cx| {
+        if cx.load() == 0 {
+            Outcome::Done
+        } else {
+            Outcome::Next
+        }
+    });
+    r.op("read", Access::DataRead(cell), |cx| {
+        let v = cx.read();
+        cx.check(v == 42, "published value visible");
+        Outcome::Done
+    });
+    m.push_thread(r);
+    let report = Checker::default().run(&m);
+    assert!(report.clean(), "{:?}", report.violations);
+}
+
+/// Lock-order inversion across two mutexes: the checker must report the
+/// deadlock with the interleaving that produces it.
+#[test]
+fn lock_order_inversion_reports_deadlock() {
+    let mut m = Model::new("deadlock", "AB/BA lock-order inversion");
+    let a = m.mutex("a");
+    let b = m.mutex("b");
+    let mut t0 = ThreadDef::new("ab");
+    t0.op("lock-a", Access::Lock(a), |_| Outcome::Next);
+    t0.op("lock-b", Access::Lock(b), |_| Outcome::Next);
+    t0.op("unlock-b", Access::Unlock(b), |_| Outcome::Next);
+    t0.op("unlock-a", Access::Unlock(a), |_| Outcome::Done);
+    m.push_thread(t0);
+    let mut t1 = ThreadDef::new("ba");
+    t1.op("lock-b", Access::Lock(b), |_| Outcome::Next);
+    t1.op("lock-a", Access::Lock(a), |_| Outcome::Next);
+    t1.op("unlock-a", Access::Unlock(a), |_| Outcome::Next);
+    t1.op("unlock-b", Access::Unlock(b), |_| Outcome::Done);
+    m.push_thread(t1);
+    let report = Checker::default().run(&m);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Deadlock)),
+        "expected a deadlock, got {:?}",
+        report.violations
+    );
+}
+
+/// Exploration must be fast enough for CI: all five models plus the full
+/// mutation suite in well under the 60-second budget.
+#[test]
+fn full_suite_explores_quickly() {
+    let start = std::time::Instant::now();
+    for m in all_models(&dacce_mc::Orderings::default()) {
+        let _ = Checker::default().run(&m);
+    }
+    for mu in mutants() {
+        let m = model(mu.model, &mu.orderings).unwrap();
+        let _ = Checker::default().run(&m);
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "exploration blew the CI budget: {:?}",
+        start.elapsed()
+    );
+}

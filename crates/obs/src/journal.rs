@@ -7,9 +7,10 @@
 //! constructing anything. Draining collects each ring's published records
 //! and merges them by sequence number into one ordered stream.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
+
+use dacce_sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 
 use crate::event::{EventKind, EventRecord};
 use crate::ring::EventRing;
@@ -57,7 +58,7 @@ impl std::fmt::Debug for Journal {
         f.debug_struct("Journal")
             .field("enabled", &self.enabled())
             .field("config", &self.config)
-            .field("writers", &self.rings.lock().map_or(0, |r| r.len()))
+            .field("writers", &self.rings.lock().len())
             .finish_non_exhaustive()
     }
 }
@@ -105,10 +106,7 @@ impl Journal {
     #[must_use]
     pub fn writer(self: &Arc<Self>, tid: u32) -> JournalWriter {
         let ring = Arc::new(EventRing::new(self.config.ring_capacity));
-        self.rings
-            .lock()
-            .expect("journal ring registry poisoned")
-            .push(Arc::clone(&ring));
+        self.rings.lock().push(Arc::clone(&ring));
         JournalWriter {
             journal: Arc::clone(self),
             ring,
@@ -120,11 +118,7 @@ impl Journal {
     /// by global sequence number.
     #[must_use]
     pub fn drain(&self) -> JournalBatch {
-        let rings: Vec<Arc<EventRing>> = self
-            .rings
-            .lock()
-            .expect("journal ring registry poisoned")
-            .clone();
+        let rings: Vec<Arc<EventRing>> = self.rings.lock().clone();
         let mut events = Vec::new();
         let mut dropped = 0;
         for ring in rings {

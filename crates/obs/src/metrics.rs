@@ -8,8 +8,7 @@
 //! which covers the full `u64` range in 65 buckets — good enough for
 //! latencies, costs and depths that span orders of magnitude.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use dacce_sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
 const COUNTER_SHARDS: usize = 8;
 /// Bucket `i` counts values whose `floor(log2(v)) + 1 == i`; bucket 0 is
@@ -340,7 +339,7 @@ impl MetricsRegistry {
     /// Records (or replaces) the dictionary table row for a generation
     /// and updates the current `maxID` gauge.
     pub fn record_generation(&self, info: GenerationInfo) {
-        let mut table = self.generations.lock().expect("generation table poisoned");
+        let mut table = self.generations.lock();
         if let Some(row) = table.iter_mut().find(|g| g.generation == info.generation) {
             *row = info;
         } else {
@@ -384,11 +383,7 @@ impl MetricsRegistry {
             cc_depth: self.cc_depth.snapshot(),
             sampled_ids: self.sampled_ids.snapshot(),
             id_headroom: IdHeadroom::for_max_id(self.max_id.load(Ordering::Relaxed)),
-            generations: self
-                .generations
-                .lock()
-                .expect("generation table poisoned")
-                .clone(),
+            generations: self.generations.lock().clone(),
             journal_dropped: 0,
         }
     }

@@ -10,7 +10,7 @@
 //! The ring never blocks the producer: when full it overwrites the oldest
 //! slot, and the drain accounts for the overwritten records as drops.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use dacce_sync::{fence, protocol, AtomicU64, Ordering};
 
 use crate::event::{EventRecord, WORDS};
 
@@ -72,15 +72,15 @@ impl EventRing {
         let h = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(h & self.mask) as usize];
         // Mark busy so a concurrent drainer rejects the slot.
-        slot.stamp.store(2 * h + 1, Ordering::Release);
+        slot.stamp.store(2 * h + 1, protocol::RING_STAMP_BUSY);
         let words = record.to_words();
         for (cell, word) in slot.words.iter().zip(words) {
-            cell.store(word, Ordering::Relaxed);
+            cell.store(word, protocol::RING_WORD_ACCESS);
         }
         // Publish: even stamp first, then head, both release so a drainer
         // that observes the new head sees the published words.
-        slot.stamp.store(2 * h + 2, Ordering::Release);
-        self.head.store(h + 1, Ordering::Release);
+        slot.stamp.store(2 * h + 2, protocol::RING_STAMP_PUBLISH);
+        self.head.store(h + 1, protocol::RING_HEAD_PUBLISH);
     }
 
     /// Drains all records published since the previous drain into `out`,
@@ -88,7 +88,7 @@ impl EventRing {
     /// a racing writer). Single-consumer: callers serialise externally.
     #[allow(clippy::cast_possible_truncation)]
     pub fn drain_into(&self, out: &mut Vec<EventRecord>) -> u64 {
-        let head = self.head.load(Ordering::Acquire);
+        let head = self.head.load(protocol::RING_HEAD_READ);
         let already = self.drained.load(Ordering::Relaxed);
         let cap = self.mask + 1;
         // Oldest record still guaranteed resident.
@@ -97,17 +97,17 @@ impl EventRing {
         for i in lo..head {
             let slot = &self.slots[(i & self.mask) as usize];
             let expect = 2 * i + 2;
-            if slot.stamp.load(Ordering::Acquire) != expect {
+            if slot.stamp.load(protocol::RING_STAMP_VALIDATE) != expect {
                 dropped += 1;
                 continue;
             }
             let mut words = [0u64; WORDS];
             for (word, cell) in words.iter_mut().zip(&slot.words) {
-                *word = cell.load(Ordering::Relaxed);
+                *word = cell.load(protocol::RING_WORD_ACCESS);
             }
             // Order the word loads before the validating stamp re-read.
-            fence(Ordering::Acquire);
-            if slot.stamp.load(Ordering::Relaxed) != expect {
+            fence(protocol::RING_VALIDATE_FENCE);
+            if slot.stamp.load(protocol::RING_STAMP_RECHECK) != expect {
                 dropped += 1;
                 continue;
             }

@@ -1,0 +1,77 @@
+//! The instrumentation hook every shim operation reports to under `mc`.
+//!
+//! A [`SyncHook`] is registered process-globally. With the `mc` feature
+//! enabled, each operation on a shim primitive emits one [`SyncEvent`]
+//! *before* executing, carrying the operation kind, the address of the
+//! primitive (a stable identity for the location) and the `Ordering` the
+//! call site declared. With the feature disabled, registration still
+//! works but nothing ever emits — the passthrough types are raw std /
+//! `parking_lot` re-exports.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+
+/// What kind of synchronisation operation an event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SyncOp {
+    /// An atomic load.
+    Load,
+    /// An atomic store.
+    Store,
+    /// An atomic read-modify-write (`swap`, `fetch_add`, `fetch_sub`,
+    /// `fetch_max`, successful `compare_exchange`).
+    Rmw,
+    /// A standalone memory fence.
+    Fence,
+    /// A lock acquisition (mutex `lock`, or a successful `try_lock`).
+    LockAcquire,
+    /// A lock release (guard drop).
+    LockRelease,
+}
+
+/// One reported synchronisation operation.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncEvent {
+    /// Operation kind.
+    pub op: SyncOp,
+    /// Stable identity of the primitive: its address. Distinguishes
+    /// locations for the lifetime of the object, which is all a tracer or
+    /// checker needs within one run.
+    pub loc: usize,
+    /// The `Ordering` the call site declared (for locks: `Acquire` on
+    /// acquisition, `Release` on release).
+    pub order: Ordering,
+}
+
+/// A registered observer of shim operations.
+pub trait SyncHook: Send + Sync {
+    /// Called before each instrumented operation executes.
+    fn on_sync(&self, event: &SyncEvent);
+}
+
+fn registry() -> &'static RwLock<Option<Arc<dyn SyncHook>>> {
+    static REGISTRY: RwLock<Option<Arc<dyn SyncHook>>> = RwLock::new(None);
+    &REGISTRY
+}
+
+/// Installs `hook` as the process-global observer, replacing any previous
+/// one. Under the `mc` feature every subsequent shim operation in any
+/// thread reports to it; without the feature this is inert bookkeeping.
+pub fn set_hook(hook: Arc<dyn SyncHook>) {
+    *registry().write().expect("sync hook registry poisoned") = Some(hook);
+}
+
+/// Removes the process-global observer, if any.
+pub fn clear_hook() {
+    *registry().write().expect("sync hook registry poisoned") = None;
+}
+
+/// Emits one event to the registered hook, if any. Used by the
+/// instrumented primitives; public so external wrappers can participate.
+pub fn emit(op: SyncOp, loc: usize, order: Ordering) {
+    let guard = registry().read().expect("sync hook registry poisoned");
+    if let Some(hook) = guard.as_ref() {
+        hook.on_sync(&SyncEvent { op, loc, order });
+    }
+}

@@ -1,0 +1,206 @@
+//! Hook-instrumented primitives, compiled under the `mc` feature.
+//!
+//! Each type mirrors the API subset of its std / `parking_lot`
+//! counterpart that the workspace uses, emits one [`hook`] event per
+//! operation — carrying the declared `Ordering` — and then performs the
+//! real operation, so instrumented builds stay fully functional (the
+//! scheduler of a checker decides *when* a thread runs, not *what* the
+//! operation does).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+
+use crate::hook::{self, SyncOp};
+
+macro_rules! instrumented_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new instrumented atomic.
+            #[must_use]
+            pub const fn new(value: $prim) -> Self {
+                Self { inner: <$std>::new(value) }
+            }
+
+            fn loc(&self) -> usize {
+                std::ptr::from_ref(self) as usize
+            }
+
+            /// Instrumented load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                hook::emit(SyncOp::Load, self.loc(), order);
+                self.inner.load(order)
+            }
+
+            /// Instrumented store.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                hook::emit(SyncOp::Store, self.loc(), order);
+                self.inner.store(value, order);
+            }
+
+            /// Instrumented swap.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                hook::emit(SyncOp::Rmw, self.loc(), order);
+                self.inner.swap(value, order)
+            }
+
+            /// Instrumented compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                hook::emit(SyncOp::Rmw, self.loc(), success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            #[must_use]
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_fetch_ops {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Instrumented fetch-add.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                hook::emit(SyncOp::Rmw, self.loc(), order);
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Instrumented fetch-sub.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                hook::emit(SyncOp::Rmw, self.loc(), order);
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Instrumented fetch-max.
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                hook::emit(SyncOp::Rmw, self.loc(), order);
+                self.inner.fetch_max(value, order)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    /// Instrumented `AtomicBool` (see [`std::sync::atomic::AtomicBool`]).
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+instrumented_atomic!(
+    /// Instrumented `AtomicU32` (see [`std::sync::atomic::AtomicU32`]).
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+instrumented_atomic!(
+    /// Instrumented `AtomicU64` (see [`std::sync::atomic::AtomicU64`]).
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+instrumented_atomic!(
+    /// Instrumented `AtomicUsize` (see [`std::sync::atomic::AtomicUsize`]).
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+instrumented_fetch_ops!(AtomicU32, u32);
+instrumented_fetch_ops!(AtomicU64, u64);
+instrumented_fetch_ops!(AtomicUsize, usize);
+
+/// Instrumented memory fence.
+pub fn fence(order: Ordering) {
+    hook::emit(SyncOp::Fence, 0, order);
+    std::sync::atomic::fence(order);
+}
+
+/// Instrumented mutex wrapping `parking_lot::Mutex`: acquisition and
+/// release (guard drop) each report to the hook.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new instrumented mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn loc(&self) -> usize {
+        std::ptr::from_ref(self).cast::<u8>() as usize
+    }
+
+    /// Instrumented blocking acquisition.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        hook::emit(SyncOp::LockAcquire, self.loc(), Ordering::Acquire);
+        MutexGuard {
+            loc: self.loc(),
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Instrumented non-blocking acquisition (reported only on success).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let guard = self.inner.try_lock()?;
+        hook::emit(SyncOp::LockAcquire, self.loc(), Ordering::Acquire);
+        Some(MutexGuard {
+            loc: self.loc(),
+            inner: guard,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; reports the release on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    loc: usize,
+    inner: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        hook::emit(SyncOp::LockRelease, self.loc, Ordering::Release);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dacce-sync — the synchronisation shim
+//!
+//! Every atomic load/store/RMW, fence and lock acquire/release on the
+//! DACCE runtime's lock-free protocols routes through this crate instead
+//! of touching `std::sync::atomic` / `parking_lot` directly:
+//!
+//! * **`mc` feature off** (the default): the shim is a set of *direct
+//!   re-exports* — `AtomicU64` literally *is* `std::sync::atomic::AtomicU64`
+//!   and `Mutex` *is* `parking_lot::Mutex`. Zero cost, zero indirection;
+//!   the compiled fast path is bit-identical to before the shim existed.
+//! * **`mc` feature on**: the same names resolve to thin wrappers that
+//!   report every operation — with its *declared* [`Ordering`] — to a
+//!   registered [`SyncHook`] before performing it for real. This is the
+//!   instrumentation layer the `dacce-mc` model checker and trace tools
+//!   build on.
+//!
+//! The [`protocol`] module names the `Ordering` of every release/acquire
+//! pair in the runtime's five lock-free protocols. Production code uses
+//! these constants at its call sites and the `dacce-mc` bounded protocol
+//! models are parameterised over the very same constants, so a model
+//! checks exactly the orderings the runtime executes — and a mutation that
+//! weakens one constant weakens both sides of the proof in lock step.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "mc"))]
+mod passthrough {
+    pub use parking_lot::{Mutex, MutexGuard};
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+}
+#[cfg(not(feature = "mc"))]
+pub use passthrough::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard};
+
+#[cfg(feature = "mc")]
+mod instrumented;
+#[cfg(feature = "mc")]
+pub use instrumented::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Mutex, MutexGuard};
+
+pub mod hook;
+pub mod protocol;
+
+pub use hook::{clear_hook, set_hook, SyncEvent, SyncHook, SyncOp};

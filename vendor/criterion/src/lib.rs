@@ -187,6 +187,7 @@ impl fmt::Display for BenchmarkId {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Bench-group entry point generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
