@@ -2,13 +2,14 @@
 """Perf gate: compare a freshly benched CSV against its checked-in baseline.
 
 Usage: perf_gate.py BASELINE.csv CANDIDATE.csv [--threshold 0.25]
+       perf_gate.py --ratio RESULTS.csv [--threshold 0.03]
 
 Both files are the per-op CSVs the quick-mode benches record
 (`results/dispatch.csv`, `results/tracker_scale.csv`): a header row, then
 one row per variant whose *last* column is the per-op nanosecond figure and
 whose remaining columns form the variant key.
 
-The gate fails (exit 1) when
+In the default two-file mode the gate fails (exit 1) when
 
 * any baseline variant is missing from the candidate (a bench leg
   silently disappeared), or
@@ -18,6 +19,13 @@ The gate fails (exit 1) when
 Variants new in the candidate are reported but never fail the gate, and
 improvements are simply printed — the checked-in baseline is only ratcheted
 down by re-recording it deliberately.
+
+In `--ratio` mode a single freshly benched CSV is checked against itself:
+rows whose last key column is the on-tag (default `on`) are paired with
+the row sharing every other key column but tagged with the off-tag
+(default `off`), and the gate fails when any `on` time exceeds its `off`
+partner by more than the threshold (default 3%, the continuous profiler's
+overhead budget), or when either side of a pair is missing.
 """
 
 import argparse
@@ -40,13 +48,70 @@ def load(path):
     return out
 
 
+def ratio_gate(args):
+    """On/off self-comparison of one CSV (see module docstring)."""
+    threshold = args.threshold if args.threshold is not None else 0.03
+    rows = load(args.baseline)
+    on = {k[:-1]: v for k, v in rows.items() if k[-1] == args.on_tag}
+    off = {k[:-1]: v for k, v in rows.items() if k[-1] == args.off_tag}
+    if not on and not off:
+        sys.exit(f"perf-gate: {args.baseline}: no "
+                 f"{args.on_tag!r}/{args.off_tag!r} rows to pair")
+
+    failures = []
+    print(f"perf-gate: {args.baseline} {args.on_tag} vs {args.off_tag} "
+          f"(threshold +{threshold:.0%})")
+    for key in sorted(set(on) | set(off)):
+        name = "/".join(key) or "(all)"
+        if key not in on or key not in off:
+            tag = args.on_tag if key not in on else args.off_tag
+            failures.append(f"{name}: no {tag!r} row to pair")
+            print(f"  {name:<24} UNPAIRED (missing {tag!r})")
+            continue
+        o, f = on[key], off[key]
+        ratio = o / f if f > 0 else (1.0 if o == 0 else float("inf"))
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {args.on_tag} {o:.2f} ns/op vs "
+                f"{args.off_tag} {f:.2f} ({ratio - 1.0:+.1%})")
+        print(f"  {name:<24} {f:>10.2f} -> {o:>10.2f} ns/op  "
+              f"({ratio - 1.0:+7.1%})  {verdict}")
+
+    if failures:
+        print("perf-gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf-gate: ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("candidate")
-    ap.add_argument("--threshold", type=float, default=0.25,
-                    help="allowed fractional per-op regression (default 0.25)")
+    ap.add_argument("candidate", nargs="?")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="allowed fractional per-op regression "
+                         "(default 0.25, or 0.03 in --ratio mode)")
+    ap.add_argument("--ratio", action="store_true",
+                    help="self-compare one CSV: pair rows by key, gating "
+                         "on-tag rows against their off-tag partners")
+    ap.add_argument("--on-tag", default="on",
+                    help="variant tag of the gated rows (default 'on')")
+    ap.add_argument("--off-tag", default="off",
+                    help="variant tag of the reference rows (default 'off')")
     args = ap.parse_args()
+
+    if args.ratio:
+        if args.candidate is not None:
+            ap.error("--ratio takes a single CSV")
+        return ratio_gate(args)
+    if args.candidate is None:
+        ap.error("two-file mode needs BASELINE and CANDIDATE")
+    if args.threshold is None:
+        args.threshold = 0.25
 
     base = load(args.baseline)
     cand = load(args.candidate)

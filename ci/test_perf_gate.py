@@ -4,7 +4,10 @@
 Covers the gate's full decision table: a baseline variant missing from
 the candidate, a regression past the threshold, an improvement (never
 gated), a variant new in the candidate (reported, never gated), and the
-zero-baseline hard pin used for cold-start trap counts.
+zero-baseline hard pin used for cold-start trap counts. The `--ratio`
+self-comparison mode (the continuous profiler's 3% on/off overhead
+budget) gets its own table: within budget, past budget, an unpaired
+row, and a custom threshold.
 
 Run directly (`python3 ci/test_perf_gate.py`) or via unittest discovery
 (`python3 -m unittest discover ci`); CI runs it in the model-check job.
@@ -134,6 +137,51 @@ class PerfGateTest(unittest.TestCase):
         finally:
             sys.argv = old_argv
         self.assertIn("no data rows", str(cm.exception))
+
+    def run_ratio_gate(self, rows, threshold=None,
+                       header=("threads", "sampling", "per_op_ns")):
+        """Runs perf_gate.main() in --ratio mode on one in-tempdir CSV."""
+        path = write_csv(self.dir, "ratio.csv", [list(header)] + rows)
+        argv = ["perf_gate.py", "--ratio", path]
+        if threshold is not None:
+            argv += ["--threshold", str(threshold)]
+        out = io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(out):
+                code = perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue()
+
+    def test_ratio_within_budget_passes(self):
+        rows = [["1", "off", "43.41"], ["1", "on", "44.48"],  # +2.5%
+                ["4", "off", "46.76"], ["4", "on", "47.72"]]  # +2.1%
+        code, out = self.run_ratio_gate(rows)
+        self.assertEqual(code, 0)
+        self.assertIn("perf-gate: ok", out)
+
+    def test_ratio_past_budget_fails(self):
+        rows = [["1", "off", "40.0"], ["1", "on", "41.0"],   # +2.5%
+                ["4", "off", "40.0"], ["4", "on", "42.0"]]   # +5.0% > 3%
+        code, out = self.run_ratio_gate(rows)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("perf-gate: FAIL", out)
+
+    def test_ratio_unpaired_row_fails(self):
+        rows = [["1", "off", "40.0"], ["1", "on", "40.5"],
+                ["4", "on", "41.0"]]  # no off partner
+        code, out = self.run_ratio_gate(rows)
+        self.assertEqual(code, 1)
+        self.assertIn("UNPAIRED", out)
+
+    def test_ratio_custom_threshold_is_honoured(self):
+        rows = [["1", "off", "40.0"], ["1", "on", "42.0"]]  # +5%
+        code, _ = self.run_ratio_gate(rows, threshold=0.10)
+        self.assertEqual(code, 0)
+        code, _ = self.run_ratio_gate(rows, threshold=0.03)
+        self.assertEqual(code, 1)
 
     def test_non_numeric_per_op_value_is_a_hard_error(self):
         base = write_csv(self.dir, "base.csv",

@@ -2,6 +2,7 @@
 //!
 //! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] <export-file>...`
 //! or: `dacce-lint --fleet <tenant-export> <twin-export>`
+//! or: `dacce-lint --postmortem <dump-file> [<export-file>...]`
 //! or: `dacce-lint --list-rules`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
@@ -18,6 +19,10 @@
 //! With `--fleet`, exactly two exports are expected — a shared-lineage
 //! fleet tenant and its standalone twin — and the pair is cross-checked
 //! for identity (rule `fleet-twin`) on top of the per-file audits.
+//! With `--postmortem`, a flight-recorder dump (`dacce-postmortem v1`,
+//! see `dacce::DacceEngine::postmortem`) is validated for structure and
+//! internal consistency (rules `postmortem-*`); export files are then
+//! optional.
 //! With `--list-rules`, prints the full rule catalogue (id, severity,
 //! enabling flag, invariant) and exits. Exits non-zero if any file fails
 //! to parse or any finding — error **or** warning severity — is reported
@@ -27,10 +32,12 @@ use std::process::ExitCode;
 
 use dacce_analyze::lint;
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
+use dacce_analyze::postmortem::verify_postmortem;
 use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export, verify_fleet_twin};
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
+    let mut postmortem: Option<String> = None;
     let mut dispatch = false;
     let mut degraded = false;
     let mut fleet = false;
@@ -53,6 +60,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--postmortem" {
+            match args.next() {
+                Some(path) => postmortem = Some(path),
+                None => {
+                    eprintln!("--postmortem requires a file path");
+                    return ExitCode::from(2);
+                }
+            }
         } else if arg == "--dispatch" {
             dispatch = true;
         } else if arg == "--degraded" {
@@ -63,10 +78,11 @@ fn main() -> ExitCode {
             files.push(arg);
         }
     }
-    if files.is_empty() {
+    if files.is_empty() && postmortem.is_none() {
         eprintln!(
             "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] \
-             <export-file>... | dacce-lint --fleet <tenant-export> <twin-export>"
+             [--postmortem <dump-file>] <export-file>... \
+             | dacce-lint --fleet <tenant-export> <twin-export>"
         );
         return ExitCode::from(2);
     }
@@ -99,6 +115,29 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    if let Some(path) = &postmortem {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let diags = verify_postmortem(&text);
+                for d in &diags {
+                    println!("{path}: {d}");
+                    if d.is_error() {
+                        errors += 1;
+                    } else {
+                        warnings += 1;
+                    }
+                }
+                if diags.is_empty() {
+                    println!("{path}: postmortem ok");
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                errors += 1;
+            }
+        }
+    }
 
     let mut decoders = Vec::with_capacity(files.len());
     for file in &files {

@@ -19,7 +19,9 @@
 //!
 //! The `dacce-lint` binary in this crate audits `dacce-export v1` engine
 //! state files with the verifier and is wired into CI over the workload
-//! suite.
+//! suite; it also validates flight-recorder postmortem dumps
+//! ([`postmortem`], `--postmortem`). The `dacce-flame` binary merges
+//! collapsed-stack flame exports and decodes journal JSON into them.
 
 #![warn(missing_docs)]
 
@@ -27,6 +29,7 @@ pub mod graph;
 pub mod lint;
 pub mod metrics;
 pub mod passes;
+pub mod postmortem;
 pub mod verifier;
 pub mod warm;
 
@@ -34,5 +37,6 @@ pub use graph::{build_static_graph, StaticGraph};
 pub use lint::{Diagnostic, Severity};
 pub use metrics::{verify_metrics, PromDoc, PromSample};
 pub use passes::{analyze, StaticAnalysis, TailAnalysis};
+pub use postmortem::{parse_postmortem, verify_postmortem, Postmortem};
 pub use verifier::{verify_dicts, verify_engine, verify_export};
 pub use warm::warm_seed;

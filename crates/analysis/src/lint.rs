@@ -174,6 +174,24 @@ pub const RULES: &[RuleInfo] = &[
         summary: "every dictionary edge was warm-seeded or trap-discovered",
         enabled_by: "--metrics",
     },
+    RuleInfo {
+        id: "postmortem-format",
+        severity: Severity::Error,
+        summary: "a flight-recorder dump is a well-formed `dacce-postmortem v1` document",
+        enabled_by: "--postmortem",
+    },
+    RuleInfo {
+        id: "postmortem-spans",
+        severity: Severity::Error,
+        summary: "the dump's span table matches its declared count and every span is valid",
+        enabled_by: "--postmortem",
+    },
+    RuleInfo {
+        id: "postmortem-consistent",
+        severity: Severity::Error,
+        summary: "declared totals match the dump body and the generation table is monotone",
+        enabled_by: "--postmortem",
+    },
 ];
 
 /// Maps finding counts to the `dacce-lint` process exit code.

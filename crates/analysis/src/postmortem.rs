@@ -1,0 +1,551 @@
+//! Validator for the flight-recorder postmortem format (`dacce-postmortem v1`).
+//!
+//! The runtime dumps a postmortem when it first enters degraded mode,
+//! exhausts its re-encode retries, or is asked to via `force_postmortem`.
+//! The dump is a small versioned text document: a key=value header, the
+//! degraded-state counters, the generation table, the last re-encode
+//! spans, and the peeked journal events as JSON. This module parses the
+//! document and checks its internal consistency, reporting findings as
+//! [`Diagnostic`]s under three rules:
+//!
+//! - `postmortem-format` — the document is structurally well-formed:
+//!   version header, required keys in order, section order, exact CSV
+//!   headers, parseable events JSON.
+//! - `postmortem-spans` — the span table matches its declared count, is
+//!   bounded by the recorder's window, and every row is a valid stitched
+//!   span (`applied` is a flag, `begin_seq < end_seq`).
+//! - `postmortem-consistent` — declared totals match the body: event
+//!   count, monotone generation table, and the last generation row does
+//!   not run ahead of the header's generation/max-id.
+
+use dacce_obs::{events_from_json, EventRecord};
+
+use crate::lint::{Diagnostic, Severity};
+
+/// Upper bound on span rows a v1 postmortem may carry (the recorder keeps
+/// the last 32 re-encode spans).
+pub const POSTMORTEM_MAX_SPANS: usize = 32;
+
+const HEADER: &str = "# dacce-postmortem v1";
+const HEADER_KEYS: [&str; 6] = [
+    "reason",
+    "generation",
+    "max_id",
+    "spans",
+    "events",
+    "dropped",
+];
+const DEGRADED_KEYS: [&str; 9] = [
+    "active",
+    "trap_nodes",
+    "degraded_traps",
+    "reencode_retries",
+    "cc_spill_events",
+    "cc_spilled_peak",
+    "lock_poisonings",
+    "slot_failures",
+    "batch_errors",
+];
+const GENERATIONS_CSV: &str = "generation,nodes,edges,max_id,cost";
+const SPANS_CSV: &str = "tid,from,to,applied,cost,begin_seq,end_seq,pause_ns";
+
+/// One row of the postmortem's generation table.
+#[derive(Clone, Copy, Debug)]
+pub struct GenerationRow {
+    /// Encoding generation (the dictionary's `gTimeStamp`).
+    pub generation: u64,
+    /// Nodes in that generation's encoded graph.
+    pub nodes: u64,
+    /// Encoded edges in that generation.
+    pub edges: u64,
+    /// The generation's `maxID`.
+    pub max_id: u64,
+    /// Cost charged for producing the generation.
+    pub cost: u64,
+}
+
+/// One row of the postmortem's re-encode span table.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanRow {
+    /// Thread that ran the re-encode.
+    pub tid: u64,
+    /// Generation the span started from.
+    pub from: u64,
+    /// Generation the span ended at.
+    pub to: u64,
+    /// 1 when the re-encode applied, 0 when it aborted.
+    pub applied: u64,
+    /// Cost charged for the span.
+    pub cost: u64,
+    /// Journal sequence number of the begin event.
+    pub begin_seq: u64,
+    /// Journal sequence number of the end event.
+    pub end_seq: u64,
+    /// Wall-clock pause attributed to the span, in nanoseconds.
+    pub pause_ns: u64,
+}
+
+/// A parsed `dacce-postmortem v1` document.
+#[derive(Clone, Debug)]
+pub struct Postmortem {
+    /// Why the dump was captured (e.g. `degraded-entry`).
+    pub reason: String,
+    /// Encoding generation at capture time.
+    pub generation: u64,
+    /// `maxID` at capture time.
+    pub max_id: u64,
+    /// Declared number of span rows.
+    pub spans_declared: u64,
+    /// Declared number of journal events.
+    pub events_declared: u64,
+    /// Events the journal had dropped by capture time.
+    pub dropped: u64,
+    /// The `[degraded]` counters, in file order.
+    pub degraded: Vec<(String, u64)>,
+    /// The `[generations]` table rows.
+    pub generations: Vec<GenerationRow>,
+    /// The `[spans]` table rows.
+    pub spans: Vec<SpanRow>,
+    /// The `[events]` journal records.
+    pub events: Vec<EventRecord>,
+}
+
+impl Postmortem {
+    /// The value of one `[degraded]` counter, if present.
+    #[must_use]
+    pub fn degraded_counter(&self, key: &str) -> Option<u64> {
+        self.degraded
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+}
+
+fn format_error(message: String) -> Diagnostic {
+    Diagnostic {
+        rule: "postmortem-format",
+        severity: Severity::Error,
+        ts: None,
+        message,
+        witness: Vec::new(),
+    }
+}
+
+fn parse_kv<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected `{key}=...`, found {line:?}"))
+}
+
+fn parse_u64(line: &str, key: &str) -> Result<u64, String> {
+    let value = parse_kv(line, key)?;
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("`{key}` is not an unsigned integer: {value:?}"))
+}
+
+fn parse_csv_row<const N: usize>(line: &str, header: &str) -> Result<[u64; N], String> {
+    let mut out = [0u64; N];
+    let mut fields = line.split(',');
+    for slot in &mut out {
+        let field = fields
+            .next()
+            .ok_or_else(|| format!("row {line:?} has fewer fields than `{header}`"))?;
+        *slot = field
+            .parse::<u64>()
+            .map_err(|_| format!("non-numeric field {field:?} in row {line:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("row {line:?} has more fields than `{header}`"));
+    }
+    Ok(out)
+}
+
+/// Parses a `dacce-postmortem v1` document, or explains why it is
+/// malformed. Semantic checks live in [`verify_postmortem`]; this only
+/// enforces structure.
+pub fn parse_postmortem(text: &str) -> Result<Postmortem, String> {
+    let mut lines = text.lines();
+    let first = lines.next().ok_or("empty postmortem document")?;
+    if first != HEADER {
+        return Err(format!("missing `{HEADER}` header, found {first:?}"));
+    }
+
+    let mut next = || lines.next().ok_or("document truncated".to_string());
+
+    let reason = parse_kv(next()?, "reason")?.to_string();
+    let mut header = [0u64; 5];
+    for (slot, key) in header.iter_mut().zip(&HEADER_KEYS[1..]) {
+        *slot = parse_u64(next()?, key)?;
+    }
+    let [generation, max_id, spans_declared, events_declared, dropped] = header;
+
+    let section = next()?;
+    if section != "[degraded]" {
+        return Err(format!("expected `[degraded]`, found {section:?}"));
+    }
+    let mut degraded = Vec::with_capacity(DEGRADED_KEYS.len());
+    for key in DEGRADED_KEYS {
+        degraded.push((key.to_string(), parse_u64(next()?, key)?));
+    }
+
+    let section = next()?;
+    if section != "[generations]" {
+        return Err(format!("expected `[generations]`, found {section:?}"));
+    }
+    let csv = next()?;
+    if csv != GENERATIONS_CSV {
+        return Err(format!("expected `{GENERATIONS_CSV}`, found {csv:?}"));
+    }
+    let mut generations = Vec::new();
+    let spans_line = loop {
+        let line = next()?;
+        if line == "[spans]" {
+            break line;
+        }
+        let [generation, nodes, edges, max_id, cost] = parse_csv_row(line, GENERATIONS_CSV)?;
+        generations.push(GenerationRow {
+            generation,
+            nodes,
+            edges,
+            max_id,
+            cost,
+        });
+    };
+    debug_assert_eq!(spans_line, "[spans]");
+    let csv = next()?;
+    if csv != SPANS_CSV {
+        return Err(format!("expected `{SPANS_CSV}`, found {csv:?}"));
+    }
+    let mut spans = Vec::new();
+    loop {
+        let line = next()?;
+        if line == "[events]" {
+            break;
+        }
+        let [tid, from, to, applied, cost, begin_seq, end_seq, pause_ns] =
+            parse_csv_row(line, SPANS_CSV)?;
+        spans.push(SpanRow {
+            tid,
+            from,
+            to,
+            applied,
+            cost,
+            begin_seq,
+            end_seq,
+            pause_ns,
+        });
+    }
+    let events_text: String = lines.collect::<Vec<_>>().join("\n");
+    let events = events_from_json(&events_text)?;
+
+    Ok(Postmortem {
+        reason,
+        generation,
+        max_id,
+        spans_declared,
+        events_declared,
+        dropped,
+        degraded,
+        generations,
+        spans,
+        events,
+    })
+}
+
+/// Validates a postmortem document end to end: parses it (reporting any
+/// structural problem under `postmortem-format`) and, when it parses,
+/// checks the span table (`postmortem-spans`) and cross-section
+/// consistency (`postmortem-consistent`).
+#[must_use]
+pub fn verify_postmortem(text: &str) -> Vec<Diagnostic> {
+    let pm = match parse_postmortem(text) {
+        Ok(pm) => pm,
+        Err(e) => return vec![format_error(e)],
+    };
+    let mut out = Vec::new();
+    let mut err = |rule: &'static str, message: String| {
+        out.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            ts: None,
+            message,
+            witness: Vec::new(),
+        });
+    };
+
+    // --- postmortem-spans -------------------------------------------------
+    if pm.spans.len() as u64 != pm.spans_declared {
+        err(
+            "postmortem-spans",
+            format!(
+                "header declares spans={} but the table has {} rows",
+                pm.spans_declared,
+                pm.spans.len()
+            ),
+        );
+    }
+    if pm.spans.len() > POSTMORTEM_MAX_SPANS {
+        err(
+            "postmortem-spans",
+            format!(
+                "span table has {} rows; the recorder keeps at most {POSTMORTEM_MAX_SPANS}",
+                pm.spans.len()
+            ),
+        );
+    }
+    for (i, span) in pm.spans.iter().enumerate() {
+        if span.applied > 1 {
+            err(
+                "postmortem-spans",
+                format!("span row {i}: applied={} is not a 0/1 flag", span.applied),
+            );
+        }
+        if span.begin_seq >= span.end_seq {
+            err(
+                "postmortem-spans",
+                format!(
+                    "span row {i}: begin_seq={} does not precede end_seq={}",
+                    span.begin_seq, span.end_seq
+                ),
+            );
+        }
+        if span.applied == 1 && span.to < span.from {
+            err(
+                "postmortem-spans",
+                format!(
+                    "span row {i}: applied re-encode moves generation backwards ({} -> {})",
+                    span.from, span.to
+                ),
+            );
+        }
+    }
+
+    // --- postmortem-consistent --------------------------------------------
+    if pm.events.len() as u64 != pm.events_declared {
+        err(
+            "postmortem-consistent",
+            format!(
+                "header declares events={} but {} parsed from [events]",
+                pm.events_declared,
+                pm.events.len()
+            ),
+        );
+    }
+    if let Some(active) = pm.degraded_counter("active") {
+        if active > 1 {
+            err(
+                "postmortem-consistent",
+                format!("[degraded] active={active} is not a 0/1 flag"),
+            );
+        }
+    }
+    for pair in pm.generations.windows(2) {
+        if pair[1].generation <= pair[0].generation {
+            err(
+                "postmortem-consistent",
+                format!(
+                    "[generations] not strictly increasing: {} then {}",
+                    pair[0].generation, pair[1].generation
+                ),
+            );
+        }
+        if pair[1].max_id < pair[0].max_id {
+            err(
+                "postmortem-consistent",
+                format!(
+                    "[generations] max_id shrinks across re-encodes: {} then {}",
+                    pair[0].max_id, pair[1].max_id
+                ),
+            );
+        }
+    }
+    if let Some(last) = pm.generations.last() {
+        if last.generation > pm.generation {
+            err(
+                "postmortem-consistent",
+                format!(
+                    "last [generations] row is generation {} but the header captured generation {}",
+                    last.generation, pm.generation
+                ),
+            );
+        }
+        if last.max_id > pm.max_id {
+            err(
+                "postmortem-consistent",
+                format!(
+                    "last [generations] row has max_id {} above the header's {}",
+                    last.max_id, pm.max_id
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> String {
+        concat!(
+            "# dacce-postmortem v1\n",
+            "reason=degraded-entry\n",
+            "generation=2\n",
+            "max_id=40\n",
+            "spans=1\n",
+            "events=2\n",
+            "dropped=0\n",
+            "[degraded]\n",
+            "active=1\n",
+            "trap_nodes=3\n",
+            "degraded_traps=7\n",
+            "reencode_retries=2\n",
+            "cc_spill_events=0\n",
+            "cc_spilled_peak=0\n",
+            "lock_poisonings=0\n",
+            "slot_failures=0\n",
+            "batch_errors=0\n",
+            "[generations]\n",
+            "generation,nodes,edges,max_id,cost\n",
+            "1,4,5,17,120\n",
+            "2,6,9,40,310\n",
+            "[spans]\n",
+            "tid,from,to,applied,cost,begin_seq,end_seq,pause_ns\n",
+            "0,1,2,1,310,5,9,1200\n",
+            "[events]\n",
+            "[\n",
+            "{\"seq\":5,\"nanos\":100,\"tid\":0,\"event\":\"reencode_begin\",\"generation\":1},\n",
+            "{\"seq\":9,\"nanos\":1300,\"tid\":0,\"event\":\"reencode_end\",\"generation\":2,",
+            "\"applied\":1,\"cost\":310,\"nodes\":6,\"edges\":9,\"max_id\":40}\n",
+            "]\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn valid_document_parses_clean() {
+        let doc = valid_doc();
+        let pm = parse_postmortem(&doc).expect("parses");
+        assert_eq!(pm.reason, "degraded-entry");
+        assert_eq!(pm.generation, 2);
+        assert_eq!(pm.spans.len(), 1);
+        assert_eq!(pm.events.len(), 2);
+        assert_eq!(pm.degraded_counter("trap_nodes"), Some(3));
+        assert!(verify_postmortem(&doc).is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_a_format_error() {
+        let doc = valid_doc().replace("# dacce-postmortem v1", "# dacce-postmortem v2");
+        let findings = verify_postmortem(&doc);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "postmortem-format");
+        assert!(findings[0].is_error());
+    }
+
+    #[test]
+    fn wrong_csv_header_is_a_format_error() {
+        let doc = valid_doc().replace(SPANS_CSV, "tid,from,to");
+        let findings = verify_postmortem(&doc);
+        assert_eq!(findings[0].rule, "postmortem-format");
+    }
+
+    #[test]
+    fn garbled_events_json_is_a_format_error() {
+        let doc = valid_doc().replace("\"event\":\"reencode_begin\"", "\"event\":\"nonsense\"");
+        let findings = verify_postmortem(&doc);
+        assert_eq!(findings[0].rule, "postmortem-format");
+    }
+
+    #[test]
+    fn span_count_mismatch_is_reported() {
+        let doc = valid_doc().replace("spans=1", "spans=3");
+        let findings = verify_postmortem(&doc);
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "postmortem-spans" && d.message.contains("spans=3")));
+    }
+
+    #[test]
+    fn inverted_span_sequence_is_reported() {
+        let doc = valid_doc().replace("0,1,2,1,310,5,9,1200", "0,1,2,1,310,9,5,1200");
+        let findings = verify_postmortem(&doc);
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "postmortem-spans" && d.message.contains("begin_seq")));
+    }
+
+    #[test]
+    fn event_count_mismatch_is_reported() {
+        let doc = valid_doc().replace("events=2", "events=5");
+        let findings = verify_postmortem(&doc);
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "postmortem-consistent" && d.message.contains("events=5")));
+    }
+
+    #[test]
+    fn non_monotone_generation_table_is_reported() {
+        let doc = valid_doc().replace("2,6,9,40,310", "1,6,9,40,310");
+        let findings = verify_postmortem(&doc);
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "postmortem-consistent" && d.message.contains("strictly")));
+    }
+
+    #[test]
+    fn generation_table_ahead_of_header_is_reported() {
+        let doc = valid_doc().replace("generation=2", "generation=1");
+        let findings = verify_postmortem(&doc);
+        assert!(findings
+            .iter()
+            .any(|d| d.rule == "postmortem-consistent" && d.message.contains("captured")));
+    }
+
+    /// A dump produced by the live engine validates clean end to end.
+    #[test]
+    fn engine_forced_dump_round_trips() {
+        use dacce::{DacceConfig, DacceEngine};
+        use dacce_callgraph::{CallSiteId, FunctionId};
+        use dacce_program::runtime::CallDispatch;
+        use dacce_program::{CostModel, ThreadId};
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 1,
+            profiler_stride: 3,
+            ..DacceConfig::default()
+        };
+        let mut e = DacceEngine::new(cfg, CostModel::default());
+        e.attach_main(FunctionId::new(0));
+        e.thread_start(ThreadId::MAIN, FunctionId::new(0), None);
+        for _round in 0..6u32 {
+            for i in 0..4u32 {
+                let caller = if i == 0 { 0 } else { i };
+                let _ = e.call(
+                    ThreadId::MAIN,
+                    CallSiteId::new(i),
+                    FunctionId::new(caller),
+                    FunctionId::new(i + 1),
+                    CallDispatch::Direct,
+                    false,
+                );
+            }
+            for i in (0..4u32).rev() {
+                let caller = if i == 0 { 0 } else { i };
+                let _ = e.ret(
+                    ThreadId::MAIN,
+                    CallSiteId::new(i),
+                    FunctionId::new(caller),
+                    FunctionId::new(i + 1),
+                );
+            }
+        }
+        assert!(e.force_postmortem("unit-test"));
+        let doc = e.postmortem().expect("dump captured").to_string();
+        let pm = parse_postmortem(&doc).expect("engine dump parses");
+        assert_eq!(pm.reason, "unit-test");
+        let findings = verify_postmortem(&doc);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+}

@@ -19,7 +19,12 @@
 //! recorded no re-encode events — a canary for adaptivity being wired off.
 //! In JSON mode `--prom-out`/`--export-out` additionally write the final
 //! Prometheus metrics export and `dacce-export v1` engine state, the input
-//! pair for `dacce-lint --metrics`.
+//! pair for `dacce-lint --metrics`; `--flame` writes the continuous
+//! profiler's samples as a collapsed-stack flame file (`dacce-flame`
+//! merges them fleet-wide), `--journal-out` dumps the run's journal
+//! events as JSON (decodable offline by `dacce-flame --export`), and
+//! `--postmortem-out` forces a flight-recorder dump and writes it (the
+//! input for `dacce-lint --postmortem`).
 //!
 //! `--fleet N` switches to the multi-tenant view: N tenants of one shared
 //! program run under a [`dacce_fleet::Fleet`], their journals and metrics
@@ -40,7 +45,10 @@ use std::time::{Duration, Instant};
 
 use dacce::{DacceConfig, DacceRuntime, HotContextProfile, Tracker};
 use dacce_fleet::{DefEdge, Fleet, ProgramDef, TenantId};
-use dacce_obs::{EventKind, EventRecord, FleetPump, JournalAggregates, MetricsSnapshot};
+use dacce_obs::{
+    events_to_json, merge_by_lineage, EventKind, EventRecord, FlameGraph, FleetPump,
+    JournalAggregates, MetricsSnapshot,
+};
 use dacce_program::{ContextPath, Interpreter, Program, RunReport};
 use dacce_workloads::{all_benchmarks, interp_config, program_of, BenchSpec, DriverConfig};
 
@@ -58,6 +66,19 @@ struct TopOptions {
     /// Write the final `dacce-export v1` engine state here (JSON mode
     /// only). Together with `--prom-out` this feeds `dacce-lint --metrics`.
     export_out: Option<String>,
+    /// Write the profiler's flame graph (collapsed-stack text) here.
+    /// JSON mode, plus fleet mode where tenants merge by lineage.
+    flame_out: Option<String>,
+    /// Write the run's journal events as JSON here (JSON mode only).
+    journal_out: Option<String>,
+    /// Force a flight-recorder dump after the run and write it here
+    /// (JSON mode only). If the run already tripped the recorder (e.g.
+    /// under `--chaos`), that earlier dump is written instead — first
+    /// capture wins.
+    postmortem_out: Option<String>,
+    /// Run under a named [`dacce::FaultPlan`] preset, so degradation
+    /// paths (and the flight recorder) fire deterministically.
+    chaos: Option<String>,
 }
 
 impl Default for TopOptions {
@@ -72,6 +93,10 @@ impl Default for TopOptions {
             fleet: None,
             prom_out: None,
             export_out: None,
+            flame_out: None,
+            journal_out: None,
+            postmortem_out: None,
+            chaos: None,
         }
     }
 }
@@ -118,10 +143,19 @@ impl TopOptions {
                 "--export-out" => {
                     o.export_out = Some(args.next().expect("--export-out needs a path"));
                 }
+                "--flame" => o.flame_out = Some(args.next().expect("--flame needs a path")),
+                "--journal-out" => {
+                    o.journal_out = Some(args.next().expect("--journal-out needs a path"));
+                }
+                "--postmortem-out" => {
+                    o.postmortem_out = Some(args.next().expect("--postmortem-out needs a path"));
+                }
+                "--chaos" => o.chaos = Some(args.next().expect("--chaos needs a preset name")),
                 other => panic!(
                     "unknown argument {other}; use \
                      --bench/--scale/--fleet/--json/--interval-ms/--top\
-                     /--require-reencodes/--prom-out/--export-out"
+                     /--require-reencodes/--prom-out/--export-out\
+                     /--flame/--journal-out/--postmortem-out/--chaos"
                 ),
             }
         }
@@ -140,12 +174,18 @@ fn main() {
         .find(|s| s.name.contains(&opts.bench))
         .unwrap_or_else(|| panic!("no suite benchmark matches {:?}", opts.bench));
 
+    let fault = match &opts.chaos {
+        None => dacce::FaultPlan::default(),
+        Some(name) => dacce::FaultPlan::preset(name)
+            .unwrap_or_else(|| panic!("no fault-plan preset named {name:?}")),
+    };
     let cfg = DriverConfig {
         scale: opts.scale,
         keep_sample_log: true,
         dacce: DacceConfig {
             journal_ring_capacity: 1 << 16,
             keep_sample_log: true,
+            fault,
             ..DacceConfig::default()
         },
         ..DriverConfig::default()
@@ -158,6 +198,13 @@ fn main() {
 
     if opts.json {
         let report = Interpreter::new(&program, icfg).run(&mut rt);
+        // Capture the postmortem before draining: the flight recorder
+        // peeks the ring, so the dump carries the events the drain is
+        // about to consume. A dump the run already tripped (degraded
+        // entry, re-encode abort) wins over the forced one.
+        if opts.postmortem_out.is_some() && rt.engine().postmortem().is_none() {
+            rt.engine_mut().force_postmortem("operator-requested");
+        }
         let batch = obs.drain_journal();
         let by_kind = count_by_kind(&batch.events);
         let ok = finish_json(
@@ -174,6 +221,22 @@ fn main() {
         }
         if let Some(path) = &opts.export_out {
             write_creating_dirs(path, &dacce::export_state(rt.engine()));
+        }
+        if let Some(path) = &opts.flame_out {
+            let graph = flame_of_engine(rt.engine(), |f| program.name(f).to_string());
+            write_creating_dirs(path, &graph.to_collapsed());
+        }
+        if let Some(path) = &opts.journal_out {
+            write_creating_dirs(path, &events_to_json(&batch.events));
+        }
+        if let Some(path) = &opts.postmortem_out {
+            match rt.engine().postmortem() {
+                Some(dump) => write_creating_dirs(path, dump),
+                None => {
+                    eprintln!("dacce-top: --postmortem-out: no dump (obs feature off?)");
+                    std::process::exit(1);
+                }
+            }
         }
         std::process::exit(i32::from(!ok));
     }
@@ -321,6 +384,13 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         snap.samples,
         snap.cc_overflows
     );
+    if snap.profiler_samples > 0 {
+        let _ = writeln!(
+            s,
+            "profiler: {} samples (weight {})",
+            snap.profiler_samples, snap.profiler_sample_weight
+        );
+    }
     let ic_total = snap.icache_hits + snap.icache_misses;
     let _ = writeln!(
         s,
@@ -365,11 +435,12 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         }
         let _ = writeln!(
             s,
-            "{label:<16} [{}] n={} mean={:.1} p50={} p99={} max={}",
+            "{label:<16} [{}] n={} mean={:.1} p50={} p95={} p99={} max={}",
             h.sketch(),
             h.count,
             h.mean(),
             h.quantile(0.5),
+            h.quantile(0.95),
             h.quantile(0.99),
             h.max
         );
@@ -412,6 +483,37 @@ fn ratio(part: u64, whole: u64) -> f64 {
 /// `part` as a percentage of `whole`; 0 when `whole` is 0.
 fn percent(part: u64, whole: u64) -> f64 {
     100.0 * ratio(part, whole)
+}
+
+/// Decodes the continuous profiler's weighted samples into a flame graph
+/// (collapsed-stack folds, root-first frames).
+fn flame_of_engine(
+    engine: &dacce::DacceEngine,
+    mut name: impl FnMut(dacce_callgraph::FunctionId) -> String,
+) -> FlameGraph {
+    let mut graph = FlameGraph::new(0);
+    for (ctx, weight) in engine.profiler_samples() {
+        if let Ok(path) = engine.decode(ctx) {
+            let frames: Vec<String> = path.0.iter().map(|st| name(st.func)).collect();
+            graph.add(&frames, *weight);
+        }
+    }
+    graph
+}
+
+/// Renders a tenant's profiler profile as a flame graph tagged with the
+/// fleet lineage hash, so fleet-wide merges group by encoding history.
+fn flame_of_profile(
+    profile: &HotContextProfile,
+    lineage: u64,
+    mut name: impl FnMut(dacce_callgraph::FunctionId) -> String,
+) -> FlameGraph {
+    let mut graph = FlameGraph::new(lineage);
+    for (path, weight) in profile.top(profile.distinct()) {
+        let frames: Vec<String> = path.0.iter().map(|st| name(st.func)).collect();
+        graph.add(&frames, weight);
+    }
+    graph
 }
 
 /// Decodes the retained sample log into a hot-context profile and renders
@@ -499,7 +601,8 @@ fn finish_json(
     println!(
         "{{\"workload\":\"{}\",\"scale\":{},\"calls\":{},\"overhead\":{:.6},\
          \"stats\":{{\"traps\":{},\"reencodes\":{},\"reencode_cost\":{},\
-         \"overflow_aborts\":{},\"samples\":{},\"decode_errors\":{}}},\
+         \"overflow_aborts\":{},\"samples\":{},\"decode_errors\":{},\
+         \"profiler_samples\":{},\"profiler_sample_weight\":{}}},\
          \"journal\":{{\"events\":{},\"dropped\":{},\"by_kind\":{}}},\
          \"replay\":{{\"traps\":{},\"reencodes\":{},\"migrations\":{}}},\
          \"dispatch\":{{\"slots\":{},\"span\":{},\"occupancy\":{:.4},\
@@ -518,6 +621,8 @@ fn finish_json(
         stats.overflow_aborts,
         stats.samples,
         stats.decode_errors,
+        stats.profiler_samples,
+        stats.profiler_sample_weight,
         events.len(),
         snap.journal_dropped,
         kinds,
@@ -780,6 +885,25 @@ fn run_fleet(opts: &TopOptions, tenants: usize) -> bool {
     if let Some(path) = &opts.export_out {
         let founder = fleet.tracker(ids[0]).expect("founder registered");
         write_creating_dirs(path, &dacce::export_tracker_state(&founder));
+    }
+    if let Some(path) = &opts.flame_out {
+        // One graph per tenant, all tagged with the shared program's
+        // content hash: the fleet-wide merge key. merge_by_lineage folds
+        // them into one graph per distinct encoding lineage.
+        let lineage = def.content_hash();
+        let graphs: Vec<FlameGraph> = fleet
+            .tenants()
+            .into_iter()
+            .map(|(_, _, tracker)| {
+                let profile = tracker.profiler_profile();
+                flame_of_profile(&profile, lineage, |f| {
+                    tracker.function_name(f).unwrap_or_else(|| f.to_string())
+                })
+            })
+            .collect();
+        let merged = merge_by_lineage(graphs);
+        let text: String = merged.iter().map(FlameGraph::to_collapsed).collect();
+        write_creating_dirs(path, &text);
     }
 
     let agg = pump.aggregate();

@@ -74,6 +74,22 @@ pub struct DacceConfig {
     /// ccStack depth at which a new per-thread high-water mark is journaled
     /// as an overflow event (observability only; no behaviour changes).
     pub journal_overflow_watermark: u32,
+    /// Continuous-profiler base sampling stride in call events (jittered
+    /// per thread); 0 disables the profiler entirely. A prime default
+    /// avoids phase-locking with power-of-two loop bodies.
+    pub profiler_stride: u64,
+    /// Seed for the per-thread sampling jitter (xorshifted with the
+    /// thread id, so threads decorrelate but runs stay reproducible).
+    pub profiler_seed: u64,
+    /// Budget of the adaptive rate controller: max samples per
+    /// 16-stride window before a thread's effective stride backs off;
+    /// 0 leaves the rate fixed.
+    pub profiler_budget: u64,
+    /// Let re-encoding's hottest-incoming-edge ordering consume sampled
+    /// hotness (weighted profiler captures) in addition to trap counts.
+    /// Off by default so the paper-faithful trap-driven behaviour stays
+    /// bit-identical.
+    pub profiler_feedback: bool,
     /// Deterministic fault-injection plan (disarmed by default). See
     /// [`FaultPlan`] for the fault kinds and the degradation path each
     /// lands on.
@@ -101,6 +117,10 @@ impl Default for DacceConfig {
             keep_sample_log: false,
             journal_ring_capacity: 4096,
             journal_overflow_watermark: 48,
+            profiler_stride: 509,
+            profiler_seed: 0x5eed,
+            profiler_budget: 64,
+            profiler_feedback: false,
             fault: FaultPlan::default(),
         }
     }
@@ -145,6 +165,11 @@ mod tests {
         assert_eq!(c.compression, CompressionMode::Adaptive);
         assert!(c.edge_threshold > 0);
         assert!(c.sample_ring > 0);
+        assert!(c.profiler_stride > 0, "profiler samples by default");
+        assert!(
+            !c.profiler_feedback,
+            "sampled-hotness feedback is opt-in; default stays trap-driven"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ use crate::config::DacceConfig;
 use crate::context::{EncodedContext, SpawnLink};
 use crate::decode::DecodeError;
 use crate::fastpath;
+use crate::observe::Sampler;
+use crate::profile::HotContextProfile;
 use crate::shared::SharedState;
 use crate::stats::DacceStats;
 use crate::thread::ThreadCtx;
@@ -62,14 +64,22 @@ use crate::thread::ThreadCtx;
 pub struct DacceEngine {
     pub(crate) shared: SharedState,
     pub(crate) threads: HashMap<ThreadId, ThreadCtx>,
+    /// Continuous-profiler sampler over the engine's single call stream.
+    sampler: Sampler,
 }
 
 impl DacceEngine {
     /// Creates an engine with the given configuration and cost model.
     pub fn new(config: DacceConfig, cost: CostModel) -> Self {
+        let sampler = Sampler::new(
+            config.profiler_stride,
+            config.profiler_seed,
+            config.profiler_budget,
+        );
         DacceEngine {
             shared: SharedState::new(config, cost),
             threads: HashMap::new(),
+            sampler,
         }
     }
 
@@ -272,6 +282,10 @@ impl DacceEngine {
             }
         }
 
+        if let Some(weight) = self.sampler.tick() {
+            self.take_profiler_sample(tid, site, weight);
+        }
+
         cost + self.maybe_reencode()
     }
 
@@ -313,6 +327,57 @@ impl DacceEngine {
                 }
             }
         }
+    }
+
+    /// Captures one continuous-profiler sample of `tid`'s current context:
+    /// counts it (weighted by the call events since the previous sample),
+    /// feeds the profiler ring and journals a `Sample` event.
+    fn take_profiler_sample(&mut self, tid: ThreadId, site: CallSiteId, weight: u64) {
+        let snap = self.snapshot(tid);
+        self.shared.record_profiler_sample(&snap, weight);
+        if self.shared.obs_writer.enabled() {
+            let fp = crate::shared::context_fingerprint(&snap);
+            self.shared.obs_writer.sample(
+                tid.raw(),
+                snap.ts.raw(),
+                snap.id,
+                site.raw(),
+                snap.leaf.raw(),
+                snap.root.raw(),
+                fp,
+                u32::try_from(weight).unwrap_or(u32::MAX),
+                snap.cc_depth() as u32,
+            );
+        }
+    }
+
+    /// The continuous profiler's aggregated hot-context profile: the
+    /// weighted sample ring decoded through the versioned dictionaries.
+    /// Empty when [`DacceConfig::profiler_stride`] is 0 (profiler off).
+    pub fn profiler_profile(&mut self) -> HotContextProfile {
+        self.shared.profiler_profile()
+    }
+
+    /// The weighted profiler samples currently resident in the ring
+    /// (overwrite-oldest; capacity-bounded).
+    pub fn profiler_samples(&self) -> &[(EncodedContext, u64)] {
+        &self.shared.profiler_ring
+    }
+
+    /// The flight-recorder postmortem dump captured at the first
+    /// degradation trigger (degraded entry, re-encode abort, or a forced
+    /// dump), if any.
+    pub fn postmortem(&self) -> Option<&str> {
+        self.shared.postmortem.as_deref()
+    }
+
+    /// Forces a flight-recorder dump now with the given reason. The first
+    /// capture wins: a later degradation will not overwrite a forced dump
+    /// (nor vice versa). Returns `true` when a postmortem exists after the
+    /// call — `false` only with the `obs` feature compiled out.
+    pub fn force_postmortem(&mut self, reason: &str) -> bool {
+        self.shared.capture_postmortem(reason);
+        self.shared.postmortem.is_some()
     }
 
     /// Records a sample of thread `tid`'s current context. Returns the

@@ -20,13 +20,23 @@ mod imp {
     use std::sync::Arc;
 
     use dacce_obs::{
-        EventKind, GenerationInfo, Journal, JournalBatch, JournalConfig, JournalWriter,
-        MetricsRegistry, MetricsSnapshot,
+        events_to_json, EventKind, GenerationInfo, Journal, JournalBatch, JournalConfig,
+        JournalWriter, MetricsRegistry, MetricsSnapshot, SpanTimeline,
     };
+
+    use crate::stats::DegradedState;
+
+    /// The per-thread deterministic sampler (re-exported so engine and
+    /// tracker instantiate it without `cfg` at the call site).
+    pub(crate) use dacce_obs::profiler::fingerprint64;
+    pub(crate) use dacce_obs::Sampler;
 
     /// Thread id stamped on events emitted by the shared slow path when no
     /// specific thread is acting (re-encode cores, warm starts).
     pub const RUNTIME_TID: u32 = u32::MAX;
+
+    /// Re-encode spans retained in a postmortem document.
+    const POSTMORTEM_SPANS: usize = 32;
 
     /// Shared observability handle: the event journal plus the metrics
     /// registry. Cloning shares both (the clones observe the same run).
@@ -146,6 +156,13 @@ mod imp {
             self.metrics.sampled_ids.observe(id);
         }
 
+        pub(crate) fn on_profiler_sample(&self, cc_depth: u32, id: u64, weight: u64) {
+            self.metrics.profiler_samples.inc();
+            self.metrics.profiler_sample_weight.add(weight);
+            self.metrics.cc_depth.observe(u64::from(cc_depth));
+            self.metrics.sampled_ids.observe(id);
+        }
+
         pub(crate) fn on_warm_start(&self, seeded: u64, pruned: u64) {
             self.metrics.warm_seeded_edges.add(seeded);
             self.metrics.warm_pruned_edges.add(pruned);
@@ -222,6 +239,74 @@ mod imp {
                 max_id,
                 cost,
             });
+        }
+
+        /// Renders the flight-recorder postmortem document: ring contents
+        /// (peeked, not drained — the live journal consumer keeps every
+        /// record), the generation table, the degraded state, and the
+        /// last re-encode spans, in the versioned text format
+        /// `dacce-lint --postmortem` validates.
+        ///
+        /// `Option` matches the obs-off stub, which has nothing to dump.
+        #[allow(clippy::unnecessary_wraps)]
+        pub(crate) fn render_postmortem(
+            &self,
+            reason: &str,
+            generation: u32,
+            max_id: u64,
+            degraded: &DegradedState,
+        ) -> Option<String> {
+            use std::fmt::Write as _;
+            let batch = self.journal.peek();
+            let timeline = SpanTimeline::stitch(&batch.events);
+            let spans = timeline.last(POSTMORTEM_SPANS);
+            let snap = self.metrics.snapshot();
+            let mut s = String::from("# dacce-postmortem v1\n");
+            let _ = writeln!(s, "reason={reason}");
+            let _ = writeln!(s, "generation={generation}");
+            let _ = writeln!(s, "max_id={max_id}");
+            let _ = writeln!(s, "spans={}", spans.len());
+            let _ = writeln!(s, "events={}", batch.events.len());
+            let _ = writeln!(s, "dropped={}", batch.dropped);
+            s.push_str("[degraded]\n");
+            let _ = writeln!(s, "active={}", u64::from(degraded.active));
+            let _ = writeln!(s, "trap_nodes={}", degraded.trap_nodes.len());
+            let _ = writeln!(s, "degraded_traps={}", degraded.degraded_traps);
+            let _ = writeln!(s, "reencode_retries={}", degraded.reencode_retries);
+            let _ = writeln!(s, "cc_spill_events={}", degraded.cc_spill_events);
+            let _ = writeln!(s, "cc_spilled_peak={}", degraded.cc_spilled_peak);
+            let _ = writeln!(s, "lock_poisonings={}", degraded.lock_poisonings);
+            let _ = writeln!(s, "slot_failures={}", degraded.slot_failures);
+            let _ = writeln!(s, "batch_errors={}", degraded.batch_errors);
+            s.push_str("[generations]\n");
+            s.push_str("generation,nodes,edges,max_id,cost\n");
+            for g in &snap.generations {
+                let _ = writeln!(
+                    s,
+                    "{},{},{},{},{}",
+                    g.generation, g.nodes, g.edges, g.max_id, g.cost
+                );
+            }
+            s.push_str("[spans]\n");
+            s.push_str("tid,from,to,applied,cost,begin_seq,end_seq,pause_ns\n");
+            for span in spans {
+                let _ = writeln!(
+                    s,
+                    "{},{},{},{},{},{},{},{}",
+                    span.tid,
+                    span.from_generation,
+                    span.to_generation,
+                    u64::from(span.applied),
+                    span.cost,
+                    span.begin_seq,
+                    span.end_seq,
+                    span.pause_ns()
+                );
+            }
+            s.push_str("[events]\n");
+            s.push_str(&events_to_json(&batch.events));
+            s.push('\n');
+            Some(s)
         }
     }
 
@@ -317,6 +402,34 @@ mod imp {
             self.writer.emit_for(tid, EventKind::Migration { from, to });
         }
 
+        #[allow(clippy::too_many_arguments)]
+        pub(crate) fn sample(
+            &self,
+            tid: u32,
+            generation: u32,
+            id: u64,
+            site: u32,
+            leaf: u32,
+            root: u32,
+            fingerprint: u32,
+            weight: u32,
+            depth: u32,
+        ) {
+            self.writer.emit_for(
+                tid,
+                EventKind::Sample {
+                    generation,
+                    id,
+                    site,
+                    leaf,
+                    root,
+                    fingerprint,
+                    weight,
+                    depth,
+                },
+            );
+        }
+
         pub(crate) fn warm_seed(&self, seeded: u32, pruned: u32, max_id: u64) {
             self.writer.emit_for(
                 RUNTIME_TID,
@@ -347,6 +460,42 @@ mod imp {
 mod imp {
     //! Zero-sized no-op stand-ins; every hook compiles to nothing.
 
+    use crate::stats::DegradedState;
+
+    /// Inert stand-in for the profiler sampler: never fires, so every
+    /// tick is a constant branch the optimiser removes.
+    #[derive(Clone, Debug, Default)]
+    pub(crate) struct Sampler;
+
+    #[allow(clippy::unused_self, dead_code)]
+    impl Sampler {
+        pub(crate) fn new(_stride: u64, _seed: u64, _budget: u64) -> Sampler {
+            Sampler
+        }
+        #[inline]
+        pub(crate) fn tick(&mut self) -> Option<u64> {
+            None
+        }
+        pub(crate) fn is_enabled(&self) -> bool {
+            false
+        }
+        pub(crate) fn effective_stride(&self) -> u64 {
+            0
+        }
+        pub(crate) fn taken(&self) -> u64 {
+            0
+        }
+        pub(crate) fn remaining(&self) -> u64 {
+            0
+        }
+        pub(crate) fn skip(&mut self, _n: u64) {}
+    }
+
+    /// ccStack fingerprint stub (no obs layer to correlate against).
+    pub(crate) fn fingerprint64(_values: impl IntoIterator<Item = u64>) -> u32 {
+        0
+    }
+
     /// Inert observability placeholder (the `obs` feature is disabled).
     #[derive(Clone, Copy, Debug, Default)]
     pub struct Observability;
@@ -358,6 +507,16 @@ mod imp {
         pub(crate) fn writer(&self, _tid: u32) -> ObsWriter {
             ObsWriter
         }
+        pub(crate) fn render_postmortem(
+            &self,
+            _reason: &str,
+            _generation: u32,
+            _max_id: u64,
+            _degraded: &DegradedState,
+        ) -> Option<String> {
+            None
+        }
+        pub(crate) fn on_profiler_sample(&self, _cc_depth: u32, _id: u64, _weight: u64) {}
         pub(crate) fn on_trap(&self, _ns: u64) {}
         pub(crate) fn on_edge_discovered(&self) {}
         pub(crate) fn on_site_patched(&self) {}
@@ -419,6 +578,19 @@ mod imp {
         pub(crate) fn cc_pop(&self, _tid: u32, _depth: u32) {}
         pub(crate) fn cc_overflow(&self, _tid: u32, _depth: u32) {}
         pub(crate) fn migration(&self, _tid: u32, _from: u32, _to: u32) {}
+        pub(crate) fn sample(
+            &self,
+            _tid: u32,
+            _generation: u32,
+            _id: u64,
+            _site: u32,
+            _leaf: u32,
+            _root: u32,
+            _fingerprint: u32,
+            _weight: u32,
+            _depth: u32,
+        ) {
+        }
         pub(crate) fn warm_seed(&self, _seeded: u32, _pruned: u32, _max_id: u64) {}
     }
 
@@ -436,4 +608,4 @@ mod imp {
 }
 
 pub use imp::Observability;
-pub(crate) use imp::{start_timer, ObsWriter};
+pub(crate) use imp::{fingerprint64, start_timer, ObsWriter, Sampler};

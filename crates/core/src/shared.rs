@@ -34,12 +34,18 @@ use crate::dispatch::DispatchTable;
 use crate::lineage::{EncodingLineage, LineageState};
 use crate::observe::{self, ObsWriter, Observability};
 use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
+use crate::profile::HotContextProfile;
 use crate::stats::{DacceStats, ProgressPoint};
 use crate::warm::WarmStartReport;
 
 /// Minimum heat for an edge to participate in the hot-path-change check;
 /// filters sampling noise.
 const HOT_FLOOR: u64 = 16;
+
+/// Capacity of the continuous-profiler sample ring (weighted contexts kept
+/// for decode-on-demand profiles and, behind
+/// [`DacceConfig::profiler_feedback`], re-encode heat derivation).
+const PROFILER_RING_CAP: usize = 256;
 
 /// Result of one re-encoding attempt.
 pub(crate) enum ReencodeOutcome {
@@ -103,6 +109,13 @@ pub(crate) struct SharedState {
     pub(crate) ring: Vec<EncodedContext>,
     pub(crate) ring_pos: usize,
     pub(crate) sample_log: Vec<EncodedContext>,
+    /// Continuous-profiler ring: deterministically sampled contexts with
+    /// the call-event weight each one stands for (overwrite-oldest).
+    pub(crate) profiler_ring: Vec<(EncodedContext, u64)>,
+    pub(crate) profiler_ring_pos: usize,
+    /// The flight-recorder dump captured at the first degradation trigger
+    /// (degraded entry, re-encode abort, or a forced dump); first wins.
+    pub(crate) postmortem: Option<String>,
     pub(crate) stats: DacceStats,
     /// Monotone publication counter; bumped whenever a snapshot observable
     /// by fast paths (patches, dictionaries, `maxID`) changed.
@@ -164,6 +177,9 @@ impl SharedState {
             ring: Vec::new(),
             ring_pos: 0,
             sample_log: Vec::new(),
+            profiler_ring: Vec::new(),
+            profiler_ring_pos: 0,
+            postmortem: None,
             stats: DacceStats::default(),
             epoch: 0,
             obs,
@@ -392,6 +408,57 @@ impl SharedState {
         }
     }
 
+    /// Records one continuous-profiler sample: counters, metrics and the
+    /// profiler ring. Journal emission is the caller's job (the engine
+    /// emits under the shared writer; trackers emit on their own ring).
+    pub(crate) fn record_profiler_sample(&mut self, snap: &EncodedContext, weight: u64) {
+        self.stats.profiler_samples += 1;
+        self.stats.profiler_sample_weight += weight;
+        self.obs
+            .on_profiler_sample(snap.cc_depth() as u32, snap.id, weight);
+        self.push_profiler_ring(snap, weight);
+    }
+
+    /// Feeds a weighted sample into the profiler ring without counting it
+    /// (trackers count in per-thread shards and flush backlogs here).
+    pub(crate) fn push_profiler_ring(&mut self, snap: &EncodedContext, weight: u64) {
+        if self.profiler_ring.len() < PROFILER_RING_CAP {
+            self.profiler_ring.push((snap.clone(), weight));
+        } else {
+            self.profiler_ring[self.profiler_ring_pos % PROFILER_RING_CAP] = (snap.clone(), weight);
+        }
+        self.profiler_ring_pos += 1;
+    }
+
+    /// Decodes the profiler ring into an aggregated hot-context profile.
+    /// Each sample contributes its captured weight; samples from older
+    /// generations decode against their own versioned dictionary.
+    pub(crate) fn profiler_profile(&mut self) -> HotContextProfile {
+        let mut prof = HotContextProfile::new();
+        let ring = std::mem::take(&mut self.profiler_ring);
+        for (samp, weight) in &ring {
+            match decode_full(samp, &self.dicts, &self.site_owner) {
+                Ok(path) => prof.record_weighted(&path, *weight),
+                Err(_) => self.stats.decode_errors += 1,
+            }
+        }
+        self.profiler_ring = ring;
+        prof
+    }
+
+    /// Captures a flight-recorder postmortem (first trigger wins): peeks
+    /// the journal without consuming it, stitches the recent re-encode
+    /// spans and renders the versioned dump document. A no-op when a dump
+    /// was already captured or observability is compiled out.
+    pub(crate) fn capture_postmortem(&mut self, reason: &str) {
+        if self.postmortem.is_some() {
+            return;
+        }
+        self.postmortem =
+            self.obs
+                .render_postmortem(reason, self.ts.raw(), self.max_id, &self.stats.degraded);
+    }
+
     /// Decodes an encoded context against the recorded dictionaries.
     pub(crate) fn decode(&self, ctx: &EncodedContext) -> Result<ContextPath, DecodeError> {
         decode_full(ctx, &self.dicts, &self.site_owner)
@@ -547,6 +614,30 @@ impl SharedState {
         self.ring = ring;
     }
 
+    /// Folds the continuous profiler's weighted samples into edge heat —
+    /// the adaptive feedback loop behind
+    /// [`DacceConfig::profiler_feedback`]. Each sampled context adds its
+    /// weight to every path-window edge it decodes through, so the
+    /// hottest-incoming-edge selection of the next encoding sees sampled
+    /// hotness, not just trap counts and the heat ring.
+    fn heat_from_profiler(&mut self) {
+        let ring = std::mem::take(&mut self.profiler_ring);
+        for (samp, weight) in &ring {
+            if let Ok(path) = decode_full(samp, &self.dicts, &self.site_owner) {
+                for w in path.0.windows(2) {
+                    if let Some(site) = w[1].site {
+                        if let Some(eid) = self.graph.edge_id(site, w[1].func) {
+                            *self.edge_heat.entry(eid).or_insert(0) += *weight;
+                        }
+                    }
+                }
+            } else {
+                self.stats.decode_errors += 1;
+            }
+        }
+        self.profiler_ring = ring;
+    }
+
     /// The shared core of the re-encoding procedure (§4): derives heat,
     /// re-classifies back edges, re-encodes the grown graph, freezes a new
     /// dictionary under `gTimeStamp + 1` and regenerates every site patch.
@@ -562,6 +653,9 @@ impl SharedState {
         self.obs_writer.reencode_begin(self.ts.raw());
 
         self.heat_from_ring();
+        if self.config.profiler_feedback {
+            self.heat_from_profiler();
+        }
 
         // Re-classify and re-encode the grown graph.
         classify_back_edges(Arc::make_mut(&mut self.graph), &self.roots);
@@ -606,6 +700,13 @@ impl SharedState {
             self.obs.on_reencode(false, cost);
             self.obs_writer
                 .reencode_end(self.ts.raw(), false, cost, 0, 0, 0);
+            // Flight recorder: the aborted span is in the journal now, so
+            // the postmortem's span timeline includes this very abort.
+            self.capture_postmortem(if exhausted {
+                "degraded-entry"
+            } else {
+                "reencode-abort"
+            });
             return (ReencodeOutcome::Overflowed, cost);
         }
 
@@ -972,6 +1073,18 @@ pub(crate) struct ResolvedSite {
     /// Whether the site wraps its frames with a TcStack save/restore
     /// (§5.2).
     pub(crate) tc_wrap: bool,
+}
+
+/// A compact fingerprint of an encoded context's ccStack shape, journaled
+/// with each profiler sample so offline consumers can tell distinct deep
+/// contexts apart even when only the fixed-width wire record survives.
+pub(crate) fn context_fingerprint(snap: &EncodedContext) -> u32 {
+    observe::fingerprint64(std::iter::once(snap.id).chain(snap.cc.iter().flat_map(|e| {
+        [
+            e.id,
+            (u64::from(e.site.raw()) << 32) | u64::from(e.target.raw()),
+        ]
+    })))
 }
 
 /// Patch-table lookup shared by [`SharedState`] and [`EncodingSnapshot`]:

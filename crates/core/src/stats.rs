@@ -91,6 +91,10 @@ pub struct DacceStats {
     pub tcstack_ops: u64,
     /// Samples recorded.
     pub samples: u64,
+    /// Continuous-profiler samples captured (deterministic stride).
+    pub profiler_samples: u64,
+    /// Total weight of profiler samples — the call events they stand for.
+    pub profiler_sample_weight: u64,
     /// ccStack depth observed at each sample (Figure 10 raw data).
     pub cc_depths: Vec<u32>,
     /// Figure 9 time series (one point per re-encode, plus the initial one).
@@ -136,6 +140,8 @@ impl DacceStats {
     pub fn absorb_shard(&mut self, shard: &StatsShard) {
         self.calls += shard.calls;
         self.samples += shard.samples;
+        self.profiler_samples += shard.profiler_samples;
+        self.profiler_sample_weight += shard.profiler_sample_weight;
         self.compress_hits += shard.compress_hits;
         self.decode_errors += shard.decode_errors;
         self.icache_hits += shard.icache_hits;
@@ -157,6 +163,10 @@ pub struct StatsShard {
     pub calls: u64,
     /// Samples this thread recorded.
     pub samples: u64,
+    /// Continuous-profiler samples this thread captured.
+    pub profiler_samples: u64,
+    /// Total weight of this thread's profiler samples.
+    pub profiler_sample_weight: u64,
     /// Compressed-recursion hits on this thread's ccStack.
     pub compress_hits: u64,
     /// Lazy-migration decodes that failed (must stay 0).

@@ -48,8 +48,9 @@ use crate::decode::{decode_thread, DecodeError};
 use crate::dispatch::CompiledDispatch;
 use crate::fastpath;
 use crate::lineage::EncodingLineage;
-use crate::observe::{ObsWriter, Observability};
+use crate::observe::{ObsWriter, Observability, Sampler};
 use crate::patch::EdgeAction;
+use crate::profile::HotContextProfile;
 use crate::shared::{
     EncodingSnapshot, LineageReencode, ReencodeOutcome, ResolvedSite, SharedState,
 };
@@ -89,6 +90,13 @@ struct ThreadState {
     /// Recent samples awaiting a slow-path flush into the shared heat ring.
     pending_samples: Vec<EncodedContext>,
     pending_pos: usize,
+    /// This thread's continuous-profiler sampler (deterministic stride
+    /// with per-thread jitter phase; see [`crate::observe::Sampler`]).
+    sampler: Sampler,
+    /// Weighted profiler samples awaiting a slow-path flush into the
+    /// shared profiler ring (circular, like `pending_samples`).
+    pending_profiler: Vec<(EncodedContext, u64)>,
+    pending_profiler_pos: usize,
     /// This thread's journal writer (its own event ring; lock-free).
     writer: ObsWriter,
 }
@@ -481,6 +489,15 @@ impl Tracker {
                 flushed_spill_events: 0,
                 pending_samples: Vec::new(),
                 pending_pos: 0,
+                // Per-thread seed: same stride, different jitter phase, so
+                // the fleet of threads never samples in lockstep.
+                sampler: Sampler::new(
+                    sh.config.profiler_stride,
+                    sh.config.profiler_seed ^ u64::from(tid.raw()),
+                    sh.config.profiler_budget,
+                ),
+                pending_profiler: Vec::new(),
+                pending_profiler_pos: 0,
                 writer: self.inner.obs.writer(tid.raw()),
             }),
         });
@@ -547,11 +564,16 @@ impl Tracker {
         for slot in slots {
             let mut guard = slot.state.lock();
             let st = &mut *guard;
-            if !st.pending_samples.is_empty() {
+            if !st.pending_samples.is_empty() || !st.pending_profiler.is_empty() {
                 let mut sh = self.inner.shared.lock();
                 for s in st.pending_samples.drain(..) {
                     sh.push_ring(&s);
                 }
+                st.pending_pos = 0;
+                for (s, w) in st.pending_profiler.drain(..) {
+                    sh.push_profiler_ring(&s, w);
+                }
+                st.pending_profiler_pos = 0;
             }
             flush_icache_obs(&self.inner.obs, st);
             out.absorb_shard(&st.shard);
@@ -569,6 +591,43 @@ impl Tracker {
                 .max(st.ctx.cc.spilled_peak() as u64);
         }
         out
+    }
+
+    /// The continuous profiler's aggregated hot-context profile: every
+    /// thread's pending weighted samples are flushed into the shared
+    /// profiler ring, which is then decoded through the versioned
+    /// dictionaries. Empty when [`DacceConfig::profiler_stride`] is 0.
+    pub fn profiler_profile(&self) -> HotContextProfile {
+        let slots: Vec<Arc<ThreadSlot>> = self.inner.registry.lock().clone();
+        for slot in slots {
+            let mut guard = slot.state.lock();
+            let st = &mut *guard;
+            if !st.pending_profiler.is_empty() {
+                let mut sh = self.inner.shared.lock();
+                for (s, w) in st.pending_profiler.drain(..) {
+                    sh.push_profiler_ring(&s, w);
+                }
+                st.pending_profiler_pos = 0;
+            }
+        }
+        self.inner.shared.lock().profiler_profile()
+    }
+
+    /// The flight-recorder postmortem dump captured at the first
+    /// degradation trigger (degraded entry, re-encode abort, or a forced
+    /// dump), if any.
+    pub fn postmortem(&self) -> Option<String> {
+        self.inner.shared.lock().postmortem.clone()
+    }
+
+    /// Forces a flight-recorder dump now with the given reason. The first
+    /// capture wins: a later degradation will not overwrite a forced dump
+    /// (nor vice versa). Returns `true` when a postmortem exists after the
+    /// call — `false` only with the `obs` feature compiled out.
+    pub fn force_postmortem(&self, reason: &str) -> bool {
+        let mut sh = self.inner.shared.lock();
+        sh.capture_postmortem(reason);
+        sh.postmortem.is_some()
     }
 }
 
@@ -704,6 +763,13 @@ impl ThreadHandle {
         let st = &mut *guard;
         self.refresh(st);
         let mut obs_on = st.writer.enabled();
+        // Profiler hoist: `ops.len()` bounds the batch's call count, so a
+        // countdown beyond it proves no sample can fire in this batch —
+        // count calls in a register and advance the sampler once at the
+        // end instead of ticking it per op. A disabled sampler always
+        // takes the bulk path (the final skip is then a no-op).
+        let profiler_bulk = !st.sampler.is_enabled() || st.sampler.remaining() > ops.len() as u64;
+        let mut bulk_calls = 0u64;
         // (site, caller, callee, action, epoch) of each still-open call.
         let mut open: Vec<(CallSiteId, FunctionId, FunctionId, EdgeAction, u64)> =
             Vec::with_capacity(16);
@@ -752,6 +818,11 @@ impl ThreadHandle {
                             (action, st.snap.epoch)
                         }
                     };
+                    if profiler_bulk {
+                        bulk_calls += 1;
+                    } else {
+                        self.profiler_tick(st, site);
+                    }
                     open.push((site, caller, target, action, epoch));
                     executed += 1;
                 }
@@ -804,6 +875,7 @@ impl ThreadHandle {
         if error.is_none() && unclosed > 0 {
             error = Some(BatchErrorKind::UnclosedCalls { open: unclosed });
         }
+        st.sampler.skip(bulk_calls);
         if st.batch_events >= EVENT_BATCH {
             self.flush_batch_counters(st);
         }
@@ -860,6 +932,7 @@ impl ThreadHandle {
                 (action, st.snap.epoch)
             }
         };
+        self.profiler_tick(st, site);
         CallGuard {
             handle: self,
             site,
@@ -897,6 +970,44 @@ impl ThreadHandle {
             }
         }
         st.snap = new_snap;
+    }
+
+    /// Continuous-profiler tick for one call event. When the sampler
+    /// fires, captures the thread's context, counts it in the local shard,
+    /// journals a `Sample` event on this thread's own lock-free ring and
+    /// buffers the weighted sample for the next slow-path flush into the
+    /// shared profiler ring — the fast path never touches the shared lock.
+    fn profiler_tick(&self, st: &mut ThreadState, site: CallSiteId) {
+        let Some(weight) = st.sampler.tick() else {
+            return;
+        };
+        let snap = snapshot_of(st);
+        st.shard.profiler_samples += 1;
+        st.shard.profiler_sample_weight += weight;
+        self.inner
+            .obs
+            .on_profiler_sample(snap.cc_depth() as u32, snap.id, weight);
+        if st.writer.enabled() {
+            let fp = crate::shared::context_fingerprint(&snap);
+            st.writer.sample(
+                self.slot.tid.raw(),
+                snap.ts.raw(),
+                snap.id,
+                site.raw(),
+                snap.leaf.raw(),
+                snap.root.raw(),
+                fp,
+                u32::try_from(weight).unwrap_or(u32::MAX),
+                snap.cc_depth() as u32,
+            );
+        }
+        if st.pending_profiler.len() < SAMPLE_BACKLOG {
+            st.pending_profiler.push((snap, weight));
+        } else {
+            let pos = st.pending_profiler_pos % SAMPLE_BACKLOG;
+            st.pending_profiler[pos] = (snap, weight);
+        }
+        st.pending_profiler_pos += 1;
     }
 
     /// Journal-side bookkeeping for a ccStack push that just happened:
@@ -1069,6 +1180,10 @@ impl ThreadHandle {
             sh.push_ring(&s);
         }
         st.pending_pos = 0;
+        for (s, w) in st.pending_profiler.drain(..) {
+            sh.push_profiler_ring(&s, w);
+        }
+        st.pending_profiler_pos = 0;
     }
 
     /// Fast-path trigger bookkeeping: counts the event locally and, every
@@ -1116,6 +1231,10 @@ impl ThreadHandle {
             sh.push_ring(&s);
         }
         st.pending_pos = 0;
+        for (s, w) in st.pending_profiler.drain(..) {
+            sh.push_profiler_ring(&s, w);
+        }
+        st.pending_profiler_pos = 0;
         if sh.adopt_pending_lineage() {
             // A sibling tenant published a newer lineage generation; move
             // this thread across it (decode under the old snapshot's

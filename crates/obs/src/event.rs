@@ -107,6 +107,34 @@ pub enum EventKind {
         /// Maximum context id after seeding.
         max_id: u64,
     },
+    /// The continuous profiler captured one encoded-context sample.
+    ///
+    /// Carries everything an *offline* decode needs when the ccStack was
+    /// empty at capture time (`depth == 0`): the generation selects the
+    /// dictionary, and `leaf`/`root` bound Algorithm 1's walk. Deeper
+    /// captures still journal the fingerprint for correlation, but only
+    /// the in-process profile (which holds the full ccStack) decodes
+    /// them exactly.
+    Sample {
+        /// Encoding generation (`gTimeStamp`) at capture time.
+        generation: u32,
+        /// The encoded context identifier.
+        id: u64,
+        /// Call-site identifier of the sampled call (the sample trigger).
+        site: u32,
+        /// Function executing at capture time.
+        leaf: u32,
+        /// The thread's root function.
+        root: u32,
+        /// FNV-style fingerprint of the ccStack content.
+        fingerprint: u32,
+        /// Cost units the sample represents (events skipped since the
+        /// previous sample, i.e. the effective stride). Saturates at
+        /// `u16::MAX` in the wire encoding.
+        weight: u32,
+        /// ccStack depth at capture time. Saturates at `u16::MAX`.
+        depth: u32,
+    },
 }
 
 const TAG_TRAP: u64 = 1;
@@ -119,6 +147,7 @@ const TAG_CC_POP: u64 = 7;
 const TAG_CC_OVERFLOW: u64 = 8;
 const TAG_MIGRATION: u64 = 9;
 const TAG_WARM_SEED: u64 = 10;
+const TAG_SAMPLE: u64 = 11;
 
 impl EventKind {
     /// Stable lowercase name used in JSON exports and rate tables.
@@ -135,6 +164,7 @@ impl EventKind {
             EventKind::CcOverflow { .. } => "cc_overflow",
             EventKind::Migration { .. } => "migration",
             EventKind::WarmSeed { .. } => "warm_seed",
+            EventKind::Sample { .. } => "sample",
         }
     }
 
@@ -152,6 +182,7 @@ impl EventKind {
             "cc_overflow",
             "migration",
             "warm_seed",
+            "sample",
         ]
     }
 
@@ -167,6 +198,7 @@ impl EventKind {
             EventKind::CcOverflow { .. } => TAG_CC_OVERFLOW,
             EventKind::Migration { .. } => TAG_MIGRATION,
             EventKind::WarmSeed { .. } => TAG_WARM_SEED,
+            EventKind::Sample { .. } => TAG_SAMPLE,
         }
     }
 
@@ -206,6 +238,23 @@ impl EventKind {
                 pruned,
                 max_id,
             } => [u64::from(seeded), u64::from(pruned), max_id, 0],
+            EventKind::Sample {
+                generation,
+                id,
+                site,
+                leaf,
+                root,
+                fingerprint,
+                weight,
+                depth,
+            } => [
+                id,
+                u64::from(generation) | (u64::from(site) << 32),
+                u64::from(leaf) | (u64::from(root) << 32),
+                u64::from(fingerprint)
+                    | (u64::from(weight.min(0xffff)) << 32)
+                    | (u64::from(depth.min(0xffff)) << 48),
+            ],
         }
     }
 
@@ -250,6 +299,16 @@ impl EventKind {
                 seeded: lo(p[0]),
                 pruned: lo(p[1]),
                 max_id: p[2],
+            },
+            TAG_SAMPLE => EventKind::Sample {
+                generation: lo(p[1]),
+                id: p[0],
+                site: hi(p[1]),
+                leaf: lo(p[2]),
+                root: hi(p[2]),
+                fingerprint: lo(p[3]),
+                weight: (p[3] >> 32) as u32 & 0xffff,
+                depth: (p[3] >> 48) as u32,
             },
             _ => return None,
         })
@@ -380,6 +439,16 @@ impl EventRecord {
                 pruned: num32("pruned")?,
                 max_id: num("max_id")?,
             },
+            "sample" => EventKind::Sample {
+                generation: num32("generation")?,
+                id: num("id")?,
+                site: num32("site")?,
+                leaf: num32("leaf")?,
+                root: num32("root")?,
+                fingerprint: num32("fingerprint")?,
+                weight: num32("weight")?,
+                depth: num32("depth")?,
+            },
             other => return Err(format!("unknown event kind `{other}`")),
         };
         Ok(EventRecord {
@@ -444,6 +513,25 @@ impl EventKind {
                 ("seeded", u64::from(seeded)),
                 ("pruned", u64::from(pruned)),
                 ("max_id", max_id),
+            ],
+            EventKind::Sample {
+                generation,
+                id,
+                site,
+                leaf,
+                root,
+                fingerprint,
+                weight,
+                depth,
+            } => vec![
+                ("generation", u64::from(generation)),
+                ("id", id),
+                ("site", u64::from(site)),
+                ("leaf", u64::from(leaf)),
+                ("root", u64::from(root)),
+                ("fingerprint", u64::from(fingerprint)),
+                ("weight", u64::from(weight)),
+                ("depth", u64::from(depth)),
             ],
         }
     }
@@ -580,6 +668,16 @@ mod tests {
                 pruned: 2,
                 max_id: 500,
             },
+            EventKind::Sample {
+                generation: 3,
+                id: 0xdead_beef_cafe,
+                site: 12,
+                leaf: 4,
+                root: 0,
+                fingerprint: 0x9e37_79b9,
+                weight: 509,
+                depth: 17,
+            },
         ]
     }
 
@@ -612,6 +710,36 @@ mod tests {
         let text = events_to_json(&records);
         let back = events_from_json(&text).expect("parse");
         assert_eq!(records, back);
+    }
+
+    #[test]
+    fn sample_wire_encoding_saturates_weight_and_depth() {
+        let rec = EventRecord {
+            seq: 1,
+            nanos: 2,
+            tid: 3,
+            kind: EventKind::Sample {
+                generation: 9,
+                id: u64::MAX,
+                site: 1,
+                leaf: 2,
+                root: 0,
+                fingerprint: u32::MAX,
+                weight: 1 << 20,
+                depth: 1 << 20,
+            },
+        };
+        let back = EventRecord::from_words(rec.to_words()).expect("decodable");
+        match back.kind {
+            EventKind::Sample {
+                id, weight, depth, ..
+            } => {
+                assert_eq!(id, u64::MAX);
+                assert_eq!(weight, 0xffff);
+                assert_eq!(depth, 0xffff);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]

@@ -23,6 +23,12 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"migrations\": {},", self.migrations);
         let _ = writeln!(s, "  \"cc_overflows\": {},", self.cc_overflows);
         let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"profiler_samples\": {},", self.profiler_samples);
+        let _ = writeln!(
+            s,
+            "  \"profiler_sample_weight\": {},",
+            self.profiler_sample_weight
+        );
         let _ = writeln!(s, "  \"warm_seeded_edges\": {},", self.warm_seeded_edges);
         let _ = writeln!(s, "  \"warm_pruned_edges\": {},", self.warm_pruned_edges);
         let _ = writeln!(s, "  \"icache_hits\": {},", self.icache_hits);
@@ -75,7 +81,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
-        let counters: [(&str, &str, u64); 21] = [
+        let counters: [(&str, &str, u64); 23] = [
             ("dacce_traps_total", "Cold-start traps handled", self.traps),
             (
                 "dacce_edges_discovered_total",
@@ -108,6 +114,16 @@ impl MetricsSnapshot {
                 self.cc_overflows,
             ),
             ("dacce_samples_total", "Context samples taken", self.samples),
+            (
+                "dacce_profiler_samples_total",
+                "Continuous-profiler samples captured",
+                self.profiler_samples,
+            ),
+            (
+                "dacce_profiler_sample_weight_total",
+                "Events represented by profiler samples",
+                self.profiler_sample_weight,
+            ),
             (
                 "dacce_warm_seeded_edges_total",
                 "Warm-start edges seeded",
@@ -263,8 +279,14 @@ impl MetricsSnapshot {
 fn json_histogram(s: &mut String, name: &str, h: &HistogramSnapshot, trailing_comma: bool) {
     let _ = write!(
         s,
-        "  \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
-        h.count, h.sum, h.max
+        "  \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+        h.count,
+        h.sum,
+        h.max,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99)
     );
     for (i, (le, n)) in h.nonzero_buckets().iter().enumerate() {
         if i > 0 {
@@ -298,6 +320,11 @@ fn prom_histogram(s: &mut String, name: &str, help: &str, h: &HistogramSnapshot)
     let _ = writeln!(s, "{name}_sum {}", h.sum);
     let _ = writeln!(s, "{name}_count {}", h.count);
     let _ = writeln!(s, "{name}_max {}", h.max);
+    // Percentile summaries from the log2 buckets (upper-bound estimates),
+    // so dashboards need not reimplement the quantile walk.
+    let _ = writeln!(s, "{name}_p50 {}", h.quantile(0.50));
+    let _ = writeln!(s, "{name}_p95 {}", h.quantile(0.95));
+    let _ = writeln!(s, "{name}_p99 {}", h.quantile(0.99));
 }
 
 #[cfg(test)]
@@ -342,6 +369,10 @@ mod tests {
         assert!(json.contains("\"traps\": 12"));
         assert!(json.contains("\"generation\": 2"));
         assert!(json.contains("\"trap_ns\""));
+        // Both trap_ns observations land in log2 buckets bounded by 1023
+        // and 2047; the quantile reports the bucket upper bound.
+        assert!(json.contains("\"p50\": 1023"));
+        assert!(json.contains("\"p99\": 1500"));
     }
 
     #[test]
@@ -359,6 +390,9 @@ mod tests {
         assert!(text.contains("dacce_dict_edges{generation=\"2\"} 14"));
         assert!(text.contains("dacce_trap_ns_count 2"));
         assert!(text.contains("dacce_trap_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dacce_trap_ns_p50 "));
+        assert!(text.contains("dacce_trap_ns_p95 "));
+        assert!(text.contains("dacce_trap_ns_p99 1500"));
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines() {
             if line.starts_with('#') || line.is_empty() {

@@ -41,6 +41,12 @@ pub struct JournalBatch {
     pub events: Vec<EventRecord>,
     /// Records overwritten before this drain could read them.
     pub dropped: u64,
+    /// The same drops attributed to the writer thread whose ring lost
+    /// them, `(tid, dropped)` ascending by tid, zero-loss threads
+    /// omitted. Overwrites happen inside one producer's private ring, so
+    /// unlike the merged total the attribution is exact even when the
+    /// drain races the producers.
+    pub dropped_by_thread: Vec<(u32, u64)>,
 }
 
 /// Lock-free event journal shared by the runtime and its threads.
@@ -50,7 +56,7 @@ pub struct Journal {
     dropped: AtomicU64,
     epoch: Instant,
     config: JournalConfig,
-    rings: Mutex<Vec<Arc<EventRing>>>,
+    rings: Mutex<Vec<(u32, Arc<EventRing>)>>,
 }
 
 impl std::fmt::Debug for Journal {
@@ -106,7 +112,7 @@ impl Journal {
     #[must_use]
     pub fn writer(self: &Arc<Self>, tid: u32) -> JournalWriter {
         let ring = Arc::new(EventRing::new(self.config.ring_capacity));
-        self.rings.lock().push(Arc::clone(&ring));
+        self.rings.lock().push((tid, Arc::clone(&ring)));
         JournalWriter {
             journal: Arc::clone(self),
             ring,
@@ -115,18 +121,63 @@ impl Journal {
     }
 
     /// Drains every ring and merges the records into one stream ordered
-    /// by global sequence number.
+    /// by global sequence number. Ring-overwrite losses are reported both
+    /// as a merged total and attributed to the writer thread that owned
+    /// the overwritten ring.
     #[must_use]
     pub fn drain(&self) -> JournalBatch {
-        let rings: Vec<Arc<EventRing>> = self.rings.lock().clone();
+        let rings: Vec<(u32, Arc<EventRing>)> = self.rings.lock().clone();
         let mut events = Vec::new();
         let mut dropped = 0;
-        for ring in rings {
-            dropped += ring.drain_into(&mut events);
+        let mut dropped_by_thread: Vec<(u32, u64)> = Vec::new();
+        for (tid, ring) in rings {
+            let lost = ring.drain_into(&mut events);
+            if lost > 0 {
+                dropped += lost;
+                // A tid can own several rings (writer re-registration);
+                // fold its losses into one entry.
+                match dropped_by_thread.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, d)) => *d += lost,
+                    None => dropped_by_thread.push((tid, lost)),
+                }
+            }
         }
+        dropped_by_thread.sort_unstable_by_key(|&(tid, _)| tid);
         events.sort_unstable_by_key(|e| e.seq);
         self.dropped.fetch_add(dropped, Ordering::Relaxed);
-        JournalBatch { events, dropped }
+        JournalBatch {
+            events,
+            dropped,
+            dropped_by_thread,
+        }
+    }
+
+    /// Reads what a drain would return without consuming it: cursors and
+    /// the drop accounting are untouched, so the owner of the live drain
+    /// still sees every record. This is the flight recorder's view.
+    #[must_use]
+    pub fn peek(&self) -> JournalBatch {
+        let rings: Vec<(u32, Arc<EventRing>)> = self.rings.lock().clone();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut dropped_by_thread: Vec<(u32, u64)> = Vec::new();
+        for (tid, ring) in rings {
+            let lost = ring.peek_into(&mut events);
+            if lost > 0 {
+                dropped += lost;
+                match dropped_by_thread.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, d)) => *d += lost,
+                    None => dropped_by_thread.push((tid, lost)),
+                }
+            }
+        }
+        dropped_by_thread.sort_unstable_by_key(|&(tid, _)| tid);
+        events.sort_unstable_by_key(|e| e.seq);
+        JournalBatch {
+            events,
+            dropped,
+            dropped_by_thread,
+        }
     }
 }
 
@@ -201,7 +252,7 @@ impl JournalWriter {
 /// Field names match their `DacceStats` counterparts where one exists, so
 /// a journal captured with large-enough rings can be checked against the
 /// engine's own accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct JournalAggregates {
     /// `Trap` events (== `DacceStats::traps` when nothing was dropped).
     pub traps: u64,
@@ -230,9 +281,27 @@ pub struct JournalAggregates {
     pub warm_pruned: u64,
     /// Highest ccStack depth seen in any ccStack event.
     pub max_cc_depth: u32,
+    /// `Sample` events (profiler captures that reached the journal).
+    pub samples: u64,
+    /// Sum of `Sample` weights — the events of execution the samples
+    /// stand in for.
+    pub sample_weight: u64,
+    /// Ring-overwrite losses attributed to the thread whose ring lost
+    /// them, `(tid, dropped)` ascending by tid. Empty when replaying a
+    /// bare event stream; populated by [`JournalAggregates::replay_batch`].
+    pub dropped_by_thread: Vec<(u32, u64)>,
 }
 
 impl JournalAggregates {
+    /// Replays a drained batch: aggregates the events and carries over
+    /// the batch's per-thread drop attribution.
+    #[must_use]
+    pub fn replay_batch(batch: &JournalBatch) -> JournalAggregates {
+        let mut agg = JournalAggregates::replay(&batch.events);
+        agg.dropped_by_thread.clone_from(&batch.dropped_by_thread);
+        agg
+    }
+
     /// Replays a stream of records into aggregate counters.
     #[must_use]
     pub fn replay(events: &[EventRecord]) -> JournalAggregates {
@@ -266,6 +335,11 @@ impl JournalAggregates {
                 EventKind::WarmSeed { seeded, pruned, .. } => {
                     agg.warm_seeded += u64::from(seeded);
                     agg.warm_pruned += u64::from(pruned);
+                }
+                EventKind::Sample { weight, depth, .. } => {
+                    agg.samples += 1;
+                    agg.sample_weight += u64::from(weight);
+                    agg.max_cc_depth = agg.max_cc_depth.max(depth);
                 }
             }
         }
@@ -331,6 +405,55 @@ mod tests {
             callee: 2,
         });
         assert_eq!(journal.drain().events.len(), 1);
+    }
+
+    #[test]
+    fn drops_are_attributed_to_the_overflowing_thread() {
+        let journal = Arc::new(Journal::new(JournalConfig {
+            ring_capacity: 8,
+            ..JournalConfig::default()
+        }));
+        journal.set_enabled(true);
+        let quiet = journal.writer(1);
+        let noisy = journal.writer(2);
+        for i in 0..4u32 {
+            quiet.emit(EventKind::CcPush { depth: i });
+        }
+        for i in 0..40u32 {
+            noisy.emit(EventKind::CcPop { depth: i });
+        }
+        let batch = journal.drain();
+        assert_eq!(batch.dropped, 32);
+        assert_eq!(batch.dropped_by_thread, vec![(2, 32)]);
+        let agg = JournalAggregates::replay_batch(&batch);
+        assert_eq!(agg.dropped_by_thread, vec![(2, 32)]);
+        assert_eq!(agg.cc_pushes, 4);
+        assert_eq!(agg.cc_pops, 8);
+        // A clean follow-up drain attributes nothing.
+        assert!(journal.drain().dropped_by_thread.is_empty());
+    }
+
+    #[test]
+    fn sample_events_aggregate_count_and_weight() {
+        let journal = Arc::new(Journal::new(JournalConfig::default()));
+        journal.set_enabled(true);
+        let writer = journal.writer(0);
+        for i in 0..5u64 {
+            writer.emit(EventKind::Sample {
+                generation: 1,
+                id: i,
+                site: 2,
+                leaf: 3,
+                root: 0,
+                fingerprint: 7,
+                weight: 100,
+                depth: u32::try_from(i).unwrap(),
+            });
+        }
+        let agg = JournalAggregates::replay(&journal.drain().events);
+        assert_eq!(agg.samples, 5);
+        assert_eq!(agg.sample_weight, 500);
+        assert_eq!(agg.max_cc_depth, 4);
     }
 
     #[test]

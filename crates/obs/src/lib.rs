@@ -17,6 +17,10 @@
 //! - **Fleet pump** ([`FleetPump`]): merges many runtimes' drained
 //!   metrics and journals into one labeled surface — per-tenant
 //!   `tenant="…"` Prometheus series plus `dacce_fleet_` aggregates.
+//! - **Continuous profiler** ([`profiler`]): the deterministic
+//!   budget-bounded [`Sampler`] behind `Sample` events, the re-encode
+//!   [`SpanTimeline`] with its pause histogram, and collapsed-stack
+//!   [`FlameGraph`] export with lineage-keyed fleet merge.
 //! - The `dacce` core crate wires both into the engine behind its `obs`
 //!   feature; the `dacce-top` binary renders them live (`--fleet` for the
 //!   multi-tenant view).
@@ -30,6 +34,7 @@ pub mod export;
 pub mod fleet;
 pub mod journal;
 pub mod metrics;
+pub mod profiler;
 pub mod ring;
 
 pub use event::{events_from_json, events_to_json, EventKind, EventRecord};
@@ -39,3 +44,4 @@ pub use metrics::{
     Counter, GenerationInfo, Histogram, HistogramSnapshot, IdHeadroom, MetricsRegistry,
     MetricsSnapshot,
 };
+pub use profiler::{merge_by_lineage, FlameGraph, ReencodeSpan, Sampler, SpanTimeline};

@@ -289,6 +289,10 @@ pub struct MetricsRegistry {
     pub cc_overflows: Counter,
     /// Context samples taken.
     pub samples: Counter,
+    /// Continuous-profiler samples captured.
+    pub profiler_samples: Counter,
+    /// Total weight of continuous-profiler samples (events represented).
+    pub profiler_sample_weight: Counter,
     /// Warm-start edges seeded.
     pub warm_seeded_edges: Counter,
     /// Warm-start edges pruned for id budget.
@@ -364,6 +368,8 @@ impl MetricsRegistry {
             migrations: self.migrations.get(),
             cc_overflows: self.cc_overflows.get(),
             samples: self.samples.get(),
+            profiler_samples: self.profiler_samples.get(),
+            profiler_sample_weight: self.profiler_sample_weight.get(),
             warm_seeded_edges: self.warm_seeded_edges.get(),
             warm_pruned_edges: self.warm_pruned_edges.get(),
             icache_hits: self.icache_hits.get(),
@@ -408,6 +414,10 @@ pub struct MetricsSnapshot {
     pub cc_overflows: u64,
     /// Context samples taken.
     pub samples: u64,
+    /// Continuous-profiler samples captured.
+    pub profiler_samples: u64,
+    /// Total weight of continuous-profiler samples (events represented).
+    pub profiler_sample_weight: u64,
     /// Warm-start edges seeded.
     pub warm_seeded_edges: u64,
     /// Warm-start edges pruned for id budget.
@@ -467,6 +477,8 @@ impl MetricsSnapshot {
         self.migrations += other.migrations;
         self.cc_overflows += other.cc_overflows;
         self.samples += other.samples;
+        self.profiler_samples += other.profiler_samples;
+        self.profiler_sample_weight += other.profiler_sample_weight;
         self.warm_seeded_edges += other.warm_seeded_edges;
         self.warm_pruned_edges += other.warm_pruned_edges;
         self.icache_hits += other.icache_hits;

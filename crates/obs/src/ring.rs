@@ -86,8 +86,20 @@ impl EventRing {
     /// Drains all records published since the previous drain into `out`,
     /// oldest first, and returns how many were lost to overwriting (or to
     /// a racing writer). Single-consumer: callers serialise externally.
-    #[allow(clippy::cast_possible_truncation)]
     pub fn drain_into(&self, out: &mut Vec<EventRecord>) -> u64 {
+        self.collect_into(out, true)
+    }
+
+    /// Reads the records a drain would return without consuming them:
+    /// the drain cursor stays put, so a subsequent [`EventRing::drain_into`]
+    /// still sees everything. Used by the flight recorder, which must not
+    /// steal events from whoever owns the live drain.
+    pub fn peek_into(&self, out: &mut Vec<EventRecord>) -> u64 {
+        self.collect_into(out, false)
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn collect_into(&self, out: &mut Vec<EventRecord>, consume: bool) -> u64 {
         let head = self.head.load(protocol::RING_HEAD_READ);
         let already = self.drained.load(Ordering::Relaxed);
         let cap = self.mask + 1;
@@ -116,7 +128,9 @@ impl EventRing {
                 None => dropped += 1,
             }
         }
-        self.drained.store(head, Ordering::Relaxed);
+        if consume {
+            self.drained.store(head, Ordering::Relaxed);
+        }
         dropped
     }
 }
@@ -161,6 +175,21 @@ mod tests {
         let mut again = Vec::new();
         assert_eq!(ring.drain_into(&mut again), 0);
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let ring = EventRing::new(16);
+        for i in 0..5 {
+            ring.push(&rec(i));
+        }
+        let mut peeked = Vec::new();
+        assert_eq!(ring.peek_into(&mut peeked), 0);
+        assert_eq!(peeked.len(), 5);
+        // The drain still sees everything the peek saw.
+        let mut drained = Vec::new();
+        assert_eq!(ring.drain_into(&mut drained), 0);
+        assert_eq!(drained, peeked);
     }
 
     #[test]

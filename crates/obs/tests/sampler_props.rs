@@ -1,0 +1,139 @@
+//! Property tests for the continuous profiler's [`Sampler`]: the
+//! differential profile tests in the workloads crate rely on it being a
+//! pure function of `(stride, seed, budget)` and the tick sequence, with
+//! bounded jittered gaps and a bounded backoff. These properties pin
+//! that contract independently of any engine.
+
+use dacce_obs::Sampler;
+use proptest::prelude::*;
+
+/// Max backoff shift the rate controller may apply (mirrors the
+/// implementation constant; a sampler must never back off further).
+const MAX_BACKOFF_SHIFT: u32 = 10;
+
+/// Ticks a fresh sampler `n` times and records `(tick_index, weight)` of
+/// every fire.
+fn fires(stride: u64, seed: u64, budget: u64, n: u64) -> Vec<(u64, u64)> {
+    let mut s = Sampler::new(stride, seed, budget);
+    (0..n).filter_map(|i| s.tick().map(|w| (i, w))).collect()
+}
+
+proptest! {
+    /// Same parameters, same tick count → byte-identical fire schedule.
+    #[test]
+    fn deterministic_in_parameters(
+        stride in 1u64..2000,
+        seed in 0u64..1_000_000_007,
+        budget in 0u64..128,
+        n in 1u64..20_000,
+    ) {
+        prop_assert_eq!(
+            fires(stride, seed, budget, n),
+            fires(stride, seed, budget, n)
+        );
+    }
+
+    /// A clone mid-stream continues exactly like the original.
+    #[test]
+    fn clone_preserves_schedule(
+        stride in 1u64..500,
+        seed in 0u64..1_000_000_007,
+        split in 0u64..5_000,
+    ) {
+        let mut a = Sampler::new(stride, seed, 0);
+        for _ in 0..split {
+            let _ = a.tick();
+        }
+        let mut b = a.clone();
+        let rest_a: Vec<Option<u64>> = (0..2_000).map(|_| a.tick()).collect();
+        let rest_b: Vec<Option<u64>> = (0..2_000).map(|_| b.tick()).collect();
+        prop_assert_eq!(rest_a, rest_b);
+    }
+
+    /// With the controller inert (budget 0), every reported weight stays
+    /// inside the jitter window around the configured stride, and the
+    /// weights account for almost all ticks (all but the gap in flight).
+    #[test]
+    fn unbudgeted_gaps_are_bounded_and_conservative(
+        stride in 1u64..2000,
+        seed in 0u64..1_000_000_007,
+        n in 1u64..50_000,
+    ) {
+        let span = (stride / 2).max(1);
+        let fired = fires(stride, seed, 0, n);
+        let mut total = 0u64;
+        for &(_, w) in &fired {
+            prop_assert!(w >= 1);
+            prop_assert!(
+                w >= stride.saturating_sub(span / 2).max(1) && w <= stride + span,
+                "weight {w} outside jitter window of stride {stride}"
+            );
+            total += w;
+        }
+        prop_assert!(total <= n, "weights {total} overcount {n} ticks");
+        prop_assert!(
+            n - total <= stride + span,
+            "undercount exceeds one armed gap: {n} ticks, weight {total}"
+        );
+    }
+
+    /// `skip(n)` with `n < remaining()` is indistinguishable from `n`
+    /// non-firing ticks — the hoisted batch path and the per-op path
+    /// produce the same schedule, weights and tick accounting.
+    #[test]
+    fn skip_matches_nonfiring_ticks(
+        stride in 2u64..2000,
+        seed in 0u64..1_000_000_007,
+        warm in 0u64..5_000,
+    ) {
+        let mut a = Sampler::new(stride, seed, 8);
+        for _ in 0..warm {
+            let _ = a.tick();
+        }
+        let mut b = a.clone();
+        let n = a.remaining() - 1;
+        a.skip(n);
+        for _ in 0..n {
+            prop_assert!(b.tick().is_none());
+        }
+        prop_assert_eq!(a.seen(), b.seen());
+        prop_assert_eq!(a.remaining(), b.remaining());
+        let rest_a: Vec<Option<u64>> = (0..5_000).map(|_| a.tick()).collect();
+        let rest_b: Vec<Option<u64>> = (0..5_000).map(|_| b.tick()).collect();
+        prop_assert_eq!(rest_a, rest_b);
+    }
+
+    /// Stride 0 disables the sampler outright.
+    #[test]
+    fn stride_zero_never_fires(seed in 0u64..1_000_000_007, n in 0u64..10_000) {
+        let mut s = Sampler::new(0, seed, 16);
+        prop_assert!(!s.is_enabled());
+        for _ in 0..n {
+            prop_assert!(s.tick().is_none());
+        }
+        prop_assert_eq!(s.taken(), 0);
+    }
+
+    /// The budget controller may stretch the effective stride but never
+    /// below the base stride nor past the hard backoff cap, and weights
+    /// still never overcount ticks.
+    #[test]
+    fn budgeted_backoff_stays_bounded(
+        stride in 1u64..200,
+        seed in 0u64..1_000_000_007,
+        budget in 1u64..8,
+        n in 1u64..50_000,
+    ) {
+        let mut s = Sampler::new(stride, seed, budget);
+        let mut total = 0u64;
+        for _ in 0..n {
+            if let Some(w) = s.tick() {
+                total += w;
+            }
+            prop_assert!(s.effective_stride() >= stride);
+            prop_assert!(s.effective_stride() <= stride << MAX_BACKOFF_SHIFT);
+        }
+        prop_assert!(total <= n);
+        prop_assert_eq!(s.seen(), n);
+    }
+}

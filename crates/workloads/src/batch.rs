@@ -31,22 +31,30 @@ use crate::spec::BenchSpec;
 
 /// One recorded instrumentation op of one thread.
 #[derive(Clone, Copy, Debug)]
-pub(crate) enum TraceOp {
+pub enum TraceOp {
+    /// An instrumented call through `site` into `target`.
     Call {
+        /// The call site in the caller.
         site: CallSiteId,
+        /// The callee entered.
         target: FunctionId,
+        /// Whether the site dispatches indirectly (pointer/vtable).
         indirect: bool,
     },
+    /// The matching return of the innermost open call.
     Ret,
 }
 
 /// One recorded thread: its id, root function and (for spawned threads)
 /// the parent thread and spawn site.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct ThreadStart {
-    pub(crate) tid: ThreadId,
-    pub(crate) root: FunctionId,
-    pub(crate) parent: Option<(ThreadId, CallSiteId)>,
+pub struct ThreadStart {
+    /// The interpreter's thread id (dense, main = 0).
+    pub tid: ThreadId,
+    /// The function the thread starts in.
+    pub root: FunctionId,
+    /// `(parent thread, spawn site)` for spawned threads, `None` for main.
+    pub parent: Option<(ThreadId, CallSiteId)>,
 }
 
 /// The recorded streams of one interpreter run: per-thread op sequences
@@ -54,8 +62,9 @@ pub(crate) struct ThreadStart {
 #[derive(Debug, Default)]
 pub struct WorkloadTrace {
     /// Thread starts in order; parents always precede their children.
-    pub(crate) threads: Vec<ThreadStart>,
-    pub(crate) traces: HashMap<ThreadId, Vec<TraceOp>>,
+    pub threads: Vec<ThreadStart>,
+    /// Per-thread recorded op sequences.
+    pub traces: HashMap<ThreadId, Vec<TraceOp>>,
 }
 
 impl WorkloadTrace {

@@ -1,0 +1,191 @@
+//! Differential tests for the continuous profiler.
+//!
+//! 1. **Weighted sub-multiset** — on every suite workload, the profiler's
+//!    decoded profile must be a weighted sub-multiset of the profile a
+//!    *shadow* sampler collects at the same program points: the tracker's
+//!    sampler is deterministic in `(stride, seed ^ tid, budget)` and the
+//!    per-thread tick sequence, so an external replica predicts exactly
+//!    which call events fire and with what weight. The runtime's ring and
+//!    backlog are capacity-bounded (they may *drop* samples, oldest
+//!    first) but must never invent a context or inflate a weight.
+//! 2. **Feedback soundness** — with `profiler_feedback` on, re-encoding
+//!    consumes sampled hotness when picking hottest incoming edges. That
+//!    may change *which* edges get the cheap encodings, but every context
+//!    must still decode to exactly the path the feedback-off run decodes
+//!    at the same op.
+
+use std::collections::HashMap;
+
+use dacce::tracker::Tracker;
+use dacce::DacceConfig;
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_obs::Sampler;
+use dacce_program::{ContextPath, ThreadId};
+use dacce_workloads::batch::{ThreadStart, TraceOp, WorkloadTrace};
+use dacce_workloads::chaos::{chaos_trace, replay_sampled};
+use dacce_workloads::{all_benchmarks, BenchSpec, DriverConfig};
+
+fn scale() -> f64 {
+    std::env::var("DACCE_PROFILER_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02)
+}
+
+/// Replays `trace` with guards only (one `enter` per call op, so the
+/// thread's sampler ticks exactly once per call) while a shadow sampler
+/// with the same parameters predicts every fire and records the decoded
+/// context at that point. Returns the shadow profile and the tracker.
+fn replay_with_shadow(
+    trace: &WorkloadTrace,
+    config: &DacceConfig,
+) -> (HashMap<ContextPath, u64>, u64, Tracker) {
+    let tracker = Tracker::with_config(config.clone());
+    let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
+    let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    let mut handles: HashMap<ThreadId, dacce::tracker::ThreadHandle> = HashMap::new();
+    let mut shadow: HashMap<ContextPath, u64> = HashMap::new();
+    let mut shadow_total = 0u64;
+
+    for &ThreadStart { tid, root, parent } in &trace.threads {
+        let root = *fn_map
+            .entry(root)
+            .or_insert_with(|| tracker.define_function(&format!("fn{}", root.index())));
+        let th = match parent {
+            None => tracker.register_thread(root),
+            Some((ptid, psite)) => {
+                let psite = *site_map
+                    .entry(psite)
+                    .or_insert_with(|| tracker.define_call_site());
+                let parent = handles.get(&ptid).expect("parent registered before child");
+                tracker.register_spawned_thread(root, parent, psite)
+            }
+        };
+        handles.insert(tid, th);
+        let th = &handles[&tid];
+        let mut sampler = Sampler::new(
+            config.profiler_stride,
+            config.profiler_seed ^ u64::from(th.id().raw()),
+            config.profiler_budget,
+        );
+
+        let mut guards = Vec::new();
+        for op in &trace.traces[&tid] {
+            match *op {
+                TraceOp::Call {
+                    site,
+                    target,
+                    indirect,
+                } => {
+                    let site = *site_map
+                        .entry(site)
+                        .or_insert_with(|| tracker.define_call_site());
+                    let target = *fn_map.entry(target).or_insert_with(|| {
+                        tracker.define_function(&format!("fn{}", target.index()))
+                    });
+                    guards.push(if indirect {
+                        th.call_indirect(site, target)
+                    } else {
+                        th.call(site, target)
+                    });
+                    if let Some(weight) = sampler.tick() {
+                        let ctx = th.sample();
+                        let path = tracker.decode(&ctx).expect("engine contexts decode");
+                        *shadow.entry(path).or_insert(0) += weight;
+                        shadow_total += weight;
+                    }
+                }
+                TraceOp::Ret => drop(guards.pop().expect("balanced trace")),
+            }
+        }
+        while let Some(g) = guards.pop() {
+            drop(g);
+        }
+    }
+    (shadow, shadow_total, tracker)
+}
+
+#[test]
+fn sampled_profile_is_weighted_submultiset_on_every_suite_workload() {
+    let cfg = DriverConfig {
+        scale: scale(),
+        ..DriverConfig::default()
+    };
+    // A small prime stride so even scaled-down workloads fire plenty of
+    // samples; an eager re-encode config so samples straddle generations.
+    let dacce_cfg = DacceConfig {
+        edge_threshold: 4,
+        min_events_between_reencodes: 64,
+        profiler_stride: 61,
+        ..DacceConfig::default()
+    };
+    for spec in all_benchmarks() {
+        let trace = chaos_trace(&spec, &cfg);
+        let (shadow, shadow_total, tracker) = replay_with_shadow(&trace, &dacce_cfg);
+        assert!(
+            shadow_total <= trace.calls(),
+            "{}: shadow weights {} overcount {} call events",
+            spec.name,
+            shadow_total,
+            trace.calls()
+        );
+        let profile = tracker.profiler_profile();
+        assert!(
+            profile.total() <= shadow_total,
+            "{}: profile weight {} exceeds shadow weight {}",
+            spec.name,
+            profile.total(),
+            shadow_total
+        );
+        for (path, weight) in profile.top(profile.distinct()) {
+            let shadow_weight = shadow.get(&path).copied().unwrap_or(0);
+            assert!(
+                weight <= shadow_weight,
+                "{}: profiled context carries weight {} but the shadow sampler \
+                 only saw {} at {}",
+                spec.name,
+                weight,
+                shadow_weight,
+                tracker.format_path(&path)
+            );
+        }
+        tracker.check_invariants().expect("invariants hold");
+    }
+}
+
+#[test]
+fn profiler_feedback_never_changes_decoded_contexts() {
+    let cfg = DriverConfig {
+        scale: scale(),
+        ..DriverConfig::default()
+    };
+    let base = DacceConfig {
+        edge_threshold: 4,
+        min_events_between_reencodes: 32,
+        profiler_stride: 61,
+        ..DacceConfig::default()
+    };
+    let specs = [
+        BenchSpec::tiny("profiler-feedback-a", 29),
+        BenchSpec::tiny("profiler-feedback-b", 31),
+    ];
+    for spec in &specs {
+        let trace = chaos_trace(spec, &cfg);
+        let off = replay_sampled(&trace, base.clone());
+        let on = replay_sampled(
+            &trace,
+            DacceConfig {
+                profiler_feedback: true,
+                ..base.clone()
+            },
+        );
+        assert_eq!(off.decode_failures, 0, "{}: clean run decodes", spec.name);
+        assert_eq!(on.decode_failures, 0, "{}: feedback run decodes", spec.name);
+        assert_eq!(
+            off.paths, on.paths,
+            "{}: profiler feedback changed a decoded context",
+            spec.name
+        );
+        assert!(on.invariant_error.is_none(), "{}: invariants", spec.name);
+    }
+}
