@@ -7,7 +7,10 @@ Usage: perf_gate.py BASELINE.csv CANDIDATE.csv [--threshold 0.25]
 Both files are the per-op CSVs the quick-mode benches record
 (`results/dispatch.csv`, `results/tracker_scale.csv`): a header row, then
 one row per variant whose *last* column is the per-op nanosecond figure and
-whose remaining columns form the variant key.
+whose remaining columns form the variant key. CSVs that carry extra
+informational columns after the timing (`results/superops.csv` appends a
+hit-rate column) pass `--key-cols N`: the first N columns form the key,
+column N+1 is the per-op figure, and everything after it is ignored.
 
 In the default two-file mode the gate fails (exit 1) when
 
@@ -33,16 +36,27 @@ import csv
 import sys
 
 
-def load(path):
-    """Returns {variant-key-tuple: per-op-ns} for one CSV."""
+def load(path, key_cols=None):
+    """Returns {variant-key-tuple: per-op-ns} for one CSV.
+
+    By default the last column is the per-op value and everything before
+    it is the key; with `key_cols` the first `key_cols` columns are the
+    key, the next column is the value and trailing columns are ignored.
+    """
     with open(path, newline="") as fh:
         rows = [r for r in csv.reader(fh) if r]
     if len(rows) < 2:
         sys.exit(f"perf-gate: {path}: no data rows")
     out = {}
     for row in rows[1:]:
+        if key_cols is not None and len(row) <= key_cols:
+            sys.exit(f"perf-gate: {path}: row {row!r} has no value column "
+                     f"after {key_cols} key columns")
+        key, value = ((tuple(row[:key_cols]), row[key_cols])
+                      if key_cols is not None
+                      else (tuple(row[:-1]), row[-1]))
         try:
-            out[tuple(row[:-1])] = float(row[-1])
+            out[key] = float(value)
         except ValueError:
             sys.exit(f"perf-gate: {path}: non-numeric per-op value in {row!r}")
     return out
@@ -51,7 +65,7 @@ def load(path):
 def ratio_gate(args):
     """On/off self-comparison of one CSV (see module docstring)."""
     threshold = args.threshold if args.threshold is not None else 0.03
-    rows = load(args.baseline)
+    rows = load(args.baseline, args.key_cols)
     on = {k[:-1]: v for k, v in rows.items() if k[-1] == args.on_tag}
     off = {k[:-1]: v for k, v in rows.items() if k[-1] == args.off_tag}
     if not on and not off:
@@ -102,7 +116,14 @@ def main():
                     help="variant tag of the gated rows (default 'on')")
     ap.add_argument("--off-tag", default="off",
                     help="variant tag of the reference rows (default 'off')")
+    ap.add_argument("--key-cols", type=int, default=None,
+                    help="first N columns form the variant key and column "
+                         "N+1 is the per-op value; trailing informational "
+                         "columns are ignored (default: last column is the "
+                         "value)")
     args = ap.parse_args()
+    if args.key_cols is not None and args.key_cols < 1:
+        ap.error("--key-cols must be at least 1")
 
     if args.ratio:
         if args.candidate is not None:
@@ -113,8 +134,8 @@ def main():
     if args.threshold is None:
         args.threshold = 0.25
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    base = load(args.baseline, args.key_cols)
+    cand = load(args.candidate, args.key_cols)
 
     failures = []
     print(f"perf-gate: {args.candidate} vs {args.baseline} "

@@ -183,6 +183,52 @@ class PerfGateTest(unittest.TestCase):
         code, _ = self.run_ratio_gate(rows, threshold=0.03)
         self.assertEqual(code, 1)
 
+    def run_ratio_gate_keycols(self, rows, key_cols, threshold=None):
+        """--ratio mode with an explicit --key-cols on one CSV."""
+        header = ["threads", "variant", "per_op_ns", "hit_rate"]
+        path = write_csv(self.dir, "keycols.csv", [header] + rows)
+        argv = ["perf_gate.py", "--ratio", path, "--key-cols", str(key_cols)]
+        if threshold is not None:
+            argv += ["--threshold", str(threshold)]
+        out = io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(out):
+                code = perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue()
+
+    def test_key_cols_ignores_trailing_hit_rate_column(self):
+        # superops.csv shape: the timing sits before an informational
+        # hit-rate column, so --key-cols 2 must pair on (threads, variant)
+        # and gate on column 3 only.
+        rows = [["1", "off", "17.0", "0.00"], ["1", "on", "8.0", "0.97"],
+                ["4", "off", "18.0", "0.00"], ["4", "on", "18.2", "0.95"]]
+        code, out = self.run_ratio_gate_keycols(rows, key_cols=2)
+        self.assertEqual(code, 0)
+        self.assertIn("perf-gate: ok", out)
+
+    def test_key_cols_still_detects_a_regression(self):
+        rows = [["1", "off", "17.0", "0.00"], ["1", "on", "18.0", "0.99"]]
+        code, out = self.run_ratio_gate_keycols(rows, key_cols=2)  # +5.9%
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_key_cols_row_without_value_column_is_a_hard_error(self):
+        path = write_csv(self.dir, "short.csv",
+                         [["threads", "variant", "per_op_ns"],
+                          ["1", "off"]])
+        old_argv = sys.argv
+        sys.argv = ["perf_gate.py", "--ratio", path, "--key-cols", "2"]
+        try:
+            with self.assertRaises(SystemExit) as cm:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        self.assertIn("no value column", str(cm.exception))
+
     def test_non_numeric_per_op_value_is_a_hard_error(self):
         base = write_csv(self.dir, "base.csv",
                          [HEADER, ["dispatch", "direct", "12.5"]])

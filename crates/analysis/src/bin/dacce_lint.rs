@@ -1,6 +1,6 @@
 //! `dacce-lint` — audit exported DACCE engine states.
 //!
-//! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] <export-file>...`
+//! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--superops] [--degraded] <export-file>...`
 //! or: `dacce-lint --fleet <tenant-export> <twin-export>`
 //! or: `dacce-lint --postmortem <dump-file> [<export-file>...]`
 //! or: `dacce-lint --list-rules`
@@ -14,7 +14,10 @@
 //! traps/edges/re-encodes arithmetic must agree. With `--dispatch`, the
 //! export's compiled dispatch table (the flat slot-indexed fast path) is
 //! verified edge-for-edge against the latest dictionary (rule
-//! `dispatch-table`). With `--degraded`, the exported degraded-state
+//! `dispatch-table`). With `--superops`, every superop of the export's
+//! compiled table is re-folded over the dispatch actions of its window
+//! and checked against the net effect it memoizes (rule
+//! `superop-net-effect`). With `--degraded`, the exported degraded-state
 //! counters are checked for internal consistency (rule `degraded-state`).
 //! With `--fleet`, exactly two exports are expected — a shared-lineage
 //! fleet tenant and its standalone twin — and the pair is cross-checked
@@ -33,12 +36,15 @@ use std::process::ExitCode;
 use dacce_analyze::lint;
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
 use dacce_analyze::postmortem::verify_postmortem;
-use dacce_analyze::verifier::{verify_degraded, verify_dispatch, verify_export, verify_fleet_twin};
+use dacce_analyze::verifier::{
+    verify_degraded, verify_dispatch, verify_export, verify_fleet_twin, verify_superops,
+};
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut postmortem: Option<String> = None;
     let mut dispatch = false;
+    let mut superops = false;
     let mut degraded = false;
     let mut fleet = false;
     let mut files: Vec<String> = Vec::new();
@@ -70,6 +76,8 @@ fn main() -> ExitCode {
             }
         } else if arg == "--dispatch" {
             dispatch = true;
+        } else if arg == "--superops" {
+            superops = true;
         } else if arg == "--degraded" {
             degraded = true;
         } else if arg == "--fleet" {
@@ -80,8 +88,8 @@ fn main() -> ExitCode {
     }
     if files.is_empty() && postmortem.is_none() {
         eprintln!(
-            "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--degraded] \
-             [--postmortem <dump-file>] <export-file>... \
+            "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--superops] \
+             [--degraded] [--postmortem <dump-file>] <export-file>... \
              | dacce-lint --fleet <tenant-export> <twin-export>"
         );
         return ExitCode::from(2);
@@ -169,6 +177,13 @@ fn main() -> ExitCode {
                 errors += 1;
             }
             diags.extend(verify_dispatch(&decoder));
+        }
+        if superops {
+            if decoder.superops().is_empty() {
+                eprintln!("{file}: --superops requested but export carries no superop records");
+                errors += 1;
+            }
+            diags.extend(verify_superops(&decoder));
         }
         if degraded {
             diags.extend(verify_degraded(&decoder));

@@ -133,6 +133,12 @@ pub const RULES: &[RuleInfo] = &[
         enabled_by: "--dispatch",
     },
     RuleInfo {
+        id: "superop-net-effect",
+        severity: Severity::Error,
+        summary: "every exported superop re-folds to exactly the net effect it memoizes",
+        enabled_by: "--superops",
+    },
+    RuleInfo {
         id: "degraded-state",
         severity: Severity::Error,
         summary: "exported DegradedState arithmetic is internally consistent",

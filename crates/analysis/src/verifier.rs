@@ -15,6 +15,7 @@
 //! | `hottest-zero` | warning | every join node has an incoming edge encoded 0 (the hottest edge after adaptive re-encoding) |
 //! | `overflow-budget` | error | `2*maxID+1` and every path sum fit in 64 bits |
 //! | `dispatch-table` | error | the exported compiled dispatch table agrees edge-for-edge with the latest dictionary (opt-in via [`verify_dispatch`] / `dacce-lint --dispatch`) |
+//! | `superop-net-effect` | error | every exported superop re-folds — event-by-event over the compiled dispatch actions — to exactly the net effect it memoizes, and its window passes every compile-time refusal rule (opt-in via [`verify_superops`] / `dacce-lint --superops`) |
 //! | `degraded-state` | error | the exported [`DegradedState`] arithmetic is internally consistent — traps recorded imply degraded mode, the trap counter covers every trap node, spill events and the spilled peak move together (opt-in via [`verify_degraded`] / `dacce-lint --degraded`) |
 //! | `fleet-twin` | error | a shared-lineage tenant's export is identical — dictionaries, owners, compiled dispatch — to a standalone twin of the same program (opt-in via [`verify_fleet_twin`] / `dacce-lint --fleet`) |
 //!
@@ -29,7 +30,7 @@
 use std::collections::HashMap;
 
 use dacce::patch::EdgeAction;
-use dacce::{DacceEngine, DispatchKind, OfflineDecoder};
+use dacce::{DacceEngine, DispatchKind, OfflineDecoder, WindowOp};
 use dacce_callgraph::encode::MAX_ENCODABLE_ID;
 use dacce_callgraph::{CallSiteId, DecodeDict, DictEdge, DictStore, FunctionId, TimeStamp};
 
@@ -274,6 +275,268 @@ pub fn verify_degraded(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
              spilled peak of {} entries",
             d.cc_spill_events, d.cc_spilled_peak
         )));
+    }
+    out
+}
+
+/// Symbolic context id used by the superop re-fold: the unknown id at
+/// window entry plus a wrapping offset, or a concrete constant (a ccStack
+/// push resets the id to `maxID + 1`). Mirrors the runtime compiler's
+/// symbolic domain so the lint proves the same identity independently.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SymId {
+    /// `entry + off` (wrapping).
+    Entry(u64),
+    /// The concrete value `off`.
+    Const(u64),
+}
+
+impl SymId {
+    fn add(self, d: u64) -> SymId {
+        match self {
+            SymId::Entry(off) => SymId::Entry(off.wrapping_add(d)),
+            SymId::Const(off) => SymId::Const(off.wrapping_add(d)),
+        }
+    }
+
+    fn sub(self, d: u64) -> SymId {
+        match self {
+            SymId::Entry(off) => SymId::Entry(off.wrapping_sub(d)),
+            SymId::Const(off) => SymId::Const(off.wrapping_sub(d)),
+        }
+    }
+
+    /// Value equality when decidable for every possible entry id: same
+    /// variant compares offsets, mixed variants are undecidable.
+    fn eq_decidable(self, other: SymId) -> Option<bool> {
+        match (self, other) {
+            (SymId::Entry(a), SymId::Entry(b)) | (SymId::Const(a), SymId::Const(b)) => Some(a == b),
+            _ => None,
+        }
+    }
+}
+
+/// The bookkeeping deltas a superop window folds to.
+struct SuperOpFold {
+    calls: u64,
+    cc_ops: u64,
+    compress_hits: u64,
+    cc_peak: usize,
+}
+
+/// Re-folds one exported window over the compiled dispatch actions,
+/// applying the runtime compiler's refusal rules. `Err` carries the rule
+/// that fired.
+fn refold_window(
+    actions: &HashMap<(CallSiteId, FunctionId), (EdgeAction, bool)>,
+    max_id: u64,
+    window: &[WindowOp],
+) -> Result<SuperOpFold, String> {
+    if window.len() < 2 {
+        return Err("window is shorter than one call/return pair".into());
+    }
+    if !matches!(window[0], WindowOp::Call { .. }) {
+        return Err("window does not start with a call".into());
+    }
+
+    // One symbolically pushed ccStack entry: (id, site, target, folded
+    // compressed repetitions).
+    let mut id = SymId::Entry(0);
+    let mut cc: Vec<(SymId, CallSiteId, FunctionId, u64)> = Vec::new();
+    let mut open: Vec<EdgeAction> = Vec::new();
+    let mut fold = SuperOpFold {
+        calls: 0,
+        cc_ops: 0,
+        compress_hits: 0,
+        cc_peak: 0,
+    };
+
+    for &op in window {
+        match op {
+            WindowOp::Call { site, target } => {
+                let Some(&(action, tc_wrap)) = actions.get(&(site, target)) else {
+                    return Err(format!(
+                        "site {site} -> {target} has no compiled dispatch action \
+                         (the runtime never publishes a superop over a trapping site)"
+                    ));
+                };
+                if tc_wrap {
+                    return Err(format!("site {site} -> {target} is TcStack-wrapped"));
+                }
+                match action {
+                    EdgeAction::Encoded { delta } => id = id.add(delta),
+                    EdgeAction::Unencoded => {
+                        fold.cc_ops += 1;
+                        cc.push((id, site, target, 0));
+                        fold.cc_peak = fold.cc_peak.max(cc.len());
+                        id = SymId::Const(max_id + 1);
+                    }
+                    EdgeAction::UnencodedCompressed => {
+                        fold.cc_ops += 1;
+                        let Some(top) = cc.last_mut() else {
+                            return Err("compressed push at relative ccStack depth 0".into());
+                        };
+                        let hit = if top.1 == site && top.2 == target {
+                            top.0.eq_decidable(id).ok_or_else(|| {
+                                "compressed-push id compare crosses symbolic bases".to_string()
+                            })?
+                        } else {
+                            false
+                        };
+                        if hit {
+                            top.3 += 1;
+                            fold.compress_hits += 1;
+                        } else {
+                            cc.push((id, site, target, 0));
+                            fold.cc_peak = fold.cc_peak.max(cc.len());
+                        }
+                        id = SymId::Const(max_id + 1);
+                    }
+                }
+                open.push(action);
+                fold.calls += 1;
+            }
+            WindowOp::Ret => {
+                let Some(action) = open.pop() else {
+                    return Err("unbalanced window: return without an open call".into());
+                };
+                match action {
+                    EdgeAction::Encoded { delta } => id = id.sub(delta),
+                    EdgeAction::Unencoded => {
+                        fold.cc_ops += 1;
+                        let Some(e) = cc.pop() else {
+                            return Err("plain pop on an empty folded ccStack".into());
+                        };
+                        if e.3 != 0 {
+                            return Err(
+                                "plain pop would discard folded compressed repetitions".into()
+                            );
+                        }
+                        id = e.0;
+                    }
+                    EdgeAction::UnencodedCompressed => {
+                        fold.cc_ops += 1;
+                        let Some(top) = cc.last_mut() else {
+                            return Err("compressed pop on an empty folded ccStack".into());
+                        };
+                        id = top.0;
+                        if top.3 > 0 {
+                            top.3 -= 1;
+                        } else {
+                            cc.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if !open.is_empty() {
+        return Err(format!(
+            "unbalanced window: {} call(s) left open",
+            open.len()
+        ));
+    }
+    if !cc.is_empty() || id != SymId::Entry(0) {
+        return Err("folded final state is not the identity".into());
+    }
+    Ok(fold)
+}
+
+/// Renders a window as the export's token sequence, the witness shape of
+/// every `superop-net-effect` finding.
+fn render_window(window: &[WindowOp]) -> String {
+    let mut out = String::new();
+    for op in window {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match *op {
+            WindowOp::Call { site, target } => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "c:{}:{}", site.raw(), target.raw());
+            }
+            WindowOp::Ret => out.push('r'),
+        }
+    }
+    out
+}
+
+/// Cross-checks the export's compiled superop table against the compiled
+/// dispatch table (rule `superop-net-effect`, opt-in via
+/// [`verify_superops`] / `dacce-lint --superops`).
+///
+/// Every exported superop is re-folded event-by-event over the dispatch
+/// actions of its window, with an independent implementation of the
+/// runtime compiler's symbolic fold. A record fails when
+///
+/// * any refusal rule fires — an unresolved or TcStack-wrapped site, a
+///   compressed push at relative depth 0, an undecidable id compare, an
+///   unbalanced window, or a folded final state that is not the identity.
+///   The runtime never publishes such a window, so an exported one means
+///   the table and the dispatch state are from different generations (the
+///   stale-superop bug this rule exists to catch);
+/// * the re-folded net effect (calls, ccStack ops, compression hits,
+///   ccStack peak) disagrees with the memoized counters the record
+///   carries — a tampered or bit-rotted net delta.
+///
+/// Each finding's witness is the offending window in the export's own
+/// token syntax. Exports without superop lines return no findings.
+pub fn verify_superops(decoder: &OfflineDecoder) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let records = decoder.superops();
+    if records.is_empty() {
+        return out;
+    }
+    let ts = decoder.dicts().latest().map(DecodeDict::timestamp);
+    // The concrete maxID only parameterises the post-push constant; every
+    // decidable compare is between offsets of the same constant, so a
+    // missing dictionary (maxID 0) cannot flip a hit/miss outcome.
+    let max_id = decoder.dicts().latest().map_or(0, DecodeDict::max_id);
+    let err = |message: String, witness: Vec<String>| Diagnostic {
+        rule: "superop-net-effect",
+        severity: Severity::Error,
+        ts,
+        message,
+        witness,
+    };
+
+    let mut actions: HashMap<(CallSiteId, FunctionId), (EdgeAction, bool)> = HashMap::new();
+    for r in decoder.dispatch() {
+        if let (Some(target), Some(action)) = (r.target, r.action) {
+            actions.insert((r.site, target), (action, r.tc_wrap));
+        }
+    }
+
+    for (i, rec) in records.iter().enumerate() {
+        let witness = vec![render_window(&rec.window)];
+        match refold_window(&actions, max_id, &rec.window) {
+            Err(why) => out.push(err(
+                format!("superop {i} is not compilable under the exported dispatch table: {why}"),
+                witness,
+            )),
+            Ok(fold) => {
+                let recorded = (rec.calls, rec.cc_ops, rec.compress_hits, rec.cc_peak);
+                let refolded = (fold.calls, fold.cc_ops, fold.compress_hits, fold.cc_peak);
+                if recorded != refolded {
+                    out.push(err(
+                        format!(
+                            "superop {i} memoizes calls={}/ccOps={}/compressHits={}/ccPeak={} \
+                             but its window re-folds to calls={}/ccOps={}/compressHits={}/ccPeak={}",
+                            recorded.0,
+                            recorded.1,
+                            recorded.2,
+                            recorded.3,
+                            refolded.0,
+                            refolded.1,
+                            refolded.2,
+                            refolded.3,
+                        ),
+                        witness,
+                    ));
+                }
+            }
+        }
     }
     out
 }
@@ -1152,6 +1415,171 @@ mod tests {
             diags.iter().any(|d| d.rule == "fleet-twin" && d.is_error()),
             "diverged tenant must not pass the twin check: {diags:?}"
         );
+    }
+
+    /// Exports a tracker whose published snapshot carries a compiled
+    /// superop (a nested two-call round plus a recursive self-call) so
+    /// the superop lines sit next to the dispatch records they were
+    /// compiled under.
+    fn superop_tracker_text() -> String {
+        use dacce::{export_tracker_state, BatchOp, Tracker};
+        let tracker = Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let a = tracker.define_function("a");
+        let b = tracker.define_function("b");
+        let sa = tracker.define_call_site();
+        let sb = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        th.run_batch(&[
+            BatchOp::Call {
+                site: sa,
+                target: a,
+            },
+            BatchOp::Call {
+                site: sb,
+                target: b,
+            },
+            BatchOp::Ret,
+            BatchOp::Ret,
+        ])
+        .expect("warm batch runs");
+        let window = vec![
+            WindowOp::Call {
+                site: sa,
+                target: a,
+            },
+            WindowOp::Call {
+                site: sb,
+                target: b,
+            },
+            WindowOp::Ret,
+            WindowOp::Ret,
+        ];
+        assert_eq!(tracker.install_superops(&[window]), 1, "window compiles");
+        export_tracker_state(&tracker)
+    }
+
+    #[test]
+    fn superop_table_agreement_is_clean() {
+        let text = superop_tracker_text();
+        let decoder = dacce::import(&text).expect("imports");
+        assert!(
+            !decoder.superops().is_empty(),
+            "export must carry superop records"
+        );
+        let diags = verify_superops(&decoder);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn tampered_superop_net_delta_is_detected() {
+        let text = superop_tracker_text();
+        // Bump the memoized call count of the first superop line: the
+        // window still folds, but to different counters.
+        let mut done = false;
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if !done && l.starts_with("superop ") {
+                    done = true;
+                    let mut parts: Vec<String> = l.split(' ').map(str::to_string).collect();
+                    let calls: u64 = parts[1].parse().unwrap();
+                    parts[1] = (calls + 7).to_string();
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(done, "export must contain a superop line");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_superops(&decoder);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "superop-net-effect" && d.is_error())
+            .expect("tampered net delta must be reported");
+        assert!(
+            hit.message.contains("re-folds to"),
+            "finding names the counter disagreement: {hit:?}"
+        );
+        assert!(
+            hit.witness
+                .iter()
+                .any(|w| w.contains("c:") && w.contains('r')),
+            "finding carries the witness window: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn superop_over_unresolved_site_is_detected() {
+        let text = superop_tracker_text();
+        // Rewrite the first call token of the first superop window to a
+        // site/target pair the dispatch table never compiled: the re-fold
+        // must refuse, which on an exported record means the table is
+        // stale relative to the dispatch state.
+        let mut done = false;
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if !done && l.starts_with("superop ") {
+                    done = true;
+                    let mut parts: Vec<String> = l.split(' ').map(str::to_string).collect();
+                    parts[5] = "c:97:97".to_string();
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(done, "export must contain a superop line");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_superops(&decoder);
+        assert!(
+            diags.iter().any(|d| d.rule == "superop-net-effect"
+                && d.is_error()
+                && d.message.contains("not compilable")),
+            "stale superop must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unbalanced_superop_window_is_detected() {
+        let text = superop_tracker_text();
+        // Append an extra return to the first superop window: the fold
+        // pops past the window's own calls, a refusal the runtime
+        // compiler would never let through.
+        let mut done = false;
+        let corrupted: String = text
+            .lines()
+            .map(|l| {
+                if !done && l.starts_with("superop ") {
+                    done = true;
+                    format!("{l} r")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(done, "export must contain a superop line");
+        let decoder = dacce::import(&corrupted).expect("still imports");
+        let diags = verify_superops(&decoder);
+        assert!(
+            diags.iter().any(|d| d.rule == "superop-net-effect"
+                && d.is_error()
+                && d.message.contains("not compilable")),
+            "unbalanced window must be reported: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn export_without_superops_has_no_superop_findings() {
+        let text = exported_engine_text();
+        let decoder = dacce::import(&text).expect("imports");
+        assert!(decoder.superops().is_empty());
+        assert!(verify_superops(&decoder).is_empty());
     }
 
     #[test]

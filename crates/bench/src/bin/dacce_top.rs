@@ -406,6 +406,26 @@ fn render_health(snap: &MetricsSnapshot) -> String {
         snap.icache_hits,
         snap.icache_misses
     );
+    let so_probes = snap.superop_hits + snap.superop_misses;
+    if snap.superop_compiled + snap.superop_candidates + so_probes + snap.superop_invalidations > 0
+    {
+        let _ = writeln!(
+            s,
+            "superops: {}/{} candidates compiled ({:.1}% occupancy) · probes {} · \
+             {} hit / {} miss ({:.1}% hit) · invalidations {} over {} republishes \
+             ({:.2}/republish)",
+            snap.superop_compiled,
+            snap.superop_candidates,
+            percent(snap.superop_compiled, snap.superop_candidates),
+            so_probes,
+            snap.superop_hits,
+            snap.superop_misses,
+            percent(snap.superop_hits, so_probes),
+            snap.superop_invalidations,
+            snap.superop_republishes,
+            ratio(snap.superop_invalidations, snap.superop_republishes)
+        );
+    }
     let degraded_any = snap.degraded_traps
         + snap.reencode_retries
         + snap.cc_spills
@@ -607,6 +627,9 @@ fn finish_json(
          \"replay\":{{\"traps\":{},\"reencodes\":{},\"migrations\":{}}},\
          \"dispatch\":{{\"slots\":{},\"span\":{},\"occupancy\":{:.4},\
          \"icache_hits\":{},\"icache_misses\":{},\"icache_hit_rate\":{:.4}}},\
+         \"superops\":{{\"compiled\":{},\"candidates\":{},\"occupancy\":{:.4},\
+         \"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"invalidations\":{},\
+         \"republishes\":{},\"invalidations_per_republish\":{:.4}}},\
          \"degraded\":{{\"active\":{},\"trap_nodes\":{},\"traps\":{},\
          \"reencode_retries\":{},\"cc_spill_events\":{},\"cc_spilled_peak\":{},\
          \"lock_poisonings\":{},\"slot_failures\":{},\"batch_errors\":{}}},\
@@ -635,6 +658,15 @@ fn finish_json(
         snap.icache_hits,
         snap.icache_misses,
         ratio(snap.icache_hits, snap.icache_hits + snap.icache_misses),
+        snap.superop_compiled,
+        snap.superop_candidates,
+        ratio(snap.superop_compiled, snap.superop_candidates),
+        snap.superop_hits,
+        snap.superop_misses,
+        ratio(snap.superop_hits, snap.superop_hits + snap.superop_misses),
+        snap.superop_invalidations,
+        snap.superop_republishes,
+        ratio(snap.superop_invalidations, snap.superop_republishes),
         stats.degraded.active,
         stats.degraded.trap_nodes.len(),
         stats.degraded.degraded_traps,

@@ -166,6 +166,26 @@ impl CcStack {
         }
     }
 
+    /// Folds a superop's memoized ccStack effect into the statistics: a
+    /// balanced window restores the entries exactly, so only the
+    /// operation count and the max-depth high-water mark move. Callers
+    /// must have checked that no spill limit is armed (superop guards
+    /// bail to the per-event path otherwise).
+    pub(crate) fn apply_bulk(&mut self, ops: u64, peak_depth: usize) {
+        debug_assert!(
+            self.spill_limit.is_none(),
+            "superop applied with spill armed"
+        );
+        self.ops += ops;
+        self.max_depth = self.max_depth.max(peak_depth);
+    }
+
+    /// True when an injected resident-region limit is armed (superops
+    /// must then run every push/pop for real to keep spill bookkeeping).
+    pub(crate) fn spill_armed(&self) -> bool {
+        self.spill_limit.is_some()
+    }
+
     /// Removes all entries (thread restart).
     pub fn clear(&mut self) {
         self.entries.clear();

@@ -90,6 +90,17 @@ pub struct DacceConfig {
     /// Off by default so the paper-faithful trap-driven behaviour stays
     /// bit-identical.
     pub profiler_feedback: bool,
+    /// Master switch for superop compilation: installed candidate windows
+    /// are compiled into the published snapshot's superop table and the
+    /// batched fast path may execute their memoized net effects. `false`
+    /// keeps the per-event loop only (ablation / bench baseline).
+    pub superops_enabled: bool,
+    /// Longest call/return window (in events) a superop may cover;
+    /// longer candidates are refused at compile time.
+    pub superop_max_window: usize,
+    /// Maximum number of compiled superops per snapshot; the best-ranked
+    /// candidates win.
+    pub superop_max_table: usize,
     /// Deterministic fault-injection plan (disarmed by default). See
     /// [`FaultPlan`] for the fault kinds and the degradation path each
     /// lands on.
@@ -121,6 +132,9 @@ impl Default for DacceConfig {
             profiler_seed: 0x5eed,
             profiler_budget: 64,
             profiler_feedback: false,
+            superops_enabled: true,
+            superop_max_window: 48,
+            superop_max_table: 64,
             fault: FaultPlan::default(),
         }
     }
@@ -170,6 +184,9 @@ mod tests {
             !c.profiler_feedback,
             "sampled-hotness feedback is opt-in; default stays trap-driven"
         );
+        assert!(c.superops_enabled, "superops compile by default");
+        assert!(c.superop_max_window >= 2);
+        assert!(c.superop_max_table > 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! dispatch <site> <slot> <kind> <target|-> <action|-> <tcwrap>
 //! degraded <active> <traps> <retries> <spills> <spilledpeak> <poisonings> <slotfail> <batcherr>
 //! degradednode <func>
+//! superop <calls> <ccops> <compresshits> <ccpeak> <c:site:target|r ...>
 //! sample <ts> <id> <leaf> <root> <cc-entries> | <spawn-site> <parent...>
 //! ```
 //!
@@ -26,6 +27,13 @@
 //! `trap`, `mono` or `poly`; `action` is `enc:<delta>`, `cc` or `ccc`).
 //! They let an offline verifier check the flat table edge-for-edge against
 //! the latest dictionary (`dacce-lint --dispatch`).
+//!
+//! `superop` lines dump the compiled superop table of the current
+//! generation: the call/return window (`c:<site>:<target>` and `r`
+//! tokens) followed by the memoized net effect the runtime applies on a
+//! hit. `dacce-lint --superops` re-folds each window event-by-event
+//! through the exported dispatch records and rejects a net effect that
+//! does not match.
 //!
 //! [`export_state`] dumps an engine's dictionaries and site-owner table;
 //! [`export_samples`] appends contexts; [`import`] parses everything back
@@ -44,6 +52,7 @@ use crate::dispatch::CompiledDispatch;
 use crate::engine::DacceEngine;
 use crate::patch::EdgeAction;
 use crate::stats::DegradedState;
+use crate::superop::WindowOp;
 
 /// Header line of the export format.
 pub const HEADER: &str = "dacce-export v1";
@@ -220,6 +229,24 @@ pub(crate) fn export_shared(
             }
         }
     }
+    // The compiled superop table of the current generation: window trace
+    // plus memoized net effect, one line per superop.
+    for so in shared.superops.iter() {
+        let _ = write!(
+            out,
+            "superop {} {} {} {}",
+            so.calls, so.cc_ops, so.compress_hits, so.cc_peak
+        );
+        for op in &so.window {
+            match *op {
+                WindowOp::Call { site, target } => {
+                    let _ = write!(out, " c:{}:{}", site.raw(), target.raw());
+                }
+                WindowOp::Ret => out.push_str(" r"),
+            }
+        }
+        out.push('\n');
+    }
     // Degraded-state record: lets offline tools audit a run that survived
     // injected faults (one `degradednode` line per demoted function).
     let d = degraded;
@@ -307,6 +334,22 @@ pub struct DispatchRecord {
     pub tc_wrap: bool,
 }
 
+/// One line of the export's compiled superop table: the call/return
+/// window plus the memoized net effect the runtime applies on a hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuperOpRecord {
+    /// The window trace the superop matches.
+    pub window: Vec<WindowOp>,
+    /// Call events the window covers.
+    pub calls: u64,
+    /// ccStack operations (pushes + pops) the window performs.
+    pub cc_ops: u64,
+    /// Compressed-recursion hits inside the window.
+    pub compress_hits: u64,
+    /// Peak ccStack depth inside the window, relative to entry.
+    pub cc_peak: usize,
+}
+
 /// Offline decoding state reassembled from an export.
 #[derive(Debug, Default)]
 pub struct OfflineDecoder {
@@ -314,6 +357,7 @@ pub struct OfflineDecoder {
     owners: HashMap<CallSiteId, FunctionId>,
     samples: Vec<EncodedContext>,
     dispatch: Vec<DispatchRecord>,
+    superops: Vec<SuperOpRecord>,
     degraded: DegradedState,
 }
 
@@ -336,6 +380,11 @@ impl OfflineDecoder {
     /// The imported compiled dispatch table, in input order.
     pub fn dispatch(&self) -> &[DispatchRecord] {
         &self.dispatch
+    }
+
+    /// The imported compiled superop table, in input order.
+    pub fn superops(&self) -> &[SuperOpRecord] {
+        &self.superops
     }
 
     /// The imported degraded-state record (all-zero when the export
@@ -592,6 +641,55 @@ pub fn import(text: &str) -> Result<OfflineDecoder, ImportError> {
                     target,
                     action,
                     tc_wrap,
+                });
+            }
+            "superop" => {
+                let mut next_num = |what: &str| -> Result<u64, ImportError> {
+                    tokens
+                        .next()
+                        .ok_or_else(|| ImportError::BadLine(lineno, format!("missing {what}")))?
+                        .parse::<u64>()
+                        .map_err(|_| ImportError::BadLine(lineno, format!("bad {what}")))
+                };
+                let calls = next_num("superop calls")?;
+                let cc_ops = next_num("superop ccops")?;
+                let compress_hits = next_num("superop compresshits")?;
+                let cc_peak = next_num("superop ccpeak")? as usize;
+                let mut window = Vec::new();
+                for tok in tokens.by_ref() {
+                    if tok == "r" {
+                        window.push(WindowOp::Ret);
+                        continue;
+                    }
+                    let rest = tok.strip_prefix("c:").ok_or_else(|| {
+                        ImportError::BadLine(lineno, format!("bad superop token {tok}"))
+                    })?;
+                    let (site, target) = rest.split_once(':').ok_or_else(|| {
+                        ImportError::BadLine(lineno, format!("bad superop token {tok}"))
+                    })?;
+                    let site: u32 = site.parse().map_err(|_| {
+                        ImportError::BadLine(lineno, format!("bad superop site {tok}"))
+                    })?;
+                    let target: u32 = target.parse().map_err(|_| {
+                        ImportError::BadLine(lineno, format!("bad superop target {tok}"))
+                    })?;
+                    window.push(WindowOp::Call {
+                        site: CallSiteId::new(site),
+                        target: FunctionId::new(target),
+                    });
+                }
+                if window.is_empty() {
+                    return Err(ImportError::BadLine(
+                        lineno,
+                        "superop needs a window".into(),
+                    ));
+                }
+                out.superops.push(SuperOpRecord {
+                    window,
+                    calls,
+                    cc_ops,
+                    compress_hits,
+                    cc_peak,
                 });
             }
             "degraded" => {
@@ -869,6 +967,50 @@ mod tests {
         assert!(!d.trap_nodes.is_empty());
         let offline = import(&export_state(&e)).expect("imports");
         assert_eq!(offline.degraded(), &d, "degraded record round-trips");
+    }
+
+    #[test]
+    fn superop_records_roundtrip() {
+        let tracker = crate::Tracker::new();
+        let main_fn = tracker.define_function("main");
+        let callee = tracker.define_function("callee");
+        let site = tracker.define_call_site();
+        let th = tracker.register_thread(main_fn);
+        // Warm the site so the window resolves and compiles.
+        th.run_batch(&[
+            crate::BatchOp::Call {
+                site,
+                target: callee,
+            },
+            crate::BatchOp::Ret,
+        ])
+        .expect("warm batch runs");
+        let window = vec![
+            WindowOp::Call {
+                site,
+                target: callee,
+            },
+            WindowOp::Ret,
+        ];
+        assert_eq!(tracker.install_superops(std::slice::from_ref(&window)), 1);
+        let offline = import(&export_tracker_state(&tracker)).expect("imports");
+        assert_eq!(offline.superops().len(), 1, "superop line round-trips");
+        let rec = &offline.superops()[0];
+        assert_eq!(rec.window, window);
+        assert_eq!(rec.calls, 1);
+    }
+
+    #[test]
+    fn malformed_superop_lines_are_rejected() {
+        for bad in [
+            "dacce-export v1\nsuperop 1 2 3\n",         // missing ccpeak
+            "dacce-export v1\nsuperop 1 2 3 4\n",       // empty window
+            "dacce-export v1\nsuperop 1 2 3 4 x\n",     // bad token
+            "dacce-export v1\nsuperop 1 2 3 4 c:1\n",   // token missing target
+            "dacce-export v1\nsuperop 1 2 3 4 c:a:b\n", // non-numeric
+        ] {
+            assert!(import(bad).is_err(), "must reject: {bad:?}");
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod reencode;
 pub mod runtime;
 pub(crate) mod shared;
 pub mod stats;
+pub mod superop;
 pub mod sync;
 pub mod thread;
 pub mod tracker;
@@ -70,7 +71,7 @@ pub use decode::{decode_full, decode_thread, DecodeError};
 pub use engine::DacceEngine;
 pub use export::{
     export_samples, export_state, export_tracker_state, import, DispatchKind, DispatchRecord,
-    ImportError, OfflineDecoder,
+    ImportError, OfflineDecoder, SuperOpRecord,
 };
 pub use fault::FaultPlan;
 pub use lineage::EncodingLineage;
@@ -78,5 +79,6 @@ pub use observe::Observability;
 pub use profile::HotContextProfile;
 pub use runtime::DacceRuntime;
 pub use stats::{DacceStats, DegradedState, ProgressPoint};
+pub use superop::WindowOp;
 pub use tracker::{BatchError, BatchErrorKind, BatchOp, TaskContext, Tracker};
 pub use warm::{SeedEdge, WarmStartReport, WarmStartSeed};

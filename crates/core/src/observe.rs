@@ -224,6 +224,36 @@ mod imp {
             }
         }
 
+        // --- superop hooks (path memoization) ---
+
+        /// Folds a batch of per-thread superop probe outcomes in.
+        pub(crate) fn on_superops(&self, hits: u64, misses: u64) {
+            if hits != 0 {
+                self.metrics.superop_hits.add(hits);
+            }
+            if misses != 0 {
+                self.metrics.superop_misses.add(misses);
+            }
+        }
+
+        /// Counts compiled superops dropped by a dispatch-state change.
+        pub(crate) fn on_superop_invalidations(&self, n: u64) {
+            if n != 0 {
+                self.metrics.superop_invalidations.add(n);
+            }
+        }
+
+        /// Counts one snapshot publication (a superop epoch boundary).
+        pub(crate) fn on_superop_republish(&self) {
+            self.metrics.superop_republishes.add(1);
+        }
+
+        /// Records the superop table's shape after a recompile:
+        /// `compiled` superops out of `candidates` installed windows.
+        pub(crate) fn record_superops(&self, compiled: u64, candidates: u64) {
+            self.metrics.record_superops(compiled, candidates);
+        }
+
         pub(crate) fn record_generation(
             &self,
             generation: u32,
@@ -535,6 +565,10 @@ mod imp {
         pub(crate) fn on_lineage_publish(&self) {}
         pub(crate) fn on_lineage_diverge(&self) {}
         pub(crate) fn on_icache(&self, _hits: u64, _misses: u64) {}
+        pub(crate) fn on_superops(&self, _hits: u64, _misses: u64) {}
+        pub(crate) fn on_superop_invalidations(&self, _n: u64) {}
+        pub(crate) fn on_superop_republish(&self) {}
+        pub(crate) fn record_superops(&self, _compiled: u64, _candidates: u64) {}
         pub(crate) fn record_generation(
             &self,
             _generation: u32,

@@ -36,6 +36,7 @@ use crate::observe::{self, ObsWriter, Observability};
 use crate::patch::{EdgeAction, IndirectPatch, PatchTable, SitePatch};
 use crate::profile::HotContextProfile;
 use crate::stats::{DacceStats, ProgressPoint};
+use crate::superop::{SuperOpTable, WindowOp};
 use crate::warm::WarmStartReport;
 
 /// Minimum heat for an edge to participate in the hot-path-change check;
@@ -139,6 +140,17 @@ pub(crate) struct SharedState {
     /// repeated identical seeding is a cached no-op (tenant-safe
     /// idempotence) instead of double-counting edges.
     pub(crate) warm_fingerprint: Option<(u64, WarmStartReport)>,
+    /// Installed superop candidate windows (mined by the workload layer,
+    /// ranked best-first); recompiled into `superops` whenever the
+    /// dispatch state changes.
+    pub(crate) superop_candidates: Vec<Vec<WindowOp>>,
+    /// The superop table compiled against the current dispatch state,
+    /// shared into every published snapshot.
+    pub(crate) superops: Arc<SuperOpTable>,
+    /// True when the dispatch state moved since `superops` was compiled;
+    /// the next snapshot recompiles (and thereby invalidates the old
+    /// table, exactly like the inline cache's epoch keying).
+    pub(crate) superops_dirty: bool,
 }
 
 impl SharedState {
@@ -188,7 +200,18 @@ impl SharedState {
             lineage_gen: 0,
             diverged: false,
             warm_fingerprint: None,
+            superop_candidates: Vec::new(),
+            superops: Arc::new(SuperOpTable::default()),
+            superops_dirty: false,
         }
+    }
+
+    /// Installs mined superop candidate windows (ranked best-first,
+    /// replacing any previous set) and marks the table for recompilation
+    /// at the next snapshot.
+    pub(crate) fn install_superop_candidates(&mut self, windows: &[Vec<WindowOp>]) {
+        self.superop_candidates = windows.to_vec();
+        self.superops_dirty = true;
     }
 
     /// §3: the initial graph contains only `main`; freeze dictionary 0.
@@ -342,6 +365,7 @@ impl SharedState {
         }
         self.dispatch
             .sync_site(site, self.patches.get(site).expect("site patched above"));
+        self.superops_dirty = true;
         self.sync_slot_failures();
         let (occupied, span) = self.dispatch.occupancy();
         self.obs.record_dispatch(occupied, span);
@@ -379,6 +403,7 @@ impl SharedState {
             }
             if let Some(state) = self.patches.get(site) {
                 self.dispatch.sync_site(site, state);
+                self.superops_dirty = true;
             }
         }
     }
@@ -819,6 +844,7 @@ impl SharedState {
         self.max_id = state.max_id;
         self.patches = state.patches.clone();
         self.dispatch = state.dispatch.clone();
+        self.superops_dirty = true;
         // The lineage's table was compiled under the founder's config;
         // this tenant's (possibly fault-injected) slot cap must survive.
         self.dispatch
@@ -994,6 +1020,7 @@ impl SharedState {
         }
         self.patches.replace_all(rebuilt);
         self.dispatch.rebuild(&self.patches);
+        self.superops_dirty = true;
         self.sync_slot_failures();
         let (occupied, span) = self.dispatch.occupancy();
         self.obs.record_dispatch(occupied, span);
@@ -1001,8 +1028,36 @@ impl SharedState {
 
     /// Freezes the current encoding into an immutable snapshot for
     /// publication to reader threads. Cheap: the patch table and the
-    /// dictionary store are both `Arc`-backed.
-    pub(crate) fn snapshot(&self) -> EncodingSnapshot {
+    /// dictionary store are both `Arc`-backed. When the dispatch state
+    /// moved since the superop table was compiled, the table is
+    /// recompiled here — compile-on-republish — so a published snapshot
+    /// can never carry superops folded under a stale encoding.
+    pub(crate) fn snapshot(&mut self) -> EncodingSnapshot {
+        self.stats.superop_republishes += 1;
+        self.obs.on_superop_republish();
+        if self.superops_dirty {
+            self.superops_dirty = false;
+            let dropped = self.superops.len();
+            if dropped > 0 {
+                self.stats.superop_invalidations += dropped as u64;
+                self.obs.on_superop_invalidations(dropped as u64);
+            }
+            let table = if self.config.superops_enabled && !self.superop_candidates.is_empty() {
+                SuperOpTable::compile(
+                    &|site, callee| self.dispatch.resolve(site, callee, &self.cost),
+                    self.max_id,
+                    &self.superop_candidates,
+                    self.config.superop_max_window,
+                    self.config.superop_max_table,
+                )
+            } else {
+                SuperOpTable::default()
+            };
+            self.stats.superop_compiled = table.len() as u64;
+            self.obs
+                .record_superops(table.len() as u64, self.superop_candidates.len() as u64);
+            self.superops = Arc::new(table);
+        }
         EncodingSnapshot {
             epoch: self.epoch,
             ts: self.ts,
@@ -1012,6 +1067,7 @@ impl SharedState {
             dicts: self.dicts.clone(),
             cost: self.cost.clone(),
             handle_tail_calls: self.config.handle_tail_calls,
+            superops: Arc::clone(&self.superops),
         }
     }
 }
@@ -1039,6 +1095,11 @@ pub(crate) struct EncodingSnapshot {
     pub(crate) dicts: DictStore,
     pub(crate) cost: CostModel,
     pub(crate) handle_tail_calls: bool,
+    /// Superops compiled against this snapshot's dispatch state; a
+    /// republish hands out a table recompiled for the new state, so
+    /// stale superops die with the old snapshot (the epoch-invalidation
+    /// rule the inline cache also follows).
+    pub(crate) superops: Arc<SuperOpTable>,
 }
 
 impl EncodingSnapshot {

@@ -116,6 +116,24 @@ pub struct DacceStats {
     pub icache_hits: u64,
     /// Indirect-call inline-cache misses (tracker fast path only).
     pub icache_misses: u64,
+    /// Superop windows executed as memoized net effects (batched fast
+    /// path only).
+    pub superop_hits: u64,
+    /// Superop probes that found candidates for a site but fell back to
+    /// the per-event loop (trace mismatch or a runtime guard).
+    pub superop_misses: u64,
+    /// Call/return events covered by superop hits (the events the
+    /// per-event loop never had to execute).
+    pub superop_events: u64,
+    /// Superops compiled into the latest published snapshot (gauge).
+    pub superop_compiled: u64,
+    /// Compiled superops dropped because the dispatch state moved (the
+    /// epoch-invalidation rule; each recompile counts the table it
+    /// replaced).
+    pub superop_invalidations: u64,
+    /// Snapshot publications (the denominator of
+    /// invalidations-per-republish).
+    pub superop_republishes: u64,
     /// Shared-lineage generations adopted instead of re-encoding locally
     /// (fleet tenants attached to a shared encoding).
     pub lineage_adoptions: u64,
@@ -146,6 +164,9 @@ impl DacceStats {
         self.decode_errors += shard.decode_errors;
         self.icache_hits += shard.icache_hits;
         self.icache_misses += shard.icache_misses;
+        self.superop_hits += shard.superop_hits;
+        self.superop_misses += shard.superop_misses;
+        self.superop_events += shard.superop_events;
         self.degraded.batch_errors += shard.batch_errors;
         self.cc_depths.extend_from_slice(&shard.cc_depths);
     }
@@ -175,6 +196,12 @@ pub struct StatsShard {
     pub icache_hits: u64,
     /// Indirect-call inline-cache misses on this thread.
     pub icache_misses: u64,
+    /// Superop windows this thread executed as memoized net effects.
+    pub superop_hits: u64,
+    /// Superop probes this thread fell back to the per-event loop on.
+    pub superop_misses: u64,
+    /// Events covered by this thread's superop hits.
+    pub superop_events: u64,
     /// Unbalanced `run_batch` windows this thread degraded gracefully.
     pub batch_errors: u64,
     /// ccStack depth at each of this thread's samples.

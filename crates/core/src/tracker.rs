@@ -55,6 +55,7 @@ use crate::shared::{
     EncodingSnapshot, LineageReencode, ReencodeOutcome, ResolvedSite, SharedState,
 };
 use crate::stats::{DacceStats, StatsShard};
+use crate::superop::{SuperOpProbe, WindowOp};
 use crate::thread::ThreadCtx;
 use crate::verify::{check_shared, check_thread};
 use crate::warm::{WarmStartReport, WarmStartSeed};
@@ -84,6 +85,9 @@ struct ThreadState {
     /// Inline-cache hit/miss totals already published to the obs metrics.
     flushed_icache_hits: u64,
     flushed_icache_misses: u64,
+    /// Superop hit/miss totals already published to the obs metrics.
+    flushed_superop_hits: u64,
+    flushed_superop_misses: u64,
     /// `ctx.cc.spill_events()` value already folded into the shared
     /// degraded-state counters.
     flushed_spill_events: u64,
@@ -242,7 +246,7 @@ impl Tracker {
         } else {
             u64::MAX
         };
-        let shared = SharedState::new(config, CostModel::default());
+        let mut shared = SharedState::new(config, CostModel::default());
         let snap = Arc::new(shared.snapshot());
         let obs = shared.obs.clone();
         Tracker {
@@ -486,6 +490,8 @@ impl Tracker {
                 flushed_cc_ops: 0,
                 flushed_icache_hits: 0,
                 flushed_icache_misses: 0,
+                flushed_superop_hits: 0,
+                flushed_superop_misses: 0,
                 flushed_spill_events: 0,
                 pending_samples: Vec::new(),
                 pending_pos: 0,
@@ -544,6 +550,22 @@ impl Tracker {
         self.inner.slow_locks.load(Ordering::Relaxed)
     }
 
+    /// Installs superop candidate windows — balanced call/return traces
+    /// mined from recorded batches (see the `workloads` miner). Each
+    /// window is compiled against the current encoding into a memoized
+    /// net effect and published with the next snapshot; the set replaces
+    /// any previously installed candidates. Republishes immediately so
+    /// attached threads pick the table up at their next epoch check.
+    /// Returns the number of superops that compiled (windows crossing a
+    /// trap site, a tail-call wrap or an undecidable compressed-recursion
+    /// compare are refused and simply keep running on the per-event loop).
+    pub fn install_superops(&self, windows: &[Vec<WindowOp>]) -> usize {
+        let mut sh = self.inner.shared.lock();
+        sh.install_superop_candidates(windows);
+        let snap = self.inner.republish(&mut sh);
+        snap.superops.len()
+    }
+
     /// Runs `f` with the shared state locked, absorbing pending per-thread
     /// deltas first. Crate-internal escape hatch for exporters.
     pub(crate) fn with_shared<R>(&self, f: impl FnOnce(&SharedState) -> R) -> R {
@@ -576,6 +598,7 @@ impl Tracker {
                 st.pending_profiler_pos = 0;
             }
             flush_icache_obs(&self.inner.obs, st);
+            flush_superop_obs(&self.inner.obs, st);
             out.absorb_shard(&st.shard);
             out.ccstack_ops += st.ctx.cc.ops();
             out.tcstack_ops += st.ctx.tc_ops;
@@ -775,9 +798,50 @@ impl ThreadHandle {
             Vec::with_capacity(16);
         let mut executed = 0usize;
         let mut error: Option<BatchErrorKind> = None;
-        for (i, &op) in ops.iter().enumerate() {
+        // Superops need the bulk profiler path: a memoized window skips
+        // per-call sampler ticks, which is only sound when no sample can
+        // fire inside this batch anyway.
+        let mut use_superops = profiler_bulk && !st.snap.superops.is_empty();
+        let mut i = 0usize;
+        while i < ops.len() {
+            let op = ops[i];
             match op {
                 BatchOp::Call { site, target } | BatchOp::CallIndirect { site, target } => {
+                    if use_superops {
+                        match st.snap.superops.probe(&ops[i..]) {
+                            SuperOpProbe::Hit(so) => {
+                                let entry_depth = st.ctx.cc.depth();
+                                let peak = entry_depth + so.cc_peak;
+                                // Bail to the per-event loop BEFORE applying
+                                // anything when the fold would skip observable
+                                // bookkeeping: per-push journal events, an
+                                // armed spill limit, or a new high-water mark
+                                // at/above the overflow watermark (which must
+                                // fire the real overflow hook).
+                                let admit = so.cc_ops == 0
+                                    || !(obs_on
+                                        || st.ctx.cc.spill_armed()
+                                        || (peak > st.ctx.cc.max_depth()
+                                            && peak as u32 >= st.writer.watermark()));
+                                if admit {
+                                    let len = so.window.len();
+                                    st.ctx.cc.apply_bulk(so.cc_ops, peak);
+                                    st.shard.calls += so.calls;
+                                    st.shard.compress_hits += so.compress_hits;
+                                    st.shard.superop_hits += 1;
+                                    st.shard.superop_events += len as u64;
+                                    st.batch_events += len as u64;
+                                    bulk_calls += so.calls;
+                                    executed += len;
+                                    i += len;
+                                    continue;
+                                }
+                                st.shard.superop_misses += 1;
+                            }
+                            SuperOpProbe::Miss => st.shard.superop_misses += 1,
+                            SuperOpProbe::Cold => {}
+                        }
+                    }
                     let caller = st.ctx.current;
                     let (action, epoch) = match resolve_cached(st, site, target) {
                         Some(r) => {
@@ -813,8 +877,11 @@ impl ThreadHandle {
                                 self.note_cc_push(st, prev_max, obs_on);
                             }
                             // The trap republished the snapshot; re-hoist
-                            // the gate in case journaling was toggled.
+                            // the gates — journaling may have been toggled
+                            // and the superop table swapped (epoch
+                            // invalidation).
                             obs_on = st.writer.enabled();
+                            use_superops = profiler_bulk && !st.snap.superops.is_empty();
                             (action, st.snap.epoch)
                         }
                     };
@@ -852,6 +919,7 @@ impl ThreadHandle {
                     executed += 1;
                 }
             }
+            i += 1;
         }
         // Graceful degradation: auto-unwind whatever the batch left open
         // (malformed trace or early stop) so the thread's encoding lands
@@ -880,6 +948,7 @@ impl ThreadHandle {
             self.flush_batch_counters(st);
         }
         flush_icache_obs(&self.inner.obs, st);
+        flush_superop_obs(&self.inner.obs, st);
         match error {
             None => Ok(executed),
             Some(kind) => {
@@ -1176,6 +1245,7 @@ impl ThreadHandle {
             st.flushed_spill_events = spills;
         }
         flush_icache_obs(&self.inner.obs, st);
+        flush_superop_obs(&self.inner.obs, st);
         for s in st.pending_samples.drain(..) {
             sh.push_ring(&s);
         }
@@ -1216,6 +1286,7 @@ impl ThreadHandle {
         }
         st.flushed_cc_ops = cc_now;
         flush_icache_obs(&inner.obs, st);
+        flush_superop_obs(&inner.obs, st);
 
         if pending < inner.trigger_check_at.load(Ordering::Relaxed) {
             return;
@@ -1379,6 +1450,17 @@ fn flush_icache_obs(obs: &Observability, st: &mut ThreadState) {
         obs.on_icache(dh, dm);
         st.flushed_icache_hits = st.shard.icache_hits;
         st.flushed_icache_misses = st.shard.icache_misses;
+    }
+}
+
+/// Publishes the thread's superop hit/miss deltas to the obs metrics.
+fn flush_superop_obs(obs: &Observability, st: &mut ThreadState) {
+    let dh = st.shard.superop_hits - st.flushed_superop_hits;
+    let dm = st.shard.superop_misses - st.flushed_superop_misses;
+    if dh != 0 || dm != 0 {
+        obs.on_superops(dh, dm);
+        st.flushed_superop_hits = st.shard.superop_hits;
+        st.flushed_superop_misses = st.shard.superop_misses;
     }
 }
 

@@ -33,6 +33,20 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"warm_pruned_edges\": {},", self.warm_pruned_edges);
         let _ = writeln!(s, "  \"icache_hits\": {},", self.icache_hits);
         let _ = writeln!(s, "  \"icache_misses\": {},", self.icache_misses);
+        let _ = writeln!(s, "  \"superop_hits\": {},", self.superop_hits);
+        let _ = writeln!(s, "  \"superop_misses\": {},", self.superop_misses);
+        let _ = writeln!(
+            s,
+            "  \"superop_invalidations\": {},",
+            self.superop_invalidations
+        );
+        let _ = writeln!(
+            s,
+            "  \"superop_republishes\": {},",
+            self.superop_republishes
+        );
+        let _ = writeln!(s, "  \"superop_compiled\": {},", self.superop_compiled);
+        let _ = writeln!(s, "  \"superop_candidates\": {},", self.superop_candidates);
         let _ = writeln!(s, "  \"degraded_traps\": {},", self.degraded_traps);
         let _ = writeln!(s, "  \"reencode_retries\": {},", self.reencode_retries);
         let _ = writeln!(s, "  \"cc_spills\": {},", self.cc_spills);
@@ -81,7 +95,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut s = String::new();
-        let counters: [(&str, &str, u64); 23] = [
+        let counters: [(&str, &str, u64); 27] = [
             ("dacce_traps_total", "Cold-start traps handled", self.traps),
             (
                 "dacce_edges_discovered_total",
@@ -145,6 +159,26 @@ impl MetricsSnapshot {
                 self.icache_misses,
             ),
             (
+                "dacce_superop_hits_total",
+                "Superop windows executed as memoized net effects",
+                self.superop_hits,
+            ),
+            (
+                "dacce_superop_misses_total",
+                "Superop probes that fell back to the per-event loop",
+                self.superop_misses,
+            ),
+            (
+                "dacce_superop_invalidations_total",
+                "Compiled superops dropped on republish",
+                self.superop_invalidations,
+            ),
+            (
+                "dacce_superop_republishes_total",
+                "Snapshot publications (superop epoch boundaries)",
+                self.superop_republishes,
+            ),
+            (
                 "dacce_degraded_traps_total",
                 "Traps taken on degraded trap-everything nodes",
                 self.degraded_traps,
@@ -195,7 +229,7 @@ impl MetricsSnapshot {
             let _ = writeln!(s, "# TYPE {name} counter");
             let _ = writeln!(s, "{name} {value}");
         }
-        let gauges: [(&str, &str, u64); 6] = [
+        let gauges: [(&str, &str, u64); 8] = [
             (
                 "dacce_dictionaries",
                 "Encoding generations with a live decode dictionary",
@@ -225,6 +259,16 @@ impl MetricsSnapshot {
                 "dacce_dispatch_span",
                 "Site-id index range the dispatch slot vector spans",
                 self.dispatch_span,
+            ),
+            (
+                "dacce_superop_table_size",
+                "Superops compiled into the latest published snapshot",
+                self.superop_compiled,
+            ),
+            (
+                "dacce_superop_candidates",
+                "Candidate windows installed for superop compilation",
+                self.superop_candidates,
             ),
         ];
         for (name, help, value) in gauges {
@@ -340,6 +384,10 @@ mod tests {
         reg.trap_ns.observe(1500);
         reg.trap_ns.observe(900);
         reg.cc_depth.observe(4);
+        reg.superop_hits.add(3);
+        reg.superop_misses.add(1);
+        reg.superop_republishes.add(2);
+        reg.record_superops(5, 9);
         reg.record_generation(GenerationInfo {
             generation: 1,
             nodes: 8,
@@ -387,6 +435,12 @@ mod tests {
         let text = populated().to_prometheus();
         assert!(text.contains("dacce_traps_total 12"));
         assert!(text.contains("dacce_dictionaries 2"));
+        assert!(text.contains("dacce_superop_hits_total 3"));
+        assert!(text.contains("dacce_superop_misses_total 1"));
+        assert!(text.contains("dacce_superop_invalidations_total 0"));
+        assert!(text.contains("dacce_superop_republishes_total 2"));
+        assert!(text.contains("dacce_superop_table_size 5"));
+        assert!(text.contains("dacce_superop_candidates 9"));
         assert!(text.contains("dacce_dict_edges{generation=\"2\"} 14"));
         assert!(text.contains("dacce_trap_ns_count 2"));
         assert!(text.contains("dacce_trap_ns_bucket{le=\"+Inf\"} 2"));

@@ -301,6 +301,15 @@ pub struct MetricsRegistry {
     pub icache_hits: Counter,
     /// Per-thread indirect-call inline-cache misses.
     pub icache_misses: Counter,
+    /// Superop windows executed as memoized net effects.
+    pub superop_hits: Counter,
+    /// Superop probes that fell back to the per-event loop.
+    pub superop_misses: Counter,
+    /// Compiled superops dropped on republish (epoch invalidation).
+    pub superop_invalidations: Counter,
+    /// Snapshot publications — every one is a superop epoch boundary, so
+    /// `superop_invalidations / superop_republishes` is the table churn.
+    pub superop_republishes: Counter,
     /// Traps taken on degraded (trap-everything) nodes after the engine
     /// gave up re-encoding.
     pub degraded_traps: Counter,
@@ -329,6 +338,8 @@ pub struct MetricsRegistry {
     max_id: AtomicU64,
     dispatch_slots: AtomicU64,
     dispatch_span: AtomicU64,
+    superop_compiled: AtomicU64,
+    superop_candidates: AtomicU64,
     generations: Mutex<Vec<GenerationInfo>>,
 }
 
@@ -338,6 +349,14 @@ impl MetricsRegistry {
     pub fn record_dispatch(&self, occupied: u64, span: u64) {
         self.dispatch_slots.store(occupied, Ordering::Relaxed);
         self.dispatch_span.store(span, Ordering::Relaxed);
+    }
+
+    /// Records the superop table's shape: `compiled` superops published
+    /// with the latest snapshot out of `candidates` installed candidate
+    /// windows (gauges, last wins).
+    pub fn record_superops(&self, compiled: u64, candidates: u64) {
+        self.superop_compiled.store(compiled, Ordering::Relaxed);
+        self.superop_candidates.store(candidates, Ordering::Relaxed);
     }
 
     /// Records (or replaces) the dictionary table row for a generation
@@ -374,6 +393,12 @@ impl MetricsRegistry {
             warm_pruned_edges: self.warm_pruned_edges.get(),
             icache_hits: self.icache_hits.get(),
             icache_misses: self.icache_misses.get(),
+            superop_hits: self.superop_hits.get(),
+            superop_misses: self.superop_misses.get(),
+            superop_invalidations: self.superop_invalidations.get(),
+            superop_republishes: self.superop_republishes.get(),
+            superop_compiled: self.superop_compiled.load(Ordering::Relaxed),
+            superop_candidates: self.superop_candidates.load(Ordering::Relaxed),
             degraded_traps: self.degraded_traps.get(),
             reencode_retries: self.reencode_retries.get(),
             cc_spills: self.cc_spills.get(),
@@ -426,6 +451,18 @@ pub struct MetricsSnapshot {
     pub icache_hits: u64,
     /// Per-thread indirect-call inline-cache misses.
     pub icache_misses: u64,
+    /// Superop windows executed as memoized net effects.
+    pub superop_hits: u64,
+    /// Superop probes that fell back to the per-event loop.
+    pub superop_misses: u64,
+    /// Compiled superops dropped on republish (epoch invalidation).
+    pub superop_invalidations: u64,
+    /// Snapshot publications (superop epoch boundaries).
+    pub superop_republishes: u64,
+    /// Superops published with the latest snapshot (gauge).
+    pub superop_compiled: u64,
+    /// Candidate windows installed for compilation (gauge).
+    pub superop_candidates: u64,
     /// Traps taken on degraded (trap-everything) nodes.
     pub degraded_traps: u64,
     /// Re-encode attempts re-armed after an abort.
@@ -483,6 +520,12 @@ impl MetricsSnapshot {
         self.warm_pruned_edges += other.warm_pruned_edges;
         self.icache_hits += other.icache_hits;
         self.icache_misses += other.icache_misses;
+        self.superop_hits += other.superop_hits;
+        self.superop_misses += other.superop_misses;
+        self.superop_invalidations += other.superop_invalidations;
+        self.superop_republishes += other.superop_republishes;
+        self.superop_compiled = self.superop_compiled.max(other.superop_compiled);
+        self.superop_candidates = self.superop_candidates.max(other.superop_candidates);
         self.degraded_traps += other.degraded_traps;
         self.reencode_retries += other.reencode_retries;
         self.cc_spills += other.cc_spills;

@@ -170,10 +170,32 @@ pub fn replay_with_window(
     window: usize,
 ) -> TrackerBatchOutcome {
     let tracker = Tracker::with_config(config);
-    // The trace carries the program's id spaces; the tracker allocates its
-    // own, so both maps are built lazily as ids first appear.
     let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
     let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    let (batched_ops, guard_ops) = replay_onto(&tracker, trace, window, &mut fn_map, &mut site_map);
+    tracker
+        .check_invariants()
+        .expect("flat dispatch must agree with the logical table after replay");
+    TrackerBatchOutcome {
+        calls: trace.calls(),
+        batched_ops,
+        guard_ops,
+        stats: tracker.stats(),
+    }
+}
+
+/// Replays `trace` onto an existing `tracker`, registering a fresh handle
+/// per recorded thread. The id maps are built lazily as trace ids first
+/// appear and can be reused across passes (a second pass finds them fully
+/// populated and replays over the warmed encoding). Returns
+/// `(batched_ops, guard_ops)`.
+pub(crate) fn replay_onto(
+    tracker: &Tracker,
+    trace: &WorkloadTrace,
+    window: usize,
+    fn_map: &mut HashMap<FunctionId, FunctionId>,
+    site_map: &mut HashMap<CallSiteId, CallSiteId>,
+) -> (u64, u64) {
     let mut handles: HashMap<ThreadId, ThreadHandle> = HashMap::new();
 
     let mut batched_ops = 0u64;
@@ -299,15 +321,42 @@ pub fn replay_with_window(
         }
     }
 
-    tracker
-        .check_invariants()
-        .expect("flat dispatch must agree with the logical table after replay");
-    TrackerBatchOutcome {
-        calls: trace.calls(),
-        batched_ops,
-        guard_ops,
-        stats: tracker.stats(),
-    }
+    (batched_ops, guard_ops)
+}
+
+/// Maps each recorded thread's stream into tracker-id [`BatchOp`]s. The
+/// maps must already cover every id in the trace (i.e. a replay pass ran
+/// first) — mining operates on the exact op sequences `run_batch` sees.
+pub(crate) fn mapped_streams(
+    trace: &WorkloadTrace,
+    fn_map: &HashMap<FunctionId, FunctionId>,
+    site_map: &HashMap<CallSiteId, CallSiteId>,
+) -> Vec<Vec<BatchOp>> {
+    trace
+        .threads
+        .iter()
+        .map(|start| {
+            trace.traces[&start.tid]
+                .iter()
+                .map(|op| match *op {
+                    TraceOp::Call {
+                        site,
+                        target,
+                        indirect,
+                    } => {
+                        let site = site_map[&site];
+                        let target = fn_map[&target];
+                        if indirect {
+                            BatchOp::CallIndirect { site, target }
+                        } else {
+                            BatchOp::Call { site, target }
+                        }
+                    }
+                    TraceOp::Ret => BatchOp::Ret,
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Records `spec`'s workload (tail-free variant) and replays it through
@@ -322,6 +371,71 @@ pub fn run_tracker_batched(spec: &BenchSpec, cfg: &DriverConfig) -> TrackerBatch
     icfg.validate = false;
     let trace = record(&program, icfg);
     replay_with_window(&trace, cfg.dacce.clone(), BATCH_WINDOW)
+}
+
+/// Outcome of the two-pass superop drive.
+#[derive(Clone, Debug)]
+pub struct SuperopReplayOutcome {
+    /// Candidate windows the miner ranked into the install set.
+    pub mined: usize,
+    /// Superops that actually compiled into the published table.
+    pub installed: usize,
+    /// The replay outcome; `stats` covers both passes, superop hit/miss
+    /// counters only the second (superops compile between the passes).
+    pub outcome: TrackerBatchOutcome,
+}
+
+/// Replays `trace` twice on one tracker: a warm pass that discovers sites
+/// and gathers sampled hotness, then — after mining balanced windows from
+/// the mapped streams and installing the ranked candidates — a second
+/// pass in which matching windows execute as memoized superops.
+pub fn replay_superops(
+    trace: &WorkloadTrace,
+    config: DacceConfig,
+    window: usize,
+) -> SuperopReplayOutcome {
+    let max_window = config.superop_max_window.min(window.max(2));
+    let max_table = config.superop_max_table;
+    let tracker = Tracker::with_config(config);
+    let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
+    let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    let _ = replay_onto(&tracker, trace, window, &mut fn_map, &mut site_map);
+
+    let hot = crate::superops::leaf_weights(&tracker.profiler_profile());
+    let streams = mapped_streams(trace, &fn_map, &site_map);
+    let refs: Vec<&[BatchOp]> = streams.iter().map(Vec::as_slice).collect();
+    let candidates = crate::superops::mine_windows(&refs, max_window, max_table, |f| {
+        hot.get(&f).copied().unwrap_or(0)
+    });
+    let mined = candidates.len();
+    let installed = tracker.install_superops(&candidates);
+
+    let (batched_ops, guard_ops) = replay_onto(&tracker, trace, window, &mut fn_map, &mut site_map);
+    tracker
+        .check_invariants()
+        .expect("flat dispatch must agree with the logical table after superop replay");
+    SuperopReplayOutcome {
+        mined,
+        installed,
+        outcome: TrackerBatchOutcome {
+            calls: trace.calls(),
+            batched_ops,
+            guard_ops,
+            stats: tracker.stats(),
+        },
+    }
+}
+
+/// Records `spec`'s workload and runs the two-pass superop drive.
+pub fn run_tracker_superops(spec: &BenchSpec, cfg: &DriverConfig) -> SuperopReplayOutcome {
+    let mut spec = spec.clone();
+    spec.tail_fraction = 0.0;
+    let program = generate_program(&spec);
+    let mut icfg = interp_config(&spec, cfg);
+    icfg.sample_every = 0;
+    icfg.validate = false;
+    let trace = record(&program, icfg);
+    replay_superops(&trace, cfg.dacce.clone(), BATCH_WINDOW)
 }
 
 #[cfg(test)]
@@ -352,6 +466,42 @@ mod tests {
             out.guard_ops
         );
         assert!(out.stats.reencodes > 0, "adaptivity still kicks in");
+    }
+
+    #[test]
+    fn superop_drive_hits_and_agrees_with_plain_replay() {
+        let spec = BenchSpec::tiny("superop-drive", 13);
+        let cfg = smoke_cfg();
+        let mut tail_free = spec.clone();
+        tail_free.tail_fraction = 0.0;
+        let program = generate_program(&tail_free);
+        let mut icfg = interp_config(&tail_free, &cfg);
+        icfg.sample_every = 0;
+        icfg.validate = false;
+        let trace = record(&program, icfg);
+
+        let out = replay_superops(&trace, cfg.dacce.clone(), BATCH_WINDOW);
+        assert!(out.installed > 0, "repeat-heavy trace compiles superops");
+        assert!(out.installed <= out.mined);
+        let s = &out.outcome.stats;
+        assert!(
+            s.superop_hits > 0,
+            "second pass must hit compiled superops ({} installed)",
+            out.installed
+        );
+        assert!(s.superop_events >= s.superop_hits * 2, "hits cover windows");
+        // Two passes replay every recorded call, whether per-event or
+        // folded into superop net effects.
+        assert_eq!(s.calls, 2 * trace.calls(), "no call lost to the fold");
+        assert_eq!(s.decode_errors, 0);
+
+        // Disabling superops compiles nothing and never probes.
+        let mut off_cfg = cfg.dacce.clone();
+        off_cfg.superops_enabled = false;
+        let off = replay_superops(&trace, off_cfg, BATCH_WINDOW);
+        assert_eq!(off.installed, 0);
+        assert_eq!(off.outcome.stats.superop_hits, 0);
+        assert_eq!(off.outcome.stats.calls, 2 * trace.calls());
     }
 
     #[test]

@@ -94,9 +94,57 @@ pub fn chaos_trace(spec: &BenchSpec, cfg: &DriverConfig) -> WorkloadTrace {
 /// balanced windows through [`ThreadHandle::run_batch`] and the spine
 /// through guards, sampling and decoding every [`SAMPLE_EVERY`] ops.
 pub fn replay_sampled(trace: &WorkloadTrace, config: DacceConfig) -> ChaosReplay {
+    replay_sampled_impl(trace, config, false)
+}
+
+/// Like [`replay_sampled`], but first warms the tracker on a *prefix* of
+/// the trace, mines superop candidates from the warmed streams (blending
+/// the warm pass's sampled hotness), installs them, and then runs the
+/// sampled pass with superops live — the realistic profile-then-install
+/// shape, where the rest of the run (new edges, phase shifts, late
+/// library bindings) keeps re-encoding under the compiled table. Sample
+/// points depend only on the trace, so the decoded paths must match
+/// [`replay_sampled`] exactly — that equality is the superop differential
+/// check.
+pub fn replay_sampled_superops(trace: &WorkloadTrace, config: DacceConfig) -> ChaosReplay {
+    replay_sampled_impl(trace, config, true)
+}
+
+/// The warm-up window handed to the superop miner: the leading third of
+/// each thread's ops. Any prefix of a balanced stream is replayable (every
+/// return still matches an earlier call; unclosed calls ride the guard
+/// spine), and cutting well before the midpoint keeps phase-1 behaviour —
+/// hot-callee swaps, late PLT bindings — out of the mined profile so the
+/// sampled pass still discovers edges and republishes over the table.
+fn warmup_prefix(trace: &WorkloadTrace) -> WorkloadTrace {
+    WorkloadTrace {
+        threads: trace.threads.clone(),
+        traces: trace
+            .traces
+            .iter()
+            .map(|(&tid, ops)| (tid, ops[..ops.len() / 3].to_vec()))
+            .collect(),
+    }
+}
+
+fn replay_sampled_impl(trace: &WorkloadTrace, config: DacceConfig, superops: bool) -> ChaosReplay {
+    let max_window = config.superop_max_window.min(CHAOS_WINDOW);
+    let max_table = config.superop_max_table;
     let tracker = Tracker::with_config(config);
     let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
     let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    if superops {
+        let warm = warmup_prefix(trace);
+        let _ =
+            crate::batch::replay_onto(&tracker, &warm, CHAOS_WINDOW, &mut fn_map, &mut site_map);
+        let hot = crate::superops::leaf_weights(&tracker.profiler_profile());
+        let streams = crate::batch::mapped_streams(&warm, &fn_map, &site_map);
+        let refs: Vec<&[BatchOp]> = streams.iter().map(Vec::as_slice).collect();
+        let candidates = crate::superops::mine_windows(&refs, max_window, max_table, |f| {
+            hot.get(&f).copied().unwrap_or(0)
+        });
+        let _ = tracker.install_superops(&candidates);
+    }
     let mut handles: HashMap<ThreadId, ThreadHandle> = HashMap::new();
     let mut paths = Vec::new();
     let mut decode_failures = 0usize;

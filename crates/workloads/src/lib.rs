@@ -26,8 +26,16 @@ pub mod driver;
 pub mod genprog;
 pub mod spec;
 pub mod suite;
+pub mod superops;
 
-pub use chaos::{chaos_trace, run_all_presets, run_chaos_plan, ChaosOutcome, ChaosReplay};
+pub use batch::{
+    replay_superops, replay_with_window, run_tracker_batched, run_tracker_superops,
+    SuperopReplayOutcome, TrackerBatchOutcome, WorkloadTrace,
+};
+pub use chaos::{
+    chaos_trace, replay_sampled, replay_sampled_superops, run_all_presets, run_chaos_plan,
+    ChaosOutcome, ChaosReplay,
+};
 pub use characterize::{characterize, ProgramShape};
 pub use driver::{
     interp_config, program_of, run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm,
@@ -36,3 +44,4 @@ pub use driver::{
 pub use genprog::generate_program;
 pub use spec::{BenchSpec, Suite};
 pub use suite::{all_benchmarks, parsec_benchmarks, spec2006_benchmarks};
+pub use superops::{leaf_weights, mine_windows};

@@ -1,0 +1,283 @@
+//! Property tests for the superop window miner and the compiled net
+//! effect.
+//!
+//! 1. **Miner shape** — for arbitrary op streams, every mined window is
+//!    balanced (depth never dips below zero, ends at zero), starts with a
+//!    call, respects the window bound and table cap, is ordered longest
+//!    first, and occurs at least twice in the stream it was mined from.
+//! 2. **Net-effect equality** — for arbitrary generated programs, a
+//!    replay with mined superops installed decodes exactly the contexts
+//!    the per-event replay decodes at the same program points. Windows
+//!    can never span a trap or a generation bump: compilation refuses
+//!    windows with unresolved (trapping) sites or tail-call wraps, and a
+//!    republish invalidates every compiled window before the new epoch
+//!    is visible — both refusal paths are exercised here because the
+//!    eager re-encode config keeps recompiling mid-replay.
+//! 3. **Garbage immunity** — installing *arbitrary* candidate windows
+//!    (unbalanced, trivial, unresolved, nonsense) never corrupts the
+//!    tracker: call accounting stays exact, invariants hold and the
+//!    final context still decodes to the root.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dacce::tracker::{BatchOp, Tracker};
+use dacce::{DacceConfig, WindowOp};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::ThreadId;
+use dacce_workloads::batch::{ThreadStart, TraceOp, WorkloadTrace};
+use dacce_workloads::{mine_windows, replay_sampled, replay_sampled_superops};
+
+/// Callee pool size; the root is function `POOL` and call sites are
+/// derived as `caller * POOL + callee`, one owner per site.
+const POOL: u32 = 5;
+
+/// One step of a random program walk: `push` calls `callee` from the
+/// current leaf (`indirect` picks the call kind), otherwise the walk
+/// returns when a frame is open.
+type Step = (u32, bool, bool);
+
+/// Materialises a walk as recorded trace ops, closing every frame left
+/// open at the end.
+fn trace_ops_of(walk: &[Step]) -> Vec<TraceOp> {
+    let mut ops = Vec::with_capacity(walk.len() + 8);
+    let mut stack: Vec<u32> = Vec::new();
+    for &(callee, push, indirect) in walk {
+        if push || stack.is_empty() {
+            let caller = stack.last().copied().unwrap_or(POOL);
+            ops.push(TraceOp::Call {
+                site: CallSiteId::new(caller * POOL + callee),
+                target: FunctionId::new(callee),
+                indirect,
+            });
+            stack.push(callee);
+        } else {
+            stack.pop();
+            ops.push(TraceOp::Ret);
+        }
+    }
+    while stack.pop().is_some() {
+        ops.push(TraceOp::Ret);
+    }
+    ops
+}
+
+/// Wraps the walk into a single-threaded workload trace rooted at
+/// function `POOL`.
+fn trace_of(walk: &[Step]) -> WorkloadTrace {
+    let ops = trace_ops_of(walk);
+    WorkloadTrace {
+        threads: vec![ThreadStart {
+            tid: ThreadId::MAIN,
+            root: FunctionId::new(POOL),
+            parent: None,
+        }],
+        traces: HashMap::from([(ThreadId::MAIN, ops)]),
+    }
+}
+
+/// The same walk as raw batch ops (ids are abstract — the miner is pure).
+fn batch_ops_of(walk: &[Step]) -> Vec<BatchOp> {
+    trace_ops_of(walk)
+        .into_iter()
+        .map(|op| match op {
+            TraceOp::Call {
+                site,
+                target,
+                indirect,
+            } => {
+                if indirect {
+                    BatchOp::CallIndirect { site, target }
+                } else {
+                    BatchOp::Call { site, target }
+                }
+            }
+            TraceOp::Ret => BatchOp::Ret,
+        })
+        .collect()
+}
+
+/// The window form of an op: indirect and direct calls collapse, exactly
+/// as the miner and the table's matcher treat them.
+fn wop(op: BatchOp) -> WindowOp {
+    match op {
+        BatchOp::Call { site, target } | BatchOp::CallIndirect { site, target } => {
+            WindowOp::Call { site, target }
+        }
+        BatchOp::Ret => WindowOp::Ret,
+    }
+}
+
+/// Occurrences of `window` in `ops` under the miner's match semantics.
+fn occurrences(ops: &[BatchOp], window: &[WindowOp]) -> usize {
+    if window.is_empty() || ops.len() < window.len() {
+        return 0;
+    }
+    ops.windows(window.len())
+        .filter(|w| w.iter().map(|&o| wop(o)).eq(window.iter().copied()))
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mined_windows_are_balanced_bounded_and_repeated(
+        walk in prop::collection::vec(
+            (0u32..POOL, prop::bool::weighted(0.55), prop::bool::weighted(0.2)),
+            8..260,
+        ),
+        max_window in 2usize..12,
+        max_count in 1usize..8,
+    ) {
+        let ops = batch_ops_of(&walk);
+        let mined = mine_windows(&[&ops], max_window, max_count, |f| u64::from(f.raw()));
+        prop_assert!(mined.len() <= max_count, "table cap respected");
+        for pair in mined.windows(2) {
+            prop_assert!(
+                pair[0].len() >= pair[1].len(),
+                "windows ordered longest first"
+            );
+        }
+        for w in &mined {
+            prop_assert!(w.len() >= 2 && w.len() <= max_window, "window bound");
+            prop_assert!(
+                matches!(w[0], WindowOp::Call { .. }),
+                "windows start with a call"
+            );
+            let mut depth = 0i64;
+            for op in w {
+                match op {
+                    WindowOp::Call { .. } => depth += 1,
+                    WindowOp::Ret => depth -= 1,
+                }
+                prop_assert!(depth >= 0, "depth never dips below the start");
+            }
+            prop_assert_eq!(depth, 0, "windows are balanced");
+            prop_assert!(
+                occurrences(&ops, w) >= 2,
+                "singleton windows never reach the table"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn superop_replay_decodes_like_the_per_event_replay(
+        walk in prop::collection::vec(
+            (0u32..POOL, prop::bool::weighted(0.55), prop::bool::weighted(0.15)),
+            150..420,
+        ),
+    ) {
+        let trace = trace_of(&walk);
+        // Eager re-encoding: compiled tables get invalidated and rebuilt
+        // while the sampled replay is still running.
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 16,
+            ..DacceConfig::default()
+        };
+        let off = replay_sampled(&trace, cfg.clone());
+        let on = replay_sampled_superops(&trace, cfg);
+        prop_assert_eq!(off.decode_failures, 0, "per-event replay decodes");
+        prop_assert_eq!(on.decode_failures, 0, "superop replay decodes");
+        prop_assert_eq!(
+            off.paths, on.paths,
+            "superops changed a decoded context"
+        );
+        prop_assert!(off.invariant_error.is_none());
+        prop_assert!(on.invariant_error.is_none());
+        prop_assert_eq!(
+            off.stats.superop_hits, 0,
+            "the per-event replay must never execute a superop"
+        );
+    }
+
+    #[test]
+    fn arbitrary_candidates_never_corrupt_the_tracker(
+        walk in prop::collection::vec(
+            (0u32..POOL, prop::bool::weighted(0.55), prop::bool::weighted(0.15)),
+            16..180,
+        ),
+        raw in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![
+                    ((0u32..POOL * (POOL + 1)), 0u32..POOL + 1)
+                        .prop_map(|(s, t)| Some((s, t))),
+                    Just(None),
+                ],
+                0..7,
+            ),
+            0..6,
+        ),
+    ) {
+        let cfg = DacceConfig {
+            edge_threshold: 2,
+            min_events_between_reencodes: 16,
+            ..DacceConfig::default()
+        };
+        let tracker = Tracker::with_config(cfg);
+        let fns: Vec<FunctionId> = (0..=POOL)
+            .map(|i| tracker.define_function(&format!("f{i}")))
+            .collect();
+        let sites: Vec<CallSiteId> = (0..POOL * (POOL + 1))
+            .map(|_| tracker.define_call_site())
+            .collect();
+        let ops: Vec<BatchOp> = batch_ops_of(&walk)
+            .into_iter()
+            .map(|op| match op {
+                BatchOp::Call { site, target } => BatchOp::Call {
+                    site: sites[site.index()],
+                    target: fns[target.index()],
+                },
+                BatchOp::CallIndirect { site, target } => BatchOp::CallIndirect {
+                    site: sites[site.index()],
+                    target: fns[target.index()],
+                },
+                BatchOp::Ret => BatchOp::Ret,
+            })
+            .collect();
+        let calls = ops
+            .iter()
+            .filter(|op| !matches!(op, BatchOp::Ret))
+            .count() as u64;
+
+        let th = tracker.register_thread(fns[POOL as usize]);
+        th.run_batch(&ops).expect("walk is balanced");
+
+        // Candidate set: genuinely mined windows plus arbitrary raw ones
+        // (unbalanced, trivial, unresolved sites — compile must refuse
+        // them, never miscompile them).
+        let mut cands = mine_windows(&[&ops], 8, 8, |_| 0);
+        cands.extend(raw.into_iter().map(|w| {
+            w.into_iter()
+                .map(|op| match op {
+                    Some((s, t)) => WindowOp::Call {
+                        site: sites[s as usize],
+                        target: fns[t as usize],
+                    },
+                    None => WindowOp::Ret,
+                })
+                .collect::<Vec<_>>()
+        }));
+        let installed = tracker.install_superops(&cands);
+        prop_assert!(installed <= cands.len(), "compile only refuses");
+
+        th.run_batch(&ops).expect("walk is still balanced");
+        let inv = tracker.check_invariants();
+        prop_assert!(inv.is_ok(), "invariants: {}", inv.unwrap_err());
+        let stats = tracker.stats();
+        prop_assert_eq!(
+            stats.calls,
+            2 * calls,
+            "superop hits must account every covered call exactly once"
+        );
+        let path = tracker.decode(&th.sample()).expect("final context decodes");
+        prop_assert_eq!(path.0.len(), 1, "balanced replay ends at the root");
+        prop_assert_eq!(path.0[0].func, fns[POOL as usize]);
+    }
+}
