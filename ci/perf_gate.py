@@ -28,7 +28,14 @@ rows whose last key column is the on-tag (default `on`) are paired with
 the row sharing every other key column but tagged with the off-tag
 (default `off`), and the gate fails when any `on` time exceeds its `off`
 partner by more than the threshold (default 3%, the continuous profiler's
-overhead budget), or when either side of a pair is missing.
+overhead budget), or when either side of a pair is missing. A *negative*
+threshold turns the gate into a speedup floor: `--threshold=-0.5` with
+`--on-tag workers4 --off-tag serial` demands the 4-worker decode run in
+under half the serial time (`results/parallel_decode.csv`).
+
+A referenced CSV that is missing or unreadable is a clean, explicit
+failure (`perf-gate: <path>: cannot read: ...`), not a traceback — the
+usual cause is the bench that records it not having run.
 """
 
 import argparse
@@ -43,8 +50,12 @@ def load(path, key_cols=None):
     it is the key; with `key_cols` the first `key_cols` columns are the
     key, the next column is the value and trailing columns are ignored.
     """
-    with open(path, newline="") as fh:
-        rows = [r for r in csv.reader(fh) if r]
+    try:
+        with open(path, newline="") as fh:
+            rows = [r for r in csv.reader(fh) if r]
+    except OSError as e:
+        sys.exit(f"perf-gate: {path}: cannot read: {e.strerror or e} "
+                 "(did the bench that records this CSV run?)")
     if len(rows) < 2:
         sys.exit(f"perf-gate: {path}: no data rows")
     out = {}
@@ -74,7 +85,7 @@ def ratio_gate(args):
 
     failures = []
     print(f"perf-gate: {args.baseline} {args.on_tag} vs {args.off_tag} "
-          f"(threshold +{threshold:.0%})")
+          f"(threshold {threshold:+.0%})")
     for key in sorted(set(on) | set(off)):
         name = "/".join(key) or "(all)"
         if key not in on or key not in off:
@@ -108,7 +119,11 @@ def main():
     ap.add_argument("candidate", nargs="?")
     ap.add_argument("--threshold", type=float, default=None,
                     help="allowed fractional per-op regression "
-                         "(default 0.25, or 0.03 in --ratio mode)")
+                         "(default 0.25, or 0.03 in --ratio mode); a "
+                         "negative value in --ratio mode demands a speedup "
+                         "(-0.5: on-tag rows must halve their off-tag "
+                         "partner). Use --threshold=-0.5 syntax for "
+                         "negative values")
     ap.add_argument("--ratio", action="store_true",
                     help="self-compare one CSV: pair rows by key, gating "
                          "on-tag rows against their off-tag partners")

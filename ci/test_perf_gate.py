@@ -7,7 +7,10 @@ gated), a variant new in the candidate (reported, never gated), and the
 zero-baseline hard pin used for cold-start trap counts. The `--ratio`
 self-comparison mode (the continuous profiler's 3% on/off overhead
 budget) gets its own table: within budget, past budget, an unpaired
-row, and a custom threshold.
+row, a custom threshold, and the negative-threshold speedup floor the
+fragment-parallel decode gate uses (workers4 must at least halve
+serial). Missing or unreadable CSVs must die with a clean perf-gate
+message in both modes, never a traceback.
 
 Run directly (`python3 ci/test_perf_gate.py`) or via unittest discovery
 (`python3 -m unittest discover ci`); CI runs it in the model-check job.
@@ -228,6 +231,71 @@ class PerfGateTest(unittest.TestCase):
         finally:
             sys.argv = old_argv
         self.assertIn("no value column", str(cm.exception))
+
+    def test_missing_candidate_file_fails_cleanly(self):
+        # Satellite of the decode-gate work: a results CSV the bench never
+        # wrote must produce the explicit perf-gate message, not an
+        # uncaught FileNotFoundError traceback.
+        base = write_csv(self.dir, "base.csv",
+                         [HEADER, ["dispatch", "direct", "12.5"]])
+        missing = os.path.join(self.dir, "never_recorded.csv")
+        old_argv, sys.argv = sys.argv, ["perf_gate.py", base, missing]
+        try:
+            with self.assertRaises(SystemExit) as cm:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        msg = str(cm.exception)
+        self.assertIn("perf-gate:", msg)
+        self.assertIn("cannot read", msg)
+        self.assertIn("never_recorded.csv", msg)
+
+    def test_missing_ratio_file_fails_cleanly(self):
+        missing = os.path.join(self.dir, "parallel_decode.csv")
+        old_argv, sys.argv = sys.argv, ["perf_gate.py", "--ratio", missing]
+        try:
+            with self.assertRaises(SystemExit) as cm:
+                with contextlib.redirect_stdout(io.StringIO()):
+                    perf_gate.main()
+        finally:
+            sys.argv = old_argv
+        msg = str(cm.exception)
+        self.assertIn("cannot read", msg)
+        self.assertIn("bench that records this CSV", msg)
+
+    def test_negative_threshold_gates_a_speedup_floor(self):
+        # The fragment-parallel decode gate: workers4 paired against
+        # serial with --threshold=-0.5 demands at least a 2x speedup.
+        def gate(rows):
+            path = write_csv(self.dir, "speedup.csv", [HEADER] + rows)
+            argv = ["perf_gate.py", "--ratio", path, "--on-tag", "workers4",
+                    "--off-tag", "serial", "--threshold=-0.5"]
+            out = io.StringIO()
+            old_argv, sys.argv = sys.argv, argv
+            try:
+                with contextlib.redirect_stdout(out):
+                    code = perf_gate.main()
+            finally:
+                sys.argv = old_argv
+            return code, out.getvalue()
+
+        code, out = gate([["server-rr", "serial", "28.5"],
+                          ["server-rr", "workers4", "7.2"]])  # 3.96x
+        self.assertEqual(code, 0)
+        self.assertIn("perf-gate: ok", out)
+        # Intermediate worker counts are extra rows, not gated pairs.
+        code, _ = gate([["server-rr", "serial", "28.5"],
+                       ["server-rr", "workers2", "14.3"],
+                       ["server-rr", "workers4", "7.2"]])
+        self.assertEqual(code, 0)
+        code, out = gate([["server-rr", "serial", "28.5"],
+                          ["server-rr", "workers4", "20.0"]])  # only 1.43x
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        code, out = gate([["server-rr", "serial", "28.5"]])  # bench leg lost
+        self.assertEqual(code, 1)
+        self.assertIn("UNPAIRED", out)
 
     def test_non_numeric_per_op_value_is_a_hard_error(self):
         base = write_csv(self.dir, "base.csv",

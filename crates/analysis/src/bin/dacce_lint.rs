@@ -3,6 +3,7 @@
 //! Usage: `dacce-lint [--metrics <prometheus-file>] [--dispatch] [--superops] [--degraded] <export-file>...`
 //! or: `dacce-lint --fleet <tenant-export> <twin-export>`
 //! or: `dacce-lint --postmortem <dump-file> [<export-file>...]`
+//! or: `dacce-lint --fragments <journal-file> [<export-file>...]`
 //! or: `dacce-lint --list-rules`
 //!
 //! Each argument is a `dacce-export v1` file (see `dacce::export`). Every
@@ -26,6 +27,12 @@
 //! see `dacce::DacceEngine::postmortem`) is validated for structure and
 //! internal consistency (rules `postmortem-*`); export files are then
 //! optional.
+//! With `--fragments`, a recorded decode journal (`dacce-journal v1`,
+//! see `dacce::fragment`) is parsed and its seam-seed chain is verified
+//! by independent fragment replay (rules `fragment-journal`,
+//! `fragment-seam`) — a clean run means the fragment-parallel decoder
+//! proves every seam without serial fallbacks; export files are then
+//! optional.
 //! With `--list-rules`, prints the full rule catalogue (id, severity,
 //! enabling flag, invariant) and exits. Exits non-zero if any file fails
 //! to parse or any finding — error **or** warning severity — is reported
@@ -37,12 +44,14 @@ use dacce_analyze::lint;
 use dacce_analyze::metrics::{verify_metrics, PromDoc};
 use dacce_analyze::postmortem::verify_postmortem;
 use dacce_analyze::verifier::{
-    verify_degraded, verify_dispatch, verify_export, verify_fleet_twin, verify_superops,
+    verify_degraded, verify_dispatch, verify_export, verify_fleet_twin, verify_fragments,
+    verify_superops,
 };
 
 fn main() -> ExitCode {
     let mut metrics: Option<String> = None;
     let mut postmortem: Option<String> = None;
+    let mut fragments: Option<String> = None;
     let mut dispatch = false;
     let mut superops = false;
     let mut degraded = false;
@@ -74,6 +83,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--fragments" {
+            match args.next() {
+                Some(path) => fragments = Some(path),
+                None => {
+                    eprintln!("--fragments requires a file path");
+                    return ExitCode::from(2);
+                }
+            }
         } else if arg == "--dispatch" {
             dispatch = true;
         } else if arg == "--superops" {
@@ -86,10 +103,11 @@ fn main() -> ExitCode {
             files.push(arg);
         }
     }
-    if files.is_empty() && postmortem.is_none() {
+    if files.is_empty() && postmortem.is_none() && fragments.is_none() {
         eprintln!(
             "usage: dacce-lint [--metrics <prometheus-file>] [--dispatch] [--superops] \
-             [--degraded] [--postmortem <dump-file>] <export-file>... \
+             [--degraded] [--postmortem <dump-file>] [--fragments <journal-file>] \
+             <export-file>... \
              | dacce-lint --fleet <tenant-export> <twin-export>"
         );
         return ExitCode::from(2);
@@ -138,6 +156,29 @@ fn main() -> ExitCode {
                 }
                 if diags.is_empty() {
                     println!("{path}: postmortem ok");
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                errors += 1;
+            }
+        }
+    }
+
+    if let Some(path) = &fragments {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let diags = verify_fragments(&text);
+                for d in &diags {
+                    println!("{path}: {d}");
+                    if d.is_error() {
+                        errors += 1;
+                    } else {
+                        warnings += 1;
+                    }
+                }
+                if diags.is_empty() {
+                    println!("{path}: fragment seams ok");
                 }
             }
             Err(e) => {

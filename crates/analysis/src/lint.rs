@@ -145,6 +145,20 @@ pub const RULES: &[RuleInfo] = &[
         enabled_by: "--degraded",
     },
     RuleInfo {
+        id: "fragment-journal",
+        severity: Severity::Error,
+        summary: "a decode journal is a well-formed `dacce-journal v1` document",
+        enabled_by: "--fragments",
+    },
+    RuleInfo {
+        id: "fragment-seam",
+        severity: Severity::Error,
+        summary:
+            "every seam seed equals the replayed exit state of the preceding fragment (parallel \
+             decode needs no serial fallback)",
+        enabled_by: "--fragments",
+    },
+    RuleInfo {
         id: "fleet-twin",
         severity: Severity::Error,
         summary: "a shared-lineage tenant's export is identical to its standalone twin",

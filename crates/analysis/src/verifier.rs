@@ -931,6 +931,42 @@ fn enumerate_paths(
     }
 }
 
+/// Verifies a recorded decode journal (`dacce-journal v1`, see
+/// `dacce::fragment`) for fragment-parallel decodability:
+///
+/// * the document parses (rule `fragment-journal`);
+/// * every seam seed equals the replayed exit state of the preceding
+///   fragment, so the parallel decoder's stitch pass proves every seam
+///   without serial fallbacks (rule `fragment-seam`).
+///
+/// Seam verification is self-contained — effects replay without the
+/// dictionaries — so no export file is needed.
+#[must_use]
+pub fn verify_fragments(text: &str) -> Vec<Diagnostic> {
+    let journal = match dacce::DecodeJournal::parse(text) {
+        Ok(j) => j,
+        Err(e) => {
+            return vec![Diagnostic {
+                rule: "fragment-journal",
+                severity: Severity::Error,
+                ts: None,
+                message: format!("malformed decode journal: {e}"),
+                witness: Vec::new(),
+            }]
+        }
+    };
+    dacce::verify_seams(&journal)
+        .into_iter()
+        .map(|message| Diagnostic {
+            rule: "fragment-seam",
+            severity: Severity::Error,
+            ts: None,
+            message,
+            witness: Vec::new(),
+        })
+        .collect()
+}
+
 /// Builds a root-to-node witness path ending in `last` by walking up the
 /// first non-back incoming edge of each caller.
 fn witness_path(
@@ -1594,5 +1630,84 @@ mod tests {
         let owners = HashMap::from([(s(0), f(0)), (s(1), f(1))]);
         let diags = verify_dicts(&store, &owners);
         assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    /// A hand-built two-fragment journal: the seam falls at op 3, where
+    /// the replayed state is back to the entry state.
+    fn fragment_journal(seam_id: u64) -> dacce::DecodeJournal {
+        use dacce::{
+            CallEffect, DecodeJournal, EncodedContext, JournalOp, JournalThread, RetEffect,
+            SeamSeed,
+        };
+        let entry = EncodedContext {
+            ts: TimeStamp::ZERO,
+            id: 0,
+            leaf: f(0),
+            root: f(0),
+            cc: Vec::new(),
+            spawn: None,
+        };
+        let seam_ctx = EncodedContext {
+            id: seam_id,
+            ..entry.clone()
+        };
+        DecodeJournal {
+            threads: vec![JournalThread {
+                tid: 0,
+                entry,
+                ops: vec![
+                    JournalOp::Call {
+                        site: s(0),
+                        target: f(1),
+                        effect: CallEffect::Arith { delta: 5 },
+                    },
+                    JournalOp::Sample,
+                    JournalOp::Ret {
+                        caller: f(0),
+                        effect: RetEffect::Arith { delta: 5 },
+                    },
+                    JournalOp::Call {
+                        site: s(0),
+                        target: f(1),
+                        effect: CallEffect::Arith { delta: 5 },
+                    },
+                    JournalOp::Sample,
+                    JournalOp::Ret {
+                        caller: f(0),
+                        effect: RetEffect::Arith { delta: 5 },
+                    },
+                ],
+                seams: vec![SeamSeed {
+                    at: 3,
+                    ctx: seam_ctx,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_journal_has_no_fragment_findings() {
+        let text = fragment_journal(0).to_text();
+        let diags = verify_fragments(&text);
+        assert!(diags.is_empty(), "unexpected findings: {diags:?}");
+    }
+
+    #[test]
+    fn corrupt_seam_seed_is_flagged() {
+        let text = fragment_journal(99).to_text();
+        let diags = verify_fragments(&text);
+        assert!(!diags.is_empty(), "corrupt seed must be reported");
+        for d in &diags {
+            assert_eq!(d.rule, "fragment-seam");
+            assert!(d.is_error());
+        }
+    }
+
+    #[test]
+    fn malformed_journal_is_flagged() {
+        let diags = verify_fragments("not a journal");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "fragment-journal");
+        assert!(diags[0].is_error());
     }
 }

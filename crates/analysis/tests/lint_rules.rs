@@ -97,3 +97,52 @@ fn catalogue_covers_every_emitted_rule() {
     // fails the run.
     assert_ne!(lint::exit_code(0, warnings), 0);
 }
+
+/// Every rule the `--fragments` journal verifier emits appears in the
+/// catalogue with the severity and enabling flag it is stamped with.
+#[test]
+fn fragment_rules_are_catalogued() {
+    use dacce::{DecodeJournal, EncodedContext, JournalThread, SeamSeed};
+    use dacce_analyze::verifier::verify_fragments;
+
+    // A malformed document (fragment-journal) plus a journal whose only
+    // seam seed cannot match any replayed state (fragment-seam).
+    let entry = EncodedContext {
+        ts: TimeStamp::ZERO,
+        id: 0,
+        leaf: f(0),
+        root: f(0),
+        cc: Vec::new(),
+        spawn: None,
+    };
+    let bad_seed = EncodedContext {
+        id: 99,
+        ..entry.clone()
+    };
+    let journal = DecodeJournal {
+        threads: vec![JournalThread {
+            tid: 0,
+            entry,
+            ops: vec![dacce::JournalOp::Sample],
+            seams: vec![SeamSeed {
+                at: 1,
+                ctx: bad_seed,
+            }],
+        }],
+    };
+    let mut diags = verify_fragments("not a journal");
+    diags.extend(verify_fragments(&journal.to_text()));
+    let emitted: std::collections::HashSet<&str> = diags.iter().map(|d| d.rule).collect();
+    assert!(emitted.contains("fragment-journal"));
+    assert!(emitted.contains("fragment-seam"));
+
+    for d in &diags {
+        let entry = lint::RULES
+            .iter()
+            .find(|r| r.id == d.rule)
+            .unwrap_or_else(|| panic!("emitted rule {} missing from catalogue", d.rule));
+        assert_eq!(entry.severity, d.severity);
+        assert_eq!(entry.enabled_by, "--fragments");
+    }
+    assert_ne!(lint::exit_code(diags.len(), 0), 0);
+}

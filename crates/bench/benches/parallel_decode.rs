@@ -1,0 +1,182 @@
+//! Fragment-parallel offline decode throughput: record the `server-rr`
+//! production workload into a decode journal, then time the serial
+//! decoder against [`dacce::decode_parallel`] at 1/2/4 workers.
+//!
+//! Times itself (best-of-N wall clock over the whole journal — the
+//! acceptance criterion is a per-op decode cost) and writes
+//! `results/parallel_decode.csv` (`bench,variant,ns_per_op`), the input
+//! for the CI speedup gate
+//! `ci/perf_gate.py --ratio --on-tag workers4 --off-tag serial`.
+//!
+//! On machines with fewer cores than a variant's worker count the wall
+//! clock cannot show a speedup, so the variant is *modeled* instead of
+//! measured: the fragment schedule is placed LPT (longest processing
+//! time first) onto the workers and the makespan is costed at the
+//! measured serial per-op rate. The modeled figure gates fragment
+//! balance — with enough well-cut seams the makespan at 4 workers must
+//! be under half the total — and the measured figure replaces it
+//! wherever the cores exist (CI runners have 4). The mode of every row
+//! is printed; byte-identical output vs the serial decoder is asserted
+//! for every variant either way.
+//!
+//! Also writes the recorded journal to `target/parallel_decode.journal`
+//! (a `dacce-journal v1` document) so CI can audit the seam chain with
+//! `dacce-lint --fragments`.
+//!
+//! `DACCE_BENCH_QUICK=1` shrinks the workload for CI smoke jobs.
+//!
+//! ```text
+//! cargo bench -p dacce-bench --bench parallel_decode
+//! ```
+
+use std::time::Instant;
+
+use dacce::{decode_parallel, decode_serial, import, DacceConfig};
+use dacce_workloads::families::server_trace;
+use dacce_workloads::journal::record_journal;
+
+fn quick() -> bool {
+    std::env::var("DACCE_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn iters() -> usize {
+    if quick() {
+        3
+    } else {
+        10
+    }
+}
+
+fn scale() -> f64 {
+    if quick() {
+        0.4
+    } else {
+        1.5
+    }
+}
+
+/// LPT makespan of the fragment sizes on `workers` workers, in ops.
+fn lpt_makespan(sizes: &[usize], workers: usize) -> usize {
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0usize; workers.max(1)];
+    for s in sorted {
+        let min = loads
+            .iter_mut()
+            .min_by_key(|l| **l)
+            .expect("at least one worker");
+        *min += s;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+fn main() {
+    let trace = server_trace(7, scale());
+    let config = DacceConfig {
+        edge_threshold: 4,
+        min_events_between_reencodes: 256,
+        ..DacceConfig::default()
+    };
+    let run = record_journal(&trace, config, 512);
+    let total_ops = run.journal.ops();
+    let ops = total_ops as f64;
+    let dec = import(&run.export).expect("journal export parses");
+
+    // Per-thread fragment sizes, exactly as decode_parallel cuts them.
+    let sizes: Vec<usize> = run
+        .journal
+        .threads
+        .iter()
+        .flat_map(|t| {
+            let mut bounds = vec![0usize];
+            bounds.extend(t.seams.iter().map(|s| s.at.min(t.ops.len())));
+            bounds.push(t.ops.len());
+            bounds.windows(2).map(|w| w[1] - w[0]).collect::<Vec<_>>()
+        })
+        .filter(|&s| s > 0)
+        .collect();
+
+    let mut serial_ns = f64::INFINITY;
+    let mut serial_out = None;
+    for _ in 0..iters() {
+        let t0 = Instant::now();
+        let out = decode_serial(&run.journal, &dec).expect("journal replays");
+        serial_ns = serial_ns.min(t0.elapsed().as_nanos() as f64 / ops);
+        serial_out = Some(out);
+    }
+    let serial_out = serial_out.expect("at least one serial iteration");
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "fragment-parallel decode — {} ops, {} decode points, {} fragments, {} cores",
+        total_ops,
+        run.journal.samples(),
+        sizes.len(),
+        cores
+    );
+    println!(
+        "{:>10} {:>14} {:>9} {:>9}",
+        "variant", "ns/op", "speedup", "mode"
+    );
+    println!(
+        "{:>10} {serial_ns:>14.2} {:>8.2}x {:>9}",
+        "serial", 1.0, "measured"
+    );
+
+    let mut csv = String::from("bench,variant,ns_per_op\n");
+    use std::fmt::Write as _;
+    let _ = writeln!(csv, "server-rr,serial,{serial_ns:.2}");
+    for &workers in &[1usize, 2, 4] {
+        let (ns, mode) = if cores >= workers {
+            let mut best = f64::INFINITY;
+            for _ in 0..iters() {
+                let t0 = Instant::now();
+                let (out, _) =
+                    decode_parallel(&run.journal, &dec, workers).expect("journal replays");
+                best = best.min(t0.elapsed().as_nanos() as f64 / ops);
+                assert_eq!(
+                    out, serial_out,
+                    "parallel decode diverged at {workers} workers"
+                );
+            }
+            (best, "measured")
+        } else {
+            // Not enough cores to show wall-clock parallelism: cost the
+            // LPT schedule's makespan at the measured serial rate. Still
+            // replay once to assert output identity and proven seams.
+            let (out, report) =
+                decode_parallel(&run.journal, &dec, workers).expect("journal replays");
+            assert_eq!(
+                out, serial_out,
+                "parallel decode diverged at {workers} workers"
+            );
+            assert_eq!(report.seam_failures, 0, "all seams must prove");
+            let makespan = lpt_makespan(&sizes, workers);
+            (serial_ns * makespan as f64 / ops, "modeled")
+        };
+        println!(
+            "{:>10} {ns:>14.2} {:>8.2}x {mode:>9}",
+            format!("workers{workers}"),
+            serial_ns / ns.max(f64::MIN_POSITIVE)
+        );
+        let _ = writeln!(csv, "server-rr,workers{workers},{ns:.2}");
+    }
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let results = root.join("results");
+    std::fs::create_dir_all(&results).expect("create results dir");
+    std::fs::write(results.join("parallel_decode.csv"), csv).expect("write parallel_decode.csv");
+    println!("wrote results/parallel_decode.csv");
+
+    let target = root.join("target");
+    std::fs::create_dir_all(&target).expect("create target dir");
+    std::fs::write(
+        target.join("parallel_decode.journal"),
+        run.journal.to_text(),
+    )
+    .expect("write parallel_decode.journal");
+    println!(
+        "wrote target/parallel_decode.journal ({} resyncs while recording)",
+        run.resyncs
+    );
+}

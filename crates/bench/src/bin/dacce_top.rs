@@ -26,6 +26,22 @@
 //! `--postmortem-out` forces a flight-recorder dump and writes it (the
 //! input for `dacce-lint --postmortem`).
 //!
+//! `--decode-stats` switches to the offline-decode report: the selected
+//! workload (a suite benchmark or one of the production families from
+//! `dacce_workloads::families`) is recorded into an effect journal with
+//! seam seeds, then decoded serially and fragment-parallel
+//! ([`dacce::decode_parallel`] at `--workers N`, default 4); the report
+//! covers journal size, fragment/seam accounting and the two decode
+//! costs. `--json` emits it as one machine-readable document, and
+//! `--journal-out` in this mode writes the recorded `dacce-journal v1`
+//! text — the input for `dacce-lint --fragments`. Exits non-zero if the
+//! parallel decode diverges from the serial reference.
+//!
+//! ```text
+//! cargo run -p dacce-bench --release --bin dacce-top -- \
+//!     --bench server-rr --decode-stats --workers 4
+//! ```
+//!
 //! `--fleet N` switches to the multi-tenant view: N tenants of one shared
 //! program run under a [`dacce_fleet::Fleet`], their journals and metrics
 //! merged through a [`dacce_obs::FleetPump`] into one labeled surface
@@ -79,6 +95,12 @@ struct TopOptions {
     /// Run under a named [`dacce::FaultPlan`] preset, so degradation
     /// paths (and the flight recorder) fire deterministically.
     chaos: Option<String>,
+    /// Record the workload into a decode journal and report offline
+    /// serial vs fragment-parallel decode statistics instead of the
+    /// live health view.
+    decode_stats: bool,
+    /// Worker count for the `--decode-stats` parallel decode.
+    workers: usize,
 }
 
 impl Default for TopOptions {
@@ -97,6 +119,8 @@ impl Default for TopOptions {
             journal_out: None,
             postmortem_out: None,
             chaos: None,
+            decode_stats: false,
+            workers: 4,
         }
     }
 }
@@ -151,11 +175,20 @@ impl TopOptions {
                     o.postmortem_out = Some(args.next().expect("--postmortem-out needs a path"));
                 }
                 "--chaos" => o.chaos = Some(args.next().expect("--chaos needs a preset name")),
+                "--decode-stats" => o.decode_stats = true,
+                "--workers" => {
+                    o.workers = args
+                        .next()
+                        .expect("--workers needs a value")
+                        .parse()
+                        .expect("--workers needs an integer");
+                }
                 other => panic!(
                     "unknown argument {other}; use \
                      --bench/--scale/--fleet/--json/--interval-ms/--top\
                      /--require-reencodes/--prom-out/--export-out\
-                     /--flame/--journal-out/--postmortem-out/--chaos"
+                     /--flame/--journal-out/--postmortem-out/--chaos\
+                     /--decode-stats/--workers"
                 ),
             }
         }
@@ -165,6 +198,10 @@ impl TopOptions {
 
 fn main() {
     let opts = TopOptions::from_args();
+    if opts.decode_stats {
+        let ok = run_decode_stats(&opts);
+        std::process::exit(i32::from(!ok));
+    }
     if let Some(tenants) = opts.fleet {
         let ok = run_fleet(&opts, tenants.max(1));
         std::process::exit(i32::from(!ok));
@@ -689,6 +726,135 @@ fn finish_json(
         return false;
     }
     true
+}
+
+// ---------------------------------------------------------------------------
+// Offline decode statistics (`--decode-stats`)
+// ---------------------------------------------------------------------------
+
+/// Records the selected workload into an effect journal, decodes it both
+/// serially and fragment-parallel, and reports the comparison. Returns
+/// whether the parallel decode matched the serial reference byte for
+/// byte.
+fn run_decode_stats(opts: &TopOptions) -> bool {
+    use dacce::{decode_parallel, decode_serial};
+    use dacce_workloads::chaos::chaos_trace;
+    use dacce_workloads::{family_trace, record_journal};
+
+    let fault = match &opts.chaos {
+        None => dacce::FaultPlan::default(),
+        Some(name) => dacce::FaultPlan::preset(name)
+            .unwrap_or_else(|| panic!("no fault-plan preset named {name:?}")),
+    };
+    // Production families resolve by exact name; anything else matches a
+    // suite benchmark, same as the live view.
+    let (name, trace) = match family_trace(&opts.bench, 41, opts.scale) {
+        Some(trace) => (opts.bench.clone(), trace),
+        None => {
+            let spec = all_benchmarks()
+                .into_iter()
+                .find(|s| s.name.contains(&opts.bench))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "no suite benchmark or workload family matches {:?}",
+                        opts.bench
+                    )
+                });
+            let cfg = DriverConfig {
+                scale: opts.scale,
+                ..DriverConfig::default()
+            };
+            (spec.name.to_string(), chaos_trace(&spec, &cfg))
+        }
+    };
+
+    let config = DacceConfig {
+        edge_threshold: 4,
+        min_events_between_reencodes: 256,
+        fault,
+        ..DacceConfig::default()
+    };
+    let run = record_journal(&trace, config, 512);
+    let ops = run.journal.ops().max(1) as f64;
+    let dec = dacce::import(&run.export).expect("journal export parses");
+    if let Some(path) = &opts.journal_out {
+        write_creating_dirs(path, &run.journal.to_text());
+    }
+
+    let workers = opts.workers.max(1);
+    let mut serial_ns = f64::INFINITY;
+    let mut serial = None;
+    let mut parallel_ns = f64::INFINITY;
+    let mut parallel = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let out = decode_serial(&run.journal, &dec).expect("journal replays");
+        serial_ns = serial_ns.min(t0.elapsed().as_nanos() as f64 / ops);
+        serial = Some(out);
+        let t0 = Instant::now();
+        let got = decode_parallel(&run.journal, &dec, workers).expect("journal replays");
+        parallel_ns = parallel_ns.min(t0.elapsed().as_nanos() as f64 / ops);
+        parallel = Some(got);
+    }
+    let serial = serial.expect("serial decode ran");
+    let (parallel, report) = parallel.expect("parallel decode ran");
+    let identical = parallel == serial;
+
+    if opts.json {
+        println!(
+            "{{\"workload\":\"{name}\",\"scale\":{},\"decode\":{{\
+             \"ops\":{},\"decode_points\":{},\"resyncs\":{},\
+             \"fragments\":{},\"seams_verified\":{},\"seam_failures\":{},\
+             \"fallback_fragments\":{},\"workers\":{},\
+             \"serial_ns_per_op\":{serial_ns:.2},\
+             \"parallel_ns_per_op\":{parallel_ns:.2},\
+             \"speedup\":{:.4},\"identical\":{identical}}}}}",
+            opts.scale,
+            run.journal.ops(),
+            run.journal.samples(),
+            run.resyncs,
+            report.fragments,
+            report.seams_verified,
+            report.seam_failures,
+            report.fallback_fragments,
+            report.workers,
+            serial_ns / parallel_ns.max(f64::MIN_POSITIVE),
+        );
+    } else {
+        println!("dacce-top --decode-stats — {name} (scale {})", opts.scale);
+        println!(
+            "journal: {} ops · {} decode points · {} resyncs while recording",
+            run.journal.ops(),
+            run.journal.samples(),
+            run.resyncs
+        );
+        println!(
+            "fragments: {} ({} seams verified, {} failures, {} serial fallbacks)",
+            report.fragments,
+            report.seams_verified,
+            report.seam_failures,
+            report.fallback_fragments
+        );
+        println!(
+            "decode: serial {serial_ns:.2} ns/op · {} workers {parallel_ns:.2} ns/op · \
+             speedup {:.2}x",
+            report.workers,
+            serial_ns / parallel_ns.max(f64::MIN_POSITIVE)
+        );
+        println!(
+            "output: {} lines, parallel {} serial",
+            serial.lines.len(),
+            if identical {
+                "identical to"
+            } else {
+                "DIVERGED from"
+            }
+        );
+    }
+    if !identical {
+        eprintln!("dacce-top: --decode-stats: parallel decode diverged from serial on {name}");
+    }
+    identical
 }
 
 // ---------------------------------------------------------------------------

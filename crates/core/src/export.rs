@@ -270,7 +270,7 @@ pub(crate) fn export_shared(
     out
 }
 
-fn write_ctx(out: &mut String, ctx: &EncodedContext) {
+pub(crate) fn write_ctx(out: &mut String, ctx: &EncodedContext) {
     let _ = write!(
         out,
         "{} {} {} {}",
@@ -403,7 +403,7 @@ impl OfflineDecoder {
     }
 }
 
-fn parse_ctx(
+pub(crate) fn parse_ctx(
     tokens: &mut std::iter::Peekable<std::str::SplitWhitespace<'_>>,
     lineno: usize,
 ) -> Result<EncodedContext, ImportError> {

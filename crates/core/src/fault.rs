@@ -15,6 +15,7 @@
 //! | `abort_generations`      | generation rollback + capped exponential backoff retry |
 //! | `dispatch_slot_cap`      | site stays un-compiled: permanent (still sound) trap dispatch |
 //! | `poison_slow_locks`      | poison cleared, snapshot revalidated, acquisition retried |
+//! | `force_reencode_every`   | §4 triggers forced to fire on a fixed event cadence: a re-encode storm of generation bumps and lazy migrations |
 
 /// A deterministic fault-injection plan. The default plan arms nothing;
 /// the runtime behaves exactly as without the fault layer.
@@ -42,6 +43,12 @@ pub struct FaultPlan {
     /// clears the poison, revalidates the published snapshot and
     /// proceeds — the simulated analogue of `PoisonError::into_inner`.
     pub poison_slow_locks: Vec<u64>,
+    /// Force the §4 re-encoding triggers to fire whenever this many
+    /// events have elapsed since the last re-encoding (still subject to
+    /// the configured `min_events_between_reencodes` backoff floor). A
+    /// small value produces a *re-encode storm*: maximal generation
+    /// churn, snapshot republishes and lazy context migrations.
+    pub force_reencode_every: Option<u64>,
     /// Seed recorded alongside the plan. Workload generators fold it into
     /// their own PRNG seed so the *trace* driven under the plan is part
     /// of the plan's identity; the runtime itself never draws randomness.
@@ -57,6 +64,7 @@ impl FaultPlan {
             || !self.abort_generations.is_empty()
             || self.dispatch_slot_cap.is_some()
             || !self.poison_slow_locks.is_empty()
+            || self.force_reencode_every.is_some()
     }
 
     /// True when re-encoding to generation `ts` must abort.
@@ -110,6 +118,13 @@ impl FaultPlan {
                 "poisoned-locks",
                 FaultPlan {
                     poison_slow_locks: vec![0, 1, 3, 7, 15, 31],
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "reencode-storm",
+                FaultPlan {
+                    force_reencode_every: Some(24),
                     ..FaultPlan::default()
                 },
             ),

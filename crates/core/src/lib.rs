@@ -49,6 +49,7 @@ pub mod engine;
 pub mod export;
 pub(crate) mod fastpath;
 pub mod fault;
+pub mod fragment;
 pub mod lineage;
 pub mod observe;
 pub mod patch;
@@ -74,6 +75,11 @@ pub use export::{
     ImportError, OfflineDecoder, SuperOpRecord,
 };
 pub use fault::FaultPlan;
+pub use fragment::{
+    decode_parallel, decode_serial, verify_seams, CallEffect, DecodeJournal, DecodedStream,
+    FragmentError, JournalOp, JournalThread, ParallelDecodeReport, RetEffect, SeamSeed, StateSig,
+    ThreadRecorder,
+};
 pub use lineage::EncodingLineage;
 pub use observe::Observability;
 pub use profile::HotContextProfile;

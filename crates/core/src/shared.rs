@@ -525,6 +525,15 @@ impl SharedState {
         }
         let mut fire = false;
 
+        // Injected reencode-storm fault: force the triggers on a fixed
+        // event cadence (the backoff floor in `reencode_check_due` still
+        // applies, so aborted generations keep their retry discipline).
+        if let Some(every) = self.config.fault.force_reencode_every {
+            if self.events_since_reencode >= every {
+                fire = true;
+            }
+        }
+
         // Trigger 1: the number of identified call edges reached a threshold.
         if self.new_edges >= self.config.edge_threshold {
             fire = true;

@@ -1364,6 +1364,30 @@ impl ThreadHandle {
         snapshot_of(st)
     }
 
+    /// The thread's current encoded context, without sample accounting
+    /// (the journal recorder's full-state capture: entry states, seam
+    /// seeds and resync records).
+    pub fn context(&self) -> EncodedContext {
+        self.current_context()
+    }
+
+    /// An O(1) probe of the state components one call/return event can
+    /// change (see [`crate::fragment::StateSig`]). Reads the state
+    /// exactly as the last event left it — no refresh, no accounting —
+    /// so the journal recorder can verify a derived effect per op
+    /// without cloning the ccStack.
+    pub fn state_sig(&self) -> crate::fragment::StateSig {
+        let guard = self.slot.state.lock();
+        let st = &*guard;
+        crate::fragment::StateSig {
+            ts: st.snap.ts,
+            id: st.ctx.id,
+            depth: st.ctx.cc.depth(),
+            top: st.ctx.cc.top().copied(),
+            leaf: st.ctx.current,
+        }
+    }
+
     /// Captures the current context as a migratable *task origin* (§5.3,
     /// "work migration"): hand the returned [`TaskContext`] to whatever
     /// executor thread will run the work and have it call

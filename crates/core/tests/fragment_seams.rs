@@ -1,0 +1,339 @@
+//! Seam boundary correctness for fragment-parallel decode: fragments cut
+//! at hostile boundaries — mid-recursion, at tail-call wrap points,
+//! across re-encode generation bumps, inside degraded trap runs — must
+//! decode byte-identically to the serial replay, and corrupted seam
+//! seeds must be caught by the stitch pass and repaired by the serial
+//! fallback, never silently trusted.
+
+use dacce::tracker::{ThreadHandle, Tracker};
+use dacce::{
+    decode_parallel, decode_serial, export_tracker_state, import, verify_seams, DacceConfig,
+    DecodeJournal, FaultPlan, SeedEdge, ThreadRecorder, WarmStartSeed,
+};
+use dacce_callgraph::{CallSiteId, Dispatch, FunctionId};
+
+/// One scripted event of a recording scenario.
+#[derive(Clone, Copy)]
+enum Ev {
+    Call(CallSiteId, FunctionId),
+    Ret,
+    /// Journal a decode point (and capture the live tracker decode of the
+    /// same state, the anchor the offline stream is checked against).
+    Sample,
+    /// Cut a fragment here: journal a full seam seed.
+    Seam,
+}
+
+/// Drives the scripted events through a registered thread while recording
+/// the effect journal. Returns the journal, the live-decoded anchor lines
+/// (one per sample, rendered exactly like the offline stream), and the
+/// recorder's resync count.
+fn record(tracker: &Tracker, th: &ThreadHandle, evs: &[Ev]) -> (DecodeJournal, Vec<String>, u64) {
+    let tid = u64::from(th.id().raw());
+    let mut rec = ThreadRecorder::new(tid, th.context());
+    let mut guards = Vec::new();
+    let mut live = Vec::new();
+    let mut k = 0usize;
+    for ev in evs {
+        match *ev {
+            Ev::Call(site, target) => {
+                guards.push(th.call(site, target));
+                rec.on_call(site, target, &th.state_sig(), || th.context());
+            }
+            Ev::Ret => {
+                drop(guards.pop().expect("script is balanced"));
+                rec.on_ret(&th.state_sig(), || th.context());
+            }
+            Ev::Sample => {
+                rec.on_sample();
+                let line = match tracker.decode(&th.context()) {
+                    Ok(path) => format!("{tid}#{k}: {}", path.display(|f| f.to_string())),
+                    Err(e) => format!("{tid}#{k}: decode-error {e}"),
+                };
+                live.push(line);
+                k += 1;
+            }
+            Ev::Seam => rec.seam(|| th.context()),
+        }
+    }
+    assert!(guards.is_empty(), "script must end balanced");
+    let resyncs = rec.resyncs();
+    let journal = DecodeJournal {
+        threads: vec![rec.finish()],
+    };
+    (journal, live, resyncs)
+}
+
+/// Decodes the journal serially and in parallel at several worker counts,
+/// asserting byte-identical output and fully proven seams, and returns
+/// the serial stream.
+fn assert_parallel_matches_serial(
+    tracker: &Tracker,
+    journal: &DecodeJournal,
+    what: &str,
+) -> dacce::DecodedStream {
+    let export = export_tracker_state(tracker);
+    let dec = import(&export).expect("export parses");
+    let serial = decode_serial(journal, &dec).expect("journal replays");
+    assert!(
+        verify_seams(journal).is_empty(),
+        "{what}: seam chain must verify independently"
+    );
+    for workers in [1, 2, 4] {
+        let (par, report) = decode_parallel(journal, &dec, workers).expect("parallel replays");
+        assert_eq!(
+            par, serial,
+            "{what}/workers={workers}: diverged from serial"
+        );
+        assert_eq!(report.seam_failures, 0, "{what}/workers={workers}");
+        assert_eq!(report.fallback_fragments, 0, "{what}/workers={workers}");
+        assert!(
+            report.fragments > 1,
+            "{what}: script must actually fragment"
+        );
+    }
+    serial
+}
+
+#[test]
+fn seams_cut_mid_recursion_decode_identically() {
+    let tracker = Tracker::new();
+    let main_fn = tracker.define_function("main");
+    let f = tracker.define_function("f");
+    let s0 = tracker.define_call_site();
+    let s_self = tracker.define_call_site();
+    let th = tracker.register_thread(main_fn);
+
+    // Wind 30 frames of direct recursion with seams cut deep inside the
+    // wind and again inside the unwind — every fragment boundary lands
+    // mid-recursion, where the ccStack top is a live compressed entry.
+    let mut evs = vec![Ev::Call(s0, f), Ev::Sample];
+    for i in 0..30 {
+        evs.push(Ev::Call(s_self, f));
+        if i % 7 == 3 {
+            evs.push(Ev::Sample);
+            evs.push(Ev::Seam);
+        }
+    }
+    evs.push(Ev::Sample);
+    for i in 0..30 {
+        evs.push(Ev::Ret);
+        if i % 9 == 4 {
+            evs.push(Ev::Seam);
+            evs.push(Ev::Sample);
+        }
+    }
+    evs.push(Ev::Ret);
+    evs.push(Ev::Sample);
+
+    let (journal, live, _) = record(&tracker, &th, &evs);
+    assert!(journal.seams() >= 6, "seams cut mid-recursion");
+    let serial = assert_parallel_matches_serial(&tracker, &journal, "mid-recursion");
+    assert_eq!(
+        serial.lines, live,
+        "offline decode must match the live tracker decode at every sample"
+    );
+}
+
+#[test]
+fn seams_at_tail_call_wrap_points_decode_identically() {
+    // `f` is statically tail-calling, so calls *from* `f` wrap: their
+    // returns do an absolute restore (id, ccStack truncation) instead of
+    // an arithmetic undo — the recorder must capture that faithfully and
+    // the seam seeds around the wrap point must still prove.
+    let tracker = Tracker::new();
+    let main_fn = tracker.define_function("main");
+    let f = tracker.define_function("f");
+    let g = tracker.define_function("g");
+    let s1 = tracker.define_call_site();
+    let s2 = tracker.define_call_site();
+    tracker.warm_start(
+        main_fn,
+        &WarmStartSeed {
+            roots: vec![main_fn],
+            edges: vec![
+                SeedEdge {
+                    caller: main_fn,
+                    callee: f,
+                    site: s1,
+                    dispatch: Dispatch::Direct,
+                },
+                SeedEdge {
+                    caller: f,
+                    callee: g,
+                    site: s2,
+                    dispatch: Dispatch::Direct,
+                },
+            ],
+            tail_fns: vec![f],
+        },
+    );
+    let th = tracker.register_thread(main_fn);
+
+    let mut evs = Vec::new();
+    for i in 0..12 {
+        evs.push(Ev::Call(s1, f));
+        evs.push(Ev::Call(s2, g)); // wrapped: f tail-calls
+        evs.push(Ev::Sample);
+        if i % 3 == 1 {
+            evs.push(Ev::Seam); // seam with a wrapped frame open
+        }
+        evs.push(Ev::Ret); // absolute restore
+        if i % 3 == 2 {
+            evs.push(Ev::Seam); // seam right after the restore
+        }
+        evs.push(Ev::Ret);
+        evs.push(Ev::Sample);
+    }
+
+    let (journal, live, _) = record(&tracker, &th, &evs);
+    assert!(journal.seams() >= 4);
+    let serial = assert_parallel_matches_serial(&tracker, &journal, "tail-call-wrap");
+    assert_eq!(serial.lines, live);
+}
+
+#[test]
+fn seams_across_generation_bumps_decode_identically() {
+    // Aggressive adaptation: every edge is hot immediately and the
+    // re-encode backoff floor is tiny, so the run crosses many published
+    // generations; seams fall on both sides of the bumps and seeds carry
+    // different `ts` values along one thread's chain.
+    let tracker = Tracker::with_config(DacceConfig {
+        edge_threshold: 1,
+        min_events_between_reencodes: 4,
+        ..DacceConfig::default()
+    });
+    let main_fn = tracker.define_function("main");
+    let th = tracker.register_thread(main_fn);
+
+    let mut evs = Vec::new();
+    let mut fns = Vec::new();
+    for i in 0..24 {
+        let callee = tracker.define_function(&format!("g{i}"));
+        let site = tracker.define_call_site();
+        fns.push((site, callee));
+        // Revisit earlier edges so re-encoded patches are exercised, not
+        // just trap-time discovery.
+        for &(s, c) in fns.iter().rev().take(3) {
+            evs.push(Ev::Call(s, c));
+            evs.push(Ev::Sample);
+            evs.push(Ev::Ret);
+        }
+        if i % 4 == 2 {
+            evs.push(Ev::Seam);
+        }
+    }
+
+    let (journal, live, _) = record(&tracker, &th, &evs);
+    assert!(
+        tracker.stats().reencodes > 0,
+        "scenario must actually re-encode"
+    );
+    let entry_ts = journal.threads[0].entry.ts;
+    assert!(
+        journal.threads[0]
+            .seams
+            .iter()
+            .any(|s| s.ctx.ts != entry_ts),
+        "at least one seam seed must sit in a later generation"
+    );
+    let serial = assert_parallel_matches_serial(&tracker, &journal, "generation-bump");
+    assert_eq!(serial.lines, live);
+}
+
+#[test]
+fn seams_inside_degraded_trap_runs_decode_identically() {
+    // max_id_cap 0 forces every dictionary into exhaustion: all discovery
+    // degrades to sub-path-band records. Seams inside the degraded run
+    // must still seed fragments that replay byte-identically.
+    let tracker = Tracker::with_config(DacceConfig {
+        fault: FaultPlan {
+            max_id_cap: Some(0),
+            ..FaultPlan::default()
+        },
+        ..DacceConfig::default()
+    });
+    let main_fn = tracker.define_function("main");
+    let f = tracker.define_function("f");
+    let g = tracker.define_function("g");
+    let s1 = tracker.define_call_site();
+    let s2 = tracker.define_call_site();
+    let s3 = tracker.define_call_site();
+    let th = tracker.register_thread(main_fn);
+
+    let mut evs = Vec::new();
+    for i in 0..10 {
+        evs.push(Ev::Call(s1, f));
+        evs.push(Ev::Sample);
+        evs.push(Ev::Call(s2, g));
+        evs.push(Ev::Call(s3, g)); // degraded direct recursion
+        evs.push(Ev::Sample);
+        if i % 2 == 0 {
+            evs.push(Ev::Seam);
+        }
+        evs.push(Ev::Ret);
+        evs.push(Ev::Ret);
+        evs.push(Ev::Ret);
+        evs.push(Ev::Sample);
+    }
+
+    let (journal, live, _) = record(&tracker, &th, &evs);
+    assert!(journal.seams() >= 3);
+    let serial = assert_parallel_matches_serial(&tracker, &journal, "degraded");
+    assert_eq!(serial.lines, live);
+}
+
+#[test]
+fn corrupted_seam_seed_falls_back_to_serial_and_stays_identical() {
+    let tracker = Tracker::new();
+    let main_fn = tracker.define_function("main");
+    let f = tracker.define_function("f");
+    let s0 = tracker.define_call_site();
+    let s_self = tracker.define_call_site();
+    let th = tracker.register_thread(main_fn);
+
+    let mut evs = vec![Ev::Call(s0, f)];
+    for i in 0..20 {
+        evs.push(Ev::Call(s_self, f));
+        evs.push(Ev::Sample);
+        if i % 5 == 2 {
+            evs.push(Ev::Seam);
+        }
+    }
+    for _ in 0..21 {
+        evs.push(Ev::Ret);
+    }
+    evs.push(Ev::Sample);
+
+    let (mut journal, _, _) = record(&tracker, &th, &evs);
+    assert!(journal.threads[0].seams.len() >= 2);
+
+    // Corrupt one seed mid-chain. The poisoned fragment must be detected
+    // by the stitch pass (seed != verified exit) and re-decoded serially
+    // from the verified state — output identical, corruption reported.
+    journal.threads[0].seams[1].ctx.id ^= 0xdead_beef;
+
+    let export = export_tracker_state(&tracker);
+    let dec = import(&export).expect("export parses");
+    let serial = decode_serial(&journal, &dec).expect("serial ignores seeds");
+    let problems = verify_seams(&journal);
+    assert!(
+        !problems.is_empty(),
+        "independent seam verification must flag the corrupt seed"
+    );
+    for workers in [1, 2, 4] {
+        let (par, report) = decode_parallel(&journal, &dec, workers).expect("parallel replays");
+        assert_eq!(
+            par, serial,
+            "workers={workers}: fallback must repair output"
+        );
+        assert!(
+            report.seam_failures > 0,
+            "workers={workers}: corruption must be reported"
+        );
+        assert!(
+            report.fallback_fragments > 0,
+            "workers={workers}: poisoned fragment must fall back"
+        );
+    }
+}

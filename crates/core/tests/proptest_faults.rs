@@ -53,6 +53,7 @@ proptest! {
             abort_generations,
             dispatch_slot_cap,
             poison_slow_locks: Vec::new(),
+            force_reencode_every: None,
             seed,
         };
         // Eager re-encoding so generation-targeted faults actually see

@@ -395,6 +395,31 @@ mod tests {
     }
 
     #[test]
+    fn reencode_storm_churns_generations() {
+        let trace = chaos_trace(&BenchSpec::tiny("chaos-storm", 13), &smoke_cfg());
+        let base = DacceConfig {
+            min_events_between_reencodes: 16,
+            ..DacceConfig::default()
+        };
+        let out = run_chaos_plan(
+            &trace,
+            &base,
+            "reencode-storm",
+            FaultPlan::preset("reencode-storm").unwrap(),
+        );
+        assert!(out.sound(), "storm decode diverged: {out:?}");
+        let mut calm_cfg = base;
+        calm_cfg.fault = FaultPlan::default();
+        let calm = replay_sampled(&trace, calm_cfg);
+        assert!(
+            out.replay.stats.reencodes > calm.stats.reencodes,
+            "the storm must force extra re-encodings ({} vs {})",
+            out.replay.stats.reencodes,
+            calm.stats.reencodes
+        );
+    }
+
+    #[test]
     fn every_preset_is_sound_on_a_tiny_workload() {
         for out in run_all_presets(&BenchSpec::tiny("chaos-all", 11), &smoke_cfg()) {
             assert!(

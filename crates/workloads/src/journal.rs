@@ -1,0 +1,249 @@
+//! Decode-journal recording: drive the tracker over a recorded workload
+//! trace one op at a time, derive the per-op state effect each event
+//! applied (verified against the live state, see
+//! [`dacce::fragment::ThreadRecorder`]), and place seam seeds at
+//! balanced-frame boundaries so the journal splits into independently
+//! decodable fragments.
+//!
+//! Seam placement reuses the balanced-window classification of
+//! [`crate::batch`]: a call whose matching return lands within
+//! [`JOURNAL_WINDOW`] ops is a *short* frame; a seam may only be cut
+//! where no short frame is open, i.e. at the boundaries the batched
+//! replay would also flush at — every open frame at a seam is a deep
+//! spine frame. Combined with the seam-every cadence this yields
+//! fragments of roughly uniform op count, which is what the parallel
+//! decoder's work-stealing queue wants.
+
+use std::collections::HashMap;
+
+use dacce::tracker::{ThreadHandle, Tracker};
+use dacce::{export_tracker_state, DacceConfig, DacceStats, DecodeJournal, ThreadRecorder};
+use dacce_callgraph::{CallSiteId, FunctionId};
+use dacce_program::ThreadId;
+
+use crate::batch::{ThreadStart, TraceOp, WorkloadTrace};
+
+/// A decode point is journaled every this many replayed ops per thread
+/// (prime, mirroring the chaos harness cadence).
+pub const JOURNAL_SAMPLE_EVERY: u64 = 127;
+
+/// Horizon distinguishing short (window-local) frames from deep spine
+/// frames for seam eligibility — the chaos replay's batching window.
+pub const JOURNAL_WINDOW: usize = 16;
+
+/// Default seam cadence: one fragment seed roughly every this many ops.
+pub const DEFAULT_SEAM_EVERY: usize = 512;
+
+/// Everything one recording pass produced: the journal, the matching
+/// offline export (dictionaries for every generation, site owners), and
+/// recording diagnostics.
+#[derive(Debug)]
+pub struct RecordedRun {
+    /// The per-thread effect journal with seam seeds.
+    pub journal: DecodeJournal,
+    /// The tracker's offline export (feed to [`dacce::import`]).
+    pub export: String,
+    /// Full-state resync records the recorder had to fall back to
+    /// (generation migrations, inexpressible deltas).
+    pub resyncs: u64,
+    /// Final tracker statistics of the recording run.
+    pub stats: DacceStats,
+}
+
+/// For each op index, whether a seam may be cut *after* it: true when no
+/// short frame (one closing within `window` ops of its call) is open.
+#[must_use]
+pub fn balanced_boundaries(ops: &[TraceOp], window: usize) -> Vec<bool> {
+    let mut match_ret = vec![usize::MAX; ops.len()];
+    let mut open = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            TraceOp::Call { .. } => open.push(i),
+            TraceOp::Ret => {
+                if let Some(c) = open.pop() {
+                    match_ret[c] = i;
+                }
+            }
+        }
+    }
+    let mut eligible = vec![false; ops.len()];
+    let mut short_open = 0usize;
+    let mut flags: Vec<bool> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            TraceOp::Call { .. } => {
+                let short = match_ret[i] != usize::MAX && match_ret[i] - i < window;
+                flags.push(short);
+                short_open += usize::from(short);
+            }
+            TraceOp::Ret => {
+                if flags.pop().unwrap_or(false) {
+                    short_open -= 1;
+                }
+            }
+        }
+        eligible[i] = short_open == 0;
+    }
+    eligible
+}
+
+/// Replays `trace` through a fresh tracker under `config`, recording the
+/// verified effect journal with a seam seed roughly every `seam_every`
+/// ops (at the next balanced boundary), a decode point every
+/// [`JOURNAL_SAMPLE_EVERY`] ops, and the offline export captured after
+/// the run.
+///
+/// # Panics
+///
+/// Panics on traces whose returns do not match an open call (recorded
+/// traces are always balanced per thread).
+#[must_use]
+pub fn record_journal(
+    trace: &WorkloadTrace,
+    config: DacceConfig,
+    seam_every: usize,
+) -> RecordedRun {
+    let tracker = Tracker::with_config(config);
+    let mut fn_map: HashMap<FunctionId, FunctionId> = HashMap::new();
+    let mut site_map: HashMap<CallSiteId, CallSiteId> = HashMap::new();
+    let mut handles: HashMap<ThreadId, ThreadHandle> = HashMap::new();
+    let mut journal = DecodeJournal::default();
+    let mut resyncs = 0u64;
+
+    for &ThreadStart { tid, root, parent } in &trace.threads {
+        let root = *fn_map
+            .entry(root)
+            .or_insert_with(|| tracker.define_function(&format!("fn{}", root.index())));
+        let th = match parent {
+            None => tracker.register_thread(root),
+            Some((ptid, psite)) => {
+                let psite = *site_map
+                    .entry(psite)
+                    .or_insert_with(|| tracker.define_call_site());
+                let parent = handles.get(&ptid).expect("parent registered before child");
+                tracker.register_spawned_thread(root, parent, psite)
+            }
+        };
+        handles.insert(tid, th);
+        let th = &handles[&tid];
+        let ops = &trace.traces[&tid];
+        let eligible = balanced_boundaries(ops, JOURNAL_WINDOW);
+
+        let mut rec = ThreadRecorder::new(tid.raw().into(), th.context());
+        let mut guards = Vec::new();
+        let mut next_sample = JOURNAL_SAMPLE_EVERY;
+        let mut since_seam = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                TraceOp::Call {
+                    site,
+                    target,
+                    indirect,
+                } => {
+                    let site = *site_map
+                        .entry(site)
+                        .or_insert_with(|| tracker.define_call_site());
+                    let target = *fn_map.entry(target).or_insert_with(|| {
+                        tracker.define_function(&format!("fn{}", target.index()))
+                    });
+                    guards.push(if indirect {
+                        th.call_indirect(site, target)
+                    } else {
+                        th.call(site, target)
+                    });
+                    rec.on_call(site, target, &th.state_sig(), || th.context());
+                }
+                TraceOp::Ret => {
+                    drop(guards.pop().expect("return matches an open call"));
+                    rec.on_ret(&th.state_sig(), || th.context());
+                }
+            }
+            let done = i as u64 + 1;
+            if done >= next_sample {
+                next_sample += JOURNAL_SAMPLE_EVERY;
+                rec.on_sample();
+            }
+            since_seam += 1;
+            if since_seam >= seam_every && eligible[i] {
+                since_seam = 0;
+                rec.seam(|| th.context());
+            }
+        }
+        // A decode point at thread exit: short-lived threads (fewer ops
+        // than the sample cadence) still contribute to the decoded
+        // stream — thread-churn workloads are all exit samples.
+        if !ops.is_empty() {
+            rec.on_sample();
+        }
+        resyncs += rec.resyncs();
+        journal.threads.push(rec.finish());
+        while guards.pop().is_some() {}
+    }
+
+    let stats = tracker.stats();
+    let export = export_tracker_state(&tracker);
+    RecordedRun {
+        journal,
+        export,
+        resyncs,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::chaos_trace;
+    use crate::driver::DriverConfig;
+    use crate::spec::BenchSpec;
+    use dacce::{decode_parallel, decode_serial, import};
+
+    fn tiny_trace() -> WorkloadTrace {
+        chaos_trace(
+            &BenchSpec::tiny("journal-smoke", 3),
+            &DriverConfig {
+                scale: 0.05,
+                ..DriverConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn boundaries_only_open_on_the_spine() {
+        let trace = tiny_trace();
+        for ops in trace.traces.values() {
+            let eligible = balanced_boundaries(ops, JOURNAL_WINDOW);
+            assert_eq!(eligible.len(), ops.len());
+            // The end of a balanced stream is always eligible.
+            if let Some(last) = eligible.last() {
+                assert!(last);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_journal_replays_and_splits() {
+        let run = record_journal(&tiny_trace(), DacceConfig::default(), 256);
+        assert!(run.journal.samples() > 4, "cadence produces samples");
+        assert!(run.journal.seams() > 0, "cadence produces seams");
+        let dec = import(&run.export).expect("export parses");
+        let serial = decode_serial(&run.journal, &dec).expect("journal replays");
+        assert_eq!(serial.lines.len(), run.journal.samples());
+        let (par, report) = decode_parallel(&run.journal, &dec, 2).expect("parallel replays");
+        assert_eq!(par, serial, "parallel decode must match serial");
+        assert_eq!(report.seam_failures, 0);
+        assert_eq!(report.fallback_fragments, 0);
+        assert_eq!(
+            report.seams_verified,
+            report.fragments - run.journal.threads.len()
+        );
+    }
+
+    #[test]
+    fn journal_text_round_trips_through_the_export_format() {
+        let run = record_journal(&tiny_trace(), DacceConfig::default(), 256);
+        let text = run.journal.to_text();
+        let back = DecodeJournal::parse(&text).expect("parses");
+        assert_eq!(back, run.journal);
+    }
+}

@@ -23,7 +23,9 @@ pub mod batch;
 pub mod chaos;
 pub mod characterize;
 pub mod driver;
+pub mod families;
 pub mod genprog;
+pub mod journal;
 pub mod spec;
 pub mod suite;
 pub mod superops;
@@ -41,7 +43,9 @@ pub use driver::{
     interp_config, program_of, run_benchmark, run_dacce_only, run_dacce_runtime, run_dacce_warm,
     run_with, BenchOutcome, DriverConfig,
 };
+pub use families::{family_names, family_trace, family_traces};
 pub use genprog::generate_program;
+pub use journal::{balanced_boundaries, record_journal, RecordedRun};
 pub use spec::{BenchSpec, Suite};
 pub use suite::{all_benchmarks, parsec_benchmarks, spec2006_benchmarks};
 pub use superops::{leaf_weights, mine_windows};
